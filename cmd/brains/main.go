@@ -1,0 +1,57 @@
+// Command brains is the BRAINS memory-BIST compiler shell: describe the
+// embedded memories, pick a March algorithm and a grouping, then compile
+// and inspect the generated BIST design, its hardware cost and test time,
+// or fault-simulate the March catalog's efficiency.
+//
+// Usage:
+//
+//	brains                 interactive shell on stdin
+//	brains -c 'cmd; cmd'   run a semicolon-separated script
+//	echo script | brains   pipe a script
+//
+// Try: brains -c 'mem fb 65536 16; mem fifo 512 16 2; compile; report'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"steac/internal/brains"
+)
+
+func main() {
+	script := flag.String("c", "", "semicolon-separated command script")
+	flag.Parse()
+
+	sh := brains.NewShell(os.Stdout)
+	run := func(line string) {
+		if err := sh.Exec(line); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			run(line)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := isatty()
+	if interactive {
+		fmt.Print("brains> ")
+	}
+	for sc.Scan() {
+		run(sc.Text())
+		if interactive {
+			fmt.Print("brains> ")
+		}
+	}
+}
+
+func isatty() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

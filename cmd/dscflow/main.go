@@ -1,0 +1,117 @@
+// Command dscflow is the one-shot reproduction driver: it rebuilds the
+// paper's DSC controller chip, runs the full STEAC flow on it, and prints
+// every table and figure of the evaluation — Table 1, the session-based vs
+// non-session-based scheduling comparison, the test-IO analysis, the DFT
+// hardware cost, the BIST plan, and the March-efficiency table.
+//
+// Usage:
+//
+//	dscflow                  run everything except ATE verification
+//	dscflow -verify          also apply all ~4.4M tester cycles (≈5 s)
+//	dscflow -table1 ...      print individual sections only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"steac/internal/brains"
+	"steac/internal/core"
+	"steac/internal/dsc"
+	"steac/internal/memory"
+	"steac/internal/pattern"
+	"steac/internal/report"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "print Table 1 only")
+		schedOn = flag.Bool("schedule", false, "print the scheduling comparison only")
+		ioOn    = flag.Bool("io", false, "print the test-IO analysis only")
+		areaOn  = flag.Bool("area", false, "print the DFT hardware cost only")
+		bistOn  = flag.Bool("bist", false, "print the BIST plan only")
+		marchOn = flag.Bool("march", false, "print the March-efficiency table only")
+		verify  = flag.Bool("verify", false, "apply the translated patterns on the tester model")
+		verilog = flag.Bool("verilog", false, "emit the DFT-ready netlist to stdout")
+		ateprog = flag.String("ateprog", "", "write the chip-level tester program (cycle-based ATE file) to this path — the full DSC program is ~4.4M vector lines")
+		extest  = flag.Bool("extest", false, "append the EXTEST interconnect-test session (24 glue wires, 10 vectors)")
+	)
+	flag.Parse()
+	all := !(*table1 || *schedOn || *ioOn || *areaOn || *bistOn || *marchOn || *verilog)
+
+	soc, err := dsc.BuildSOC()
+	fail(err)
+	stils, err := core.EmitSTIL(dsc.Cores())
+	fail(err)
+	in := core.FlowInput{
+		STIL:        stils,
+		SOC:         soc,
+		Resources:   dsc.Resources(),
+		Memories:    dsc.Memories(),
+		BISTOptions: brains.Options{Grouping: brains.GroupPerMemory},
+		Verify:      *verify,
+	}
+	if *extest {
+		in.Interconnects = dsc.Interconnects()
+	}
+	res, err := core.RunFlow(in)
+	fail(err)
+	if *extest && (all || *schedOn) {
+		fmt.Printf("EXTEST interconnect session: %d glue wires, %d vectors, %s cycles\n\n",
+			len(res.Extest.Wires), res.Extest.Vectors, report.Comma(res.Extest.Cycles))
+	}
+
+	if all || *table1 {
+		fmt.Print(core.Table1(res.Cores))
+		fmt.Println()
+	}
+	if all || *schedOn {
+		fmt.Print(core.ComparisonReport(res))
+		fmt.Println()
+		fmt.Print(core.ScheduleReport(res.Schedule))
+		fmt.Println()
+		fmt.Print(core.TimelineReport(res.Schedule, 72))
+		fmt.Println()
+	}
+	if all || *ioOn {
+		fmt.Print(core.IOReport(res.Cores))
+		fmt.Println()
+	}
+	if all || *areaOn {
+		fmt.Print(core.AreaReport(res))
+		fmt.Println()
+	}
+	if all || *bistOn {
+		fmt.Print(brains.Report(res.Brains))
+		fmt.Println()
+	}
+	if all || *marchOn {
+		rows, err := brains.Evaluate(memory.Config{Name: "eval", Words: 16, Bits: 4}, nil)
+		fail(err)
+		fmt.Print(brains.EvaluationTable(rows))
+		fmt.Println()
+	}
+	if *verify && res.Verify != nil {
+		fmt.Printf("ATE verification: PASS, %s cycles applied, 0 mismatches\n",
+			report.Comma(res.Verify.Cycles))
+	}
+	if *verilog {
+		fail(res.Insertion.Design.EmitVerilog(os.Stdout))
+	}
+	if *ateprog != "" {
+		f, err := os.Create(*ateprog)
+		fail(err)
+		fail(pattern.WriteProgramFile(f, res.Program))
+		fail(f.Close())
+		fmt.Printf("tester program written to %s (%s cycles)\n",
+			*ateprog, report.Comma(res.Program.TotalCycles()))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dscflow:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Package steac is a from-scratch reproduction of "SOC Testing Methodology
+// and Practice" (Cheng-Wen Wu, DATE 2005): the STEAC SOC test-integration
+// platform, the BRAINS memory-BIST compiler, and the DSC controller test
+// chip they were validated on.
+//
+// The library lives under internal/; the entry points are:
+//
+//   - internal/core: the STEAC flow (RunFlow) — STIL parsing, BRAINS
+//     compilation, session-based test scheduling, test insertion, pattern
+//     translation, and tester-model verification.
+//   - cmd/dscflow: regenerates every table and figure of the paper.
+//   - cmd/steac and cmd/brains: the platform and compiler as CLI tools.
+//
+// See README.md for the architecture, DESIGN.md for the system inventory
+// and substitution rationale, and EXPERIMENTS.md for the paper-vs-measured
+// record.  The benchmarks in bench_test.go emit the reproduced quantities
+// as benchmark metrics.
+package steac

@@ -1,0 +1,99 @@
+// Quickstart: wrap a single scan core, schedule its test, translate the
+// patterns to chip level and verify them on the tester model — the whole
+// Fig. 1 flow in one page of code.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"steac/internal/ate"
+	"steac/internal/core"
+	"steac/internal/pattern"
+	"steac/internal/sched"
+	"steac/internal/stil"
+	"steac/internal/testinfo"
+	"steac/internal/wrapper"
+)
+
+func main() {
+	// 1. Describe the core's test information (normally parsed from the
+	// ATPG's STIL file; we round-trip through STIL to show the hand-off).
+	myCore := &testinfo.Core{
+		Name:        "DSP",
+		Clocks:      []string{"clk"},
+		Resets:      []string{"rst"},
+		ScanEnables: []string{"se"},
+		TestEnables: []string{"te"},
+		PIs:         16, POs: 12,
+		ScanChains: []testinfo.ScanChain{
+			{Name: "c0", Length: 40, In: "si0", Out: "so0", Clock: "clk"},
+			{Name: "c1", Length: 24, In: "si1", Out: "so1", Clock: "clk"},
+		},
+		Patterns: []testinfo.PatternSet{
+			{Name: "scan", Type: testinfo.Scan, Count: 25, Seed: 7},
+		},
+	}
+	src, err := stil.Emit(myCore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- STIL hand-off (%d bytes) ---\n", len(src))
+
+	// 2. Run the STEAC flow: parse, schedule, translate, verify.
+	res, err := core.RunFlow(core.FlowInput{
+		STIL: []string{src},
+		Resources: sched.Resources{
+			TestPins: 14, FuncPins: 8, Partitioner: wrapper.LPT,
+		},
+		Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(core.Table1(res.Cores))
+	fmt.Println()
+	fmt.Print(core.ScheduleReport(res.Schedule))
+	fmt.Printf("\nATE verification: pass=%t, %d cycles, %d mismatches\n",
+		res.Verify.Pass, res.Verify.Cycles, res.Verify.Mismatches)
+
+	// 3. Show that the flow catches defects: a chip with a damaged core.
+	chip := ate.NewChip(res.Program, res.Cores, ate.WithCoreDefect("DSP"))
+	bad, err := ate.Run(res.Program, chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("defective chip:   pass=%t, %d mismatches (first at session %d cycle %d on %s)\n",
+		bad.Pass, bad.Mismatches, bad.First.Session, bad.First.Cycle, bad.First.Pin)
+
+	// 4. The wrapper the insertion step would generate for this schedule.
+	_, pl, _ := res.Schedule.PlacementFor("DSP.scan")
+	plan, err := wrapper.DesignChains(myCore, pl.Width, wrapper.LPT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrapper: %d chains, longest %d cells, scan test %d cycles\n",
+		len(plan.Chains), plan.MaxLength(), plan.ScanTestCycles(25))
+
+	// 5. Export the chip-level program as a cycle-based ATE file and
+	// replay it — the hand-off a real tester would consume.
+	var buf bytes.Buffer
+	if err := pattern.WriteProgramFile(&buf, res.Program); err != nil {
+		log.Fatal(err)
+	}
+	rec, err := pattern.ReadProgramFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := ate.RunRecorded(res.Program, rec, ate.NewChip(res.Program, res.Cores))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ATE file: %d bytes, replay pass=%t over %d cycles\n",
+		buf.Len(), replay.Pass, replay.Cycles)
+	lines := strings.SplitN(buf.String(), "\n", 4)
+	fmt.Printf("file head:\n  %s\n  %s\n  %s\n", lines[0], lines[1], lines[2])
+}

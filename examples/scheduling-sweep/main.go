@@ -1,0 +1,60 @@
+// Scheduling sweep: the paper's observation that "parallel testing may not
+// be better than serial testing" once the test-IO limit is considered.
+// Sweeping the chip's test-pin budget shows where session-based scheduling
+// (shared control IOs) beats the non-session packer (dedicated control
+// IOs), and where generous pins let the packer catch up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"steac/internal/brains"
+	"steac/internal/core"
+	"steac/internal/dsc"
+	"steac/internal/report"
+	"steac/internal/sched"
+)
+
+func main() {
+	cores := dsc.Cores()
+	b, err := brains.Compile(dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tests, err := sched.BuildTests(cores, core.BISTGroups(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("Test time vs test-pin budget (DSC chip, cycles)",
+		"Test pins", "Session-based", "Non-session", "Winner", "Gap%")
+	base := dsc.Resources()
+	for _, pins := range []int{24, 25, 26, 28, 30, 34, 40, 50} {
+		res := base
+		res.TestPins = pins
+		sb, err := sched.SessionBased(tests, res)
+		if err != nil {
+			t.Row(pins, "infeasible", "-", "-", "-")
+			continue
+		}
+		nsb, err := sched.NonSessionBased(tests, res)
+		if err != nil {
+			t.Row(pins, report.Comma(sb.TotalCycles), "infeasible", "session", "-")
+			continue
+		}
+		winner := "session"
+		if nsb.TotalCycles < sb.TotalCycles {
+			winner = "non-session"
+		} else if nsb.TotalCycles == sb.TotalCycles {
+			winner = "tie"
+		}
+		gap := 100 * float64(nsb.TotalCycles-sb.TotalCycles) / float64(nsb.TotalCycles)
+		t.Row(pins, report.Comma(sb.TotalCycles), report.Comma(nsb.TotalCycles),
+			winner, fmt.Sprintf("%.1f", gap))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nWith tight pins the dedicated control IOs of the non-session approach")
+	fmt.Println("starve the TAM; with generous pins both approaches converge on the")
+	fmt.Println("BIST-limited lower bound — exactly the paper's session-based argument.")
+}

@@ -1,0 +1,3 @@
+module steac
+
+go 1.22

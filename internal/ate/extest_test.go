@@ -1,0 +1,133 @@
+package ate
+
+import (
+	"testing"
+
+	"steac/internal/pattern"
+	"steac/internal/sched"
+	"steac/internal/wrapper"
+)
+
+func miniInterconnects() []pattern.Interconnect {
+	// USB outputs feed TV inputs; TV outputs feed JPEG inputs.
+	return []pattern.Interconnect{
+		{FromCore: "USB", FromPO: 0, ToCore: "TV", ToPI: 1},
+		{FromCore: "USB", FromPO: 3, ToCore: "TV", ToPI: 4},
+		{FromCore: "TV", FromPO: 2, ToCore: "JPEG", ToPI: 0},
+		{FromCore: "TV", FromPO: 5, ToCore: "JPEG", ToPI: 7},
+		{FromCore: "JPEG", FromPO: 1, ToCore: "USB", ToPI: 9},
+	}
+}
+
+func extestProgram(t *testing.T) (*pattern.Program, *pattern.ExtestLane, *sched.Schedule) {
+	t.Helper()
+	prog, s, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	lane, err := pattern.BuildExtest(miniCores(), miniInterconnects(), nil, wrapper.LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sessions = append(s.Sessions, sched.Session{
+		Index:  len(s.Sessions),
+		Cycles: lane.Cycles,
+		Placements: []sched.Placement{{
+			Test:   sched.Test{ID: "chip.extest", Kind: sched.ExtestKind},
+			Cycles: lane.Cycles,
+		}},
+	})
+	s.TotalCycles += lane.Cycles
+	prog.Sessions = append(prog.Sessions, pattern.SessionLayout{
+		Index: len(prog.Sessions), Cycles: lane.Cycles,
+	})
+	if err := prog.AttachExtest(len(prog.Sessions)-1, lane); err != nil {
+		t.Fatal(err)
+	}
+	return prog, lane, s
+}
+
+func TestExtestHealthyInterconnect(t *testing.T) {
+	prog, lane, s := extestProgram(t)
+	// Counting sequence + complement: 2*ceil(log2(5+1)) = 6 vectors.
+	if lane.Vectors != 6 {
+		t.Fatalf("vectors = %d, want 6", lane.Vectors)
+	}
+	chip := NewChip(prog, miniCores())
+	r, err := Run(prog, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("healthy interconnect failed: %d mismatches, first %+v", r.Mismatches, r.First)
+	}
+	if r.Cycles != s.TotalCycles {
+		t.Fatalf("cycles %d != %d", r.Cycles, s.TotalCycles)
+	}
+}
+
+func TestExtestDetectsOpens(t *testing.T) {
+	prog, lane, _ := extestProgram(t)
+	for wi := range lane.Wires {
+		chip := NewChip(prog, miniCores(), WithOpenInterconnect(wi))
+		r, err := Run(prog, chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Pass {
+			t.Fatalf("open on wire %d undetected", wi)
+		}
+	}
+}
+
+func TestExtestDetectsBridges(t *testing.T) {
+	prog, lane, _ := extestProgram(t)
+	for i := 0; i < len(lane.Wires); i++ {
+		for j := i + 1; j < len(lane.Wires); j++ {
+			chip := NewChip(prog, miniCores(), WithBridgedInterconnects(i, j))
+			r, err := Run(prog, chip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Pass {
+				t.Fatalf("bridge %d-%d undetected", i, j)
+			}
+		}
+	}
+}
+
+func TestExtestDrivesUniqueCodes(t *testing.T) {
+	lane, err := pattern.BuildExtest(miniCores(), miniInterconnects(), nil, wrapper.LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for i := range lane.Wires {
+		code := ""
+		for v := 0; v < lane.Vectors; v++ {
+			if lane.ExtestDrive(i, v) {
+				code += "1"
+			} else {
+				code += "0"
+			}
+		}
+		if prev, dup := seen[code]; dup {
+			t.Fatalf("wires %d and %d share code %s", prev, i, code)
+		}
+		seen[code] = i
+	}
+}
+
+func TestBuildExtestErrors(t *testing.T) {
+	cores := miniCores()
+	if _, err := pattern.BuildExtest(cores, nil, nil, wrapper.LPT); err == nil {
+		t.Fatal("empty wire list accepted")
+	}
+	for _, bad := range []pattern.Interconnect{
+		{FromCore: "GHOST", FromPO: 0, ToCore: "TV", ToPI: 0},
+		{FromCore: "USB", FromPO: 0, ToCore: "GHOST", ToPI: 0},
+		{FromCore: "USB", FromPO: 999, ToCore: "TV", ToPI: 0},
+		{FromCore: "USB", FromPO: 0, ToCore: "TV", ToPI: 999},
+	} {
+		if _, err := pattern.BuildExtest(cores, []pattern.Interconnect{bad}, nil, wrapper.LPT); err == nil {
+			t.Fatalf("bad interconnect %+v accepted", bad)
+		}
+	}
+}

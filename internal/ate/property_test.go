@@ -1,0 +1,120 @@
+package ate
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"steac/internal/pattern"
+	"steac/internal/sched"
+	"steac/internal/testinfo"
+	"steac/internal/wrapper"
+)
+
+// Property: for ANY well-formed SOC (random cores, chains, pattern counts)
+// and any feasible resource budget, the full pipeline — schedule → wrapper
+// design → translation → ATE application — passes with zero mismatches and
+// an exact cycle-count match.  This is the strongest invariant in the
+// repository: it means the scheduler's arithmetic, the wrapper chain
+// design, the translator's bit ordering and the chip model's capture
+// semantics all agree for arbitrary inputs, not just the DSC chip.
+func TestEndToEndProperty(t *testing.T) {
+	type coreSeed struct {
+		Chains    []uint8
+		PIs, POs  uint8
+		ScanPats  uint8
+		FuncPats  uint8
+		TwoCores  bool
+		PinBudget uint8
+	}
+	run := func(seed coreSeed) bool {
+		var cores []*testinfo.Core
+		n := 1
+		if seed.TwoCores {
+			n = 2
+		}
+		for ci := 0; ci < n; ci++ {
+			c := &testinfo.Core{
+				Name:   fmt.Sprintf("C%d", ci),
+				Clocks: []string{"ck"},
+				PIs:    int(seed.PIs%10) + 1,
+				POs:    int(seed.POs%10) + 1,
+			}
+			chains := seed.Chains
+			if len(chains) > 3 {
+				chains = chains[:3]
+			}
+			for k, l := range chains {
+				c.ScanChains = append(c.ScanChains, testinfo.ScanChain{
+					Name: fmt.Sprintf("c%d", k), Length: int(l%20) + 1,
+					In: fmt.Sprintf("si%d", k), Out: fmt.Sprintf("so%d", k), Clock: "ck",
+				})
+			}
+			if len(c.ScanChains) > 0 {
+				c.ScanEnables = []string{"se"}
+				c.Patterns = append(c.Patterns, testinfo.PatternSet{
+					Name: "scan", Type: testinfo.Scan,
+					Count: int(seed.ScanPats%6) + 1, Seed: int64(ci)*7 + 13,
+				})
+			}
+			if fp := int(seed.FuncPats % 20); fp > 0 || len(c.ScanChains) == 0 {
+				c.Patterns = append(c.Patterns, testinfo.PatternSet{
+					Name: "func", Type: testinfo.Functional,
+					Count: fp + 1, Seed: int64(ci)*11 + 5,
+				})
+			}
+			cores = append(cores, c)
+		}
+		res := sched.Resources{
+			TestPins:    int(seed.PinBudget%16) + 14,
+			FuncPins:    24,
+			Partitioner: wrapper.LPT,
+		}
+		tests, err := sched.BuildTests(cores, nil)
+		if err != nil {
+			return false
+		}
+		s, err := sched.SessionBased(tests, res)
+		if err != nil {
+			// Infeasible budgets are allowed; the property is vacuous.
+			return true
+		}
+		sources := make(map[string]pattern.Source)
+		for _, c := range cores {
+			a, err := pattern.NewATPG(c)
+			if err != nil {
+				return false
+			}
+			sources[c.Name] = a
+		}
+		prog, err := pattern.Translate(s, sources, res)
+		if err != nil {
+			return false
+		}
+		chip := NewChip(prog, cores)
+		r, err := Run(prog, chip)
+		if err != nil {
+			return false
+		}
+		return r.Pass && r.Cycles == s.TotalCycles
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single scan-cell defect (one wrapper chain bit stuck) is
+// caught by the translated scan test.
+func TestEndToEndDefectProperty(t *testing.T) {
+	prog, _, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	for wire := 0; wire < prog.TamWidth; wire++ {
+		chip := NewChip(prog, miniCores(), WithStuckTamWire(wire))
+		r, err := Run(prog, chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Pass {
+			t.Fatalf("stuck TAM wire %d undetected", wire)
+		}
+	}
+}

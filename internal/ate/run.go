@@ -1,0 +1,158 @@
+package ate
+
+import (
+	"fmt"
+	"sort"
+
+	"steac/internal/pattern"
+)
+
+// Mismatch describes the first failing compare.
+type Mismatch struct {
+	Session int
+	Cycle   int
+	Pin     string
+}
+
+// Result is the outcome of applying a full chip program.
+type Result struct {
+	Pass          bool
+	Cycles        int
+	SessionCycles []int
+	Mismatches    int
+	First         *Mismatch
+	// FailingTests lists the test IDs whose compare windows saw
+	// mismatches (sorted, deduplicated) — the ATE-side diagnosis of
+	// which core or session failed.
+	FailingTests []string
+}
+
+// Run applies the translated program to the chip, comparing every non-X
+// expectation, and returns the tally.  The cycle count is the ATE's test
+// time — the figure the paper's scheduling experiment reports.
+func Run(prog *pattern.Program, chip *Chip) (Result, error) {
+	res := Result{Pass: true}
+	failing := make(map[string]bool)
+	for si, layout := range prog.Sessions {
+		if err := chip.StartSession(si); err != nil {
+			return res, err
+		}
+		wireOwner, slotOwner := layoutOwners(layout)
+		count := 0
+		err := prog.Stream(layout, func(c int, cyc *pattern.Cycle) bool {
+			tamOut, funcOut := chip.Step(cyc)
+			for w, exp := range cyc.TamExpect {
+				if !exp.Matches(tamOut[w]) {
+					res.record(si, c, fmt.Sprintf("tam_out[%d]", w))
+					if id, ok := wireOwner[w]; ok {
+						failing[id] = true
+					}
+				}
+			}
+			for s, exp := range cyc.FuncExpect {
+				if !exp.Matches(funcOut[s]) {
+					res.record(si, c, fmt.Sprintf("func[%d]", s))
+					if id, ok := slotOwner[s]; ok {
+						failing[id] = true
+					}
+				}
+			}
+			count++
+			return true
+		})
+		if err != nil {
+			return res, err
+		}
+		if count != layout.Cycles {
+			return res, fmt.Errorf("ate: session %d emitted %d of %d cycles", si, count, layout.Cycles)
+		}
+		if !chip.BISTSatisfied() {
+			return res, fmt.Errorf("ate: session %d ended before BIST completed", si)
+		}
+		res.SessionCycles = append(res.SessionCycles, count)
+		res.Cycles += count
+	}
+	if res.Mismatches > 0 {
+		res.Pass = false
+	}
+	for id := range failing {
+		res.FailingTests = append(res.FailingTests, id)
+	}
+	sort.Strings(res.FailingTests)
+	return res, nil
+}
+
+// layoutOwners maps TAM wires and functional slots to the test IDs that
+// own them in one session.
+func layoutOwners(layout pattern.SessionLayout) (map[int]string, map[int]string) {
+	wires := make(map[int]string)
+	slots := make(map[int]string)
+	for _, lane := range layout.Scan {
+		for ci := range lane.Plan.Chains {
+			wires[lane.WireLo+ci] = lane.Core.Name + ".scan"
+		}
+	}
+	for _, lane := range layout.Func {
+		for s := 0; s < lane.Slots; s++ {
+			slots[lane.SlotLo+s] = lane.Core.Name + ".func"
+		}
+	}
+	if ex := layout.Extest; ex != nil {
+		for _, cl := range ex.Cores {
+			for ci := range cl.Plan.Chains {
+				wires[cl.WireLo+ci] = "chip.extest"
+			}
+		}
+	}
+	return wires, slots
+}
+
+func (r *Result) record(session, cycle int, pin string) {
+	r.Mismatches++
+	if r.First == nil {
+		r.First = &Mismatch{Session: session, Cycle: cycle, Pin: pin}
+	}
+}
+
+// RunRecorded applies a tester file (pattern.ReadProgramFile) to the chip.
+// The chip's DFT configuration still comes from the translated program —
+// the file carries stimulus and expectations only, as on a real ATE.
+func RunRecorded(prog *pattern.Program, rec *pattern.RecordedProgram, chip *Chip) (Result, error) {
+	res := Result{Pass: true}
+	if rec.TamWidth != prog.TamWidth || rec.FuncBus != prog.FuncBus {
+		return res, fmt.Errorf("ate: recorded program geometry %d/%d does not match chip %d/%d",
+			rec.TamWidth, rec.FuncBus, prog.TamWidth, prog.FuncBus)
+	}
+	if len(rec.Sessions) != len(prog.Sessions) {
+		return res, fmt.Errorf("ate: recorded %d sessions, chip has %d",
+			len(rec.Sessions), len(prog.Sessions))
+	}
+	for si := range rec.Sessions {
+		if err := chip.StartSession(si); err != nil {
+			return res, err
+		}
+		for c := range rec.Sessions[si].Cycles {
+			cyc := &rec.Sessions[si].Cycles[c].Cycle
+			tamOut, funcOut := chip.Step(cyc)
+			for w, exp := range cyc.TamExpect {
+				if !exp.Matches(tamOut[w]) {
+					res.record(si, c, fmt.Sprintf("tam_out[%d]", w))
+				}
+			}
+			for s, exp := range cyc.FuncExpect {
+				if !exp.Matches(funcOut[s]) {
+					res.record(si, c, fmt.Sprintf("func[%d]", s))
+				}
+			}
+			res.Cycles++
+		}
+		res.SessionCycles = append(res.SessionCycles, len(rec.Sessions[si].Cycles))
+		if !chip.BISTSatisfied() {
+			return res, fmt.Errorf("ate: recorded session %d too short for BIST", si)
+		}
+	}
+	if res.Mismatches > 0 {
+		res.Pass = false
+	}
+	return res, nil
+}

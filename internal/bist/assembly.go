@@ -1,0 +1,196 @@
+package bist
+
+import (
+	"fmt"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/netlist"
+)
+
+// GroupSpec describes one sequencer group for netlist generation (the
+// structural mirror of Group, without live RAM instances).
+type GroupSpec struct {
+	Name string
+	Alg  march.Algorithm
+	Mems []memory.Config
+	// Backgrounds lists the data backgrounds the group is tested with
+	// (empty means one solid-background pass).
+	Backgrounds []uint64
+	// PauseBefore / PauseCycles configure retention-test pauses.
+	PauseBefore []int
+	PauseCycles int
+	// TestPortB appends the port-B verification pass for two-port macros.
+	TestPortB bool
+}
+
+// AreaReport itemizes the NAND2-equivalent cost of a generated BIST design.
+type AreaReport struct {
+	Controller float64
+	Sequencers float64
+	TPGs       float64
+}
+
+// Total returns the total BIST logic area.
+func (a AreaReport) Total() float64 { return a.Controller + a.Sequencers + a.TPGs }
+
+// GenerateRAMModule declares a behavioural SRAM macro module with the port
+// list the TPG drives.  Macro area is not NAND2 logic; the module carries a
+// conventional bitcell-equivalent figure (bits/4) that reports exclude from
+// logic-overhead percentages.
+func GenerateRAMModule(d *netlist.Design, cfg memory.Config) (*netlist.Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := netlist.NewModule("ram_" + cfg.Name)
+	m.Behavioral = true
+	m.AreaOverride = float64(cfg.BitCount()) / 4
+	m.Attrs["macro"] = "sram"
+	m.Attrs["geometry"] = cfg.String()
+	m.MustPort("CK", netlist.In, 1)
+	m.MustPort("ADDR", netlist.In, cfg.AddrBits())
+	m.MustPort("D", netlist.In, cfg.Bits)
+	m.MustPort("WE", netlist.In, 1)
+	m.MustPort("Q", netlist.Out, cfg.Bits)
+	if cfg.Kind == memory.TwoPort {
+		m.MustPort("ADDRB", netlist.In, cfg.AddrBits())
+		m.MustPort("QB", netlist.Out, cfg.Bits)
+	}
+	if err := d.AddModule(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GenerateBIST assembles the full Fig. 2 BIST subsystem into design d: the
+// shared controller, one sequencer per group, one TPG per memory, and the
+// behavioural RAM macros, all stitched in a module named topName.  It
+// returns the top module and the area report.
+func GenerateBIST(d *netlist.Design, topName string, groups []GroupSpec) (*netlist.Module, AreaReport, error) {
+	var report AreaReport
+	if len(groups) == 0 {
+		return nil, report, fmt.Errorf("bist: no groups")
+	}
+	top := netlist.NewModule(topName)
+	for _, p := range []string{PinMBS, PinMBR, PinMBC, PinMSI} {
+		top.MustPort(p, netlist.In, 1)
+	}
+	// MBG selects the data background (0 solid, 1 checkerboard); MPB
+	// selects the compared read port of two-port macros.  The tester
+	// re-runs the BIST per background / per port.
+	top.MustPort("MBG", netlist.In, 1)
+	top.MustPort("MPB", netlist.In, 1)
+	for _, p := range []string{PinMSO, PinMBO, PinMRD} {
+		top.MustPort(p, netlist.Out, 1)
+	}
+
+	ctlName := topName + "_ctl"
+	if _, err := GenerateController(d, ctlName, len(groups)); err != nil {
+		return nil, report, err
+	}
+	a, err := d.Area(ctlName)
+	if err != nil {
+		return nil, report, err
+	}
+	report.Controller = a
+
+	ctlConns := map[string]string{
+		PinMBS: PinMBS, PinMBR: PinMBR, PinMBC: PinMBC, PinMSI: PinMSI,
+		PinMSO: PinMSO, PinMBO: PinMBO, PinMRD: PinMRD,
+	}
+	for gi := range groups {
+		ctlConns[netlist.BitName("GDONE", gi, len(groups))] = fmt.Sprintf("gdone%d", gi)
+		ctlConns[netlist.BitName("GFAIL", gi, len(groups))] = fmt.Sprintf("gfail%d", gi)
+		ctlConns[netlist.BitName("GO", gi, len(groups))] = fmt.Sprintf("go%d", gi)
+	}
+	top.MustInstance("u_ctl", ctlName, ctlConns)
+
+	for gi, g := range groups {
+		if len(g.Mems) == 0 {
+			return nil, report, fmt.Errorf("bist: group %s has no memories", g.Name)
+		}
+		seqName := fmt.Sprintf("%s_seq_%s", topName, g.Name)
+		if _, err := GenerateSequencer(d, seqName, g.Alg); err != nil {
+			return nil, report, err
+		}
+		sa, err := d.Area(seqName)
+		if err != nil {
+			return nil, report, err
+		}
+		report.Sequencers += sa
+
+		pfx := fmt.Sprintf("g%d_", gi)
+		top.MustInstance("u_seq"+g.Name, seqName, map[string]string{
+			"CK": PinMBC, "RST": PinMBR, "EN": fmt.Sprintf("go%d", gi),
+			"ELEMDONE": pfx + "elemdone",
+			"CMDR":     pfx + "cmdr", "CMDD": pfx + "cmdd", "DIR": pfx + "dir",
+			"ADV": pfx + "adv", "DONE": fmt.Sprintf("gdone%d", gi), "RUN": pfx + "run",
+		})
+		// TPG enable = GO AND RUN (no spurious access after the last element).
+		top.MustInstance(pfx+"engate", netlist.CellAnd2,
+			map[string]string{"A": fmt.Sprintf("go%d", gi), "B": pfx + "run", "Z": pfx + "en"})
+
+		var elemDones, fails []string
+		for mi, cfg := range g.Mems {
+			if _, err := GenerateRAMModule(d, cfg); err != nil {
+				return nil, report, err
+			}
+			tpgName := fmt.Sprintf("%s_tpg_%s", topName, cfg.Name)
+			if _, err := GenerateTPG(d, tpgName, cfg); err != nil {
+				return nil, report, err
+			}
+			ta, err := d.Area(tpgName)
+			if err != nil {
+				return nil, report, err
+			}
+			report.TPGs += ta
+
+			mp := fmt.Sprintf("%sm%d_", pfx, mi)
+			tpgConns := map[string]string{
+				"CK": PinMBC, "RST": PinMBR, "EN": pfx + "en", "ADV": pfx + "adv",
+				"CMDR": pfx + "cmdr", "CMDD": pfx + "cmdd", "DIR": pfx + "dir",
+				"BGSEL": "MBG",
+				"WE":    mp + "we", "ELEMDONE": mp + "elemdone", "FAIL": mp + "fail",
+			}
+			ramConns := map[string]string{"CK": PinMBC, "WE": mp + "we"}
+			for b := 0; b < cfg.AddrBits(); b++ {
+				n := fmt.Sprintf("%saddr%d", mp, b)
+				tpgConns[netlist.BitName("ADDR", b, cfg.AddrBits())] = n
+				ramConns[netlist.BitName("ADDR", b, cfg.AddrBits())] = n
+				if cfg.Kind == memory.TwoPort {
+					ramConns[netlist.BitName("ADDRB", b, cfg.AddrBits())] = n
+				}
+			}
+			for b := 0; b < cfg.Bits; b++ {
+				dn := fmt.Sprintf("%sd%d", mp, b)
+				qn := fmt.Sprintf("%sq%d", mp, b)
+				tpgConns[netlist.BitName("D", b, cfg.Bits)] = dn
+				tpgConns[netlist.BitName("Q", b, cfg.Bits)] = qn
+				ramConns[netlist.BitName("D", b, cfg.Bits)] = dn
+				ramConns[netlist.BitName("Q", b, cfg.Bits)] = qn
+				if cfg.Kind == memory.TwoPort {
+					qb := fmt.Sprintf("%sqb%d", mp, b)
+					tpgConns[netlist.BitName("QB", b, cfg.Bits)] = qb
+					ramConns[netlist.BitName("QB", b, cfg.Bits)] = qb
+				}
+			}
+			if cfg.Kind == memory.TwoPort {
+				tpgConns["PBSEL"] = "MPB"
+			}
+			top.MustInstance("u_tpg_"+cfg.Name, tpgName, tpgConns)
+			top.MustInstance("u_ram_"+cfg.Name, "ram_"+cfg.Name, ramConns)
+			elemDones = append(elemDones, mp+"elemdone")
+			fails = append(fails, mp+"fail")
+		}
+		if _, err := netlist.AddAndTree(top, pfx+"eda", elemDones, pfx+"elemdone"); err != nil {
+			return nil, report, err
+		}
+		if _, err := netlist.AddOrTree(top, pfx+"flo", fails, fmt.Sprintf("gfail%d", gi)); err != nil {
+			return nil, report, err
+		}
+	}
+	if err := d.AddModule(top); err != nil {
+		return nil, report, err
+	}
+	return top, report, nil
+}

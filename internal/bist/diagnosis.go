@@ -1,0 +1,119 @@
+package bist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FailBit is one failing storage cell observed during BIST.
+type FailBit struct {
+	Addr int
+	Bit  int
+}
+
+// Diagnosis is the failure bitmap of one memory, read out through the
+// controller's serial port (MSO) in diagnosis mode.  Signature returns the
+// classical bitmap classification repair/analysis flows use.
+type Diagnosis struct {
+	Name      string
+	Fails     []FailBit
+	Truncated bool
+
+	seen map[FailBit]bool
+}
+
+// Signature classifies the failure bitmap: "none", "single-cell",
+// "column" (one bit position across multiple addresses), "row" (one
+// address across multiple bit positions), or "scattered".
+func (d Diagnosis) Signature() string {
+	switch {
+	case len(d.Fails) == 0:
+		return "none"
+	case len(d.Fails) == 1:
+		return "single-cell"
+	}
+	sameBit, sameAddr := true, true
+	for _, f := range d.Fails[1:] {
+		if f.Bit != d.Fails[0].Bit {
+			sameBit = false
+		}
+		if f.Addr != d.Fails[0].Addr {
+			sameAddr = false
+		}
+	}
+	switch {
+	case sameBit:
+		return "column"
+	case sameAddr:
+		return "row"
+	}
+	return "scattered"
+}
+
+// String renders a compact summary.
+func (d Diagnosis) String() string {
+	s := fmt.Sprintf("%s: %d failing bits (%s)", d.Name, len(d.Fails), d.Signature())
+	if d.Truncated {
+		s += " [truncated]"
+	}
+	return s
+}
+
+// EnableDiagnosis switches the engine from go/no-go to bitmap collection:
+// every failing (address, bit) is recorded, up to maxFails per memory
+// (0 selects a default of 4096).  Call before Run.
+func (e *Engine) EnableDiagnosis(maxFails int) {
+	if maxFails <= 0 {
+		maxFails = 4096
+	}
+	e.diagMax = maxFails
+}
+
+// Diagnoses returns the bitmaps collected by the last Run (nil unless
+// EnableDiagnosis was called), sorted by memory name.
+func (e *Engine) Diagnoses() []Diagnosis {
+	if e.diag == nil {
+		return nil
+	}
+	names := make([]string, 0, len(e.diag))
+	for n := range e.diag {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Diagnosis, 0, len(names))
+	for _, n := range names {
+		out = append(out, *e.diag[n])
+	}
+	return out
+}
+
+// recordFail adds a failing word's mismatching bits to the bitmap.
+func (e *Engine) recordFail(name string, addr int, got, want uint64, bits int) {
+	if e.diagMax == 0 {
+		return
+	}
+	if e.diag == nil {
+		e.diag = make(map[string]*Diagnosis)
+	}
+	d := e.diag[name]
+	if d == nil {
+		d = &Diagnosis{Name: name, seen: make(map[FailBit]bool)}
+		e.diag[name] = d
+	}
+	diff := got ^ want
+	for b := 0; b < bits && diff != 0; b++ {
+		if diff&(1<<b) == 0 {
+			continue
+		}
+		fb := FailBit{Addr: addr, Bit: b}
+		if d.seen[fb] {
+			continue
+		}
+		if len(d.Fails) >= e.diagMax {
+			d.Truncated = true
+			return
+		}
+		d.seen[fb] = true
+		d.Fails = append(d.Fails, fb)
+	}
+}

@@ -1,0 +1,426 @@
+package bist
+
+import (
+	"fmt"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/netlist"
+)
+
+// Structural generation of the Fig. 2 BIST blocks.  The generated hardware
+// assumes power-of-two word counts (the memory compiler pads macros up);
+// descending address orders are produced by reflecting the up-counter
+// through XOR gates, the classical BIST trick.  The behavioural Engine in
+// this package handles arbitrary word counts and is the functional
+// reference; the netlists exist to be inserted into the SOC design and to
+// account hardware cost in NAND2 equivalents.
+
+func bitsFor(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+func busBits(name string, w int) []string {
+	return netlist.Port{Name: name, Width: w}.Bits()
+}
+
+// addUpCounter builds an n-bit synchronous up counter with enable and
+// synchronous reset: on each ck edge, q <= rst ? 0 : (en ? q+1 : q).
+func addUpCounter(m *netlist.Module, name, ck, rst, en string, q []string) error {
+	n := len(q)
+	carry := en
+	for i := 0; i < n; i++ {
+		sum := fmt.Sprintf("%s_sum%d", name, i)
+		if _, err := m.AddInstance(fmt.Sprintf("%s_x%d", name, i), netlist.CellXor2,
+			map[string]string{"A": q[i], "B": carry, "Z": sum}); err != nil {
+			return err
+		}
+		// Synchronous reset: d = sum AND NOT rst.
+		nrst := name + "_nrst"
+		if i == 0 {
+			m.AddNet(nrst)
+			if _, err := m.AddInstance(name+"_rstinv", netlist.CellInv,
+				map[string]string{"A": rst, "Z": nrst}); err != nil {
+				return err
+			}
+		}
+		d := fmt.Sprintf("%s_d%d", name, i)
+		if _, err := m.AddInstance(fmt.Sprintf("%s_a%d", name, i), netlist.CellAnd2,
+			map[string]string{"A": sum, "B": nrst, "Z": d}); err != nil {
+			return err
+		}
+		if _, err := m.AddInstance(fmt.Sprintf("%s_ff%d", name, i), netlist.CellDFF,
+			map[string]string{"D": d, "CK": ck, "Q": q[i]}); err != nil {
+			return err
+		}
+		if i < n-1 {
+			nextCarry := fmt.Sprintf("%s_c%d", name, i+1)
+			if _, err := m.AddInstance(fmt.Sprintf("%s_cg%d", name, i), netlist.CellAnd2,
+				map[string]string{"A": carry, "B": q[i], "Z": nextCarry}); err != nil {
+				return err
+			}
+			carry = nextCarry
+		}
+	}
+	return nil
+}
+
+// addEqualsConst builds out = (q == value) for a register q.
+func addEqualsConst(m *netlist.Module, name string, q []string, value int, out string) error {
+	terms := make([]string, len(q))
+	for i := range q {
+		if value&(1<<i) != 0 {
+			terms[i] = q[i]
+			continue
+		}
+		inv := fmt.Sprintf("%s_qi%d", name, i)
+		if _, err := m.AddInstance(fmt.Sprintf("%s_inv%d", name, i), netlist.CellInv,
+			map[string]string{"A": q[i], "Z": inv}); err != nil {
+			return err
+		}
+		terms[i] = inv
+	}
+	_, err := netlist.AddAndTree(m, name+"_eq", terms, out)
+	return err
+}
+
+// GenerateTPG builds the per-memory Test Pattern Generator: an address
+// up-counter with descending-order reflection, data-background expansion,
+// a read comparator and a sticky fail flag.
+//
+// Ports: CK, RST, EN (group active: qualifies WE and the comparator), ADV
+// (word-advance pulse from the sequencer: steps the address counter), CMDR
+// (command is a read), CMDD (March data value), DIR (1 = descending),
+// Q[bits] from the RAM; outputs ADDR[addrBits], D[bits], WE, ELEMDONE
+// (address sweep finished) and FAIL.
+func GenerateTPG(d *netlist.Design, name string, cfg memory.Config) (*netlist.Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ab := cfg.AddrBits()
+	m := netlist.NewModule(name)
+	for _, p := range []string{"CK", "RST", "EN", "ADV", "CMDR", "CMDD", "DIR", "BGSEL"} {
+		m.MustPort(p, netlist.In, 1)
+	}
+	m.MustPort("Q", netlist.In, cfg.Bits)
+	if cfg.Kind == memory.TwoPort {
+		// Port-B verification: QB is compared instead of Q when PBSEL=1.
+		m.MustPort("QB", netlist.In, cfg.Bits)
+		m.MustPort("PBSEL", netlist.In, 1)
+	}
+	m.MustPort("ADDR", netlist.Out, ab)
+	m.MustPort("D", netlist.Out, cfg.Bits)
+	m.MustPort("WE", netlist.Out, 1)
+	m.MustPort("ELEMDONE", netlist.Out, 1)
+	m.MustPort("FAIL", netlist.Out, 1)
+
+	// Address counter steps on ADV (last op of each word) and wraps
+	// naturally at the power-of-two boundary for the next element.
+	cnt := busBits("cnt", ab)
+	for _, c := range cnt {
+		m.AddNet(c)
+	}
+	if err := addUpCounter(m, "ac", "CK", "RST", "ADV", cnt); err != nil {
+		return nil, err
+	}
+	// Descending reflection: ADDR = cnt XOR DIR.
+	for i := 0; i < ab; i++ {
+		if _, err := m.AddInstance(fmt.Sprintf("ar%d", i), netlist.CellXor2,
+			map[string]string{"A": cnt[i], "B": "DIR", "Z": netlist.BitName("ADDR", i, ab)}); err != nil {
+			return nil, err
+		}
+	}
+	// Terminal count -> ELEMDONE.
+	if err := addEqualsConst(m, "tc", cnt, cfg.Words-1, "ELEMDONE"); err != nil {
+		return nil, err
+	}
+	// Data expansion: BGSEL=0 gives the solid background (D[i] = CMDD),
+	// BGSEL=1 the checkerboard (odd bits inverted).  The comparator below
+	// compares against the same expanded data, so both passes self-check.
+	for i := 0; i < cfg.Bits; i++ {
+		out := netlist.BitName("D", i, cfg.Bits)
+		if i%2 == 1 {
+			if _, err := m.AddInstance(fmt.Sprintf("dx%d", i), netlist.CellXor2,
+				map[string]string{"A": "CMDD", "B": "BGSEL", "Z": out}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := m.AddInstance(fmt.Sprintf("dx%d", i), netlist.CellBuf,
+			map[string]string{"A": "CMDD", "Z": out}); err != nil {
+			return nil, err
+		}
+	}
+	// WE = EN-qualified write command.
+	m.MustInstance("winv", netlist.CellInv, map[string]string{"A": "CMDR", "Z": "nread"})
+	m.MustInstance("wand", netlist.CellAnd2, map[string]string{"A": "nread", "B": "EN", "Z": "WE"})
+	// Comparator: mismatch on any bit during a read (two-port macros
+	// compare the PBSEL-selected port).
+	xors := make([]string, cfg.Bits)
+	for i := 0; i < cfg.Bits; i++ {
+		src := netlist.BitName("Q", i, cfg.Bits)
+		if cfg.Kind == memory.TwoPort {
+			sel := fmt.Sprintf("qsel%d", i)
+			m.AddNet(sel)
+			if _, err := m.AddInstance(fmt.Sprintf("qm%d", i), netlist.CellMux2,
+				map[string]string{"A": src, "B": netlist.BitName("QB", i, cfg.Bits),
+					"S": "PBSEL", "Z": sel}); err != nil {
+				return nil, err
+			}
+			src = sel
+		}
+		xors[i] = fmt.Sprintf("cmp%d", i)
+		m.AddNet(xors[i])
+		if _, err := m.AddInstance(fmt.Sprintf("cx%d", i), netlist.CellXor2,
+			map[string]string{"A": src, "B": netlist.BitName("D", i, cfg.Bits), "Z": xors[i]}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := netlist.AddOrTree(m, "mis", xors, "mismatch"); err != nil {
+		return nil, err
+	}
+	m.MustInstance("misr", netlist.CellAnd2, map[string]string{"A": "mismatch", "B": "CMDR", "Z": "rdmis"})
+	m.MustInstance("misq", netlist.CellAnd2, map[string]string{"A": "rdmis", "B": "EN", "Z": "qmis"})
+	// Sticky fail flag.
+	m.MustInstance("for", netlist.CellOr2, map[string]string{"A": "qmis", "B": "FAIL", "Z": "fnext"})
+	m.MustInstance("fclr", netlist.CellInv, map[string]string{"A": "RST", "Z": "nrstf"})
+	m.MustInstance("fand", netlist.CellAnd2, map[string]string{"A": "fnext", "B": "nrstf", "Z": "fd"})
+	m.MustInstance("fff", netlist.CellDFF, map[string]string{"D": "fd", "CK": "CK", "Q": "FAIL"})
+	if err := d.AddModule(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GenerateSequencer builds the March sequencer: an op counter and an
+// element counter plus the algorithm ROM decoded to the command lines.
+//
+// Ports: CK, RST, EN, ELEMDONE (all TPGs finished the element sweep);
+// outputs CMDR, CMDD, DIR, ADV (word advance, pulses on the last op), DONE
+// (algorithm finished) and RUN (its complement, used to gate the TPG
+// enables so no spurious write fires after the last element).
+func GenerateSequencer(d *netlist.Design, name string, alg march.Algorithm) (*netlist.Module, error) {
+	if err := alg.Validate(); err != nil {
+		return nil, err
+	}
+	nElem := len(alg.Elements)
+	maxOps := 0
+	for _, e := range alg.Elements {
+		if len(e.Ops) > maxOps {
+			maxOps = len(e.Ops)
+		}
+	}
+	eb, ob := bitsFor(nElem+1), bitsFor(maxOps)
+	m := netlist.NewModule(name)
+	for _, p := range []string{"CK", "RST", "EN", "ELEMDONE"} {
+		m.MustPort(p, netlist.In, 1)
+	}
+	for _, p := range []string{"CMDR", "CMDD", "DIR", "ADV", "DONE", "RUN"} {
+		m.MustPort(p, netlist.Out, 1)
+	}
+	ecnt, ocnt := busBits("ecnt", eb), busBits("ocnt", ob)
+	for _, n := range append(append([]string{}, ecnt...), ocnt...) {
+		m.AddNet(n)
+	}
+	// One-hot decodes of the element and op counters.
+	eHot := make([]string, nElem+1)
+	for i := range eHot {
+		eHot[i] = fmt.Sprintf("eh%d", i)
+		m.AddNet(eHot[i])
+	}
+	if _, err := netlist.AddDecoder(m, "edec", ecnt, "", eHot); err != nil {
+		return nil, err
+	}
+	oHot := make([]string, maxOps)
+	for i := range oHot {
+		oHot[i] = fmt.Sprintf("oh%d", i)
+		m.AddNet(oHot[i])
+	}
+	if _, err := netlist.AddDecoder(m, "odec", ocnt, "", oHot); err != nil {
+		return nil, err
+	}
+	// ROM: minterms for read commands, data=1 commands, last-op flags and
+	// descending elements.
+	var readT, dataT, lastT, dirT []string
+	mt := 0
+	minterm := func(e, o int) (string, error) {
+		n := fmt.Sprintf("mt%d", mt)
+		mt++
+		m.AddNet(n)
+		_, err := m.AddInstance("mi"+n, netlist.CellAnd2,
+			map[string]string{"A": eHot[e], "B": oHot[o], "Z": n})
+		return n, err
+	}
+	for ei, e := range alg.Elements {
+		if e.Order == march.Down {
+			dirT = append(dirT, eHot[ei])
+		}
+		for oi, op := range e.Ops {
+			if op.Read {
+				t, err := minterm(ei, oi)
+				if err != nil {
+					return nil, err
+				}
+				readT = append(readT, t)
+			}
+			if op.Value == 1 {
+				t, err := minterm(ei, oi)
+				if err != nil {
+					return nil, err
+				}
+				dataT = append(dataT, t)
+			}
+		}
+		t, err := minterm(ei, len(e.Ops)-1)
+		if err != nil {
+			return nil, err
+		}
+		lastT = append(lastT, t)
+	}
+	emitOr := func(terms []string, out string) error {
+		if len(terms) == 0 {
+			_, err := m.AddInstance(out+"_tie", netlist.CellTie0, map[string]string{"Z": out})
+			return err
+		}
+		_, err := netlist.AddOrTree(m, out+"_or", terms, out)
+		return err
+	}
+	if err := emitOr(readT, "CMDR"); err != nil {
+		return nil, err
+	}
+	if err := emitOr(dataT, "CMDD"); err != nil {
+		return nil, err
+	}
+	if err := emitOr(dirT, "DIR"); err != nil {
+		return nil, err
+	}
+	if err := emitOr(lastT, "lastop"); err != nil {
+		return nil, err
+	}
+	// ADV pulses on the last op of each word while enabled and running.
+	m.MustInstance("ninv", netlist.CellInv, map[string]string{"A": "DONE", "Z": "RUN"})
+	m.MustInstance("adv1", netlist.CellAnd2, map[string]string{"A": "lastop", "B": "EN", "Z": "adv_en"})
+	m.MustInstance("adv2", netlist.CellAnd2, map[string]string{"A": "adv_en", "B": "RUN", "Z": "ADV"})
+	// Op counter: increments while enabled, resets on last op or RST.
+	m.MustInstance("orst", netlist.CellOr2, map[string]string{"A": "RST", "B": "ADV", "Z": "oprst"})
+	if err := addUpCounter(m, "oc", "CK", "oprst", "EN", ocnt); err != nil {
+		return nil, err
+	}
+	// Element counter: increments when the element sweep completes.
+	m.MustInstance("eadv", netlist.CellAnd2, map[string]string{"A": "ADV", "B": "ELEMDONE", "Z": "elemadv"})
+	if err := addUpCounter(m, "ec", "CK", "RST", "elemadv", ecnt); err != nil {
+		return nil, err
+	}
+	if err := addEqualsConst(m, "dn", ecnt, nElem, "DONE"); err != nil {
+		return nil, err
+	}
+	if err := d.AddModule(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GenerateController builds the shared BIST controller for nGroups
+// sequencer groups and the tester interface pins of Fig. 2.
+//
+// Ports: the tester pins (MBS, MBR, MBC, MSI, MSO, MBO, MRD) plus, per
+// group, GDONE[i]/GFAIL[i] inputs and GO[i] outputs.
+func GenerateController(d *netlist.Design, name string, nGroups int) (*netlist.Module, error) {
+	if nGroups < 1 {
+		return nil, fmt.Errorf("bist: controller needs at least one group")
+	}
+	m := netlist.NewModule(name)
+	for _, p := range []string{PinMBS, PinMBR, PinMBC, PinMSI} {
+		m.MustPort(p, netlist.In, 1)
+	}
+	for _, p := range []string{PinMSO, PinMBO, PinMRD} {
+		m.MustPort(p, netlist.Out, 1)
+	}
+	m.MustPort("GDONE", netlist.In, nGroups)
+	m.MustPort("GFAIL", netlist.In, nGroups)
+	m.MustPort("GO", netlist.Out, nGroups)
+
+	gb := bitsFor(nGroups + 1)
+	gcnt := busBits("gcnt", gb)
+	for _, n := range gcnt {
+		m.AddNet(n)
+	}
+	// Running flag: set by MBS, cleared by MBR or MBO.
+	m.MustInstance("rset", netlist.CellOr2, map[string]string{"A": PinMBS, "B": "run", "Z": "rs"})
+	m.MustInstance("rov", netlist.CellInv, map[string]string{"A": PinMBO, "Z": "nover"})
+	m.MustInstance("rrst", netlist.CellInv, map[string]string{"A": PinMBR, "Z": "nrst"})
+	m.MustInstance("ra1", netlist.CellAnd2, map[string]string{"A": "rs", "B": "nover", "Z": "ra"})
+	m.MustInstance("ra2", netlist.CellAnd2, map[string]string{"A": "ra", "B": "nrst", "Z": "rd"})
+	m.MustInstance("rff", netlist.CellDFF, map[string]string{"D": "rd", "CK": PinMBC, "Q": "run"})
+
+	// Active-group one-hot; GO[i] = hot[i] AND run.
+	hot := make([]string, nGroups+1)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("hot%d", i)
+		m.AddNet(hot[i])
+	}
+	if _, err := netlist.AddDecoder(m, "gdec", gcnt, "", hot); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nGroups; i++ {
+		m.MustInstance(fmt.Sprintf("go%d", i), netlist.CellAnd2,
+			map[string]string{"A": hot[i], "B": "run", "Z": netlist.BitName("GO", i, nGroups)})
+	}
+	// Advance when the active group reports done.
+	adv := make([]string, nGroups)
+	for i := 0; i < nGroups; i++ {
+		adv[i] = fmt.Sprintf("adv%d", i)
+		m.AddNet(adv[i])
+		m.MustInstance(fmt.Sprintf("ad%d", i), netlist.CellAnd2,
+			map[string]string{"A": netlist.BitName("GO", i, nGroups), "B": netlist.BitName("GDONE", i, nGroups), "Z": adv[i]})
+	}
+	if _, err := netlist.AddOrTree(m, "advor", adv, "gadv"); err != nil {
+		return nil, err
+	}
+	if err := addUpCounter(m, "gc", PinMBC, PinMBR, "gadv", gcnt); err != nil {
+		return nil, err
+	}
+	if err := addEqualsConst(m, "ov", gcnt, nGroups, "over"); err != nil {
+		return nil, err
+	}
+	m.MustInstance("ovb", netlist.CellBuf, map[string]string{"A": "over", "Z": PinMBO})
+	// Sticky per-group fail flags feed MRD (go/no-go, active high = pass)
+	// and MSO (serial diagnosis, selected by the group counter).
+	fails := make([]string, nGroups)
+	for i := 0; i < nGroups; i++ {
+		fl := fmt.Sprintf("fl%d", i)
+		fails[i] = fl
+		m.AddNet(fl)
+		cap := fmt.Sprintf("fc%d", i)
+		m.AddNet(cap)
+		m.MustInstance(fmt.Sprintf("fa%d", i), netlist.CellAnd2,
+			map[string]string{"A": netlist.BitName("GFAIL", i, nGroups), "B": netlist.BitName("GO", i, nGroups), "Z": cap})
+		m.MustInstance(fmt.Sprintf("fo%d", i), netlist.CellOr2,
+			map[string]string{"A": cap, "B": fl, "Z": fmt.Sprintf("fn%d", i)})
+		m.MustInstance(fmt.Sprintf("fr%d", i), netlist.CellAnd2,
+			map[string]string{"A": fmt.Sprintf("fn%d", i), "B": "nrst", "Z": fmt.Sprintf("fd%d", i)})
+		m.MustInstance(fmt.Sprintf("ff%d", i), netlist.CellDFF,
+			map[string]string{"D": fmt.Sprintf("fd%d", i), "CK": PinMBC, "Q": fl})
+	}
+	if _, err := netlist.AddOrTree(m, "anyfail", fails, "failany"); err != nil {
+		return nil, err
+	}
+	m.MustInstance("mrd", netlist.CellInv, map[string]string{"A": "failany", "Z": PinMRD})
+	// Serial diagnosis output: group fail flag selected by the counter,
+	// qualified by the serial command input (MSI acts as output enable).
+	if _, err := netlist.AddMuxTree(m, "somux", fails, gcnt[:bitsFor(nGroups)], "sosel"); err != nil {
+		return nil, err
+	}
+	m.MustInstance("soq", netlist.CellAnd2, map[string]string{"A": "sosel", "B": PinMSI, "Z": PinMSO})
+	if err := d.AddModule(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,25 @@
+package brains_test
+
+import (
+	"fmt"
+
+	"steac/internal/brains"
+	"steac/internal/memory"
+)
+
+func ExampleCompile() {
+	res, err := brains.Compile([]memory.Config{
+		{Name: "buf", Words: 4096, Bits: 16},
+		{Name: "fifo", Words: 512, Bits: 32, Kind: memory.TwoPort},
+	}, brains.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d sequencer groups, %d sessions\n", len(res.Groups), len(res.Sessions))
+	fmt.Printf("BIST time: %d cycles (%s at %v MHz: %.2f ms)\n",
+		res.Cycles, res.Opts.Algorithm.Name, res.Opts.ClockMHz, res.TestTimeMS())
+	// Output:
+	// 2 sequencer groups, 1 sessions
+	// BIST time: 40960 cycles (March C- at 100 MHz: 0.41 ms)
+}

@@ -1,0 +1,303 @@
+package brains
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/report"
+)
+
+// Shell is the BRAINS command shell (the paper's non-GUI entry point).
+// Commands:
+//
+//	mem <name> <words> <bits> [1|2]   add a memory macro (1- or 2-port)
+//	alg <march name>                  select the March algorithm
+//	algdef <name> <notation>          define a custom algorithm
+//	group kind|single|permem          sequencer grouping strategy
+//	power <max>                       power bound for parallel sessions
+//	clock <mhz>                       BIST clock for time reports
+//	compile                           plan + generate the BIST design
+//	report                            print plan, area and test time
+//	evaluate <words> <bits>           March efficiency table
+//	verilog                           emit the generated netlist
+//	help                              list commands
+type Shell struct {
+	out  io.Writer
+	mems []memory.Config
+	opts Options
+	res  *Result
+}
+
+// NewShell creates a shell writing command output to out.
+func NewShell(out io.Writer) *Shell {
+	return &Shell{out: out, opts: Options{}.withDefaults()}
+}
+
+// Result returns the last successful compilation, or nil.
+func (s *Shell) Result() *Result { return s.res }
+
+// Exec runs one command line.  Empty lines and #-comments are ignored.
+func (s *Shell) Exec(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "mem":
+		return s.cmdMem(args)
+	case "alg":
+		name := strings.Join(args, " ")
+		a, ok := march.ByName(name)
+		if !ok {
+			return fmt.Errorf("brains: unknown algorithm %q (try 'March C-')", name)
+		}
+		s.opts.Algorithm = a
+		fmt.Fprintf(s.out, "algorithm %s (%dN)\n", a.Name, a.Complexity())
+		return nil
+	case "algdef":
+		if len(args) < 2 {
+			return fmt.Errorf("brains: usage: algdef <name> <notation>")
+		}
+		a, err := march.Parse(args[0], strings.Join(args[1:], " "))
+		if err != nil {
+			return err
+		}
+		s.opts.Algorithm = a
+		fmt.Fprintf(s.out, "algorithm %s (%dN) defined\n", a.Name, a.Complexity())
+		return nil
+	case "group":
+		if len(args) != 1 {
+			return fmt.Errorf("brains: usage: group kind|single|permem")
+		}
+		switch args[0] {
+		case "kind":
+			s.opts.Grouping = GroupByKind
+		case "single":
+			s.opts.Grouping = GroupSingle
+		case "permem":
+			s.opts.Grouping = GroupPerMemory
+		default:
+			return fmt.Errorf("brains: unknown grouping %q", args[0])
+		}
+		fmt.Fprintf(s.out, "grouping %s\n", s.opts.Grouping)
+		return nil
+	case "power":
+		if len(args) != 1 {
+			return fmt.Errorf("brains: usage: power <max>")
+		}
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("brains: bad power bound %q", args[0])
+		}
+		s.opts.MaxPower = v
+		return nil
+	case "clock":
+		if len(args) != 1 {
+			return fmt.Errorf("brains: usage: clock <mhz>")
+		}
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("brains: bad clock %q", args[0])
+		}
+		s.opts.ClockMHz = v
+		return nil
+	case "backgrounds":
+		if len(args) != 1 {
+			return fmt.Errorf("brains: usage: backgrounds 1|2")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 || n > 2 {
+			return fmt.Errorf("brains: backgrounds must be 1 or 2, got %q", args[0])
+		}
+		s.opts.Backgrounds = n
+		fmt.Fprintf(s.out, "data backgrounds: %d\n", n)
+		return nil
+	case "portb":
+		if len(args) != 1 || (args[0] != "on" && args[0] != "off") {
+			return fmt.Errorf("brains: usage: portb on|off")
+		}
+		s.opts.PortBTest = args[0] == "on"
+		fmt.Fprintf(s.out, "port-B verification: %t\n", s.opts.PortBTest)
+		return nil
+	case "retention":
+		switch {
+		case len(args) == 1 && args[0] == "off":
+			s.opts.Retention = false
+			s.opts.RetentionPauseCycles = 0
+		case len(args) >= 1 && args[0] == "on":
+			s.opts.Retention = true
+			if len(args) == 2 {
+				n, err := strconv.Atoi(args[1])
+				if err != nil || n <= 0 {
+					return fmt.Errorf("brains: bad pause cycles %q", args[1])
+				}
+				s.opts.RetentionPauseCycles = n
+			}
+		default:
+			return fmt.Errorf("brains: usage: retention on [cycles] | off")
+		}
+		fmt.Fprintf(s.out, "retention test: %t\n", s.opts.Retention)
+		return nil
+	case "compile":
+		res, err := Compile(s.mems, s.opts)
+		if err != nil {
+			return err
+		}
+		s.res = res
+		fmt.Fprintf(s.out, "compiled: %d memories, %d sequencers, %d sessions, %s cycles\n",
+			len(s.mems), len(res.Groups), len(res.Sessions), report.Comma(res.Cycles))
+		return nil
+	case "report":
+		if s.res == nil {
+			return fmt.Errorf("brains: nothing compiled yet")
+		}
+		fmt.Fprint(s.out, Report(s.res))
+		return nil
+	case "evaluate":
+		if len(args) != 2 {
+			return fmt.Errorf("brains: usage: evaluate <words> <bits>")
+		}
+		words, err1 := strconv.Atoi(args[0])
+		bits, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("brains: bad geometry %q %q", args[0], args[1])
+		}
+		rows, err := Evaluate(memory.Config{Name: "eval", Words: words, Bits: bits}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, EvaluationTable(rows))
+		return nil
+	case "verilog":
+		if s.res == nil {
+			return fmt.Errorf("brains: nothing compiled yet")
+		}
+		return s.res.Design.EmitVerilog(s.out)
+	case "help":
+		fmt.Fprint(s.out, helpText)
+		return nil
+	default:
+		return fmt.Errorf("brains: unknown command %q (try 'help')", cmd)
+	}
+}
+
+func (s *Shell) cmdMem(args []string) error {
+	if len(args) < 3 || len(args) > 4 {
+		return fmt.Errorf("brains: usage: mem <name> <words> <bits> [1|2]")
+	}
+	words, err1 := strconv.Atoi(args[1])
+	bits, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("brains: bad geometry %q %q", args[1], args[2])
+	}
+	kind := memory.SinglePort
+	if len(args) == 4 {
+		switch args[3] {
+		case "1":
+		case "2":
+			kind = memory.TwoPort
+		default:
+			return fmt.Errorf("brains: ports must be 1 or 2, got %q", args[3])
+		}
+	}
+	cfg := memory.Config{Name: args[0], Words: words, Bits: bits, Kind: kind}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	for _, m := range s.mems {
+		if m.Name == cfg.Name {
+			return fmt.Errorf("brains: memory %q already defined", cfg.Name)
+		}
+	}
+	s.mems = append(s.mems, cfg)
+	fmt.Fprintf(s.out, "added %s\n", cfg)
+	return nil
+}
+
+const helpText = `BRAINS memory BIST compiler
+  mem <name> <words> <bits> [1|2]
+  alg <march name> | algdef <name> <notation>
+  group kind|single|permem
+  power <max> | clock <mhz>
+  backgrounds 1|2 | retention on [cycles] | retention off | portb on|off
+  compile | report | evaluate <words> <bits> | verilog
+`
+
+// Report renders the compilation result: groups, sessions, hardware cost
+// and test time.
+func Report(res *Result) string {
+	var sb strings.Builder
+	tg := report.NewTable("BIST plan ("+res.Opts.Algorithm.Name+", grouping "+res.Opts.Grouping.String()+")",
+		"Group", "Memories", "Largest", "Cycles", "Power")
+	for _, g := range res.Groups {
+		largest := 0
+		for _, m := range g.Mems {
+			if m.Words > largest {
+				largest = m.Words
+			}
+		}
+		tg.Row(g.Name, len(g.Mems), largest, report.Comma(GroupCycles(g)), GroupPower(g))
+	}
+	sb.WriteString(tg.String())
+	sb.WriteByte('\n')
+
+	ts := report.NewTable("BIST sessions", "Session", "Groups", "Cycles", "Power")
+	for i, s := range res.Sessions {
+		names := make([]string, len(s.Groups))
+		for j, gi := range s.Groups {
+			names[j] = res.Groups[gi].Name
+		}
+		ts.Row(i+1, strings.Join(names, "+"), report.Comma(s.Cycles), s.Power)
+	}
+	sb.WriteString(ts.String())
+	sb.WriteByte('\n')
+
+	ta := report.NewTable("BIST hardware (NAND2-equivalent gates)", "Block", "Gates")
+	ta.Row("Controller", res.Area.Controller)
+	ta.Row("Sequencers", res.Area.Sequencers)
+	ta.Row("TPGs", res.Area.TPGs)
+	ta.Row("Total", res.Area.Total())
+	sb.WriteString(ta.String())
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "total BIST time: %s cycles (%.3f ms @ %.0f MHz)\n",
+		report.Comma(res.Cycles), res.TestTimeMS(), res.Opts.ClockMHz)
+	return sb.String()
+}
+
+// EvaluationTable renders the March efficiency comparison.
+func EvaluationTable(rows []EvalRow) string {
+	t := report.NewTable("March test efficiency",
+		"Algorithm", "Ops/word", "Cycles", "Coverage%", "SAF%", "TF%", "CF%", "AF%", "SOF%")
+	for _, r := range rows {
+		cf := avg(r.Coverage.ClassPercent("CFin"), r.Coverage.ClassPercent("CFid"),
+			r.Coverage.ClassPercent("CFst"))
+		t.Row(r.Alg.Name, r.Complexity, report.Comma(r.Cycles),
+			fmt.Sprintf("%.1f", r.Coverage.Percent()),
+			fmt.Sprintf("%.0f", r.Coverage.ClassPercent("SAF")),
+			fmt.Sprintf("%.0f", r.Coverage.ClassPercent("TF")),
+			fmt.Sprintf("%.1f", cf),
+			fmt.Sprintf("%.0f", r.Coverage.ClassPercent("AF")),
+			fmt.Sprintf("%.1f", r.Coverage.ClassPercent("SOF")))
+	}
+	return t.String()
+}
+
+func avg(vals ...float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v >= 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}

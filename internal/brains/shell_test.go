@@ -1,0 +1,146 @@
+package brains
+
+import (
+	"strings"
+	"testing"
+)
+
+func execAll(t *testing.T, s *Shell, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := s.Exec(l); err != nil {
+			t.Fatalf("exec %q: %v", l, err)
+		}
+	}
+}
+
+func TestShellFullSession(t *testing.T) {
+	var out strings.Builder
+	s := NewShell(&out)
+	execAll(t, s,
+		"# DSC-style memory set",
+		"",
+		"mem lbuf 2048 16",
+		"mem jq 512 8 1",
+		"mem fifo 256 32 2",
+		"alg March C-",
+		"group kind",
+		"power 6",
+		"clock 50",
+		"compile",
+		"report",
+	)
+	if s.Result() == nil {
+		t.Fatal("no result after compile")
+	}
+	text := out.String()
+	for _, want := range []string{"added lbuf", "algorithm March C- (10N)", "compiled", "BIST plan"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("shell output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestShellEvaluateAndVerilog(t *testing.T) {
+	var out strings.Builder
+	s := NewShell(&out)
+	execAll(t, s,
+		"mem a 16 2",
+		"compile",
+		"evaluate 8 2",
+		"verilog",
+		"help",
+	)
+	text := out.String()
+	if !strings.Contains(text, "March test efficiency") {
+		t.Fatal("evaluate output missing")
+	}
+	if !strings.Contains(text, "module membist") {
+		t.Fatal("verilog output missing")
+	}
+	if !strings.Contains(text, "BRAINS memory BIST compiler") {
+		t.Fatal("help output missing")
+	}
+}
+
+func TestShellCustomAlgorithm(t *testing.T) {
+	var out strings.Builder
+	s := NewShell(&out)
+	execAll(t, s, "algdef mymarch { b(w0); u(r0,w1); d(r1,w0); b(r0) }")
+	if !strings.Contains(out.String(), "mymarch (6N)") {
+		t.Fatalf("custom algorithm: %s", out.String())
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	var out strings.Builder
+	s := NewShell(&out)
+	for _, bad := range []string{
+		"bogus",
+		"mem onlyname",
+		"mem x nan 8",
+		"mem x 8 8 3",
+		"alg NotAMarch",
+		"algdef broken u r0",
+		"group sideways",
+		"group",
+		"power -1",
+		"power",
+		"clock zero",
+		"compile", // no memories
+		"report",  // nothing compiled
+		"verilog",
+		"evaluate 1",
+		"evaluate a b",
+	} {
+		if err := s.Exec(bad); err == nil {
+			t.Errorf("command %q accepted", bad)
+		}
+	}
+	// Duplicate memory.
+	execAll(t, s, "mem m 16 4")
+	if err := s.Exec("mem m 16 4"); err == nil {
+		t.Error("duplicate memory accepted")
+	}
+}
+
+func TestShellBackgroundsAndRetention(t *testing.T) {
+	var out strings.Builder
+	s := NewShell(&out)
+	execAll(t, s,
+		"mem m 1024 8",
+		"backgrounds 2",
+		"retention on 5000",
+		"compile",
+	)
+	res := s.Result()
+	if res == nil || res.Opts.Backgrounds != 2 || !res.Opts.Retention {
+		t.Fatalf("options not applied: %+v", res.Opts)
+	}
+	// 10N x 2 backgrounds + 2 pauses x 5000 x 2 backgrounds.
+	if want := (10*1024 + 2*5000) * 2; res.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", res.Cycles, want)
+	}
+	execAll(t, s, "retention off")
+	for _, bad := range []string{"backgrounds 3", "backgrounds x", "backgrounds",
+		"retention", "retention maybe", "retention on zero"} {
+		if err := s.Exec(bad); err == nil {
+			t.Errorf("command %q accepted", bad)
+		}
+	}
+}
+
+func TestShellPortB(t *testing.T) {
+	var out strings.Builder
+	s := NewShell(&out)
+	execAll(t, s, "mem tp 256 16 2", "portb on", "compile")
+	if res := s.Result(); res == nil || !res.Opts.PortBTest {
+		t.Fatal("portb option not applied")
+	}
+	if res := s.Result(); res.Cycles != 10*256+4*256 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+	if err := s.Exec("portb sideways"); err == nil {
+		t.Fatal("bad portb arg accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package controller
+
+import (
+	"testing"
+
+	"steac/internal/netlist"
+)
+
+func dscSpec() Spec {
+	return Spec{
+		Sessions: 3,
+		Cores: []CoreCtl{
+			{Name: "USB", TestEnables: 6, ScanEnables: 1, ActiveSessions: []int{0}},
+			{Name: "TV", TestEnables: 1, ScanEnables: 1, ActiveSessions: []int{1}},
+			{Name: "JPEG", ActiveSessions: []int{1}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := dscSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Spec{Sessions: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("0 sessions accepted")
+	}
+	dup := Spec{Sessions: 1, Cores: []CoreCtl{{Name: "a"}, {Name: "a"}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate core accepted")
+	}
+	oob := Spec{Sessions: 2, Cores: []CoreCtl{{Name: "a", ActiveSessions: []int{2}}}}
+	if err := oob.Validate(); err == nil {
+		t.Fatal("out-of-range session accepted")
+	}
+}
+
+func TestGenerateLintAndArea(t *testing.T) {
+	d := netlist.NewDesign("d", nil)
+	m, err := Generate(d, "tacs", dscSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := d.Lint(); len(issues) != 0 {
+		t.Fatalf("lint: %v", issues)
+	}
+	a, err := d.Area(m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~371 gates for the DSC's controller; ours must be
+	// in the same small-block regime.
+	if a < 80 || a > 800 {
+		t.Fatalf("controller area = %v gates, outside the plausible regime", a)
+	}
+}
+
+func TestGateLevelSequencing(t *testing.T) {
+	d := netlist.NewDesign("d", nil)
+	if _, err := Generate(d, "tacs", dscSpec()); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(d, "tacs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() {
+		t.Helper()
+		if err := sim.Tick("TCK"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Set("TRST", true)
+	tick()
+	sim.Set("TRST", false)
+	tick() // registers the session-0 active flags
+
+	// Session 0: USB active, TV/JPEG quiet.
+	if !sim.Get("USB_MODE") || sim.Get("TV_MODE") || sim.Get("JPEG_MODE") {
+		t.Fatalf("session 0 modes: usb=%v tv=%v jpeg=%v",
+			sim.Get("USB_MODE"), sim.Get("TV_MODE"), sim.Get("JPEG_MODE"))
+	}
+	for i := 0; i < 6; i++ {
+		if !sim.GetBus("USB_TE", 6)[i] {
+			t.Fatalf("USB_TE[%d] low while active", i)
+		}
+	}
+	// SE fans out only to the active core.
+	sim.Set("SE", true)
+	if err := sim.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Get("USB_SE") || sim.Get("TV_SE") {
+		t.Fatal("SE gating wrong in session 0")
+	}
+	// Advance to session 1.
+	sim.Set("TNEXT", true)
+	tick()
+	sim.Set("TNEXT", false)
+	tick() // register new active flags
+	if sim.Get("USB_MODE") || !sim.Get("TV_MODE") || !sim.Get("JPEG_MODE") {
+		t.Fatal("session 1 modes wrong")
+	}
+	if sim.Get("USB_SE") || !sim.Get("TV_SE") {
+		t.Fatal("SE gating wrong in session 1")
+	}
+	// Session select feeds the TAM mux.
+	if !sim.Get("SESS[0]") || sim.Get("SESS[1]") {
+		t.Fatalf("SESS = %v%v", sim.Get("SESS[0]"), sim.Get("SESS[1]"))
+	}
+	// Advance to session 2: everyone quiet.
+	sim.Set("TNEXT", true)
+	tick()
+	sim.Set("TNEXT", false)
+	tick()
+	if sim.Get("USB_MODE") || sim.Get("TV_MODE") || sim.Get("JPEG_MODE") {
+		t.Fatal("session 2 should idle all cores")
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	d := netlist.NewDesign("d", nil)
+	if _, err := Generate(d, "bad", Spec{Sessions: 0}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+// The WIR-load sequencer: a session advance (TNEXT) raises SHIFTWIR for
+// four TCKs and closes with an UPDATEWIR pulse; the boundary UPDATE strobe
+// pulses right after SE falls.
+func TestGateLevelStrobes(t *testing.T) {
+	d := netlist.NewDesign("d", nil)
+	if _, err := Generate(d, "tacs", dscSpec()); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(d, "tacs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() {
+		t.Helper()
+		if err := sim.Tick("TCK"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle := func() {
+		t.Helper()
+		if err := sim.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Set("TRST", true)
+	tick()
+	sim.Set("TRST", false)
+	tick()
+	if sim.Get("SHIFTWIR") {
+		t.Fatal("SHIFTWIR active at rest")
+	}
+	// Session advance starts the WIR load.
+	sim.Set("TNEXT", true)
+	tick()
+	sim.Set("TNEXT", false)
+	tick() // tn_q registered -> busy rises
+	shiftCycles, sawUpdate := 0, false
+	for i := 0; i < 10; i++ {
+		settle()
+		if sim.Get("SHIFTWIR") {
+			shiftCycles++
+			if sim.Get("UPDATEWIR") {
+				sawUpdate = true
+			}
+		}
+		tick()
+	}
+	if shiftCycles != 4 {
+		t.Fatalf("SHIFTWIR high for %d cycles, want 4", shiftCycles)
+	}
+	if !sawUpdate {
+		t.Fatal("UPDATEWIR never pulsed")
+	}
+	settle()
+	if sim.Get("SHIFTWIR") || sim.Get("UPDATEWIR") {
+		t.Fatal("WIR strobes did not quiesce")
+	}
+	// Boundary UPDATE pulses on the falling edge of SE.
+	sim.Set("SE", true)
+	tick()
+	sim.Set("SE", false)
+	settle()
+	if !sim.Get("UPDATE") {
+		t.Fatal("UPDATE did not pulse after SE fell")
+	}
+	tick()
+	settle()
+	if sim.Get("UPDATE") {
+		t.Fatal("UPDATE stuck high")
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"steac/internal/report"
+	"steac/internal/sched"
+	"steac/internal/testinfo"
+)
+
+// Table1 renders the cores' test information the way the paper's Table 1
+// does.
+func Table1(cores []*testinfo.Core) string {
+	t := report.NewTable("Table 1: Test information of the cores",
+		"Core", "TI", "TO", "PI", "PO", "Scan chains (lengths)", "Patterns (type)")
+	for _, c := range cores {
+		chains := "No scan"
+		if c.HasScan() {
+			ls := make([]string, len(c.ScanChains))
+			for i, ch := range c.ScanChains {
+				ls[i] = report.Comma(ch.Length)
+			}
+			chains = fmt.Sprintf("%d (%s)", len(c.ScanChains), strings.Join(ls, ", "))
+		}
+		var pats []string
+		for _, p := range c.Patterns {
+			pats = append(pats, fmt.Sprintf("%s (%s)", report.Comma(p.Count), p.Type))
+		}
+		t.Row(c.Name, c.TestInputs(), c.TestOutputs(), c.PIs, c.POs,
+			chains, strings.Join(pats, " + "))
+	}
+	return t.String()
+}
+
+// ScheduleReport renders one schedule: sessions, resource use, totals.
+func ScheduleReport(s *sched.Schedule) string {
+	var sb strings.Builder
+	t := report.NewTable(fmt.Sprintf("Schedule (%s)", s.Kind),
+		"Session", "Test", "Start", "Cycles", "TAM", "FuncPins")
+	for _, sess := range s.Sessions {
+		for _, p := range sess.Placements {
+			tam := ""
+			if p.Width > 0 {
+				tam = fmt.Sprintf("%d wires", p.Width)
+			}
+			fp := ""
+			if p.FuncPins > 0 {
+				fp = fmt.Sprintf("%d", p.FuncPins)
+			}
+			t.Row(sess.Index+1, p.Test.ID, report.Comma(p.Start), report.Comma(p.Cycles), tam, fp)
+		}
+	}
+	sb.WriteString(t.String())
+	ts := report.NewTable("Sessions", "Session", "Cycles", "CtrlPins", "DataPins", "PeakPower")
+	for _, sess := range s.Sessions {
+		ts.Row(sess.Index+1, report.Comma(sess.Cycles), sess.ControlPins, sess.DataPins,
+			fmt.Sprintf("%.1f", sess.PeakPower))
+	}
+	sb.WriteString(ts.String())
+	fmt.Fprintf(&sb, "total test time: %s cycles (%.2f ms @ 50 MHz tester clock)\n",
+		report.Comma(s.TotalCycles), s.TimeMS(50))
+	return sb.String()
+}
+
+// ComparisonReport renders the paper's scheduling comparison.
+func ComparisonReport(r *FlowResult) string {
+	t := report.NewTable("Test scheduling comparison (paper: 4,371,194 vs 4,713,935 cycles)",
+		"Approach", "Sessions", "Total cycles", "Ctrl pins (max)")
+	t.Row("session-based", len(r.Schedule.Sessions), report.Comma(r.Schedule.TotalCycles), r.Schedule.ControlPinsMax)
+	t.Row("non-session-based", "-", report.Comma(r.NonSession.TotalCycles), r.NonSession.ControlPinsMax)
+	t.Row("serial", len(r.Serial.Sessions), report.Comma(r.Serial.TotalCycles), r.Serial.ControlPinsMax)
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	if r.Schedule.TotalCycles > 0 {
+		gain := 100 * float64(r.NonSession.TotalCycles-r.Schedule.TotalCycles) /
+			float64(r.NonSession.TotalCycles)
+		fmt.Fprintf(&sb, "session-based saves %.1f%% over non-session-based (paper: 7.3%%)\n", gain)
+	}
+	return sb.String()
+}
+
+// IOReport renders the test-IO analysis of §3.
+func IOReport(cores []*testinfo.Core) string {
+	s := testinfo.ShareControlIOs(cores)
+	t := report.NewTable("Test control IOs (paper: 19 dedicated for the three cores)",
+		"Signal class", "Dedicated", "Shared")
+	se := 0
+	if s.ScanEnables > 0 {
+		se = 1
+	}
+	t.Row("clocks", s.Clocks, s.Clocks)
+	t.Row("resets", s.Resets, s.Resets)
+	t.Row("scan enables", s.ScanEnables, se)
+	t.Row("test enables", s.TestEnables, s.EncodedTEBit)
+	t.Row("total", s.Dedicated, s.SharedTotal)
+	return t.String()
+}
+
+// AreaReport renders the hardware-cost table of §3.
+func AreaReport(r *FlowResult) string {
+	if r.Insertion == nil {
+		return "no insertion result\n"
+	}
+	ins := r.Insertion
+	t := report.NewTable("DFT hardware (paper: WBR cell 26 gates, controller ~371, TAM mux ~132, overhead ~0.3%)",
+		"Block", "NAND2 gates")
+	t.Row("WBR cell (each)", 26)
+	t.Row(fmt.Sprintf("wrappers total (%d cells)", ins.WBRCells), fmt.Sprintf("%.0f", ins.WrapperGates))
+	t.Row("test controller", fmt.Sprintf("%.0f", ins.ControllerGates))
+	t.Row("TAM multiplexer", fmt.Sprintf("%.0f", ins.TAMGates))
+	t.Row("memory BIST (logic)", fmt.Sprintf("%.0f", ins.BISTGates))
+	t.Row("chip logic", fmt.Sprintf("%.0f", ins.ChipLogicGates))
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "controller+TAM overhead: %.2f%% of chip logic (paper: ~0.3%%)\n", ins.OverheadPct)
+	fmt.Fprintf(&sb, "insertion wall time: %s (paper: 5 minutes on a SUN Blade 1000)\n", ins.Elapsed)
+	return sb.String()
+}
+
+// TimelineReport renders an ASCII Gantt view of a schedule: one bar per
+// placement, scaled to the schedule's total length, so the session
+// structure (parallel tests, BIST fill, idle slack) is visible at a glance.
+func TimelineReport(s *sched.Schedule, width int) string {
+	if width < 20 {
+		width = 64
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Timeline (%s, %s cycles total; each column ≈ %s cycles)\n",
+		s.Kind, report.Comma(s.TotalCycles), report.Comma((s.TotalCycles+width-1)/width))
+	if s.TotalCycles == 0 {
+		return sb.String()
+	}
+	scale := func(c int) int { return c * width / s.TotalCycles }
+	label := func(id string) string {
+		if len(id) > 14 {
+			return id[:14]
+		}
+		return id
+	}
+	offset := 0
+	for _, sess := range s.Sessions {
+		fmt.Fprintf(&sb, "session %d (%s cycles)\n", sess.Index+1, report.Comma(sess.Cycles))
+		for _, p := range sess.Placements {
+			start := scale(offset + p.Start)
+			bar := scale(p.Cycles)
+			if bar < 1 {
+				bar = 1
+			}
+			if start+bar > width {
+				bar = width - start
+			}
+			fmt.Fprintf(&sb, "  %-14s |%s%s%s|\n", label(p.Test.ID),
+				strings.Repeat(" ", start),
+				strings.Repeat("#", bar),
+				strings.Repeat(" ", width-start-bar))
+		}
+		offset += sess.Cycles
+	}
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+// Package dsc reconstructs the paper's evaluation vehicle: the commercial
+// digital-still-camera (DSC) controller SOC of Fig. 3.  The three wrapped
+// cores carry exactly the test information of Table 1 (IO counts, scan
+// chain count and lengths, pattern counts); the embedded memory inventory
+// — "tens of single-port and two-port synchronous SRAMs with different
+// sizes" — is reconstructed to DSC-plausible geometries (frame and line
+// buffers, JPEG working RAM, FIFOs) and calibrated so the total test time
+// lands in the regime the paper reports.
+//
+// Everything the flow consumes — STIL files, the SOC netlist, the chip
+// resource budget — comes from here, so cmd/dscflow and the benchmarks
+// regenerate the paper's tables from a single source of truth.
+package dsc
+
+import (
+	"steac/internal/memory"
+	"steac/internal/pattern"
+	"steac/internal/sched"
+	"steac/internal/testinfo"
+	"steac/internal/wrapper"
+)
+
+// USB returns the USB core of Table 1: TI=18, TO=4, PI=221, PO=104, four
+// clock domains, three resets, one SE, six test signals, four scan chains
+// of lengths 1629/78/293/45 with dedicated scan IOs, 716 scan patterns.
+func USB() *testinfo.Core {
+	return &testinfo.Core{
+		Name:        "USB",
+		Clocks:      []string{"usb_ck0", "usb_ck1", "usb_ck2", "usb_ck3"},
+		Resets:      []string{"usb_rst0", "usb_rst1", "usb_rst2"},
+		ScanEnables: []string{"usb_se"},
+		TestEnables: []string{"usb_t0", "usb_t1", "usb_t2", "usb_t3", "usb_t4", "usb_t5"},
+		PIs:         221, POs: 104,
+		ScanChains: []testinfo.ScanChain{
+			{Name: "c0", Length: 1629, In: "usb_si0", Out: "usb_so0", Clock: "usb_ck0"},
+			{Name: "c1", Length: 78, In: "usb_si1", Out: "usb_so1", Clock: "usb_ck1"},
+			{Name: "c2", Length: 293, In: "usb_si2", Out: "usb_so2", Clock: "usb_ck2"},
+			{Name: "c3", Length: 45, In: "usb_si3", Out: "usb_so3", Clock: "usb_ck3"},
+		},
+		Patterns: []testinfo.PatternSet{
+			{Name: "scan", Type: testinfo.Scan, Count: 716, Seed: 0xDC01},
+		},
+	}
+}
+
+// TV returns the TV encoder of Table 1: TI=6, TO=1, PI=25, PO=40, one
+// clock, reset, SE and test enable, two scan chains of lengths 577/576 with
+// one scan-out shared with a functional output, 229 scan patterns and
+// 202,673 functional patterns.
+func TV() *testinfo.Core {
+	return &testinfo.Core{
+		Name:        "TV",
+		Clocks:      []string{"tv_ck"},
+		Resets:      []string{"tv_rst"},
+		ScanEnables: []string{"tv_se"},
+		TestEnables: []string{"tv_te"},
+		PIs:         25, POs: 40,
+		ScanChains: []testinfo.ScanChain{
+			{Name: "c0", Length: 577, In: "tv_si0", Out: "tv_so0", Clock: "tv_ck"},
+			{Name: "c1", Length: 576, In: "tv_si1", Out: "tv_po_shared", Clock: "tv_ck", SharedOut: true},
+		},
+		Patterns: []testinfo.PatternSet{
+			{Name: "scan", Type: testinfo.Scan, Count: 229, Seed: 0xDC02},
+			{Name: "func", Type: testinfo.Functional, Count: 202673, Seed: 0xDC03},
+		},
+	}
+}
+
+// JPEG returns the legacy JPEG codec of Table 1: TI=1, TO=0, PI=165,
+// PO=104, no scan, one clock domain, 235,696 functional patterns.
+func JPEG() *testinfo.Core {
+	return &testinfo.Core{
+		Name:   "JPEG",
+		Clocks: []string{"jpeg_ck"},
+		PIs:    165, POs: 104,
+		Patterns: []testinfo.PatternSet{
+			{Name: "func", Type: testinfo.Functional, Count: 235696, Seed: 0xDC04},
+		},
+	}
+}
+
+// Cores returns the three wrapped cores in Table 1 order.
+func Cores() []*testinfo.Core {
+	return []*testinfo.Core{USB(), TV(), JPEG()}
+}
+
+// Memories returns the reconstructed embedded SRAM inventory: 22 macros
+// (18 single-port, 4 two-port), sized like a DSC controller's frame/line
+// buffers, JPEG working memory and interface FIFOs.  Total ≈ 437K words,
+// so March C- BIST over the whole set costs ≈ 4.37M cycles serially —
+// the regime the paper's total test time sits in.
+func Memories() []memory.Config {
+	sp := func(name string, words, bits int) memory.Config {
+		return memory.Config{Name: name, Words: words, Bits: bits, Kind: memory.SinglePort}
+	}
+	tp := func(name string, words, bits int) memory.Config {
+		return memory.Config{Name: name, Words: words, Bits: bits, Kind: memory.TwoPort}
+	}
+	return []memory.Config{
+		// CCD frame buffers.
+		sp("fb0", 65536, 16), sp("fb1", 65536, 16), sp("fb2", 65536, 16),
+		sp("fb3", 65536, 16),
+		// JPEG working buffers.
+		sp("jwb0", 32768, 16), sp("jwb1", 32768, 16),
+		sp("jq0", 16384, 32), sp("jq1", 16384, 32),
+		// Video line buffers (990 words = one PAL-ish line).
+		sp("lb0", 16384, 16), sp("lb1", 16384, 16),
+		sp("lb2", 8192, 16),
+		sp("lb4", 990, 16), sp("lb5", 990, 16),
+		// Processor caches / scratch.
+		sp("icache", 8192, 32), sp("dcache", 8192, 32),
+		sp("scr0", 4096, 16), sp("scr1", 2048, 8), sp("scr2", 1024, 8),
+		// Interface FIFOs (two-port).
+		tp("usbfifo0", 4096, 16), tp("usbfifo1", 4096, 16),
+		tp("tvfifo", 2048, 32), tp("extfifo", 512, 16),
+	}
+}
+
+// Resources returns the chip-level test resource budget used for the
+// scheduling experiment: 26 dedicated test pins (the DSC is pad-limited —
+// most pads carry functional signals), 300 pads reachable by the
+// functional-test multiplexing, and a test power budget that keeps a large
+// SRAM from switching alongside a scanning core.
+func Resources() sched.Resources {
+	return sched.Resources{
+		TestPins:    26,
+		FuncPins:    300,
+		MaxPower:    34,
+		Partitioner: wrapper.LPT,
+	}
+}
+
+// ChipAreas returns the NAND2-equivalent areas of the unwrapped behavioural
+// blocks (Fig. 3): processor, external memory interface and glue logic.
+// Together with the three cores this puts the chip logic near 170K gates,
+// which is what makes the controller+TAM overhead land at the paper's
+// ≈0.3%.
+func ChipAreas() map[string]float64 {
+	return map[string]float64{
+		"processor": 60000,
+		"extmem":    18000,
+		"glue":      13000,
+	}
+}
+
+// Interconnects returns the core-to-core glue wiring covered by the EXTEST
+// interconnect session: the JPEG codec's pixel-bus outputs feed the TV
+// encoder's inputs, the TV encoder's sync outputs feed the USB (status
+// readback), and USB control outputs feed the JPEG codec.
+func Interconnects() []pattern.Interconnect {
+	var wires []pattern.Interconnect
+	for i := 0; i < 16; i++ { // JPEG pixel bus -> TV encoder
+		wires = append(wires, pattern.Interconnect{
+			FromCore: "JPEG", FromPO: i, ToCore: "TV", ToPI: i,
+		})
+	}
+	for i := 0; i < 4; i++ { // TV sync -> USB status
+		wires = append(wires, pattern.Interconnect{
+			FromCore: "TV", FromPO: 32 + i, ToCore: "USB", ToPI: 200 + i,
+		})
+	}
+	for i := 0; i < 4; i++ { // USB control -> JPEG
+		wires = append(wires, pattern.Interconnect{
+			FromCore: "USB", FromPO: 96 + i, ToCore: "JPEG", ToPI: 160 + i,
+		})
+	}
+	return wires
+}

@@ -1,0 +1,174 @@
+package dsc
+
+import (
+	"testing"
+
+	"steac/internal/memory"
+	"steac/internal/stil"
+)
+
+func TestTable1Fidelity(t *testing.T) {
+	usb, tv, jpeg := USB(), TV(), JPEG()
+	for _, tc := range []struct {
+		name           string
+		ti, to, pi, po int
+	}{
+		{"USB", 18, 4, 221, 104},
+		{"TV", 6, 1, 25, 40},
+		{"JPEG", 1, 0, 165, 104},
+	} {
+		var c = map[string]interface{}{"USB": usb, "TV": tv, "JPEG": jpeg}[tc.name]
+		core := c.(interface {
+			TestInputs() int
+			TestOutputs() int
+		})
+		if got := core.TestInputs(); got != tc.ti {
+			t.Errorf("%s TI = %d, want %d", tc.name, got, tc.ti)
+		}
+		if got := core.TestOutputs(); got != tc.to {
+			t.Errorf("%s TO = %d, want %d", tc.name, got, tc.to)
+		}
+	}
+	if usb.PIs != 221 || usb.POs != 104 || tv.PIs != 25 || tv.POs != 40 ||
+		jpeg.PIs != 165 || jpeg.POs != 104 {
+		t.Error("PI/PO counts diverge from Table 1")
+	}
+	lens := usb.ChainLengths()
+	want := []int{1629, 293, 78, 45}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Fatalf("USB chain lengths = %v", lens)
+		}
+	}
+	if usb.ScanPatternCount() != 716 || tv.ScanPatternCount() != 229 {
+		t.Error("scan pattern counts diverge from Table 1")
+	}
+	if tv.FunctionalPatternCount() != 202673 || jpeg.FunctionalPatternCount() != 235696 {
+		t.Error("functional pattern counts diverge from Table 1")
+	}
+	if !tv.ScanChains[1].SharedOut {
+		t.Error("TV's second chain must share its scan-out with a functional output")
+	}
+}
+
+func TestCoresSurviveSTILRoundTrip(t *testing.T) {
+	for _, c := range Cores() {
+		src, err := stil.Emit(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		back, err := stil.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if back.TestInputs() != c.TestInputs() || back.TestOutputs() != c.TestOutputs() {
+			t.Fatalf("%s: TI/TO changed through STIL", c.Name)
+		}
+		if back.ScanPatternCount() != c.ScanPatternCount() ||
+			back.FunctionalPatternCount() != c.FunctionalPatternCount() {
+			t.Fatalf("%s: pattern counts changed through STIL", c.Name)
+		}
+	}
+}
+
+func TestMemoryInventory(t *testing.T) {
+	mems := Memories()
+	if len(mems) < 20 {
+		t.Fatalf("only %d memories; the paper says tens", len(mems))
+	}
+	words, sp, tp := 0, 0, 0
+	seen := make(map[string]bool)
+	for _, m := range mems {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if seen[m.Name] {
+			t.Fatalf("duplicate macro %s", m.Name)
+		}
+		seen[m.Name] = true
+		words += m.Words
+		if m.Kind == memory.TwoPort {
+			tp++
+		} else {
+			sp++
+		}
+	}
+	if sp == 0 || tp == 0 {
+		t.Fatal("inventory must mix single-port and two-port macros")
+	}
+	// 10N March C- over the inventory defines the BIST spine; it must sit
+	// in the paper's total-test-time regime (~4.37M cycles).
+	if cycles := 10 * words; cycles < 4200000 || cycles > 4500000 {
+		t.Fatalf("BIST spine = %d cycles, outside the calibrated regime", cycles)
+	}
+}
+
+func TestBuildSOC(t *testing.T) {
+	d, err := BuildSOC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TopModule() == nil || d.Top != "soc" {
+		t.Fatal("missing top")
+	}
+	for _, m := range []string{"core_USB", "core_TV", "core_JPEG", "pll", "processor", "extmem", "glue"} {
+		if d.Module(m) == nil {
+			t.Fatalf("module %s missing", m)
+		}
+	}
+	if issues := d.Lint(); len(issues) != 0 {
+		t.Fatalf("lint: %v", issues)
+	}
+	// Chip logic (behavioural blocks) near 170K gates, the paper's 0.3%
+	// overhead base.
+	logic := 0.0
+	for _, name := range d.ModuleNames() {
+		m := d.Modules[name]
+		if m.Behavioral && m.Attrs["macro"] != "sram" {
+			logic += m.AreaOverride
+		}
+	}
+	if logic < 140000 || logic > 220000 {
+		t.Fatalf("chip logic = %.0f gates, outside the calibrated regime", logic)
+	}
+}
+
+func TestResources(t *testing.T) {
+	r := Resources()
+	if r.TestPins <= 0 || r.FuncPins <= 0 || r.MaxPower <= 0 {
+		t.Fatalf("resources = %+v", r)
+	}
+}
+
+func TestInterconnectsWellFormed(t *testing.T) {
+	wires := Interconnects()
+	if len(wires) != 24 {
+		t.Fatalf("interconnects = %d, want 24", len(wires))
+	}
+	byName := map[string]int{"USB": 0, "TV": 0, "JPEG": 0}
+	po := map[string]int{"USB": 104, "TV": 40, "JPEG": 104}
+	pi := map[string]int{"USB": 221, "TV": 25, "JPEG": 165}
+	for _, w := range wires {
+		if _, ok := byName[w.FromCore]; !ok {
+			t.Fatalf("unknown source %s", w.FromCore)
+		}
+		if _, ok := byName[w.ToCore]; !ok {
+			t.Fatalf("unknown sink %s", w.ToCore)
+		}
+		if w.FromPO < 0 || w.FromPO >= po[w.FromCore] {
+			t.Fatalf("PO %d out of range for %s", w.FromPO, w.FromCore)
+		}
+		if w.ToPI < 0 || w.ToPI >= pi[w.ToCore] {
+			t.Fatalf("PI %d out of range for %s", w.ToPI, w.ToCore)
+		}
+	}
+	// No two wires share a sink input.
+	sinks := make(map[[2]interface{}]bool)
+	for _, w := range wires {
+		k := [2]interface{}{w.ToCore, w.ToPI}
+		if sinks[k] {
+			t.Fatalf("sink %s.pi[%d] driven twice", w.ToCore, w.ToPI)
+		}
+		sinks[k] = true
+	}
+}

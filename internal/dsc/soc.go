@@ -1,0 +1,21 @@
+package dsc
+
+import (
+	"steac/internal/netlist"
+	"steac/internal/socgen"
+)
+
+// BuildSOC constructs the original (pre-DFT) DSC netlist of Fig. 3: the
+// three IP cores as behavioural modules with full port lists, the
+// processor, external memory interface and glue logic blocks, and an
+// internal PLL generating the six core clocks (USB's four domains, the TV
+// encoder's and the JPEG codec's).  The embedded memories are not
+// instantiated here: they arrive as BRAINS-delivered BISTed memory cores
+// during test insertion, exactly as the paper describes the memory
+// compiler integration.
+func BuildSOC() (*netlist.Design, error) {
+	return socgen.Build(Cores(), socgen.Options{
+		Name:   "dsc",
+		Blocks: ChipAreas(),
+	})
+}

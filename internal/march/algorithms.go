@@ -1,0 +1,139 @@
+package march
+
+// Standard March algorithms as shipped with the BRAINS BIST compiler.
+// Complexities (ops per word) are the classic figures: MSCAN 4N, MATS+ 5N,
+// March X 6N, March Y 8N, March C- 10N, March A 15N, March B 17N,
+// March LR 14N.
+
+// MSCAN is the 4N "zero-one" algorithm; it detects only a subset of
+// stuck-at faults.
+func MSCAN() Algorithm {
+	return Algorithm{
+		Name: "MSCAN",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Either, []Op{R0}},
+			{Either, []Op{W1}},
+			{Either, []Op{R1}},
+		},
+	}
+}
+
+// MATSPlus is the 5N MATS+ algorithm; it detects all stuck-at and address
+// decoder faults.
+func MATSPlus() Algorithm {
+	return Algorithm{
+		Name: "MATS+",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Up, []Op{R0, W1}},
+			{Down, []Op{R1, W0}},
+		},
+	}
+}
+
+// MarchX is the 6N March X algorithm; adds coupling (inversion) coverage.
+func MarchX() Algorithm {
+	return Algorithm{
+		Name: "March X",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Up, []Op{R0, W1}},
+			{Down, []Op{R1, W0}},
+			{Either, []Op{R0}},
+		},
+	}
+}
+
+// MarchY is the 8N March Y algorithm; adds transition-fault linkage
+// coverage over March X.
+func MarchY() Algorithm {
+	return Algorithm{
+		Name: "March Y",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Up, []Op{R0, W1, R1}},
+			{Down, []Op{R1, W0, R0}},
+			{Either, []Op{R0}},
+		},
+	}
+}
+
+// MarchCMinus is the 10N March C- algorithm, the default algorithm of the
+// BRAINS compiler: it detects all stuck-at, transition, address-decoder and
+// unlinked idempotent/inversion/state coupling faults.
+func MarchCMinus() Algorithm {
+	return Algorithm{
+		Name: "March C-",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Up, []Op{R0, W1}},
+			{Up, []Op{R1, W0}},
+			{Down, []Op{R0, W1}},
+			{Down, []Op{R1, W0}},
+			{Either, []Op{R0}},
+		},
+	}
+}
+
+// MarchA is the 15N March A algorithm (linked coupling faults).
+func MarchA() Algorithm {
+	return Algorithm{
+		Name: "March A",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Up, []Op{R0, W1, W0, W1}},
+			{Up, []Op{R1, W0, W1}},
+			{Down, []Op{R1, W0, W1, W0}},
+			{Down, []Op{R0, W1, W0}},
+		},
+	}
+}
+
+// MarchB is the 17N March B algorithm (linked transition + coupling faults).
+func MarchB() Algorithm {
+	return Algorithm{
+		Name: "March B",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Up, []Op{R0, W1, R1, W0, R0, W1}},
+			{Up, []Op{R1, W0, W1}},
+			{Down, []Op{R1, W0, W1, W0}},
+			{Down, []Op{R0, W1, W0}},
+		},
+	}
+}
+
+// MarchLR is the 14N March LR algorithm (realistic linked faults, used for
+// word-oriented memories with background rotation).
+func MarchLR() Algorithm {
+	return Algorithm{
+		Name: "March LR",
+		Elements: []Element{
+			{Either, []Op{W0}},
+			{Down, []Op{R0, W1}},
+			{Up, []Op{R1, W0, R0, W1}},
+			{Up, []Op{R1, W0}},
+			{Up, []Op{R0, W1, R1, W0}},
+			{Up, []Op{R0}},
+		},
+	}
+}
+
+// Catalog returns every built-in algorithm keyed by name, in a fixed
+// cheap-to-thorough order.
+func Catalog() []Algorithm {
+	return []Algorithm{
+		MSCAN(), MATSPlus(), MarchX(), MarchY(), MarchLR(), MarchCMinus(), MarchA(), MarchB(),
+	}
+}
+
+// ByName looks up a built-in algorithm by its Name (case-sensitive).
+func ByName(name string) (Algorithm, bool) {
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algorithm{}, false
+}

@@ -1,0 +1,34 @@
+package march_test
+
+import (
+	"fmt"
+
+	"steac/internal/march"
+)
+
+func ExampleMarchCMinus() {
+	alg := march.MarchCMinus()
+	fmt.Println(alg.Name, alg.String())
+	fmt.Printf("complexity %dN, %d ops for a 1K-word RAM\n",
+		alg.Complexity(), alg.Length(1024))
+	// Output:
+	// March C- { b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0) }
+	// complexity 10N, 10240 ops for a 1K-word RAM
+}
+
+func ExampleParse() {
+	alg, err := march.Parse("mini", "{ b(w0); u(r0,w1); b(r1) }")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(alg.Complexity(), "ops per word")
+	alg.Walk(2, func(a march.Access) bool {
+		fmt.Printf("%d:%s ", a.Addr, a.Op)
+		return true
+	})
+	fmt.Println()
+	// Output:
+	// 4 ops per word
+	// 0:w0 1:w0 0:r0 0:w1 1:r0 1:w1 0:r1 1:r1
+}

@@ -1,0 +1,189 @@
+// Package march implements March memory-test algorithms: the notation, a
+// parser, the standard algorithms used by the BRAINS memory-BIST compiler
+// (MSCAN, MATS+, March X, March Y, March C-, March A, March B, March LR),
+// complexity accounting, and op-stream generation for fault simulation and
+// for the BIST sequencer/TPG pipeline.
+//
+// A March test is a sequence of March elements.  Each element has an address
+// order (ascending ⇑, descending ⇓, or either ⇕) and a sequence of read and
+// write operations applied to every address before moving to the next.  In
+// ASCII form this package writes ⇑ as "u", ⇓ as "d" and ⇕ as "b":
+//
+//	March C-:  { b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0) }
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Order is the address order of a March element.
+type Order int
+
+// Address orders.
+const (
+	Either Order = iota // ⇕: any order is allowed (we use ascending)
+	Up                  // ⇑: ascending
+	Down                // ⇓: descending
+)
+
+// String returns the ASCII notation of the order.
+func (o Order) String() string {
+	switch o {
+	case Either:
+		return "b"
+	case Up:
+		return "u"
+	case Down:
+		return "d"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// Op is a single read or write within a March element.  Value is the data
+// relative to the background (0 or 1); when a BIST TPG applies the op to a
+// w-bit word it expands Value against the data background.
+type Op struct {
+	Read  bool
+	Value int // 0 or 1
+}
+
+// String returns "r0", "r1", "w0" or "w1".
+func (op Op) String() string {
+	k := "w"
+	if op.Read {
+		k = "r"
+	}
+	return fmt.Sprintf("%s%d", k, op.Value)
+}
+
+// R0, R1, W0, W1 are the four March operations.
+var (
+	R0 = Op{Read: true, Value: 0}
+	R1 = Op{Read: true, Value: 1}
+	W0 = Op{Read: false, Value: 0}
+	W1 = Op{Read: false, Value: 1}
+)
+
+// Element is one March element: an address order plus the ops applied at
+// every address.
+type Element struct {
+	Order Order
+	Ops   []Op
+}
+
+// String renders the element in ASCII March notation, e.g. "u(r0,w1)".
+func (e Element) String() string {
+	ops := make([]string, len(e.Ops))
+	for i, op := range e.Ops {
+		ops[i] = op.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Order, strings.Join(ops, ","))
+}
+
+// Algorithm is a complete March test.
+type Algorithm struct {
+	Name     string
+	Elements []Element
+}
+
+// String renders the algorithm in ASCII March notation.
+func (a Algorithm) String() string {
+	elems := make([]string, len(a.Elements))
+	for i, e := range a.Elements {
+		elems[i] = e.String()
+	}
+	return fmt.Sprintf("{ %s }", strings.Join(elems, "; "))
+}
+
+// Complexity returns the number of operations applied per memory word; a
+// complexity of 10 means the algorithm is "10N" (March C-).
+func (a Algorithm) Complexity() int {
+	n := 0
+	for _, e := range a.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// Length returns the total number of memory operations for a memory with
+// words addresses.
+func (a Algorithm) Length(words int) int {
+	return a.Complexity() * words
+}
+
+// Validate checks structural sanity: at least one element, every element has
+// at least one op, op values are 0/1, and the first operation of each
+// element's read (if any) is preceded by an initializing write somewhere
+// before it in the test (i.e. the test never reads a cell it has not
+// initialized).  It returns nil for all the standard algorithms.
+func (a Algorithm) Validate() error {
+	if len(a.Elements) == 0 {
+		return fmt.Errorf("march: %s has no elements", a.Name)
+	}
+	initialized := false
+	for i, e := range a.Elements {
+		if len(e.Ops) == 0 {
+			return fmt.Errorf("march: %s element %d is empty", a.Name, i)
+		}
+		for _, op := range e.Ops {
+			if op.Value != 0 && op.Value != 1 {
+				return fmt.Errorf("march: %s element %d has op value %d", a.Name, i, op.Value)
+			}
+			if op.Read && !initialized {
+				return fmt.Errorf("march: %s element %d reads before any initializing write", a.Name, i)
+			}
+			if !op.Read {
+				initialized = true
+			}
+		}
+	}
+	return nil
+}
+
+// Access is one concrete memory access produced by expanding an algorithm
+// over an address space.
+type Access struct {
+	Addr int
+	Op   Op
+	// Elem is the index of the March element that produced this access
+	// (useful for diagnosis).
+	Elem int
+}
+
+// Expand generates the full access stream for a memory with words
+// addresses.  ⇕ elements use ascending order.  The stream length equals
+// Length(words).
+func (a Algorithm) Expand(words int) []Access {
+	accesses := make([]Access, 0, a.Length(words))
+	a.Walk(words, func(acc Access) bool {
+		accesses = append(accesses, acc)
+		return true
+	})
+	return accesses
+}
+
+// Walk streams the access sequence to fn without materializing it; fn
+// returning false stops the walk early.  This is what the fault simulator
+// and the behavioural BIST engine use for large memories.
+func (a Algorithm) Walk(words int, fn func(Access) bool) {
+	for ei, e := range a.Elements {
+		if e.Order == Down {
+			for addr := words - 1; addr >= 0; addr-- {
+				for _, op := range e.Ops {
+					if !fn(Access{Addr: addr, Op: op, Elem: ei}) {
+						return
+					}
+				}
+			}
+			continue
+		}
+		for addr := 0; addr < words; addr++ {
+			for _, op := range e.Ops {
+				if !fn(Access{Addr: addr, Op: op, Elem: ei}) {
+					return
+				}
+			}
+		}
+	}
+}

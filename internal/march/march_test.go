@@ -1,0 +1,185 @@
+package march
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComplexities(t *testing.T) {
+	want := map[string]int{
+		"MSCAN": 4, "MATS+": 5, "March X": 6, "March Y": 8,
+		"March C-": 10, "March A": 15, "March B": 17, "March LR": 14,
+	}
+	for _, a := range Catalog() {
+		if got := a.Complexity(); got != want[a.Name] {
+			t.Errorf("%s complexity = %d, want %d", a.Name, got, want[a.Name])
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s failed validation: %v", a.Name, err)
+		}
+	}
+}
+
+func TestLength(t *testing.T) {
+	if got := MarchCMinus().Length(1024); got != 10240 {
+		t.Fatalf("March C- length(1024) = %d, want 10240", got)
+	}
+	if got := MSCAN().Length(0); got != 0 {
+		t.Fatalf("length(0) = %d", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, ok := ByName("March C-")
+	if !ok || a.Complexity() != 10 {
+		t.Fatalf("ByName(March C-) = %v, %v", a, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted unknown algorithm")
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, a := range Catalog() {
+		s := a.String()
+		back, err := Parse(a.Name, s)
+		if err != nil {
+			t.Fatalf("%s: parse(%q): %v", a.Name, s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("%s round trip: %q != %q", a.Name, back.String(), s)
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	a, err := Parse("mats+", "b(w0); ^(R0, W1); v(r1,w0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Complexity() != 5 {
+		t.Fatalf("complexity = %d", a.Complexity())
+	}
+	if a.Elements[1].Order != Up || a.Elements[2].Order != Down {
+		t.Fatalf("orders = %v", a.Elements)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"u r0",         // missing parens
+		"x(r0)",        // unknown order
+		"u(q0)",        // unknown op
+		"u()",          // empty element
+		"{ u(r0,w1) }", // reads before init write
+		"",             // no elements
+	} {
+		if _, err := Parse("bad", bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Algorithm{Name: "bad", Elements: []Element{{Up, []Op{{Read: false, Value: 7}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad op value accepted")
+	}
+	empty := Algorithm{Name: "empty", Elements: []Element{{Up, nil}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty element accepted")
+	}
+}
+
+func TestExpandOrderAndCount(t *testing.T) {
+	a := MATSPlus()
+	accs := a.Expand(4)
+	if len(accs) != a.Length(4) {
+		t.Fatalf("expand length = %d, want %d", len(accs), a.Length(4))
+	}
+	// Element 0: b(w0) ascending addresses 0..3.
+	for i := 0; i < 4; i++ {
+		if accs[i].Addr != i || accs[i].Op != W0 || accs[i].Elem != 0 {
+			t.Fatalf("acc[%d] = %+v", i, accs[i])
+		}
+	}
+	// Element 2: d(r1,w0) descending 3..0.
+	tail := accs[len(accs)-8:]
+	wantAddrs := []int{3, 3, 2, 2, 1, 1, 0, 0}
+	for i, acc := range tail {
+		if acc.Addr != wantAddrs[i] || acc.Elem != 2 {
+			t.Fatalf("tail[%d] = %+v, want addr %d", i, acc, wantAddrs[i])
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	count := 0
+	MarchCMinus().Walk(100, func(Access) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("walk visited %d, want 7", count)
+	}
+}
+
+// Property: for any (small) algorithm built from valid ops and any memory
+// size, Expand emits exactly Complexity()*words accesses, each with a valid
+// address, and per element the addresses are monotone in the declared order.
+func TestExpandProperties(t *testing.T) {
+	f := func(orderSeed []uint8, words uint8) bool {
+		w := int(words%64) + 1
+		a := Algorithm{Name: "prop", Elements: []Element{{Either, []Op{W0}}}}
+		for _, s := range orderSeed {
+			if len(a.Elements) >= 6 {
+				break
+			}
+			e := Element{Order: Order(s % 3), Ops: []Op{R0, W1, R1, W0}[:s%4+1]}
+			a.Elements = append(a.Elements, e)
+		}
+		accs := a.Expand(w)
+		if len(accs) != a.Complexity()*w {
+			return false
+		}
+		for _, acc := range accs {
+			if acc.Addr < 0 || acc.Addr >= w {
+				return false
+			}
+		}
+		// Check per-element address monotonicity.
+		for ei, e := range a.Elements {
+			var addrs []int
+			for _, acc := range accs {
+				if acc.Elem == ei {
+					addrs = append(addrs, acc.Addr)
+				}
+			}
+			for i := 1; i < len(addrs); i++ {
+				if e.Order == Down {
+					if addrs[i] > addrs[i-1] {
+						return false
+					}
+				} else if addrs[i] < addrs[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	s := MarchCMinus().String()
+	want := "{ b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0) }"
+	if s != want {
+		t.Fatalf("March C- notation = %q, want %q", s, want)
+	}
+	if !strings.Contains(MarchB().String(), "u(r0,w1,r1,w0,r0,w1)") {
+		t.Fatalf("March B notation = %q", MarchB().String())
+	}
+}

@@ -1,0 +1,76 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads an algorithm from ASCII March notation, the same form String
+// produces:
+//
+//	{ b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0) }
+//
+// Order letters: "u"/"^" ascending, "d"/"v" descending, "b" either.  The
+// outer braces are optional.  Parse is how user-supplied algorithms enter
+// the BRAINS command shell.
+func Parse(name, s string) (Algorithm, error) {
+	body := strings.TrimSpace(s)
+	body = strings.TrimPrefix(body, "{")
+	body = strings.TrimSuffix(body, "}")
+	a := Algorithm{Name: name}
+	for _, part := range strings.Split(body, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseElement(part)
+		if err != nil {
+			return Algorithm{}, fmt.Errorf("march: parsing %q: %w", part, err)
+		}
+		a.Elements = append(a.Elements, e)
+	}
+	if err := a.Validate(); err != nil {
+		return Algorithm{}, err
+	}
+	return a, nil
+}
+
+func parseElement(s string) (Element, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Element{}, fmt.Errorf("element must look like u(r0,w1)")
+	}
+	var order Order
+	switch strings.TrimSpace(s[:open]) {
+	case "u", "^":
+		order = Up
+	case "d", "v":
+		order = Down
+	case "b", "":
+		order = Either
+	default:
+		return Element{}, fmt.Errorf("unknown address order %q", s[:open])
+	}
+	e := Element{Order: order}
+	for _, tok := range strings.Split(s[open+1:len(s)-1], ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		var op Op
+		switch tok {
+		case "r0":
+			op = R0
+		case "r1":
+			op = R1
+		case "w0":
+			op = W0
+		case "w1":
+			op = W1
+		default:
+			return Element{}, fmt.Errorf("unknown op %q", tok)
+		}
+		e.Ops = append(e.Ops, op)
+	}
+	if len(e.Ops) == 0 {
+		return Element{}, fmt.Errorf("element has no ops")
+	}
+	return e, nil
+}

@@ -1,0 +1,92 @@
+package memfault
+
+import (
+	"testing"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+func TestCheckerboard(t *testing.T) {
+	if Checkerboard(4) != 0x5 {
+		t.Fatalf("cb(4) = %x", Checkerboard(4))
+	}
+	if Checkerboard(8) != 0x55 {
+		t.Fatalf("cb(8) = %x", Checkerboard(8))
+	}
+	if Checkerboard(1) != 0x1 {
+		t.Fatalf("cb(1) = %x", Checkerboard(1))
+	}
+}
+
+func TestIntraWordGenerator(t *testing.T) {
+	cfg := memory.Config{Name: "iw", Words: 4, Bits: 4}
+	faults := IntraWordCouplingFaults(cfg)
+	if len(faults) == 0 {
+		t.Fatal("no intra-word faults generated")
+	}
+	for _, f := range faults {
+		if f.Victim.Addr != f.Aggr.Addr {
+			t.Fatalf("fault %v crosses words", f)
+		}
+		if f.Victim.Bit == f.Aggr.Bit {
+			t.Fatalf("fault %v aggresses itself", f)
+		}
+		if err := f.Validate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := IntraWordCouplingFaults(memory.Config{Name: "w1", Words: 4, Bits: 1}); got != nil {
+		t.Fatal("1-bit words cannot have intra-word coupling")
+	}
+}
+
+// The motivating case for multiple data backgrounds: a rise-triggered CFid
+// forcing the value the victim is written anyway is invisible under a solid
+// background (victim and aggressor always receive identical data) but is
+// sensitized by a checkerboard pass.
+func TestIntraWordCFidNeedsCheckerboard(t *testing.T) {
+	cfg := memory.Config{Name: "iw", Words: 8, Bits: 4}
+	f := Fault{Kind: CFid,
+		Victim: Cell{Addr: 3, Bit: 0}, Aggr: Cell{Addr: 3, Bit: 1},
+		AggrRise: true, Forced: 1}
+	solid, err := Simulate(march.MarchCMinus(), cfg, []Fault{f}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solid.Detected {
+		t.Fatal("solid background unexpectedly detected the matched-polarity CFid")
+	}
+	both, err := Simulate(march.MarchCMinus(), cfg, []Fault{f},
+		Options{Backgrounds: []uint64{0, Checkerboard(cfg.Bits)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both.Detected {
+		t.Fatal("checkerboard pass missed the intra-word CFid")
+	}
+}
+
+// Coverage over the whole intra-word list must strictly improve with the
+// checkerboard pass, and adjacent-bit CFins stay covered either way.
+func TestIntraWordCoverageImproves(t *testing.T) {
+	cfg := memory.Config{Name: "iw", Words: 8, Bits: 4}
+	faults := IntraWordCouplingFaults(cfg)
+	solid, err := Coverage(march.MarchCMinus(), cfg, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Coverage(march.MarchCMinus(), cfg, faults,
+		Options{Backgrounds: []uint64{0, Checkerboard(cfg.Bits)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Percent() <= solid.Percent() {
+		t.Fatalf("checkerboard did not improve: %.1f%% vs %.1f%%",
+			both.Percent(), solid.Percent())
+	}
+	if both.Percent() != 100 {
+		t.Fatalf("two backgrounds should cover all intra-word CFs, got %.1f%% (undetected: %v)",
+			both.Percent(), both.Undetected)
+	}
+}

@@ -1,0 +1,205 @@
+// Package memfault implements the classical RAM functional fault models
+// (stuck-at, transition, coupling, stuck-open, address-decoder and
+// read-disturb faults), a fault-injected SRAM model, and a March-test fault
+// simulator.  BRAINS uses it to "evaluate the memory test efficiency among
+// different designs": the coverage tables produced by cmd/brains and the
+// benchmarks come from running March algorithms from package march against
+// single-fault machines built here.
+package memfault
+
+import (
+	"fmt"
+
+	"steac/internal/memory"
+)
+
+// Kind enumerates the supported fault models.
+type Kind int
+
+// Fault model kinds.
+const (
+	// SA0 and SA1 are stuck-at faults: the cell permanently holds 0 or 1.
+	SA0 Kind = iota
+	SA1
+	// TFUp and TFDown are transition faults: the cell cannot make a 0→1
+	// (respectively 1→0) transition when written.
+	TFUp
+	TFDown
+	// CFin is an inversion coupling fault: a matching transition of the
+	// aggressor cell inverts the victim cell.
+	CFin
+	// CFid is an idempotent coupling fault: a matching transition of the
+	// aggressor forces the victim to Forced.
+	CFid
+	// CFst is a state coupling fault: while the aggressor holds AggrState,
+	// the victim is forced to Forced.
+	CFst
+	// SOF is a stuck-open fault: the cell cannot be accessed; a read
+	// returns the previous value held by the sense amplifier of that bit
+	// position, and writes are lost.
+	SOF
+	// AF is an address-decoder fault: accesses to the victim's address
+	// reach MapAddr instead.
+	AF
+	// RDF is a read-disturb fault: reading the cell returns the inverted
+	// value and flips the stored bit.
+	RDF
+	// DRF is a data-retention fault: the cell decays to Forced during a
+	// test pause (the delay element of a retention March test).
+	DRF
+	// SAB0 and SAB1 are port-B stuck-at faults of a two-port SRAM: the
+	// read-only port returns 0/1 for the cell regardless of its content,
+	// while port A reads correctly.  Only a read-through-port-B pass can
+	// catch them.
+	SAB0
+	SAB1
+)
+
+// String returns the conventional abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case SA0:
+		return "SA0"
+	case SA1:
+		return "SA1"
+	case TFUp:
+		return "TF<0->1>"
+	case TFDown:
+		return "TF<1->0>"
+	case CFin:
+		return "CFin"
+	case CFid:
+		return "CFid"
+	case CFst:
+		return "CFst"
+	case SOF:
+		return "SOF"
+	case AF:
+		return "AF"
+	case RDF:
+		return "RDF"
+	case DRF:
+		return "DRF"
+	case SAB0:
+		return "SAB0"
+	case SAB1:
+		return "SAB1"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindClass groups kinds for coverage reporting ("SAF", "TF", "CF", ...).
+func (k Kind) Class() string {
+	switch k {
+	case SA0, SA1:
+		return "SAF"
+	case TFUp, TFDown:
+		return "TF"
+	case CFin:
+		return "CFin"
+	case CFid:
+		return "CFid"
+	case CFst:
+		return "CFst"
+	case SOF:
+		return "SOF"
+	case AF:
+		return "AF"
+	case RDF:
+		return "RDF"
+	case DRF:
+		return "DRF"
+	case SAB0, SAB1:
+		return "SAB"
+	}
+	return "?"
+}
+
+// Cell identifies one storage bit: word address plus bit position.
+type Cell struct {
+	Addr int
+	Bit  int
+}
+
+// Fault is a single functional fault instance.
+type Fault struct {
+	Kind   Kind
+	Victim Cell
+
+	// Aggr is the aggressor cell of coupling faults.
+	Aggr Cell
+	// AggrRise selects the triggering transition for CFin/CFid: true for
+	// 0→1, false for 1→0.
+	AggrRise bool
+	// Forced is the value CFid forces on a trigger and the value CFst
+	// forces while the aggressor is in AggrState.
+	Forced int
+	// AggrState is the aggressor state that activates a CFst.
+	AggrState int
+	// MapAddr is the address actually accessed for an AF on Victim.Addr.
+	MapAddr int
+}
+
+// String renders a compact description for diagnostics.
+func (f Fault) String() string {
+	switch f.Kind {
+	case CFin:
+		return fmt.Sprintf("%s a=(%d.%d,rise=%t) v=(%d.%d)",
+			f.Kind, f.Aggr.Addr, f.Aggr.Bit, f.AggrRise, f.Victim.Addr, f.Victim.Bit)
+	case CFid:
+		return fmt.Sprintf("%s a=(%d.%d,rise=%t) v=(%d.%d):=%d",
+			f.Kind, f.Aggr.Addr, f.Aggr.Bit, f.AggrRise, f.Victim.Addr, f.Victim.Bit, f.Forced)
+	case CFst:
+		return fmt.Sprintf("%s a=(%d.%d)=%d v=(%d.%d):=%d",
+			f.Kind, f.Aggr.Addr, f.Aggr.Bit, f.AggrState, f.Victim.Addr, f.Victim.Bit, f.Forced)
+	case AF:
+		return fmt.Sprintf("AF %d->%d", f.Victim.Addr, f.MapAddr)
+	default:
+		return fmt.Sprintf("%s (%d.%d)", f.Kind, f.Victim.Addr, f.Victim.Bit)
+	}
+}
+
+// Validate checks that the fault is well-formed for the given memory.
+func (f Fault) Validate(cfg memory.Config) error {
+	inRange := func(c Cell) bool {
+		return c.Addr >= 0 && c.Addr < cfg.Words && c.Bit >= 0 && c.Bit < cfg.Bits
+	}
+	if !inRange(f.Victim) {
+		return fmt.Errorf("memfault: victim %v out of range for %s", f.Victim, cfg)
+	}
+	switch f.Kind {
+	case CFin, CFid, CFst:
+		if !inRange(f.Aggr) {
+			return fmt.Errorf("memfault: aggressor %v out of range for %s", f.Aggr, cfg)
+		}
+		if f.Aggr == f.Victim {
+			return fmt.Errorf("memfault: coupling fault with aggressor == victim %v", f.Victim)
+		}
+		if f.Kind != CFin && f.Forced != 0 && f.Forced != 1 {
+			return fmt.Errorf("memfault: forced value %d", f.Forced)
+		}
+		if f.Kind == CFst && f.AggrState != 0 && f.AggrState != 1 {
+			return fmt.Errorf("memfault: aggressor state %d", f.AggrState)
+		}
+	case AF:
+		if f.MapAddr < 0 || f.MapAddr >= cfg.Words {
+			return fmt.Errorf("memfault: AF map address %d out of range", f.MapAddr)
+		}
+		if f.MapAddr == f.Victim.Addr {
+			return fmt.Errorf("memfault: AF maps address %d to itself", f.MapAddr)
+		}
+	case DRF:
+		if f.Forced != 0 && f.Forced != 1 {
+			return fmt.Errorf("memfault: DRF decay value %d", f.Forced)
+		}
+	case SAB0, SAB1:
+		if cfg.Kind != memory.TwoPort {
+			return fmt.Errorf("memfault: port-B fault on single-port %s", cfg.Name)
+		}
+	case SA0, SA1, TFUp, TFDown, SOF, RDF:
+		// Victim-only faults: nothing more to check.
+	default:
+		return fmt.Errorf("memfault: unknown kind %d", int(f.Kind))
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package memfault
+
+import (
+	"fmt"
+
+	"steac/internal/memory"
+)
+
+// FaultyRAM is an SRAM with injected functional faults.  It implements
+// memory.RAM, so March engines can run against faulty and fault-free
+// memories interchangeably.
+type FaultyRAM struct {
+	cfg    memory.Config
+	cells  []uint64 // raw array content
+	faults []Fault
+
+	// sense holds the last value sensed per bit position (the sense-amp
+	// latch), which is what an SOF cell returns on read.
+	sense []int
+
+	afMap    map[int]int
+	byVictim map[Cell][]int // indices into faults
+	byAggr   map[Cell][]int
+}
+
+var _ memory.RAM = (*FaultyRAM)(nil)
+
+// NewFaulty builds a fault-injected RAM.  Stuck-at victims are initialized
+// to their stuck value; everything else starts at 0.
+func NewFaulty(cfg memory.Config, faults []Fault) (*FaultyRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &FaultyRAM{
+		cfg:      cfg,
+		cells:    make([]uint64, cfg.Words),
+		faults:   faults,
+		sense:    make([]int, cfg.Bits),
+		afMap:    make(map[int]int),
+		byVictim: make(map[Cell][]int),
+		byAggr:   make(map[Cell][]int),
+	}
+	for i, f := range faults {
+		if err := f.Validate(cfg); err != nil {
+			return nil, err
+		}
+		switch f.Kind {
+		case AF:
+			m.afMap[f.Victim.Addr] = f.MapAddr
+		case CFin, CFid:
+			m.byAggr[f.Aggr] = append(m.byAggr[f.Aggr], i)
+			m.byVictim[f.Victim] = append(m.byVictim[f.Victim], i)
+		default:
+			m.byVictim[f.Victim] = append(m.byVictim[f.Victim], i)
+		}
+		if f.Kind == SA1 {
+			m.cells[f.Victim.Addr] |= 1 << f.Victim.Bit
+		}
+	}
+	return m, nil
+}
+
+// Config returns the macro configuration.
+func (m *FaultyRAM) Config() memory.Config { return m.cfg }
+
+func (m *FaultyRAM) effAddr(addr int) int {
+	idx := addr % m.cfg.Words
+	if idx < 0 {
+		idx += m.cfg.Words
+	}
+	if mapped, ok := m.afMap[idx]; ok {
+		return mapped
+	}
+	return idx
+}
+
+func (m *FaultyRAM) cell(c Cell) int {
+	return int(m.cells[c.Addr]>>c.Bit) & 1
+}
+
+// setCell stores v into the raw array honoring stuck-at forcing.
+func (m *FaultyRAM) setCell(c Cell, v int) {
+	for _, fi := range m.byVictim[c] {
+		switch m.faults[fi].Kind {
+		case SA0:
+			v = 0
+		case SA1:
+			v = 1
+		}
+	}
+	if v != 0 {
+		m.cells[c.Addr] |= 1 << c.Bit
+	} else {
+		m.cells[c.Addr] &^= 1 << c.Bit
+	}
+}
+
+// Write stores data at addr through the faulty port.
+func (m *FaultyRAM) Write(addr int, data uint64) {
+	eff := m.effAddr(addr)
+	data &= m.cfg.Mask()
+
+	type transition struct {
+		cell Cell
+		rise bool
+	}
+	var transitions []transition
+
+	for bit := 0; bit < m.cfg.Bits; bit++ {
+		c := Cell{Addr: eff, Bit: bit}
+		old := m.cell(c)
+		want := int(data>>bit) & 1
+		v := want
+		skip := false
+		for _, fi := range m.byVictim[c] {
+			switch m.faults[fi].Kind {
+			case SOF:
+				skip = true // cell inaccessible: write lost
+			case TFUp:
+				if old == 0 && want == 1 {
+					v = 0
+				}
+			case TFDown:
+				if old == 1 && want == 0 {
+					v = 1
+				}
+			}
+		}
+		if skip {
+			continue
+		}
+		m.setCell(c, v)
+		if now := m.cell(c); now != old {
+			transitions = append(transitions, transition{c, now == 1})
+		}
+	}
+
+	// One level of coupling effects: transitions caused by this write
+	// trigger CFin/CFid on their victims.  (Cascaded coupling — a coupling
+	// effect triggering another coupling fault — is not modelled, matching
+	// the single-fault assumption used in March coverage proofs.)
+	for _, tr := range transitions {
+		for _, fi := range m.byAggr[tr.cell] {
+			f := m.faults[fi]
+			if f.AggrRise != tr.rise {
+				continue
+			}
+			switch f.Kind {
+			case CFin:
+				m.setCell(f.Victim, 1-m.cell(f.Victim))
+			case CFid:
+				m.setCell(f.Victim, f.Forced)
+			}
+		}
+	}
+}
+
+// ReadB reads through port B of a two-port SRAM: the cell array and its
+// faults are shared with port A, plus any port-B stuck-at faults.  Calling
+// it on a single-port configuration panics, like memory.SRAM.
+func (m *FaultyRAM) ReadB(addr int) uint64 {
+	if m.cfg.Kind != memory.TwoPort {
+		panic(fmt.Sprintf("memfault: ReadB on single-port %s", m.cfg.Name))
+	}
+	word := m.Read(addr)
+	eff := m.effAddr(addr)
+	for bit := 0; bit < m.cfg.Bits; bit++ {
+		for _, fi := range m.byVictim[Cell{Addr: eff, Bit: bit}] {
+			switch m.faults[fi].Kind {
+			case SAB0:
+				word &^= 1 << bit
+			case SAB1:
+				word |= 1 << bit
+			}
+		}
+	}
+	return word
+}
+
+// Read returns the word at addr as seen through the faulty port.
+func (m *FaultyRAM) Read(addr int) uint64 {
+	eff := m.effAddr(addr)
+	var word uint64
+	for bit := 0; bit < m.cfg.Bits; bit++ {
+		c := Cell{Addr: eff, Bit: bit}
+		v := m.cell(c)
+		stuckOpen := false
+		for _, fi := range m.byVictim[c] {
+			f := m.faults[fi]
+			switch f.Kind {
+			case SOF:
+				stuckOpen = true
+			case CFst:
+				if m.cell(f.Aggr) == f.AggrState {
+					v = f.Forced
+				}
+			case RDF:
+				v = 1 - v
+				m.setCell(c, v)
+			}
+		}
+		if stuckOpen {
+			v = m.sense[bit]
+		}
+		m.sense[bit] = v
+		if v != 0 {
+			word |= uint64(1) << bit
+		}
+	}
+	return word
+}
+
+// Pause models a test delay (the Del element of a retention March test):
+// every data-retention-fault victim decays to its leakage value.
+func (m *FaultyRAM) Pause() {
+	for _, f := range m.faults {
+		if f.Kind == DRF {
+			m.setCell(f.Victim, f.Forced)
+		}
+	}
+}
+
+// RawCell exposes the raw array content for white-box tests.
+func (m *FaultyRAM) RawCell(c Cell) (int, error) {
+	if c.Addr < 0 || c.Addr >= m.cfg.Words || c.Bit < 0 || c.Bit >= m.cfg.Bits {
+		return 0, fmt.Errorf("memfault: cell %v out of range", c)
+	}
+	return m.cell(c), nil
+}

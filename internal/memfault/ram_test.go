@@ -1,0 +1,207 @@
+package memfault
+
+import (
+	"testing"
+
+	"steac/internal/memory"
+)
+
+var cfg16x4 = memory.Config{Name: "t", Words: 16, Bits: 4}
+
+func mustFaulty(t *testing.T, cfg memory.Config, faults ...Fault) *FaultyRAM {
+	t.Helper()
+	m, err := NewFaulty(cfg, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStuckAtBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4,
+		Fault{Kind: SA0, Victim: Cell{Addr: 3, Bit: 1}},
+		Fault{Kind: SA1, Victim: Cell{Addr: 5, Bit: 0}})
+	// SA1 cell reads 1 before any write.
+	if got := m.Read(5) & 1; got != 1 {
+		t.Fatalf("SA1 initial read = %d", got)
+	}
+	m.Write(3, 0xF)
+	if got := m.Read(3); got != 0xD { // bit 1 stuck at 0
+		t.Fatalf("SA0 word = %x, want d", got)
+	}
+	m.Write(5, 0x0)
+	if got := m.Read(5) & 1; got != 1 {
+		t.Fatalf("SA1 after w0 = %d", got)
+	}
+}
+
+func TestTransitionBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4,
+		Fault{Kind: TFUp, Victim: Cell{Addr: 0, Bit: 0}},
+		Fault{Kind: TFDown, Victim: Cell{Addr: 1, Bit: 0}})
+	m.Write(0, 1)
+	if m.Read(0)&1 != 0 {
+		t.Fatal("TFUp cell made 0->1 transition")
+	}
+	m.Write(1, 1)
+	if m.Read(1)&1 != 1 {
+		t.Fatal("TFDown cell could not be set")
+	}
+	m.Write(1, 0)
+	if m.Read(1)&1 != 1 {
+		t.Fatal("TFDown cell made 1->0 transition")
+	}
+}
+
+func TestStuckOpenBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4, Fault{Kind: SOF, Victim: Cell{Addr: 2, Bit: 0}})
+	m.Write(2, 1)
+	// Sense amp last saw nothing (0); SOF read returns the latch, not the cell.
+	if m.Read(2)&1 != 0 {
+		t.Fatal("SOF read did not return sense latch")
+	}
+	// Read a healthy 1 elsewhere to charge the latch, then the SOF cell
+	// returns 1 even though its array content is 0.
+	m.Write(3, 1)
+	if m.Read(3)&1 != 1 {
+		t.Fatal("healthy read failed")
+	}
+	if m.Read(2)&1 != 1 {
+		t.Fatal("SOF read did not track sense latch")
+	}
+	if raw, _ := m.RawCell(Cell{Addr: 2, Bit: 0}); raw != 0 {
+		t.Fatal("SOF write reached the array")
+	}
+}
+
+func TestCouplingInversionBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4,
+		Fault{Kind: CFin, Victim: Cell{Addr: 4, Bit: 2}, Aggr: Cell{Addr: 5, Bit: 2}, AggrRise: true})
+	m.Write(4, 0x4) // victim bit 2 = 1
+	m.Write(5, 0x4) // aggressor rises -> victim inverted
+	if m.Read(4)&0x4 != 0 {
+		t.Fatal("CFin rise did not invert victim")
+	}
+	m.Write(5, 0x0) // fall: no trigger
+	if m.Read(4)&0x4 != 0 {
+		t.Fatal("CFin fall should not trigger a rise-sensitized fault")
+	}
+}
+
+func TestCouplingIdempotentBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4,
+		Fault{Kind: CFid, Victim: Cell{Addr: 7, Bit: 0}, Aggr: Cell{Addr: 8, Bit: 0}, AggrRise: false, Forced: 1})
+	m.Write(8, 1)
+	m.Write(8, 0) // fall -> victim forced to 1
+	if m.Read(7)&1 != 1 {
+		t.Fatal("CFid fall did not force victim")
+	}
+}
+
+func TestCouplingStateBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4,
+		Fault{Kind: CFst, Victim: Cell{Addr: 1, Bit: 3}, Aggr: Cell{Addr: 2, Bit: 3}, AggrState: 1, Forced: 0})
+	m.Write(1, 0x8)
+	if m.Read(1)&0x8 == 0 {
+		t.Fatal("victim readable while aggressor inactive")
+	}
+	m.Write(2, 0x8) // aggressor now in state 1
+	if m.Read(1)&0x8 != 0 {
+		t.Fatal("CFst did not force victim while aggressor active")
+	}
+	m.Write(2, 0)
+	if m.Read(1)&0x8 == 0 {
+		t.Fatal("victim did not recover when aggressor deactivated")
+	}
+}
+
+func TestAddressFaultBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4, Fault{Kind: AF, Victim: Cell{Addr: 6}, MapAddr: 7})
+	m.Write(6, 0xA) // lands in cell 7
+	if m.Read(7) != 0xA {
+		t.Fatal("AF write did not land at mapped address")
+	}
+	if m.Read(6) != 0xA { // read also remapped
+		t.Fatal("AF read not remapped")
+	}
+	if raw, _ := m.RawCell(Cell{Addr: 6, Bit: 1}); raw != 0 {
+		t.Fatal("AF victim cell was written")
+	}
+}
+
+func TestReadDisturbBehaviour(t *testing.T) {
+	m := mustFaulty(t, cfg16x4, Fault{Kind: RDF, Victim: Cell{Addr: 9, Bit: 0}})
+	m.Write(9, 0)
+	if m.Read(9)&1 != 1 {
+		t.Fatal("RDF read did not return inverted value")
+	}
+	if raw, _ := m.RawCell(Cell{Addr: 9, Bit: 0}); raw != 1 {
+		t.Fatal("RDF did not flip the cell")
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	bad := []Fault{
+		{Kind: SA0, Victim: Cell{Addr: 99, Bit: 0}},
+		{Kind: CFin, Victim: Cell{Addr: 1}, Aggr: Cell{Addr: 1}},
+		{Kind: CFst, Victim: Cell{Addr: 1}, Aggr: Cell{Addr: 2}, AggrState: 5},
+		{Kind: AF, Victim: Cell{Addr: 3}, MapAddr: 3},
+		{Kind: AF, Victim: Cell{Addr: 3}, MapAddr: 99},
+		{Kind: Kind(42), Victim: Cell{Addr: 0}},
+	}
+	for _, f := range bad {
+		if _, err := NewFaulty(cfg16x4, []Fault{f}); err == nil {
+			t.Errorf("fault %v accepted", f)
+		}
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	for _, f := range []Fault{
+		{Kind: SA0, Victim: Cell{Addr: 1, Bit: 2}},
+		{Kind: CFin, Victim: Cell{Addr: 1}, Aggr: Cell{Addr: 2}, AggrRise: true},
+		{Kind: CFid, Victim: Cell{Addr: 1}, Aggr: Cell{Addr: 2}, Forced: 1},
+		{Kind: CFst, Victim: Cell{Addr: 1}, Aggr: Cell{Addr: 2}, AggrState: 1},
+		{Kind: AF, Victim: Cell{Addr: 1}, MapAddr: 2},
+	} {
+		if f.String() == "" {
+			t.Errorf("empty string for %v", f.Kind)
+		}
+	}
+	kinds := []Kind{SA0, SA1, TFUp, TFDown, CFin, CFid, CFst, SOF, AF, RDF}
+	for _, k := range kinds {
+		if k.String() == "" || k.Class() == "?" {
+			t.Errorf("kind %d missing name/class", int(k))
+		}
+	}
+}
+
+func TestPortBFaultBehaviour(t *testing.T) {
+	cfg := memory.Config{Name: "tp", Words: 8, Bits: 4, Kind: memory.TwoPort}
+	m, err := NewFaulty(cfg, []Fault{
+		{Kind: SAB1, Victim: Cell{Addr: 2, Bit: 0}},
+		{Kind: SAB0, Victim: Cell{Addr: 2, Bit: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(2, 0x2) // bit1=1, bit0=0
+	if got := m.Read(2); got != 0x2 {
+		t.Fatalf("port A read = %x", got)
+	}
+	if got := m.ReadB(2); got != 0x1 { // bit0 forced 1, bit1 forced 0
+		t.Fatalf("port B read = %x, want 1", got)
+	}
+	// Port-B faults are rejected on single-port macros.
+	spCfg := memory.Config{Name: "sp", Words: 8, Bits: 4}
+	if _, err := NewFaulty(spCfg, []Fault{{Kind: SAB0, Victim: Cell{Addr: 0}}}); err == nil {
+		t.Fatal("SAB on single-port accepted")
+	}
+	sp := mustFaulty(t, spCfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadB on single-port did not panic")
+		}
+	}()
+	sp.ReadB(0)
+}

@@ -1,0 +1,74 @@
+package memfault
+
+import (
+	"testing"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+func TestRetentionFaultBehaviour(t *testing.T) {
+	cfg := memory.Config{Name: "r", Words: 8, Bits: 4}
+	m := mustFaulty(t, cfg,
+		Fault{Kind: DRF, Victim: Cell{Addr: 2, Bit: 1}, Forced: 0})
+	m.Write(2, 0xF)
+	if m.Read(2) != 0xF {
+		t.Fatal("DRF cell should hold before a pause")
+	}
+	m.Pause()
+	if m.Read(2) != 0xD {
+		t.Fatalf("DRF cell did not decay: %x", m.Read(2))
+	}
+	if _, err := NewFaulty(cfg, []Fault{{Kind: DRF, Victim: Cell{Addr: 0}, Forced: 7}}); err == nil {
+		t.Fatal("bad decay value accepted")
+	}
+}
+
+// Without pauses a retention fault is invisible; with the canonical pause
+// points every DRF is caught by March C-.
+func TestRetentionNeedsPauses(t *testing.T) {
+	cfg := memory.Config{Name: "r", Words: 16, Bits: 4}
+	faults := RetentionFaults(cfg)
+	if len(faults) != 2*cfg.BitCount() {
+		t.Fatalf("fault count = %d", len(faults))
+	}
+	noPause, err := Coverage(march.MarchCMinus(), cfg, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPause.Percent() != 0 {
+		t.Fatalf("DRF coverage without pauses = %.1f%%, want 0", noPause.Percent())
+	}
+	withPause, err := Coverage(march.MarchCMinus(), cfg, faults,
+		Options{PauseBefore: RetentionPauses()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPause.Percent() != 100 {
+		t.Fatalf("DRF coverage with pauses = %.1f%% (undetected: %v)",
+			withPause.Percent(), withPause.Undetected)
+	}
+	// A single pause catches only one decay direction.
+	onePause, err := Coverage(march.MarchCMinus(), cfg, faults,
+		Options{PauseBefore: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onePause.Percent() != 50 {
+		t.Fatalf("single-pause DRF coverage = %.1f%%, want 50", onePause.Percent())
+	}
+}
+
+// Retention pauses do not disturb coverage of the ordinary fault list.
+func TestPausesAreNeutralForOtherFaults(t *testing.T) {
+	cfg := memory.Config{Name: "r", Words: 16, Bits: 4}
+	faults := StuckAtFaults(cfg)
+	camp, err := Coverage(march.MarchCMinus(), cfg, faults,
+		Options{PauseBefore: RetentionPauses()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Percent() != 100 {
+		t.Fatalf("SAF coverage with pauses = %.1f%%", camp.Percent())
+	}
+}

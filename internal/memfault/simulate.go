@@ -1,0 +1,184 @@
+package memfault
+
+import (
+	"fmt"
+	"sort"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+// Detection is the outcome of simulating one fault machine under one March
+// algorithm.
+type Detection struct {
+	Detected bool
+	// OpIndex is the position in the access stream where the first
+	// mismatch occurred (valid when Detected).
+	OpIndex int
+	// Access is the detecting read.
+	Access march.Access
+	// Expected and Got are the full data words compared.
+	Expected, Got uint64
+}
+
+// Options tunes the simulation.
+type Options struct {
+	// Background is the data word written for March value 0; value 1
+	// writes its complement.  The zero value (all-zeros background) is the
+	// classical solid background.
+	Background uint64
+	// Backgrounds, when non-empty, runs the algorithm once per background
+	// (each run on a fresh fault machine, like a BIST background loop) and
+	// reports a detection if any run detects.  It overrides Background.
+	Backgrounds []uint64
+	// PauseBefore lists March element indices preceded by a retention
+	// pause (the Del of a retention test); data-retention faults decay
+	// during each pause.
+	PauseBefore []int
+}
+
+// Simulate runs alg against a single-fault (or multi-fault) machine on a
+// memory of the given configuration and reports whether any read
+// mismatches the fault-free reference.
+func Simulate(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Detection, error) {
+	if err := alg.Validate(); err != nil {
+		return Detection{}, err
+	}
+	if len(opt.Backgrounds) > 0 {
+		for _, bg := range opt.Backgrounds {
+			det, err := Simulate(alg, cfg, faults,
+				Options{Background: bg, PauseBefore: opt.PauseBefore})
+			if err != nil {
+				return Detection{}, err
+			}
+			if det.Detected {
+				return det, nil
+			}
+		}
+		return Detection{}, nil
+	}
+	faulty, err := NewFaulty(cfg, faults)
+	if err != nil {
+		return Detection{}, err
+	}
+	golden, err := memory.New(cfg)
+	if err != nil {
+		return Detection{}, err
+	}
+	bg := opt.Background & cfg.Mask()
+	dataFor := func(v int) uint64 {
+		if v == 0 {
+			return bg
+		}
+		return ^bg & cfg.Mask()
+	}
+	pauseBefore := make(map[int]bool, len(opt.PauseBefore))
+	for _, e := range opt.PauseBefore {
+		pauseBefore[e] = true
+	}
+	var det Detection
+	idx := 0
+	lastElem := -1
+	alg.Walk(cfg.Words, func(acc march.Access) bool {
+		if acc.Elem != lastElem {
+			lastElem = acc.Elem
+			if pauseBefore[acc.Elem] {
+				faulty.Pause() // the golden memory has nothing to decay
+			}
+		}
+		if acc.Op.Read {
+			want := golden.Read(acc.Addr)
+			got := faulty.Read(acc.Addr)
+			if want != got {
+				det = Detection{Detected: true, OpIndex: idx, Access: acc, Expected: want, Got: got}
+				return false
+			}
+		} else {
+			d := dataFor(acc.Op.Value)
+			golden.Write(acc.Addr, d)
+			faulty.Write(acc.Addr, d)
+		}
+		idx++
+		return true
+	})
+	return det, nil
+}
+
+// ClassCoverage is the detected/total ratio for one fault class.
+type ClassCoverage struct {
+	Class    string
+	Total    int
+	Detected int
+}
+
+// Percent returns the coverage percentage (100 for an empty class).
+func (c ClassCoverage) Percent() float64 {
+	if c.Total == 0 {
+		return 100
+	}
+	return 100 * float64(c.Detected) / float64(c.Total)
+}
+
+// Campaign is the result of simulating a list of single faults.
+type Campaign struct {
+	Algorithm string
+	Total     int
+	Detected  int
+	ByClass   []ClassCoverage
+	// Undetected lists the surviving faults (capped at 32 for reports).
+	Undetected []Fault
+}
+
+// Percent returns the overall fault coverage percentage.
+func (c Campaign) Percent() float64 {
+	if c.Total == 0 {
+		return 100
+	}
+	return 100 * float64(c.Detected) / float64(c.Total)
+}
+
+// Coverage simulates each fault in isolation (single-fault assumption) and
+// aggregates coverage per fault class.
+func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {
+	camp := Campaign{Algorithm: alg.Name}
+	byClass := make(map[string]*ClassCoverage)
+	for _, f := range faults {
+		det, err := Simulate(alg, cfg, []Fault{f}, opt)
+		if err != nil {
+			return Campaign{}, fmt.Errorf("memfault: simulating %s: %w", f, err)
+		}
+		camp.Total++
+		cc := byClass[f.Kind.Class()]
+		if cc == nil {
+			cc = &ClassCoverage{Class: f.Kind.Class()}
+			byClass[f.Kind.Class()] = cc
+		}
+		cc.Total++
+		if det.Detected {
+			camp.Detected++
+			cc.Detected++
+		} else if len(camp.Undetected) < 32 {
+			camp.Undetected = append(camp.Undetected, f)
+		}
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		camp.ByClass = append(camp.ByClass, *byClass[c])
+	}
+	return camp, nil
+}
+
+// ClassPercent returns the coverage of one class in a campaign, or -1 if the
+// class was not exercised.
+func (c Campaign) ClassPercent(class string) float64 {
+	for _, cc := range c.ByClass {
+		if cc.Class == class {
+			return cc.Percent()
+		}
+	}
+	return -1
+}

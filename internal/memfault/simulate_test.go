@@ -1,0 +1,243 @@
+package memfault
+
+import (
+	"testing"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+// coverage runs a single-fault campaign and returns it, failing the test on
+// simulator errors.
+func coverage(t *testing.T, alg march.Algorithm, faults []Fault) Campaign {
+	t.Helper()
+	camp, err := Coverage(alg, cfg16x4, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camp
+}
+
+// The assertions below are the classical March coverage results; getting
+// them from an empirical fault simulation is the point of the experiment
+// ("evaluate the memory test efficiency", paper §2).
+
+func TestStuckAtCoverage(t *testing.T) {
+	faults := StuckAtFaults(cfg16x4)
+	for _, alg := range march.Catalog() {
+		camp := coverage(t, alg, faults)
+		if camp.Percent() != 100 {
+			t.Errorf("%s SAF coverage = %.1f%%, want 100%%", alg.Name, camp.Percent())
+		}
+	}
+}
+
+func TestTransitionCoverage(t *testing.T) {
+	faults := TransitionFaults(cfg16x4)
+	// MSCAN and MATS+ miss down-transitions; everything from March X up
+	// detects all TFs.
+	for _, tc := range []struct {
+		alg  march.Algorithm
+		want float64
+	}{
+		{march.MSCAN(), 50},
+		{march.MATSPlus(), 50},
+		{march.MarchX(), 100},
+		{march.MarchY(), 100},
+		{march.MarchCMinus(), 100},
+		{march.MarchA(), 100},
+		{march.MarchB(), 100},
+		{march.MarchLR(), 100},
+	} {
+		camp := coverage(t, tc.alg, faults)
+		if camp.Percent() != tc.want {
+			t.Errorf("%s TF coverage = %.1f%%, want %.0f%%", tc.alg.Name, camp.Percent(), tc.want)
+		}
+	}
+}
+
+func TestAddressFaultCoverage(t *testing.T) {
+	faults := AddressFaults(cfg16x4)
+	if camp := coverage(t, march.MSCAN(), faults); camp.Percent() != 0 {
+		t.Errorf("MSCAN AF coverage = %.1f%%, want 0%% (element-uniform sweeps cannot see decoder faults)", camp.Percent())
+	}
+	for _, alg := range []march.Algorithm{march.MATSPlus(), march.MarchCMinus(), march.MarchB()} {
+		if camp := coverage(t, alg, faults); camp.Percent() != 100 {
+			t.Errorf("%s AF coverage = %.1f%%, want 100%%", alg.Name, camp.Percent())
+		}
+	}
+}
+
+func TestCouplingCoverage(t *testing.T) {
+	faults := CouplingFaults(cfg16x4)
+	// March C- detects all unlinked CFin/CFid/CFst.
+	camp := coverage(t, march.MarchCMinus(), faults)
+	if camp.Percent() != 100 {
+		t.Errorf("March C- coupling coverage = %.1f%% (undetected: %v)", camp.Percent(), camp.Undetected)
+	}
+	// MATS+ cannot detect all coupling faults.
+	if camp := coverage(t, march.MATSPlus(), faults); camp.Percent() >= 100 {
+		t.Errorf("MATS+ coupling coverage = %.1f%%, expected < 100%%", camp.Percent())
+	}
+}
+
+func TestStuckOpenCoverage(t *testing.T) {
+	faults := StuckOpenFaults(cfg16x4)
+	// SOF needs a (..., wx, rx) element; March Y and March B have one,
+	// March C- does not (it only catches the address-boundary cells where
+	// the expected value flips between elements).
+	for _, alg := range []march.Algorithm{march.MarchY(), march.MarchB()} {
+		if camp := coverage(t, alg, faults); camp.Percent() != 100 {
+			t.Errorf("%s SOF coverage = %.1f%%, want 100%%", alg.Name, camp.Percent())
+		}
+	}
+	camp := coverage(t, march.MarchCMinus(), faults)
+	if camp.Percent() >= 100 || camp.Percent() <= 0 {
+		t.Errorf("March C- SOF coverage = %.1f%%, expected partial", camp.Percent())
+	}
+}
+
+func TestReadDisturbCoverage(t *testing.T) {
+	faults := ReadDisturbFaults(cfg16x4)
+	for _, alg := range march.Catalog() {
+		if camp := coverage(t, alg, faults); camp.Percent() != 100 {
+			t.Errorf("%s RDF coverage = %.1f%%, want 100%%", alg.Name, camp.Percent())
+		}
+	}
+}
+
+func TestCoverageMonotoneInStrength(t *testing.T) {
+	// Over the full fault list, the thorough algorithms must never do
+	// worse than the cheap ones: MSCAN <= MATS+ <= March C-.
+	faults := AllFaults(cfg16x4)
+	var last float64 = -1
+	for _, alg := range []march.Algorithm{march.MSCAN(), march.MATSPlus(), march.MarchCMinus()} {
+		camp := coverage(t, alg, faults)
+		if camp.Percent() < last {
+			t.Fatalf("%s coverage %.2f%% dropped below weaker algorithm's %.2f%%",
+				alg.Name, camp.Percent(), last)
+		}
+		last = camp.Percent()
+	}
+}
+
+func TestDetectionDiagnostics(t *testing.T) {
+	f := Fault{Kind: SA1, Victim: Cell{Addr: 4, Bit: 2}}
+	det, err := Simulate(march.MSCAN(), cfg16x4, []Fault{f}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Fatal("SA1 not detected by MSCAN")
+	}
+	if !det.Access.Op.Read || det.Access.Addr != 4 {
+		t.Fatalf("detecting access = %+v, want read of addr 4", det.Access)
+	}
+	if det.Expected == det.Got {
+		t.Fatal("detection with equal words")
+	}
+}
+
+func TestFaultFreeNoDetection(t *testing.T) {
+	for _, alg := range march.Catalog() {
+		det, err := Simulate(alg, cfg16x4, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.Detected {
+			t.Fatalf("%s flagged a fault-free memory: %+v", alg.Name, det)
+		}
+	}
+}
+
+func TestBackgroundOption(t *testing.T) {
+	// With a checkerboard background the simulation still flags SAFs and
+	// stays silent on a fault-free memory.
+	opt := Options{Background: 0x5}
+	det, err := Simulate(march.MarchCMinus(), cfg16x4, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Detected {
+		t.Fatal("background run flagged fault-free memory")
+	}
+	det, err = Simulate(march.MarchCMinus(), cfg16x4,
+		[]Fault{{Kind: SA0, Victim: Cell{Addr: 0, Bit: 0}}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Fatal("background run missed SA0")
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	if _, err := Simulate(march.Algorithm{Name: "empty"}, cfg16x4, nil, Options{}); err == nil {
+		t.Fatal("empty algorithm accepted")
+	}
+	bad := []Fault{{Kind: SA0, Victim: Cell{Addr: 999}}}
+	if _, err := Simulate(march.MSCAN(), cfg16x4, bad, Options{}); err == nil {
+		t.Fatal("bad fault accepted")
+	}
+	if _, err := Coverage(march.MSCAN(), cfg16x4, bad, Options{}); err == nil {
+		t.Fatal("Coverage accepted bad fault")
+	}
+}
+
+func TestCampaignClassBreakdown(t *testing.T) {
+	faults := append(StuckAtFaults(cfg16x4), AddressFaults(cfg16x4)...)
+	camp := coverage(t, march.MSCAN(), faults)
+	if got := camp.ClassPercent("SAF"); got != 100 {
+		t.Fatalf("SAF class = %.1f%%", got)
+	}
+	if got := camp.ClassPercent("AF"); got != 0 {
+		t.Fatalf("AF class = %.1f%%", got)
+	}
+	if got := camp.ClassPercent("nope"); got != -1 {
+		t.Fatalf("unknown class = %v", got)
+	}
+	if len(camp.Undetected) == 0 {
+		t.Fatal("undetected faults not recorded")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	faults := AllFaults(cfg16x4)
+	a := Sample(faults, 10, 42)
+	b := Sample(faults, 10, 42)
+	if len(a) != 10 {
+		t.Fatalf("sample size = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	all := Sample(faults, len(faults)+5, 1)
+	if len(all) != len(faults) {
+		t.Fatalf("oversized sample = %d", len(all))
+	}
+}
+
+func TestGeneratorCounts(t *testing.T) {
+	n := cfg16x4.BitCount()
+	if got := len(StuckAtFaults(cfg16x4)); got != 2*n {
+		t.Fatalf("SAF count = %d", got)
+	}
+	if got := len(TransitionFaults(cfg16x4)); got != 2*n {
+		t.Fatalf("TF count = %d", got)
+	}
+	if got := len(StuckOpenFaults(cfg16x4)); got != n {
+		t.Fatalf("SOF count = %d", got)
+	}
+	if got := len(AddressFaults(cfg16x4)); got != cfg16x4.Words {
+		t.Fatalf("AF count = %d", got)
+	}
+	if len(CouplingFaults(cfg16x4)) == 0 {
+		t.Fatal("no coupling faults generated")
+	}
+	one := memory.Config{Name: "one", Words: 1, Bits: 1}
+	if len(AddressFaults(one)) != 0 || len(CouplingFaults(one)) != 0 {
+		t.Fatal("1-word memory should have no AF/CF faults")
+	}
+}

@@ -1,0 +1,167 @@
+// Package memory provides behavioural models of the embedded synchronous
+// SRAM cores of the DSC test chip: single-port RAMs and two-port RAMs (one
+// read/write port A, one read-only port B), with arbitrary word count and
+// word width up to 64 bits.
+//
+// These models stand in for the fabricated 0.25 µm SRAM macros of the paper:
+// every property the test flow depends on — word count, word width, port
+// structure, per-cycle access protocol — is preserved, and the memfault
+// package injects the classical RAM fault models into them so that March
+// test efficiency can be measured exactly as the BRAINS compiler reports it.
+package memory
+
+import "fmt"
+
+// Kind distinguishes the two SRAM port structures used on the DSC chip.
+type Kind int
+
+// Supported SRAM kinds.
+const (
+	// SinglePort is a one-port synchronous SRAM (one read/write port).
+	SinglePort Kind = iota
+	// TwoPort is a two-port synchronous SRAM: port A reads and writes,
+	// port B only reads.
+	TwoPort
+)
+
+// String names the kind the way the paper does.
+func (k Kind) String() string {
+	switch k {
+	case SinglePort:
+		return "1-port"
+	case TwoPort:
+		return "2-port"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config describes one SRAM macro.
+type Config struct {
+	Name  string
+	Words int
+	Bits  int
+	Kind  Kind
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.Words <= 0 {
+		return fmt.Errorf("memory: %s: words %d <= 0", c.Name, c.Words)
+	}
+	if c.Bits <= 0 || c.Bits > 64 {
+		return fmt.Errorf("memory: %s: bits %d outside 1..64", c.Name, c.Bits)
+	}
+	if c.Kind != SinglePort && c.Kind != TwoPort {
+		return fmt.Errorf("memory: %s: unknown kind %d", c.Name, int(c.Kind))
+	}
+	return nil
+}
+
+// BitCount returns the total number of storage cells.
+func (c Config) BitCount() int { return c.Words * c.Bits }
+
+// AddrBits returns the number of address lines.
+func (c Config) AddrBits() int {
+	n := 0
+	for w := c.Words - 1; w > 0; w >>= 1 {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Mask returns the word-width bit mask.
+func (c Config) Mask() uint64 {
+	if c.Bits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << c.Bits) - 1
+}
+
+// String renders e.g. "dsc_ram3 (2048x16, 1-port)".
+func (c Config) String() string {
+	return fmt.Sprintf("%s (%dx%d, %s)", c.Name, c.Words, c.Bits, c.Kind)
+}
+
+// RAM is the access interface shared by the fault-free SRAM and the
+// fault-injected model in package memfault.
+type RAM interface {
+	Config() Config
+	// Read returns the word at addr through the read/write port.
+	Read(addr int) uint64
+	// Write stores data (masked to the word width) at addr.
+	Write(addr int, data uint64)
+}
+
+// SRAM is the fault-free behavioural model.
+type SRAM struct {
+	cfg  Config
+	data []uint64
+
+	// Reads and Writes count accesses, for test-time cross-checks.
+	Reads, Writes int
+}
+
+// New builds a zero-initialized SRAM.
+func New(cfg Config) (*SRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SRAM{cfg: cfg, data: make([]uint64, cfg.Words)}, nil
+}
+
+// MustNew is New that panics on error; for tests and generators with
+// program-constructed configs.
+func MustNew(cfg Config) *SRAM {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the macro configuration.
+func (m *SRAM) Config() Config { return m.cfg }
+
+// Read returns the word at addr.  Out-of-range addresses wrap modulo the
+// word count, matching how a physical decoder ignores upper address bits.
+func (m *SRAM) Read(addr int) uint64 {
+	m.Reads++
+	return m.data[m.index(addr)]
+}
+
+// Write stores data at addr, masked to the word width.
+func (m *SRAM) Write(addr int, data uint64) {
+	m.Writes++
+	m.data[m.index(addr)] = data & m.cfg.Mask()
+}
+
+// ReadB reads through port B of a two-port SRAM.  Port B sees the current
+// array content (write-through with respect to port A in the same cycle).
+// Calling ReadB on a single-port SRAM is a modelling error and panics.
+func (m *SRAM) ReadB(addr int) uint64 {
+	if m.cfg.Kind != TwoPort {
+		panic(fmt.Sprintf("memory: ReadB on single-port SRAM %s", m.cfg.Name))
+	}
+	m.Reads++
+	return m.data[m.index(addr)]
+}
+
+// Fill writes the same word to every address (used to set data backgrounds).
+func (m *SRAM) Fill(word uint64) {
+	word &= m.cfg.Mask()
+	for i := range m.data {
+		m.data[i] = word
+	}
+	m.Writes += m.cfg.Words
+}
+
+func (m *SRAM) index(addr int) int {
+	idx := addr % m.cfg.Words
+	if idx < 0 {
+		idx += m.cfg.Words
+	}
+	return idx
+}

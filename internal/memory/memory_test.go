@@ -1,0 +1,136 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "m", Words: 16, Bits: 8, Kind: SinglePort}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Name: "w0", Words: 0, Bits: 8},
+		{Name: "b0", Words: 8, Bits: 0},
+		{Name: "b65", Words: 8, Bits: 65},
+		{Name: "k", Words: 8, Bits: 8, Kind: Kind(9)},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %v accepted", bad)
+		}
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	c := Config{Name: "m", Words: 2048, Bits: 16}
+	if c.BitCount() != 32768 {
+		t.Fatalf("bit count = %d", c.BitCount())
+	}
+	if c.AddrBits() != 11 {
+		t.Fatalf("addr bits = %d", c.AddrBits())
+	}
+	if c.Mask() != 0xFFFF {
+		t.Fatalf("mask = %x", c.Mask())
+	}
+	if (Config{Words: 1, Bits: 1}).AddrBits() != 1 {
+		t.Fatal("1-word RAM needs 1 address bit")
+	}
+	if (Config{Words: 8, Bits: 64}).Mask() != ^uint64(0) {
+		t.Fatal("64-bit mask wrong")
+	}
+	s := Config{Name: "ram", Words: 256, Bits: 8, Kind: TwoPort}.String()
+	if !strings.Contains(s, "256x8") || !strings.Contains(s, "2-port") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	m := MustNew(Config{Name: "m", Words: 8, Bits: 4})
+	m.Write(3, 0xFF) // masked to 4 bits
+	if got := m.Read(3); got != 0xF {
+		t.Fatalf("read = %x, want f", got)
+	}
+	if got := m.Read(4); got != 0 {
+		t.Fatalf("untouched word = %x", got)
+	}
+	// Address wrap.
+	m.Write(11, 0x5)
+	if got := m.Read(3); got != 0x5 {
+		t.Fatalf("wrapped write: read(3) = %x, want 5", got)
+	}
+	if m.Reads != 3 || m.Writes != 2 {
+		t.Fatalf("counters = %d reads, %d writes", m.Reads, m.Writes)
+	}
+}
+
+func TestTwoPort(t *testing.T) {
+	m := MustNew(Config{Name: "m", Words: 4, Bits: 8, Kind: TwoPort})
+	m.Write(2, 0xAB)
+	if got := m.ReadB(2); got != 0xAB {
+		t.Fatalf("port B read = %x", got)
+	}
+	sp := MustNew(Config{Name: "sp", Words: 4, Bits: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadB on single-port did not panic")
+		}
+	}()
+	sp.ReadB(0)
+}
+
+func TestFill(t *testing.T) {
+	m := MustNew(Config{Name: "m", Words: 16, Bits: 8})
+	m.Fill(0x3C)
+	for a := 0; a < 16; a++ {
+		if m.Read(a) != 0x3C {
+			t.Fatalf("fill missed addr %d", a)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Name: "bad", Words: -1, Bits: 8}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{Name: "bad", Words: 0, Bits: 0})
+}
+
+// Property: a write followed by a read of the same address returns the
+// written value masked to the word width, for any geometry.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(words uint16, bits uint8, addr uint16, data uint64) bool {
+		w := int(words%4096) + 1
+		b := int(bits%64) + 1
+		m := MustNew(Config{Name: "p", Words: w, Bits: b})
+		m.Write(int(addr), data)
+		return m.Read(int(addr)) == data&m.Config().Mask()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: writes to one address never disturb another address (fault-free
+// model has no coupling).
+func TestNoDisturbProperty(t *testing.T) {
+	f := func(a, b uint8, data uint64) bool {
+		m := MustNew(Config{Name: "p", Words: 256, Bits: 16})
+		ai, bi := int(a), int(b)
+		if ai == bi {
+			return true
+		}
+		m.Write(ai, 0x1234)
+		m.Write(bi, data)
+		return m.Read(ai) == 0x1234
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

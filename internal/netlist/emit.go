@@ -1,0 +1,120 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EmitVerilog writes a structural Verilog view of the whole design, top
+// module last (compilation order), to w.
+func (d *Design) EmitVerilog(w io.Writer) error {
+	names := d.ModuleNames()
+	// Emit non-top modules first, then top.
+	ordered := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != d.Top {
+			ordered = append(ordered, n)
+		}
+	}
+	if d.Top != "" {
+		ordered = append(ordered, d.Top)
+	}
+	for _, n := range ordered {
+		if err := d.emitModule(w, d.Modules[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vname renders a net/instance/formal name as a Verilog identifier: plain
+// names pass through, anything with characters outside [A-Za-z0-9_$] (bus
+// bits of formals, hierarchical junctions) becomes an escaped identifier
+// ("\name " with the mandatory trailing space), which the parser in this
+// package reads back verbatim — emission round-trips.
+func vname(name string) string {
+	plain := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c == '_' || c == '$' || (c >= '0' && c <= '9') ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+			plain = false
+			break
+		}
+	}
+	if plain && len(name) > 0 && !(name[0] >= '0' && name[0] <= '9') {
+		return name
+	}
+	return "\\" + name + " "
+}
+
+func (d *Design) emitModule(w io.Writer, m *Module) error {
+	portNames := make([]string, len(m.Ports))
+	for i, p := range m.Ports {
+		portNames[i] = p.Name
+	}
+	if m.Behavioral {
+		if _, err := fmt.Fprintf(w, "// behavioral IP block, %0.f NAND2-equivalent gates\nmodule %s(%s);\n",
+			m.AreaOverride, m.Name, strings.Join(portNames, ", ")); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "module %s(%s);\n", m.Name, strings.Join(portNames, ", ")); err != nil {
+			return err
+		}
+	}
+	for _, p := range m.Ports {
+		if p.Width > 1 {
+			fmt.Fprintf(w, "  %s [%d:0] %s;\n", p.Dir, p.Width-1, p.Name)
+		} else {
+			fmt.Fprintf(w, "  %s %s;\n", p.Dir, p.Name)
+		}
+	}
+	// Internal wires (anything not backing a port bit).
+	portBit := make(map[string]bool)
+	for _, p := range m.Ports {
+		for _, b := range p.Bits() {
+			portBit[b] = true
+		}
+	}
+	wires := make([]string, 0, len(m.Nets))
+	for n := range m.Nets {
+		if !portBit[n] {
+			wires = append(wires, n)
+		}
+	}
+	sort.Strings(wires)
+	for _, n := range wires {
+		fmt.Fprintf(w, "  wire %s;\n", vname(n))
+	}
+	for _, inst := range m.Instances {
+		formals := make([]string, 0, len(inst.Conns))
+		for f := range inst.Conns {
+			formals = append(formals, f)
+		}
+		sort.Strings(formals)
+		conns := make([]string, len(formals))
+		for i, f := range formals {
+			actual := inst.Conns[f]
+			if !portBit[actual] {
+				actual = vname(actual)
+			}
+			conns[i] = fmt.Sprintf(".%s(%s)", vname(f), actual)
+		}
+		fmt.Fprintf(w, "  %s %s (%s);\n", inst.Of, vname(inst.Name), strings.Join(conns, ", "))
+	}
+	_, err := fmt.Fprintf(w, "endmodule\n\n")
+	return err
+}
+
+// EmitVerilogString renders the design to a string; it is a convenience
+// wrapper over EmitVerilog for reports and tests.
+func (d *Design) EmitVerilogString() (string, error) {
+	var sb strings.Builder
+	if err := d.EmitVerilog(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,118 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LintIssue is one structural problem found by Lint.
+type LintIssue struct {
+	Module string
+	Kind   string // "undriven", "multidriven", "unknown-ref", "bad-port"
+	Detail string
+}
+
+func (i LintIssue) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Module, i.Kind, i.Detail)
+}
+
+// Lint checks the structural sanity of every module in the design:
+// instance references resolve, formal ports exist on the instantiated
+// cell/module, every net has exactly one driver, and output ports are
+// driven.  Behavioral modules are skipped.
+func (d *Design) Lint() []LintIssue {
+	var issues []LintIssue
+	for _, name := range d.ModuleNames() {
+		issues = append(issues, d.lintModule(d.Modules[name])...)
+	}
+	return issues
+}
+
+func (d *Design) lintModule(m *Module) []LintIssue {
+	if m.Behavioral {
+		return nil
+	}
+	var issues []LintIssue
+	drivers := make(map[string]int)
+	loads := make(map[string]int)
+	// Module input bits drive nets; output bits are loads.
+	for _, p := range m.Ports {
+		for _, b := range p.Bits() {
+			switch p.Dir {
+			case In:
+				drivers[b]++
+			case Out:
+				loads[b]++
+			default: // InOut counts as both.
+				drivers[b]++
+				loads[b]++
+			}
+		}
+	}
+	for _, inst := range m.Instances {
+		var ins, outs map[string]bool
+		if cell, ok := d.Lib.Cell(inst.Of); ok {
+			ins, outs = portSets(cell.Inputs, cell.Outputs)
+		} else if sub, ok := d.Modules[inst.Of]; ok {
+			var inNames, outNames []string
+			for _, p := range sub.Ports {
+				switch p.Dir {
+				case In:
+					inNames = append(inNames, p.Bits()...)
+				case Out:
+					outNames = append(outNames, p.Bits()...)
+				default:
+					inNames = append(inNames, p.Bits()...)
+					outNames = append(outNames, p.Bits()...)
+				}
+			}
+			ins, outs = portSets(inNames, outNames)
+		} else {
+			issues = append(issues, LintIssue{m.Name, "unknown-ref",
+				fmt.Sprintf("instance %s references unknown cell/module %s", inst.Name, inst.Of)})
+			continue
+		}
+		for formal, actual := range inst.Conns {
+			in, out := ins[formal], outs[formal]
+			if !in && !out {
+				issues = append(issues, LintIssue{m.Name, "bad-port",
+					fmt.Sprintf("instance %s (%s) has no port %s", inst.Name, inst.Of, formal)})
+				continue
+			}
+			if out {
+				drivers[actual]++
+			}
+			if in {
+				loads[actual]++
+			}
+		}
+	}
+	nets := make([]string, 0, len(m.Nets))
+	for n := range m.Nets {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	for _, n := range nets {
+		switch {
+		case drivers[n] == 0 && loads[n] > 0:
+			issues = append(issues, LintIssue{m.Name, "undriven",
+				fmt.Sprintf("net %s has %d loads and no driver", n, loads[n])})
+		case drivers[n] > 1:
+			issues = append(issues, LintIssue{m.Name, "multidriven",
+				fmt.Sprintf("net %s has %d drivers", n, drivers[n])})
+		}
+	}
+	return issues
+}
+
+func portSets(in, out []string) (map[string]bool, map[string]bool) {
+	ins := make(map[string]bool, len(in))
+	for _, p := range in {
+		ins[p] = true
+	}
+	outs := make(map[string]bool, len(out))
+	for _, p := range out {
+		outs[p] = true
+	}
+	return ins, outs
+}

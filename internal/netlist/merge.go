@@ -1,0 +1,39 @@
+package netlist
+
+import "fmt"
+
+// Clone returns a deep copy of the module.
+func (m *Module) Clone(newName string) *Module {
+	c := NewModule(newName)
+	c.Behavioral = m.Behavioral
+	c.AreaOverride = m.AreaOverride
+	for k, v := range m.Attrs {
+		c.Attrs[k] = v
+	}
+	for _, p := range m.Ports {
+		c.MustPort(p.Name, p.Dir, p.Width)
+	}
+	for n := range m.Nets {
+		c.AddNet(n)
+	}
+	for _, inst := range m.Instances {
+		c.MustInstance(inst.Name, inst.Of, inst.Conns)
+	}
+	return c
+}
+
+// Merge imports every module of src into d.  Identical-name modules are an
+// error unless both are the same generated library cell (same name and both
+// already present is tolerated only for identical WBR-style shared cells,
+// which callers dedupe themselves), so collisions are simply rejected.
+func (d *Design) Merge(src *Design) error {
+	for _, name := range src.ModuleNames() {
+		if _, ok := d.Modules[name]; ok {
+			return fmt.Errorf("netlist: merge collision on module %s", name)
+		}
+	}
+	for _, name := range src.ModuleNames() {
+		d.Modules[name] = src.Modules[name].Clone(name)
+	}
+	return nil
+}

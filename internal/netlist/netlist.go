@@ -1,0 +1,346 @@
+// Package netlist provides the structural-netlist substrate used by every
+// hardware generator in this repository (test wrappers, TAM multiplexers,
+// test controllers, and memory-BIST circuits).
+//
+// A Design is a set of Modules.  A Module has Ports, Nets and Instances; an
+// Instance refers either to a primitive cell from the Library or to another
+// Module in the same Design.  Area is accounted in two-input-NAND (NAND2)
+// gate equivalents, the unit the paper reports (WBR cell = 26 NAND2 gates,
+// Test Controller = 371 gates, TAM multiplexer = 132 gates).
+//
+// The package also provides Verilog-style emission (Emit*), structural lint
+// (Module.Lint, Design.Lint) and a two-valued gate-level simulator
+// (Simulator) that is used by the tests to verify generated circuitry
+// cycle-by-cycle.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PortDir is the direction of a module or cell port.
+type PortDir int
+
+// Port directions.
+const (
+	In PortDir = iota
+	Out
+	InOut
+)
+
+// String returns the Verilog keyword for the direction.
+func (d PortDir) String() string {
+	switch d {
+	case In:
+		return "input"
+	case Out:
+		return "output"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("PortDir(%d)", int(d))
+}
+
+// Port is a named, directed connection point of a Module.
+// Width > 1 describes a bus; bit i of a bus port is referenced from nets
+// as "name[i]".
+type Port struct {
+	Name  string
+	Dir   PortDir
+	Width int
+}
+
+// BitName returns the flattened net name of bit i of a width-wide bus
+// port: the bare name when the width is 1, otherwise "name[i]".
+func BitName(name string, i, width int) string {
+	if width <= 1 {
+		return name
+	}
+	return fmt.Sprintf("%s[%d]", name, i)
+}
+
+// Bits returns the flattened single-bit net names of the port
+// ("p" for width 1, otherwise "p[0]".."p[w-1]").
+func (p Port) Bits() []string {
+	if p.Width <= 1 {
+		return []string{p.Name}
+	}
+	bits := make([]string, p.Width)
+	for i := range bits {
+		bits[i] = fmt.Sprintf("%s[%d]", p.Name, i)
+	}
+	return bits
+}
+
+// Net is a single-bit wire inside a module.  Bus ports are flattened to
+// one Net per bit at construction time.
+type Net struct {
+	Name string
+	// Attr carries free-form annotations (e.g. "tam", "scan") used by
+	// reports; it does not affect simulation.
+	Attr string
+}
+
+// Instance is the use of a primitive cell or of another module.
+type Instance struct {
+	Name string
+	// Of is the primitive cell name or module name instantiated.
+	Of string
+	// Conns maps a formal port-bit name of the instantiated cell/module to
+	// an actual net name in the parent module.
+	Conns map[string]string
+}
+
+// Module is a hierarchical netlist node.
+type Module struct {
+	Name      string
+	Ports     []Port
+	Nets      map[string]*Net
+	Instances []*Instance
+
+	// Behavioral marks IP blocks whose internals we do not elaborate
+	// (e.g. the JPEG codec of the DSC chip).  Their area is AreaOverride.
+	Behavioral bool
+	// AreaOverride is the NAND2-equivalent gate count of a Behavioral
+	// module.
+	AreaOverride float64
+	// Attrs carries free-form annotations used by reports.
+	Attrs map[string]string
+
+	ports map[string]*Port
+	insts map[string]*Instance
+}
+
+// NewModule creates an empty module with the given name.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:  name,
+		Nets:  make(map[string]*Net),
+		Attrs: make(map[string]string),
+		ports: make(map[string]*Port),
+		insts: make(map[string]*Instance),
+	}
+}
+
+// AddPort declares a port and its backing nets.  It returns an error if the
+// name is already used.
+func (m *Module) AddPort(name string, dir PortDir, width int) error {
+	if width < 1 {
+		return fmt.Errorf("netlist: port %s.%s: width %d < 1", m.Name, name, width)
+	}
+	if _, ok := m.ports[name]; ok {
+		return fmt.Errorf("netlist: duplicate port %s.%s", m.Name, name)
+	}
+	p := Port{Name: name, Dir: dir, Width: width}
+	m.Ports = append(m.Ports, p)
+	m.ports[name] = &m.Ports[len(m.Ports)-1]
+	for _, b := range p.Bits() {
+		if _, ok := m.Nets[b]; !ok {
+			m.Nets[b] = &Net{Name: b}
+		}
+	}
+	return nil
+}
+
+// MustPort is AddPort that panics on error; intended for generator code
+// whose inputs are program-constructed and cannot legitimately collide.
+func (m *Module) MustPort(name string, dir PortDir, width int) {
+	if err := m.AddPort(name, dir, width); err != nil {
+		panic(err)
+	}
+}
+
+// Port returns the declared port with the given name, or nil.
+func (m *Module) Port(name string) *Port { return m.ports[name] }
+
+// AddNet declares an internal single-bit net.  Adding an existing net is a
+// no-op, so generators can freely re-declare junction nets.
+func (m *Module) AddNet(name string) *Net {
+	if n, ok := m.Nets[name]; ok {
+		return n
+	}
+	n := &Net{Name: name}
+	m.Nets[name] = n
+	return n
+}
+
+// AddInstance instantiates cell or module `of` under the given instance
+// name, with conns mapping formal port bits to actual nets.  Actual nets are
+// created on demand.
+func (m *Module) AddInstance(name, of string, conns map[string]string) (*Instance, error) {
+	if _, ok := m.insts[name]; ok {
+		return nil, fmt.Errorf("netlist: duplicate instance %s in %s", name, m.Name)
+	}
+	cp := make(map[string]string, len(conns))
+	for formal, actual := range conns {
+		cp[formal] = actual
+		m.AddNet(actual)
+	}
+	inst := &Instance{Name: name, Of: of, Conns: cp}
+	m.Instances = append(m.Instances, inst)
+	m.insts[name] = inst
+	return inst, nil
+}
+
+// MustInstance is AddInstance that panics on error.
+func (m *Module) MustInstance(name, of string, conns map[string]string) *Instance {
+	inst, err := m.AddInstance(name, of, conns)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Instance returns the instance with the given name, or nil.
+func (m *Module) Instance(name string) *Instance { return m.insts[name] }
+
+// Design is a set of modules with a designated top.
+type Design struct {
+	Name    string
+	Top     string
+	Modules map[string]*Module
+	Lib     *Library
+}
+
+// NewDesign creates an empty design using lib for primitive cells.
+// A nil lib selects the DefaultLibrary.
+func NewDesign(name string, lib *Library) *Design {
+	if lib == nil {
+		lib = DefaultLibrary()
+	}
+	return &Design{Name: name, Modules: make(map[string]*Module), Lib: lib}
+}
+
+// AddModule registers a module; the first module added becomes the top
+// unless Top is set explicitly.
+func (d *Design) AddModule(m *Module) error {
+	if _, ok := d.Modules[m.Name]; ok {
+		return fmt.Errorf("netlist: duplicate module %s in design %s", m.Name, d.Name)
+	}
+	d.Modules[m.Name] = m
+	if d.Top == "" {
+		d.Top = m.Name
+	}
+	return nil
+}
+
+// MustAddModule is AddModule that panics on error.
+func (d *Design) MustAddModule(m *Module) {
+	if err := d.AddModule(m); err != nil {
+		panic(err)
+	}
+}
+
+// Module returns the named module or nil.
+func (d *Design) Module(name string) *Module { return d.Modules[name] }
+
+// TopModule returns the top module or nil.
+func (d *Design) TopModule() *Module { return d.Modules[d.Top] }
+
+// ModuleNames returns the module names in sorted order (deterministic
+// iteration for emission and reports).
+func (d *Design) ModuleNames() []string {
+	names := make([]string, 0, len(d.Modules))
+	for n := range d.Modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Area returns the NAND2-equivalent area of one module, including the area
+// of everything instantiated beneath it.
+func (d *Design) Area(moduleName string) (float64, error) {
+	memo := make(map[string]float64)
+	return d.area(moduleName, memo, make(map[string]bool))
+}
+
+func (d *Design) area(name string, memo map[string]float64, onPath map[string]bool) (float64, error) {
+	if a, ok := memo[name]; ok {
+		return a, nil
+	}
+	if onPath[name] {
+		return 0, fmt.Errorf("netlist: recursive instantiation of %s", name)
+	}
+	m, ok := d.Modules[name]
+	if !ok {
+		return 0, fmt.Errorf("netlist: unknown module %s", name)
+	}
+	if m.Behavioral {
+		memo[name] = m.AreaOverride
+		return m.AreaOverride, nil
+	}
+	onPath[name] = true
+	defer delete(onPath, name)
+	var total float64
+	for _, inst := range m.Instances {
+		if cell, ok := d.Lib.Cell(inst.Of); ok {
+			total += cell.Area
+			continue
+		}
+		sub, err := d.area(inst.Of, memo, onPath)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		total += sub
+	}
+	memo[name] = total
+	return total, nil
+}
+
+// CellHistogram returns how many instances of each primitive cell kind the
+// module uses, recursively (behavioral modules contribute nothing).  The
+// histogram backs the detailed area reports.
+func (d *Design) CellHistogram(moduleName string) (map[string]int, error) {
+	hist := make(map[string]int)
+	var walk func(name string) error
+	walk = func(name string) error {
+		m, ok := d.Modules[name]
+		if !ok {
+			return fmt.Errorf("netlist: unknown module %s", name)
+		}
+		if m.Behavioral {
+			return nil
+		}
+		for _, inst := range m.Instances {
+			if _, ok := d.Lib.Cell(inst.Of); ok {
+				hist[inst.Of]++
+				continue
+			}
+			if err := walk(inst.Of); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(moduleName); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+// CellCount returns how many primitive cells (of any kind) a module
+// instantiates, recursively.  Behavioral modules count as zero cells.
+func (d *Design) CellCount(moduleName string) (int, error) {
+	m, ok := d.Modules[moduleName]
+	if !ok {
+		return 0, fmt.Errorf("netlist: unknown module %s", moduleName)
+	}
+	if m.Behavioral {
+		return 0, nil
+	}
+	total := 0
+	for _, inst := range m.Instances {
+		if _, ok := d.Lib.Cell(inst.Of); ok {
+			total++
+			continue
+		}
+		sub, err := d.CellCount(inst.Of)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

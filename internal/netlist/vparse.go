@@ -1,0 +1,373 @@
+package netlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseVerilog reads the structural Verilog subset this package emits — the
+// paper's Fig. 1 input is an "HDL Design with DFT Information", so the
+// platform must be able to consume netlist files, not just produce them.
+//
+// Supported constructs: module/endmodule with a port list, input/output/
+// inout declarations (scalar or [msb:0] buses), wire declarations, and
+// named-port instantiations of library cells or other modules.  Escaped
+// identifiers ("\name ") carry the flattened bus-bit formals the emitter
+// writes.  The "// behavioral IP block, N NAND2-equivalent gates" banner
+// the emitter prints restores Behavioral/AreaOverride.
+//
+// ParseVerilog(EmitVerilogString(d)) reproduces d up to net-declaration
+// order (emission is canonical, so emit→parse→emit is a fixed point).
+func ParseVerilog(src string, lib *Library) (*Design, error) {
+	if lib == nil {
+		lib = DefaultLibrary()
+	}
+	p := &vparser{lib: lib}
+	if err := p.tokenize(src); err != nil {
+		return nil, err
+	}
+	d := NewDesign("parsed", lib)
+	d.Top = ""
+	for !p.eof() {
+		m, behavioralArea, isBehavioral, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		if isBehavioral {
+			m.Behavioral = true
+			m.AreaOverride = behavioralArea
+		}
+		if err := d.AddModule(m); err != nil {
+			return nil, err
+		}
+		// The emitter writes the top module last.
+		d.Top = m.Name
+	}
+	if len(d.Modules) == 0 {
+		return nil, fmt.Errorf("netlist: no modules in Verilog source")
+	}
+	return d, nil
+}
+
+type vtoken struct {
+	text string
+	line int
+	// ident marks identifiers (including escaped ones).
+	ident bool
+}
+
+type vparser struct {
+	lib  *Library
+	toks []vtoken
+	pos  int
+}
+
+func (p *vparser) tokenize(src string) error {
+	line := 1
+	i := 0
+	push := func(text string, ident bool) {
+		p.toks = append(p.toks, vtoken{text: text, line: line, ident: ident})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			j := strings.IndexByte(src[i:], '\n')
+			comment := src[i:]
+			if j >= 0 {
+				comment = src[i : i+j]
+				i += j
+			} else {
+				i = len(src)
+			}
+			// Behavioral banner: "// behavioral IP block, N NAND2-...".
+			// Encoded as a positional pseudo-token so it binds to the
+			// module that immediately follows it.
+			if strings.Contains(comment, "behavioral IP block,") {
+				fields := strings.Fields(comment)
+				for k, f := range fields {
+					if f == "block," && k+1 < len(fields) {
+						if _, err := strconv.ParseFloat(fields[k+1], 64); err == nil {
+							push("@behavioral", false)
+							push(fields[k+1], false)
+						}
+					}
+				}
+			}
+		case c == '\\':
+			// Escaped identifier: up to the next whitespace.
+			j := i + 1
+			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != '\r' {
+				j++
+			}
+			if j == i+1 {
+				return fmt.Errorf("netlist: line %d: empty escaped identifier", line)
+			}
+			push(src[i+1:j], true)
+			i = j
+		case isVIdentStart(c):
+			j := i
+			for j < len(src) && isVIdentPart(src[j]) {
+				j++
+			}
+			push(src[i:j], true)
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			push(src[i:j], false)
+			i = j
+		case strings.IndexByte("()[]{};,.:", c) >= 0:
+			push(string(c), false)
+			i++
+		default:
+			return fmt.Errorf("netlist: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	return nil
+}
+
+func isVIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isVIdentPart(c byte) bool {
+	return isVIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *vparser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *vparser) peek() vtoken {
+	if p.eof() {
+		return vtoken{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *vparser) next() vtoken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *vparser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("netlist: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *vparser) expectIdent() (string, error) {
+	t := p.next()
+	if !t.ident {
+		return "", fmt.Errorf("netlist: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *vparser) expectInt() (int, error) {
+	t := p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("netlist: line %d: expected number, got %q", t.line, t.text)
+	}
+	return n, nil
+}
+
+// netRef parses an actual/wire reference: ident, or ident[index].
+func (p *vparser) netRef() (string, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.peek().text == "[" {
+		p.next()
+		idx, err := p.expectInt()
+		if err != nil {
+			return "", err
+		}
+		if err := p.expect("]"); err != nil {
+			return "", err
+		}
+		name = fmt.Sprintf("%s[%d]", name, idx)
+	}
+	return name, nil
+}
+
+func (p *vparser) parseModule() (*Module, float64, bool, error) {
+	banner := 0.0
+	isBehavioral := false
+	if p.peek().text == "@behavioral" {
+		p.next()
+		t := p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("netlist: line %d: bad behavioral area %q", t.line, t.text)
+		}
+		banner = v
+		isBehavioral = true
+	}
+	if err := p.expect("module"); err != nil {
+		return nil, 0, false, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	m := NewModule(name)
+	if err := p.expect("("); err != nil {
+		return nil, 0, false, err
+	}
+	var portOrder []string
+	for p.peek().text != ")" {
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, 0, false, err
+		}
+		portOrder = append(portOrder, pn)
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	p.next() // ")"
+	if err := p.expect(";"); err != nil {
+		return nil, 0, false, err
+	}
+
+	dirOf := make(map[string]PortDir)
+	widthOf := make(map[string]int)
+	for {
+		t := p.peek()
+		switch t.text {
+		case "input", "output", "inout":
+			p.next()
+			dir := map[string]PortDir{"input": In, "output": Out, "inout": InOut}[t.text]
+			width := 1
+			if p.peek().text == "[" {
+				p.next()
+				msb, err := p.expectInt()
+				if err != nil {
+					return nil, 0, false, err
+				}
+				if err := p.expect(":"); err != nil {
+					return nil, 0, false, err
+				}
+				lsb, err := p.expectInt()
+				if err != nil {
+					return nil, 0, false, err
+				}
+				if lsb != 0 || msb < 0 {
+					return nil, 0, false, fmt.Errorf("netlist: line %d: only [msb:0] ranges supported", t.line)
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, 0, false, err
+				}
+				width = msb + 1
+			}
+			for {
+				pn, err := p.expectIdent()
+				if err != nil {
+					return nil, 0, false, err
+				}
+				dirOf[pn] = dir
+				widthOf[pn] = width
+				if p.peek().text != "," {
+					break
+				}
+				p.next()
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, 0, false, err
+			}
+		case "wire":
+			p.next()
+			for {
+				wn, err := p.netRef()
+				if err != nil {
+					return nil, 0, false, err
+				}
+				m.AddNet(wn)
+				if p.peek().text != "," {
+					break
+				}
+				p.next()
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, 0, false, err
+			}
+		case "endmodule":
+			p.next()
+			// Declare ports in header order now that directions are known.
+			for _, pn := range portOrder {
+				dir, ok := dirOf[pn]
+				if !ok {
+					return nil, 0, false, fmt.Errorf("netlist: module %s: port %s has no direction", name, pn)
+				}
+				if err := m.AddPort(pn, dir, widthOf[pn]); err != nil {
+					return nil, 0, false, err
+				}
+			}
+			return m, banner, isBehavioral, nil
+		default:
+			if !t.ident {
+				return nil, 0, false, fmt.Errorf("netlist: line %d: unexpected %q", t.line, t.text)
+			}
+			if err := p.parseInstance(m); err != nil {
+				return nil, 0, false, err
+			}
+		}
+	}
+}
+
+func (p *vparser) parseInstance(m *Module) error {
+	of, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	inst, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	conns := make(map[string]string)
+	for p.peek().text != ")" {
+		if err := p.expect("."); err != nil {
+			return err
+		}
+		formal, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		actual, err := p.netRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		conns[formal] = actual
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	p.next() // ")"
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	_, err2 := m.AddInstance(inst, of, conns)
+	return err2
+}

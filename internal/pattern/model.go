@@ -1,0 +1,149 @@
+// Package pattern implements the test-pattern side of STEAC (Fig. 1): core
+// models standing in for the cores' logic, a synthetic ATPG that generates
+// cycle-based core-level patterns exactly as a commercial tool hands them to
+// STEAC, and the pattern translators that lift core-level patterns to the
+// wrapper level and then to the chip level, where an external ATE (package
+// ate) can apply them.
+//
+// The substitution at work (paper used real cores + commercial ATPG): every
+// property the translation flow depends on — chain structure, pattern
+// counts, load/unload ordering, capture semantics — is preserved; only the
+// logic function inside each core is synthetic (a seeded mixing function).
+// Because the ATPG substitute and the chip model share the same core model,
+// a correct translator yields zero mismatches on the tester, and any
+// injected defect or translation bug yields nonzero mismatches.
+package pattern
+
+import (
+	"steac/internal/testinfo"
+)
+
+// Bit is a three-valued test bit: 0, 1, or X (don't care / don't compare).
+type Bit byte
+
+// Bit values.
+const (
+	B0 Bit = 0
+	B1 Bit = 1
+	BX Bit = 2
+)
+
+// FromBool converts a logic level to a Bit.
+func FromBool(v bool) Bit {
+	if v {
+		return B1
+	}
+	return B0
+}
+
+// Bool returns the logic level of a non-X bit (X reads as 0).
+func (b Bit) Bool() bool { return b == B1 }
+
+// Matches reports whether an observed level satisfies the expectation
+// (X matches anything).
+func (b Bit) Matches(observed bool) bool {
+	if b == BX {
+		return true
+	}
+	return b.Bool() == observed
+}
+
+// splitmix64 is the keyed mixing primitive behind every synthetic model:
+// deterministic, seedable, well distributed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CoreModel is the synthetic logic function of one core.  For scan cores it
+// defines the capture behaviour (next scan state and PO values from the
+// current scan state and PI values); for functional cores it defines a
+// seeded Mealy machine stepped once per functional pattern.
+type CoreModel struct {
+	Core *testinfo.Core
+	Seed uint64
+
+	stateBits int
+}
+
+// NewCoreModel builds the model; the seed comes from the core's pattern-set
+// seeds so the ATPG substitute and the chip model always agree.
+func NewCoreModel(core *testinfo.Core) *CoreModel {
+	var seed uint64 = 0x5eed
+	for _, p := range core.Patterns {
+		seed = splitmix64(seed ^ uint64(p.Seed))
+	}
+	return &CoreModel{Core: core, Seed: seed, stateBits: core.TotalScanBits()}
+}
+
+// StateBits returns the scan state width (concatenation of the core's scan
+// chains in declaration order).
+func (m *CoreModel) StateBits() int { return m.stateBits }
+
+func (m *CoreModel) bit(class uint64, i int, a, b bool) bool {
+	h := splitmix64(m.Seed ^ class<<48 ^ uint64(i))
+	v := h&1 == 1
+	if a {
+		v = !v
+	}
+	if h&2 == 2 && b {
+		v = !v
+	}
+	return v
+}
+
+// Capture computes one scan capture: given the scan state (concatenated
+// chains) and the PI values, it returns the next state and the PO values.
+// Each next-state bit mixes one state tap, one PI tap and a keyed constant;
+// each PO bit likewise, so every load bit influences observable outputs.
+func (m *CoreModel) Capture(state, pi []bool) (next, po []bool) {
+	n := len(state)
+	next = make([]bool, n)
+	for i := 0; i < n; i++ {
+		var sTap, pTap bool
+		if n > 0 {
+			sTap = state[int(splitmix64(m.Seed^0xA0000+uint64(i))%uint64(n))]
+		}
+		if len(pi) > 0 {
+			pTap = pi[int(splitmix64(m.Seed^0xA1000+uint64(i))%uint64(len(pi)))]
+		}
+		next[i] = m.bit(1, i, sTap, true) != pTap
+	}
+	po = make([]bool, m.Core.POs)
+	for j := range po {
+		var sTap, pTap bool
+		if n > 0 {
+			sTap = state[int(splitmix64(m.Seed^0xA2000+uint64(j))%uint64(n))]
+		}
+		if len(pi) > 0 {
+			pTap = pi[int(splitmix64(m.Seed^0xA3000+uint64(j))%uint64(len(pi)))]
+		}
+		po[j] = m.bit(2, j, sTap, pTap) != (sTap && pTap)
+	}
+	return next, po
+}
+
+// FuncReset returns the functional machine's initial internal state.
+func (m *CoreModel) FuncReset() uint64 { return splitmix64(m.Seed ^ 0xF0F0) }
+
+// FuncStep advances the functional Mealy machine one pattern: it mixes the
+// PI vector into the internal state and produces the PO vector.
+func (m *CoreModel) FuncStep(state uint64, pi []bool) (uint64, []bool) {
+	h := state
+	for i, v := range pi {
+		if v {
+			h ^= splitmix64(m.Seed ^ 0xB0000 ^ uint64(i))
+		}
+	}
+	h = splitmix64(h)
+	po := make([]bool, m.Core.POs)
+	for j := range po {
+		po[j] = (h>>(uint(j)%64))&1 == 1
+		if j >= 64 {
+			po[j] = po[j] != (splitmix64(h^uint64(j))&1 == 1)
+		}
+	}
+	return h, po
+}

@@ -1,0 +1,254 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cycle-based ATE program files.  The paper: "The test patterns are cycle
+// based, which can be applied by external ATE easily."  WriteProgramFile
+// streams the translated program as a plain-text tester file — one vector
+// line per cycle with drive states (0/1/X) and expected states (L/H/X) —
+// and ReadProgramFile loads such a file for replay on the tester model
+// (ate.RunRecorded), so the hand-off to a real ATE is a file, exactly as in
+// the paper's flow.
+//
+// Format:
+//
+//	STEACPROG tam=<w> func=<n> sessions=<k>
+//	SESSION <i> cycles=<c>
+//	V <tam-drive> <tam-expect> <func-drive> <func-expect> <actions>
+//
+// Buses render as character vectors ("-" when the bus is empty); actions
+// list the per-core scan controls as core:S (shift) or core:C (capture),
+// "-" when no core is scanning.
+
+const progMagic = "STEACPROG"
+
+// WriteProgramFile streams the whole program to w.
+func WriteProgramFile(w io.Writer, prog *Program) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "%s tam=%d func=%d sessions=%d\n",
+		progMagic, prog.TamWidth, prog.FuncBus, len(prog.Sessions))
+	for _, layout := range prog.Sessions {
+		fmt.Fprintf(bw, "SESSION %d cycles=%d\n", layout.Index, layout.Cycles)
+		err := prog.Stream(layout, func(c int, cyc *Cycle) bool {
+			bw.WriteString("V ")
+			writeBits(bw, cyc.TamIn, "01X")
+			bw.WriteByte(' ')
+			writeBits(bw, cyc.TamExpect, "LHX")
+			bw.WriteByte(' ')
+			writeBits(bw, cyc.Func, "01X")
+			bw.WriteByte(' ')
+			writeBits(bw, cyc.FuncExpect, "LHX")
+			bw.WriteByte(' ')
+			writeActions(bw, cyc.Actions)
+			bw.WriteByte('\n')
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeBits(bw *bufio.Writer, bits []Bit, alphabet string) {
+	if len(bits) == 0 {
+		bw.WriteByte('-')
+		return
+	}
+	for _, b := range bits {
+		bw.WriteByte(alphabet[b])
+	}
+}
+
+func writeActions(bw *bufio.Writer, actions map[string]CoreAction) {
+	if len(actions) == 0 {
+		bw.WriteByte('-')
+		return
+	}
+	names := make([]string, 0, len(actions))
+	for n := range actions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(n)
+		if actions[n] == ActCapture {
+			bw.WriteString(":C")
+		} else {
+			bw.WriteString(":S")
+		}
+	}
+}
+
+// RecordedCycle is one parsed vector line.
+type RecordedCycle struct {
+	Cycle
+}
+
+// RecordedSession is one parsed session.
+type RecordedSession struct {
+	Index  int
+	Cycles []RecordedCycle
+}
+
+// RecordedProgram is a parsed ATE program file.
+type RecordedProgram struct {
+	TamWidth int
+	FuncBus  int
+	Sessions []RecordedSession
+}
+
+// TotalCycles sums the recorded session lengths.
+func (p *RecordedProgram) TotalCycles() int {
+	n := 0
+	for _, s := range p.Sessions {
+		n += len(s.Cycles)
+	}
+	return n
+}
+
+// ReadProgramFile parses a tester file written by WriteProgramFile.
+func ReadProgramFile(r io.Reader) (*RecordedProgram, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("pattern: empty program file")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 4 || header[0] != progMagic {
+		return nil, fmt.Errorf("pattern: bad program header %q", sc.Text())
+	}
+	prog := &RecordedProgram{}
+	var err error
+	if prog.TamWidth, err = intField(header[1], "tam"); err != nil {
+		return nil, err
+	}
+	if prog.FuncBus, err = intField(header[2], "func"); err != nil {
+		return nil, err
+	}
+	nSessions, err := intField(header[3], "sessions")
+	if err != nil {
+		return nil, err
+	}
+	var cur *RecordedSession
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case strings.HasPrefix(text, "SESSION "):
+			fields := strings.Fields(text)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("pattern: line %d: bad session header", line)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad session index", line)
+			}
+			prog.Sessions = append(prog.Sessions, RecordedSession{Index: idx})
+			cur = &prog.Sessions[len(prog.Sessions)-1]
+		case strings.HasPrefix(text, "V "):
+			if cur == nil {
+				return nil, fmt.Errorf("pattern: line %d: vector before any session", line)
+			}
+			rc, err := parseVectorLine(text, prog.TamWidth, prog.FuncBus)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: line %d: %w", line, err)
+			}
+			cur.Cycles = append(cur.Cycles, rc)
+		case strings.TrimSpace(text) == "":
+		default:
+			return nil, fmt.Errorf("pattern: line %d: unrecognized %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(prog.Sessions) != nSessions {
+		return nil, fmt.Errorf("pattern: header says %d sessions, file has %d",
+			nSessions, len(prog.Sessions))
+	}
+	return prog, nil
+}
+
+func intField(s, key string) (int, error) {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k != key {
+		return 0, fmt.Errorf("pattern: expected %s=<n>, got %q", key, s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("pattern: bad %s value %q", key, v)
+	}
+	return n, nil
+}
+
+func parseVectorLine(text string, tamW, funcW int) (RecordedCycle, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 6 {
+		return RecordedCycle{}, fmt.Errorf("want 6 fields, got %d", len(fields))
+	}
+	var rc RecordedCycle
+	var err error
+	if rc.TamIn, err = parseBits(fields[1], tamW, "01X"); err != nil {
+		return rc, err
+	}
+	if rc.TamExpect, err = parseBits(fields[2], tamW, "LHX"); err != nil {
+		return rc, err
+	}
+	if rc.Func, err = parseBits(fields[3], funcW, "01X"); err != nil {
+		return rc, err
+	}
+	if rc.FuncExpect, err = parseBits(fields[4], funcW, "LHX"); err != nil {
+		return rc, err
+	}
+	rc.Actions = make(map[string]CoreAction)
+	if fields[5] != "-" {
+		for _, part := range strings.Split(fields[5], ",") {
+			name, act, ok := strings.Cut(part, ":")
+			if !ok {
+				return rc, fmt.Errorf("bad action %q", part)
+			}
+			switch act {
+			case "S":
+				rc.Actions[name] = ActShift
+			case "C":
+				rc.Actions[name] = ActCapture
+			default:
+				return rc, fmt.Errorf("unknown action %q", act)
+			}
+		}
+	}
+	return rc, nil
+}
+
+func parseBits(s string, width int, alphabet string) ([]Bit, error) {
+	if s == "-" {
+		if width != 0 {
+			return nil, fmt.Errorf("empty bus but width %d", width)
+		}
+		return nil, nil
+	}
+	if len(s) != width {
+		return nil, fmt.Errorf("bus has %d chars, want %d", len(s), width)
+	}
+	bits := make([]Bit, width)
+	for i := 0; i < width; i++ {
+		idx := strings.IndexByte(alphabet, s[i])
+		if idx < 0 {
+			return nil, fmt.Errorf("invalid char %q (alphabet %s)", string(s[i]), alphabet)
+		}
+		bits[i] = Bit(idx)
+	}
+	return bits, nil
+}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Cores", "Core", "TI", "Patterns")
+	tb.Row("USB", 18, 716)
+	tb.Row("TV", 6, 202673)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "Cores") {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	// Column starts align between header and rows.
+	hIdx := strings.Index(lines[1], "TI")
+	rIdx := strings.Index(lines[3], "18")
+	if hIdx != rIdx {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", hIdx, rIdx, s)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
+
+func TestTableFloatTrim(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.Row(1.50)
+	tb.Row(2.0)
+	tb.Row(0.25)
+	s := tb.String()
+	for _, want := range []string{"1.5\n", "2\n", "0.25\n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Row("x")
+	tb.Row("y", "z", "extra")
+	if s := tb.String(); !strings.Contains(s, "extra") {
+		t.Fatalf("ragged row dropped:\n%s", s)
+	}
+}
+
+func TestComma(t *testing.T) {
+	for n, want := range map[int]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		4371194:  "4,371,194",
+		4713935:  "4,713,935",
+		-1234567: "-1,234,567",
+	} {
+		if got := Comma(n); got != want {
+			t.Errorf("Comma(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"steac/internal/testinfo"
+)
+
+// NonSessionBased is the baseline the paper compares against: tests start
+// and stop at arbitrary times (no session barriers), so the test control
+// IOs of every core must stay dedicated for the whole test — the controller
+// cannot re-multiplex them between phases — leaving fewer chip pins for TAM
+// data.  Tests are packed greedily (longest first) under the remaining pin,
+// functional-pin and power constraints.
+func NonSessionBased(tests []Test, res Resources) (*Schedule, error) {
+	jobs, bist := buildJobs(tests)
+	cores := make([]*testinfo.Core, len(jobs))
+	for i, j := range jobs {
+		cores[i] = j.core
+	}
+	control := ControlPins(cores, len(bist) > 0, false)
+	dataPins := res.TestPins - control
+	if dataPins < 0 {
+		return nil, fmt.Errorf("sched: non-session control IOs (%d) exceed the %d-pin budget",
+			control, res.TestPins)
+	}
+	for _, j := range jobs {
+		if j.scan != nil && dataPins < 2 {
+			return nil, fmt.Errorf("sched: non-session: %s needs a TAM wire but only %d data pins remain after %d dedicated control IOs",
+				j.core.Name, dataPins, control)
+		}
+	}
+
+	// Work items with precedence: a core's func follows its scan; BIST
+	// groups form a serial chain behind the shared controller.
+	type item struct {
+		test  Test
+		after int // index of predecessor, -1 if none
+		dur   int // estimate for ordering
+	}
+	var items []item
+	idxOf := make(map[string]int)
+	for _, j := range jobs {
+		prev := -1
+		if j.scan != nil {
+			d, err := ScanCycles(j.core, 1, res.Partitioner)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item{test: *j.scan, after: -1, dur: d})
+			prev = len(items) - 1
+			idxOf[j.scan.ID] = prev
+		}
+		if j.fn != nil {
+			d, err := FuncCycles(j.fn.Patterns, j.fn.NeedFuncPins, res.FuncPins)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item{test: *j.fn, after: prev, dur: d})
+			idxOf[j.fn.ID] = len(items) - 1
+		}
+	}
+	// BIST groups are independent work items, but the single shared BIST
+	// controller runs at most one group at a time (mutual exclusion,
+	// enforced below).
+	for _, g := range bist {
+		items = append(items, item{test: g, after: -1, dur: g.FixedCycles})
+		idxOf[g.ID] = len(items) - 1
+	}
+
+	// Greedy list scheduling over event times.
+	done := make([]bool, len(items))
+	endAt := make([]int, len(items))
+	started := make([]bool, len(items))
+	var active []running
+	var placed []Placement
+
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return items[order[a]].dur > items[order[b]].dur })
+
+	t := 0
+	availWires := dataPins / 2
+	availF := res.FuncPins
+	power := 0.0
+	bistActive := false
+	remaining := len(items)
+
+	for remaining > 0 {
+		progressed := false
+		for _, i := range order {
+			if started[i] || (items[i].after >= 0 && !done[items[i].after]) {
+				continue
+			}
+			it := items[i]
+			if res.MaxPower > 0 && !almostLE(power+it.test.Power, res.MaxPower) {
+				continue
+			}
+			pl := Placement{Test: it.test, Start: t}
+			wires, fpins := 0, 0
+			switch it.test.Kind {
+			case ScanKind:
+				if availWires < 1 {
+					continue
+				}
+				sat, err := SaturationWidth(it.test.Core, maxUsefulWidth(it.test.Core, dataPins), res.Partitioner)
+				if err != nil {
+					return nil, err
+				}
+				wires = sat
+				if wires > availWires {
+					wires = availWires
+				}
+				cyc, err := ScanCycles(it.test.Core, wires, res.Partitioner)
+				if err != nil {
+					return nil, err
+				}
+				pl.Width, pl.Cycles = wires, cyc
+			case FuncKind:
+				if availF < 1 {
+					continue
+				}
+				fpins = it.test.NeedFuncPins
+				if fpins > availF {
+					fpins = availF
+				}
+				cyc, err := FuncCycles(it.test.Patterns, it.test.NeedFuncPins, fpins)
+				if err != nil {
+					return nil, err
+				}
+				pl.FuncPins, pl.Cycles = fpins, cyc
+			case BISTKind:
+				if bistActive {
+					continue
+				}
+				pl.Cycles = it.test.FixedCycles
+				bistActive = true
+			}
+			availWires -= wires
+			availF -= fpins
+			power += it.test.Power
+			started[i] = true
+			endAt[i] = pl.End()
+			active = append(active, running{idx: i, pl: pl, wires: wires, fpins: fpins})
+			placed = append(placed, pl)
+			progressed = true
+		}
+		// Advance to the earliest completion.
+		next := -1
+		for _, r := range active {
+			if next < 0 || endAt[r.idx] < next {
+				next = endAt[r.idx]
+			}
+		}
+		if next < 0 {
+			if !progressed {
+				return nil, fmt.Errorf("sched: non-session schedule deadlocked at t=%d", t)
+			}
+			continue
+		}
+		t = next
+		keep := active[:0]
+		for _, r := range active {
+			if endAt[r.idx] <= t {
+				done[r.idx] = true
+				remaining--
+				availWires += r.wires
+				availF += r.fpins
+				power -= r.test().Power
+				if r.test().Kind == BISTKind {
+					bistActive = false
+				}
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		active = keep
+	}
+
+	makespan := 0
+	for _, pl := range placed {
+		if pl.End() > makespan {
+			makespan = pl.End()
+		}
+	}
+	return &Schedule{
+		Kind: "non-session-based",
+		Sessions: []Session{{
+			Placements:  placed,
+			Cycles:      makespan,
+			ControlPins: control,
+			DataPins:    dataPins,
+		}},
+		TotalCycles:    makespan,
+		ControlPinsMax: control,
+	}, nil
+}
+
+// running tracks an in-flight test in the non-session packer.
+type running struct {
+	idx   int
+	pl    Placement
+	wires int
+	fpins int
+}
+
+func (r running) test() Test { return r.pl.Test }
+
+// Serial is the trivial baseline: every test runs alone with the full
+// resources (equivalent to singleton sessions with shared control).
+func Serial(tests []Test, res Resources) (*Schedule, error) {
+	jobs, bist := buildJobs(tests)
+	sched := &Schedule{Kind: "serial"}
+	at := 0
+	addSession := func(pls []Placement, control, data int, power float64) {
+		cyc := 0
+		for _, p := range pls {
+			if p.End() > cyc {
+				cyc = p.End()
+			}
+		}
+		sched.Sessions = append(sched.Sessions, Session{
+			Index: len(sched.Sessions), Placements: pls, Cycles: cyc,
+			ControlPins: control, DataPins: data, PeakPower: power,
+		})
+		sched.TotalCycles += cyc
+		if control > sched.ControlPinsMax {
+			sched.ControlPinsMax = control
+		}
+		at += cyc
+	}
+	for _, j := range jobs {
+		d, err := designSession([]coreJob{j}, res)
+		if err != nil {
+			return nil, fmt.Errorf("sched: serial: core %s does not fit alone: %w", j.core.Name, err)
+		}
+		addSession(d.placements, d.controlPins, d.dataPins, d.corePower)
+	}
+	for _, g := range bist {
+		addSession([]Placement{{Test: g, Cycles: g.FixedCycles}},
+			ControlPins(nil, true, true), 0, g.Power)
+	}
+	if len(sched.Sessions) == 0 {
+		return nil, fmt.Errorf("sched: nothing to schedule")
+	}
+	return sched, nil
+}

@@ -1,0 +1,455 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"steac/internal/testinfo"
+)
+
+// coreJob groups a core's tests: scan first, then functional, chained
+// back-to-back inside one session.
+type coreJob struct {
+	core *testinfo.Core
+	scan *Test
+	fn   *Test
+}
+
+func buildJobs(tests []Test) ([]coreJob, []Test) {
+	byCore := make(map[string]*coreJob)
+	var order []string
+	var bist []Test
+	for i := range tests {
+		t := tests[i]
+		if t.Kind == BISTKind {
+			bist = append(bist, t)
+			continue
+		}
+		j, ok := byCore[t.Core.Name]
+		if !ok {
+			j = &coreJob{core: t.Core}
+			byCore[t.Core.Name] = j
+			order = append(order, t.Core.Name)
+		}
+		if t.Kind == ScanKind {
+			j.scan = &tests[i]
+		} else {
+			j.fn = &tests[i]
+		}
+	}
+	jobs := make([]coreJob, 0, len(order))
+	for _, n := range order {
+		jobs = append(jobs, *byCore[n])
+	}
+	return jobs, bist
+}
+
+// jobPeakPower is the job's worst-case instantaneous power (its tests are
+// chained, never concurrent).
+func (j coreJob) peakPower() float64 {
+	p := 0.0
+	if j.scan != nil && j.scan.Power > p {
+		p = j.scan.Power
+	}
+	if j.fn != nil && j.fn.Power > p {
+		p = j.fn.Power
+	}
+	return p
+}
+
+// sessionDesign is the evaluated layout of one session of core jobs.
+type sessionDesign struct {
+	jobs        []coreJob
+	placements  []Placement
+	cycles      int
+	controlPins int
+	dataPins    int
+	corePower   float64
+	// bist occupancy added by the fill phase.
+	bistCycles int
+	bistPower  float64
+	bistPl     []Placement
+}
+
+func (s *sessionDesign) length() int {
+	if s.bistCycles > s.cycles {
+		return s.bistCycles
+	}
+	return s.cycles
+}
+
+// designSession assigns TAM widths and functional pins to the jobs of one
+// session and computes its length.  Control pins are shared (that is what
+// the session barrier buys); four pins stay reserved for the BIST tester
+// interface so BIST groups can be filled into any session.
+func designSession(jobs []coreJob, res Resources) (*sessionDesign, error) {
+	return designSessionCached(jobs, res, newTimeCache(res.Partitioner))
+}
+
+func designSessionCached(jobs []coreJob, res Resources, tc *timeCache) (*sessionDesign, error) {
+	cores := make([]*testinfo.Core, len(jobs))
+	for i, j := range jobs {
+		cores[i] = j.core
+	}
+	control := ControlPins(cores, true, true)
+	data := res.TestPins - control
+	if data < 0 {
+		return nil, errInfeasible
+	}
+
+	// Scan widths: start everyone at 1 wire, then spend remaining pins on
+	// the largest marginal gain.
+	type scanState struct {
+		job   int
+		width int
+		cyc   int
+		max   int
+	}
+	var scans []*scanState
+	pinsLeft := data
+	for ji, j := range jobs {
+		if j.scan == nil {
+			continue
+		}
+		if pinsLeft < 2 {
+			return nil, errInfeasible
+		}
+		cyc, err := tc.scanCycles(j.core, 1)
+		if err != nil {
+			return nil, err
+		}
+		scans = append(scans, &scanState{job: ji, width: 1, cyc: cyc,
+			max: maxUsefulWidth(j.core, data)})
+		pinsLeft -= 2
+	}
+	for pinsLeft >= 2 {
+		var best *scanState
+		bestGain := 0
+		var bestCyc int
+		for _, s := range scans {
+			if s.width >= s.max {
+				continue
+			}
+			c, err := tc.scanCycles(jobs[s.job].core, s.width+1)
+			if err != nil {
+				return nil, err
+			}
+			if gain := s.cyc - c; gain > bestGain {
+				bestGain, best, bestCyc = gain, s, c
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.width++
+		best.cyc = bestCyc
+		pinsLeft -= 2
+	}
+
+	// Functional pins: waterfill FuncPins across the session's functional
+	// tests (they overlap across cores).
+	type funcState struct {
+		job     int
+		granted int
+		cyc     int
+	}
+	var funcs []*funcState
+	var needs []int
+	for ji, j := range jobs {
+		if j.fn == nil {
+			continue
+		}
+		funcs = append(funcs, &funcState{job: ji})
+		needs = append(needs, j.fn.NeedFuncPins)
+	}
+	if len(funcs) > 0 {
+		grants, err := waterfill(needs, res.FuncPins)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range funcs {
+			f.granted = grants[i]
+			cyc, err := FuncCycles(jobs[f.job].fn.Patterns, jobs[f.job].fn.NeedFuncPins, f.granted)
+			if err != nil {
+				return nil, errInfeasible
+			}
+			f.cyc = cyc
+		}
+	}
+
+	// Assemble placements; a job's functional test starts after its scan.
+	des := &sessionDesign{jobs: jobs, controlPins: control, dataPins: data - pinsLeft}
+	jobEnd := make([]int, len(jobs))
+	for _, s := range scans {
+		des.placements = append(des.placements, Placement{
+			Test: *jobs[s.job].scan, Width: s.width, Cycles: s.cyc,
+		})
+		jobEnd[s.job] = s.cyc
+	}
+	for _, f := range funcs {
+		des.placements = append(des.placements, Placement{
+			Test: *jobs[f.job].fn, FuncPins: f.granted, Cycles: f.cyc,
+			Start: jobEnd[f.job],
+		})
+		jobEnd[f.job] += f.cyc
+	}
+	for _, e := range jobEnd {
+		if e > des.cycles {
+			des.cycles = e
+		}
+	}
+	for _, j := range jobs {
+		des.corePower += j.peakPower()
+	}
+	if res.MaxPower > 0 && !almostLE(des.corePower, res.MaxPower) {
+		return nil, errInfeasible
+	}
+	return des, nil
+}
+
+// waterfill grants pins to demands from a shared budget: everyone capped at
+// their need, surplus redistributed.
+func waterfill(needs []int, budget int) ([]int, error) {
+	grants := make([]int, len(needs))
+	if len(needs) == 0 {
+		return grants, nil
+	}
+	if budget < len(needs) {
+		return nil, errInfeasible
+	}
+	type item struct{ idx, need int }
+	items := make([]item, len(needs))
+	for i, n := range needs {
+		items[i] = item{i, n}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].need < items[b].need })
+	remaining := budget
+	left := len(items)
+	for _, it := range items {
+		share := remaining / left
+		g := it.need
+		if g > share {
+			g = share
+		}
+		if g < 1 {
+			g = 1
+		}
+		grants[it.idx] = g
+		remaining -= g
+		left--
+	}
+	return grants, nil
+}
+
+// SessionBased builds the session-based schedule: it enumerates partitions
+// of the core jobs into sessions (exhaustively up to 10 cores, greedily
+// beyond), designs each session, fills BIST groups into session slack
+// (serial within a session: one shared BIST controller), and returns the
+// partition with the lowest total test time.
+func SessionBased(tests []Test, res Resources) (*Schedule, error) {
+	jobs, bist := buildJobs(tests)
+	if len(jobs) == 0 && len(bist) == 0 {
+		return nil, fmt.Errorf("sched: nothing to schedule")
+	}
+
+	var bestTotal = -1
+	var bestSessions []*sessionDesign
+	tc := newTimeCache(res.Partitioner)
+
+	tryPartition := func(part [][]coreJob) {
+		designs := make([]*sessionDesign, 0, len(part))
+		for _, group := range part {
+			d, err := designSessionCached(group, res, tc)
+			if err != nil {
+				return
+			}
+			designs = append(designs, d)
+		}
+		designs, ok := fillBIST(designs, bist, res)
+		if !ok {
+			return
+		}
+		total := 0
+		for _, d := range designs {
+			total += d.length()
+		}
+		if bestTotal < 0 || total < bestTotal {
+			bestTotal = total
+			bestSessions = designs
+		}
+	}
+
+	if len(jobs) == 0 {
+		tryPartition(nil)
+	} else if len(jobs) <= 10 {
+		forEachPartition(jobs, tryPartition)
+	} else {
+		for k := 1; k <= len(jobs); k++ {
+			tryPartition(greedyPartition(jobs, k, res))
+		}
+	}
+	if bestTotal < 0 {
+		return nil, fmt.Errorf("sched: no feasible session partition under %d test pins / %d func pins",
+			res.TestPins, res.FuncPins)
+	}
+
+	// Longest sessions first: the controller runs them in a fixed order
+	// and this mirrors the DSC flow (big scan session first).
+	sort.SliceStable(bestSessions, func(a, b int) bool {
+		return bestSessions[a].length() > bestSessions[b].length()
+	})
+	sched := &Schedule{Kind: "session-based"}
+	for si, d := range bestSessions {
+		s := Session{
+			Index:       si,
+			Cycles:      d.length(),
+			ControlPins: d.controlPins,
+			DataPins:    d.dataPins,
+			PeakPower:   d.corePower + d.bistPower,
+		}
+		s.Placements = append(s.Placements, d.placements...)
+		s.Placements = append(s.Placements, d.bistPl...)
+		sched.Sessions = append(sched.Sessions, s)
+		sched.TotalCycles += s.Cycles
+		if s.ControlPins > sched.ControlPinsMax {
+			sched.ControlPinsMax = s.ControlPins
+		}
+	}
+	return sched, nil
+}
+
+// fillBIST packs BIST groups into session slack (best-fit decreasing); a
+// group that fits nowhere without growth goes where it grows the total
+// least, including possibly a BIST-only overflow session.  Groups in one
+// session run serially behind the shared controller.
+func fillBIST(sessions []*sessionDesign, bist []Test, res Resources) ([]*sessionDesign, bool) {
+	out := make([]*sessionDesign, len(sessions))
+	for i, s := range sessions {
+		cp := *s
+		cp.bistPl = nil
+		cp.bistCycles = 0
+		cp.bistPower = 0
+		out[i] = &cp
+	}
+	groups := make([]Test, len(bist))
+	copy(groups, bist)
+	sort.SliceStable(groups, func(a, b int) bool { return groups[a].FixedCycles > groups[b].FixedCycles })
+
+	powerOK := func(s *sessionDesign, g Test) bool {
+		if res.MaxPower <= 0 {
+			return true
+		}
+		p := g.Power
+		if s.bistPower > p {
+			p = s.bistPower
+		}
+		return almostLE(s.corePower+p, res.MaxPower)
+	}
+	for _, g := range groups {
+		bestIdx, bestGrowth, bestSlack := -1, -1, -1
+		for i, s := range out {
+			if !powerOK(s, g) {
+				continue
+			}
+			newBist := s.bistCycles + g.FixedCycles
+			growth := 0
+			if newBist > s.cycles && newBist > s.length() {
+				growth = newBist - s.length()
+			}
+			slack := s.length() - newBist
+			if bestIdx < 0 || growth < bestGrowth ||
+				(growth == bestGrowth && growth == 0 && slack < bestSlack) {
+				bestIdx, bestGrowth, bestSlack = i, growth, slack
+			}
+		}
+		// Open a fresh BIST-only session only when no existing session is
+		// power-feasible (growth can never exceed the group length, so an
+		// existing session is otherwise always at least as good and keeps
+		// the session count low).
+		if bestIdx < 0 {
+			ns := &sessionDesign{controlPins: ControlPins(nil, true, true)}
+			if res.MaxPower > 0 && !almostLE(g.Power, res.MaxPower) {
+				return nil, false
+			}
+			ns.bistPl = append(ns.bistPl, Placement{Test: g, Cycles: g.FixedCycles})
+			ns.bistCycles = g.FixedCycles
+			ns.bistPower = g.Power
+			out = append(out, ns)
+			continue
+		}
+		s := out[bestIdx]
+		s.bistPl = append(s.bistPl, Placement{Test: g, Cycles: g.FixedCycles, Start: s.bistCycles})
+		s.bistCycles += g.FixedCycles
+		if g.Power > s.bistPower {
+			s.bistPower = g.Power
+		}
+	}
+	return out, true
+}
+
+// forEachPartition enumerates all set partitions of jobs.
+func forEachPartition(jobs []coreJob, fn func([][]coreJob)) {
+	var rec func(i int, part [][]coreJob)
+	rec = func(i int, part [][]coreJob) {
+		if i == len(jobs) {
+			cp := make([][]coreJob, len(part))
+			for k := range part {
+				cp[k] = append([]coreJob(nil), part[k]...)
+			}
+			fn(cp)
+			return
+		}
+		for k := range part {
+			part[k] = append(part[k], jobs[i])
+			rec(i+1, part)
+			part[k] = part[k][:len(part[k])-1]
+		}
+		part = append(part, []coreJob{jobs[i]})
+		rec(i+1, part)
+	}
+	rec(0, nil)
+}
+
+// greedyPartition is the fallback for many cores: LPT over approximate job
+// durations into k sessions.
+func greedyPartition(jobs []coreJob, k int, res Resources) [][]coreJob {
+	type jt struct {
+		job coreJob
+		dur int
+	}
+	items := make([]jt, len(jobs))
+	for i, j := range jobs {
+		d := 0
+		if j.scan != nil {
+			if c, err := ScanCycles(j.core, 1, res.Partitioner); err == nil {
+				d += c
+			}
+		}
+		if j.fn != nil {
+			if c, err := FuncCycles(j.fn.Patterns, j.fn.NeedFuncPins, res.FuncPins); err == nil {
+				d += c
+			}
+		}
+		items[i] = jt{j, d}
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].dur > items[b].dur })
+	part := make([][]coreJob, k)
+	loads := make([]int, k)
+	for _, it := range items {
+		best := 0
+		for s := 1; s < k; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		part[best] = append(part[best], it.job)
+		loads[best] += it.dur
+	}
+	var nonEmpty [][]coreJob
+	for _, p := range part {
+		if len(p) > 0 {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return nonEmpty
+}

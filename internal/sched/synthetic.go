@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"steac/internal/testinfo"
+)
+
+// SyntheticSOC generates a reproducible random SOC in the spirit of the
+// ITC'02 SOC test benchmarks: cores with varied scan-chain structures,
+// pattern counts and IO footprints.  It exists so the scheduler can be
+// evaluated beyond the single DSC case study — scaling behaviour, and
+// whether the session-based advantage persists across SOCs (see
+// BenchmarkSyntheticSchedulers and TestSyntheticSOCProperty).
+func SyntheticSOC(seed int64, nCores int) []*testinfo.Core {
+	rng := rand.New(rand.NewSource(seed))
+	cores := make([]*testinfo.Core, 0, nCores)
+	for i := 0; i < nCores; i++ {
+		c := &testinfo.Core{
+			Name: fmt.Sprintf("ip%d", i),
+			PIs:  10 + rng.Intn(190),
+			POs:  10 + rng.Intn(120),
+		}
+		nClk := 1 + rng.Intn(3)
+		for k := 0; k < nClk; k++ {
+			c.Clocks = append(c.Clocks, fmt.Sprintf("ip%d_ck%d", i, k))
+		}
+		for k := 0; k < rng.Intn(3); k++ {
+			c.Resets = append(c.Resets, fmt.Sprintf("ip%d_rst%d", i, k))
+		}
+		for k := 0; k < rng.Intn(4); k++ {
+			c.TestEnables = append(c.TestEnables, fmt.Sprintf("ip%d_te%d", i, k))
+		}
+		nChains := rng.Intn(7)
+		if nChains > 0 {
+			c.ScanEnables = []string{fmt.Sprintf("ip%d_se", i)}
+			for k := 0; k < nChains; k++ {
+				c.ScanChains = append(c.ScanChains, testinfo.ScanChain{
+					Name:   fmt.Sprintf("c%d", k),
+					Length: 50 + rng.Intn(1950),
+					In:     fmt.Sprintf("ip%d_si%d", i, k),
+					Out:    fmt.Sprintf("ip%d_so%d", i, k),
+					Clock:  c.Clocks[rng.Intn(nClk)],
+				})
+			}
+			c.Patterns = append(c.Patterns, testinfo.PatternSet{
+				Name: "scan", Type: testinfo.Scan,
+				Count: 50 + rng.Intn(950), Seed: seed*1000 + int64(i),
+			})
+		}
+		if nChains == 0 || rng.Intn(3) == 0 {
+			c.Patterns = append(c.Patterns, testinfo.PatternSet{
+				Name: "func", Type: testinfo.Functional,
+				Count: 1000 + rng.Intn(200000), Seed: seed*2000 + int64(i),
+			})
+		}
+		cores = append(cores, c)
+	}
+	return cores
+}
+
+// SyntheticBIST generates a reproducible random embedded-memory BIST plan
+// to accompany SyntheticSOC.
+func SyntheticBIST(seed int64, nGroups int) []BISTGroup {
+	rng := rand.New(rand.NewSource(seed ^ 0xB157))
+	groups := make([]BISTGroup, 0, nGroups)
+	for i := 0; i < nGroups; i++ {
+		words := 1 << (8 + rng.Intn(9)) // 256 .. 64K
+		groups = append(groups, BISTGroup{
+			Name:   fmt.Sprintf("m%d", i),
+			Cycles: 10*words + 1,
+			Power:  1 + float64(rng.Intn(30)),
+		})
+	}
+	return groups
+}
+
+// SyntheticResources derives a plausibly tight resource budget for a
+// synthetic SOC: the non-session baseline gets exactly one TAM wire after
+// dedicating every control pin, so IO pressure matters, while the
+// session-based scheduler recovers pins through sharing.
+func SyntheticResources(cores []*testinfo.Core) Resources {
+	total := ControlPins(cores, true, false)
+	return Resources{
+		TestPins: total + 2,
+		FuncPins: 256,
+		MaxPower: 40,
+	}
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"testing"
+
+	"steac/internal/wrapper"
+)
+
+// Across random SOCs the structural invariants must hold: every test is
+// placed exactly once, session totals add up, resource budgets are
+// respected, and the session-based scheduler never loses to the serial
+// baseline.
+func TestSyntheticSOCProperty(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		nCores := 2 + int(seed)%6
+		cores := SyntheticSOC(seed, nCores)
+		for _, c := range cores {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		bist := SyntheticBIST(seed, 3+int(seed)%8)
+		tests, err := BuildTests(cores, bist)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res := SyntheticResources(cores)
+		res.Partitioner = wrapper.LPT
+
+		sb, err := SessionBased(tests, res)
+		if err != nil {
+			t.Fatalf("seed %d: session: %v", seed, err)
+		}
+		ser, err := Serial(tests, res)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		nsb, err := NonSessionBased(tests, res)
+		if err != nil {
+			t.Fatalf("seed %d: non-session: %v", seed, err)
+		}
+		if sb.TotalCycles > ser.TotalCycles {
+			t.Fatalf("seed %d: session-based %d worse than serial %d",
+				seed, sb.TotalCycles, ser.TotalCycles)
+		}
+		// Longest single test is a lower bound on any makespan.
+		lb := 0
+		for _, x := range tests {
+			d := x.FixedCycles
+			if x.Kind == ScanKind {
+				if c, err := ScanCycles(x.Core, len(x.Core.ScanChains)+2, res.Partitioner); err == nil {
+					d = c
+				}
+			}
+			if x.Kind == FuncKind {
+				if c, err := FuncCycles(x.Patterns, x.NeedFuncPins, res.FuncPins); err == nil {
+					d = c
+				}
+			}
+			if d > lb {
+				lb = d
+			}
+		}
+		for name, s := range map[string]*Schedule{"session": sb, "serial": ser, "non-session": nsb} {
+			if s.TotalCycles < lb {
+				t.Fatalf("seed %d: %s total %d below lower bound %d", seed, name, s.TotalCycles, lb)
+			}
+			placed := make(map[string]int)
+			for _, sess := range s.Sessions {
+				for _, p := range sess.Placements {
+					placed[p.Test.ID]++
+				}
+			}
+			if len(placed) != len(tests) {
+				t.Fatalf("seed %d: %s placed %d of %d tests", seed, name, len(placed), len(tests))
+			}
+			for id, n := range placed {
+				if n != 1 {
+					t.Fatalf("seed %d: %s placed %s %d times", seed, name, id, n)
+				}
+			}
+		}
+		// Session pin budgets.
+		for _, sess := range sb.Sessions {
+			wires := 0
+			for _, p := range sess.Placements {
+				wires += p.Width
+			}
+			if sess.ControlPins+2*wires > res.TestPins {
+				t.Fatalf("seed %d: session exceeds pin budget", seed)
+			}
+			if res.MaxPower > 0 && !almostLE(sess.PeakPower, res.MaxPower) {
+				t.Fatalf("seed %d: session power %.1f over budget", seed, sess.PeakPower)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := SyntheticSOC(7, 5)
+	b := SyntheticSOC(7, 5)
+	if len(a) != len(b) {
+		t.Fatal("length differs")
+	}
+	for i := range a {
+		if a[i].TotalScanBits() != b[i].TotalScanBits() ||
+			a[i].PIs != b[i].PIs ||
+			a[i].ScanPatternCount() != b[i].ScanPatternCount() {
+			t.Fatalf("core %d differs between identical seeds", i)
+		}
+	}
+	g1, g2 := SyntheticBIST(7, 4), SyntheticBIST(7, 4)
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("BIST groups differ between identical seeds")
+		}
+	}
+}

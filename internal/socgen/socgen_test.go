@@ -1,0 +1,76 @@
+package socgen
+
+import (
+	"testing"
+
+	"steac/internal/sched"
+	"steac/internal/testinfo"
+)
+
+func TestBuildSyntheticSOC(t *testing.T) {
+	cores := sched.SyntheticSOC(3, 5)
+	d, err := Build(cores, Options{Name: "synth", Blocks: map[string]float64{
+		"glue": 9000, "cpu": 40000,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Top != "soc" {
+		t.Fatalf("top = %s", d.Top)
+	}
+	top := d.TopModule()
+	for _, c := range cores {
+		if top.Instance("u_"+c.Name) == nil {
+			t.Fatalf("core %s not instantiated", c.Name)
+		}
+	}
+	if top.Instance("u_cpu") == nil || top.Instance("u_glue") == nil || top.Instance("u_pll") == nil {
+		t.Fatal("blocks missing")
+	}
+	if issues := d.Lint(); len(issues) != 0 {
+		t.Fatalf("lint: %v", issues)
+	}
+	// Every clock pin got a distinct PLL output.
+	nClocks := 0
+	for _, c := range cores {
+		nClocks += len(c.Clocks)
+	}
+	pll := d.Module("pll")
+	if pll.Port("ck").Width != nClocks {
+		t.Fatalf("pll outputs = %d, want %d", pll.Port("ck").Width, nClocks)
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("empty core set accepted")
+	}
+	bad := []*testinfo.Core{{Name: "x"}} // no clock
+	if _, err := Build(bad, Options{}); err == nil {
+		t.Fatal("invalid core accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cores := sched.SyntheticSOC(5, 3)
+	opts := Options{Blocks: map[string]float64{"a": 1, "b": 2, "c": 3}}
+	d1, err := Build(cores, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build(cores, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := d1.EmitVerilogString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d2.EmitVerilogString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("generated SOC is not deterministic")
+	}
+}

@@ -1,0 +1,103 @@
+package stil
+
+import (
+	"fmt"
+	"strings"
+
+	"steac/internal/testinfo"
+)
+
+// Emit serializes a core's test information to STIL, the hand-off format
+// between the ATPG and STEAC.  Parse(Emit(c)) reconstructs c.
+func Emit(c *testinfo.Core) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("STIL 1.0;\n")
+	fmt.Fprintf(&sb, "{* core name=%s soft=%t *}\n", c.Name, c.Soft)
+
+	sb.WriteString("Signals {\n")
+	writeSig := func(role, name, dir string) {
+		if role != "" {
+			fmt.Fprintf(&sb, "  {* %s *} %s %s;\n", role, name, dir)
+		} else {
+			fmt.Fprintf(&sb, "  %s %s;\n", name, dir)
+		}
+	}
+	for _, ck := range c.Clocks {
+		writeSig("clock", ck, "In")
+	}
+	for _, r := range c.Resets {
+		writeSig("reset", r, "In")
+	}
+	for _, se := range c.ScanEnables {
+		writeSig("se", se, "In")
+	}
+	for _, te := range c.TestEnables {
+		writeSig("te", te, "In")
+	}
+	for _, ch := range c.ScanChains {
+		writeSig("si", ch.In, "In")
+		if ch.SharedOut {
+			writeSig("so-shared", ch.Out, "Out")
+		} else {
+			writeSig("so", ch.Out, "Out")
+		}
+	}
+	if c.PIs > 0 {
+		writeSig("", fmt.Sprintf("pi[0..%d]", c.PIs-1), "In")
+	}
+	if c.POs > 0 {
+		writeSig("", fmt.Sprintf("po[0..%d]", c.POs-1), "Out")
+	}
+	sb.WriteString("}\n")
+
+	if len(c.ScanChains) > 0 {
+		sis := make([]string, len(c.ScanChains))
+		sos := make([]string, len(c.ScanChains))
+		for i, ch := range c.ScanChains {
+			sis[i] = ch.In
+			sos[i] = ch.Out
+		}
+		sb.WriteString("SignalGroups {\n")
+		fmt.Fprintf(&sb, "  \"all_si\" = '%s';\n", strings.Join(sis, " + "))
+		fmt.Fprintf(&sb, "  \"all_so\" = '%s';\n", strings.Join(sos, " + "))
+		sb.WriteString("}\n")
+		sb.WriteString("ScanStructures {\n")
+		for _, ch := range c.ScanChains {
+			fmt.Fprintf(&sb, "  ScanChain \"%s\" {\n", ch.Name)
+			fmt.Fprintf(&sb, "    ScanLength %d;\n", ch.Length)
+			fmt.Fprintf(&sb, "    ScanIn %s;\n", ch.In)
+			fmt.Fprintf(&sb, "    ScanOut %s;\n", ch.Out)
+			if ch.Clock != "" {
+				fmt.Fprintf(&sb, "    ScanMasterClock %s;\n", ch.Clock)
+			}
+			if ch.SharedOut {
+				sb.WriteString("    {* shared-out *}\n")
+			}
+			sb.WriteString("  }\n")
+		}
+		sb.WriteString("}\n")
+	}
+
+	sb.WriteString("Timing {\n  WaveformTable \"wft\" {\n    Period '40ns';\n  }\n}\n")
+
+	if len(c.Patterns) > 0 {
+		sb.WriteString("PatternBurst \"burst\" {\n  PatList {\n")
+		for _, p := range c.Patterns {
+			fmt.Fprintf(&sb, "    \"%s\";\n", p.Name)
+		}
+		sb.WriteString("  }\n}\n")
+		sb.WriteString("PatternExec {\n  PatternBurst \"burst\";\n}\n")
+		for _, p := range c.Patterns {
+			typ := "Scan"
+			if p.Type == testinfo.Functional {
+				typ = "Functional"
+			}
+			fmt.Fprintf(&sb, "Pattern \"%s\" {\n  {* patterns type=%s count=%d seed=%d *}\n}\n",
+				p.Name, typ, p.Count, p.Seed)
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,165 @@
+// Package stil reads and writes the subset of IEEE 1450 STIL that carries
+// core test information between the ATPG and the STEAC platform (Fig. 1
+// "STIL Parser"): Signals, SignalGroups, ScanStructures (chains, lengths,
+// scan IOs, scan clocks), Timing, PatternBurst/PatternExec, and Pattern
+// blocks whose annotations describe the pattern sets (type, count,
+// generator seed).
+//
+// The writer (Emit) serializes a testinfo.Core the way a commercial ATPG
+// would hand it off; the parser (Parse) reconstructs the testinfo.Core, so
+// STEAC integrates into a typical design flow by exchanging files, exactly
+// as the paper describes.
+package stil
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // "..."
+	tokQuote  // '...'
+	tokAnn    // {* ... *}
+	tokNumber
+	tokLBrace
+	tokRBrace
+	tokSemi
+	tokEquals
+	tokPlus
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokLBrace:
+		return "{"
+	case tokRBrace:
+		return "}"
+	case tokSemi:
+		return ";"
+	case tokEquals:
+		return "="
+	case tokPlus:
+		return "+"
+	}
+	return t.text
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("stil: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	start := l.line
+	switch c {
+	case '{':
+		// Annotation {* ... *}
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+			end := strings.Index(l.src[l.pos+2:], "*}")
+			if end < 0 {
+				return token{}, l.errf("unterminated annotation")
+			}
+			text := l.src[l.pos+2 : l.pos+2+end]
+			l.line += strings.Count(text, "\n")
+			l.pos += 2 + end + 2
+			return token{kind: tokAnn, text: strings.TrimSpace(text), line: start}, nil
+		}
+		l.pos++
+		return token{kind: tokLBrace, line: start}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, line: start}, nil
+	case ';':
+		l.pos++
+		return token{kind: tokSemi, line: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEquals, line: start}, nil
+	case '+':
+		l.pos++
+		return token{kind: tokPlus, line: start}, nil
+	case '"', '\'':
+		quote := c
+		end := strings.IndexByte(l.src[l.pos+1:], quote)
+		if end < 0 {
+			return token{}, l.errf("unterminated %c-string", quote)
+		}
+		text := l.src[l.pos+1 : l.pos+1+end]
+		l.line += strings.Count(text, "\n")
+		l.pos += end + 2
+		kind := tokString
+		if quote == '\'' {
+			kind = tokQuote
+		}
+		return token{kind: kind, text: text, line: start}, nil
+	}
+	if unicode.IsDigit(rune(c)) {
+		j := l.pos
+		for j < len(l.src) && (unicode.IsDigit(rune(l.src[j])) || l.src[j] == '.') {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return token{kind: tokNumber, text: text, line: start}, nil
+	}
+	if isIdentStart(c) {
+		j := l.pos
+		for j < len(l.src) && isIdentPart(l.src[j]) {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return token{kind: tokIdent, text: text, line: start}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || unicode.IsDigit(rune(c)) || c == '[' || c == ']' ||
+		c == '.' || c == '-'
+}

@@ -1,0 +1,351 @@
+package stil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"steac/internal/testinfo"
+)
+
+// Stmt is one parsed statement: a flat "words ;" statement or a block with
+// a body.  The AST is generic so the interpreter below stays separate from
+// the grammar.
+type Stmt struct {
+	// Words are the tokens before the ';' or '{' (identifiers, strings,
+	// numbers, quoted expressions, '=' and '+' rendered literally).
+	Words []string
+	// Ann is set for annotation statements {* ... *}.
+	Ann string
+	// Body is non-nil for block statements.
+	Body []*Stmt
+}
+
+// parser builds the generic AST.
+type parser struct {
+	lx   *lexer
+	tok  token
+	prev int
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) parseStmts(topLevel bool) ([]*Stmt, error) {
+	var stmts []*Stmt
+	for {
+		switch p.tok.kind {
+		case tokEOF:
+			if !topLevel {
+				return nil, fmt.Errorf("stil: line %d: unexpected end of file inside block", p.tok.line)
+			}
+			return stmts, nil
+		case tokRBrace:
+			if topLevel {
+				return nil, fmt.Errorf("stil: line %d: unmatched '}'", p.tok.line)
+			}
+			return stmts, nil
+		case tokAnn:
+			stmts = append(stmts, &Stmt{Ann: p.tok.text})
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, s)
+		}
+	}
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	s := &Stmt{}
+	for {
+		switch p.tok.kind {
+		case tokIdent, tokNumber, tokString:
+			s.Words = append(s.Words, p.tok.text)
+		case tokQuote:
+			s.Words = append(s.Words, "'"+p.tok.text+"'")
+		case tokEquals:
+			s.Words = append(s.Words, "=")
+		case tokPlus:
+			s.Words = append(s.Words, "+")
+		case tokSemi:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return s, nil
+		case tokLBrace:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			body, err := p.parseStmts(false)
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokRBrace {
+				return nil, fmt.Errorf("stil: line %d: expected '}', got %s", p.tok.line, p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			s.Body = body
+			return s, nil
+		case tokEOF:
+			return nil, fmt.Errorf("stil: line %d: unexpected end of file in statement", p.tok.line)
+		case tokRBrace:
+			return nil, fmt.Errorf("stil: line %d: unexpected '}' in statement", p.tok.line)
+		case tokAnn:
+			return nil, fmt.Errorf("stil: line %d: annotation inside statement", p.tok.line)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ParseAST parses STIL source into the generic statement tree.
+func ParseAST(src string) ([]*Stmt, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.parseStmts(true)
+}
+
+// Parse reads a STIL file and reconstructs the core test information.
+func Parse(src string) (*testinfo.Core, error) {
+	stmts, err := ParseAST(src)
+	if err != nil {
+		return nil, err
+	}
+	core := &testinfo.Core{}
+	sawHeader := false
+	for _, s := range stmts {
+		if s.Ann != "" {
+			applyCoreAnn(core, s.Ann)
+			continue
+		}
+		if len(s.Words) == 0 {
+			continue
+		}
+		switch s.Words[0] {
+		case "STIL":
+			sawHeader = true
+		case "Signals":
+			if err := parseSignals(core, s); err != nil {
+				return nil, err
+			}
+		case "ScanStructures":
+			if err := parseScanStructures(core, s); err != nil {
+				return nil, err
+			}
+		case "Pattern":
+			if err := parsePattern(core, s); err != nil {
+				return nil, err
+			}
+		case "SignalGroups", "Timing", "PatternBurst", "PatternExec":
+			// Parsed for well-formedness; carries no core test info we
+			// need beyond what Signals/ScanStructures provide.
+		default:
+			return nil, fmt.Errorf("stil: unknown top-level block %q", s.Words[0])
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("stil: missing STIL version header")
+	}
+	if err := core.Validate(); err != nil {
+		return nil, fmt.Errorf("stil: parsed core invalid: %w", err)
+	}
+	return core, nil
+}
+
+// applyCoreAnn interprets top-level annotations: "core name=USB soft=true".
+func applyCoreAnn(core *testinfo.Core, ann string) {
+	fields := strings.Fields(ann)
+	if len(fields) == 0 || fields[0] != "core" {
+		return
+	}
+	for _, kv := range fields[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "name":
+			core.Name = v
+		case "soft":
+			core.Soft = v == "true"
+		}
+	}
+}
+
+// parseSignals reads the Signals block.  Signal roles are carried in
+// per-signal annotations emitted by Emit ("clock", "reset", "se", "te",
+// "si", "so", "so-shared"); plain In/Out signals count as functional PIs
+// and POs.  Bus signals "pi[0..220]" count as their width.
+func parseSignals(core *testinfo.Core, s *Stmt) error {
+	role := ""
+	for _, st := range s.Body {
+		if st.Ann != "" {
+			role = strings.TrimSpace(st.Ann)
+			continue
+		}
+		if len(st.Words) < 2 {
+			return fmt.Errorf("stil: malformed signal statement %v", st.Words)
+		}
+		name, dir := st.Words[0], st.Words[1]
+		width, err := signalWidth(name)
+		if err != nil {
+			return err
+		}
+		switch role {
+		case "clock":
+			core.Clocks = append(core.Clocks, name)
+		case "reset":
+			core.Resets = append(core.Resets, name)
+		case "se":
+			core.ScanEnables = append(core.ScanEnables, name)
+		case "te":
+			core.TestEnables = append(core.TestEnables, name)
+		case "si", "so", "so-shared":
+			// Scan IOs are attached to chains by ScanStructures.
+		case "":
+			switch dir {
+			case "In":
+				core.PIs += width
+			case "Out":
+				core.POs += width
+			case "InOut":
+				core.PIs += width
+				core.POs += width
+			default:
+				return fmt.Errorf("stil: signal %s has unknown direction %q", name, dir)
+			}
+		default:
+			return fmt.Errorf("stil: unknown signal role annotation %q", role)
+		}
+		role = ""
+	}
+	return nil
+}
+
+func signalWidth(name string) (int, error) {
+	open := strings.IndexByte(name, '[')
+	if open < 0 {
+		return 1, nil
+	}
+	if !strings.HasSuffix(name, "]") {
+		return 0, fmt.Errorf("stil: malformed bus name %q", name)
+	}
+	lo, hi, ok := strings.Cut(name[open+1:len(name)-1], "..")
+	if !ok {
+		return 1, nil
+	}
+	l, err1 := strconv.Atoi(lo)
+	h, err2 := strconv.Atoi(hi)
+	if err1 != nil || err2 != nil || h < l {
+		return 0, fmt.Errorf("stil: malformed bus range in %q", name)
+	}
+	return h - l + 1, nil
+}
+
+func parseScanStructures(core *testinfo.Core, s *Stmt) error {
+	for _, st := range s.Body {
+		if len(st.Words) < 2 || st.Words[0] != "ScanChain" {
+			return fmt.Errorf("stil: unexpected statement in ScanStructures: %v", st.Words)
+		}
+		ch := testinfo.ScanChain{Name: st.Words[1]}
+		for _, f := range st.Body {
+			if f.Ann != "" {
+				if strings.TrimSpace(f.Ann) == "shared-out" {
+					ch.SharedOut = true
+				}
+				continue
+			}
+			if len(f.Words) < 2 {
+				return fmt.Errorf("stil: malformed ScanChain field %v", f.Words)
+			}
+			switch f.Words[0] {
+			case "ScanLength":
+				n, err := strconv.Atoi(f.Words[1])
+				if err != nil {
+					return fmt.Errorf("stil: bad ScanLength %q", f.Words[1])
+				}
+				ch.Length = n
+			case "ScanIn":
+				ch.In = f.Words[1]
+			case "ScanOut":
+				ch.Out = f.Words[1]
+			case "ScanMasterClock":
+				ch.Clock = f.Words[1]
+			default:
+				return fmt.Errorf("stil: unknown ScanChain field %q", f.Words[0])
+			}
+		}
+		core.ScanChains = append(core.ScanChains, ch)
+	}
+	return nil
+}
+
+// parsePattern reads a Pattern block whose annotation describes the set:
+// "patterns type=Scan count=716 seed=1".
+func parsePattern(core *testinfo.Core, s *Stmt) error {
+	if len(s.Words) < 2 {
+		return fmt.Errorf("stil: Pattern block without a name")
+	}
+	ps := testinfo.PatternSet{Name: s.Words[1]}
+	for _, st := range s.Body {
+		if st.Ann == "" {
+			continue
+		}
+		fields := strings.Fields(st.Ann)
+		if len(fields) == 0 || fields[0] != "patterns" {
+			continue
+		}
+		for _, kv := range fields[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("stil: malformed pattern annotation %q", st.Ann)
+			}
+			switch k {
+			case "type":
+				switch v {
+				case "Scan":
+					ps.Type = testinfo.Scan
+				case "Functional":
+					ps.Type = testinfo.Functional
+				default:
+					return fmt.Errorf("stil: unknown pattern type %q", v)
+				}
+			case "count":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("stil: bad pattern count %q", v)
+				}
+				ps.Count = n
+			case "seed":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return fmt.Errorf("stil: bad pattern seed %q", v)
+				}
+				ps.Seed = n
+			}
+		}
+	}
+	core.Patterns = append(core.Patterns, ps)
+	return nil
+}

@@ -1,0 +1,214 @@
+package stil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"steac/internal/testinfo"
+)
+
+func usbCore() *testinfo.Core {
+	return &testinfo.Core{
+		Name:        "USB",
+		Clocks:      []string{"ck0", "ck1", "ck2", "ck3"},
+		Resets:      []string{"rst0", "rst1", "rst2"},
+		ScanEnables: []string{"se"},
+		TestEnables: []string{"t0", "t1", "t2", "t3", "t4", "t5"},
+		PIs:         221, POs: 104,
+		ScanChains: []testinfo.ScanChain{
+			{Name: "c0", Length: 1629, In: "si0", Out: "so0", Clock: "ck0"},
+			{Name: "c1", Length: 78, In: "si1", Out: "so1", Clock: "ck1"},
+			{Name: "c2", Length: 293, In: "si2", Out: "so2", Clock: "ck2"},
+			{Name: "c3", Length: 45, In: "si3", Out: "so3", Clock: "ck3"},
+		},
+		Patterns: []testinfo.PatternSet{{Name: "scan", Type: testinfo.Scan, Count: 716, Seed: 1}},
+	}
+}
+
+func tvCore() *testinfo.Core {
+	return &testinfo.Core{
+		Name:        "TV",
+		Clocks:      []string{"ck"},
+		Resets:      []string{"rst"},
+		ScanEnables: []string{"se"},
+		TestEnables: []string{"te"},
+		PIs:         25, POs: 40,
+		ScanChains: []testinfo.ScanChain{
+			{Name: "c0", Length: 577, In: "si0", Out: "so0", Clock: "ck"},
+			{Name: "c1", Length: 576, In: "si1", Out: "shared_po", Clock: "ck", SharedOut: true},
+		},
+		Patterns: []testinfo.PatternSet{
+			{Name: "scan", Type: testinfo.Scan, Count: 229, Seed: 2},
+			{Name: "func", Type: testinfo.Functional, Count: 202673, Seed: 3},
+		},
+	}
+}
+
+func jpegCore() *testinfo.Core {
+	return &testinfo.Core{
+		Name:   "JPEG",
+		Clocks: []string{"ck"},
+		PIs:    165, POs: 104,
+		Patterns: []testinfo.PatternSet{{Name: "func", Type: testinfo.Functional, Count: 235696, Seed: 4}},
+	}
+}
+
+func TestRoundTripTable1Cores(t *testing.T) {
+	for _, c := range []*testinfo.Core{usbCore(), tvCore(), jpegCore()} {
+		src, err := Emit(c)
+		if err != nil {
+			t.Fatalf("%s: emit: %v", c.Name, err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", c.Name, err, src)
+		}
+		if !reflect.DeepEqual(c, back) {
+			t.Fatalf("%s: round trip mismatch:\nwant %+v\ngot  %+v", c.Name, c, back)
+		}
+	}
+}
+
+func TestEmitLooksLikeSTIL(t *testing.T) {
+	src, err := Emit(usbCore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"STIL 1.0;",
+		"Signals {",
+		"ScanStructures {",
+		`ScanChain "c0"`,
+		"ScanLength 1629;",
+		"ScanMasterClock ck0;",
+		"pi[0..220] In;",
+		`Pattern "scan"`,
+		"count=716",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("emitted STIL missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestParseHandwrittenSTIL(t *testing.T) {
+	src := `
+STIL 1.0;
+// A hand-written core description with comments.
+{* core name=MINI soft=true *}
+Signals {
+  {* clock *} clk In;
+  {* se *} se In;
+  {* si *} si In;
+  {* so *} so Out;
+  d[0..7] In;
+  q[0..3] Out;
+  valid Out;
+}
+ScanStructures {
+  ScanChain "chain" {
+    ScanLength 42;
+    ScanIn si;
+    ScanOut so;
+    ScanMasterClock clk;
+  }
+}
+Timing { WaveformTable "w" { Period '10ns'; } }
+Pattern "p" { {* patterns type=Scan count=7 seed=9 *} }
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "MINI" || !c.Soft {
+		t.Fatalf("core header = %q soft=%t", c.Name, c.Soft)
+	}
+	if c.PIs != 8 || c.POs != 5 {
+		t.Fatalf("PIs/POs = %d/%d, want 8/5", c.PIs, c.POs)
+	}
+	if len(c.ScanChains) != 1 || c.ScanChains[0].Length != 42 {
+		t.Fatalf("chains = %+v", c.ScanChains)
+	}
+	if len(c.Patterns) != 1 || c.Patterns[0].Count != 7 || c.Patterns[0].Seed != 9 {
+		t.Fatalf("patterns = %+v", c.Patterns)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no header":       `Signals { {* clock *} ck In; }`,
+		"unmatched brace": "STIL 1.0; Signals {",
+		"stray brace":     "STIL 1.0; }",
+		"bad block":       "STIL 1.0; Bogus { }",
+		"bad direction":   "STIL 1.0; Signals { x Sideways; }",
+		"bad role":        "STIL 1.0; Signals { {* alien *} x In; }",
+		"bad chain field": `STIL 1.0; Signals { {* clock *} ck In; } ScanStructures { ScanChain "c" { Bogus 1; } }`,
+		"bad length":      `STIL 1.0; Signals { {* clock *} ck In; } ScanStructures { ScanChain "c" { ScanLength zz; } }`,
+		"bad bus":         "STIL 1.0; Signals { «",
+		"bad range":       "STIL 1.0; Signals { x[5..2] In; }",
+		"unterminated":    `STIL 1.0; {* never closed`,
+		"bad ptype":       `STIL 1.0; Signals { {* clock *} ck In; } Pattern "p" { {* patterns type=Weird count=1 seed=0 *} }`,
+		"bad pcount":      `STIL 1.0; Signals { {* clock *} ck In; } Pattern "p" { {* patterns type=Scan count=x seed=0 *} }`,
+		"unnamed pattern": `STIL 1.0; Signals { {* clock *} ck In; } Pattern { }`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, src)
+		}
+	}
+}
+
+func TestEmitRejectsInvalidCore(t *testing.T) {
+	if _, err := Emit(&testinfo.Core{Name: "x"}); err == nil {
+		t.Fatal("invalid core emitted")
+	}
+}
+
+// Property: Emit→Parse is the identity for arbitrary well-formed cores.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(nClocks, nResets, nTE uint8, pis, pos uint16, chainLens []uint16, scanCount, funcCount uint32) bool {
+		c := &testinfo.Core{Name: "P", PIs: int(pis % 512), POs: int(pos % 512)}
+		for i := 0; i <= int(nClocks%4); i++ {
+			c.Clocks = append(c.Clocks, nameN("ck", i))
+		}
+		for i := 0; i < int(nResets%3); i++ {
+			c.Resets = append(c.Resets, nameN("rst", i))
+		}
+		for i := 0; i < int(nTE%5); i++ {
+			c.TestEnables = append(c.TestEnables, nameN("te", i))
+		}
+		if len(chainLens) > 4 {
+			chainLens = chainLens[:4]
+		}
+		for i, l := range chainLens {
+			c.ScanChains = append(c.ScanChains, testinfo.ScanChain{
+				Name: nameN("c", i), Length: int(l%4096) + 1,
+				In: nameN("si", i), Out: nameN("so", i), Clock: c.Clocks[0],
+			})
+		}
+		if len(c.ScanChains) > 0 {
+			c.ScanEnables = []string{"se"}
+			c.Patterns = append(c.Patterns, testinfo.PatternSet{
+				Name: "scan", Type: testinfo.Scan, Count: int(scanCount % 100000), Seed: 11})
+		}
+		c.Patterns = append(c.Patterns, testinfo.PatternSet{
+			Name: "func", Type: testinfo.Functional, Count: int(funcCount % 1000000), Seed: 12})
+		src, err := Emit(c)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(c, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nameN(p string, i int) string {
+	return p + string(rune('a'+i))
+}

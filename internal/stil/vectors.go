@@ -1,0 +1,250 @@
+package stil
+
+import (
+	"fmt"
+	"strings"
+
+	"steac/internal/testinfo"
+)
+
+// Explicit vector data.  The paper notes that the STIL hand-off carries
+// "the IO ports, scan structure, and test vectors"; for moderate pattern
+// sets the vectors travel in the file itself (for the DSC's 200K+ pattern
+// functional sets, the annotation form with a generator seed is used
+// instead).  The vector statements are a compact STEAC dialect of STIL
+// pattern data:
+//
+//	Pattern "scan" {
+//	  {* patterns type=Scan count=2 seed=0 *}
+//	  Scan {
+//	    Load "c0" 0110;
+//	    Apply pi 01 po HL;
+//	    Unload "c0" 1001;
+//	  }
+//	}
+//	Pattern "func" {
+//	  {* patterns type=Functional count=1 seed=0 *}
+//	  V pi 0101 po HLLH;
+//	}
+//
+// Stimulus bits are 0/1; expected values are H/L.
+
+// ScanVector is one explicit scan pattern: per-chain load and expected
+// unload strings (keyed by chain name), capture stimulus and expected
+// response.
+type ScanVector struct {
+	Load   map[string]string
+	Unload map[string]string
+	PI     string
+	PO     string
+}
+
+// FuncVector is one explicit functional pattern.
+type FuncVector struct {
+	PI string
+	PO string
+}
+
+// Vectors is the explicit pattern data of one core's STIL file.
+type Vectors struct {
+	Scan []ScanVector
+	Func []FuncVector
+}
+
+// ParseWithVectors parses a STIL file and additionally extracts any
+// explicit vector statements.  Plain Parse ignores them.
+func ParseWithVectors(src string) (*testinfo.Core, *Vectors, error) {
+	core, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	stmts, err := ParseAST(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := &Vectors{}
+	for _, s := range stmts {
+		if len(s.Words) == 0 || s.Words[0] != "Pattern" {
+			continue
+		}
+		for _, st := range s.Body {
+			if st.Ann != "" || len(st.Words) == 0 {
+				continue
+			}
+			switch st.Words[0] {
+			case "Scan":
+				sv, err := parseScanVector(st)
+				if err != nil {
+					return nil, nil, err
+				}
+				v.Scan = append(v.Scan, sv)
+			case "V":
+				fv, err := parseFuncVector(st.Words)
+				if err != nil {
+					return nil, nil, err
+				}
+				v.Func = append(v.Func, fv)
+			case "W", "Call", "Macro", "Loop":
+				// Recognized STIL statements we don't interpret.
+			default:
+				return nil, nil, fmt.Errorf("stil: unknown pattern statement %q", st.Words[0])
+			}
+		}
+	}
+	return core, v, nil
+}
+
+func parseScanVector(st *Stmt) (ScanVector, error) {
+	sv := ScanVector{Load: make(map[string]string), Unload: make(map[string]string)}
+	for _, f := range st.Body {
+		if len(f.Words) == 0 {
+			continue
+		}
+		switch f.Words[0] {
+		case "Load", "Unload":
+			if len(f.Words) != 3 {
+				return sv, fmt.Errorf("stil: %s wants: %s <chain> <bits>", f.Words[0], f.Words[0])
+			}
+			if err := checkBits(f.Words[2], "01"); err != nil {
+				return sv, err
+			}
+			if f.Words[0] == "Load" {
+				sv.Load[f.Words[1]] = f.Words[2]
+			} else {
+				sv.Unload[f.Words[1]] = f.Words[2]
+			}
+		case "Apply":
+			pi, po, err := parsePIPO(f.Words)
+			if err != nil {
+				return sv, err
+			}
+			sv.PI, sv.PO = pi, po
+		default:
+			return sv, fmt.Errorf("stil: unknown Scan field %q", f.Words[0])
+		}
+	}
+	return sv, nil
+}
+
+func parseFuncVector(words []string) (FuncVector, error) {
+	pi, po, err := parsePIPO(words)
+	if err != nil {
+		return FuncVector{}, err
+	}
+	return FuncVector{PI: pi, PO: po}, nil
+}
+
+// parsePIPO handles "<kw> pi <bits> po <HLbits>" with either part optional.
+func parsePIPO(words []string) (pi, po string, err error) {
+	i := 1
+	for i < len(words) {
+		switch words[i] {
+		case "pi":
+			if i+1 >= len(words) {
+				return "", "", fmt.Errorf("stil: pi without bits")
+			}
+			if err := checkBits(words[i+1], "01"); err != nil {
+				return "", "", err
+			}
+			pi = words[i+1]
+			i += 2
+		case "po":
+			if i+1 >= len(words) {
+				return "", "", fmt.Errorf("stil: po without values")
+			}
+			if err := checkBits(words[i+1], "HL"); err != nil {
+				return "", "", err
+			}
+			po = words[i+1]
+			i += 2
+		default:
+			return "", "", fmt.Errorf("stil: unexpected token %q in vector", words[i])
+		}
+	}
+	return pi, po, nil
+}
+
+func checkBits(s, alphabet string) error {
+	for _, c := range s {
+		if !strings.ContainsRune(alphabet, c) {
+			return fmt.Errorf("stil: invalid character %q in vector data %q (alphabet %s)",
+				string(c), s, alphabet)
+		}
+	}
+	return nil
+}
+
+// EmitWithVectors serializes a core like Emit and appends explicit vector
+// statements to the matching Pattern blocks (scan vectors into the first
+// Scan pattern set, functional vectors into the first Functional set).
+// ParseWithVectors(EmitWithVectors(c, v)) reconstructs both.
+func EmitWithVectors(c *testinfo.Core, v *Vectors) (string, error) {
+	base, err := Emit(c)
+	if err != nil {
+		return "", err
+	}
+	if v == nil || (len(v.Scan) == 0 && len(v.Func) == 0) {
+		return base, nil
+	}
+	scanSet, funcSet := "", ""
+	for _, p := range c.Patterns {
+		if p.Type == testinfo.Scan && scanSet == "" {
+			scanSet = p.Name
+		}
+		if p.Type == testinfo.Functional && funcSet == "" {
+			funcSet = p.Name
+		}
+	}
+	if len(v.Scan) > 0 && scanSet == "" {
+		return "", fmt.Errorf("stil: scan vectors but no scan pattern set on %s", c.Name)
+	}
+	if len(v.Func) > 0 && funcSet == "" {
+		return "", fmt.Errorf("stil: functional vectors but no functional pattern set on %s", c.Name)
+	}
+
+	var sb strings.Builder
+	lines := strings.Split(base, "\n")
+	for _, line := range lines {
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+		if scanSet != "" && strings.HasPrefix(line, fmt.Sprintf("Pattern %q {", scanSet)) {
+			for _, sv := range v.Scan {
+				sb.WriteString("  Scan {\n")
+				for _, ch := range c.ScanChains {
+					if bits, ok := sv.Load[ch.Name]; ok {
+						fmt.Fprintf(&sb, "    Load %s %s;\n", ch.Name, bits)
+					}
+				}
+				if sv.PI != "" || sv.PO != "" {
+					sb.WriteString("    Apply")
+					if sv.PI != "" {
+						fmt.Fprintf(&sb, " pi %s", sv.PI)
+					}
+					if sv.PO != "" {
+						fmt.Fprintf(&sb, " po %s", sv.PO)
+					}
+					sb.WriteString(";\n")
+				}
+				for _, ch := range c.ScanChains {
+					if bits, ok := sv.Unload[ch.Name]; ok {
+						fmt.Fprintf(&sb, "    Unload %s %s;\n", ch.Name, bits)
+					}
+				}
+				sb.WriteString("  }\n")
+			}
+		}
+		if funcSet != "" && strings.HasPrefix(line, fmt.Sprintf("Pattern %q {", funcSet)) {
+			for _, fv := range v.Func {
+				sb.WriteString("  V")
+				if fv.PI != "" {
+					fmt.Fprintf(&sb, " pi %s", fv.PI)
+				}
+				if fv.PO != "" {
+					fmt.Fprintf(&sb, " po %s", fv.PO)
+				}
+				sb.WriteString(";\n")
+			}
+		}
+	}
+	return strings.TrimSuffix(sb.String(), "\n") + "\n", nil
+}

@@ -1,0 +1,119 @@
+package stil
+
+import (
+	"strings"
+	"testing"
+
+	"steac/internal/testinfo"
+)
+
+func vecCore() *testinfo.Core {
+	return &testinfo.Core{
+		Name:        "V",
+		Clocks:      []string{"ck"},
+		ScanEnables: []string{"se"},
+		PIs:         2, POs: 2,
+		ScanChains: []testinfo.ScanChain{
+			{Name: "c0", Length: 3, In: "si", Out: "so", Clock: "ck"},
+		},
+		Patterns: []testinfo.PatternSet{
+			{Name: "scan", Type: testinfo.Scan, Count: 1, Seed: 0},
+			{Name: "func", Type: testinfo.Functional, Count: 1, Seed: 0},
+		},
+	}
+}
+
+func sampleVectors() *Vectors {
+	return &Vectors{
+		Scan: []ScanVector{{
+			Load:   map[string]string{"c0": "010"},
+			Unload: map[string]string{"c0": "101"},
+			PI:     "01", PO: "HL",
+		}},
+		Func: []FuncVector{{PI: "10", PO: "LH"}},
+	}
+}
+
+func TestEmitParseVectors(t *testing.T) {
+	src, err := EmitWithVectors(vecCore(), sampleVectors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scan {", "Load c0 010;", "Apply pi 01 po HL;", "Unload c0 101;", "V pi 10 po LH;"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("emitted STIL missing %q:\n%s", want, src)
+		}
+	}
+	core, v, err := ParseWithVectors(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Name != "V" {
+		t.Fatal("core lost")
+	}
+	if len(v.Scan) != 1 || len(v.Func) != 1 {
+		t.Fatalf("vectors = %d/%d", len(v.Scan), len(v.Func))
+	}
+	sv := v.Scan[0]
+	if sv.Load["c0"] != "010" || sv.Unload["c0"] != "101" || sv.PI != "01" || sv.PO != "HL" {
+		t.Fatalf("scan vector = %+v", sv)
+	}
+	if v.Func[0].PI != "10" || v.Func[0].PO != "LH" {
+		t.Fatalf("func vector = %+v", v.Func[0])
+	}
+	// Plain Parse ignores vector statements.
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("plain parse choked on vectors: %v", err)
+	}
+}
+
+func TestEmitVectorsNoData(t *testing.T) {
+	src, err := EmitWithVectors(vecCore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "Scan {") {
+		t.Fatal("empty vectors emitted pattern data")
+	}
+	// Vectors without a matching pattern set must be rejected.
+	noscan := vecCore()
+	noscan.Patterns = noscan.Patterns[1:] // drop scan set
+	noscan.ScanChains = nil
+	noscan.ScanEnables = nil
+	if _, err := EmitWithVectors(noscan, sampleVectors()); err == nil {
+		t.Fatal("scan vectors without a scan set accepted")
+	}
+	nofunc := vecCore()
+	nofunc.Patterns = nofunc.Patterns[:1]
+	if _, err := EmitWithVectors(nofunc, &Vectors{Func: []FuncVector{{PI: "10", PO: "LH"}}}); err == nil {
+		t.Fatal("func vectors without a functional set accepted")
+	}
+}
+
+func TestParseVectorErrors(t *testing.T) {
+	header := `STIL 1.0; {* core name=X soft=false *}
+Signals { {* clock *} ck In; }
+`
+	for name, body := range map[string]string{
+		"bad load bits":   `Pattern "p" { Scan { Load c0 012; } }`,
+		"bad po chars":    `Pattern "p" { Scan { Apply po 01; } }`,
+		"load arity":      `Pattern "p" { Scan { Load c0; } }`,
+		"unknown field":   `Pattern "p" { Scan { Bogus c0 01; } }`,
+		"pi without bits": `Pattern "p" { V pi; }`,
+		"stray token":     `Pattern "p" { V what 01; }`,
+		"unknown stmt":    `Pattern "p" { Jump x; }`,
+	} {
+		if _, _, err := ParseWithVectors(header + body); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Recognized-but-uninterpreted statements pass through.
+	ok := header + `Pattern "p" { {* patterns type=Functional count=1 seed=0 *} W wft; Loop 5 { }; V pi 1 po H; }`
+	_, v, err := ParseWithVectors(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Func) != 1 {
+		t.Fatalf("func vectors = %d", len(v.Func))
+	}
+}

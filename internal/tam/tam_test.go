@@ -1,0 +1,146 @@
+package tam
+
+import (
+	"fmt"
+	"testing"
+
+	"steac/internal/netlist"
+)
+
+func dscSpec() Spec {
+	return Spec{
+		Width:    4,
+		Sessions: 3,
+		Routes: []Route{
+			{Session: 0, Core: "USB", Width: 4, PinLo: 0},
+			{Session: 1, Core: "TV", Width: 2, PinLo: 0},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := dscSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Spec{
+		"zero width":  {Width: 0, Sessions: 1},
+		"no sessions": {Width: 2, Sessions: 0},
+		"bad session": {Width: 2, Sessions: 1, Routes: []Route{{Session: 1, Core: "x", Width: 1}}},
+		"overflow":    {Width: 2, Sessions: 1, Routes: []Route{{Core: "x", Width: 3}}},
+		"overlap": {Width: 2, Sessions: 1, Routes: []Route{
+			{Core: "x", Width: 2}, {Core: "y", Width: 1, PinLo: 1},
+		}},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSpecQueries(t *testing.T) {
+	s := dscSpec()
+	cores := s.CoresOf()
+	if len(cores) != 2 || cores[0] != "TV" || cores[1] != "USB" {
+		t.Fatalf("cores = %v", cores)
+	}
+	r, ok := s.RouteFor(0, "USB")
+	if !ok || r.Width != 4 {
+		t.Fatalf("route = %+v, %v", r, ok)
+	}
+	if _, ok := s.RouteFor(2, "USB"); ok {
+		t.Fatal("phantom route")
+	}
+}
+
+func TestGenerateLintAndArea(t *testing.T) {
+	d := netlist.NewDesign("d", nil)
+	m, err := Generate(d, "tammux", dscSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := d.Lint(); len(issues) != 0 {
+		t.Fatalf("lint: %v", issues)
+	}
+	a, err := d.Area(m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~132 gates for the DSC TAM mux; ours must land in
+	// the same small-glue regime.
+	if a < 40 || a > 400 {
+		t.Fatalf("TAM mux area = %v gates, outside the plausible range", a)
+	}
+}
+
+// Gate-level routing check: in session 0 the USB sees TIN and drives TOUT;
+// in session 1 the TV does; inactive cores see 0.
+func TestGenerateRouting(t *testing.T) {
+	d := netlist.NewDesign("d", nil)
+	if _, err := Generate(d, "tammux", dscSpec()); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(d, "tammux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle := func() {
+		t.Helper()
+		if err := sim.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Session 0: USB active.
+	sim.SetBus("SESS", []bool{false, false})
+	sim.SetBus("TIN", []bool{true, false, true, true})
+	sim.SetBus("USB_WSO", []bool{true, true, false, true})
+	sim.SetBus("TV_WSO", []bool{true, true})
+	settle()
+	for i, want := range []bool{true, false, true, true} {
+		if got := sim.Get(fmt.Sprintf("USB_WSI[%d]", i)); got != want {
+			t.Fatalf("session 0: USB_WSI[%d] = %v", i, got)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if sim.Get(fmt.Sprintf("TV_WSI[%d]", i)) {
+			t.Fatal("session 0: TV sees TAM data")
+		}
+	}
+	for i, want := range []bool{true, true, false, true} {
+		if got := sim.Get(fmt.Sprintf("TOUT[%d]", i)); got != want {
+			t.Fatalf("session 0: TOUT[%d] = %v", i, got)
+		}
+	}
+	// Session 1: TV active on wires 0..1; wires 2..3 unowned -> 0.
+	sim.SetBus("SESS", []bool{true, false})
+	settle()
+	for i, want := range []bool{true, false} {
+		if got := sim.Get(fmt.Sprintf("TV_WSI[%d]", i)); got != want {
+			t.Fatalf("session 1: TV_WSI[%d] = %v, want %v", i, got, want)
+		}
+	}
+	for i, want := range []bool{true, true, false, false} {
+		if got := sim.Get(fmt.Sprintf("TOUT[%d]", i)); got != want {
+			t.Fatalf("session 1: TOUT[%d] = %v, want %v", i, got, want)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if sim.Get(fmt.Sprintf("USB_WSI[%d]", i)) {
+			t.Fatal("session 1: USB sees TAM data")
+		}
+	}
+	// Session 2: nobody routed; all quiet.
+	sim.SetBus("SESS", []bool{false, true})
+	settle()
+	for i := 0; i < 4; i++ {
+		if sim.Get(fmt.Sprintf("TOUT[%d]", i)) {
+			t.Fatal("session 2: TOUT active with no routes")
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	d := netlist.NewDesign("d", nil)
+	if _, err := Generate(d, "bad", Spec{Width: 0, Sessions: 1}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package testinfo
+
+import "testing"
+
+// usbLike reproduces the USB core of Table 1: TI=18, TO=4, PI=221, PO=104,
+// 4 chains (1629, 78, 293, 45), 716 scan patterns.
+func usbLike() *Core {
+	return &Core{
+		Name:        "USB",
+		Clocks:      []string{"ck0", "ck1", "ck2", "ck3"},
+		Resets:      []string{"rst0", "rst1", "rst2"},
+		ScanEnables: []string{"se"},
+		TestEnables: []string{"t0", "t1", "t2", "t3", "t4", "t5"},
+		PIs:         221, POs: 104,
+		ScanChains: []ScanChain{
+			{Name: "c0", Length: 1629, In: "si0", Out: "so0", Clock: "ck0"},
+			{Name: "c1", Length: 78, In: "si1", Out: "so1", Clock: "ck1"},
+			{Name: "c2", Length: 293, In: "si2", Out: "so2", Clock: "ck2"},
+			{Name: "c3", Length: 45, In: "si3", Out: "so3", Clock: "ck3"},
+		},
+		Patterns: []PatternSet{{Name: "scan", Type: Scan, Count: 716, Seed: 1}},
+	}
+}
+
+// tvLike reproduces the TV encoder: TI=6, TO=1, 2 chains (577, 576) with one
+// shared scan-out, 229 scan + 202673 functional patterns.
+func tvLike() *Core {
+	return &Core{
+		Name:        "TV",
+		Clocks:      []string{"ck"},
+		Resets:      []string{"rst"},
+		ScanEnables: []string{"se"},
+		TestEnables: []string{"te"},
+		PIs:         25, POs: 40,
+		ScanChains: []ScanChain{
+			{Name: "c0", Length: 577, In: "si0", Out: "so0", Clock: "ck"},
+			{Name: "c1", Length: 576, In: "si1", Out: "po_shared", Clock: "ck", SharedOut: true},
+		},
+		Patterns: []PatternSet{
+			{Name: "scan", Type: Scan, Count: 229, Seed: 2},
+			{Name: "func", Type: Functional, Count: 202673, Seed: 3},
+		},
+	}
+}
+
+func jpegLike() *Core {
+	return &Core{
+		Name:   "JPEG",
+		Clocks: []string{"ck"},
+		PIs:    165, POs: 104,
+		Patterns: []PatternSet{{Name: "func", Type: Functional, Count: 235696, Seed: 4}},
+	}
+}
+
+func TestTable1Counts(t *testing.T) {
+	usb, tv, jpeg := usbLike(), tvLike(), jpegLike()
+	for _, c := range []*Core{usb, tv, jpeg} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+	}
+	for _, tc := range []struct {
+		core   *Core
+		ti, to int
+	}{
+		{usb, 18, 4},
+		{tv, 6, 1},
+		{jpeg, 1, 0},
+	} {
+		if got := tc.core.TestInputs(); got != tc.ti {
+			t.Errorf("%s TI = %d, want %d", tc.core.Name, got, tc.ti)
+		}
+		if got := tc.core.TestOutputs(); got != tc.to {
+			t.Errorf("%s TO = %d, want %d", tc.core.Name, got, tc.to)
+		}
+	}
+	if usb.ScanPatternCount() != 716 || tv.ScanPatternCount() != 229 {
+		t.Error("scan pattern counts wrong")
+	}
+	if tv.FunctionalPatternCount() != 202673 || jpeg.FunctionalPatternCount() != 235696 {
+		t.Error("functional pattern counts wrong")
+	}
+	if jpeg.HasScan() || !usb.HasScan() {
+		t.Error("HasScan wrong")
+	}
+}
+
+func TestChainDerived(t *testing.T) {
+	usb := usbLike()
+	ls := usb.ChainLengths()
+	want := []int{1629, 293, 78, 45}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Fatalf("chain lengths = %v", ls)
+		}
+	}
+	if usb.TotalScanBits() != 1629+293+78+45 {
+		t.Fatalf("total scan bits = %d", usb.TotalScanBits())
+	}
+}
+
+// The paper: total test IOs of the three cores are 19 (6 clocks, 4 resets,
+// 7 TE, 2 SE); with sharing the control count drops.
+func TestSharedControlIOs(t *testing.T) {
+	cores := []*Core{usbLike(), tvLike(), jpegLike()}
+	s := ShareControlIOs(cores)
+	if s.Clocks != 6 || s.Resets != 4 || s.TestEnables != 7 || s.ScanEnables != 2 {
+		t.Fatalf("control mix = %+v, want 6/4/7/2", s)
+	}
+	if s.Dedicated != 19 {
+		t.Fatalf("dedicated control IOs = %d, want 19", s.Dedicated)
+	}
+	if s.SharedTotal >= s.Dedicated {
+		t.Fatalf("sharing did not reduce: %d vs %d", s.SharedTotal, s.Dedicated)
+	}
+	// 6 clocks + 4 resets + 1 SE + ceil(log2(7+1))=3 encoded TE = 14.
+	if s.SharedTotal != 14 {
+		t.Fatalf("shared total = %d, want 14", s.SharedTotal)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	for _, bad := range []*Core{
+		{Name: "", Clocks: []string{"ck"}},
+		{Name: "noclk"},
+		{Name: "negio", Clocks: []string{"ck"}, PIs: -1},
+		{Name: "chain0", Clocks: []string{"ck"}, ScanEnables: []string{"se"},
+			ScanChains: []ScanChain{{Name: "c", Length: 0}}},
+		{Name: "dupchain", Clocks: []string{"ck"}, ScanEnables: []string{"se"},
+			ScanChains: []ScanChain{{Name: "c", Length: 1}, {Name: "c", Length: 2}}},
+		{Name: "badclk", Clocks: []string{"ck"}, ScanEnables: []string{"se"},
+			ScanChains: []ScanChain{{Name: "c", Length: 1, Clock: "nope"}}},
+		{Name: "nose", Clocks: []string{"ck"},
+			ScanChains: []ScanChain{{Name: "c", Length: 1}}},
+		{Name: "negpat", Clocks: []string{"ck"},
+			Patterns: []PatternSet{{Name: "p", Count: -1}}},
+		{Name: "scannochain", Clocks: []string{"ck"},
+			Patterns: []PatternSet{{Name: "p", Type: Scan, Count: 1}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("core %q accepted", bad.Name)
+		}
+	}
+}
+
+func TestTestTypeString(t *testing.T) {
+	if Scan.String() != "Scan" || Functional.String() != "Func." {
+		t.Fatal("type names")
+	}
+}

@@ -1,0 +1,265 @@
+package wrapper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"steac/internal/testinfo"
+)
+
+func usbCore() *testinfo.Core {
+	return &testinfo.Core{
+		Name:        "USB",
+		Clocks:      []string{"ck0", "ck1", "ck2", "ck3"},
+		Resets:      []string{"rst0", "rst1", "rst2"},
+		ScanEnables: []string{"se"},
+		TestEnables: []string{"t0", "t1", "t2", "t3", "t4", "t5"},
+		PIs:         221, POs: 104,
+		ScanChains: []testinfo.ScanChain{
+			{Name: "c0", Length: 1629, In: "si0", Out: "so0", Clock: "ck0"},
+			{Name: "c1", Length: 78, In: "si1", Out: "so1", Clock: "ck1"},
+			{Name: "c2", Length: 293, In: "si2", Out: "so2", Clock: "ck2"},
+			{Name: "c3", Length: 45, In: "si3", Out: "so3", Clock: "ck3"},
+		},
+		Patterns: []testinfo.PatternSet{{Name: "scan", Type: testinfo.Scan, Count: 716, Seed: 1}},
+	}
+}
+
+func TestDesignChainsUSBWidth4(t *testing.T) {
+	plan, err := DesignChains(usbCore(), 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chains) != 4 {
+		t.Fatalf("chains = %d", len(plan.Chains))
+	}
+	// The 1629 chain dominates; boundary cells must land on shorter
+	// chains, keeping the maximum at 1629.
+	if plan.MaxLength() != 1629 {
+		t.Fatalf("max length = %d, want 1629", plan.MaxLength())
+	}
+	// Every core chain is placed exactly once.
+	placed := make(map[int]int)
+	inCells, outCells := 0, 0
+	for _, c := range plan.Chains {
+		for _, ci := range c.CoreChains {
+			placed[ci]++
+		}
+		inCells += c.InCells
+		outCells += c.OutCells
+	}
+	for ci := 0; ci < 4; ci++ {
+		if placed[ci] != 1 {
+			t.Fatalf("core chain %d placed %d times", ci, placed[ci])
+		}
+	}
+	if inCells != 221 || outCells != 104 {
+		t.Fatalf("boundary cells = %d in, %d out", inCells, outCells)
+	}
+	// Scan test time at 716 patterns: (1+1629)*716 + 1629 = 1,168,709.
+	if got := plan.ScanTestCycles(716); got != 1168709 {
+		t.Fatalf("scan cycles = %d, want 1168709", got)
+	}
+}
+
+func TestDesignChainsNarrowTAMConcatenates(t *testing.T) {
+	// Width 2 forces chains to share TAM wires, lengthening the test:
+	// the scheduler's width/time trade-off depends on this.
+	p4, err := DesignChains(usbCore(), 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DesignChains(usbCore(), 2, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := DesignChains(usbCore(), 1, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hard core cannot split its longest chain, so the width-2 and
+	// width-4 designs both saturate at 1629; width 1 concatenates
+	// everything.
+	if p1.MaxLength() <= p2.MaxLength() || p2.MaxLength() < p4.MaxLength() {
+		t.Fatalf("lengths not monotone: %d, %d, %d", p1.MaxLength(), p2.MaxLength(), p4.MaxLength())
+	}
+	if p2.MaxLength() != 1629 || p4.MaxLength() != 1629 {
+		t.Fatalf("hard-core saturation broken: %d, %d", p2.MaxLength(), p4.MaxLength())
+	}
+	// Width 1 carries everything: all scan bits + all boundary cells.
+	if want := 1629 + 293 + 78 + 45 + 221 + 104; p1.MaxLength() != want {
+		t.Fatalf("width-1 length = %d, want %d", p1.MaxLength(), want)
+	}
+}
+
+func TestDesignChainsSoftRebalances(t *testing.T) {
+	c := usbCore()
+	c.Soft = true
+	soft, err := DesignChains(c, 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !soft.Soft {
+		t.Fatal("plan not marked soft")
+	}
+	// Perfect rebalancing: ceil((2045+325)/4) = 593.
+	if soft.MaxLength() != 593 {
+		t.Fatalf("soft max length = %d, want 593", soft.MaxLength())
+	}
+	hard, err := DesignChains(usbCore(), 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soft.MaxLength() >= hard.MaxLength() {
+		t.Fatal("soft rebalancing did not shorten the wrapper chains")
+	}
+	// Total scan bits preserved.
+	total := 0
+	for _, ch := range soft.Chains {
+		total += ch.ScanBits()
+	}
+	if total != 2045 {
+		t.Fatalf("soft plan lost scan bits: %d", total)
+	}
+}
+
+func TestOptimalBeatsOrMatchesHeuristics(t *testing.T) {
+	core := &testinfo.Core{
+		Name: "HARD", Clocks: []string{"ck"}, ScanEnables: []string{"se"},
+		ScanChains: []testinfo.ScanChain{
+			{Name: "a", Length: 3, Clock: "ck"}, {Name: "b", Length: 3, Clock: "ck"},
+			{Name: "c", Length: 2, Clock: "ck"}, {Name: "d", Length: 2, Clock: "ck"},
+			{Name: "e", Length: 2, Clock: "ck"},
+		},
+	}
+	lpt, err := DesignChains(core, 2, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := DesignChains(core, 2, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := DesignChains(core, 2, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MaxLength() != 6 {
+		t.Fatalf("optimal = %d, want 6 (3+3 / 2+2+2)", opt.MaxLength())
+	}
+	if lpt.MaxLength() < opt.MaxLength() || ff.MaxLength() < opt.MaxLength() {
+		t.Fatalf("heuristic beat optimal: lpt=%d ff=%d opt=%d",
+			lpt.MaxLength(), ff.MaxLength(), opt.MaxLength())
+	}
+	// The classic LPT counterexample: LPT lands at 7.
+	if lpt.MaxLength() != 7 {
+		t.Fatalf("LPT = %d, expected the classical 7", lpt.MaxLength())
+	}
+}
+
+func TestDesignChainsFunctionalOnlyCore(t *testing.T) {
+	jpeg := &testinfo.Core{Name: "JPEG", Clocks: []string{"ck"}, PIs: 165, POs: 104}
+	plan, err := DesignChains(jpeg, 3, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range plan.Chains {
+		total += c.Length()
+		if len(c.CoreChains) != 0 {
+			t.Fatal("functional core got scan segments")
+		}
+	}
+	if total != 269 {
+		t.Fatalf("boundary bits = %d, want 269", total)
+	}
+	// Balanced within one cell.
+	if plan.MaxLength() > (269+2)/3+1 {
+		t.Fatalf("unbalanced boundary chains: max %d", plan.MaxLength())
+	}
+}
+
+func TestDesignChainsErrors(t *testing.T) {
+	if _, err := DesignChains(usbCore(), 0, LPT); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := DesignChains(&testinfo.Core{Name: "bad"}, 1, LPT); err == nil {
+		t.Fatal("invalid core accepted")
+	}
+	if _, err := DesignChains(usbCore(), 2, Partitioner(9)); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+	big := &testinfo.Core{Name: "BIG", Clocks: []string{"ck"}, ScanEnables: []string{"se"}}
+	for i := 0; i < 20; i++ {
+		big.ScanChains = append(big.ScanChains, testinfo.ScanChain{
+			Name: nameN("c", i), Length: i + 1, Clock: "ck"})
+	}
+	if _, err := DesignChains(big, 3, Optimal); err == nil {
+		t.Fatal("optimal accepted 20 chains")
+	}
+}
+
+func nameN(p string, i int) string { return p + string(rune('a'+i)) }
+
+func TestScanTestCyclesZeroPatterns(t *testing.T) {
+	plan, err := DesignChains(usbCore(), 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ScanTestCycles(0) != 0 {
+		t.Fatal("zero patterns should cost zero cycles")
+	}
+}
+
+// Property: for any chain set and width, (1) every partitioner places each
+// chain exactly once, (2) LPT's maximum never beats Optimal's, and (3) the
+// maximum never increases when width grows.
+func TestPartitionProperties(t *testing.T) {
+	f := func(rawLens []uint16, width uint8) bool {
+		if len(rawLens) == 0 {
+			return true
+		}
+		if len(rawLens) > 8 {
+			rawLens = rawLens[:8]
+		}
+		w := int(width%4) + 1
+		core := &testinfo.Core{Name: "P", Clocks: []string{"ck"}, ScanEnables: []string{"se"}}
+		for i, l := range rawLens {
+			core.ScanChains = append(core.ScanChains, testinfo.ScanChain{
+				Name: nameN("c", i), Length: int(l%500) + 1, Clock: "ck"})
+		}
+		lpt, err1 := DesignChains(core, w, LPT)
+		opt, err2 := DesignChains(core, w, Optimal)
+		ff, err3 := DesignChains(core, w, FirstFit)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for _, plan := range []Plan{lpt, opt, ff} {
+			placed := make(map[int]int)
+			for _, c := range plan.Chains {
+				for _, ci := range c.CoreChains {
+					placed[ci]++
+				}
+			}
+			if len(placed) != len(core.ScanChains) {
+				return false
+			}
+			for _, n := range placed {
+				if n != 1 {
+					return false
+				}
+			}
+		}
+		if opt.MaxLength() > lpt.MaxLength() || opt.MaxLength() > ff.MaxLength() {
+			return false
+		}
+		wider, err := DesignChains(core, w+1, LPT)
+		if err != nil {
+			return false
+		}
+		return wider.MaxLength() <= lpt.MaxLength()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

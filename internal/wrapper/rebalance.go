@@ -1,0 +1,73 @@
+package wrapper
+
+import (
+	"fmt"
+
+	"steac/internal/testinfo"
+)
+
+// Rebalance implements the scheduler feedback loop of paper §2: for a soft
+// core, "the Core Test Scheduler will then rebalance scan chains for each
+// assigned TAM width; the results can be fed back to the SOC integrator to
+// reconfigure the scan chains".  It returns a reconfigured copy of the core
+// whose physical scan chains are the balanced segments of the soft plan
+// (one chain per TAM wire, lengths within one bit of each other), plus the
+// hard wrapper plan for the reconfigured core.
+//
+// The reconfigured core keeps the original's totals (scan bits, pattern
+// counts, IO counts) but its chains — and therefore its scan test time —
+// correspond to what the SOC integrator would re-stitch.
+func Rebalance(core *testinfo.Core, width int) (*testinfo.Core, Plan, error) {
+	if !core.Soft {
+		return nil, Plan{}, fmt.Errorf("wrapper: %s is not a soft core", core.Name)
+	}
+	softPlan, err := DesignChains(core, width, LPT)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	re := &testinfo.Core{
+		Name:        core.Name,
+		Soft:        true,
+		Clocks:      append([]string(nil), core.Clocks...),
+		Resets:      append([]string(nil), core.Resets...),
+		ScanEnables: append([]string(nil), core.ScanEnables...),
+		TestEnables: append([]string(nil), core.TestEnables...),
+		PIs:         core.PIs, POs: core.POs,
+		Patterns: append([]testinfo.PatternSet(nil), core.Patterns...),
+	}
+	ck := ""
+	if len(core.Clocks) > 0 {
+		ck = core.Clocks[0]
+	}
+	idx := 0
+	for _, ch := range softPlan.Chains {
+		bits := ch.ScanBits()
+		if bits == 0 {
+			continue
+		}
+		re.ScanChains = append(re.ScanChains, testinfo.ScanChain{
+			Name:   fmt.Sprintf("rb%d", idx),
+			Length: bits,
+			In:     fmt.Sprintf("rb_si%d", idx),
+			Out:    fmt.Sprintf("rb_so%d", idx),
+			Clock:  ck,
+		})
+		idx++
+	}
+	if re.TotalScanBits() != core.TotalScanBits() {
+		return nil, Plan{}, fmt.Errorf("wrapper: rebalance lost scan bits: %d vs %d",
+			re.TotalScanBits(), core.TotalScanBits())
+	}
+	if err := re.Validate(); err != nil {
+		return nil, Plan{}, err
+	}
+	// The reconfigured chains are physical now: design the hard plan used
+	// for wrapper generation and pattern translation.
+	hardCopy := *re
+	hardCopy.Soft = false
+	hardPlan, err := DesignChains(&hardCopy, width, LPT)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	return re, hardPlan, nil
+}

@@ -1,0 +1,62 @@
+package wrapper
+
+import "testing"
+
+func TestRebalanceSoftCore(t *testing.T) {
+	soft := usbCore()
+	soft.Soft = true
+	re, plan, err := Rebalance(soft, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.ScanChains) != 4 {
+		t.Fatalf("rebalanced chains = %d, want 4", len(re.ScanChains))
+	}
+	if re.TotalScanBits() != 2045 {
+		t.Fatalf("scan bits = %d", re.TotalScanBits())
+	}
+	// Balanced within one bit: 2045/4 = 511.25 -> 512/511/511/511.
+	ls := re.ChainLengths()
+	if ls[0]-ls[len(ls)-1] > 1 {
+		t.Fatalf("unbalanced reconfiguration: %v", ls)
+	}
+	// The hard plan of the reconfigured core matches the soft estimate.
+	softPlan, err := DesignChains(soft, 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MaxLength() != softPlan.MaxLength() {
+		t.Fatalf("hard plan %d vs soft estimate %d", plan.MaxLength(), softPlan.MaxLength())
+	}
+	// Paper-motivating win: the 716-pattern scan test drops from 1,168,709
+	// cycles (hard, 1629-dominated) to the balanced figure.
+	hard, err := DesignChains(usbCore(), 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ScanTestCycles(716) >= hard.ScanTestCycles(716) {
+		t.Fatalf("rebalancing did not shorten the scan test: %d vs %d",
+			plan.ScanTestCycles(716), hard.ScanTestCycles(716))
+	}
+	if got := plan.ScanTestCycles(716); got != 594*716+593 {
+		t.Fatalf("rebalanced scan cycles = %d", got)
+	}
+}
+
+func TestRebalanceRequiresSoft(t *testing.T) {
+	if _, _, err := Rebalance(usbCore(), 4); err == nil {
+		t.Fatal("hard core rebalanced")
+	}
+}
+
+func TestRebalanceWidthOne(t *testing.T) {
+	soft := usbCore()
+	soft.Soft = true
+	re, _, err := Rebalance(soft, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.ScanChains) != 1 || re.ScanChains[0].Length != 2045 {
+		t.Fatalf("width-1 rebalance = %+v", re.ScanChains)
+	}
+}
