@@ -7,7 +7,11 @@ package steac
 
 import (
 	"fmt"
+	"math"
+	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"steac/internal/ate"
 	"steac/internal/bist"
@@ -273,6 +277,55 @@ func BenchmarkMarchCoverage(b *testing.B) {
 	b.ReportMetric(pct, "coverage-pct")
 }
 
+// Parallel fault-simulation campaign: worker scaling on a larger geometry
+// (the 16x4 proxy finishes in microseconds and would only measure pool
+// overhead).  Each sub-benchmark reports its speedup over the workers=1 run
+// and cross-checks that the parallel campaign is bit-identical to serial.
+func BenchmarkCoverageParallel(b *testing.B) {
+	cfg := memory.Config{Name: "proxy", Words: 64, Bits: 8}
+	faults := memfault.AllFaults(cfg)
+	alg := march.MarchCMinus()
+
+	serial, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Serial reference timing for the speedup metric (best of 3 runs;
+	// testing.Benchmark cannot nest inside a running benchmark).
+	serialNs := math.MaxFloat64
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		if _, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		if ns := float64(time.Since(start).Nanoseconds()); ns < serialNs {
+			serialNs = ns
+		}
+	}
+
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var camp memfault.Campaign
+			for i := 0; i < b.N; i++ {
+				c, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				camp = c
+			}
+			if !reflect.DeepEqual(camp, serial) {
+				b.Fatal("parallel campaign differs from serial")
+			}
+			b.ReportMetric(serialNs/(float64(b.Elapsed().Nanoseconds())/float64(b.N)), "speedup")
+			b.ReportMetric(camp.Percent(), "coverage-pct")
+		})
+	}
+}
+
 // --- Ablations ---------------------------------------------------------------
 
 // Wrapper chain design heuristics (DESIGN.md ablation).
@@ -438,6 +491,43 @@ func BenchmarkSyntheticSchedulers(b *testing.B) {
 			}
 			b.ReportMetric(float64(sb), "session-cycles")
 			b.ReportMetric(float64(nsb), "nonsession-cycles")
+		})
+	}
+}
+
+// Parallel session-partition search: worker scaling of the exact
+// branch-and-bound on a 9-core synthetic SOC (Bell(9) = 21,147 partitions).
+// The schedule must be identical for every worker count.
+func BenchmarkSessionSearchParallel(b *testing.B) {
+	cores := sched.SyntheticSOC(42, 9)
+	bist := sched.SyntheticBIST(42, 5)
+	tests, err := sched.BuildTests(cores, bist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := sched.SyntheticResources(cores)
+	res.Partitioner = wrapper.LPT
+	res.Workers = 1
+	ref, err := sched.SessionBased(tests, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			res := res
+			res.Workers = w
+			var total int
+			for i := 0; i < b.N; i++ {
+				s, err := sched.SessionBased(tests, res)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = s.TotalCycles
+			}
+			if total != ref.TotalCycles {
+				b.Fatalf("workers=%d total %d != serial %d", w, total, ref.TotalCycles)
+			}
+			b.ReportMetric(float64(total), "session-cycles")
 		})
 	}
 }

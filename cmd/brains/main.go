@@ -24,9 +24,15 @@ import (
 
 func main() {
 	script := flag.String("c", "", "semicolon-separated command script")
+	workers := flag.Int("workers", 0, "fault-simulation worker goroutines (0 = all CPUs)")
 	flag.Parse()
 
 	sh := brains.NewShell(os.Stdout)
+	if *workers > 0 {
+		if err := sh.Exec(fmt.Sprintf("workers %d", *workers)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 	run := func(line string) {
 		if err := sh.Exec(line); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -36,6 +36,7 @@ func main() {
 		verilog = flag.Bool("verilog", false, "emit the DFT-ready netlist to stdout")
 		ateprog = flag.String("ateprog", "", "write the chip-level tester program (cycle-based ATE file) to this path — the full DSC program is ~4.4M vector lines")
 		extest  = flag.Bool("extest", false, "append the EXTEST interconnect-test session (24 glue wires, 10 vectors)")
+		workers = flag.Int("workers", 0, "worker goroutines for fault simulation and schedule search (0 = all CPUs)")
 	)
 	flag.Parse()
 	all := !(*table1 || *schedOn || *ioOn || *areaOn || *bistOn || *marchOn || *verilog)
@@ -49,9 +50,10 @@ func main() {
 		SOC:         soc,
 		Resources:   dsc.Resources(),
 		Memories:    dsc.Memories(),
-		BISTOptions: brains.Options{Grouping: brains.GroupPerMemory},
+		BISTOptions: brains.Options{Grouping: brains.GroupPerMemory, Workers: *workers},
 		Verify:      *verify,
 	}
+	in.Resources.Workers = *workers
 	if *extest {
 		in.Interconnects = dsc.Interconnects()
 	}
@@ -87,7 +89,7 @@ func main() {
 		fmt.Println()
 	}
 	if all || *marchOn {
-		rows, err := brains.Evaluate(memory.Config{Name: "eval", Words: 16, Bits: 4}, nil)
+		rows, err := brains.EvaluateWorkers(memory.Config{Name: "eval", Words: 16, Bits: 4}, nil, *workers)
 		fail(err)
 		fmt.Print(brains.EvaluationTable(rows))
 		fmt.Println()

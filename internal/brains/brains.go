@@ -80,6 +80,9 @@ type Options struct {
 	// PortBTest appends a write-A/read-B verification pass for two-port
 	// macros (catches read-port defects the port-A March cannot see).
 	PortBTest bool
+	// Workers is the goroutine count used by fault-simulation evaluation
+	// (see memfault.Options.Workers).  0 means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -351,13 +354,21 @@ type EvalRow struct {
 // fault list of the given (small) geometry and reports test length vs
 // coverage, the efficiency trade-off BRAINS shows its users.
 func Evaluate(cfg memory.Config, algs []march.Algorithm) ([]EvalRow, error) {
+	return EvaluateWorkers(cfg, algs, 0)
+}
+
+// EvaluateWorkers is Evaluate with an explicit simulation worker count
+// (see memfault.Options.Workers; 0 = runtime.GOMAXPROCS(0)).  Each
+// algorithm's coverage campaign fans its fault list across the workers;
+// the rows come back in algorithm order regardless of the worker count.
+func EvaluateWorkers(cfg memory.Config, algs []march.Algorithm, workers int) ([]EvalRow, error) {
 	if len(algs) == 0 {
 		algs = march.Catalog()
 	}
 	faults := memfault.AllFaults(cfg)
 	rows := make([]EvalRow, 0, len(algs))
 	for _, a := range algs {
-		camp, err := memfault.Coverage(a, cfg, faults, memfault.Options{})
+		camp, err := memfault.Coverage(a, cfg, faults, memfault.Options{Workers: workers})
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@ import (
 //	compile                           plan + generate the BIST design
 //	report                            print plan, area and test time
 //	evaluate <words> <bits>           March efficiency table
+//	workers <n>                       fault-simulation worker count (0=auto)
 //	verilog                           emit the generated netlist
 //	help                              list commands
 type Shell struct {
@@ -107,6 +108,17 @@ func (s *Shell) Exec(line string) error {
 		}
 		s.opts.ClockMHz = v
 		return nil
+	case "workers":
+		if len(args) != 1 {
+			return fmt.Errorf("brains: usage: workers <n>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return fmt.Errorf("brains: bad worker count %q", args[0])
+		}
+		s.opts.Workers = n
+		fmt.Fprintf(s.out, "simulation workers: %d (0=auto)\n", n)
+		return nil
 	case "backgrounds":
 		if len(args) != 1 {
 			return fmt.Errorf("brains: usage: backgrounds 1|2")
@@ -168,7 +180,7 @@ func (s *Shell) Exec(line string) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("brains: bad geometry %q %q", args[0], args[1])
 		}
-		rows, err := Evaluate(memory.Config{Name: "eval", Words: words, Bits: bits}, nil)
+		rows, err := EvaluateWorkers(memory.Config{Name: "eval", Words: words, Bits: bits}, nil, s.opts.Workers)
 		if err != nil {
 			return err
 		}
@@ -224,7 +236,7 @@ const helpText = `BRAINS memory BIST compiler
   mem <name> <words> <bits> [1|2]
   alg <march name> | algdef <name> <notation>
   group kind|single|permem
-  power <max> | clock <mhz>
+  power <max> | clock <mhz> | workers <n>
   backgrounds 1|2 | retention on [cycles] | retention off | portb on|off
   compile | report | evaluate <words> <bits> | verilog
 `

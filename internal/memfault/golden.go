@@ -1,0 +1,108 @@
+package memfault
+
+import (
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+// goldenTrace is the precomputed fault-free reference of one March run: the
+// full access stream of an algorithm over a memory geometry, the data word
+// carried by every write, the expected value of every read, and the
+// retention-pause points.  The golden behaviour is independent of the
+// injected faults, so a campaign computes the trace once and shares it
+// read-only across all simulation workers — this removes the per-fault
+// golden memory, its duplicate algorithm walk, and the per-access golden
+// read/write of the original simulator.
+type goldenTrace struct {
+	accesses []march.Access
+	// vals[i] is the data written by access i (writes) or the expected
+	// fault-free value (reads).
+	vals []uint64
+	// pause[i] marks a retention pause immediately before access i (the
+	// first access of a March element listed in Options.PauseBefore).
+	pause []bool
+}
+
+// buildTrace expands alg over cfg once, replaying it against golden to
+// record the reference values.  golden must be in power-on (all-zero) state
+// and is left dirty.
+func buildTrace(alg march.Algorithm, cfg memory.Config, golden *memory.SRAM, bg uint64, pauseBefore map[int]bool) *goldenTrace {
+	n := alg.Length(cfg.Words)
+	tr := &goldenTrace{
+		accesses: make([]march.Access, 0, n),
+		vals:     make([]uint64, 0, n),
+		pause:    make([]bool, 0, n),
+	}
+	bg &= cfg.Mask()
+	inv := ^bg & cfg.Mask()
+	lastElem := -1
+	alg.Walk(cfg.Words, func(acc march.Access) bool {
+		p := false
+		if acc.Elem != lastElem {
+			lastElem = acc.Elem
+			p = pauseBefore[acc.Elem]
+		}
+		var v uint64
+		if acc.Op.Read {
+			v = golden.Read(acc.Addr)
+		} else {
+			if acc.Op.Value == 0 {
+				v = bg
+			} else {
+				v = inv
+			}
+			golden.Write(acc.Addr, v)
+		}
+		tr.accesses = append(tr.accesses, acc)
+		tr.vals = append(tr.vals, v)
+		tr.pause = append(tr.pause, p)
+		return true
+	})
+	return tr
+}
+
+// tracesFor builds one golden trace per data background of opt.  The
+// algorithm must already be validated.
+func tracesFor(alg march.Algorithm, cfg memory.Config, opt Options) ([]*goldenTrace, error) {
+	golden, err := memory.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pauseBefore := make(map[int]bool, len(opt.PauseBefore))
+	for _, e := range opt.PauseBefore {
+		pauseBefore[e] = true
+	}
+	bgs := opt.Backgrounds
+	if len(bgs) == 0 {
+		bgs = []uint64{opt.Background}
+	}
+	traces := make([]*goldenTrace, 0, len(bgs))
+	for i, bg := range bgs {
+		if i > 0 {
+			golden.Reset()
+		}
+		traces = append(traces, buildTrace(alg, cfg, golden, bg, pauseBefore))
+	}
+	return traces, nil
+}
+
+// replay applies the trace to a fault-injected memory and reports the first
+// read mismatch.  OpIndex is the position in the access stream, matching
+// the serial simulator exactly.
+func (tr *goldenTrace) replay(m *FaultyRAM) Detection {
+	for i := range tr.accesses {
+		acc := tr.accesses[i]
+		if tr.pause[i] {
+			m.Pause()
+		}
+		if acc.Op.Read {
+			got := m.Read(acc.Addr)
+			if want := tr.vals[i]; got != want {
+				return Detection{Detected: true, OpIndex: i, Access: acc, Expected: want, Got: got}
+			}
+		} else {
+			m.Write(acc.Addr, tr.vals[i])
+		}
+	}
+	return Detection{}
+}

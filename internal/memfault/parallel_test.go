@@ -1,0 +1,149 @@
+package memfault
+
+import (
+	"reflect"
+	"testing"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+// TestCoverageParallelDeterminism checks the tentpole guarantee: a parallel
+// campaign is bit-identical to a serial one for every algorithm, geometry
+// and option set, because aggregation happens in fault-list order.
+func TestCoverageParallelDeterminism(t *testing.T) {
+	configs := []memory.Config{
+		cfg16x4,
+		{Name: "w32x8", Words: 32, Bits: 8},
+		{Name: "tp", Words: 16, Bits: 4, Kind: memory.TwoPort},
+	}
+	algs := []march.Algorithm{
+		march.MSCAN(), march.MATSPlus(), march.MarchCMinus(), march.MarchLR(),
+	}
+	opts := []Options{
+		{},
+		{Backgrounds: []uint64{0x0, 0x5}},
+		{PauseBefore: []int{1}, MaxUndetected: -1},
+	}
+	for _, cfg := range configs {
+		faults := AllFaults(cfg)
+		for _, alg := range algs {
+			for oi, base := range opts {
+				serial, parallel := base, base
+				serial.Workers = 1
+				parallel.Workers = 8
+				want, err := Coverage(alg, cfg, faults, serial)
+				if err != nil {
+					t.Fatalf("%s/%s opts[%d] serial: %v", cfg.Name, alg.Name, oi, err)
+				}
+				got, err := Coverage(alg, cfg, faults, parallel)
+				if err != nil {
+					t.Fatalf("%s/%s opts[%d] parallel: %v", cfg.Name, alg.Name, oi, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/%s opts[%d]: parallel campaign differs from serial\nserial:   %+v\nparallel: %+v",
+						cfg.Name, alg.Name, oi, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSimulateMatchesTraceReplay cross-checks the shared-golden-trace engine
+// against hand-verified detections: Simulate must behave exactly as before
+// the trace rework for a few canonical fault/algorithm pairs.
+func TestSimulateMatchesTraceReplay(t *testing.T) {
+	sa0 := Fault{Kind: SA0, Victim: Cell{Addr: 3, Bit: 1}}
+	det, err := Simulate(march.MSCAN(), cfg16x4, []Fault{sa0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Fatal("MSCAN must detect SA0")
+	}
+	sof := Fault{Kind: SOF, Victim: Cell{Addr: 5, Bit: 0}}
+	det, err = Simulate(march.MSCAN(), cfg16x4, []Fault{sof}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Detected {
+		t.Fatal("MSCAN must miss SOF (needs r-after-w of same value)")
+	}
+}
+
+func TestMaxUndetected(t *testing.T) {
+	cfg := memory.Config{Name: "u", Words: 64, Bits: 8}
+	faults := AllFaults(cfg)
+	// MSCAN misses far more than 40 faults on this geometry.
+	camp, err := Coverage(march.MSCAN(), cfg, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed := camp.Total - camp.Detected
+	if missed <= 40 {
+		t.Fatalf("fixture too easy: only %d misses", missed)
+	}
+	if len(camp.Undetected) != 32 {
+		t.Errorf("default cap: got %d undetected, want 32", len(camp.Undetected))
+	}
+
+	camp, err = Coverage(march.MSCAN(), cfg, faults, Options{MaxUndetected: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Undetected) != 5 {
+		t.Errorf("cap 5: got %d undetected", len(camp.Undetected))
+	}
+
+	camp, err = Coverage(march.MSCAN(), cfg, faults, Options{MaxUndetected: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Undetected) != missed {
+		t.Errorf("uncapped: got %d undetected, want every surviving fault (%d)",
+			len(camp.Undetected), missed)
+	}
+}
+
+// TestFaultyResetEquivalence verifies the scratch-reuse primitive: Reset must
+// leave the machine in the exact state NewFaulty produces.
+func TestFaultyResetEquivalence(t *testing.T) {
+	faultSets := [][]Fault{
+		nil,
+		{{Kind: SA1, Victim: Cell{Addr: 2, Bit: 3}}},
+		{{Kind: AF, Victim: Cell{Addr: 6}, MapAddr: 7}},
+		{{Kind: CFin, Aggr: Cell{Addr: 1, Bit: 0}, AggrRise: true, Victim: Cell{Addr: 2, Bit: 0}}},
+	}
+	scratch, err := NewFaulty(cfg16x4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fs := range faultSets {
+		// Dirty the scratch machine first.
+		scratch.Write(0, 0xF)
+		scratch.Read(0)
+		if err := scratch.Reset(fs); err != nil {
+			t.Fatalf("set %d: Reset: %v", i, err)
+		}
+		fresh, err := NewFaulty(cfg16x4, fs)
+		if err != nil {
+			t.Fatalf("set %d: NewFaulty: %v", i, err)
+		}
+		if !reflect.DeepEqual(scratch.cells, fresh.cells) ||
+			!reflect.DeepEqual(scratch.sense, fresh.sense) {
+			t.Errorf("set %d: Reset state differs from NewFaulty", i)
+		}
+		// Behaviour must match too.
+		scratch.Write(3, 0xA)
+		fresh.Write(3, 0xA)
+		if g, w := scratch.Read(3), fresh.Read(3); g != w {
+			t.Errorf("set %d: read after reset: got %x want %x", i, g, w)
+		}
+		scratch.Reset(nil)
+	}
+	// Reset must reject invalid faults like NewFaulty does.
+	bad := []Fault{{Kind: SA0, Victim: Cell{Addr: 999, Bit: 0}}}
+	if err := scratch.Reset(bad); err == nil {
+		t.Error("Reset accepted out-of-range fault")
+	}
+}

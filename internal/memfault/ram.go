@@ -40,9 +40,38 @@ func NewFaulty(cfg memory.Config, faults []Fault) (*FaultyRAM, error) {
 		byVictim: make(map[Cell][]int),
 		byAggr:   make(map[Cell][]int),
 	}
-	for i, f := range faults {
-		if err := f.Validate(cfg); err != nil {
-			return nil, err
+	if err := m.install(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset returns the RAM to its power-on state under a new fault list,
+// reusing the existing storage and index maps.  The simulation campaign
+// uses it so each worker allocates one scratch machine for thousands of
+// single-fault runs.  The resulting state is identical to NewFaulty(cfg,
+// faults).
+func (m *FaultyRAM) Reset(faults []Fault) error {
+	for i := range m.cells {
+		m.cells[i] = 0
+	}
+	for i := range m.sense {
+		m.sense[i] = 0
+	}
+	clear(m.afMap)
+	clear(m.byVictim)
+	clear(m.byAggr)
+	m.faults = faults
+	return m.install()
+}
+
+// install validates the fault list, builds the victim/aggressor indices and
+// applies stuck-at-1 initialization.  Cells, sense latches and maps must be
+// in power-on (cleared) state.
+func (m *FaultyRAM) install() error {
+	for i, f := range m.faults {
+		if err := f.Validate(m.cfg); err != nil {
+			return err
 		}
 		switch f.Kind {
 		case AF:
@@ -57,7 +86,7 @@ func NewFaulty(cfg memory.Config, faults []Fault) (*FaultyRAM, error) {
 			m.cells[f.Victim.Addr] |= 1 << f.Victim.Bit
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // Config returns the macro configuration.
@@ -104,7 +133,10 @@ func (m *FaultyRAM) Write(addr int, data uint64) {
 		cell Cell
 		rise bool
 	}
-	var transitions []transition
+	// At most one transition per bit and Bits <= 64, so a stack array
+	// avoids a heap allocation on every write (the campaign hot path).
+	var transitions [64]transition
+	nt := 0
 
 	for bit := 0; bit < m.cfg.Bits; bit++ {
 		c := Cell{Addr: eff, Bit: bit}
@@ -131,7 +163,8 @@ func (m *FaultyRAM) Write(addr int, data uint64) {
 		}
 		m.setCell(c, v)
 		if now := m.cell(c); now != old {
-			transitions = append(transitions, transition{c, now == 1})
+			transitions[nt] = transition{c, now == 1}
+			nt++
 		}
 	}
 
@@ -139,7 +172,7 @@ func (m *FaultyRAM) Write(addr int, data uint64) {
 	// trigger CFin/CFid on their victims.  (Cascaded coupling — a coupling
 	// effect triggering another coupling fault — is not modelled, matching
 	// the single-fault assumption used in March coverage proofs.)
-	for _, tr := range transitions {
+	for _, tr := range transitions[:nt] {
 		for _, fi := range m.byAggr[tr.cell] {
 			f := m.faults[fi]
 			if f.AggrRise != tr.rise {

@@ -2,7 +2,10 @@ package memfault
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"steac/internal/march"
 	"steac/internal/memory"
@@ -35,6 +38,40 @@ type Options struct {
 	// pause (the Del of a retention test); data-retention faults decay
 	// during each pause.
 	PauseBefore []int
+	// Workers is the number of goroutines a Coverage campaign fans its
+	// faults across (faults are independent under the single-fault
+	// assumption).  0 means runtime.GOMAXPROCS(0).  Results are
+	// aggregated in fault-list order, so the Campaign is identical for
+	// every worker count.
+	Workers int
+	// MaxUndetected caps Campaign.Undetected, the list of surviving
+	// faults kept for reports.  0 means the default cap of 32; a negative
+	// value keeps every survivor (useful for large diagnostic campaigns).
+	MaxUndetected int
+}
+
+// workerCount resolves Options.Workers against the machine and the number
+// of independent jobs.
+func (o Options) workerCount(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// undetectedCap resolves Options.MaxUndetected (0 = 32, negative = no cap).
+func (o Options) undetectedCap() int {
+	if o.MaxUndetected == 0 {
+		return 32
+	}
+	return o.MaxUndetected
 }
 
 // Simulate runs alg against a single-fault (or multi-fault) machine on a
@@ -44,64 +81,25 @@ func Simulate(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Option
 	if err := alg.Validate(); err != nil {
 		return Detection{}, err
 	}
-	if len(opt.Backgrounds) > 0 {
-		for _, bg := range opt.Backgrounds {
-			det, err := Simulate(alg, cfg, faults,
-				Options{Background: bg, PauseBefore: opt.PauseBefore})
-			if err != nil {
-				return Detection{}, err
-			}
-			if det.Detected {
-				return det, nil
-			}
-		}
-		return Detection{}, nil
-	}
 	faulty, err := NewFaulty(cfg, faults)
 	if err != nil {
 		return Detection{}, err
 	}
-	golden, err := memory.New(cfg)
+	traces, err := tracesFor(alg, cfg, opt)
 	if err != nil {
 		return Detection{}, err
 	}
-	bg := opt.Background & cfg.Mask()
-	dataFor := func(v int) uint64 {
-		if v == 0 {
-			return bg
-		}
-		return ^bg & cfg.Mask()
-	}
-	pauseBefore := make(map[int]bool, len(opt.PauseBefore))
-	for _, e := range opt.PauseBefore {
-		pauseBefore[e] = true
-	}
-	var det Detection
-	idx := 0
-	lastElem := -1
-	alg.Walk(cfg.Words, func(acc march.Access) bool {
-		if acc.Elem != lastElem {
-			lastElem = acc.Elem
-			if pauseBefore[acc.Elem] {
-				faulty.Pause() // the golden memory has nothing to decay
+	for i, tr := range traces {
+		if i > 0 {
+			if err := faulty.Reset(faults); err != nil {
+				return Detection{}, err
 			}
 		}
-		if acc.Op.Read {
-			want := golden.Read(acc.Addr)
-			got := faulty.Read(acc.Addr)
-			if want != got {
-				det = Detection{Detected: true, OpIndex: idx, Access: acc, Expected: want, Got: got}
-				return false
-			}
-		} else {
-			d := dataFor(acc.Op.Value)
-			golden.Write(acc.Addr, d)
-			faulty.Write(acc.Addr, d)
+		if det := tr.replay(faulty); det.Detected {
+			return det, nil
 		}
-		idx++
-		return true
-	})
-	return det, nil
+	}
+	return Detection{}, nil
 }
 
 // ClassCoverage is the detected/total ratio for one fault class.
@@ -125,7 +123,8 @@ type Campaign struct {
 	Total     int
 	Detected  int
 	ByClass   []ClassCoverage
-	// Undetected lists the surviving faults (capped at 32 for reports).
+	// Undetected lists the surviving faults, capped at
+	// Options.MaxUndetected (default 32) for reports.
 	Undetected []Fault
 }
 
@@ -137,15 +136,89 @@ func (c Campaign) Percent() float64 {
 	return 100 * float64(c.Detected) / float64(c.Total)
 }
 
+// faultChunk is how many fault indices a worker claims per atomic fetch;
+// single-fault simulations are microseconds, so claiming one at a time
+// would serialize on the counter.
+const faultChunk = 64
+
 // Coverage simulates each fault in isolation (single-fault assumption) and
-// aggregates coverage per fault class.
+// aggregates coverage per fault class.  The campaign fans the fault list
+// across Options.Workers goroutines: the golden trace is computed once and
+// shared read-only, each worker reuses one fault-machine scratch buffer
+// (FaultyRAM.Reset) across its faults, and results are aggregated in
+// fault-list order — the Campaign is bit-identical to a serial run.
 func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {
 	camp := Campaign{Algorithm: alg.Name}
-	byClass := make(map[string]*ClassCoverage)
-	for _, f := range faults {
-		det, err := Simulate(alg, cfg, []Fault{f}, opt)
+	if len(faults) == 0 {
+		return camp, nil
+	}
+	if err := alg.Validate(); err != nil {
+		return Campaign{}, err
+	}
+	traces, err := tracesFor(alg, cfg, opt)
+	if err != nil {
+		return Campaign{}, err
+	}
+
+	detected := make([]bool, len(faults))
+	simErrs := make([]error, len(faults))
+	// simulate runs fault i on a reusable scratch machine.
+	simulate := func(scratch *FaultyRAM, i int) {
+		single := faults[i : i+1]
+		for _, tr := range traces {
+			if err := scratch.Reset(single); err != nil {
+				simErrs[i] = fmt.Errorf("memfault: simulating %s: %w", faults[i], err)
+				return
+			}
+			if det := tr.replay(scratch); det.Detected {
+				detected[i] = true
+				return
+			}
+		}
+	}
+
+	if workers := opt.workerCount(len(faults)); workers <= 1 {
+		scratch, err := NewFaulty(cfg, nil)
 		if err != nil {
-			return Campaign{}, fmt.Errorf("memfault: simulating %s: %w", f, err)
+			return Campaign{}, err
+		}
+		for i := range faults {
+			simulate(scratch, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scratch, err := NewFaulty(cfg, nil)
+				if err != nil {
+					return // cfg was validated by tracesFor; unreachable
+				}
+				for {
+					end := int(next.Add(faultChunk))
+					start := end - faultChunk
+					if start >= len(faults) {
+						return
+					}
+					if end > len(faults) {
+						end = len(faults)
+					}
+					for i := start; i < end; i++ {
+						simulate(scratch, i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	maxUndetected := opt.undetectedCap()
+	byClass := make(map[string]*ClassCoverage)
+	for i, f := range faults {
+		if simErrs[i] != nil {
+			return Campaign{}, simErrs[i]
 		}
 		camp.Total++
 		cc := byClass[f.Kind.Class()]
@@ -154,10 +227,10 @@ func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Option
 			byClass[f.Kind.Class()] = cc
 		}
 		cc.Total++
-		if det.Detected {
+		if detected[i] {
 			camp.Detected++
 			cc.Detected++
-		} else if len(camp.Undetected) < 32 {
+		} else if maxUndetected < 0 || len(camp.Undetected) < maxUndetected {
 			camp.Undetected = append(camp.Undetected, f)
 		}
 	}

@@ -149,6 +149,16 @@ func (m *SRAM) ReadB(addr int) uint64 {
 	return m.data[m.index(addr)]
 }
 
+// Reset returns the SRAM to its power-on state: all-zero content and
+// cleared access counters.  Simulation engines use it to reuse one SRAM
+// across runs instead of allocating a fresh macro per run.
+func (m *SRAM) Reset() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	m.Reads, m.Writes = 0, 0
+}
+
 // Fill writes the same word to every address (used to set data backgrounds).
 func (m *SRAM) Fill(word uint64) {
 	word &= m.cfg.Mask()

@@ -16,6 +16,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"steac/internal/testinfo"
 	"steac/internal/wrapper"
@@ -87,6 +88,10 @@ type Resources struct {
 	MaxPower float64
 	// Partitioner picks the wrapper-chain heuristic for hard cores.
 	Partitioner wrapper.Partitioner
+	// Workers is the goroutine count of the session-partition search
+	// (0 = runtime.GOMAXPROCS(0)).  The schedule found is identical for
+	// every worker count; Workers only trades wall-clock for CPU.
+	Workers int
 }
 
 // BuildTests derives the schedulable tests from the cores' test information
@@ -301,9 +306,11 @@ func maxUsefulWidth(core *testinfo.Core, dataPins int) int {
 var errInfeasible = fmt.Errorf("sched: infeasible")
 
 // timeCache memoizes ScanCycles per (core, width): the session partition
-// enumeration evaluates the same wrapper designs thousands of times.
+// enumeration evaluates the same wrapper designs thousands of times.  It is
+// safe for concurrent use by the parallel partition search.
 type timeCache struct {
 	part wrapper.Partitioner
+	mu   sync.RWMutex
 	m    map[timeKey]int
 }
 
@@ -318,14 +325,19 @@ func newTimeCache(part wrapper.Partitioner) *timeCache {
 
 func (tc *timeCache) scanCycles(core *testinfo.Core, width int) (int, error) {
 	k := timeKey{core.Name, width}
-	if v, ok := tc.m[k]; ok {
+	tc.mu.RLock()
+	v, ok := tc.m[k]
+	tc.mu.RUnlock()
+	if ok {
 		return v, nil
 	}
 	v, err := ScanCycles(core, width, tc.part)
 	if err != nil {
 		return 0, err
 	}
+	tc.mu.Lock()
 	tc.m[k] = v
+	tc.mu.Unlock()
 	return v, nil
 }
 

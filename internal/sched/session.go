@@ -2,7 +2,11 @@ package sched
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"steac/internal/testinfo"
 )
@@ -246,52 +250,42 @@ func waterfill(needs []int, budget int) ([]int, error) {
 // beyond), designs each session, fills BIST groups into session slack
 // (serial within a session: one shared BIST controller), and returns the
 // partition with the lowest total test time.
+//
+// The exhaustive search runs as a parallel branch-and-bound across
+// Resources.Workers goroutines (sessions are designed incrementally as jobs
+// are placed; subtrees whose partial cycle sum already exceeds the best
+// known total are pruned).  The result is identical to the serial
+// exhaustive enumeration for every worker count: the same optimum, with
+// ties broken by enumeration order.
 func SessionBased(tests []Test, res Resources) (*Schedule, error) {
 	jobs, bist := buildJobs(tests)
 	if len(jobs) == 0 && len(bist) == 0 {
 		return nil, fmt.Errorf("sched: nothing to schedule")
 	}
-
-	var bestTotal = -1
-	var bestSessions []*sessionDesign
+	workers := res.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	tc := newTimeCache(res.Partitioner)
 
-	tryPartition := func(part [][]coreJob) {
-		designs := make([]*sessionDesign, 0, len(part))
-		for _, group := range part {
-			d, err := designSessionCached(group, res, tc)
-			if err != nil {
-				return
-			}
-			designs = append(designs, d)
-		}
-		designs, ok := fillBIST(designs, bist, res)
-		if !ok {
-			return
-		}
-		total := 0
-		for _, d := range designs {
-			total += d.length()
-		}
-		if bestTotal < 0 || total < bestTotal {
-			bestTotal = total
-			bestSessions = designs
+	var best searchResult
+	switch {
+	case len(jobs) == 0:
+		best = evalPartition(nil, bist, res, tc)
+	case len(jobs) <= exhaustiveJobLimit:
+		best = searchPartitions(jobs, bist, res, tc, workers)
+	default:
+		var err error
+		best, err = greedySearch(jobs, bist, res, tc, workers)
+		if err != nil {
+			return nil, err
 		}
 	}
-
-	if len(jobs) == 0 {
-		tryPartition(nil)
-	} else if len(jobs) <= 10 {
-		forEachPartition(jobs, tryPartition)
-	} else {
-		for k := 1; k <= len(jobs); k++ {
-			tryPartition(greedyPartition(jobs, k, res))
-		}
-	}
-	if bestTotal < 0 {
+	if !best.ok {
 		return nil, fmt.Errorf("sched: no feasible session partition under %d test pins / %d func pins",
 			res.TestPins, res.FuncPins)
 	}
+	bestSessions := best.sessions
 
 	// Longest sessions first: the controller runs them in a fixed order
 	// and this mirrors the DSC flow (big scan session first).
@@ -387,6 +381,240 @@ func fillBIST(sessions []*sessionDesign, bist []Test, res Resources) ([]*session
 	return out, true
 }
 
+// exhaustiveJobLimit is the largest job count searched exhaustively
+// (Bell(10) = 115,975 partitions); beyond it the LPT greedy takes over.
+const exhaustiveJobLimit = 10
+
+// searchResult is one feasible schedule candidate: the BIST-filled session
+// designs and their total length.
+type searchResult struct {
+	ok       bool
+	total    int
+	sessions []*sessionDesign
+}
+
+// evalPartition designs every session of a complete partition, fills BIST
+// into the slack and totals the schedule; !ok if any session is infeasible.
+func evalPartition(part [][]coreJob, bist []Test, res Resources, tc *timeCache) searchResult {
+	designs := make([]*sessionDesign, 0, len(part))
+	for _, group := range part {
+		d, err := designSessionCached(group, res, tc)
+		if err != nil {
+			return searchResult{}
+		}
+		designs = append(designs, d)
+	}
+	designs, ok := fillBIST(designs, bist, res)
+	if !ok {
+		return searchResult{}
+	}
+	total := 0
+	for _, d := range designs {
+		total += d.length()
+	}
+	return searchResult{ok: true, total: total, sessions: designs}
+}
+
+// partitionSearcher is the per-task state of the exact branch-and-bound
+// session search.  It walks the set-partition tree in the same order as
+// forEachPartition, designing the one modified session at each step, and
+// prunes a subtree when the partial cycle sum already exceeds the best
+// total seen anywhere (session length and infeasibility are both monotone
+// in session membership: adding a core only raises control-pin, data-pin
+// and power demand).
+type partitionSearcher struct {
+	jobs   []coreJob
+	bist   []Test
+	res    Resources
+	tc     *timeCache
+	shared *atomic.Int64 // best total across all tasks, for pruning only
+
+	groups  [][]coreJob
+	designs []*sessionDesign
+	sum     int // Σ designs[i].cycles, a lower bound on any completion
+	best    searchResult
+}
+
+// bound is the total a candidate must strictly beat to matter.
+func (ps *partitionSearcher) bound() int {
+	b := int(ps.shared.Load())
+	if ps.best.ok && ps.best.total < b {
+		b = ps.best.total
+	}
+	return b
+}
+
+func (ps *partitionSearcher) rec(i int) {
+	if i == len(ps.jobs) {
+		ps.leaf()
+		return
+	}
+	job := ps.jobs[i]
+	for k := range ps.groups {
+		ps.groups[k] = append(ps.groups[k], job)
+		if d, err := designSessionCached(ps.groups[k], ps.res, ps.tc); err == nil {
+			if newSum := ps.sum - ps.designs[k].cycles + d.cycles; newSum <= ps.bound() {
+				old, oldSum := ps.designs[k], ps.sum
+				ps.designs[k], ps.sum = d, newSum
+				ps.rec(i + 1)
+				ps.designs[k], ps.sum = old, oldSum
+			}
+		}
+		ps.groups[k] = ps.groups[k][:len(ps.groups[k])-1]
+	}
+	if d, err := designSessionCached([]coreJob{job}, ps.res, ps.tc); err == nil && ps.sum+d.cycles <= ps.bound() {
+		ps.groups = append(ps.groups, []coreJob{job})
+		ps.designs = append(ps.designs, d)
+		ps.sum += d.cycles
+		ps.rec(i + 1)
+		ps.sum -= d.cycles
+		ps.groups = ps.groups[:len(ps.groups)-1]
+		ps.designs = ps.designs[:len(ps.designs)-1]
+	}
+}
+
+// leaf evaluates a complete partition.  Only a strict improvement replaces
+// the task-local best, so the first partition (in enumeration order)
+// achieving the optimum wins — the serial tie-break.
+func (ps *partitionSearcher) leaf() {
+	designs, ok := fillBIST(ps.designs, ps.bist, ps.res)
+	if !ok {
+		return
+	}
+	total := 0
+	for _, d := range designs {
+		total += d.length()
+	}
+	if ps.best.ok && total >= ps.best.total {
+		return
+	}
+	// Detach the winning designs from the mutable recursion buffers.
+	for _, d := range designs {
+		d.jobs = append([]coreJob(nil), d.jobs...)
+	}
+	ps.best = searchResult{ok: true, total: total, sessions: designs}
+	for {
+		cur := ps.shared.Load()
+		if int64(total) >= cur || ps.shared.CompareAndSwap(cur, int64(total)) {
+			return
+		}
+	}
+}
+
+// runTask explores every completion of a prefix partition (a partition of
+// jobs[:depth]) and returns its best candidate.
+func (ps *partitionSearcher) runTask(prefix [][]coreJob, depth int) searchResult {
+	for _, g := range prefix {
+		g = append([]coreJob(nil), g...) // private, mutable copy
+		d, err := designSessionCached(g, ps.res, ps.tc)
+		if err != nil {
+			// Infeasibility is monotone: no completion of this prefix
+			// can design this session either.
+			return searchResult{}
+		}
+		ps.groups = append(ps.groups, g)
+		ps.designs = append(ps.designs, d)
+		ps.sum += d.cycles
+	}
+	ps.rec(depth)
+	return ps.best
+}
+
+// bellNumbers[d] is the number of set partitions of d elements, used to
+// size the task split of the parallel search.
+var bellNumbers = []int{1, 1, 2, 5, 15, 52, 203}
+
+// searchPartitions runs the exact session search over all set partitions
+// of jobs, fanned across a bounded worker pool.  Tasks are the partitions
+// of a short job prefix, in enumeration order; merging by task order
+// restores the exact serial tie-break.
+func searchPartitions(jobs []coreJob, bist []Test, res Resources, tc *timeCache, workers int) searchResult {
+	var shared atomic.Int64
+	shared.Store(int64(math.MaxInt64))
+	newSearcher := func() *partitionSearcher {
+		return &partitionSearcher{jobs: jobs, bist: bist, res: res, tc: tc, shared: &shared}
+	}
+	n := len(jobs)
+	if workers <= 1 || n < 3 {
+		return newSearcher().runTask(nil, 0)
+	}
+
+	// Split depth: enough tasks to keep the pool busy, small enough that
+	// prefix re-design stays negligible.
+	depth := 1
+	for depth < n-1 && depth < len(bellNumbers)-1 && bellNumbers[depth] < 4*workers {
+		depth++
+	}
+	var tasks [][][]coreJob
+	forEachPartition(jobs[:depth], func(p [][]coreJob) { tasks = append(tasks, p) })
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]searchResult, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(tasks) {
+					return
+				}
+				results[t] = newSearcher().runTask(tasks[t], depth)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var best searchResult
+	for _, r := range results {
+		if r.ok && (!best.ok || r.total < best.total) {
+			best = r
+		}
+	}
+	return best
+}
+
+// greedySearch is the fallback for many cores: LPT packings into k = 1..n
+// sessions, evaluated concurrently, merged in k order.
+func greedySearch(jobs []coreJob, bist []Test, res Resources, tc *timeCache, workers int) (searchResult, error) {
+	durs, err := greedyDurations(jobs, res, tc)
+	if err != nil {
+		return searchResult{}, err
+	}
+	n := len(jobs)
+	if workers > n {
+		workers = n
+	}
+	results := make([]searchResult, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1))
+				if k > n {
+					return
+				}
+				results[k-1] = evalPartition(greedyPartition(jobs, durs, k), bist, res, tc)
+			}
+		}()
+	}
+	wg.Wait()
+	var best searchResult
+	for _, r := range results {
+		if r.ok && (!best.ok || r.total < best.total) {
+			best = r
+		}
+	}
+	return best, nil
+}
+
 // forEachPartition enumerates all set partitions of jobs.
 func forEachPartition(jobs []coreJob, fn func([][]coreJob)) {
 	var rec func(i int, part [][]coreJob)
@@ -410,27 +638,43 @@ func forEachPartition(jobs []coreJob, fn func([][]coreJob)) {
 	rec(0, nil)
 }
 
-// greedyPartition is the fallback for many cores: LPT over approximate job
-// durations into k sessions.
-func greedyPartition(jobs []coreJob, k int, res Resources) [][]coreJob {
+// greedyDurations estimates each job's standalone duration (scan at one
+// TAM wire plus functional at the full pin budget) for LPT packing.  An
+// estimation failure is propagated rather than silently weighting the job
+// at zero cycles, which would mis-sort the packing.
+func greedyDurations(jobs []coreJob, res Resources, tc *timeCache) ([]int, error) {
+	durs := make([]int, len(jobs))
+	for i, j := range jobs {
+		d := 0
+		if j.scan != nil {
+			c, err := tc.scanCycles(j.core, 1)
+			if err != nil {
+				return nil, fmt.Errorf("sched: scan time of %s: %w", j.core.Name, err)
+			}
+			d += c
+		}
+		if j.fn != nil {
+			c, err := FuncCycles(j.fn.Patterns, j.fn.NeedFuncPins, res.FuncPins)
+			if err != nil {
+				return nil, fmt.Errorf("sched: functional time of %s: %w", j.core.Name, err)
+			}
+			d += c
+		}
+		durs[i] = d
+	}
+	return durs, nil
+}
+
+// greedyPartition packs jobs with the given durations into k sessions,
+// longest-processing-time first.
+func greedyPartition(jobs []coreJob, durs []int, k int) [][]coreJob {
 	type jt struct {
 		job coreJob
 		dur int
 	}
 	items := make([]jt, len(jobs))
 	for i, j := range jobs {
-		d := 0
-		if j.scan != nil {
-			if c, err := ScanCycles(j.core, 1, res.Partitioner); err == nil {
-				d += c
-			}
-		}
-		if j.fn != nil {
-			if c, err := FuncCycles(j.fn.Patterns, j.fn.NeedFuncPins, res.FuncPins); err == nil {
-				d += c
-			}
-		}
-		items[i] = jt{j, d}
+		items[i] = jt{j, durs[i]}
 	}
 	sort.SliceStable(items, func(a, b int) bool { return items[a].dur > items[b].dur })
 	part := make([][]coreJob, k)
