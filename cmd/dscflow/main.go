@@ -22,24 +22,26 @@ import (
 	"steac/internal/memory"
 	"steac/internal/pattern"
 	"steac/internal/report"
+	"steac/internal/xcheck"
 )
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "print Table 1 only")
-		schedOn = flag.Bool("schedule", false, "print the scheduling comparison only")
-		ioOn    = flag.Bool("io", false, "print the test-IO analysis only")
-		areaOn  = flag.Bool("area", false, "print the DFT hardware cost only")
-		bistOn  = flag.Bool("bist", false, "print the BIST plan only")
-		marchOn = flag.Bool("march", false, "print the March-efficiency table only")
-		verify  = flag.Bool("verify", false, "apply the translated patterns on the tester model")
-		verilog = flag.Bool("verilog", false, "emit the DFT-ready netlist to stdout")
-		ateprog = flag.String("ateprog", "", "write the chip-level tester program (cycle-based ATE file) to this path — the full DSC program is ~4.4M vector lines")
-		extest  = flag.Bool("extest", false, "append the EXTEST interconnect-test session (24 glue wires, 10 vectors)")
-		workers = flag.Int("workers", 0, "worker goroutines for fault simulation and schedule search (0 = all CPUs)")
+		table1   = flag.Bool("table1", false, "print Table 1 only")
+		schedOn  = flag.Bool("schedule", false, "print the scheduling comparison only")
+		ioOn     = flag.Bool("io", false, "print the test-IO analysis only")
+		areaOn   = flag.Bool("area", false, "print the DFT hardware cost only")
+		bistOn   = flag.Bool("bist", false, "print the BIST plan only")
+		marchOn  = flag.Bool("march", false, "print the March-efficiency table only")
+		verify   = flag.Bool("verify", false, "apply the translated patterns on the tester model")
+		verilog  = flag.Bool("verilog", false, "emit the DFT-ready netlist to stdout")
+		ateprog  = flag.String("ateprog", "", "write the chip-level tester program (cycle-based ATE file) to this path — the full DSC program is ~4.4M vector lines")
+		extest   = flag.Bool("extest", false, "append the EXTEST interconnect-test session (24 glue wires, 10 vectors)")
+		xcheckOn = flag.Bool("xcheck", false, "gate-level differential verification: cross-check every generated DFT netlist against its behavioural model and run stuck-at fault campaigns")
+		workers  = flag.Int("workers", 0, "worker goroutines for fault simulation and schedule search (0 = all CPUs)")
 	)
 	flag.Parse()
-	all := !(*table1 || *schedOn || *ioOn || *areaOn || *bistOn || *marchOn || *verilog)
+	all := !(*table1 || *schedOn || *ioOn || *areaOn || *bistOn || *marchOn || *verilog || *xcheckOn)
 
 	soc, err := dsc.BuildSOC()
 	fail(err)
@@ -94,6 +96,9 @@ func main() {
 		fmt.Print(brains.EvaluationTable(rows))
 		fmt.Println()
 	}
+	if *xcheckOn {
+		fail(runXCheck(res, *workers))
+	}
 	if *verify && res.Verify != nil {
 		fmt.Printf("ATE verification: PASS, %s cycles applied, 0 mismatches\n",
 			report.Comma(res.Verify.Cycles))
@@ -109,6 +114,76 @@ func main() {
 		fmt.Printf("tester program written to %s (%s cycles)\n",
 			*ateprog, report.Comma(res.Program.TotalCycles()))
 	}
+}
+
+// runXCheck is the -xcheck section: differential equivalence of every
+// generated sequencer+TPG bench (all 22 DSC memories with their planned
+// algorithms, plus one multi-memory group proving sequencer lockstep), the
+// shared controller, and the TV core's full wrapper stack — then stuck-at
+// campaigns on the small real macros, the controller, and the TV wrapper.
+func runXCheck(res *core.FlowResult, workers int) error {
+	opts := xcheck.Options{Workers: workers}
+	rep := &xcheck.Report{}
+
+	cases := make([]xcheck.GroupCase, len(res.Brains.Groups))
+	byName := map[string]memory.Config{}
+	alg := res.Brains.Opts.Algorithm
+	for i, g := range res.Brains.Groups {
+		cases[i] = xcheck.GroupCase{Name: g.Name, Alg: g.Alg, Mems: g.Mems}
+		for _, m := range g.Mems {
+			byName[m.Name] = m
+		}
+	}
+	// One multi-memory group: two small macros in lockstep on one sequencer.
+	cases = append(cases, xcheck.GroupCase{
+		Name: "pair-scr1+scr2", Alg: alg,
+		Mems: []memory.Config{byName["scr1"], byName["scr2"]},
+	})
+	eq, err := xcheck.VerifyGroups(cases, opts)
+	if err != nil {
+		return err
+	}
+	rep.Equiv = eq
+	ctl, err := xcheck.VerifyController("controller", len(res.Brains.Groups), opts)
+	if err != nil {
+		return err
+	}
+	rep.Equiv = append(rep.Equiv, ctl)
+	tv := dsc.TV()
+	wres, _, err := xcheck.VerifyWrapper("wrap_TV w=2", tv, 2, opts)
+	if err != nil {
+		return err
+	}
+	rep.Equiv = append(rep.Equiv, wres)
+
+	// Campaigns: exhaustive on the two smallest real macros, the shared
+	// controller, and (sampled, 8-pattern program) the TV wrapper.
+	for _, name := range []string{"extfifo", "scr2"} {
+		camp, err := xcheck.TPGCampaign(name, alg, []memory.Config{byName[name]}, opts)
+		if err != nil {
+			return err
+		}
+		rep.Campaigns = append(rep.Campaigns, camp)
+	}
+	ctlCamp, err := xcheck.ControllerCampaign("controller", len(res.Brains.Groups), opts)
+	if err != nil {
+		return err
+	}
+	rep.Campaigns = append(rep.Campaigns, ctlCamp)
+	wopts := opts
+	wopts.MaxFaults = 128
+	wopts.MaxPatterns = 8
+	wcamp, err := xcheck.WrapperCampaign("wrap_TV w=2", tv, 2, wopts)
+	if err != nil {
+		return err
+	}
+	rep.Campaigns = append(rep.Campaigns, wcamp)
+
+	xcheck.WriteReport(os.Stdout, rep)
+	if !rep.Pass() {
+		return fmt.Errorf("gate-level cross-check FAILED")
+	}
+	return nil
 }
 
 func fail(err error) {

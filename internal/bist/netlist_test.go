@@ -10,50 +10,14 @@ import (
 )
 
 // buildSeqTPGBench wires one sequencer and one TPG into a testbench module
-// with the RAM left external (the test emulates it cycle by cycle).
+// with the RAM left external (the test emulates it cycle by cycle).  It is
+// a thin wrapper over the exported BuildVerifyBench, which the xcheck
+// subsystem drives the same way.
 func buildSeqTPGBench(t *testing.T, alg march.Algorithm, cfg memory.Config) (*netlist.Design, *netlist.Simulator) {
 	t.Helper()
-	d := netlist.NewDesign("tb", nil)
-	if _, err := GenerateSequencer(d, "seq", alg); err != nil {
+	d, err := BuildVerifyBench(alg, []memory.Config{cfg})
+	if err != nil {
 		t.Fatal(err)
-	}
-	if _, err := GenerateTPG(d, "tpg", cfg); err != nil {
-		t.Fatal(err)
-	}
-	tb := netlist.NewModule("bench")
-	for _, p := range []string{"ck", "rst", "en"} {
-		tb.MustPort(p, netlist.In, 1)
-	}
-	tb.MustPort("q", netlist.In, cfg.Bits)
-	tb.MustPort("addr", netlist.Out, cfg.AddrBits())
-	tb.MustPort("d", netlist.Out, cfg.Bits)
-	tb.MustPort("we", netlist.Out, 1)
-	tb.MustPort("fail", netlist.Out, 1)
-	tb.MustPort("done", netlist.Out, 1)
-
-	tb.MustInstance("u_seq", "seq", map[string]string{
-		"CK": "ck", "RST": "rst", "EN": "en", "ELEMDONE": "elemdone",
-		"CMDR": "cmdr", "CMDD": "cmdd", "DIR": "dir", "ADV": "adv",
-		"DONE": "done", "RUN": "run",
-	})
-	tb.MustInstance("engate", netlist.CellAnd2, map[string]string{"A": "en", "B": "run", "Z": "tpen"})
-	conns := map[string]string{
-		"CK": "ck", "RST": "rst", "EN": "tpen", "ADV": "adv",
-		"CMDR": "cmdr", "CMDD": "cmdd", "DIR": "dir",
-		"WE": "we", "ELEMDONE": "elemdone", "FAIL": "fail",
-	}
-	for b := 0; b < cfg.AddrBits(); b++ {
-		conns[fmt.Sprintf("ADDR[%d]", b)] = fmt.Sprintf("addr[%d]", b)
-	}
-	for b := 0; b < cfg.Bits; b++ {
-		conns[fmt.Sprintf("D[%d]", b)] = fmt.Sprintf("d[%d]", b)
-		conns[fmt.Sprintf("Q[%d]", b)] = fmt.Sprintf("q[%d]", b)
-	}
-	tb.MustInstance("u_tpg", "tpg", conns)
-	d.MustAddModule(tb)
-	d.Top = "bench"
-	if issues := d.Lint(); len(issues) != 0 {
-		t.Fatalf("bench lint: %v", issues)
 	}
 	sim, err := netlist.NewSimulator(d, "bench")
 	if err != nil {
@@ -94,19 +58,19 @@ func runGateLevel(t *testing.T, sim *netlist.Simulator, cfg memory.Config, injec
 		if sim.Get("done") {
 			return cycle, sim.Get("fail")
 		}
-		addr := busToInt(sim.GetBus("addr", cfg.AddrBits()))
+		addr := busToInt(sim.GetBus("addr0", cfg.AddrBits()))
 		word := mem[addr]
 		if injectSA1 >= 0 && addr == injectSA1 {
 			word |= 1
 		}
 		for b := 0; b < cfg.Bits; b++ {
-			sim.Set(fmt.Sprintf("q[%d]", b), word>>b&1 == 1)
+			sim.Set(fmt.Sprintf("q0[%d]", b), word>>b&1 == 1)
 		}
 		if err := sim.Settle(); err != nil {
 			t.Fatal(err)
 		}
-		we := sim.Get("we")
-		data := uint64(busToInt(sim.GetBus("d", cfg.Bits)))
+		we := sim.Get("we0")
+		data := uint64(busToInt(sim.GetBus("d0", cfg.Bits)))
 		if err := sim.Tick("ck"); err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"steac/internal/march"
 	"steac/internal/memory"
 	"steac/internal/report"
+	"steac/internal/xcheck"
 )
 
 // Shell is the BRAINS command shell (the paper's non-GUI entry point).
@@ -25,6 +26,7 @@ import (
 //	evaluate <words> <bits>           March efficiency table
 //	workers <n>                       fault-simulation worker count (0=auto)
 //	verilog                           emit the generated netlist
+//	xcheck [faults [max]]             gate-level differential verification
 //	help                              list commands
 type Shell struct {
 	out  io.Writer
@@ -186,6 +188,8 @@ func (s *Shell) Exec(line string) error {
 		}
 		fmt.Fprint(s.out, EvaluationTable(rows))
 		return nil
+	case "xcheck":
+		return s.cmdXCheck(args)
 	case "verilog":
 		if s.res == nil {
 			return fmt.Errorf("brains: nothing compiled yet")
@@ -232,6 +236,69 @@ func (s *Shell) cmdMem(args []string) error {
 	return nil
 }
 
+// cmdXCheck cross-checks the compiled BIST design at the gate level: every
+// sequencer group's netlist is differentially verified against the March
+// reference over complete sessions, plus the shared controller.  With
+// "faults [max]" it also runs stuck-at injection campaigns (max caps the
+// fault sites per design by stride sampling; default 256).
+func (s *Shell) cmdXCheck(args []string) error {
+	if s.res == nil {
+		return fmt.Errorf("brains: nothing compiled yet")
+	}
+	withFaults := false
+	maxFaults := 256
+	if len(args) > 0 {
+		if args[0] != "faults" || len(args) > 2 {
+			return fmt.Errorf("brains: usage: xcheck [faults [max]]")
+		}
+		withFaults = true
+		if len(args) == 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				return fmt.Errorf("brains: bad fault cap %q", args[1])
+			}
+			maxFaults = n
+		}
+	}
+	opts := xcheck.Options{Workers: s.opts.Workers}
+	cases := make([]xcheck.GroupCase, len(s.res.Groups))
+	for i, g := range s.res.Groups {
+		cases[i] = xcheck.GroupCase{Name: g.Name, Alg: g.Alg, Mems: g.Mems}
+	}
+	rep := &xcheck.Report{}
+	eq, err := xcheck.VerifyGroups(cases, opts)
+	if err != nil {
+		return err
+	}
+	rep.Equiv = eq
+	ctl, err := xcheck.VerifyController("controller", len(s.res.Groups), opts)
+	if err != nil {
+		return err
+	}
+	rep.Equiv = append(rep.Equiv, ctl)
+	if withFaults {
+		copts := opts
+		copts.MaxFaults = maxFaults
+		for _, c := range cases {
+			camp, err := xcheck.TPGCampaign(c.Name, c.Alg, c.Mems, copts)
+			if err != nil {
+				return err
+			}
+			rep.Campaigns = append(rep.Campaigns, camp)
+		}
+		camp, err := xcheck.ControllerCampaign("controller", len(cases), copts)
+		if err != nil {
+			return err
+		}
+		rep.Campaigns = append(rep.Campaigns, camp)
+	}
+	xcheck.WriteReport(s.out, rep)
+	if !rep.Pass() {
+		return fmt.Errorf("brains: gate-level cross-check FAILED")
+	}
+	return nil
+}
+
 const helpText = `BRAINS memory BIST compiler
   mem <name> <words> <bits> [1|2]
   alg <march name> | algdef <name> <notation>
@@ -239,6 +306,8 @@ const helpText = `BRAINS memory BIST compiler
   power <max> | clock <mhz> | workers <n>
   backgrounds 1|2 | retention on [cycles] | retention off | portb on|off
   compile | report | evaluate <words> <bits> | verilog
+  xcheck [faults [max]]   gate-level differential verification of the
+                          compiled design (+ stuck-at campaigns)
 `
 
 // Report renders the compilation result: groups, sessions, hardware cost

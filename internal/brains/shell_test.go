@@ -144,3 +144,29 @@ func TestShellPortB(t *testing.T) {
 		t.Fatal("bad portb arg accepted")
 	}
 }
+
+func TestShellXCheck(t *testing.T) {
+	var out strings.Builder
+	s := NewShell(&out)
+	if err := s.Exec("xcheck"); err == nil {
+		t.Fatal("xcheck before compile should fail")
+	}
+	execAll(t, s,
+		"mem jq 64 8 1",
+		"mem fifo 32 4 2",
+		"alg March X",
+		"group kind",
+		"workers 2",
+		"compile",
+		"xcheck faults 40",
+	)
+	text := out.String()
+	for _, want := range []string{"EQUIVALENT", "all equivalent", "controller", "coverage"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("xcheck output missing %q:\n%s", want, text)
+		}
+	}
+	if err := s.Exec("xcheck bogus"); err == nil {
+		t.Fatal("bad xcheck usage should fail")
+	}
+}

@@ -1,0 +1,40 @@
+package march
+
+import "testing"
+
+// FuzzParse exercises the ASCII March-notation reader with arbitrary input.
+// Bad notation must be rejected with an error, never a panic, and every
+// accepted algorithm must round-trip through String — Parse(a.String())
+// yields an algorithm with the same String form and the same complexity.
+func FuzzParse(f *testing.F) {
+	for _, a := range Catalog() {
+		f.Add(a.String())
+	}
+	f.Add("{ b(w0); u(r0,w1); b(r1) }")
+	f.Add("b(w0); ^(R0, W1); v(r1,w0)")
+	f.Add("u(r0:w1)")
+	f.Add("b()")
+	f.Add("{{}}")
+	f.Add("x(r0)")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse("fuzz", s)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid algorithm: %v (input %q)", err, s)
+		}
+		canon := a.String()
+		b, err := Parse("fuzz", canon)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v (input %q)", canon, err, s)
+		}
+		if got := b.String(); got != canon {
+			t.Fatalf("String not a fixed point: %q -> %q (input %q)", canon, got, s)
+		}
+		if a.Complexity() != b.Complexity() {
+			t.Fatalf("complexity changed across round trip: %d vs %d (input %q)",
+				a.Complexity(), b.Complexity(), s)
+		}
+	})
+}

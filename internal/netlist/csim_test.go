@@ -1,0 +1,235 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildSimTestbed returns a design exercising every library cell, a gated
+// clock (which forces the generic Tick path), a latch enable and a two-deep
+// hierarchy, so the compiled simulator can be checked against the reference
+// Simulator net for net.
+func buildSimTestbed(t *testing.T) *Design {
+	t.Helper()
+	d := NewDesign("tb", DefaultLibrary())
+
+	tff := NewModule("tff")
+	tff.MustPort("ck", In, 1)
+	tff.MustPort("t", In, 1)
+	tff.MustPort("q", Out, 1)
+	tff.MustInstance("u_x", CellXor2, map[string]string{"A": "q", "B": "t", "Z": "nd"})
+	tff.MustInstance("u_f", CellDFF, map[string]string{"D": "nd", "CK": "ck", "Q": "q"})
+	d.MustAddModule(tff)
+
+	m := NewModule("dut")
+	for _, p := range []string{"ck", "ck2", "rst", "en", "a", "b", "s"} {
+		m.MustPort(p, In, 1)
+	}
+	for _, p := range []string{"y0", "y1", "cq", "sq", "rq", "lq", "gq", "t0q", "t1q"} {
+		m.MustPort(p, Out, 1)
+	}
+	m.MustInstance("u_inv", CellInv, map[string]string{"A": "a", "Z": "y0"})
+	m.MustInstance("u_nand", CellNand2, map[string]string{"A": "a", "B": "b", "Z": "n1"})
+	m.MustInstance("u_nor", CellNor2, map[string]string{"A": "a", "B": "s", "Z": "n2"})
+	m.MustInstance("u_and", CellAnd2, map[string]string{"A": "n1", "B": "b", "Z": "n3"})
+	m.MustInstance("u_or", CellOr2, map[string]string{"A": "n2", "B": "s", "Z": "n4"})
+	m.MustInstance("u_xor", CellXor2, map[string]string{"A": "n3", "B": "n4", "Z": "n5"})
+	m.MustInstance("u_xnor", CellXnor2, map[string]string{"A": "n5", "B": "a", "Z": "n6"})
+	m.MustInstance("u_mux", CellMux2, map[string]string{"A": "n5", "B": "n6", "S": "s", "Z": "m1"})
+	m.MustInstance("u_buf", CellBuf, map[string]string{"A": "m1", "Z": "y1"})
+	m.MustInstance("u_t0", CellTie0, map[string]string{"Z": "tz"})
+	m.MustInstance("u_t1", CellTie1, map[string]string{"Z": "to"})
+	m.MustInstance("u_dff", CellDFF, map[string]string{"D": "n5", "CK": "ck", "Q": "cq"})
+	m.MustInstance("u_sdff", CellSDFF,
+		map[string]string{"D": "a", "SI": "cq", "SE": "s", "CK": "ck", "Q": "sq", "QN": "sqn"})
+	m.MustInstance("u_dffr", CellDFFR, map[string]string{"D": "b", "CK": "ck", "R": "rst", "Q": "rq"})
+	m.MustInstance("u_lat", CellLatchL, map[string]string{"D": "a", "EN": "en", "Q": "lq"})
+	// Gated clock: ck2 drives an AND, so ck2 is not "clock pure".
+	m.MustInstance("u_gate", CellAnd2, map[string]string{"A": "ck2", "B": "en", "Z": "gck"})
+	m.MustInstance("u_gdff", CellDFF, map[string]string{"D": "sqn", "CK": "gck", "Q": "gq"})
+	m.MustInstance("u_tff0", "tff", map[string]string{"ck": "ck", "t": "to", "q": "t0q"})
+	m.MustInstance("u_tff1", "tff", map[string]string{"ck": "ck", "t": "tz", "q": "t1q"})
+	d.MustAddModule(m)
+	d.Top = "dut"
+	return d
+}
+
+var tbOutputs = []string{"y0", "y1", "cq", "sq", "rq", "lq", "gq", "t0q", "t1q"}
+
+// driveBoth applies one random stimulus step to both simulators and
+// compares every observable output, returning on the first mismatch.
+func compareOutputs(t *testing.T, step string, ref *Simulator, cs *CompiledSim) {
+	t.Helper()
+	for _, o := range tbOutputs {
+		if ref.Get(o) != cs.Get(o) {
+			t.Fatalf("%s: output %s: Simulator=%v CompiledSim=%v", step, o, ref.Get(o), cs.Get(o))
+		}
+	}
+}
+
+func TestCompiledSimMatchesSimulator(t *testing.T) {
+	d := buildSimTestbed(t)
+	ref, err := NewSimulator(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for cyc := 0; cyc < 300; cyc++ {
+		for _, in := range []string{"rst", "en", "a", "b", "s"} {
+			v := rng.Intn(2) == 1
+			ref.Set(in, v)
+			cs.Set(in, v)
+		}
+		if err := ref.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		cs.Settle()
+		compareOutputs(t, "settle", ref, cs)
+		clk := []string{"ck", "ck2", "en"}[rng.Intn(3)]
+		if err := ref.Tick(clk); err != nil {
+			t.Fatal(err)
+		}
+		cs.Tick(clk)
+		compareOutputs(t, "tick "+clk, ref, cs)
+	}
+}
+
+// TestCompiledSimFaultsMatchSimulator injects the same stuck-at fault into
+// both simulators and checks the faulty machines stay bit-identical too.
+func TestCompiledSimFaultsMatchSimulator(t *testing.T) {
+	d := buildSimTestbed(t)
+	probe, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := probe.Faults()
+	if len(sites) < 50 {
+		t.Fatalf("expected a rich fault list, got %d sites", len(sites))
+	}
+	for fi := 0; fi < len(sites); fi += 7 {
+		f := sites[fi]
+		ref, err := NewSimulator(d, "dut")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := NewCompiledSim(d, "dut")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Inject(f.Gate, f.Port, f.Value); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if err := cs.Inject(f.Gate, f.Port, f.Value); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		rng := rand.New(rand.NewSource(int64(fi)))
+		for cyc := 0; cyc < 40; cyc++ {
+			for _, in := range []string{"rst", "en", "a", "b", "s"} {
+				v := rng.Intn(2) == 1
+				ref.Set(in, v)
+				cs.Set(in, v)
+			}
+			if err := ref.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			cs.Settle()
+			compareOutputs(t, f.String()+" settle", ref, cs)
+			clk := []string{"ck", "ck2", "en"}[rng.Intn(3)]
+			if err := ref.Tick(clk); err != nil {
+				t.Fatal(err)
+			}
+			cs.Tick(clk)
+			compareOutputs(t, f.String()+" tick", ref, cs)
+		}
+	}
+}
+
+func TestCompiledSimCloneAndClearFaults(t *testing.T) {
+	d := buildSimTestbed(t)
+	cs, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := func(sim *CompiledSim) []bool {
+		sim.Reset()
+		sim.Set("a", true)
+		sim.Set("b", true)
+		sim.Tick("ck")
+		out := make([]bool, len(tbOutputs))
+		for i, o := range tbOutputs {
+			out[i] = sim.Get(o)
+		}
+		return out
+	}
+	base := pristine(cs)
+
+	if err := cs.Inject("u_nand", "Z", true); err != nil {
+		t.Fatal(err)
+	}
+	clone := cs.Clone()
+	faulty := pristine(cs)
+	cloneOut := pristine(clone)
+	for i := range base {
+		if faulty[i] != cloneOut[i] {
+			t.Fatalf("clone diverges from faulty original at %s", tbOutputs[i])
+		}
+	}
+	differs := false
+	for i := range base {
+		if base[i] != faulty[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("u_nand/Z SA1 should be visible on some output")
+	}
+	cs.ClearFaults()
+	restored := pristine(cs)
+	for i := range base {
+		if base[i] != restored[i] {
+			t.Fatalf("ClearFaults did not restore fault-free behaviour at %s", tbOutputs[i])
+		}
+	}
+}
+
+func TestCompiledSimRejectsCombLoop(t *testing.T) {
+	d := NewDesign("loop", DefaultLibrary())
+	m := NewModule("latchpair")
+	m.MustPort("sn", In, 1)
+	m.MustPort("rn", In, 1)
+	m.MustPort("q", Out, 1)
+	m.MustInstance("u_a", CellNand2, map[string]string{"A": "sn", "B": "qb", "Z": "q"})
+	m.MustInstance("u_b", CellNand2, map[string]string{"A": "q", "B": "rn", "Z": "qb"})
+	d.MustAddModule(m)
+	if _, err := NewCompiledSim(d, "latchpair"); err == nil {
+		t.Fatal("expected a combinational-loop error")
+	}
+}
+
+func TestSimulatorInjectErrors(t *testing.T) {
+	d := buildSimTestbed(t)
+	ref, err := NewSimulator(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Inject("no_such_gate", "A", true); err == nil {
+		t.Fatal("expected unknown-gate error")
+	}
+	if err := ref.Inject("u_inv", "XYZ", true); err == nil {
+		t.Fatal("expected unknown-port error")
+	}
+	cs, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Inject("no_such_gate", "A", true); err == nil {
+		t.Fatal("expected unknown-gate error")
+	}
+	if err := cs.Inject("u_inv", "XYZ", true); err == nil {
+		t.Fatal("expected unknown-port error")
+	}
+}

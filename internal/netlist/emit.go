@@ -53,23 +53,23 @@ func vname(name string) string {
 func (d *Design) emitModule(w io.Writer, m *Module) error {
 	portNames := make([]string, len(m.Ports))
 	for i, p := range m.Ports {
-		portNames[i] = p.Name
+		portNames[i] = vname(p.Name)
 	}
 	if m.Behavioral {
 		if _, err := fmt.Fprintf(w, "// behavioral IP block, %0.f NAND2-equivalent gates\nmodule %s(%s);\n",
-			m.AreaOverride, m.Name, strings.Join(portNames, ", ")); err != nil {
+			m.AreaOverride, vname(m.Name), strings.Join(portNames, ", ")); err != nil {
 			return err
 		}
 	} else {
-		if _, err := fmt.Fprintf(w, "module %s(%s);\n", m.Name, strings.Join(portNames, ", ")); err != nil {
+		if _, err := fmt.Fprintf(w, "module %s(%s);\n", vname(m.Name), strings.Join(portNames, ", ")); err != nil {
 			return err
 		}
 	}
 	for _, p := range m.Ports {
 		if p.Width > 1 {
-			fmt.Fprintf(w, "  %s [%d:0] %s;\n", p.Dir, p.Width-1, p.Name)
+			fmt.Fprintf(w, "  %s [%d:0] %s;\n", p.Dir, p.Width-1, vname(p.Name))
 		} else {
-			fmt.Fprintf(w, "  %s %s;\n", p.Dir, p.Name)
+			fmt.Fprintf(w, "  %s %s;\n", p.Dir, vname(p.Name))
 		}
 	}
 	// Internal wires (anything not backing a port bit).

@@ -12,6 +12,9 @@ type flatGate struct {
 	conns map[string]string // formal port bit -> global net name
 	state bool              // current stored bit for sequential cells
 	next  bool
+	// Stuck-at forces injected by Inject (nil when fault-free).
+	forceIn  map[string]bool
+	forceOut map[string]bool
 }
 
 // Flatten elaborates the hierarchy under top into a list of primitive
@@ -119,10 +122,11 @@ func (s *Simulator) GateCount() int { return len(s.gates) }
 // Set drives a top-level net (normally an input port bit).
 func (s *Simulator) Set(net string, v bool) { s.values[net] = v }
 
-// SetBus drives port bits name[0..len(v)-1] from v (v[0] is bit 0).
+// SetBus drives port bits name[0..len(v)-1] from v (v[0] is bit 0; width-1
+// buses use the bare net name, per the BitName convention).
 func (s *Simulator) SetBus(name string, v []bool) {
 	for i, b := range v {
-		s.Set(fmt.Sprintf("%s[%d]", name, i), b)
+		s.Set(BitName(name, i, len(v)), b)
 	}
 }
 
@@ -133,7 +137,7 @@ func (s *Simulator) Get(net string) bool { return s.values[net] }
 func (s *Simulator) GetBus(name string, width int) []bool {
 	v := make([]bool, width)
 	for i := range v {
-		v[i] = s.Get(fmt.Sprintf("%s[%d]", name, i))
+		v[i] = s.Get(BitName(name, i, width))
 	}
 	return v
 }
@@ -161,6 +165,9 @@ func (s *Simulator) Settle() error {
 				if !ok {
 					continue
 				}
+				if fv, forced := g.forceOut[formal]; forced {
+					v = fv
+				}
 				if s.values[net] != v {
 					s.values[net] = v
 					changed = true
@@ -181,6 +188,9 @@ func (s *Simulator) gatherInputs(g *flatGate) map[string]bool {
 			in[f] = s.values[net]
 		}
 	}
+	for f, v := range g.forceIn {
+		in[f] = v
+	}
 	if g.cell.Seq {
 		in["Q"] = g.state
 	}
@@ -189,11 +199,29 @@ func (s *Simulator) gatherInputs(g *flatGate) map[string]bool {
 
 func (s *Simulator) exposeState(g *flatGate) {
 	if net, ok := g.conns["Q"]; ok {
-		s.values[net] = g.state
+		v := g.state
+		if fv, forced := g.forceOut["Q"]; forced {
+			v = fv
+		}
+		s.values[net] = v
 	}
 	if net, ok := g.conns["QN"]; ok {
-		s.values[net] = !g.state
+		v := !g.state
+		if fv, forced := g.forceOut["QN"]; forced {
+			v = fv
+		}
+		s.values[net] = v
 	}
+}
+
+// clockPin reads the clock input of a sequential gate, honouring any
+// injected stuck-at force on that pin (a stuck clock never produces an
+// edge).
+func (s *Simulator) clockPin(g *flatGate) bool {
+	if v, forced := g.forceIn[g.cell.Clock]; forced {
+		return v
+	}
+	return s.values[g.conns[g.cell.Clock]]
 }
 
 // Tick pulses the named top-level clock net: it settles with the clock low,
@@ -209,7 +237,7 @@ func (s *Simulator) Tick(clock string) error {
 	pre := make([]bool, len(s.gates))
 	for i, g := range s.gates {
 		if g.cell.Seq {
-			pre[i] = s.values[g.conns[g.cell.Clock]]
+			pre[i] = s.clockPin(g)
 		}
 	}
 	s.Set(clock, true)
@@ -222,7 +250,7 @@ func (s *Simulator) Tick(clock string) error {
 		if !g.cell.Seq {
 			continue
 		}
-		post := s.values[g.conns[g.cell.Clock]]
+		post := s.clockPin(g)
 		if !pre[i] && post {
 			out := g.cell.Eval(s.gatherInputs(g))
 			g.next = out["Q"]

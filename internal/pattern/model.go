@@ -82,17 +82,61 @@ func NewCoreModel(core *testinfo.Core) *CoreModel {
 // chains in declaration order).
 func (m *CoreModel) StateBits() int { return m.stateBits }
 
-func (m *CoreModel) bit(class uint64, i int, a, b bool) bool {
-	h := splitmix64(m.Seed ^ class<<48 ^ uint64(i))
-	v := h&1 == 1
-	if a {
-		v = !v
-	}
-	if h&2 == 2 && b {
-		v = !v
-	}
-	return v
+// TapSpec pins down the exact gate structure of one synthetic capture bit:
+// which state bit and which PI feed it, and the two keyed constants.  A
+// next-state bit computes
+//
+//	next[i] = Invert ⊕ state[StateTap] ⊕ pi[PITap]
+//
+// and a PO bit computes
+//
+//	po[j] = Invert ⊕ state[StateTap] ⊕ (PIXor ∧ pi[PITap]) ⊕ (state[StateTap] ∧ pi[PITap])
+//
+// with absent taps (index -1, when the core has no state or no PIs) reading
+// as constant 0.  Capture and BuildStructuralCore both derive from these
+// specs, so the behavioural model and the generated netlist share one
+// definition of the core's logic.
+type TapSpec struct {
+	StateTap int
+	PITap    int
+	Invert   bool
+	PIXor    bool
 }
+
+func (m *CoreModel) nextSpec(i, nState, nPI int) TapSpec {
+	sp := TapSpec{StateTap: -1, PITap: -1, PIXor: true}
+	if nState > 0 {
+		sp.StateTap = int(splitmix64((m.Seed^0xA0000)+uint64(i)) % uint64(nState))
+	}
+	if nPI > 0 {
+		sp.PITap = int(splitmix64((m.Seed^0xA1000)+uint64(i)) % uint64(nPI))
+	}
+	h := splitmix64(m.Seed ^ 1<<48 ^ uint64(i))
+	sp.Invert = (h&1 == 1) != (h&2 == 2)
+	return sp
+}
+
+func (m *CoreModel) poSpec(j, nState, nPI int) TapSpec {
+	sp := TapSpec{StateTap: -1, PITap: -1}
+	if nState > 0 {
+		sp.StateTap = int(splitmix64((m.Seed^0xA2000)+uint64(j)) % uint64(nState))
+	}
+	if nPI > 0 {
+		sp.PITap = int(splitmix64((m.Seed^0xA3000)+uint64(j)) % uint64(nPI))
+	}
+	h := splitmix64(m.Seed ^ 2<<48 ^ uint64(j))
+	sp.Invert = h&1 == 1
+	sp.PIXor = h&2 == 2
+	return sp
+}
+
+// NextSpec returns the tap structure of next-state bit i at the core's full
+// state and PI widths.
+func (m *CoreModel) NextSpec(i int) TapSpec { return m.nextSpec(i, m.stateBits, m.Core.PIs) }
+
+// POSpec returns the tap structure of primary-output bit j at the core's
+// full state and PI widths.
+func (m *CoreModel) POSpec(j int) TapSpec { return m.poSpec(j, m.stateBits, m.Core.PIs) }
 
 // Capture computes one scan capture: given the scan state (concatenated
 // chains) and the PI values, it returns the next state and the PO values.
@@ -102,25 +146,31 @@ func (m *CoreModel) Capture(state, pi []bool) (next, po []bool) {
 	n := len(state)
 	next = make([]bool, n)
 	for i := 0; i < n; i++ {
-		var sTap, pTap bool
-		if n > 0 {
-			sTap = state[int(splitmix64(m.Seed^0xA0000+uint64(i))%uint64(n))]
+		sp := m.nextSpec(i, n, len(pi))
+		v := sp.Invert
+		if sp.StateTap >= 0 && state[sp.StateTap] {
+			v = !v
 		}
-		if len(pi) > 0 {
-			pTap = pi[int(splitmix64(m.Seed^0xA1000+uint64(i))%uint64(len(pi)))]
+		if sp.PITap >= 0 && pi[sp.PITap] {
+			v = !v
 		}
-		next[i] = m.bit(1, i, sTap, true) != pTap
+		next[i] = v
 	}
 	po = make([]bool, m.Core.POs)
 	for j := range po {
+		sp := m.poSpec(j, n, len(pi))
 		var sTap, pTap bool
-		if n > 0 {
-			sTap = state[int(splitmix64(m.Seed^0xA2000+uint64(j))%uint64(n))]
+		if sp.StateTap >= 0 {
+			sTap = state[sp.StateTap]
 		}
-		if len(pi) > 0 {
-			pTap = pi[int(splitmix64(m.Seed^0xA3000+uint64(j))%uint64(len(pi)))]
+		if sp.PITap >= 0 {
+			pTap = pi[sp.PITap]
 		}
-		po[j] = m.bit(2, j, sTap, pTap) != (sTap && pTap)
+		v := sp.Invert != sTap
+		if sp.PIXor && pTap {
+			v = !v
+		}
+		po[j] = v != (sTap && pTap)
 	}
 	return next, po
 }

@@ -1,0 +1,168 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"steac/internal/netlist"
+	"steac/internal/testinfo"
+	"steac/internal/wrapper"
+)
+
+// structTestCore fabricates a scan core with the given geometry.
+func structTestCore(name string, pis, pos int, chains []int, seed int64) *testinfo.Core {
+	c := &testinfo.Core{
+		Name:        name,
+		Clocks:      []string{"clk"},
+		Resets:      []string{"rstn"},
+		ScanEnables: []string{"se"},
+		PIs:         pis,
+		POs:         pos,
+		Patterns: []testinfo.PatternSet{
+			{Name: "stuck", Type: testinfo.Scan, Count: 4, Seed: seed},
+		},
+	}
+	for i, l := range chains {
+		c.ScanChains = append(c.ScanChains, testinfo.ScanChain{
+			Name: fmt.Sprintf("c%d", i), Length: l,
+			In: fmt.Sprintf("si%d", i), Out: fmt.Sprintf("so%d", i), Clock: "clk",
+		})
+	}
+	return c
+}
+
+// TestStructuralCoreMatchesModel shifts ATPG patterns through the generated
+// gate-level core with the real scan protocol (serial load, capture tick,
+// serial unload) and demands bit-identical responses to the behavioural
+// model's expectations — the property that makes the structural core a
+// drop-in substitute for the wrapper's behavioural stand-in.
+func TestStructuralCoreMatchesModel(t *testing.T) {
+	cases := []*testinfo.Core{
+		structTestCore("mix", 7, 9, []int{13, 8, 21}, 101),
+		structTestCore("onechain", 1, 1, []int{17}, 202),
+		structTestCore("nopi", 0, 6, []int{9, 5}, 303),
+		structTestCore("nopo", 5, 0, []int{11}, 404),
+		structTestCore("deep", 16, 12, []int{40, 40, 7, 3}, 505),
+	}
+	for _, core := range cases {
+		t.Run(core.Name, func(t *testing.T) {
+			d := netlist.NewDesign("tb", netlist.DefaultLibrary())
+			mod, err := BuildStructuralCore(d, core)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if issues := d.Lint(); len(issues) > 0 {
+				t.Fatalf("lint: %v", issues[0])
+			}
+			if mod.Name != wrapper.CoreModuleName(core.Name) {
+				t.Fatalf("module named %s", mod.Name)
+			}
+			sim, err := netlist.NewCompiledSim(d, mod.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			atpg, err := NewATPG(core)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.Set("se", true)
+			maxLen := 0
+			for _, ch := range core.ScanChains {
+				if ch.Length > maxLen {
+					maxLen = ch.Length
+				}
+			}
+			for pt := 0; pt < atpg.ScanCount(); pt++ {
+				sp, err := atpg.ScanPattern(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Serial load: after maxLen shifts, chain ci cell j holds the
+				// input driven at cycle maxLen-1-j.
+				sim.Set("se", true)
+				for c := 0; c < maxLen; c++ {
+					for ci, ch := range core.ScanChains {
+						v := false
+						if j := maxLen - 1 - c; j < ch.Length {
+							v = sp.Load[ci][j]
+						}
+						sim.Set(fmt.Sprintf("si%d", ci), v)
+					}
+					sim.Tick("clk")
+				}
+				// Capture: POs are combinational in state+PI; check before
+				// the capture edge, then tick with SE low.
+				if core.PIs > 0 {
+					sim.SetBus("pi", sp.PI)
+				}
+				sim.Set("se", false)
+				sim.Settle()
+				if core.POs > 0 {
+					got := sim.GetBus("po", core.POs)
+					for j, want := range sp.ExpectPO {
+						if got[j] != want {
+							t.Fatalf("pattern %d: po[%d] = %v, model expects %v", pt, j, got[j], want)
+						}
+					}
+				}
+				sim.Tick("clk")
+				// Serial unload: chain ci drains cell Length-1 first.
+				sim.Set("se", true)
+				for ci := range core.ScanChains {
+					sim.Set(fmt.Sprintf("si%d", ci), false)
+				}
+				for c := 0; c < maxLen; c++ {
+					sim.Settle()
+					for ci, ch := range core.ScanChains {
+						if c >= ch.Length {
+							continue
+						}
+						got := sim.Get(fmt.Sprintf("so%d", ci))
+						if want := sp.ExpectUnload[ci][ch.Length-1-c]; got != want {
+							t.Fatalf("pattern %d chain %d unload cycle %d: got %v, model expects %v",
+								pt, ci, c, got, want)
+						}
+					}
+					sim.Tick("clk")
+				}
+			}
+		})
+	}
+}
+
+// TestStructuralCoreSpecAgreesWithCapture cross-checks the exported tap
+// specs against Capture on random vectors, so the two public views of the
+// model cannot drift apart.
+func TestStructuralCoreSpecAgreesWithCapture(t *testing.T) {
+	core := structTestCore("spec", 11, 13, []int{19, 6}, 777)
+	m := NewCoreModel(core)
+	rng := rand.New(rand.NewSource(42))
+	n := m.StateBits()
+	for trial := 0; trial < 50; trial++ {
+		state := make([]bool, n)
+		pi := make([]bool, core.PIs)
+		for i := range state {
+			state[i] = rng.Intn(2) == 1
+		}
+		for i := range pi {
+			pi[i] = rng.Intn(2) == 1
+		}
+		next, po := m.Capture(state, pi)
+		for i := 0; i < n; i++ {
+			sp := m.NextSpec(i)
+			want := sp.Invert != state[sp.StateTap] != pi[sp.PITap]
+			if next[i] != want {
+				t.Fatalf("next[%d]: Capture=%v spec=%v", i, next[i], want)
+			}
+		}
+		for j := 0; j < core.POs; j++ {
+			sp := m.POSpec(j)
+			s, p := state[sp.StateTap], pi[sp.PITap]
+			want := sp.Invert != s != (sp.PIXor && p) != (s && p)
+			if po[j] != want {
+				t.Fatalf("po[%d]: Capture=%v spec=%v", j, po[j], want)
+			}
+		}
+	}
+}

@@ -251,6 +251,14 @@ func chainImages(lane ScanLane, p ScanPattern) (load, expect [][]Bit) {
 	return load, expect
 }
 
+// ChainImages renders a scan pattern as per-wrapper-chain load and expect
+// vectors (index 0 = cell nearest the chip's TAM-in pin), exactly as the
+// translator streams them.  Gate-level cross-checkers use it to drive a
+// flattened wrapper with the same images the ATE applies.
+func ChainImages(lane ScanLane, p ScanPattern) (load, expect [][]Bit) {
+	return chainImages(lane, p)
+}
+
 // funcState streams a functional lane pattern by pattern (pull-based, no
 // materialization: the source's own iterator supplies the sequence).
 type funcState struct {

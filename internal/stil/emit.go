@@ -13,6 +13,9 @@ func Emit(c *testinfo.Core) (string, error) {
 	if err := c.Validate(); err != nil {
 		return "", err
 	}
+	if err := emittableNames(c); err != nil {
+		return "", err
+	}
 	var sb strings.Builder
 	sb.WriteString("STIL 1.0;\n")
 	fmt.Fprintf(&sb, "{* core name=%s soft=%t *}\n", c.Name, c.Soft)
@@ -100,4 +103,78 @@ func Emit(c *testinfo.Core) (string, error) {
 		}
 	}
 	return sb.String(), nil
+}
+
+// emittableNames rejects cores whose names cannot survive the emitted
+// syntax: signal names print as bare identifiers and must lex back as one
+// token, and quoted names (chains, pattern sets, the core name inside its
+// annotation) must not contain the quote or annotation terminators.  Parse
+// is deliberately liberal (it reads quoted names too), so without this
+// check Emit could produce text Parse rejects and break the round trip.
+func emittableNames(c *testinfo.Core) error {
+	ident := func(kind, name string) error {
+		if name == "" || !isIdentStart(name[0]) {
+			return fmt.Errorf("stil: %s name %q is not an emittable identifier", kind, name)
+		}
+		for i := 1; i < len(name); i++ {
+			if !isIdentPart(name[i]) {
+				return fmt.Errorf("stil: %s name %q is not an emittable identifier", kind, name)
+			}
+		}
+		return nil
+	}
+	quoted := func(kind, name string) error {
+		if strings.ContainsAny(name, "\"'\n") || strings.Contains(name, "*}") {
+			return fmt.Errorf("stil: %s name %q cannot be quoted in STIL", kind, name)
+		}
+		return nil
+	}
+	if err := quoted("core", c.Name); err != nil {
+		return err
+	}
+	if strings.ContainsAny(c.Name, " \t") {
+		return fmt.Errorf("stil: core name %q contains whitespace", c.Name)
+	}
+	for _, n := range c.Clocks {
+		if err := ident("clock", n); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.Resets {
+		if err := ident("reset", n); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.ScanEnables {
+		if err := ident("scan-enable", n); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.TestEnables {
+		if err := ident("test-enable", n); err != nil {
+			return err
+		}
+	}
+	for _, ch := range c.ScanChains {
+		if err := quoted("chain", ch.Name); err != nil {
+			return err
+		}
+		if err := ident("scan-in", ch.In); err != nil {
+			return err
+		}
+		if err := ident("scan-out", ch.Out); err != nil {
+			return err
+		}
+		if ch.Clock != "" {
+			if err := ident("scan-clock", ch.Clock); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range c.Patterns {
+		if err := quoted("pattern-set", p.Name); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,72 @@
+package stil
+
+import (
+	"strings"
+	"testing"
+
+	"steac/internal/testinfo"
+)
+
+// FuzzParse throws arbitrary bytes at the STIL lexer and both parser entry
+// points.  The contract under test: malformed input must come back as an
+// error, never as a panic, and anything the parser accepts must survive an
+// emit→parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, c := range []*testinfo.Core{usbCore(), tvCore(), jpegCore()} {
+		if src, err := Emit(c); err == nil {
+			f.Add(src)
+		}
+	}
+	f.Add("STIL 1.0;\nSignals { a In; b Out; }\n")
+	f.Add("Signals { \"si0\" In { ScanIn; } }")
+	f.Add("{* type=scan count=716 seed=1 *}")
+	f.Add("Signals { a In; } SignalGroups { g = 'a'; }")
+	f.Add("// comment only\n")
+	f.Add("Pattern p { V { g = 01; } }")
+	f.Add("Signals { \"unterminated")
+	f.Add("{* unterminated annotation")
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseAST(src)
+		if err == nil && stmts == nil && strings.TrimSpace(src) != "" {
+			// Empty result for non-empty accepted input is fine (comments,
+			// stray semicolons); nothing further to check.
+			return
+		}
+		core, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if core == nil {
+			t.Fatalf("Parse returned nil core without error")
+		}
+		out, err := Emit(core)
+		if err != nil {
+			// Parse can accept cores Emit refuses (e.g. empty name); that
+			// is an error return, not a crash, which is all we require.
+			return
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("re-parse of emitted core failed: %v\n%s", err, out)
+		}
+	})
+}
+
+// FuzzParseWithVectors covers the vector-bearing reader used for pattern
+// exchange; it shares the lexer with Parse but walks Pattern blocks too.
+func FuzzParseWithVectors(f *testing.F) {
+	if src, err := Emit(tvCore()); err == nil {
+		f.Add(src)
+	}
+	f.Add("Signals { a In; b Out; } Pattern p { W w1; V { a = 0; b = H; } }")
+	f.Add("Pattern p { Shift { V { si = 0101; } } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		core, vecs, err := ParseWithVectors(src)
+		if err != nil {
+			return
+		}
+		if core == nil {
+			t.Fatalf("ParseWithVectors returned nil core without error")
+		}
+		_ = vecs
+	})
+}

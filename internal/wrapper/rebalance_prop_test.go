@@ -1,0 +1,112 @@
+package wrapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"steac/internal/testinfo"
+)
+
+// randSoftCore draws a random soft core: 1–8 physical chains of 1–600 bits
+// (the rebalancer's input is a soft core's existing stitch, so the chain
+// shape is arbitrary), occasionally a chain-free corner case.
+func randSoftCore(r *rand.Rand) *testinfo.Core {
+	c := &testinfo.Core{
+		Name:        "prop",
+		Soft:        true,
+		Clocks:      []string{"ck"},
+		ScanEnables: []string{"se"},
+		PIs:         r.Intn(64),
+		POs:         r.Intn(64),
+	}
+	n := 1 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		c.ScanChains = append(c.ScanChains, testinfo.ScanChain{
+			Name:   "c" + string(rune('a'+i)),
+			Length: 1 + r.Intn(600),
+			In:     "si" + string(rune('a'+i)),
+			Out:    "so" + string(rune('a'+i)),
+			Clock:  "ck",
+		})
+	}
+	c.Patterns = []testinfo.PatternSet{
+		{Name: "scan", Type: testinfo.Scan, Count: 1 + r.Intn(500), Seed: r.Int63()},
+	}
+	return c
+}
+
+// TestRebalanceProperties checks the rebalancer's contract over random soft
+// cores and TAM widths:
+//
+//  1. conservation — the reconfigured core holds exactly the original's
+//     scan bits (no flop gained or lost by re-stitching);
+//  2. balance — no reconfigured chain exceeds ceil(total/width) bits, and
+//     the longest and shortest chains differ by at most one bit;
+//  3. fit — at most width chains, so the hard plan never needs more TAM
+//     wires than assigned, and its internal-scan max length matches the
+//     soft-plan estimate the scheduler used;
+//  4. idempotence — rebalancing the rebalanced core is a fixed point: the
+//     chain length multiset and the plan's test time do not change.
+func TestRebalanceProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(0xdf7))
+	for trial := 0; trial < 300; trial++ {
+		core := randSoftCore(r)
+		width := 1 + r.Intn(10)
+		re, plan, err := Rebalance(core, width)
+		if err != nil {
+			t.Fatalf("trial %d (width %d): %v", trial, width, err)
+		}
+
+		// 1. Conservation.
+		if got, want := re.TotalScanBits(), core.TotalScanBits(); got != want {
+			t.Fatalf("trial %d: scan bits %d, want %d", trial, got, want)
+		}
+
+		// 2. Balance.
+		total := core.TotalScanBits()
+		bound := (total + width - 1) / width
+		ls := re.ChainLengths() // sorted descending
+		for _, l := range ls {
+			if l > bound {
+				t.Fatalf("trial %d: chain length %d exceeds ceil(%d/%d)=%d",
+					trial, l, total, width, bound)
+			}
+		}
+		if len(ls) > 0 && ls[0]-ls[len(ls)-1] > 1 {
+			t.Fatalf("trial %d: unbalanced chains %v", trial, ls)
+		}
+
+		// 3. Fit.
+		if len(re.ScanChains) > width {
+			t.Fatalf("trial %d: %d chains for width %d", trial, len(re.ScanChains), width)
+		}
+		softPlan, err := DesignChains(core, width, LPT)
+		if err != nil {
+			t.Fatalf("trial %d: soft plan: %v", trial, err)
+		}
+		if plan.MaxLength() != softPlan.MaxLength() {
+			t.Fatalf("trial %d: hard plan max %d, soft estimate %d",
+				trial, plan.MaxLength(), softPlan.MaxLength())
+		}
+
+		// 4. Idempotence.
+		re2, plan2, err := Rebalance(re, width)
+		if err != nil {
+			t.Fatalf("trial %d: second rebalance: %v", trial, err)
+		}
+		ls2 := re2.ChainLengths()
+		if len(ls2) != len(ls) {
+			t.Fatalf("trial %d: chain count changed on re-rebalance: %v vs %v", trial, ls2, ls)
+		}
+		for i := range ls {
+			if ls2[i] != ls[i] {
+				t.Fatalf("trial %d: chain lengths changed on re-rebalance: %v vs %v", trial, ls2, ls)
+			}
+		}
+		p := core.Patterns[0].Count
+		if plan2.ScanTestCycles(p) != plan.ScanTestCycles(p) {
+			t.Fatalf("trial %d: test time changed on re-rebalance: %d vs %d",
+				trial, plan2.ScanTestCycles(p), plan.ScanTestCycles(p))
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package xcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"steac/internal/bist"
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/netlist"
+)
+
+// PadConfig rounds a memory geometry up to the generated TPG's natural
+// power-of-two address space (what the memory compiler fabricates); the
+// returned config is what verify benches and campaigns run on.
+func PadConfig(cfg memory.Config) memory.Config {
+	cfg.Words = 1 << uint(cfg.AddrBits())
+	return cfg
+}
+
+// PadConfigs pads a whole group.
+func PadConfigs(mems []memory.Config) []memory.Config {
+	out := make([]memory.Config, len(mems))
+	for i, cfg := range mems {
+		out[i] = PadConfig(cfg)
+	}
+	return out
+}
+
+func busToInt(v []bool) int {
+	n := 0
+	for i, b := range v {
+		if b {
+			n |= 1 << uint(i)
+		}
+	}
+	return n
+}
+
+// benchPins caches the compiled net ids of one verify bench.
+type benchPins struct {
+	cmdr, cmdd, dir, adv, elemdone, done, fail int
+	addr, d, q, qb                             [][]int
+	we, failI                                  []int
+}
+
+func newBenchPins(sim *netlist.CompiledSim, mems []memory.Config) benchPins {
+	p := benchPins{
+		cmdr: sim.NetID("cmdr"), cmdd: sim.NetID("cmdd"), dir: sim.NetID("dir"),
+		adv: sim.NetID("adv"), elemdone: sim.NetID("elemdone"),
+		done: sim.NetID("done"), fail: sim.NetID("fail"),
+	}
+	for i, cfg := range mems {
+		p.addr = append(p.addr, sim.BusIDs(fmt.Sprintf("addr%d", i), cfg.AddrBits()))
+		p.d = append(p.d, sim.BusIDs(fmt.Sprintf("d%d", i), cfg.Bits))
+		p.q = append(p.q, sim.BusIDs(fmt.Sprintf("q%d", i), cfg.Bits))
+		if cfg.Kind == memory.TwoPort {
+			p.qb = append(p.qb, sim.BusIDs(fmt.Sprintf("qb%d", i), cfg.Bits))
+		} else {
+			p.qb = append(p.qb, nil)
+		}
+		p.we = append(p.we, sim.NetID(fmt.Sprintf("we%d", i)))
+		p.failI = append(p.failI, sim.NetID(fmt.Sprintf("fail%d", i)))
+	}
+	return p
+}
+
+func getBusID(sim *netlist.CompiledSim, ids []int) int {
+	v := 0
+	for i, id := range ids {
+		if sim.GetID(id) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// VerifyBIST proves one sequencer group's generated netlist (sequencer +
+// TPGs + enable gating, via bist.BuildVerifyBench) bit-identical to the
+// March-semantics reference over complete sessions: every output pin, every
+// cycle, for the solid and checkerboard backgrounds and (for two-port
+// groups) both comparator port selections.  The RAM macros are emulated
+// behaviourally and respond to the netlist's own address/data/write pins;
+// the port not under comparison is fed complemented data so a port-select
+// defect cannot hide.  Session lengths are additionally cross-checked
+// against the behavioural bist.Engine and the analytic formula.
+func VerifyBIST(name string, alg march.Algorithm, mems []memory.Config, opts Options) (EquivResult, error) {
+	res := EquivResult{Name: name}
+	if err := alg.Validate(); err != nil {
+		return res, err
+	}
+	padded := PadConfigs(mems)
+	maxWords := 0
+	anyTwoPort := false
+	for _, cfg := range padded {
+		if cfg.Words > maxWords {
+			maxWords = cfg.Words
+		}
+		if cfg.Kind == memory.TwoPort {
+			anyTwoPort = true
+		}
+	}
+	analytic := alg.Complexity() * maxWords
+
+	d, err := bist.BuildVerifyBench(alg, padded)
+	if err != nil {
+		return res, err
+	}
+	sim, err := netlist.NewCompiledSim(d, "bench")
+	if err != nil {
+		return res, err
+	}
+	res.Gates = sim.GateCount()
+	pins := newBenchPins(sim, padded)
+	mmCap := opts.maxMismatches()
+
+	// Behavioural-engine cross-check: the padded group must pass fault-free
+	// in exactly the analytic cycle count.
+	ram := make([]bist.MemoryUnderTest, len(padded))
+	for i, cfg := range padded {
+		m, err := memory.New(cfg)
+		if err != nil {
+			return res, err
+		}
+		ram[i] = bist.MemoryUnderTest{RAM: m}
+	}
+	group := bist.Group{Name: name, Alg: alg, Mems: ram}
+	if g := group.Cycles(); g != analytic {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("engine group formula %d cycles vs analytic %d", g, analytic))
+	}
+	if eng, err := bist.NewEngine([]bist.Group{group}, bist.Serial); err != nil {
+		return res, err
+	} else if er := eng.Run(); !er.Pass || er.Cycles != analytic {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("engine run pass=%v cycles=%d vs analytic %d", er.Pass, er.Cycles, analytic))
+	}
+
+	pbsels := []bool{false}
+	if anyTwoPort {
+		pbsels = append(pbsels, true)
+	}
+	for _, bgsel := range []bool{false, true} {
+		for _, pbsel := range pbsels {
+			res.Sessions++
+			label := fmt.Sprintf("bg=%v pb=%v", bgsel, pbsel)
+			cycles, ok := runBISTSession(sim, pins, alg, padded, bgsel, pbsel, analytic, &res, mmCap)
+			if !ok {
+				res.Notes = append(res.Notes, fmt.Sprintf("session %s aborted", label))
+				res.finish()
+				return res, nil
+			}
+			res.Cycles += cycles
+			if cycles != analytic {
+				res.Notes = append(res.Notes,
+					fmt.Sprintf("session %s ran %d cycles, analytic %d", label, cycles, analytic))
+			}
+		}
+	}
+	res.finish()
+	return res, nil
+}
+
+// runBISTSession drives one full March session on both machines.  It
+// returns the gate-level cycle count and false if the session had to be
+// abandoned (mismatch budget exhausted or DONE never seen).
+func runBISTSession(sim *netlist.CompiledSim, pins benchPins, alg march.Algorithm,
+	mems []memory.Config, bgsel, pbsel bool, analytic int, res *EquivResult, mmCap int) (int, bool) {
+	sim.Reset()
+	ref := newRefBench(alg, mems)
+	gmem := make([][]uint64, len(mems))
+	for i, cfg := range mems {
+		gmem[i] = make([]uint64, cfg.Words)
+	}
+	sim.Set("bgsel", bgsel)
+	sim.Set("pbsel", pbsel)
+	// Reset pulse on both machines.
+	sim.Set("rst", true)
+	sim.Set("en", false)
+	sim.Tick("ck")
+	ref.tick(false, true, bgsel)
+	sim.Set("rst", false)
+	sim.Set("en", true)
+
+	maxCycles := analytic + 8
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		sim.Settle()
+		p := ref.comb(true, bgsel)
+		// Feed the emulated RAMs from the netlist's own address pins; the
+		// port not selected by pbsel carries complemented data so the
+		// comparator's port mux is genuinely exercised.
+		for i, cfg := range mems {
+			gateAddr := getBusID(sim, pins.addr[i])
+			word := gmem[i][gateAddr]
+			inv := ^word & cfg.Mask()
+			qa, qb := word, inv
+			if pbsel && cfg.Kind == memory.TwoPort {
+				qa, qb = inv, word
+			}
+			for b, id := range pins.q[i] {
+				sim.SetID(id, qa>>uint(b)&1 == 1)
+			}
+			for b, id := range pins.qb[i] {
+				sim.SetID(id, qb>>uint(b)&1 == 1)
+			}
+		}
+		sim.Settle()
+		res.check(cycle, "done", sim.GetID(pins.done), p.done, mmCap)
+		res.check(cycle, "cmdr", sim.GetID(pins.cmdr), p.cmdr, mmCap)
+		res.check(cycle, "cmdd", sim.GetID(pins.cmdd), p.cmdd, mmCap)
+		res.check(cycle, "dir", sim.GetID(pins.dir), p.dir, mmCap)
+		res.check(cycle, "adv", sim.GetID(pins.adv), p.adv, mmCap)
+		res.check(cycle, "elemdone", sim.GetID(pins.elemdone), p.elemdone, mmCap)
+		res.check(cycle, "fail", sim.GetID(pins.fail), p.fail, mmCap)
+		for i := range mems {
+			for b, id := range pins.addr[i] {
+				res.check(cycle, fmt.Sprintf("addr%d[%d]", i, b),
+					sim.GetID(id), p.addr[i]>>uint(b)&1 == 1, mmCap)
+			}
+			for b, id := range pins.d[i] {
+				res.check(cycle, fmt.Sprintf("d%d[%d]", i, b),
+					sim.GetID(id), p.d[i]>>uint(b)&1 == 1, mmCap)
+			}
+			res.check(cycle, fmt.Sprintf("we%d", i), sim.GetID(pins.we[i]), p.we[i], mmCap)
+			res.check(cycle, fmt.Sprintf("fail%d", i), sim.GetID(pins.failI[i]), p.failI[i], mmCap)
+		}
+		if len(res.Mismatches) >= mmCap {
+			return cycle, false
+		}
+		if p.done && sim.GetID(pins.done) {
+			// Session complete: the emulated RAM images must agree too.
+			for i := range mems {
+				for a := range gmem[i] {
+					if gmem[i][a] != ref.tpgs[i].mem[a] {
+						res.Notes = append(res.Notes, fmt.Sprintf(
+							"mem %d addr %d: gate image %x vs ref %x", i, a, gmem[i][a], ref.tpgs[i].mem[a]))
+						return cycle, false
+					}
+				}
+			}
+			return cycle, true
+		}
+		// Commit RAM writes from the gate-level pins, then clock both.
+		for i := range mems {
+			if sim.GetID(pins.we[i]) {
+				gmem[i][getBusID(sim, pins.addr[i])] = uint64(getBusID(sim, pins.d[i]))
+			}
+		}
+		sim.Tick("ck")
+		ref.tick(true, false, bgsel)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("DONE never asserted within %d cycles", maxCycles))
+	return maxCycles, false
+}
+
+// VerifyController proves the generated shared controller bit-identical to
+// the Fig. 2 handshake reference, first under seeded random stimulus on
+// every input (GDONE/GFAIL patterns a real chip could never even produce),
+// then in a scripted session where behavioural groups respond to the
+// controller's own GO outputs and selected groups inject failures.
+func VerifyController(name string, nGroups int, opts Options) (EquivResult, error) {
+	res := EquivResult{Name: name}
+	d := netlist.NewDesign("xctl", nil)
+	if _, err := bist.GenerateController(d, "ctl", nGroups); err != nil {
+		return res, err
+	}
+	sim, err := netlist.NewCompiledSim(d, "ctl")
+	if err != nil {
+		return res, err
+	}
+	res.Gates = sim.GateCount()
+	mmCap := opts.maxMismatches()
+	goIDs := sim.BusIDs("GO", nGroups)
+	gdoneIDs := sim.BusIDs("GDONE", nGroups)
+	gfailIDs := sim.BusIDs("GFAIL", nGroups)
+	mbo, mrd, mso := sim.NetID(bist.PinMBO), sim.NetID(bist.PinMRD), sim.NetID(bist.PinMSO)
+
+	compare := func(cycle int, ref *refController, msi bool) {
+		p := ref.comb(msi)
+		res.check(cycle, bist.PinMBO, sim.GetID(mbo), p.mbo, mmCap)
+		res.check(cycle, bist.PinMRD, sim.GetID(mrd), p.mrd, mmCap)
+		res.check(cycle, bist.PinMSO, sim.GetID(mso), p.mso, mmCap)
+		for i, id := range goIDs {
+			res.check(cycle, fmt.Sprintf("GO[%d]", i), sim.GetID(id), p.gos[i], mmCap)
+		}
+	}
+
+	// Phase 1: random stimulus differential.
+	sim.Reset()
+	ref := newRefController(nGroups)
+	rng := rand.New(rand.NewSource(int64(0x5eed + nGroups)))
+	cycles := 200*nGroups + 500
+	gdone := make([]bool, nGroups)
+	gfail := make([]bool, nGroups)
+	res.Sessions++
+	for cycle := 0; cycle < cycles && len(res.Mismatches) < mmCap; cycle++ {
+		mbs := rng.Intn(20) == 0
+		mbr := rng.Intn(50) == 0
+		msi := rng.Intn(2) == 0
+		sim.Set(bist.PinMBS, mbs)
+		sim.Set(bist.PinMBR, mbr)
+		sim.Set(bist.PinMSI, msi)
+		for i := 0; i < nGroups; i++ {
+			gdone[i] = rng.Intn(5) == 0
+			gfail[i] = rng.Intn(10) == 0
+			sim.SetID(gdoneIDs[i], gdone[i])
+			sim.SetID(gfailIDs[i], gfail[i])
+		}
+		sim.Settle()
+		compare(cycle, ref, msi)
+		sim.Tick(bist.PinMBC)
+		ref.tick(mbs, mbr, msi, gdone, gfail)
+		res.Cycles++
+	}
+
+	// Phase 2: scripted session — groups acknowledge GO after a compressed
+	// per-group latency; one mid-list group reports a failure.
+	if len(res.Mismatches) < mmCap {
+		res.Sessions++
+		cyc, notes := runControllerSession(sim, ref, nGroups, goIDs, gdoneIDs, gfailIDs,
+			func(cycle int, msi bool) { compare(cycle, ref, msi) })
+		res.Cycles += cyc
+		res.Notes = append(res.Notes, notes...)
+	}
+	res.finish()
+	return res, nil
+}
+
+// runControllerSession resets both machines and runs a full session with
+// behavioural groups responding to the controller's GO outputs.  Group i
+// asserts GDONE after 3+(i%4) active cycles; the middle group pulses GFAIL.
+// It asserts the tester-visible outcome (MBO raised, MRD reporting the
+// injected failure, MSO readout of the failed flag) and returns any
+// violations as notes.
+func runControllerSession(sim *netlist.CompiledSim, ref *refController, nGroups int,
+	goIDs, gdoneIDs, gfailIDs []int, compare func(cycle int, msi bool)) (int, []string) {
+	var notes []string
+	failing := nGroups / 2
+	sim.Reset()
+	*ref = *newRefController(nGroups)
+
+	zero := make([]bool, nGroups)
+	drive := func(mbs, mbr bool, gdone, gfail []bool) {
+		sim.Set(bist.PinMBS, mbs)
+		sim.Set(bist.PinMBR, mbr)
+		sim.Set(bist.PinMSI, true)
+		for i := 0; i < nGroups; i++ {
+			sim.SetID(gdoneIDs[i], gdone[i])
+			sim.SetID(gfailIDs[i], gfail[i])
+		}
+	}
+	step := func(mbs, mbr bool, gdone, gfail []bool) {
+		drive(mbs, mbr, gdone, gfail)
+		sim.Tick(bist.PinMBC)
+		ref.tick(mbs, mbr, true, gdone, gfail)
+	}
+	step(false, true, zero, zero) // reset
+	step(true, false, zero, zero) // start
+
+	age := make([]int, nGroups)
+	gdone := make([]bool, nGroups)
+	gfail := make([]bool, nGroups)
+	started := make([]bool, nGroups)
+	cycle := 0
+	maxCycles := 16 * nGroups
+	for ; cycle < maxCycles; cycle++ {
+		drive(false, false, gdone, gfail)
+		sim.Settle()
+		if sim.GetID(sim.NetID(bist.PinMBO)) {
+			break
+		}
+		for i := 0; i < nGroups; i++ {
+			gdone[i], gfail[i] = false, false
+			if sim.GetID(goIDs[i]) {
+				if !started[i] {
+					started[i] = true
+					// Groups must start in index order.
+					for j := i + 1; j < nGroups; j++ {
+						if started[j] {
+							notes = append(notes, fmt.Sprintf("group %d started before %d", j, i))
+						}
+					}
+				}
+				age[i]++
+				gdone[i] = age[i] >= 3+i%4
+				gfail[i] = i == failing && age[i] == 2
+			}
+		}
+		drive(false, false, gdone, gfail)
+		sim.Settle()
+		compare(cycle, true)
+		sim.Tick(bist.PinMBC)
+		ref.tick(false, false, true, gdone, gfail)
+	}
+	sim.Settle()
+	if !sim.Get(bist.PinMBO) {
+		notes = append(notes, fmt.Sprintf("MBO not raised within %d cycles", maxCycles))
+	}
+	if sim.Get(bist.PinMRD) {
+		notes = append(notes, fmt.Sprintf("MRD reports pass despite group %d failure", failing))
+	}
+	for i, s := range started {
+		if !s {
+			notes = append(notes, fmt.Sprintf("group %d never granted GO", i))
+		}
+	}
+	return cycle, notes
+}

@@ -1,0 +1,148 @@
+package xcheck
+
+import (
+	"strings"
+	"testing"
+
+	"steac/internal/bist"
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/netlist"
+)
+
+func mustAlg(t *testing.T, name string) march.Algorithm {
+	t.Helper()
+	alg, ok := march.ByName(name)
+	if !ok {
+		t.Fatalf("catalog has no %s", name)
+	}
+	return alg
+}
+
+func TestVerifyBISTCatalogEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  string
+		mems []memory.Config
+	}{
+		{"marchx-1p", "MATS+", []memory.Config{
+			{Name: "m0", Words: 16, Bits: 4, Kind: memory.SinglePort}}},
+		{"marchc-mixed", "March C-", []memory.Config{
+			{Name: "m0", Words: 16, Bits: 4, Kind: memory.SinglePort},
+			{Name: "m1", Words: 8, Bits: 6, Kind: memory.SinglePort}}},
+		{"marchx-2p", "March X", []memory.Config{
+			{Name: "m0", Words: 16, Bits: 5, Kind: memory.TwoPort}}},
+		{"marchy-mixed-2p", "March Y", []memory.Config{
+			{Name: "m0", Words: 12, Bits: 4, Kind: memory.TwoPort},
+			{Name: "m1", Words: 16, Bits: 3, Kind: memory.SinglePort}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := VerifyBIST(tc.name, mustAlg(t, tc.alg), tc.mems, Options{})
+			if err != nil {
+				t.Fatalf("VerifyBIST: %v", err)
+			}
+			for _, m := range res.Mismatches {
+				t.Errorf("mismatch: %s", m)
+			}
+			for _, n := range res.Notes {
+				t.Errorf("note: %s", n)
+			}
+			if !res.Pass {
+				t.Fatalf("not equivalent: %s", res.String())
+			}
+			if res.Checks == 0 || res.Cycles == 0 {
+				t.Fatalf("no work done: %s", res.String())
+			}
+			// Padded session length must match the analytic formula per
+			// session (sessions = backgrounds x port selects).
+			alg := mustAlg(t, tc.alg)
+			maxW := 0
+			anyTP := false
+			for _, cfg := range PadConfigs(tc.mems) {
+				if cfg.Words > maxW {
+					maxW = cfg.Words
+				}
+				anyTP = anyTP || cfg.Kind == memory.TwoPort
+			}
+			sessions := 2
+			if anyTP {
+				sessions = 4
+			}
+			if res.Sessions != sessions {
+				t.Errorf("sessions = %d, want %d", res.Sessions, sessions)
+			}
+			if want := sessions * alg.Complexity() * maxW; res.Cycles != want {
+				t.Errorf("cycles = %d, want %d", res.Cycles, want)
+			}
+		})
+	}
+}
+
+// The comparator must actually bite: inject a stuck-at fault into the
+// flattened bench and drive the same differential session — the run must
+// record pin mismatches against the March reference.
+func TestBISTSessionDetectsInjectedFault(t *testing.T) {
+	alg := mustAlg(t, "March X")
+	mems := PadConfigs([]memory.Config{{Name: "m0", Words: 8, Bits: 2, Kind: memory.SinglePort}})
+	d, err := bist.BuildVerifyBench(alg, mems)
+	if err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	sim, err := netlist.NewCompiledSim(d, "bench")
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	faults := sim.Faults()
+	if len(faults) == 0 {
+		t.Fatal("no fault sites")
+	}
+	detected := 0
+	for _, f := range []netlist.SAFault{faults[0], faults[len(faults)/2], faults[len(faults)-1]} {
+		fs := sim.Clone()
+		if err := fs.Inject(f.Gate, f.Port, f.Value); err != nil {
+			t.Fatalf("inject %v: %v", f, err)
+		}
+		res := EquivResult{Name: "faulty"}
+		pins := newBenchPins(fs, mems)
+		runBISTSession(fs, pins, alg, mems, false, false, alg.Complexity()*mems[0].Words, &res, 10)
+		if len(res.Mismatches) > 0 || len(res.Notes) > 0 {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Error("no injected fault produced a differential mismatch")
+	}
+}
+
+func TestVerifyControllerEquivalence(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		res, err := VerifyController("ctl", n, Options{})
+		if err != nil {
+			t.Fatalf("VerifyController(%d): %v", n, err)
+		}
+		for _, m := range res.Mismatches {
+			t.Errorf("n=%d mismatch: %s", n, m)
+		}
+		for _, note := range res.Notes {
+			t.Errorf("n=%d note: %s", n, note)
+		}
+		if !res.Pass {
+			t.Fatalf("n=%d not equivalent: %s", n, res.String())
+		}
+		if res.Sessions != 2 {
+			t.Errorf("n=%d sessions = %d, want 2", n, res.Sessions)
+		}
+	}
+}
+
+func TestEquivResultString(t *testing.T) {
+	r := EquivResult{Name: "x", Pass: true, Sessions: 2, Cycles: 10, Checks: 100}
+	if !strings.Contains(r.String(), "EQUIVALENT") {
+		t.Errorf("String() = %q", r.String())
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "MISMATCH") {
+		t.Errorf("String() = %q", r.String())
+	}
+}

@@ -1,0 +1,340 @@
+package xcheck
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"steac/internal/bist"
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/netlist"
+	"steac/internal/pattern"
+	"steac/internal/testinfo"
+	"steac/internal/wrapper"
+)
+
+// runFn simulates one (possibly faulty) copy of a design against its golden
+// stimulus and returns the first cycle a tester-visible pin disagreed with
+// the fault-free trace, or -1 if the fault stayed silent.  Every runFn
+// starts by resetting the sim it is handed.
+type runFn func(sim *netlist.CompiledSim) int
+
+// sampleFaults applies the MaxFaults cap by uniform stride over the site
+// list (never silently: CampaignResult reports Sites vs Total).
+func sampleFaults(faults []netlist.SAFault, max int) []netlist.SAFault {
+	if max <= 0 || len(faults) <= max {
+		return faults
+	}
+	out := make([]netlist.SAFault, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, faults[i*len(faults)/max])
+	}
+	return out
+}
+
+// runCampaign simulates every fault on its own clone of base, fanned out
+// over opts.Workers goroutines.  Faults are claimed in fixed-size chunks
+// off an atomic counter and results merged in fault-list order, so the
+// outcome is identical for any worker count.
+func runCampaign(name string, base *netlist.CompiledSim, sites int,
+	faults []netlist.SAFault, golden int, opts Options, run runFn) CampaignResult {
+	res := CampaignResult{Name: name, Sites: sites, Total: len(faults), GoldenCycles: golden}
+	detectedAt := make([]int, len(faults))
+	var next int64
+	const chunk = 16
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, chunk)) - chunk
+				if lo >= len(faults) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(faults) {
+					hi = len(faults)
+				}
+				for i := lo; i < hi; i++ {
+					fs := base.Clone()
+					if err := fs.Inject(faults[i].Gate, faults[i].Port, faults[i].Value); err != nil {
+						detectedAt[i] = -1
+						continue
+					}
+					detectedAt[i] = run(fs)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, at := range detectedAt {
+		if at >= 0 {
+			res.Detected++
+			res.Detections = append(res.Detections, FaultDetection{Fault: faults[i], Cycle: at})
+		} else {
+			res.Undetected = append(res.Undetected, faults[i])
+		}
+	}
+	return res
+}
+
+// bistTrace is one cycle of the BIST bench's tester-visible pins.
+type bistTrace struct{ done, fail bool }
+
+// runBISTTraced runs one solid-background March session on a bench sim with
+// emulated RAMs responding to the netlist's own pins, recording (or
+// comparing against) the DONE/FAIL trace.  With golden == nil it records
+// and returns the trace; otherwise it returns the first divergent cycle or
+// -1.  A few extra observation cycles past DONE let late sticky-fail
+// effects surface, exactly like a controller polling MBO/MRD would see them.
+func runBISTTraced(sim *netlist.CompiledSim, pins benchPins, mems []memory.Config,
+	golden []bistTrace) ([]bistTrace, int) {
+	sim.Reset()
+	gmem := make([][]uint64, len(mems))
+	for i, cfg := range mems {
+		gmem[i] = make([]uint64, cfg.Words)
+	}
+	sim.Set("bgsel", false)
+	sim.Set("pbsel", false)
+	sim.Set("rst", true)
+	sim.Set("en", false)
+	sim.Tick("ck")
+	sim.Set("rst", false)
+	sim.Set("en", true)
+
+	var trace []bistTrace
+	cycle := 0
+	for {
+		sim.Settle()
+		for i := range mems {
+			word := gmem[i][getBusID(sim, pins.addr[i])]
+			for b, id := range pins.q[i] {
+				sim.SetID(id, word>>uint(b)&1 == 1)
+			}
+			for b, id := range pins.qb[i] {
+				sim.SetID(id, word>>uint(b)&1 == 1)
+			}
+		}
+		sim.Settle()
+		cur := bistTrace{done: sim.GetID(pins.done), fail: sim.GetID(pins.fail)}
+		if golden != nil {
+			if cur != golden[cycle] {
+				return nil, cycle
+			}
+			if cycle == len(golden)-1 {
+				return nil, -1
+			}
+		} else {
+			trace = append(trace, cur)
+			if cur.done && cycle >= len(trace)-1 && countTrailingDone(trace) > 4 {
+				return trace, -1
+			}
+		}
+		for i := range mems {
+			if sim.GetID(pins.we[i]) {
+				gmem[i][getBusID(sim, pins.addr[i])] = uint64(getBusID(sim, pins.d[i]))
+			}
+		}
+		sim.Tick("ck")
+		cycle++
+		if golden == nil && cycle > 1<<22 {
+			return trace, -1 // safety net; fault-free benches always finish
+		}
+	}
+}
+
+func countTrailingDone(trace []bistTrace) int {
+	n := 0
+	for i := len(trace) - 1; i >= 0 && trace[i].done; i-- {
+		n++
+	}
+	return n
+}
+
+// TPGCampaign injects every stuck-at fault into the flattened sequencer +
+// TPG bench and asks whether the BIST's own tester-visible outcome pins
+// (DONE and the sticky FAIL) ever diverge from the fault-free session.
+func TPGCampaign(name string, alg march.Algorithm, mems []memory.Config, opts Options) (CampaignResult, error) {
+	padded := PadConfigs(mems)
+	d, err := bist.BuildVerifyBench(alg, padded)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	base, err := netlist.NewCompiledSim(d, "bench")
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	pins := newBenchPins(base, padded)
+	golden, _ := runBISTTraced(base, pins, padded, nil)
+	all := base.Faults()
+	faults := sampleFaults(all, opts.MaxFaults)
+	res := runCampaign(name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
+		_, at := runBISTTraced(sim, pins, padded, golden)
+		return at
+	})
+	return res, nil
+}
+
+// ctlTrace is one cycle of the controller's tester pins.
+type ctlTrace struct{ mbo, mrd, mso bool }
+
+// runControllerTraced drives the scripted two-scenario session (all groups
+// pass, then the middle group fails) with behavioural groups answering the
+// controller's own GO outputs.  Trace/compare semantics mirror
+// runBISTTraced.
+func runControllerTraced(sim *netlist.CompiledSim, nGroups int,
+	goIDs, gdoneIDs, gfailIDs, outIDs []int, golden []ctlTrace) ([]ctlTrace, int) {
+	var trace []ctlTrace
+	cycle := 0
+	sim.Reset()
+	for scenario := 0; scenario < 2; scenario++ {
+		failing := -1
+		if scenario == 1 {
+			failing = nGroups / 2
+		}
+		// Reset pulse, then start.
+		for _, step := range []struct{ mbs, mbr bool }{{false, true}, {true, false}} {
+			sim.Set(bist.PinMBS, step.mbs)
+			sim.Set(bist.PinMBR, step.mbr)
+			sim.Set(bist.PinMSI, true)
+			for i := 0; i < nGroups; i++ {
+				sim.SetID(gdoneIDs[i], false)
+				sim.SetID(gfailIDs[i], false)
+			}
+			sim.Tick(bist.PinMBC)
+		}
+		sim.Set(bist.PinMBS, false)
+		age := make([]int, nGroups)
+		for local := 0; local < 12*nGroups+12; local++ {
+			sim.Settle()
+			cur := ctlTrace{sim.GetID(outIDs[0]), sim.GetID(outIDs[1]), sim.GetID(outIDs[2])}
+			if golden != nil {
+				if cur != golden[cycle] {
+					return nil, cycle
+				}
+				if cycle == len(golden)-1 {
+					return nil, -1
+				}
+			} else {
+				trace = append(trace, cur)
+			}
+			for i := 0; i < nGroups; i++ {
+				gdone, gfail := false, false
+				if sim.GetID(goIDs[i]) {
+					age[i]++
+					gdone = age[i] >= 3+i%4
+					gfail = i == failing && age[i] == 2
+				}
+				sim.SetID(gdoneIDs[i], gdone)
+				sim.SetID(gfailIDs[i], gfail)
+			}
+			sim.Tick(bist.PinMBC)
+			cycle++
+		}
+	}
+	return trace, -1
+}
+
+// ControllerCampaign injects every stuck-at fault into the flattened shared
+// controller and checks whether the MBO/MRD/MSO tester pins ever diverge
+// from the fault-free scripted session.
+func ControllerCampaign(name string, nGroups int, opts Options) (CampaignResult, error) {
+	d := netlist.NewDesign("xctl", nil)
+	if _, err := bist.GenerateController(d, "ctl", nGroups); err != nil {
+		return CampaignResult{}, err
+	}
+	base, err := netlist.NewCompiledSim(d, "ctl")
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	goIDs := base.BusIDs("GO", nGroups)
+	gdoneIDs := base.BusIDs("GDONE", nGroups)
+	gfailIDs := base.BusIDs("GFAIL", nGroups)
+	outIDs := []int{base.NetID(bist.PinMBO), base.NetID(bist.PinMRD), base.NetID(bist.PinMSO)}
+	golden, _ := runControllerTraced(base, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, nil)
+	all := base.Faults()
+	faults := sampleFaults(all, opts.MaxFaults)
+	res := runCampaign(name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
+		_, at := runControllerTraced(sim, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, golden)
+		return at
+	})
+	return res, nil
+}
+
+// WrapperCampaign injects stuck-at faults into the wrapper logic (boundary
+// cells, WIR, WBY, glue — core-internal faults are the scan patterns' own
+// job and are excluded) and checks whether the translated scan program's
+// wso expectations catch them.  The detection criterion is exactly the
+// tester's: a miscompare against a non-X expected bit.
+func WrapperCampaign(name string, core *testinfo.Core, width int, opts Options) (CampaignResult, error) {
+	d, plan, err := BuildWrapperDesign(core, width, wrapper.LPT)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	base, err := netlist.NewCompiledSim(d, "xtop")
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	atpg, err := pattern.NewATPG(core)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	var src pattern.Source = atpg
+	if opts.MaxPatterns > 0 && opts.MaxPatterns < atpg.ScanCount() {
+		src = &cappedSource{Source: atpg, n: opts.MaxPatterns}
+	}
+	pins := newWrapPins(base, plan.Width)
+	lane := pattern.ScanLane{
+		Core: core, Source: src, Plan: plan,
+		Cycles: plan.ScanTestCycles(src.ScanCount()),
+	}
+	layout := pattern.SessionLayout{Cycles: lane.Cycles, Scan: []pattern.ScanLane{lane}}
+	prog := &pattern.Program{TamWidth: plan.Width}
+
+	run := func(sim *netlist.CompiledSim) int {
+		sim.Reset()
+		wrapDefaults(sim, core)
+		detected := -1
+		wirCycles := wirBypassScript(sim, pins, func(cycle int, pin string, got, want bool) bool {
+			if got != want && detected < 0 {
+				detected = cycle
+			}
+			return detected < 0
+		})
+		if detected >= 0 {
+			return detected
+		}
+		_ = streamScan(sim, prog, layout, core, pins, func(cycle int, pin string, got, want bool) bool {
+			if got != want && detected < 0 {
+				detected = wirCycles + cycle
+			}
+			return detected < 0
+		})
+		return detected
+	}
+
+	var faults []netlist.SAFault
+	for _, f := range base.Faults() {
+		if strings.Contains(f.Gate, "/u_core/") {
+			continue
+		}
+		faults = append(faults, f)
+	}
+	sites := len(faults)
+	faults = sampleFaults(faults, opts.MaxFaults)
+	res := runCampaign(name, base, sites, faults, wirCyclesFor()+layout.Cycles, opts, run)
+	return res, nil
+}
+
+// wirCyclesFor is the fixed length of the WIR excursion script.
+func wirCyclesFor() int { return 3 + 5 + 3 }
+
+// cappedSource serves only the first n scan patterns of its base source.
+type cappedSource struct {
+	pattern.Source
+	n int
+}
+
+func (c *cappedSource) ScanCount() int { return c.n }

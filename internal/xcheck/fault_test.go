@@ -1,0 +1,113 @@
+package xcheck
+
+import (
+	"testing"
+
+	"steac/internal/memory"
+)
+
+func campaignsEqual(a, b CampaignResult) bool {
+	if a.Sites != b.Sites || a.Total != b.Total || a.Detected != b.Detected ||
+		len(a.Undetected) != len(b.Undetected) || len(a.Detections) != len(b.Detections) {
+		return false
+	}
+	for i := range a.Undetected {
+		if a.Undetected[i] != b.Undetected[i] {
+			return false
+		}
+	}
+	for i := range a.Detections {
+		if a.Detections[i] != b.Detections[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTPGCampaignDetectsFaults(t *testing.T) {
+	alg := mustAlg(t, "March X")
+	mems := []memory.Config{{Name: "m0", Words: 8, Bits: 2, Kind: memory.SinglePort}}
+	res, err := TPGCampaign("tpg", alg, mems, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("TPGCampaign: %v", err)
+	}
+	if res.Total == 0 || res.Total != res.Sites {
+		t.Fatalf("want exhaustive campaign, got %d/%d", res.Total, res.Sites)
+	}
+	if res.Detected+len(res.Undetected) != res.Total {
+		t.Fatalf("detected %d + undetected %d != total %d", res.Detected, len(res.Undetected), res.Total)
+	}
+	// The BIST must observe a solid majority of its own logic through
+	// DONE/FAIL alone.
+	if res.Coverage() < 50 {
+		t.Errorf("coverage %.1f%% suspiciously low: %s", res.Coverage(), res.String())
+	}
+	if res.Detected == 0 {
+		t.Fatal("campaign detected nothing")
+	}
+	for _, det := range res.Detections {
+		if det.Cycle < 0 || det.Cycle >= res.GoldenCycles {
+			t.Errorf("detection cycle %d outside golden trace (%d)", det.Cycle, res.GoldenCycles)
+		}
+	}
+}
+
+func TestTPGCampaignDeterministicAcrossWorkers(t *testing.T) {
+	alg := mustAlg(t, "MATS+")
+	mems := []memory.Config{{Name: "m0", Words: 8, Bits: 2, Kind: memory.SinglePort}}
+	var prev CampaignResult
+	for i, w := range []int{1, 3, 7} {
+		res, err := TPGCampaign("tpg", alg, mems, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if i > 0 && !campaignsEqual(prev, res) {
+			t.Fatalf("workers=%d changed the result:\n%s\nvs\n%s", w, prev.String(), res.String())
+		}
+		prev = res
+	}
+}
+
+func TestControllerCampaign(t *testing.T) {
+	res, err := ControllerCampaign("ctl", 3, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("ControllerCampaign: %v", err)
+	}
+	if res.Detected == 0 || res.Total == 0 {
+		t.Fatalf("empty campaign: %s", res.String())
+	}
+	if res.Coverage() < 50 {
+		t.Errorf("coverage %.1f%% suspiciously low", res.Coverage())
+	}
+}
+
+func TestWrapperCampaign(t *testing.T) {
+	core := xcheckCore("wflt", 4, 5, []int{7, 5}, 4, 77)
+	res, err := WrapperCampaign("wrap", core, 2, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("WrapperCampaign: %v", err)
+	}
+	if res.Total == 0 || res.Detected == 0 {
+		t.Fatalf("empty campaign: %s", res.String())
+	}
+	if res.Coverage() < 50 {
+		t.Errorf("coverage %.1f%% suspiciously low: %s", res.Coverage(), res.String())
+	}
+	// Core-internal faults are excluded by construction.
+	for _, f := range res.Undetected {
+		if f.Gate == "" {
+			t.Errorf("empty fault site")
+		}
+	}
+}
+
+func TestWrapperCampaignSampling(t *testing.T) {
+	core := xcheckCore("wsmp", 4, 5, []int{7, 5}, 3, 88)
+	res, err := WrapperCampaign("wrap", core, 2, Options{Workers: 2, MaxFaults: 20})
+	if err != nil {
+		t.Fatalf("WrapperCampaign: %v", err)
+	}
+	if res.Total != 20 || !res.Sampled() {
+		t.Fatalf("want sampled 20 of %d, got %d sampled=%v", res.Sites, res.Total, res.Sampled())
+	}
+}

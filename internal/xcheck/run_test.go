@@ -1,0 +1,47 @@
+package xcheck
+
+import (
+	"strings"
+	"testing"
+
+	"steac/internal/memory"
+	"steac/internal/netlist"
+)
+
+func TestVerifyGroupsParallelAndOrdered(t *testing.T) {
+	cases := []GroupCase{
+		{"g0", mustAlg(t, "MATS+"), []memory.Config{{Name: "a", Words: 8, Bits: 2, Kind: memory.SinglePort}}},
+		{"g1", mustAlg(t, "March X"), []memory.Config{{Name: "b", Words: 16, Bits: 3, Kind: memory.SinglePort}}},
+		{"g2", mustAlg(t, "March Y"), []memory.Config{{Name: "c", Words: 8, Bits: 4, Kind: memory.TwoPort}}},
+	}
+	res, err := VerifyGroups(cases, Options{Workers: 3})
+	if err != nil {
+		t.Fatalf("VerifyGroups: %v", err)
+	}
+	for i, r := range res {
+		if r.Name != cases[i].Name {
+			t.Errorf("result %d named %q, want %q", i, r.Name, cases[i].Name)
+		}
+		if !r.Pass {
+			t.Errorf("%s: %s", r.Name, r.String())
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	rep := &Report{
+		Equiv: []EquivResult{{Name: "g0", Pass: true, Sessions: 2, Cycles: 100, Checks: 500}},
+		Campaigns: []CampaignResult{{
+			Name: "c0", Sites: 10, Total: 10, Detected: 9,
+			Undetected: []netlist.SAFault{{Gate: "g", Port: "A", Value: true}},
+		}},
+	}
+	var sb strings.Builder
+	WriteReport(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{"EQUIVALENT", "all equivalent", "90.00% coverage", "undetected: g/A stuck-at-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package xcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"steac/internal/testinfo"
+)
+
+// xcheckCore fabricates a hard scan core with ATPG pattern metadata.
+func xcheckCore(name string, pis, pos int, chains []int, patterns int, seed int64) *testinfo.Core {
+	c := &testinfo.Core{
+		Name:        name,
+		Clocks:      []string{"clk"},
+		Resets:      []string{"rstn"},
+		ScanEnables: []string{"se"},
+		PIs:         pis,
+		POs:         pos,
+		Patterns: []testinfo.PatternSet{
+			{Name: "stuck", Type: testinfo.Scan, Count: patterns, Seed: seed},
+		},
+	}
+	for i, l := range chains {
+		c.ScanChains = append(c.ScanChains, testinfo.ScanChain{
+			Name: fmt.Sprintf("c%d", i), Length: l,
+			In: fmt.Sprintf("si%d", i), Out: fmt.Sprintf("so%d", i), Clock: "clk",
+		})
+	}
+	return c
+}
+
+func TestVerifyWrapperEquivalence(t *testing.T) {
+	cases := []struct {
+		core  *testinfo.Core
+		width int
+	}{
+		{xcheckCore("wmix", 5, 7, []int{9, 6, 13}, 4, 11), 2},
+		{xcheckCore("wone", 3, 3, []int{8}, 3, 22), 1},
+		{xcheckCore("wwide", 8, 4, []int{5, 5, 5, 5}, 3, 33), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.core.Name, func(t *testing.T) {
+			res, atpg, err := VerifyWrapper(tc.core.Name, tc.core, tc.width, Options{})
+			if err != nil {
+				t.Fatalf("VerifyWrapper: %v", err)
+			}
+			for _, m := range res.Mismatches {
+				t.Errorf("mismatch: %s", m)
+			}
+			for _, n := range res.Notes {
+				t.Errorf("note: %s", n)
+			}
+			if !res.Pass {
+				t.Fatalf("not equivalent: %s", res.String())
+			}
+			if res.Sessions != 2 || res.Checks == 0 {
+				t.Errorf("sessions=%d checks=%d", res.Sessions, res.Checks)
+			}
+			if atpg.ScanCount() == 0 {
+				t.Error("no scan patterns streamed")
+			}
+		})
+	}
+}
