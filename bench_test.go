@@ -22,6 +22,7 @@ import (
 	"steac/internal/memfault"
 	"steac/internal/memory"
 	"steac/internal/netlist"
+	"steac/internal/obs"
 	"steac/internal/pattern"
 	"steac/internal/sched"
 	"steac/internal/stil"
@@ -264,6 +265,26 @@ func BenchmarkFig4BrainsIntegration(b *testing.B) {
 // --- §2 BRAINS: March efficiency by fault simulation -----------------------
 
 func BenchmarkMarchCoverage(b *testing.B) {
+	cfg := memory.Config{Name: "proxy", Words: 16, Bits: 4}
+	faults := memfault.AllFaults(cfg)
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		camp, err := memfault.Coverage(march.MarchCMinus(), cfg, faults, memfault.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = camp.Percent()
+	}
+	b.ReportMetric(pct, "coverage-pct")
+}
+
+// Observability overhead: the identical campaign with span timing and
+// pprof labels enabled (counters are always live, so the baseline above
+// already pays for them).  EXPERIMENTS.md records the delta against
+// BenchmarkMarchCoverage; the budget is <3% wall clock.
+func BenchmarkMarchCoverageObs(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
 	cfg := memory.Config{Name: "proxy", Words: 16, Bits: 4}
 	faults := memfault.AllFaults(cfg)
 	var pct float64

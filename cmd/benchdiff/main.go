@@ -1,0 +1,55 @@
+// Command benchdiff compares two BENCH JSON files produced by
+// `dscflow -bench-json` and fails on performance regressions.
+//
+// Usage:
+//
+//	benchdiff [-threshold 15] [-json out.json] OLD.json NEW.json
+//
+// Exit status: 0 when no op regressed, 1 when any op slowed down past the
+// threshold, went missing, or changed its functional result fingerprint,
+// 2 on usage or file errors.  The threshold is a percentage of the old wall
+// time; improvements are reported but never fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"steac/internal/obs/bench"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 15, "regression threshold in percent of the old wall time")
+		jsonOut   = flag.String("json", "", "also write the comparison summary as JSON to this path")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-json out.json] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := bench.Load(flag.Arg(0))
+	fail(err)
+	new, err := bench.Load(flag.Arg(1))
+	fail(err)
+
+	sum := bench.Compare(old, new, *threshold)
+	sum.Write(os.Stdout)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		fail(err)
+		fail(os.WriteFile(*jsonOut, append(data, '\n'), 0o644))
+	}
+	if sum.Failed() {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}

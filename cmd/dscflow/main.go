@@ -9,6 +9,8 @@
 //	dscflow                  run everything except ATE verification
 //	dscflow -verify          also apply all ~4.4M tester cycles (≈5 s)
 //	dscflow -table1 ...      print individual sections only
+//	dscflow -obs             append the observability report (span tree + counters)
+//	dscflow -bench-json F    run the benchmark suite and write BENCH JSON to F
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"steac/internal/core"
 	"steac/internal/dsc"
 	"steac/internal/memory"
+	"steac/internal/obs"
+	"steac/internal/obs/bench"
 	"steac/internal/pattern"
 	"steac/internal/report"
 	"steac/internal/xcheck"
@@ -39,9 +43,21 @@ func main() {
 		extest   = flag.Bool("extest", false, "append the EXTEST interconnect-test session (24 glue wires, 10 vectors)")
 		xcheckOn = flag.Bool("xcheck", false, "gate-level differential verification: cross-check every generated DFT netlist against its behavioural model and run stuck-at fault campaigns")
 		workers  = flag.Int("workers", 0, "worker goroutines for fault simulation and schedule search (0 = all CPUs)")
+
+		obsOn      = flag.Bool("obs", false, "enable observability and append the span/counter report")
+		benchJSON  = flag.String("bench-json", "", "run the benchmark suite (instead of the flow) and write BENCH JSON to this path")
+		benchShort = flag.Bool("bench-short", false, "single-iteration benchmark runs (CI smoke; workloads unchanged)")
 	)
 	flag.Parse()
 	all := !(*table1 || *schedOn || *ioOn || *areaOn || *bistOn || *marchOn || *verilog || *xcheckOn)
+
+	if *benchJSON != "" {
+		runBench(*benchJSON, *benchShort)
+		return
+	}
+	if *obsOn {
+		obs.Enable()
+	}
 
 	soc, err := dsc.BuildSOC()
 	fail(err)
@@ -114,6 +130,26 @@ func main() {
 		fmt.Printf("tester program written to %s (%s cycles)\n",
 			*ateprog, report.Comma(res.Program.TotalCycles()))
 	}
+	if *obsOn {
+		obs.WriteReport(os.Stdout)
+	}
+}
+
+// runBench is the -bench-json mode: it executes the paper-table benchmark
+// suite and writes the schema-versioned BENCH file `benchdiff` consumes.
+// Short mode runs one measured iteration per op instead of three; the
+// workloads are identical, so a CI short run is comparable against the
+// committed full baseline.
+func runBench(path string, short bool) {
+	f, err := bench.RunSuite(short, func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	})
+	fail(err)
+	data, err := f.Canonical()
+	fail(err)
+	fail(os.WriteFile(path, data, 0o644))
+	fmt.Printf("benchmark trajectory written to %s (%d ops, git %s)\n",
+		path, len(f.Ops), f.GitRev)
 }
 
 // runXCheck is the -xcheck section: differential equivalence of every

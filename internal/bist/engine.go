@@ -16,6 +16,16 @@ import (
 
 	"steac/internal/march"
 	"steac/internal/memory"
+	"steac/internal/obs"
+)
+
+// Observability: one span per session run, cycle/memory totals added once
+// per run (never inside the per-op TPG loop, which stays metric-free).
+var (
+	obsSpanRun    = obs.GetSpan("bist.run")
+	obsRuns       = obs.GetCounter("bist.runs")
+	obsCycles     = obs.GetCounter("bist.cycles")
+	obsMemsTested = obs.GetCounter("bist.memories_tested")
 )
 
 // Tester-interface pin names of the shared BIST controller (Fig. 2).
@@ -384,6 +394,8 @@ func portBPass(tpgs []*tpgState, startCycle int) int {
 
 // Run executes the whole session and returns the result.
 func (e *Engine) Run() Result {
+	tm := obsSpanRun.Start()
+	defer tm.Stop()
 	res := Result{Pass: true}
 	var onFail failFn
 	if e.diagMax > 0 {
@@ -415,6 +427,9 @@ func (e *Engine) Run() Result {
 			res.Pass = false
 		}
 	}
+	obsRuns.Add(1)
+	obsCycles.Add(int64(res.Cycles))
+	obsMemsTested.Add(int64(len(res.Mems)))
 	return res
 }
 

@@ -18,6 +18,7 @@ import (
 	"steac/internal/insertion"
 	"steac/internal/memory"
 	"steac/internal/netlist"
+	"steac/internal/obs"
 	"steac/internal/pattern"
 	"steac/internal/sched"
 	"steac/internal/stil"
@@ -84,46 +85,79 @@ func BISTGroups(r *brains.Result) []sched.BISTGroup {
 	return groups
 }
 
+// Observability: the flow stages of Fig. 1 form the top-level span tree a
+// `dscflow -obs` report (and a pprof profile's "span" label) is organized
+// by.  Engine-internal spans (sched.session_based, memfault.coverage, ...)
+// nest in time under these but live under their own package roots.
+var (
+	obsSpanFlow      = obs.GetSpan("flow")
+	obsSpanParse     = obs.GetSpan("flow.parse")
+	obsSpanBrains    = obs.GetSpan("flow.brains")
+	obsSpanSchedule  = obs.GetSpan("flow.schedule")
+	obsSpanExtest    = obs.GetSpan("flow.extest")
+	obsSpanInsert    = obs.GetSpan("flow.insert")
+	obsSpanTranslate = obs.GetSpan("flow.translate")
+	obsSpanVerify    = obs.GetSpan("flow.verify")
+	obsFlows         = obs.GetCounter("flow.runs")
+	obsFlowCores     = obs.GetCounter("flow.cores_parsed")
+)
+
+// stage times one flow stage into its span; the closure form guarantees
+// the span stops on every path, including error returns.
+func stage(s *obs.Span, f func() error) error {
+	tm := s.Start()
+	defer tm.Stop()
+	return f()
+}
+
 // RunFlow executes the STEAC flow of Fig. 1.
 func RunFlow(in FlowInput) (*FlowResult, error) {
 	start := time.Now()
+	tmFlow := obsSpanFlow.Start()
+	defer tmFlow.Stop()
 	res := &FlowResult{Sources: make(map[string]pattern.Source)}
 
 	// 1. STIL Parser.
 	if len(in.STIL) == 0 {
 		return nil, fmt.Errorf("steac: no STIL inputs")
 	}
-	seen := make(map[string]bool)
-	for i, src := range in.STIL {
-		c, vecs, err := stil.ParseWithVectors(src)
-		if err != nil {
-			return nil, fmt.Errorf("steac: STIL input %d: %w", i, err)
-		}
-		if seen[c.Name] {
-			return nil, fmt.Errorf("steac: duplicate core %q in STIL inputs", c.Name)
-		}
-		seen[c.Name] = true
-		res.Cores = append(res.Cores, c)
-		// A file carrying explicit vectors supplies them directly; a file
-		// carrying only generator annotations uses the ATPG substitute.
-		if len(vecs.Scan) > 0 || len(vecs.Func) > 0 {
-			if len(vecs.Scan) != c.ScanPatternCount() || len(vecs.Func) != c.FunctionalPatternCount() {
-				return nil, fmt.Errorf("steac: %s: %d/%d explicit vectors but pattern sets declare %d/%d",
-					c.Name, len(vecs.Scan), len(vecs.Func),
-					c.ScanPatternCount(), c.FunctionalPatternCount())
-			}
-			exp, err := pattern.FromSTIL(c, vecs)
+	if err := stage(obsSpanParse, func() error {
+		seen := make(map[string]bool)
+		for i, src := range in.STIL {
+			c, vecs, err := stil.ParseWithVectors(src)
 			if err != nil {
-				return nil, fmt.Errorf("steac: %s: %w", c.Name, err)
+				return fmt.Errorf("steac: STIL input %d: %w", i, err)
 			}
-			res.Sources[c.Name] = exp
-			continue
+			if seen[c.Name] {
+				return fmt.Errorf("steac: duplicate core %q in STIL inputs", c.Name)
+			}
+			seen[c.Name] = true
+			res.Cores = append(res.Cores, c)
+			// A file carrying explicit vectors supplies them directly; a file
+			// carrying only generator annotations uses the ATPG substitute.
+			if len(vecs.Scan) > 0 || len(vecs.Func) > 0 {
+				if len(vecs.Scan) != c.ScanPatternCount() || len(vecs.Func) != c.FunctionalPatternCount() {
+					return fmt.Errorf("steac: %s: %d/%d explicit vectors but pattern sets declare %d/%d",
+						c.Name, len(vecs.Scan), len(vecs.Func),
+						c.ScanPatternCount(), c.FunctionalPatternCount())
+				}
+				exp, err := pattern.FromSTIL(c, vecs)
+				if err != nil {
+					return fmt.Errorf("steac: %s: %w", c.Name, err)
+				}
+				res.Sources[c.Name] = exp
+				continue
+			}
+			a, err := pattern.NewATPG(c)
+			if err != nil {
+				return err
+			}
+			res.Sources[c.Name] = a
 		}
-		a, err := pattern.NewATPG(c)
-		if err != nil {
-			return nil, err
-		}
-		res.Sources[c.Name] = a
+		obsFlowCores.Add(int64(len(res.Cores)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// 2. BRAINS memory BIST compilation (Fig. 4 integration).
@@ -131,94 +165,126 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 	var bistDesign *netlist.Design
 	bistTop := ""
 	if len(in.Memories) > 0 {
-		b, err := brains.Compile(in.Memories, in.BISTOptions)
-		if err != nil {
-			return nil, fmt.Errorf("steac: BRAINS: %w", err)
+		if err := stage(obsSpanBrains, func() error {
+			b, err := brains.Compile(in.Memories, in.BISTOptions)
+			if err != nil {
+				return fmt.Errorf("steac: BRAINS: %w", err)
+			}
+			res.Brains = b
+			bistGroups = BISTGroups(b)
+			bistDesign = b.Design
+			bistTop = b.Top.Name
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		res.Brains = b
-		bistGroups = BISTGroups(b)
-		bistDesign = b.Design
-		bistTop = b.Top.Name
 	}
 
 	// 3. Core Test Scheduler (+ the two baselines for comparison).
-	tests, err := sched.BuildTests(res.Cores, bistGroups)
-	if err != nil {
+	if err := stage(obsSpanSchedule, func() error {
+		tests, err := sched.BuildTests(res.Cores, bistGroups)
+		if err != nil {
+			return err
+		}
+		if res.Schedule, err = sched.SessionBased(tests, in.Resources); err != nil {
+			return err
+		}
+		if res.NonSession, err = sched.NonSessionBased(tests, in.Resources); err != nil {
+			return fmt.Errorf("steac: non-session baseline: %w", err)
+		}
+		if res.Serial, err = sched.Serial(tests, in.Resources); err != nil {
+			return fmt.Errorf("steac: serial baseline: %w", err)
+		}
+		return nil
+	}); err != nil {
 		return nil, err
-	}
-	if res.Schedule, err = sched.SessionBased(tests, in.Resources); err != nil {
-		return nil, err
-	}
-	if res.NonSession, err = sched.NonSessionBased(tests, in.Resources); err != nil {
-		return nil, fmt.Errorf("steac: non-session baseline: %w", err)
-	}
-	if res.Serial, err = sched.Serial(tests, in.Resources); err != nil {
-		return nil, fmt.Errorf("steac: serial baseline: %w", err)
 	}
 
 	// 3b. Interconnect (EXTEST) session, appended after the core sessions.
 	if len(in.Interconnects) > 0 {
-		widths := make(map[string]int)
-		for _, sess := range res.Schedule.Sessions {
-			for _, pl := range sess.Placements {
-				if pl.Test.Kind == sched.ScanKind {
-					widths[pl.Test.Core.Name] = pl.Width
+		if err := stage(obsSpanExtest, func() error {
+			widths := make(map[string]int)
+			for _, sess := range res.Schedule.Sessions {
+				for _, pl := range sess.Placements {
+					if pl.Test.Kind == sched.ScanKind {
+						widths[pl.Test.Core.Name] = pl.Width
+					}
 				}
 			}
+			lane, err := pattern.BuildExtest(res.Cores, in.Interconnects, widths, in.Resources.Partitioner)
+			if err != nil {
+				return fmt.Errorf("steac: extest: %w", err)
+			}
+			res.Extest = lane
+			res.Schedule.Sessions = append(res.Schedule.Sessions, sched.Session{
+				Index:       len(res.Schedule.Sessions),
+				Cycles:      lane.Cycles,
+				ControlPins: sched.ControlPins(res.Cores, true, true),
+				Placements: []sched.Placement{{
+					Test:   sched.Test{ID: "chip.extest", Kind: sched.ExtestKind},
+					Cycles: lane.Cycles,
+				}},
+			})
+			res.Schedule.TotalCycles += lane.Cycles
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		lane, err := pattern.BuildExtest(res.Cores, in.Interconnects, widths, in.Resources.Partitioner)
-		if err != nil {
-			return nil, fmt.Errorf("steac: extest: %w", err)
-		}
-		res.Extest = lane
-		res.Schedule.Sessions = append(res.Schedule.Sessions, sched.Session{
-			Index:       len(res.Schedule.Sessions),
-			Cycles:      lane.Cycles,
-			ControlPins: sched.ControlPins(res.Cores, true, true),
-			Placements: []sched.Placement{{
-				Test:   sched.Test{ID: "chip.extest", Kind: sched.ExtestKind},
-				Cycles: lane.Cycles,
-			}},
-		})
-		res.Schedule.TotalCycles += lane.Cycles
 	}
 
 	// 4. Test insertion: wrappers, TAM, controller, BIST into the SOC.
 	if in.SOC != nil {
-		ins, err := insertion.Insert(in.SOC, res.Cores, res.Schedule, in.Resources, bistDesign, bistTop)
-		if err != nil {
+		if err := stage(obsSpanInsert, func() error {
+			ins, err := insertion.Insert(in.SOC, res.Cores, res.Schedule, in.Resources, bistDesign, bistTop)
+			if err != nil {
+				return err
+			}
+			res.Insertion = ins
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		res.Insertion = ins
 	}
 
 	// 5. Pattern translation to chip level.
-	if res.Program, err = pattern.Translate(res.Schedule, res.Sources, in.Resources); err != nil {
-		return nil, err
-	}
-	if res.Extest != nil {
-		if err := res.Program.AttachExtest(len(res.Program.Sessions)-1, res.Extest); err != nil {
-			return nil, err
+	if err := stage(obsSpanTranslate, func() error {
+		var err error
+		if res.Program, err = pattern.Translate(res.Schedule, res.Sources, in.Resources); err != nil {
+			return err
 		}
+		if res.Extest != nil {
+			if err := res.Program.AttachExtest(len(res.Program.Sessions)-1, res.Extest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// 6. Optional ATE verification on the behavioural chip model.
 	if in.Verify {
-		chip := ate.NewChip(res.Program, res.Cores)
-		r, err := ate.Run(res.Program, chip)
-		if err != nil {
+		if err := stage(obsSpanVerify, func() error {
+			chip := ate.NewChip(res.Program, res.Cores)
+			r, err := ate.Run(res.Program, chip)
+			if err != nil {
+				return err
+			}
+			res.Verify = &r
+			if !r.Pass {
+				return fmt.Errorf("steac: translated patterns fail on the chip model: %d mismatches (first %+v)",
+					r.Mismatches, r.First)
+			}
+			if r.Cycles != res.Schedule.TotalCycles {
+				return fmt.Errorf("steac: ATE measured %d cycles, schedule says %d",
+					r.Cycles, res.Schedule.TotalCycles)
+			}
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		res.Verify = &r
-		if !r.Pass {
-			return nil, fmt.Errorf("steac: translated patterns fail on the chip model: %d mismatches (first %+v)",
-				r.Mismatches, r.First)
-		}
-		if r.Cycles != res.Schedule.TotalCycles {
-			return nil, fmt.Errorf("steac: ATE measured %d cycles, schedule says %d",
-				r.Cycles, res.Schedule.TotalCycles)
-		}
 	}
+	obsFlows.Add(1)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -9,6 +9,17 @@ import (
 
 	"steac/internal/march"
 	"steac/internal/memory"
+	"steac/internal/obs"
+)
+
+// Observability: totals are accumulated in the deterministic aggregation
+// pass (never inside worker loops), so they are identical for every worker
+// count — the stress tests in internal/obs assert this.
+var (
+	obsSpanCoverage = obs.GetSpan("memfault.coverage")
+	obsCampaigns    = obs.GetCounter("memfault.campaigns")
+	obsFaultsSim    = obs.GetCounter("memfault.faults_simulated")
+	obsFaultsDet    = obs.GetCounter("memfault.faults_detected")
 )
 
 // Detection is the outcome of simulating one fault machine under one March
@@ -148,6 +159,8 @@ const faultChunk = 64
 // (FaultyRAM.Reset) across its faults, and results are aggregated in
 // fault-list order — the Campaign is bit-identical to a serial run.
 func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {
+	tm := obsSpanCoverage.Start()
+	defer tm.Stop()
 	camp := Campaign{Algorithm: alg.Name}
 	if len(faults) == 0 {
 		return camp, nil
@@ -242,6 +255,9 @@ func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Option
 	for _, c := range classes {
 		camp.ByClass = append(camp.ByClass, *byClass[c])
 	}
+	obsCampaigns.Add(1)
+	obsFaultsSim.Add(int64(camp.Total))
+	obsFaultsDet.Add(int64(camp.Detected))
 	return camp, nil
 }
 

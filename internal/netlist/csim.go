@@ -1,6 +1,20 @@
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+
+	"steac/internal/obs"
+)
+
+// Observability: Tick-level counting is the finest grain instrumented — a
+// tick evaluates the whole gate array (microseconds), so one atomic add is
+// noise.  Settle stays uninstrumented: it runs several times per tick and
+// is the innermost hot loop.
+var (
+	obsSims     = obs.GetCounter("netlist.sims_compiled")
+	obsTicks    = obs.GetCounter("netlist.ticks")
+	obsInjected = obs.GetCounter("netlist.faults_injected")
+)
 
 // CompiledSim is a compiled, levelized variant of Simulator for the same
 // two-valued zero-delay semantics.  Nets are interned to dense integer ids,
@@ -293,6 +307,7 @@ func NewCompiledSim(d *Design, top string) (*CompiledSim, error) {
 	}
 	s.vals[p.const1] = true
 	s.Settle()
+	obsSims.Add(1)
 	return s, nil
 }
 
@@ -502,6 +517,7 @@ func (s *CompiledSim) Tick(clock string) {
 // commit, settle.  When the clock net feeds nothing but clock pins the
 // high/low half-settles are provably no-ops and are skipped.
 func (s *CompiledSim) TickID(ck int) {
+	obsTicks.Add(1)
 	s.vals[ck] = false
 	s.Settle()
 	if s.p.clockPure[ck] {
@@ -574,6 +590,7 @@ func (s *CompiledSim) Inject(gate, port string, value bool) error {
 			g.in[si] = s.p.const0
 		}
 		s.forces = append(s.forces, cForce{gate: gi, slot: si, orig: orig, val: value})
+		obsInjected.Add(1)
 		return nil
 	}
 	for oi, f := range g.cell.Outputs {
@@ -588,6 +605,7 @@ func (s *CompiledSim) Inject(gate, port string, value bool) error {
 		g.out[oi] = -1
 		s.vals[orig] = value
 		s.forces = append(s.forces, cForce{gate: gi, slot: oi, out: true, orig: orig, val: value})
+		obsInjected.Add(1)
 		return nil
 	}
 	return fmt.Errorf("netlist: gate %s (%s) has no port %s", gate, g.cell.Name, port)

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sample() *File {
+	return &File{
+		Schema: SchemaVersion, GitRev: "test", GoVersion: "go0", MaxProcs: 1,
+		Ops: []Op{
+			{Op: "b.second", Iters: 3, Workers: 1, WallNs: 2000, Work: 10, WorkUnit: "cycles", Check: "x=1"},
+			{Op: "a.first", Iters: 3, Workers: 2, WallNs: 1000, Work: 20, WorkUnit: "faults", Check: "y=2"},
+		},
+	}
+}
+
+func TestCanonicalSortsAndRoundTrips(t *testing.T) {
+	f := sample()
+	data, err := f.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatal("canonical form lacks trailing newline")
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops[0].Op != "a.first" || back.Ops[1].Op != "b.second" {
+		t.Fatalf("ops not sorted: %q, %q", back.Ops[0].Op, back.Ops[1].Op)
+	}
+	again, err := back.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("canonical form not a fixed point")
+	}
+}
+
+func TestParseRejectsWrongSchema(t *testing.T) {
+	if _, err := Parse([]byte(`{"schema":"steac-bench/v0","ops":[]}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCompareSelfPasses(t *testing.T) {
+	f := sample()
+	s := Compare(f, f, 15)
+	if s.Failed() {
+		t.Fatalf("self-comparison failed: %+v", s)
+	}
+	for _, d := range s.Ops {
+		if d.Status != StatusOK {
+			t.Fatalf("op %s status %s on self-comparison", d.Op, d.Status)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old, new := sample(), sample()
+	new.Ops[0].WallNs *= 2 // b.second: +100% > 15%
+	s := Compare(old, new, 15)
+	if !s.Failed() || s.Regressions != 1 {
+		t.Fatalf("2x slowdown not flagged: %+v", s)
+	}
+	var found bool
+	for _, d := range s.Ops {
+		if d.Op == "b.second" {
+			found = true
+			if d.Status != StatusRegressed || d.DeltaPct < 99 {
+				t.Fatalf("b.second diff %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("regressed op missing from summary")
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	old, new := sample(), sample()
+	new.Ops[0].WallNs /= 4
+	s := Compare(old, new, 15)
+	if s.Failed() {
+		t.Fatalf("improvement failed the comparison: %+v", s)
+	}
+}
+
+func TestCompareMissingOpFails(t *testing.T) {
+	old, new := sample(), sample()
+	new.Ops = new.Ops[:1]
+	s := Compare(old, new, 15)
+	if !s.Failed() || s.Missing != 1 {
+		t.Fatalf("lost op not flagged: %+v", s)
+	}
+}
+
+func TestCompareNewOpInformational(t *testing.T) {
+	old, new := sample(), sample()
+	new.Ops = append(new.Ops, Op{Op: "c.extra", WallNs: 10})
+	s := Compare(old, new, 15)
+	if s.Failed() {
+		t.Fatalf("new op failed the comparison: %+v", s)
+	}
+}
+
+func TestCompareCheckMismatchFails(t *testing.T) {
+	old, new := sample(), sample()
+	new.Ops[1].Check = "y=3"
+	s := Compare(old, new, 15)
+	if !s.Failed() || s.CheckMismatches != 1 {
+		t.Fatalf("functional drift not flagged: %+v", s)
+	}
+}
+
+func TestSummaryWrite(t *testing.T) {
+	old, new := sample(), sample()
+	new.Ops[0].WallNs *= 2
+	var buf bytes.Buffer
+	Compare(old, new, 15).Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"b.second", StatusRegressed, "1 regressed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// suiteOnce runs the real suite (short mode) once for the tests below.
+var suiteOnce = sync.OnceValues(func() (*File, error) {
+	return RunSuite(true, nil)
+})
+
+func TestSuiteCoversRequiredOps(t *testing.T) {
+	f, err := suiteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Ops) < 8 {
+		t.Fatalf("suite ran %d ops, want >= 8", len(f.Ops))
+	}
+	have := map[string]bool{}
+	for _, op := range f.Ops {
+		have[op.Op] = true
+		if op.WallNs <= 0 {
+			t.Errorf("%s: wall_ns %d", op.Op, op.WallNs)
+		}
+		if op.Check == "" {
+			t.Errorf("%s: empty check fingerprint", op.Op)
+		}
+	}
+	for _, want := range []string{
+		"sched.session_search", "march.coverage", "bist.engine",
+		"xcheck.campaign", "pattern.translate",
+	} {
+		if !have[want] {
+			t.Errorf("suite missing required op %s", want)
+		}
+	}
+}
+
+// TestSuiteDeterminism is the -bench-json determinism satellite: two runs
+// of the suite must be byte-identical after Scrub (which zeroes exactly the
+// timing fields).
+func TestSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	shared, err := suiteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep-copy the shared run before scrubbing it (other tests still need
+	// its timing fields).
+	data, err := shared.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := RunSuite(true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Scrub()
+	f2.Scrub()
+	b1, err := f1.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := f2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two suite runs differ after scrubbing timing fields:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", b1, b2)
+	}
+}
+
+// TestSuiteRoundTripsThroughDiff is the benchdiff acceptance pair: a run
+// compared against itself passes; the same run with one op slowed 2x fails.
+func TestSuiteRoundTripsThroughDiff(t *testing.T) {
+	f, err := suiteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Compare(f, same, 15); s.Failed() {
+		t.Fatalf("suite self-comparison failed: %+v", s)
+	}
+	slow, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Ops[0].WallNs *= 2
+	if s := Compare(f, slow, 15); !s.Failed() {
+		t.Fatal("synthetic 2x regression passed the diff")
+	}
+}

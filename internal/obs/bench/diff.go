@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Op comparison statuses.
+const (
+	StatusOK            = "ok"
+	StatusRegressed     = "regressed"
+	StatusImproved      = "improved"
+	StatusMissing       = "missing" // op in old file absent from new: a lost benchmark is a failure
+	StatusNew           = "new"     // op only in the new file: informational
+	StatusCheckMismatch = "check-mismatch"
+)
+
+// OpDiff compares one op between two runs.
+type OpDiff struct {
+	Op       string  `json:"op"`
+	Status   string  `json:"status"`
+	OldNs    int64   `json:"old_ns,omitempty"`
+	NewNs    int64   `json:"new_ns,omitempty"`
+	DeltaPct float64 `json:"delta_pct"`
+	// Checks carried along so a check-mismatch is explainable.
+	OldCheck string `json:"old_check,omitempty"`
+	NewCheck string `json:"new_check,omitempty"`
+}
+
+// Summary is a full two-file comparison.
+type Summary struct {
+	ThresholdPct    float64  `json:"threshold_pct"`
+	Ops             []OpDiff `json:"ops"`
+	Regressions     int      `json:"regressions"`
+	Missing         int      `json:"missing"`
+	CheckMismatches int      `json:"check_mismatches"`
+}
+
+// Failed reports whether the comparison should fail the build: any
+// regression past the threshold, any lost op, any functional-result
+// mismatch.
+func (s *Summary) Failed() bool {
+	return s.Regressions > 0 || s.Missing > 0 || s.CheckMismatches > 0
+}
+
+// Compare diffs two runs op by op.  An op regresses when its new wall time
+// exceeds the old by more than thresholdPct percent; improvements are
+// labelled but never fail.  Old and new files must share a schema (Load
+// already enforces the version).
+func Compare(old, new *File, thresholdPct float64) *Summary {
+	s := &Summary{ThresholdPct: thresholdPct}
+	newOps := make(map[string]Op, len(new.Ops))
+	for _, op := range new.Ops {
+		newOps[op.Op] = op
+	}
+	seen := make(map[string]bool, len(old.Ops))
+	for _, o := range old.Ops {
+		seen[o.Op] = true
+		n, ok := newOps[o.Op]
+		if !ok {
+			s.Ops = append(s.Ops, OpDiff{Op: o.Op, Status: StatusMissing, OldNs: o.WallNs})
+			s.Missing++
+			continue
+		}
+		d := OpDiff{Op: o.Op, OldNs: o.WallNs, NewNs: n.WallNs,
+			OldCheck: o.Check, NewCheck: n.Check}
+		if o.WallNs > 0 {
+			d.DeltaPct = 100 * (float64(n.WallNs) - float64(o.WallNs)) / float64(o.WallNs)
+		}
+		switch {
+		case o.Check != n.Check:
+			d.Status = StatusCheckMismatch
+			s.CheckMismatches++
+		case d.DeltaPct > thresholdPct:
+			d.Status = StatusRegressed
+			s.Regressions++
+		case d.DeltaPct < -thresholdPct:
+			d.Status = StatusImproved
+		default:
+			d.Status = StatusOK
+		}
+		s.Ops = append(s.Ops, d)
+	}
+	for _, n := range new.Ops {
+		if !seen[n.Op] {
+			s.Ops = append(s.Ops, OpDiff{Op: n.Op, Status: StatusNew, NewNs: n.WallNs})
+		}
+	}
+	return s
+}
+
+// Write renders the summary as the human table benchdiff prints.
+func (s *Summary) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %14s %14s %9s  %s\n", "op", "old", "new", "delta", "status")
+	for _, d := range s.Ops {
+		old, new, delta := "-", "-", "-"
+		if d.OldNs > 0 {
+			old = time.Duration(d.OldNs).Round(time.Microsecond).String()
+		}
+		if d.NewNs > 0 {
+			new = time.Duration(d.NewNs).Round(time.Microsecond).String()
+		}
+		if d.Status != StatusMissing && d.Status != StatusNew {
+			delta = fmt.Sprintf("%+.1f%%", d.DeltaPct)
+		}
+		fmt.Fprintf(w, "%-28s %14s %14s %9s  %s\n", d.Op, old, new, delta, d.Status)
+	}
+	fmt.Fprintf(w, "threshold ±%.0f%%: %d regressed, %d missing, %d check mismatches\n",
+		s.ThresholdPct, s.Regressions, s.Missing, s.CheckMismatches)
+}

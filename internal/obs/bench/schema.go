@@ -1,0 +1,151 @@
+// Package bench defines the machine-readable benchmark trajectory of the
+// STEAC platform: a fixed suite of paper-table operations (schedule search,
+// March fault simulation, the BIST engine, gate-level cross-check
+// campaigns, pattern translation, the insertion flow), a schema-versioned
+// JSON encoding of one run, and the comparison logic `cmd/benchdiff` uses
+// to flag regressions between two runs.
+//
+// The JSON file is deterministic modulo the timing fields (wall_ns,
+// work_per_sec, allocs_per_op, bytes_per_op): every other field — the op
+// list, iteration counts, worker counts, work totals and the per-op result
+// fingerprint in `check` — is byte-identical across runs of the same tree.
+// Scrub zeroes exactly the timing fields, which is what the determinism
+// tests compare.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// SchemaVersion identifies the file layout; bump it when fields change
+// meaning so benchdiff can refuse cross-schema comparisons.
+const SchemaVersion = "steac-bench/v1"
+
+// File is one benchmark run: provenance plus the per-op results.
+type File struct {
+	Schema    string `json:"schema"`
+	GitRev    string `json:"git_rev"`
+	GoVersion string `json:"go_version"`
+	// MaxProcs is GOMAXPROCS at run time (per-op worker counts are on the
+	// ops themselves).
+	MaxProcs int  `json:"max_procs"`
+	Short    bool `json:"short"`
+	Ops      []Op `json:"ops"`
+}
+
+// Op is the result of one suite operation.
+type Op struct {
+	// Op is the stable operation name (e.g. "march.coverage"); benchdiff
+	// matches ops between files by this name.
+	Op string `json:"op"`
+	// Iters is how many measured runs contributed; WallNs is the fastest.
+	Iters   int `json:"iters"`
+	Workers int `json:"workers"`
+	// WallNs is the best per-iteration wall time in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// AllocsPerOp / BytesPerOp are heap allocation deltas of the best run.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Work is the op's principal quantity (cycles simulated, faults
+	// injected, ...) in WorkUnit; WorkPerSec is Work over WallNs.
+	Work       int64   `json:"work"`
+	WorkUnit   string  `json:"work_unit"`
+	WorkPerSec float64 `json:"work_per_sec"`
+	// Check fingerprints the op's functional result (total cycles, fault
+	// coverage, ...); a mismatch between two runs means the code under
+	// benchmark changed behaviour, not just speed.
+	Check string `json:"check"`
+}
+
+// Canonical renders the file in its canonical byte form: ops sorted by
+// name, two-space indented JSON, trailing newline.  Determinism tests and
+// the committed BENCH files both use this form.
+func (f *File) Canonical() ([]byte, error) {
+	sort.Slice(f.Ops, func(i, j int) bool { return f.Ops[i].Op < f.Ops[j].Op })
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Scrub zeroes the timing fields in place, leaving only the deterministic
+// ones; two Scrubbed runs of the same tree must be byte-identical.
+func (f *File) Scrub() {
+	for i := range f.Ops {
+		f.Ops[i].WallNs = 0
+		f.Ops[i].AllocsPerOp = 0
+		f.Ops[i].BytesPerOp = 0
+		f.Ops[i].WorkPerSec = 0
+	}
+}
+
+// Parse decodes a BENCH JSON file and validates its schema tag.
+func Parse(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: schema %q, want %q", f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Load reads and parses a BENCH JSON file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// NewFile returns an empty run with provenance filled in.
+func NewFile(short bool) *File {
+	return &File{
+		Schema:    SchemaVersion,
+		GitRev:    gitRev(),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Short:     short,
+	}
+}
+
+// gitRev reads the VCS revision the binary was built from (stamped by the
+// go tool for main packages built inside the repository); "unknown" when
+// absent, e.g. in test binaries.
+func gitRev() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, modified := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if modified {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,207 @@
+// Package obs is the flow-wide observability layer: named counters and
+// gauges, a hierarchical span tree with wall-clock timing and runtime/pprof
+// label propagation, and a deterministic text report.  Every expensive
+// engine in the repository (schedule search, March fault simulation, the
+// BIST engine, the compiled gate-level simulator and its xcheck campaigns,
+// pattern translation) publishes metrics here, so one `dscflow -obs` run
+// answers "where does the wall clock go" and a CPU profile taken during any
+// flow stage carries the stage name on its samples.
+//
+// Design rules, in priority order:
+//
+//   - Hot paths stay allocation-free.  Counters are plain atomic adds on
+//     pre-registered cells; engines cache `*Counter`/`*Span` pointers in
+//     package vars and batch per-item increments per worker chunk.  Span
+//     Start/Stop handles are value types that do not escape.
+//   - Counters are always live (an atomic add is cheaper than a branch plus
+//     the coherence traffic of checking a flag), so metric totals are
+//     meaningful whether or not a report is requested.  Span *timing* and
+//     pprof labels are gated behind Enable, because reading the clock and
+//     setting goroutine labels are not free.
+//   - Everything is deterministic for a fixed worker count: reports sort by
+//     name, and no metric depends on map iteration order.
+//
+// Spans form a static taxonomy addressed by dotted path
+// ("flow.schedule", "memfault.coverage"): the tree shape is the
+// instrumentation's choice, not the dynamic call stack, which keeps
+// reports stable and lets concurrent engines accumulate into one node.
+// A Span handle is explicit, so a worker goroutine can time itself into
+// the same node as its parent (see Span.Start).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates span timing and pprof labels; counters are always live.
+var enabled atomic.Bool
+
+// Enable turns on span timing and pprof label propagation.
+func Enable() { enabled.Store(true) }
+
+// Disable turns span timing and pprof label propagation back off.
+// In-flight Timings started while enabled still record on Stop.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether span timing is on.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a named monotonically increasing metric.  The zero Counter is
+// unusable; obtain one with GetCounter (typically once, in a package var).
+// All methods are safe for concurrent use, and Add is a single atomic add —
+// no allocation, no lock, no enabled check.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter.  Nil-safe so optional instrumentation can
+// pass around a nil *Counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a named last-value metric (workers in flight, best bound so
+// far).  Set stores; SetMax keeps the maximum.  Same concurrency and cost
+// contract as Counter.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// SetMax raises the gauge to n if n is larger.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// registry holds every named metric.  Registration is rare (package init);
+// the hot path never touches the lock.
+var registry = struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}{
+	counters: make(map[string]*Counter),
+	gauges:   make(map[string]*Gauge),
+}
+
+// GetCounter returns the counter registered under name, creating it on
+// first use.  Call it once per call site (package var), not per operation.
+func GetCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	c, ok := registry.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		registry.counters[name] = c
+	}
+	return c
+}
+
+// GetGauge returns the gauge registered under name, creating it on first
+// use.
+func GetGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	g, ok := registry.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		registry.gauges[name] = g
+	}
+	return g
+}
+
+// MetricValue is one named reading in a snapshot.
+type MetricValue struct {
+	Name  string
+	Value int64
+}
+
+// Counters snapshots every registered counter, sorted by name.
+func Counters() []MetricValue {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]MetricValue, 0, len(registry.counters))
+	for _, c := range registry.counters {
+		out = append(out, MetricValue{Name: c.name, Value: c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Gauges snapshots every registered gauge, sorted by name.
+func Gauges() []MetricValue {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]MetricValue, 0, len(registry.gauges))
+	for _, g := range registry.gauges {
+		out = append(out, MetricValue{Name: g.name, Value: g.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CounterValue returns the current total of the named counter (0 when it
+// was never registered).  Convenience for tests and the bench harness.
+func CounterValue(name string) int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.counters[name].Value()
+}
+
+// Reset zeroes every counter and gauge and clears all span statistics
+// (the span tree shape — registered nodes — survives, so cached *Span
+// pointers stay valid).  For tests and the benchmark harness; not intended
+// to race with in-flight engines.
+func Reset() {
+	registry.mu.Lock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
+	registry.mu.Unlock()
+	root.reset()
+}

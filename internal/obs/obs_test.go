@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterRegistryIdentity(t *testing.T) {
+	a := GetCounter("test.identity")
+	b := GetCounter("test.identity")
+	if a != b {
+		t.Fatal("GetCounter returned two cells for one name")
+	}
+	a.Add(3)
+	b.Add(4)
+	if got := a.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+	if CounterValue("test.identity") != 7 {
+		t.Fatal("CounterValue disagrees with Counter.Value")
+	}
+	if CounterValue("test.never-registered") != 0 {
+		t.Fatal("unregistered counter should read 0")
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	c.Add(1)
+	g.Set(1)
+	g.SetMax(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics should read 0")
+	}
+	var s *Span
+	tm := s.Start()
+	tm.Stop() // inert
+	if tm.Running() {
+		t.Fatal("timing on nil span should be inert")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	g := GetGauge("test.gauge-max")
+	g.Set(10)
+	g.SetMax(5)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax(5) lowered the gauge to %d", g.Value())
+	}
+	g.SetMax(20)
+	if g.Value() != 20 {
+		t.Fatalf("SetMax(20) = %d", g.Value())
+	}
+}
+
+func TestSnapshotsSorted(t *testing.T) {
+	GetCounter("test.zzz")
+	GetCounter("test.aaa")
+	names := []string{}
+	for _, mv := range Counters() {
+		names = append(names, mv.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Counters() not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestSpanPathResolution(t *testing.T) {
+	s := GetSpan("test.span.leaf")
+	if s.Path() != "test.span.leaf" {
+		t.Fatalf("Path = %q", s.Path())
+	}
+	if GetSpan("test.span.leaf") != s {
+		t.Fatal("GetSpan returned two nodes for one path")
+	}
+	if GetSpan("test.span").Child("leaf") != s {
+		t.Fatal("Child disagrees with GetSpan")
+	}
+}
+
+// TestSpanNesting drives the span lifecycle through its edge cases
+// (satellite of the observability PR): unbalanced stops, reentrant
+// same-name spans, cross-goroutine handles, zero Timings, disabled mode.
+func TestSpanNesting(t *testing.T) {
+	cases := []struct {
+		name string
+		// run exercises the given fresh span and returns the expected
+		// completed-call count.
+		run func(t *testing.T, s *Span) int64
+	}{
+		{"balanced pair", func(t *testing.T, s *Span) int64 {
+			tm := s.Start()
+			if !tm.Running() {
+				t.Fatal("Timing not running after Start")
+			}
+			tm.Stop()
+			if tm.Running() {
+				t.Fatal("Timing still running after Stop")
+			}
+			return 1
+		}},
+		{"nested child under parent", func(t *testing.T, s *Span) int64 {
+			outer := s.Start()
+			inner := s.Child("inner").Start()
+			inner.Stop()
+			outer.Stop()
+			if got := s.Child("inner").Calls(); got != 1 {
+				t.Fatalf("inner calls = %d, want 1", got)
+			}
+			return 1
+		}},
+		{"unbalanced extra Stop is a no-op", func(t *testing.T, s *Span) int64 {
+			tm := s.Start()
+			tm.Stop()
+			tm.Stop()
+			tm.Stop()
+			return 1
+		}},
+		{"zero Timing Stop is inert", func(t *testing.T, s *Span) int64 {
+			var tm Timing
+			tm.Stop()
+			if tm.Running() {
+				t.Fatal("zero Timing claims to run")
+			}
+			return 0
+		}},
+		{"reentrant same-name spans merge into one node", func(t *testing.T, s *Span) int64 {
+			a := s.Start()
+			b := s.Start() // second Start on the same node while the first runs
+			if s.active.Load() != 2 {
+				t.Fatalf("active = %d, want 2", s.active.Load())
+			}
+			b.Stop()
+			a.Stop()
+			return 2
+		}},
+		{"cross-goroutine explicit handle", func(t *testing.T, s *Span) int64 {
+			tm := s.Start()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				tm.Stop()
+			}()
+			<-done
+			return 1
+		}},
+		{"disabled mode records nothing", func(t *testing.T, s *Span) int64 {
+			Disable()
+			defer Enable()
+			tm := s.Start()
+			if tm.Running() {
+				t.Fatal("Start while disabled returned a live Timing")
+			}
+			tm.Stop()
+			return 0
+		}},
+		{"Disable mid-flight still records on Stop", func(t *testing.T, s *Span) int64 {
+			tm := s.Start()
+			Disable()
+			tm.Stop()
+			Enable()
+			return 1
+		}},
+	}
+	Enable()
+	defer Disable()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := GetSpan("test.nesting." + strings.ReplaceAll(tc.name, " ", "_"))
+			want := tc.run(t, s)
+			if got := s.Calls(); got != want {
+				t.Fatalf("calls = %d, want %d", got, want)
+			}
+			if s.active.Load() != 0 {
+				t.Fatalf("span left active = %d", s.active.Load())
+			}
+			if want > 0 && s.Nanos() < 0 {
+				t.Fatalf("negative accumulated time %d", s.Nanos())
+			}
+		})
+	}
+}
+
+// TestSpanStress hammers one span node and one counter from many
+// goroutines with timing enabled — the -race build of this test is the
+// memory-model check for the whole package.
+func TestSpanStress(t *testing.T) {
+	Enable()
+	defer Disable()
+	s := GetSpan("test.stress")
+	c := GetCounter("test.stress.count")
+	base := c.Value()
+	const goroutines = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tm := s.Start()
+				c.Add(1)
+				tm.Stop()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value() - base; got != goroutines*iters {
+		t.Fatalf("counter total %d, want %d", got, goroutines*iters)
+	}
+	if s.active.Load() != 0 {
+		t.Fatalf("active = %d after all stops", s.active.Load())
+	}
+	if s.Calls() < goroutines*iters {
+		t.Fatalf("calls = %d, want >= %d", s.Calls(), goroutines*iters)
+	}
+}
+
+func TestResetKeepsShape(t *testing.T) {
+	s := GetSpan("test.reset.node")
+	c := GetCounter("test.reset.count")
+	Enable()
+	tm := s.Start()
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	Disable()
+	c.Add(5)
+	Reset()
+	if s.Calls() != 0 || s.Nanos() != 0 || c.Value() != 0 {
+		t.Fatal("Reset left statistics behind")
+	}
+	if GetSpan("test.reset.node") != s || GetCounter("test.reset.count") != c {
+		t.Fatal("Reset invalidated cached pointers")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	Enable()
+	defer Disable()
+	s := GetSpan("test.report.stage")
+	tm := s.Start()
+	tm.Stop()
+	GetCounter("test.report.items").Add(1234567)
+	var buf bytes.Buffer
+	WriteReport(&buf)
+	out := buf.String()
+	for _, want := range []string{"stage", "test.report.items", "1,234,567"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-valued counters stay out of the report.
+	GetCounter("test.report.silent")
+	if strings.Contains(out, "test.report.silent") {
+		t.Fatal("zero counter appeared in report")
+	}
+}

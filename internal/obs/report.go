@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteReport renders the human observability report: the span tree (wall
+// time and call counts) followed by every non-zero counter and gauge.
+// Ordering is purely name-based, so for a fixed workload at one worker the
+// report is deterministic up to the duration column (golden tests scrub
+// it; see cmd/dscflow).
+func WriteReport(w io.Writer) {
+	fmt.Fprintln(w, "Observability report")
+	WriteSpans(w)
+	WriteCounters(w)
+}
+
+// WriteSpans renders the span tree.  Nodes that never ran (and have no
+// descendant that ran) are omitted: a registered-but-idle stage is not an
+// observation.
+func WriteSpans(w io.Writer) {
+	fmt.Fprintln(w, "spans (wall · calls):")
+	n := 0
+	for _, c := range root.sortedChildren() {
+		n += writeSpan(w, c, 1)
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "  (none recorded — run with observability enabled)")
+	}
+}
+
+// ran reports whether the subtree recorded any completed or in-flight call.
+func ran(s *Span) bool {
+	if s.calls.Load() > 0 || s.active.Load() > 0 {
+		return true
+	}
+	for _, c := range s.sortedChildren() {
+		if ran(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeSpan(w io.Writer, s *Span, depth int) int {
+	if !ran(s) {
+		return 0
+	}
+	indent := ""
+	for i := 1; i < depth; i++ {
+		indent += "  "
+	}
+	name := indent + s.name
+	note := ""
+	if a := s.active.Load(); a > 0 {
+		note = fmt.Sprintf("  (+%d running)", a)
+	}
+	fmt.Fprintf(w, "  %-34s %12s %8d%s\n",
+		name, time.Duration(s.ns.Load()).Round(time.Microsecond), s.calls.Load(), note)
+	n := 1
+	for _, c := range s.sortedChildren() {
+		n += writeSpan(w, c, depth+1)
+	}
+	return n
+}
+
+// WriteCounters renders every non-zero counter and gauge, sorted by name.
+func WriteCounters(w io.Writer) {
+	wrote := false
+	for _, m := range Counters() {
+		if m.Value == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintln(w, "counters:")
+			wrote = true
+		}
+		fmt.Fprintf(w, "  %-34s %18s\n", m.Name, comma(m.Value))
+	}
+	wroteG := false
+	for _, m := range Gauges() {
+		if m.Value == 0 {
+			continue
+		}
+		if !wroteG {
+			fmt.Fprintln(w, "gauges:")
+			wroteG = true
+		}
+		fmt.Fprintf(w, "  %-34s %18s\n", m.Name, comma(m.Value))
+	}
+	if !wrote && !wroteG {
+		fmt.Fprintln(w, "counters: (all zero)")
+	}
+}
+
+// comma formats n with thousands separators (local copy: obs stays
+// dependency-free so every engine package can import it).
+func comma(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	var out []byte
+	for i, d := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, d)
+	}
+	if neg {
+		return "-" + string(out)
+	}
+	return string(out)
+}

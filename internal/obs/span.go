@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one node of the static span taxonomy.  It accumulates wall time
+// and a call count from every Start/Stop pair, concurrently and
+// reentrantly: two goroutines timing into the same node simply both add.
+// Obtain spans once with GetSpan (package var) and keep the pointer.
+type Span struct {
+	name   string // last path segment
+	path   string // full dotted path
+	parent *Span
+
+	mu       sync.Mutex
+	children map[string]*Span
+
+	calls  atomic.Int64
+	ns     atomic.Int64
+	active atomic.Int64 // Starts not yet Stopped
+}
+
+// root anchors the taxonomy; it is never reported itself.
+var root = &Span{}
+
+// Root returns the taxonomy root, whose direct children are the top-level
+// stages.
+func Root() *Span { return root }
+
+// GetSpan resolves a dotted path ("flow.schedule") from the root, creating
+// missing nodes.  Call once per call site and cache the pointer: resolution
+// takes the registration lock and allocates on first use.
+func GetSpan(path string) *Span {
+	s := root
+	for _, seg := range strings.Split(path, ".") {
+		if seg == "" {
+			continue
+		}
+		s = s.Child(seg)
+	}
+	return s
+}
+
+// Child returns the named child node, creating it on first use.
+func (s *Span) Child(name string) *Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.children[name]; ok {
+		return c
+	}
+	if s.children == nil {
+		s.children = make(map[string]*Span)
+	}
+	path := name
+	if s.path != "" {
+		path = s.path + "." + name
+	}
+	c := &Span{name: name, path: path, parent: s}
+	s.children[name] = c
+	return c
+}
+
+// Path returns the full dotted path of the node.
+func (s *Span) Path() string { return s.path }
+
+// Calls returns how many Start/Stop pairs have completed.
+func (s *Span) Calls() int64 { return s.calls.Load() }
+
+// Nanos returns the accumulated wall time in nanoseconds.  Concurrent
+// Start/Stop pairs both count, so a node timed from N workers can
+// accumulate more than elapsed wall time — like CPU seconds.
+func (s *Span) Nanos() int64 { return s.ns.Load() }
+
+// reset clears statistics recursively, keeping the tree shape.
+func (s *Span) reset() {
+	s.calls.Store(0)
+	s.ns.Store(0)
+	s.active.Store(0)
+	s.mu.Lock()
+	kids := make([]*Span, 0, len(s.children))
+	for _, c := range s.children {
+		kids = append(kids, c)
+	}
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.reset()
+	}
+}
+
+// sortedChildren returns the children ordered by name (deterministic
+// report order regardless of registration interleaving).
+func (s *Span) sortedChildren() []*Span {
+	s.mu.Lock()
+	kids := make([]*Span, 0, len(s.children))
+	for _, c := range s.children {
+		kids = append(kids, c)
+	}
+	s.mu.Unlock()
+	for i := 1; i < len(kids); i++ {
+		for j := i; j > 0 && kids[j-1].name > kids[j].name; j-- {
+			kids[j-1], kids[j] = kids[j], kids[j-1]
+		}
+	}
+	return kids
+}
+
+// Timing is an in-flight Start; Stop records the elapsed wall time into the
+// span.  It is a value type — keep it on the stack (`t := span.Start();
+// defer t.Stop()`), or hand it to another goroutine to stop there: the pair
+// is attributed to the span, not to any goroutine.  The zero Timing is
+// inert, and Stop is idempotent, so an unbalanced extra Stop is a no-op
+// rather than a corruption.
+type Timing struct {
+	span *Span
+	t0   int64 // UnixNano at Start; 0 marks inert/stopped
+}
+
+// Start begins timing into the span and, when observability is enabled,
+// labels the current goroutine's pprof samples with the span path (label
+// key "span") until Stop.  When disabled it returns an inert Timing and
+// costs one atomic load.
+func (s *Span) Start() Timing {
+	if s == nil || !enabled.Load() {
+		return Timing{}
+	}
+	s.active.Add(1)
+	setSpanLabel(s.path)
+	return Timing{span: s, t0: time.Now().UnixNano()}
+}
+
+// Stop records the elapsed time.  Safe to call twice (second is a no-op)
+// and safe on the zero Timing; safe from a different goroutine than Start,
+// in which case the pprof label of the starting goroutine is simply left
+// for its next Start to overwrite.
+func (t *Timing) Stop() {
+	if t.span == nil || t.t0 == 0 {
+		return
+	}
+	t.span.ns.Add(time.Now().UnixNano() - t.t0)
+	t.span.calls.Add(1)
+	t.span.active.Add(-1)
+	// Hand the goroutine's label back to the parent stage.  This assumes
+	// stages nest (the taxonomy mirrors runtime nesting), which holds for
+	// every engine here; a same-goroutine overlap would only mislabel
+	// profile samples, never corrupt timings.
+	if t.span.parent != nil && t.span.parent.path != "" {
+		setSpanLabel(t.span.parent.path)
+	} else {
+		pprof.SetGoroutineLabels(context.Background())
+	}
+	t.t0 = 0
+	t.span = nil
+}
+
+// Running reports whether the Timing is live (started and not stopped).
+func (t *Timing) Running() bool { return t.span != nil && t.t0 != 0 }
+
+// setSpanLabel points the goroutine's pprof samples at the given span path.
+func setSpanLabel(path string) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("span", path)))
+}

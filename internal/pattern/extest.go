@@ -225,6 +225,7 @@ func (prog *Program) streamExtest(lane *ExtestLane, fn func(c int, cyc *Cycle) b
 	var curLoad, prevExpect map[string][][]Bit
 	c := 0
 	emit := func() bool {
+		obsCyclesStreamed.Add(1)
 		ok := fn(c, cyc)
 		c++
 		return ok

@@ -3,9 +3,21 @@ package pattern
 import (
 	"fmt"
 
+	"steac/internal/obs"
 	"steac/internal/sched"
 	"steac/internal/testinfo"
 	"steac/internal/wrapper"
+)
+
+// Observability.  Stream's per-cycle loop counts locally and publishes one
+// total per call — the translator streams millions of cycles and must not
+// touch a shared cache line per cycle.
+var (
+	obsSpanTranslate   = obs.GetSpan("pattern.translate")
+	obsSpanStream      = obs.GetSpan("pattern.stream")
+	obsTranslations    = obs.GetCounter("pattern.translations")
+	obsLanesTranslated = obs.GetCounter("pattern.lanes_translated")
+	obsCyclesStreamed  = obs.GetCounter("pattern.cycles_streamed")
 )
 
 // CoreAction is the per-core scan control state in one chip cycle (the
@@ -93,6 +105,8 @@ func (p *Program) TotalCycles() int {
 // re-expressed as wrapper-chain load/unload streams and mapped onto chip
 // pins.
 func Translate(s *sched.Schedule, sources map[string]Source, res sched.Resources) (*Program, error) {
+	tm := obsSpanTranslate.Start()
+	defer tm.Stop()
 	prog := &Program{FuncBus: res.FuncPins}
 	for _, sess := range s.Sessions {
 		layout := SessionLayout{Index: sess.Index, Cycles: sess.Cycles}
@@ -163,7 +177,9 @@ func Translate(s *sched.Schedule, sources map[string]Source, res sched.Resources
 			prog.TamWidth = maxWire
 		}
 		prog.Sessions = append(prog.Sessions, layout)
+		obsLanesTranslated.Add(int64(len(layout.Scan) + len(layout.Func)))
 	}
+	obsTranslations.Add(1)
 	return prog, nil
 }
 
@@ -295,6 +311,10 @@ func (fs *funcState) advance() bool {
 // padding idles everything (the on-chip BIST keeps running during those
 // cycles).
 func (prog *Program) Stream(layout SessionLayout, fn func(c int, cyc *Cycle) bool) error {
+	tm := obsSpanStream.Start()
+	defer tm.Stop()
+	emitted := 0
+	defer func() { obsCyclesStreamed.Add(int64(emitted)) }()
 	if layout.Extest != nil {
 		return prog.streamExtest(layout.Extest, fn)
 	}
@@ -335,6 +355,7 @@ func (prog *Program) Stream(layout SessionLayout, fn func(c int, cyc *Cycle) boo
 		for _, fs := range funcs {
 			fs.emit(c, cyc)
 		}
+		emitted++
 		if !fn(c, cyc) {
 			return nil
 		}

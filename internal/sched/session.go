@@ -8,7 +8,22 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"steac/internal/obs"
 	"steac/internal/testinfo"
+)
+
+// Observability.  schedules_built / jobs_scheduled and the best-cycles
+// gauge are worker-count-invariant (asserted by the obs stress tests);
+// sessions_designed and partitions_evaluated measure search effort, which
+// legitimately varies with worker count because branch-and-bound pruning
+// depends on how fast the shared bound tightens.
+var (
+	obsSpanSearch = obs.GetSpan("sched.session_based")
+	obsSchedules  = obs.GetCounter("sched.schedules_built")
+	obsJobs       = obs.GetCounter("sched.jobs_scheduled")
+	obsDesigns    = obs.GetCounter("sched.sessions_designed")
+	obsLeaves     = obs.GetCounter("sched.partitions_evaluated")
+	obsBestGauge  = obs.GetGauge("sched.best_total_cycles")
 )
 
 // coreJob groups a core's tests: scan first, then functional, chained
@@ -91,6 +106,7 @@ func designSession(jobs []coreJob, res Resources) (*sessionDesign, error) {
 }
 
 func designSessionCached(jobs []coreJob, res Resources, tc *timeCache) (*sessionDesign, error) {
+	obsDesigns.Add(1)
 	cores := make([]*testinfo.Core, len(jobs))
 	for i, j := range jobs {
 		cores[i] = j.core
@@ -258,6 +274,8 @@ func waterfill(needs []int, budget int) ([]int, error) {
 // exhaustive enumeration for every worker count: the same optimum, with
 // ties broken by enumeration order.
 func SessionBased(tests []Test, res Resources) (*Schedule, error) {
+	tm := obsSpanSearch.Start()
+	defer tm.Stop()
 	jobs, bist := buildJobs(tests)
 	if len(jobs) == 0 && len(bist) == 0 {
 		return nil, fmt.Errorf("sched: nothing to schedule")
@@ -309,6 +327,9 @@ func SessionBased(tests []Test, res Resources) (*Schedule, error) {
 			sched.ControlPinsMax = s.ControlPins
 		}
 	}
+	obsSchedules.Add(1)
+	obsJobs.Add(int64(len(jobs)))
+	obsBestGauge.Set(int64(sched.TotalCycles))
 	return sched, nil
 }
 
@@ -396,6 +417,7 @@ type searchResult struct {
 // evalPartition designs every session of a complete partition, fills BIST
 // into the slack and totals the schedule; !ok if any session is infeasible.
 func evalPartition(part [][]coreJob, bist []Test, res Resources, tc *timeCache) searchResult {
+	obsLeaves.Add(1)
 	designs := make([]*sessionDesign, 0, len(part))
 	for _, group := range part {
 		d, err := designSessionCached(group, res, tc)
@@ -477,6 +499,7 @@ func (ps *partitionSearcher) rec(i int) {
 // the task-local best, so the first partition (in enumeration order)
 // achieving the optimum wins — the serial tie-break.
 func (ps *partitionSearcher) leaf() {
+	obsLeaves.Add(1)
 	designs, ok := fillBIST(ps.designs, ps.bist, ps.res)
 	if !ok {
 		return

@@ -85,6 +85,8 @@ func getBusID(sim *netlist.CompiledSim, ids []int) int {
 // defect cannot hide.  Session lengths are additionally cross-checked
 // against the behavioural bist.Engine and the analytic formula.
 func VerifyBIST(name string, alg march.Algorithm, mems []memory.Config, opts Options) (EquivResult, error) {
+	tm := obsSpanVerify.Start()
+	defer tm.Stop()
 	res := EquivResult{Name: name}
 	if err := alg.Validate(); err != nil {
 		return res, err
@@ -259,6 +261,8 @@ func runBISTSession(sim *netlist.CompiledSim, pins benchPins, alg march.Algorith
 // then in a scripted session where behavioural groups respond to the
 // controller's own GO outputs and selected groups inject failures.
 func VerifyController(name string, nGroups int, opts Options) (EquivResult, error) {
+	tm := obsSpanVerify.Start()
+	defer tm.Stop()
 	res := EquivResult{Name: name}
 	d := netlist.NewDesign("xctl", nil)
 	if _, err := bist.GenerateController(d, "ctl", nGroups); err != nil {

@@ -39,6 +39,8 @@ func sampleFaults(faults []netlist.SAFault, max int) []netlist.SAFault {
 // outcome is identical for any worker count.
 func runCampaign(name string, base *netlist.CompiledSim, sites int,
 	faults []netlist.SAFault, golden int, opts Options, run runFn) CampaignResult {
+	tm := obsSpanCampaign.Start()
+	defer tm.Stop()
 	res := CampaignResult{Name: name, Sites: sites, Total: len(faults), GoldenCycles: golden}
 	detectedAt := make([]int, len(faults))
 	var next int64
@@ -77,6 +79,8 @@ func runCampaign(name string, base *netlist.CompiledSim, sites int,
 			res.Undetected = append(res.Undetected, faults[i])
 		}
 	}
+	obsCampFaults.Add(int64(res.Total))
+	obsCampDetected.Add(int64(res.Detected))
 	return res
 }
 

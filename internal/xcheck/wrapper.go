@@ -188,6 +188,8 @@ func wirBypassScript(sim *netlist.CompiledSim, pins wrapPins, obs scanObserver) 
 // pattern after pattern, plus a WIR excursion showing BYPASS takes over the
 // serial path and INTESTSCAN restores it.
 func VerifyWrapper(name string, core *testinfo.Core, width int, opts Options) (EquivResult, *pattern.ATPG, error) {
+	tm := obsSpanVerify.Start()
+	defer tm.Stop()
 	res := EquivResult{Name: name}
 	d, plan, err := BuildWrapperDesign(core, width, wrapper.LPT)
 	if err != nil {

@@ -23,6 +23,21 @@ import (
 	"runtime"
 
 	"steac/internal/netlist"
+	"steac/internal/obs"
+)
+
+// Observability.  Pin-check and cycle totals are added once per finished
+// equivalence result and once per campaign (aggregation side, not worker
+// side), so they are worker-count-invariant.  The spans separate the two
+// expensive modes: full-session equivalence runs vs fault campaigns.
+var (
+	obsSpanVerify   = obs.GetSpan("xcheck.verify")
+	obsSpanCampaign = obs.GetSpan("xcheck.campaign")
+	obsEquivChecks  = obs.GetCounter("xcheck.equiv_checks")
+	obsEquivCycles  = obs.GetCounter("xcheck.cycles")
+	obsPinChecks    = obs.GetCounter("xcheck.pin_checks")
+	obsCampFaults   = obs.GetCounter("xcheck.faults_simulated")
+	obsCampDetected = obs.GetCounter("xcheck.faults_detected")
 )
 
 // Options configures the subsystem.
@@ -106,6 +121,9 @@ func (r *EquivResult) check(cycle int, pin string, got, want bool, cap int) {
 
 func (r *EquivResult) finish() {
 	r.Pass = len(r.Mismatches) == 0 && len(r.Notes) == 0
+	obsEquivChecks.Add(1)
+	obsEquivCycles.Add(int64(r.Cycles))
+	obsPinChecks.Add(r.Checks)
 }
 
 // String summarizes the result on one line.
