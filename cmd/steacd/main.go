@@ -1,0 +1,97 @@
+// Command steacd runs the STEAC platform as a long-lived HTTP/JSON
+// service: POST flow requests (the full DSC integration flow, scheduling
+// sweeps, memory-fault coverage grading, gate-level xcheck campaigns) and
+// read results synchronously.  Identical requests are answered from a
+// content-addressed cache; concurrency is bounded by a worker pool behind
+// a FIFO admission queue that rejects overload with 429 instead of
+// queueing without bound.
+//
+// Usage:
+//
+//	steacd -addr :8080 -workers 4 -queue 16 -cache 128 -timeout 120
+//
+// Endpoints:
+//
+//	POST /v1/flow      {"chip":"dsc","verify":true}
+//	POST /v1/sched     {"chip":"dsc","test_pins":[18,22,26,30]}
+//	POST /v1/memfault  {"words":64,"bits":4,"algorithms":["March C-"]}
+//	POST /v1/xcheck    {"kind":"controller","n_groups":3}
+//	GET  /healthz      200 "ok" while serving, 503 "draining" during shutdown
+//	GET  /metrics      every obs counter/gauge as "name value" text
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops accepting, queued
+// and in-flight requests finish (bounded by -drain-timeout), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"steac/internal/obs"
+	"steac/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 16, "admission queue depth (full queue answers 429)")
+		cache       = flag.Int("cache", 128, "response cache entries (LRU)")
+		timeoutS    = flag.Int("timeout", 120, "default per-request deadline, seconds")
+		maxTimeoutS = flag.Int("max-timeout", 600, "ceiling on client-requested deadlines, seconds")
+		drainS      = flag.Int("drain-timeout", 60, "graceful shutdown budget, seconds")
+		enableSpans = flag.Bool("obs", false, "enable span timing (counters are always live)")
+	)
+	flag.Parse()
+	if *enableSpans {
+		obs.Enable()
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: time.Duration(*timeoutS) * time.Second,
+		MaxTimeout:     time.Duration(*maxTimeoutS) * time.Second,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "steacd: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal (port in use, ...).
+		fmt.Fprintf(os.Stderr, "steacd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "steacd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainS)*time.Second)
+	defer cancel()
+	// Stop accepting connections and wait for in-flight HTTP exchanges,
+	// then wait for the compute pool to finish what was admitted.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "steacd: shutdown: %v\n", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "steacd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "steacd: drained clean")
+}

@@ -12,6 +12,7 @@
 package bist
 
 import (
+	"context"
 	"fmt"
 
 	"steac/internal/march"
@@ -275,17 +276,24 @@ func (t *tpgState) step(e march.Element, elemIdx, cycle int, onFail failFn) bool
 	return true
 }
 
-// runGroup runs one group to completion starting at startCycle (one March
-// pass per configured background), returning the cycles consumed and the
-// per-memory results.
+// failFn receives every read mismatch (diagnosis mode).
 type failFn func(name string, addr int, got, want uint64, bits int)
 
-func runGroup(g Group, startCycle int, onFail failFn) (int, []MemResult) {
+// cancelPollCycles is how many lockstep TPG cycles a group run simulates
+// between ctx polls: a cycle is nanoseconds, so the poll granularity is a
+// few microseconds — far inside the promptness budget — while the poll
+// itself stays invisible on the profile.
+const cancelPollCycles = 8192
+
+// runGroup runs one group to completion (or until ctx fires; canceled runs
+// report ok=false and their partial results are discarded by the caller).
+func runGroup(ctx context.Context, g Group, startCycle int, onFail failFn) (int, []MemResult, bool) {
 	tpgs := make([]*tpgState, len(g.Mems))
 	for i, m := range g.Mems {
 		tpgs[i] = &tpgState{mem: m, result: MemResult{Name: m.RAM.Config().Name, Pass: true}}
 	}
 	cycles := 0
+	pollIn := cancelPollCycles
 	runs := g.backgroundsOrDefault()
 	passes := len(runs)
 	if passes == 0 {
@@ -298,6 +306,9 @@ func runGroup(g Group, startCycle int, onFail failFn) (int, []MemResult) {
 			}
 		}
 		for ei, e := range g.Alg.Elements {
+			if ctx.Err() != nil {
+				return cycles, nil, false
+			}
 			for _, pb := range g.PauseBefore {
 				if pb != ei {
 					continue
@@ -325,6 +336,12 @@ func runGroup(g Group, startCycle int, onFail failFn) (int, []MemResult) {
 					break
 				}
 				cycles++
+				if pollIn--; pollIn <= 0 {
+					pollIn = cancelPollCycles
+					if ctx.Err() != nil {
+						return cycles, nil, false
+					}
+				}
 			}
 		}
 	}
@@ -335,7 +352,7 @@ func runGroup(g Group, startCycle int, onFail failFn) (int, []MemResult) {
 	for i, t := range tpgs {
 		results[i] = t.result
 	}
-	return cycles, results
+	return cycles, results, true
 }
 
 // portBPass writes through port A and reads back through port B of every
@@ -393,7 +410,18 @@ func portBPass(tpgs []*tpgState, startCycle int) int {
 }
 
 // Run executes the whole session and returns the result.
+//
+// Deprecated: use RunContext, which can be canceled.
 func (e *Engine) Run() Result {
+	res, _ := e.RunContext(context.Background())
+	return res
+}
+
+// RunContext executes the whole session under a context.  The cycle loop
+// polls ctx every cancelPollCycles simulated cycles and at every element
+// boundary; a canceled run returns ctx.Err() wrapped with the stage name
+// and no partial Result.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	tm := obsSpanRun.Start()
 	defer tm.Stop()
 	res := Result{Pass: true}
@@ -405,7 +433,10 @@ func (e *Engine) Run() Result {
 	switch e.schedule {
 	case Parallel:
 		for _, g := range e.groups {
-			cyc, mems := runGroup(g, 0, onFail)
+			cyc, mems, ok := runGroup(ctx, g, 0, onFail)
+			if !ok {
+				return Result{}, fmt.Errorf("bist: run: %w", ctx.Err())
+			}
 			res.GroupCycles = append(res.GroupCycles, cyc)
 			if cyc > res.Cycles {
 				res.Cycles = cyc
@@ -415,7 +446,10 @@ func (e *Engine) Run() Result {
 	default: // Serial
 		at := 0
 		for _, g := range e.groups {
-			cyc, mems := runGroup(g, at, onFail)
+			cyc, mems, ok := runGroup(ctx, g, at, onFail)
+			if !ok {
+				return Result{}, fmt.Errorf("bist: run: %w", ctx.Err())
+			}
 			res.GroupCycles = append(res.GroupCycles, cyc)
 			at += cyc
 			res.Mems = append(res.Mems, mems...)
@@ -430,7 +464,7 @@ func (e *Engine) Run() Result {
 	obsRuns.Add(1)
 	obsCycles.Add(int64(res.Cycles))
 	obsMemsTested.Add(int64(len(res.Mems)))
-	return res
+	return res, nil
 }
 
 // PredictedCycles returns the analytic session length, which Run is

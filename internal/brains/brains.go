@@ -12,6 +12,7 @@
 package brains
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -83,6 +84,20 @@ type Options struct {
 	// Workers is the goroutine count used by fault-simulation evaluation
 	// (see memfault.Options.Workers).  0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Seed varies any sampling or stochastic choice the evaluation engines
+	// make, under the repository-wide Options convention (see DESIGN.md).
+	// It is forwarded to memfault.Options.Seed; 0 means the canonical
+	// deterministic defaults.
+	Seed int64
+	// MaxUndetected caps the surviving-fault lists the evaluation keeps for
+	// reports (forwarded to memfault.Options.MaxUndetected; 0 = default cap
+	// of 32, negative = keep every survivor).
+	MaxUndetected int
+}
+
+// memfaultOptions forwards the shared engine-option fields to memfault.
+func (o Options) memfaultOptions() memfault.Options {
+	return memfault.Options{Workers: o.Workers, Seed: o.Seed, MaxUndetected: o.MaxUndetected}
 }
 
 func (o Options) withDefaults() Options {
@@ -175,7 +190,17 @@ func GroupPower(g bist.GroupSpec) float64 {
 }
 
 // Compile plans and generates the BIST subsystem for the given memories.
+//
+// Deprecated: use CompileContext, which can be canceled.
 func Compile(mems []memory.Config, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), mems, opts)
+}
+
+// CompileContext is Compile under a context.  Compilation itself is pure
+// planning plus netlist generation — fast compared to the simulation
+// engines — so ctx is checked between its phases rather than inside them;
+// a canceled compile returns ctx.Err() wrapped with the stage name.
+func CompileContext(ctx context.Context, mems []memory.Config, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if len(mems) == 0 {
 		return nil, fmt.Errorf("brains: no memories")
@@ -199,6 +224,9 @@ func Compile(mems []memory.Config, opts Options) (*Result, error) {
 		return nil, err
 	}
 	sessions := scheduleSessions(groups, opts.MaxPower)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("brains: compile: %w", err)
+	}
 
 	design := netlist.NewDesign("brains_bist", nil)
 	top, area, err := bist.GenerateBIST(design, "membist", groups)
@@ -353,22 +381,35 @@ type EvalRow struct {
 // Evaluate fault-simulates every catalog algorithm over the full generated
 // fault list of the given (small) geometry and reports test length vs
 // coverage, the efficiency trade-off BRAINS shows its users.
+//
+// Deprecated: use EvaluateContext, which can be canceled and honours the
+// full shared Options convention.
 func Evaluate(cfg memory.Config, algs []march.Algorithm) ([]EvalRow, error) {
-	return EvaluateWorkers(cfg, algs, 0)
+	return EvaluateContext(context.Background(), cfg, algs, Options{})
 }
 
-// EvaluateWorkers is Evaluate with an explicit simulation worker count
-// (see memfault.Options.Workers; 0 = runtime.GOMAXPROCS(0)).  Each
-// algorithm's coverage campaign fans its fault list across the workers;
-// the rows come back in algorithm order regardless of the worker count.
+// EvaluateWorkers is Evaluate with an explicit simulation worker count.
+//
+// Deprecated: use EvaluateContext, which can be canceled and honours the
+// full shared Options convention.
 func EvaluateWorkers(cfg memory.Config, algs []march.Algorithm, workers int) ([]EvalRow, error) {
+	return EvaluateContext(context.Background(), cfg, algs, Options{Workers: workers})
+}
+
+// EvaluateContext fault-simulates the algorithms under a context.  Each
+// algorithm's coverage campaign fans its fault list across opts.Workers
+// goroutines (see memfault.Options; Seed and MaxUndetected are forwarded
+// under the shared convention); the rows come back in algorithm order
+// regardless of the worker count.  A canceled evaluation returns the
+// campaign engine's wrapped ctx.Err() and no partial rows.
+func EvaluateContext(ctx context.Context, cfg memory.Config, algs []march.Algorithm, opts Options) ([]EvalRow, error) {
 	if len(algs) == 0 {
 		algs = march.Catalog()
 	}
 	faults := memfault.AllFaults(cfg)
 	rows := make([]EvalRow, 0, len(algs))
 	for _, a := range algs {
-		camp, err := memfault.Coverage(a, cfg, faults, memfault.Options{Workers: workers})
+		camp, err := memfault.CoverageContext(ctx, a, cfg, faults, opts.memfaultOptions())
 		if err != nil {
 			return nil, err
 		}

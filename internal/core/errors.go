@@ -1,0 +1,11 @@
+package core
+
+import "errors"
+
+// ErrBudgetExceeded marks a flow that failed because the chip's test
+// resource budget (pin counts, power ceiling) admits no feasible schedule.
+// It wraps the scheduler's own sched.ErrInfeasible, so callers can match
+// either sentinel with errors.Is; serve maps it to a client error (the
+// request was well-formed, the budget just doesn't work) rather than a
+// server fault.
+var ErrBudgetExceeded = errors.New("steac: test resource budget exceeded")

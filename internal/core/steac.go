@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -103,15 +105,34 @@ var (
 )
 
 // stage times one flow stage into its span; the closure form guarantees
-// the span stops on every path, including error returns.
-func stage(s *obs.Span, f func() error) error {
+// the span stops on every path, including error returns.  A context that
+// is already done short-circuits the stage entirely, so a canceled flow
+// stops at the next stage boundary even when the stage's engine predates
+// context support.
+func stage(ctx context.Context, s *obs.Span, f func() error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("steac: %s: %w", s.Path(), err)
+	}
 	tm := s.Start()
 	defer tm.Stop()
 	return f()
 }
 
 // RunFlow executes the STEAC flow of Fig. 1.
+//
+// Deprecated: use RunFlowContext, which can be canceled and enforces
+// per-request deadlines.
 func RunFlow(in FlowInput) (*FlowResult, error) {
+	return RunFlowContext(context.Background(), in)
+}
+
+// RunFlowContext executes the STEAC flow of Fig. 1 under a context.  Each
+// stage checks ctx before starting, and the long-running engines (the
+// session-partition search, BRAINS memory-fault grading) poll it at their
+// batch boundaries, so a canceled flow returns promptly with ctx.Err()
+// wrapped in the name of the stage it interrupted.  A canceled flow never
+// returns a partial result.
+func RunFlowContext(ctx context.Context, in FlowInput) (*FlowResult, error) {
 	start := time.Now()
 	tmFlow := obsSpanFlow.Start()
 	defer tmFlow.Stop()
@@ -121,7 +142,7 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 	if len(in.STIL) == 0 {
 		return nil, fmt.Errorf("steac: no STIL inputs")
 	}
-	if err := stage(obsSpanParse, func() error {
+	if err := stage(ctx, obsSpanParse, func() error {
 		seen := make(map[string]bool)
 		for i, src := range in.STIL {
 			c, vecs, err := stil.ParseWithVectors(src)
@@ -165,9 +186,12 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 	var bistDesign *netlist.Design
 	bistTop := ""
 	if len(in.Memories) > 0 {
-		if err := stage(obsSpanBrains, func() error {
-			b, err := brains.Compile(in.Memories, in.BISTOptions)
+		if err := stage(ctx, obsSpanBrains, func() error {
+			b, err := brains.CompileContext(ctx, in.Memories, in.BISTOptions)
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return err
+				}
 				return fmt.Errorf("steac: BRAINS: %w", err)
 			}
 			res.Brains = b
@@ -181,12 +205,15 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 	}
 
 	// 3. Core Test Scheduler (+ the two baselines for comparison).
-	if err := stage(obsSpanSchedule, func() error {
+	if err := stage(ctx, obsSpanSchedule, func() error {
 		tests, err := sched.BuildTests(res.Cores, bistGroups)
 		if err != nil {
 			return err
 		}
-		if res.Schedule, err = sched.SessionBased(tests, in.Resources); err != nil {
+		if res.Schedule, err = sched.SessionBasedContext(ctx, tests, in.Resources); err != nil {
+			if errors.Is(err, sched.ErrInfeasible) {
+				return fmt.Errorf("steac: schedule: %w: %w", ErrBudgetExceeded, err)
+			}
 			return err
 		}
 		if res.NonSession, err = sched.NonSessionBased(tests, in.Resources); err != nil {
@@ -202,7 +229,7 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 
 	// 3b. Interconnect (EXTEST) session, appended after the core sessions.
 	if len(in.Interconnects) > 0 {
-		if err := stage(obsSpanExtest, func() error {
+		if err := stage(ctx, obsSpanExtest, func() error {
 			widths := make(map[string]int)
 			for _, sess := range res.Schedule.Sessions {
 				for _, pl := range sess.Placements {
@@ -234,7 +261,7 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 
 	// 4. Test insertion: wrappers, TAM, controller, BIST into the SOC.
 	if in.SOC != nil {
-		if err := stage(obsSpanInsert, func() error {
+		if err := stage(ctx, obsSpanInsert, func() error {
 			ins, err := insertion.Insert(in.SOC, res.Cores, res.Schedule, in.Resources, bistDesign, bistTop)
 			if err != nil {
 				return err
@@ -247,7 +274,7 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 	}
 
 	// 5. Pattern translation to chip level.
-	if err := stage(obsSpanTranslate, func() error {
+	if err := stage(ctx, obsSpanTranslate, func() error {
 		var err error
 		if res.Program, err = pattern.Translate(res.Schedule, res.Sources, in.Resources); err != nil {
 			return err
@@ -264,7 +291,7 @@ func RunFlow(in FlowInput) (*FlowResult, error) {
 
 	// 6. Optional ATE verification on the behavioural chip model.
 	if in.Verify {
-		if err := stage(obsSpanVerify, func() error {
+		if err := stage(ctx, obsSpanVerify, func() error {
 			chip := ate.NewChip(res.Program, res.Cores)
 			r, err := ate.Run(res.Program, chip)
 			if err != nil {

@@ -1,0 +1,76 @@
+package memfault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+// cancelBudget is the promptness contract from DESIGN.md: once ctx fires, a
+// coverage campaign must unwind within a quarter second even though the
+// full run takes tens of seconds.
+const cancelBudget = 250 * time.Millisecond
+
+// TestCoverageContextCancel aborts a large campaign mid-flight and checks
+// the cancellation contract: prompt return, ctx.Err() surfaced with the
+// stage name, no partial Campaign.
+func TestCoverageContextCancel(t *testing.T) {
+	cfg := memory.Config{Name: "big", Words: 256, Bits: 8}
+	faults := AllFaults(cfg) // ~50k faults: a full run takes tens of seconds
+	alg := march.MarchLR()
+
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "serial", 4: "parallel"}[workers], func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			type result struct {
+				camp Campaign
+				err  error
+			}
+			done := make(chan result, 1)
+			go func() {
+				camp, err := CoverageContext(ctx, alg, cfg, faults, Options{Workers: workers})
+				done <- result{camp, err}
+			}()
+
+			time.Sleep(50 * time.Millisecond) // let the campaign get going
+			cancel()
+			deadline := time.Now().Add(cancelBudget)
+
+			select {
+			case res := <-done:
+				if time.Now().After(deadline) {
+					t.Errorf("campaign returned later than %v after cancel", cancelBudget)
+				}
+				if !errors.Is(res.err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled in the chain", res.err)
+				}
+				if !strings.Contains(res.err.Error(), "memfault") {
+					t.Errorf("err %q does not name the memfault stage", res.err)
+				}
+				if res.camp.Total != 0 || res.camp.Detected != 0 {
+					t.Errorf("canceled campaign returned partial results: %+v", res.camp)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("campaign did not return after cancel")
+			}
+		})
+	}
+}
+
+// TestCoverageContextPreCanceled checks the fast path: an already-canceled
+// context never starts simulating.
+func TestCoverageContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := memory.Config{Name: "w16x4", Words: 16, Bits: 4}
+	_, err := CoverageContext(ctx, march.MarchCMinus(), cfg, AllFaults(cfg), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+}

@@ -1,6 +1,7 @@
 package memfault
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -59,6 +60,12 @@ type Options struct {
 	// faults kept for reports.  0 means the default cap of 32; a negative
 	// value keeps every survivor (useful for large diagnostic campaigns).
 	MaxUndetected int
+	// Seed varies any sampling or stochastic choice an engine makes, under
+	// the repository-wide Options convention (see DESIGN.md).  The March
+	// coverage engine is fully deterministic and makes none, so Seed is
+	// accepted for convention compatibility and ignored; 0 everywhere means
+	// the canonical deterministic defaults.
+	Seed int64
 }
 
 // workerCount resolves Options.Workers against the machine and the number
@@ -158,7 +165,17 @@ const faultChunk = 64
 // shared read-only, each worker reuses one fault-machine scratch buffer
 // (FaultyRAM.Reset) across its faults, and results are aggregated in
 // fault-list order — the Campaign is bit-identical to a serial run.
+//
+// Deprecated: use CoverageContext, which can be canceled.
 func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {
+	return CoverageContext(context.Background(), alg, cfg, faults, opt)
+}
+
+// CoverageContext is Coverage under a context: workers poll ctx at chunk
+// boundaries (every faultChunk faults, microseconds to low milliseconds of
+// simulation), drain promptly once it fires, and the campaign returns
+// ctx.Err() wrapped with the stage name instead of a partial result.
+func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {
 	tm := obsSpanCoverage.Start()
 	defer tm.Stop()
 	camp := Campaign{Algorithm: alg.Name}
@@ -196,6 +213,9 @@ func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Option
 			return Campaign{}, err
 		}
 		for i := range faults {
+			if i%faultChunk == 0 && ctx.Err() != nil {
+				break
+			}
 			simulate(scratch, i)
 		}
 	} else {
@@ -212,7 +232,7 @@ func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Option
 				for {
 					end := int(next.Add(faultChunk))
 					start := end - faultChunk
-					if start >= len(faults) {
+					if start >= len(faults) || ctx.Err() != nil {
 						return
 					}
 					if end > len(faults) {
@@ -225,6 +245,9 @@ func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Option
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return Campaign{}, fmt.Errorf("memfault: coverage: %w", err)
 	}
 
 	maxUndetected := opt.undetectedCap()

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"steac/internal/wrapper"
+)
+
+// cancelBudget is the promptness contract from DESIGN.md: once ctx fires,
+// the partition search must unwind within a quarter second.
+const cancelBudget = 250 * time.Millisecond
+
+// TestSessionBasedContextCancel cancels the session-partition search
+// mid-flight.  The branch-and-bound prunes a 10-core search quickly, so
+// the worker loops searches back-to-back until the cancel lands — whichever
+// search is in flight (or starts next) must surface the wrapped
+// context.Canceled promptly and return no schedule.
+func TestSessionBasedContextCancel(t *testing.T) {
+	cores := SyntheticSOC(42, 10) // 10 jobs: the exhaustive-search path
+	tests, err := BuildTests(cores, SyntheticBIST(42, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SyntheticResources(cores)
+	res.Partitioner = wrapper.LPT
+	res.Workers = 4
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		s   *Schedule
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		for {
+			s, err := SessionBasedContext(ctx, tests, res)
+			if err != nil {
+				done <- result{s, err}
+				return
+			}
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	deadline := time.Now().Add(cancelBudget)
+
+	select {
+	case res := <-done:
+		if time.Now().After(deadline) {
+			t.Errorf("search returned later than %v after cancel", cancelBudget)
+		}
+		if !errors.Is(res.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in the chain", res.err)
+		}
+		if !strings.Contains(res.err.Error(), "sched: session search") {
+			t.Errorf("err %q does not name the search stage", res.err)
+		}
+		if res.s != nil {
+			t.Errorf("canceled search returned a partial schedule: %+v", res.s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("search did not return after cancel")
+	}
+}
+
+// TestSessionBasedContextDeadline checks that an expired deadline surfaces
+// as context.DeadlineExceeded through the same wrapping.
+func TestSessionBasedContextDeadline(t *testing.T) {
+	cores := SyntheticSOC(7, 8)
+	tests, err := BuildTests(cores, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SyntheticResources(cores)
+	res.Partitioner = wrapper.LPT
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := SessionBasedContext(ctx, tests, res); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the chain", err)
+	}
+}

@@ -14,6 +14,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -303,7 +304,14 @@ func maxUsefulWidth(core *testinfo.Core, dataPins int) int {
 	return w
 }
 
-var errInfeasible = fmt.Errorf("sched: infeasible")
+// ErrInfeasible is the typed sentinel for resource-infeasibility: a session
+// design (or the whole partition search) could not fit the chip's test-pin,
+// functional-pin or power budget.  Callers test with errors.Is; core.RunFlow
+// re-wraps it as core.ErrBudgetExceeded at the flow boundary.
+var ErrInfeasible = errors.New("sched: infeasible")
+
+// errInfeasible is the internal alias used by the hot session-design path.
+var errInfeasible = ErrInfeasible
 
 // timeCache memoizes ScanCycles per (core, width): the session partition
 // enumeration evaluates the same wrapper designs thousands of times.  It is

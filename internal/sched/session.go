@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -273,7 +274,18 @@ func waterfill(needs []int, budget int) ([]int, error) {
 // known total are pruned).  The result is identical to the serial
 // exhaustive enumeration for every worker count: the same optimum, with
 // ties broken by enumeration order.
+//
+// Deprecated: use SessionBasedContext, which can be canceled.
 func SessionBased(tests []Test, res Resources) (*Schedule, error) {
+	return SessionBasedContext(context.Background(), tests, res)
+}
+
+// SessionBasedContext is SessionBased under a context: the partition search
+// polls ctx at batch boundaries (task claims and every cancelPollInterval
+// search nodes) and returns ctx.Err() wrapped with the stage name as soon
+// as the workers drain.  A canceled search never returns a partial
+// schedule.
+func SessionBasedContext(ctx context.Context, tests []Test, res Resources) (*Schedule, error) {
 	tm := obsSpanSearch.Start()
 	defer tm.Stop()
 	jobs, bist := buildJobs(tests)
@@ -291,17 +303,20 @@ func SessionBased(tests []Test, res Resources) (*Schedule, error) {
 	case len(jobs) == 0:
 		best = evalPartition(nil, bist, res, tc)
 	case len(jobs) <= exhaustiveJobLimit:
-		best = searchPartitions(jobs, bist, res, tc, workers)
+		best = searchPartitions(ctx, jobs, bist, res, tc, workers)
 	default:
 		var err error
-		best, err = greedySearch(jobs, bist, res, tc, workers)
+		best, err = greedySearch(ctx, jobs, bist, res, tc, workers)
 		if err != nil {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sched: session search: %w", err)
+	}
 	if !best.ok {
-		return nil, fmt.Errorf("sched: no feasible session partition under %d test pins / %d func pins",
-			res.TestPins, res.FuncPins)
+		return nil, fmt.Errorf("sched: no feasible session partition under %d test pins / %d func pins: %w",
+			res.TestPins, res.FuncPins, ErrInfeasible)
 	}
 	bestSessions := best.sessions
 
@@ -445,6 +460,7 @@ func evalPartition(part [][]coreJob, bist []Test, res Resources, tc *timeCache) 
 // in session membership: adding a core only raises control-pin, data-pin
 // and power demand).
 type partitionSearcher struct {
+	ctx    context.Context
 	jobs   []coreJob
 	bist   []Test
 	res    Resources
@@ -455,6 +471,34 @@ type partitionSearcher struct {
 	designs []*sessionDesign
 	sum     int // Σ designs[i].cycles, a lower bound on any completion
 	best    searchResult
+
+	// Cancellation: ctx is polled every cancelPollInterval recursion steps
+	// (a step designs at most one session, so the poll granularity is
+	// microseconds × the interval); once it fires, the whole subtree
+	// unwinds without visiting further nodes.
+	pollIn  int
+	stopped bool
+}
+
+// cancelPollInterval is how many search nodes a task visits between ctx
+// polls: rare enough to stay off the profile, frequent enough that a cancel
+// unwinds in well under the 250 ms promptness budget the tests assert.
+const cancelPollInterval = 512
+
+// cancelled polls the task's context on a countdown and latches the result.
+func (ps *partitionSearcher) cancelled() bool {
+	if ps.stopped {
+		return true
+	}
+	ps.pollIn--
+	if ps.pollIn > 0 {
+		return false
+	}
+	ps.pollIn = cancelPollInterval
+	if ps.ctx.Err() != nil {
+		ps.stopped = true
+	}
+	return ps.stopped
 }
 
 // bound is the total a candidate must strictly beat to matter.
@@ -467,6 +511,9 @@ func (ps *partitionSearcher) bound() int {
 }
 
 func (ps *partitionSearcher) rec(i int) {
+	if ps.cancelled() {
+		return
+	}
 	if i == len(ps.jobs) {
 		ps.leaf()
 		return
@@ -551,11 +598,12 @@ var bellNumbers = []int{1, 1, 2, 5, 15, 52, 203}
 // of jobs, fanned across a bounded worker pool.  Tasks are the partitions
 // of a short job prefix, in enumeration order; merging by task order
 // restores the exact serial tie-break.
-func searchPartitions(jobs []coreJob, bist []Test, res Resources, tc *timeCache, workers int) searchResult {
+func searchPartitions(ctx context.Context, jobs []coreJob, bist []Test, res Resources, tc *timeCache, workers int) searchResult {
 	var shared atomic.Int64
 	shared.Store(int64(math.MaxInt64))
 	newSearcher := func() *partitionSearcher {
-		return &partitionSearcher{jobs: jobs, bist: bist, res: res, tc: tc, shared: &shared}
+		return &partitionSearcher{ctx: ctx, jobs: jobs, bist: bist, res: res, tc: tc,
+			shared: &shared, pollIn: cancelPollInterval}
 	}
 	n := len(jobs)
 	if workers <= 1 || n < 3 {
@@ -583,7 +631,7 @@ func searchPartitions(jobs []coreJob, bist []Test, res Resources, tc *timeCache,
 			defer wg.Done()
 			for {
 				t := int(next.Add(1)) - 1
-				if t >= len(tasks) {
+				if t >= len(tasks) || ctx.Err() != nil {
 					return
 				}
 				results[t] = newSearcher().runTask(tasks[t], depth)
@@ -603,7 +651,7 @@ func searchPartitions(jobs []coreJob, bist []Test, res Resources, tc *timeCache,
 
 // greedySearch is the fallback for many cores: LPT packings into k = 1..n
 // sessions, evaluated concurrently, merged in k order.
-func greedySearch(jobs []coreJob, bist []Test, res Resources, tc *timeCache, workers int) (searchResult, error) {
+func greedySearch(ctx context.Context, jobs []coreJob, bist []Test, res Resources, tc *timeCache, workers int) (searchResult, error) {
 	durs, err := greedyDurations(jobs, res, tc)
 	if err != nil {
 		return searchResult{}, err
@@ -621,7 +669,7 @@ func greedySearch(jobs []coreJob, bist []Test, res Resources, tc *timeCache, wor
 			defer wg.Done()
 			for {
 				k := int(next.Add(1))
-				if k > n {
+				if k > n || ctx.Err() != nil {
 					return
 				}
 				results[k-1] = evalPartition(greedyPartition(jobs, durs, k), bist, res, tc)

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+)
+
+// lruCache is the content-addressed response memo: canonical request hash →
+// marshaled result bytes, bounded by entry count with least-recently-used
+// eviction.  Values are immutable once stored (the server hands out the
+// same byte slice to every hit), so the cache is safe to share.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(max int) *lruCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *lruCache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// requestKey derives the content address of one request: SHA-256 over the
+// endpoint name and the canonical JSON of the request with its
+// non-semantic fields (worker counts, deadlines) zeroed.  Two requests
+// that must produce identical results — every engine is documented
+// worker-count-invariant — therefore share a key even when their tuning
+// differs.
+func requestKey(endpoint string, canonical interface{}) (string, error) {
+	blob, err := json.Marshal(canonical)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

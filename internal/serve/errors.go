@@ -1,0 +1,14 @@
+package serve
+
+import "errors"
+
+// ErrQueueFull is the admission-control sentinel: the request was
+// well-formed but the bounded FIFO queue has no room.  The HTTP layer maps
+// it to 429 Too Many Requests with a Retry-After hint; programmatic
+// callers match it with errors.Is.
+var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrDraining is returned for new work submitted after Drain began; the
+// HTTP layer maps it to 503 Service Unavailable so load balancers move on
+// while in-flight requests finish.
+var ErrDraining = errors.New("serve: draining")

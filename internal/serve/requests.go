@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"steac/internal/brains"
+	"steac/internal/core"
+	"steac/internal/dsc"
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/sched"
+	"steac/internal/wrapper"
+	"steac/internal/xcheck"
+)
+
+// The request types below are the daemon's wire format.  Every request
+// carries two non-semantic tuning fields — Workers and TimeoutMS — that
+// never change the result (all engines are worker-count-invariant and a
+// deadline either completes or fails the request), so the canonical cache
+// key is computed with both zeroed; see requestKey.
+
+// errBadRequest marks client-side failures (malformed requests, unknown
+// names) so the HTTP layer can answer 400 instead of 500.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+
+func badRequestf(format string, args ...interface{}) error {
+	return errBadRequest{fmt.Errorf(format, args...)}
+}
+
+func partitionerByName(name string) (wrapper.Partitioner, error) {
+	switch name {
+	case "", "lpt":
+		return wrapper.LPT, nil
+	case "firstfit":
+		return wrapper.FirstFit, nil
+	case "optimal":
+		return wrapper.Optimal, nil
+	}
+	return wrapper.LPT, badRequestf("unknown partitioner %q (lpt, firstfit or optimal)", name)
+}
+
+func algorithmByName(name string) (march.Algorithm, error) {
+	if name == "" {
+		return march.MarchCMinus(), nil
+	}
+	alg, ok := march.ByName(name)
+	if !ok {
+		return march.Algorithm{}, badRequestf("unknown March algorithm %q", name)
+	}
+	return alg, nil
+}
+
+func memoryConfig(words, bits int, twoPort bool) memory.Config {
+	kind := memory.SinglePort
+	if twoPort {
+		kind = memory.TwoPort
+	}
+	return memory.Config{Name: "req", Words: words, Bits: bits, Kind: kind}
+}
+
+// FlowRequest runs the complete STEAC integration flow.  Chip "dsc" loads
+// the paper's chip model (Table 1 cores, the 22 embedded memories, the pin
+// and power budgets); alternatively supply explicit STIL sources and
+// memory configs.
+type FlowRequest struct {
+	Chip     string          `json:"chip,omitempty"`
+	STIL     []string        `json:"stil,omitempty"`
+	Memories []memory.Config `json:"memories,omitempty"`
+	// TestPins/FuncPins/MaxPower override the chip budget when non-zero.
+	TestPins  int     `json:"test_pins,omitempty"`
+	FuncPins  int     `json:"func_pins,omitempty"`
+	MaxPower  float64 `json:"max_power,omitempty"`
+	Partition string  `json:"partition,omitempty"`
+	// Algorithm selects the BIST March test by catalog name (default
+	// March C-).
+	Algorithm string `json:"algorithm,omitempty"`
+	Verify    bool   `json:"verify,omitempty"`
+	// Extest appends the EXTEST interconnect-test session (chip "dsc").
+	Extest bool `json:"extest,omitempty"`
+
+	Workers   int `json:"workers,omitempty"`    // non-semantic
+	TimeoutMS int `json:"timeout_ms,omitempty"` // non-semantic
+}
+
+func (r FlowRequest) canonical() interface{} {
+	r.Workers, r.TimeoutMS = 0, 0
+	return r
+}
+
+// FlowResponse summarizes a flow run.  Wall-clock time is deliberately
+// omitted: responses are content-addressed, so identical requests must
+// serialize identically whether computed or replayed from cache.
+type FlowResponse struct {
+	Cores             []string `json:"cores"`
+	Sessions          int      `json:"sessions"`
+	ScheduleCycles    int      `json:"schedule_cycles"`
+	NonSessionCycles  int      `json:"non_session_cycles"`
+	SerialCycles      int      `json:"serial_cycles"`
+	BISTCycles        int      `json:"bist_cycles,omitempty"`
+	BISTGroups        int      `json:"bist_groups,omitempty"`
+	VerifyPass        *bool    `json:"verify_pass,omitempty"`
+	VerifyCycles      int      `json:"verify_cycles,omitempty"`
+	TranslatedCycles  int      `json:"translated_cycles,omitempty"`
+	InterconnectWires int      `json:"interconnect_wires,omitempty"`
+}
+
+func (r FlowRequest) run(ctx context.Context) (interface{}, error) {
+	in := core.FlowInput{Verify: r.Verify}
+	switch r.Chip {
+	case "dsc":
+		stils, err := core.EmitSTIL(dsc.Cores())
+		if err != nil {
+			return nil, err
+		}
+		soc, err := dsc.BuildSOC()
+		if err != nil {
+			return nil, err
+		}
+		in.STIL = stils
+		in.SOC = soc
+		in.Memories = dsc.Memories()
+		in.Resources = dsc.Resources()
+		// Per-memory sequencers reproduce the paper's DSC flow (the
+		// schedule is infeasible at 26 test pins under kind-grouping).
+		in.BISTOptions.Grouping = brains.GroupPerMemory
+		if r.Extest {
+			in.Interconnects = dsc.Interconnects()
+		}
+	case "":
+		if len(r.STIL) == 0 {
+			return nil, badRequestf("request needs chip:\"dsc\" or explicit stil sources")
+		}
+		in.STIL = r.STIL
+		in.Memories = r.Memories
+		in.Resources = sched.Resources{TestPins: 26, FuncPins: 300}
+	default:
+		return nil, badRequestf("unknown chip %q (only \"dsc\" is built in)", r.Chip)
+	}
+	if r.TestPins > 0 {
+		in.Resources.TestPins = r.TestPins
+	}
+	if r.FuncPins > 0 {
+		in.Resources.FuncPins = r.FuncPins
+	}
+	if r.MaxPower > 0 {
+		in.Resources.MaxPower = r.MaxPower
+	}
+	if r.Partition != "" {
+		part, err := partitionerByName(r.Partition)
+		if err != nil {
+			return nil, err
+		}
+		in.Resources.Partitioner = part
+	}
+	alg, err := algorithmByName(r.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	in.BISTOptions.Algorithm = alg
+	in.BISTOptions.Workers = r.Workers
+	in.Resources.Workers = r.Workers
+
+	res, err := core.RunFlowContext(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	out := &FlowResponse{
+		Sessions:         len(res.Schedule.Sessions),
+		ScheduleCycles:   res.Schedule.TotalCycles,
+		NonSessionCycles: res.NonSession.TotalCycles,
+		SerialCycles:     res.Serial.TotalCycles,
+	}
+	for _, c := range res.Cores {
+		out.Cores = append(out.Cores, c.Name)
+	}
+	if res.Brains != nil {
+		out.BISTCycles = res.Brains.Cycles
+		out.BISTGroups = len(res.Brains.Groups)
+	}
+	if res.Program != nil {
+		for _, s := range res.Program.Sessions {
+			out.TranslatedCycles += s.Cycles
+		}
+	}
+	out.InterconnectWires = len(in.Interconnects)
+	if res.Verify != nil {
+		pass := res.Verify.Pass
+		out.VerifyPass = &pass
+		out.VerifyCycles = res.Verify.Cycles
+	}
+	return out, nil
+}
+
+// SchedRequest sweeps the session-based scheduler over a list of test-pin
+// budgets (the paper's Fig. 6 trade-off curve) on the chip's test set.
+type SchedRequest struct {
+	Chip      string  `json:"chip,omitempty"`
+	TestPins  []int   `json:"test_pins"`
+	FuncPins  int     `json:"func_pins,omitempty"`
+	MaxPower  float64 `json:"max_power,omitempty"`
+	Partition string  `json:"partition,omitempty"`
+
+	Workers   int `json:"workers,omitempty"`    // non-semantic
+	TimeoutMS int `json:"timeout_ms,omitempty"` // non-semantic
+}
+
+func (r SchedRequest) canonical() interface{} {
+	r.Workers, r.TimeoutMS = 0, 0
+	return r
+}
+
+// SchedPoint is one sweep sample.
+type SchedPoint struct {
+	TestPins   int    `json:"test_pins"`
+	Cycles     int    `json:"cycles,omitempty"`
+	Sessions   int    `json:"sessions,omitempty"`
+	Infeasible bool   `json:"infeasible,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// SchedResponse is the full sweep.
+type SchedResponse struct {
+	Points []SchedPoint `json:"points"`
+}
+
+func (r SchedRequest) run(ctx context.Context) (interface{}, error) {
+	if r.Chip != "" && r.Chip != "dsc" {
+		return nil, badRequestf("unknown chip %q (only \"dsc\" is built in)", r.Chip)
+	}
+	if len(r.TestPins) == 0 {
+		return nil, badRequestf("test_pins sweep list is empty")
+	}
+	part, err := partitionerByName(r.Partition)
+	if err != nil {
+		return nil, err
+	}
+	tests, err := sched.BuildTests(dsc.Cores(), nil)
+	if err != nil {
+		return nil, err
+	}
+	base := dsc.Resources()
+	if r.FuncPins > 0 {
+		base.FuncPins = r.FuncPins
+	}
+	if r.MaxPower > 0 {
+		base.MaxPower = r.MaxPower
+	}
+	base.Partitioner = part
+	base.Workers = r.Workers
+
+	out := &SchedResponse{}
+	for _, pins := range r.TestPins {
+		res := base
+		res.TestPins = pins
+		s, err := sched.SessionBasedContext(ctx, tests, res)
+		switch {
+		case err == nil:
+			out.Points = append(out.Points, SchedPoint{TestPins: pins,
+				Cycles: s.TotalCycles, Sessions: len(s.Sessions)})
+		case isInfeasible(err):
+			out.Points = append(out.Points, SchedPoint{TestPins: pins,
+				Infeasible: true, Error: err.Error()})
+		default:
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MemfaultRequest grades March algorithms by fault simulation on one
+// memory geometry (the BRAINS efficiency evaluation).
+type MemfaultRequest struct {
+	// Algorithms lists catalog names; empty means the full catalog.
+	Algorithms []string `json:"algorithms,omitempty"`
+	Words      int      `json:"words"`
+	Bits       int      `json:"bits"`
+	TwoPort    bool     `json:"two_port,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	// MaxUndetected follows the shared Options convention (0 = cap 32,
+	// negative = keep all).
+	MaxUndetected int `json:"max_undetected,omitempty"`
+
+	Workers   int `json:"workers,omitempty"`    // non-semantic
+	TimeoutMS int `json:"timeout_ms,omitempty"` // non-semantic
+}
+
+func (r MemfaultRequest) canonical() interface{} {
+	r.Workers, r.TimeoutMS = 0, 0
+	return r
+}
+
+// MemfaultRow is one algorithm's grade.
+type MemfaultRow struct {
+	Algorithm  string  `json:"algorithm"`
+	Complexity int     `json:"complexity"`
+	Cycles     int     `json:"cycles"`
+	Total      int     `json:"total_faults"`
+	Detected   int     `json:"detected"`
+	Coverage   float64 `json:"coverage_percent"`
+}
+
+// MemfaultResponse is the evaluation table.
+type MemfaultResponse struct {
+	Rows []MemfaultRow `json:"rows"`
+}
+
+func (r MemfaultRequest) run(ctx context.Context) (interface{}, error) {
+	cfg := memoryConfig(r.Words, r.Bits, r.TwoPort)
+	if err := cfg.Validate(); err != nil {
+		return nil, errBadRequest{err}
+	}
+	var algs []march.Algorithm
+	for _, name := range r.Algorithms {
+		alg, err := algorithmByName(name)
+		if err != nil {
+			return nil, err
+		}
+		algs = append(algs, alg)
+	}
+	rows, err := brains.EvaluateContext(ctx, cfg, algs, brains.Options{
+		Workers: r.Workers, Seed: r.Seed, MaxUndetected: r.MaxUndetected,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &MemfaultResponse{}
+	for _, row := range rows {
+		out.Rows = append(out.Rows, MemfaultRow{
+			Algorithm: row.Alg.Name, Complexity: row.Complexity, Cycles: row.Cycles,
+			Total: row.Coverage.Total, Detected: row.Coverage.Detected,
+			Coverage: row.Coverage.Percent(),
+		})
+	}
+	return out, nil
+}
+
+// XCheckRequest runs one gate-level differential campaign: "tpg" injects
+// faults into a sequencer + TPG bench, "controller" into the shared BIST
+// controller, "wrapper" into a Table-1 core's wrapper stack.
+type XCheckRequest struct {
+	Kind      string `json:"kind"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Words     int    `json:"words,omitempty"`
+	Bits      int    `json:"bits,omitempty"`
+	TwoPort   bool   `json:"two_port,omitempty"`
+	NGroups   int    `json:"n_groups,omitempty"`
+	// Core names a Table-1 core (USB, TV, JPEG) for wrapper campaigns.
+	Core      string `json:"core,omitempty"`
+	TamWidth  int    `json:"tam_width,omitempty"`
+	MaxFaults int    `json:"max_faults,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	// MaxUndetected follows the shared Options convention.
+	MaxUndetected int `json:"max_undetected,omitempty"`
+	MaxPatterns   int `json:"max_patterns,omitempty"`
+
+	Workers   int `json:"workers,omitempty"`    // non-semantic
+	TimeoutMS int `json:"timeout_ms,omitempty"` // non-semantic
+}
+
+func (r XCheckRequest) canonical() interface{} {
+	r.Workers, r.TimeoutMS = 0, 0
+	return r
+}
+
+// XCheckResponse summarizes one campaign.
+type XCheckResponse struct {
+	Name       string  `json:"name"`
+	Sites      int     `json:"sites"`
+	Total      int     `json:"total_faults"`
+	Detected   int     `json:"detected"`
+	Undetected int     `json:"undetected"`
+	Coverage   float64 `json:"coverage_percent"`
+	Sampled    bool    `json:"sampled,omitempty"`
+}
+
+func (r XCheckRequest) run(ctx context.Context) (interface{}, error) {
+	opts := xcheck.Options{Workers: r.Workers, Seed: r.Seed,
+		MaxUndetected: r.MaxUndetected, MaxFaults: r.MaxFaults, MaxPatterns: r.MaxPatterns}
+	var (
+		res xcheck.CampaignResult
+		err error
+	)
+	switch r.Kind {
+	case "tpg":
+		alg, aerr := algorithmByName(r.Algorithm)
+		if aerr != nil {
+			return nil, aerr
+		}
+		cfg := memoryConfig(r.Words, r.Bits, r.TwoPort)
+		if verr := cfg.Validate(); verr != nil {
+			return nil, errBadRequest{verr}
+		}
+		res, err = xcheck.TPGCampaignContext(ctx, "tpg", alg, []memory.Config{cfg}, opts)
+	case "controller":
+		n := r.NGroups
+		if n <= 0 {
+			n = 2
+		}
+		res, err = xcheck.ControllerCampaignContext(ctx, "controller", n, opts)
+	case "wrapper":
+		var c int
+		switch r.Core {
+		case "USB", "":
+			c = 0
+		case "TV":
+			c = 1
+		case "JPEG":
+			c = 2
+		default:
+			return nil, badRequestf("unknown core %q (USB, TV or JPEG)", r.Core)
+		}
+		width := r.TamWidth
+		if width <= 0 {
+			width = 2
+		}
+		res, err = xcheck.WrapperCampaignContext(ctx, "wrapper", dsc.Cores()[c], width, opts)
+	default:
+		return nil, badRequestf("unknown campaign kind %q (tpg, controller or wrapper)", r.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &XCheckResponse{
+		Name: res.Name, Sites: res.Sites, Total: res.Total, Detected: res.Detected,
+		Undetected: res.UndetectedCount(), Coverage: res.Coverage(), Sampled: res.Sampled(),
+	}, nil
+}

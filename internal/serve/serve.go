@@ -1,0 +1,367 @@
+// Package serve is the STEAC flow daemon: an HTTP/JSON front end that
+// accepts flow requests (the full DSC integration flow, scheduling sweeps,
+// memory-fault coverage evaluation, gate-level xcheck campaigns) and runs
+// them on a bounded worker pool behind a FIFO admission queue.
+//
+// The daemon's contract, in priority order:
+//
+//   - Bounded resources.  At most Config.Workers requests compute at once;
+//     at most Config.QueueDepth more wait.  A request that finds the queue
+//     full is rejected immediately with 429 + Retry-After (ErrQueueFull)
+//     rather than degrading everyone behind it.
+//   - Deterministic memoization.  Every engine in the repository is
+//     worker-count-invariant, so responses are content-addressed by the
+//     canonical request hash (tuning fields zeroed; see requestKey) and
+//     replayed from a bounded LRU.  A cache hit returns the exact bytes
+//     the first computation produced.
+//   - Prompt cancellation.  Each request runs under a deadline (TimeoutMS,
+//     clamped to Config.MaxTimeout) and under the client's connection
+//     context, both threaded into the engines, which poll at batch
+//     boundaries — a disconnected client or expired deadline stops paying
+//     for simulation within milliseconds.
+//   - Graceful drain.  Drain stops admissions (503), lets queued and
+//     in-flight work finish, then releases the workers; cmd/steacd wires
+//     it to SIGTERM behind http.Server.Shutdown.
+//
+// Observability rides the existing obs registry: serve.requests,
+// serve.cache_hits/misses, serve.queue_rejects counters and
+// serve.queue_depth / serve.inflight gauges, exported as text via GET
+// /metrics alongside every engine counter.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"steac/internal/core"
+	"steac/internal/obs"
+	"steac/internal/sched"
+	"steac/internal/stil"
+)
+
+// Config tunes the daemon.  The zero value serves with sensible bounds.
+type Config struct {
+	// Workers is the compute pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO admission queue (0 = 16).
+	QueueDepth int
+	// CacheEntries bounds the response memo (0 = 128).
+	CacheEntries int
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (0 = 120s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (0 = 10m).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// Observability handles (always-live counters; see package obs).
+var (
+	obsRequests   = obs.GetCounter("serve.requests")
+	obsCacheHits  = obs.GetCounter("serve.cache_hits")
+	obsCacheMiss  = obs.GetCounter("serve.cache_misses")
+	obsRejects    = obs.GetCounter("serve.queue_rejects")
+	obsQueueDepth = obs.GetGauge("serve.queue_depth")
+	obsInflight   = obs.GetGauge("serve.inflight")
+)
+
+// job is one admitted request travelling from the HTTP handler to a pool
+// worker and back.
+type job struct {
+	ctx  context.Context
+	run  func(ctx context.Context) (interface{}, error)
+	done chan jobResult
+}
+
+type jobResult struct {
+	val interface{}
+	err error
+}
+
+// Server is the daemon core, independent of the actual listener so tests
+// drive it through httptest.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *lruCache
+	jobs     chan *job
+	workers  sync.WaitGroup
+	pending  sync.WaitGroup // admitted jobs not yet answered
+	inflight atomic.Int64
+	queued   atomic.Int64
+	draining atomic.Bool
+	drained  sync.Once
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		mux:   http.NewServeMux(),
+		cache: newLRU(cfg.withDefaults().CacheEntries),
+	}
+	s.jobs = make(chan *job, s.cfg.QueueDepth)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	s.mux.HandleFunc("POST /v1/flow", handle(s, "flow", func() *FlowRequest { return &FlowRequest{} }))
+	s.mux.HandleFunc("POST /v1/sched", handle(s, "sched", func() *SchedRequest { return &SchedRequest{} }))
+	s.mux.HandleFunc("POST /v1/memfault", handle(s, "memfault", func() *MemfaultRequest { return &MemfaultRequest{} }))
+	s.mux.HandleFunc("POST /v1/xcheck", handle(s, "xcheck", func() *XCheckRequest { return &XCheckRequest{} }))
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// Handler exposes the daemon as an http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting work, waits for every queued and in-flight job to
+// finish (or ctx to expire), then stops the worker pool.  It is the
+// SIGTERM path: call http.Server.Shutdown first so no new connections
+// race the drain, then Drain.  Safe to call once; later calls return
+// immediately.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	finished := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+	s.drained.Do(func() { close(s.jobs) })
+	s.workers.Wait()
+	return nil
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.jobs {
+		s.queued.Add(-1)
+		obsQueueDepth.Set(s.queued.Load())
+		obsInflight.Set(s.inflight.Add(1))
+		val, err := j.run(j.ctx)
+		obsInflight.Set(s.inflight.Add(-1))
+		j.done <- jobResult{val: val, err: err}
+		s.pending.Done()
+	}
+}
+
+// submit enqueues work without blocking: a full queue is an immediate
+// ErrQueueFull (admission control), a draining server an ErrDraining.
+func (s *Server) submit(ctx context.Context, run func(context.Context) (interface{}, error)) (*job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	j := &job{ctx: ctx, run: run, done: make(chan jobResult, 1)}
+	s.pending.Add(1)
+	select {
+	case s.jobs <- j:
+		obsQueueDepth.Set(s.queued.Add(1))
+		return j, nil
+	default:
+		s.pending.Done()
+		obsRejects.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// runner is the common shape of every request type in requests.go.
+type runner interface {
+	canonical() interface{}
+	run(ctx context.Context) (interface{}, error)
+}
+
+// timeoutMS is implemented by every request carrying the shared TimeoutMS
+// tuning field.
+type timeoutMS interface{ timeout() time.Duration }
+
+func (r FlowRequest) timeout() time.Duration  { return time.Duration(r.TimeoutMS) * time.Millisecond }
+func (r SchedRequest) timeout() time.Duration { return time.Duration(r.TimeoutMS) * time.Millisecond }
+func (r MemfaultRequest) timeout() time.Duration {
+	return time.Duration(r.TimeoutMS) * time.Millisecond
+}
+func (r XCheckRequest) timeout() time.Duration { return time.Duration(r.TimeoutMS) * time.Millisecond }
+
+// response is the wire envelope: the memoized result plus whether it came
+// from the cache.
+type response struct {
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+// handle builds the POST handler for one endpoint: decode, cache lookup,
+// admission, deadline, compute, memoize.
+func handle[R runner](s *Server, endpoint string, fresh func() R) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		obsRequests.Add(1)
+		req := fresh()
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(body) > 0 {
+			dec := json.NewDecoder(bytes.NewReader(body))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(req); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+				return
+			}
+		}
+		key, err := requestKey(endpoint, req.canonical())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if blob, ok := s.cache.get(key); ok {
+			obsCacheHits.Add(1)
+			writeResult(w, blob, true)
+			return
+		}
+		obsCacheMiss.Add(1)
+
+		timeout := s.cfg.DefaultTimeout
+		if t, ok := any(req).(timeoutMS); ok && t.timeout() > 0 {
+			timeout = t.timeout()
+		}
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		j, err := s.submit(ctx, req.run)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrDraining):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		res := <-j.done
+		if res.err != nil {
+			httpError(w, statusFor(res.err), res.err)
+			return
+		}
+		blob, err := json.Marshal(res.val)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.cache.put(key, blob)
+		writeResult(w, blob, false)
+	}
+}
+
+// statusFor maps engine errors onto HTTP status codes: client-side
+// failures (bad requests, infeasible budgets, STIL syntax) are 4xx,
+// deadlines 504, everything else 500.
+func statusFor(err error) int {
+	var bad errBadRequest
+	switch {
+	case errors.As(err, &bad),
+		errors.Is(err, stil.ErrSyntax),
+		errors.Is(err, core.ErrBudgetExceeded),
+		errors.Is(err, sched.ErrInfeasible):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is academic but 499-style
+		// codes are non-standard, so report the nearest real one.
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func isInfeasible(err error) bool { return errors.Is(err, sched.ErrInfeasible) }
+
+func writeResult(w http.ResponseWriter, blob []byte, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	_ = json.NewEncoder(w).Encode(response{Cached: cached, Result: blob})
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// healthz answers 200 while serving and 503 once draining, so load
+// balancers stop routing during shutdown.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// metrics exports every obs counter and gauge as "name value" text lines —
+// the daemon's own serve.* metrics next to all engine counters — plus the
+// cache size.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, m := range obs.Counters() {
+		fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+	}
+	for _, m := range obs.Gauges() {
+		fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+	}
+	fmt.Fprintf(w, "serve.cache_entries %d\n", s.cache.len())
+	fmt.Fprintf(w, "serve.draining %d\n", b2i(s.draining.Load()))
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}

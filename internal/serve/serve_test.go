@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"steac/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, blob
+}
+
+func decodeEnvelope(t *testing.T, blob []byte) response {
+	t.Helper()
+	var env response
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatalf("bad envelope %s: %v", blob, err)
+	}
+	return env
+}
+
+// blockWorker parks one compute worker on a job that waits for the
+// returned release function, and does not return until the worker has
+// picked the job up (so the queue slot it used is free again).
+func blockWorker(t *testing.T, s *Server) (release func(), done chan jobResult) {
+	t.Helper()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	j, err := s.submit(context.Background(), func(context.Context) (interface{}, error) {
+		close(started)
+		<-gate
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the blocking job")
+	}
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(gate)
+		}
+	}, j.done
+}
+
+// TestCacheHitDeterminism is the memoization contract: the second identical
+// request is a cache hit with byte-identical results, counted by obs, and
+// non-semantic tuning fields (workers, timeout_ms) do not split the key.
+func TestCacheHitDeterminism(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	t.Cleanup(func() { _ = s.Drain(context.Background()) })
+	body := `{"words":16,"bits":2,"algorithms":["MATS+"]}`
+
+	hits0 := obs.CounterValue("serve.cache_hits")
+	miss0 := obs.CounterValue("serve.cache_misses")
+
+	resp1, blob1 := post(t, ts.URL+"/v1/memfault", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d %s", resp1.StatusCode, blob1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("first POST X-Cache = %q, want MISS", got)
+	}
+	env1 := decodeEnvelope(t, blob1)
+	if env1.Cached {
+		t.Error("first POST reported cached:true")
+	}
+
+	resp2, blob2 := post(t, ts.URL+"/v1/memfault", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d %s", resp2.StatusCode, blob2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("second POST X-Cache = %q, want HIT", got)
+	}
+	env2 := decodeEnvelope(t, blob2)
+	if !env2.Cached {
+		t.Error("second POST reported cached:false")
+	}
+	if !bytes.Equal(env1.Result, env2.Result) {
+		t.Errorf("cached result differs from computed result:\nfirst:  %s\nsecond: %s",
+			env1.Result, env2.Result)
+	}
+
+	// Different tuning, same canonical request: still a hit.
+	tuned := `{"words":16,"bits":2,"algorithms":["MATS+"],"workers":3,"timeout_ms":60000}`
+	resp3, blob3 := post(t, ts.URL+"/v1/memfault", tuned)
+	if resp3.StatusCode != http.StatusOK || !decodeEnvelope(t, blob3).Cached {
+		t.Errorf("tuning-only variant missed the cache: %d %s", resp3.StatusCode, blob3)
+	}
+
+	if hits := obs.CounterValue("serve.cache_hits") - hits0; hits != 2 {
+		t.Errorf("serve.cache_hits delta = %d, want 2", hits)
+	}
+	if miss := obs.CounterValue("serve.cache_misses") - miss0; miss != 1 {
+		t.Errorf("serve.cache_misses delta = %d, want 1", miss)
+	}
+}
+
+// TestFlowEndpoint drives the full DSC flow through the daemon and pins
+// the paper-reproduction headline number.
+func TestFlowEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	t.Cleanup(func() { _ = s.Drain(context.Background()) })
+	resp, blob := post(t, ts.URL+"/v1/flow", `{"chip":"dsc"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flow: %d %s", resp.StatusCode, blob)
+	}
+	var out FlowResponse
+	if err := json.Unmarshal(decodeEnvelope(t, blob).Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ScheduleCycles != 4376942 {
+		t.Errorf("schedule_cycles = %d, want the headline 4376942", out.ScheduleCycles)
+	}
+	if len(out.Cores) != 3 || out.BISTGroups != 22 {
+		t.Errorf("cores = %v, bist_groups = %d, want 3 cores / 22 groups", out.Cores, out.BISTGroups)
+	}
+}
+
+// TestSchedEndpoint drives a real scheduling sweep end to end.
+func TestSchedEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	t.Cleanup(func() { _ = s.Drain(context.Background()) })
+	resp, blob := post(t, ts.URL+"/v1/sched", `{"test_pins":[26,30]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, blob)
+	}
+	var out SchedResponse
+	if err := json.Unmarshal(decodeEnvelope(t, blob).Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != 2 {
+		t.Fatalf("points = %+v, want 2 entries", out.Points)
+	}
+	for _, p := range out.Points {
+		if !p.Infeasible && p.Cycles <= 0 {
+			t.Errorf("feasible point with no cycles: %+v", p)
+		}
+	}
+}
+
+// TestQueueFullRejects is the admission-control contract: with the one
+// worker parked and the one queue slot taken, the next request is answered
+// 429 + Retry-After immediately instead of waiting.
+func TestQueueFullRejects(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	t.Cleanup(func() { _ = s.Drain(context.Background()) })
+
+	release, done1 := blockWorker(t, s) // worker busy, queue empty
+	defer release()
+	filler, err := s.submit(context.Background(), func(context.Context) (interface{}, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("submit queue filler: %v", err) // takes the single queue slot
+	}
+
+	rejects0 := obs.CounterValue("serve.queue_rejects")
+	resp, blob := post(t, ts.URL+"/v1/memfault", `{"words":16,"bits":4}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded POST: %d %s, want 429", resp.StatusCode, blob)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	if !strings.Contains(string(blob), "queue full") {
+		t.Errorf("429 body %s does not mention the queue", blob)
+	}
+	if d := obs.CounterValue("serve.queue_rejects") - rejects0; d != 1 {
+		t.Errorf("serve.queue_rejects delta = %d, want 1", d)
+	}
+
+	release()
+	<-done1
+	<-filler.done
+
+	// Capacity restored: the same request now computes.
+	resp, blob = post(t, ts.URL+"/v1/memfault", `{"words":16,"bits":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST after release: %d %s", resp.StatusCode, blob)
+	}
+}
+
+// TestGracefulDrain is the shutdown contract: Drain waits for in-flight
+// work, health flips to 503, and new submissions are refused.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	release, done := blockWorker(t, s)
+	defer release()
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, blob := post(t, ts.URL+"/v1/memfault", `{"words":16,"bits":2}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST while draining: %d %s, want 503", resp.StatusCode, blob)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hbody), "draining") {
+		t.Errorf("healthz while draining: %d %q, want 503 draining", hresp.StatusCode, hbody)
+	}
+
+	select {
+	case err := <-drainErr:
+		t.Fatalf("Drain returned %v before the in-flight job finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	release()
+	<-done
+	select {
+	case err := <-drainErr:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the in-flight job finished")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "serve.draining 1") {
+		t.Errorf("metrics after drain missing serve.draining 1:\n%s", mbody)
+	}
+}
+
+// TestDrainDeadline: a Drain whose context expires while work is stuck
+// reports the deadline instead of hanging.
+func TestDrainDeadline(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	release, done := blockWorker(t, s)
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck job = %v, want DeadlineExceeded", err)
+	}
+	release()
+	<-done
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("final Drain: %v", err)
+	}
+}
+
+// TestRequestDeadline504: a request whose own deadline expires mid-compute
+// is answered 504, and the engines stop promptly.
+func TestRequestDeadline504(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	t.Cleanup(func() { _ = s.Drain(context.Background()) })
+	// The full catalog on 256x8 runs for minutes; a 30 ms deadline fires
+	// long before it finishes.
+	start := time.Now()
+	resp, blob := post(t, ts.URL+"/v1/memfault", `{"words":256,"bits":8,"timeout_ms":30}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline POST: %d %s, want 504", resp.StatusCode, blob)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline answered after %v; engines did not stop promptly", elapsed)
+	}
+}
+
+// TestBadRequests maps malformed inputs to 400s.
+func TestBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	t.Cleanup(func() { _ = s.Drain(context.Background()) })
+	for name, rq := range map[string]struct{ path, body string }{
+		"unknown chip":        {"/v1/flow", `{"chip":"nope"}`},
+		"unknown xcheck kind": {"/v1/xcheck", `{"kind":"bogus"}`},
+		"unknown core":        {"/v1/xcheck", `{"kind":"wrapper","core":"NOPE"}`},
+		"empty sweep":         {"/v1/sched", `{}`},
+		"unknown field":       {"/v1/memfault", `{"wordz":16}`},
+		"bad geometry":        {"/v1/memfault", `{"words":0,"bits":0}`},
+		"unknown algorithm":   {"/v1/memfault", `{"words":16,"bits":2,"algorithms":["March ?"]}`},
+	} {
+		resp, blob := post(t, ts.URL+rq.path, rq.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", name, resp.StatusCode, blob)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package stil
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSyntax is the sentinel every STIL lexing and parsing failure wraps:
+// match the class with errors.Is(err, stil.ErrSyntax), and recover the
+// position with errors.As into a *SyntaxError.
+var ErrSyntax = errors.New("stil: syntax error")
+
+// SyntaxError pinpoints a STIL syntax failure.  Line and Col are 1-based;
+// Col 0 means the failure is attributed to a whole statement rather than
+// one character.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("stil: line %d col %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("stil: line %d: %s", e.Line, e.Msg)
+}
+
+// Unwrap makes every SyntaxError match the ErrSyntax sentinel.
+func (e *SyntaxError) Unwrap() error { return ErrSyntax }
+
+// syntaxErrf builds a *SyntaxError at the given position.
+func syntaxErrf(line, col int, format string, args ...interface{}) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,57 @@
+package stil
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSyntaxErrorSentinel locks in the typed-error contract: every parse
+// failure matches the ErrSyntax sentinel and carries a position.
+func TestSyntaxErrorSentinel(t *testing.T) {
+	for name, src := range map[string]string{
+		"no header":       `Signals { {* clock *} ck In; }`,
+		"unmatched brace": "STIL 1.0; Signals {",
+		"stray brace":     "STIL 1.0; }",
+		"bad block":       "STIL 1.0; Bogus { }",
+		"bad direction":   "STIL 1.0; Signals { x Sideways; }",
+		"bad role":        "STIL 1.0; Signals { {* alien *} x In; }",
+		"bad rune":        "STIL 1.0; Signals { «",
+		"unterminated":    `STIL 1.0; {* never closed`,
+	} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("%s: accepted:\n%s", name, src)
+			continue
+		}
+		if !errors.Is(err, ErrSyntax) {
+			t.Errorf("%s: error %v does not match stil.ErrSyntax", name, err)
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a *stil.SyntaxError", name, err)
+		} else if se.Line < 1 {
+			t.Errorf("%s: SyntaxError has no line: %+v", name, se)
+		}
+	}
+}
+
+// TestSyntaxErrorPosition pins the reported line (and column for lexical
+// errors) to the offending source location.
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("STIL 1.0;\nSignals {\n  x Sideways;\n}\n")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SyntaxError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("bad-direction line = %d, want 3", se.Line)
+	}
+
+	_, err = Parse("STIL 1.0;\nSignals { «")
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SyntaxError", err)
+	}
+	if se.Line != 2 || se.Col < 10 {
+		t.Errorf("bad-rune position = line %d col %d, want line 2 col >= 10", se.Line, se.Col)
+	}
+}

@@ -12,7 +12,6 @@
 package stil
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -37,6 +36,7 @@ type token struct {
 	kind tokenKind
 	text string
 	line int
+	col  int
 }
 
 func (t token) String() string {
@@ -58,15 +58,32 @@ func (t token) String() string {
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src string
+	pos int
+	// line is 1-based; lineStart is the index of the current line's first
+	// byte, so col() can report 1-based columns without rescanning.
+	line      int
+	lineStart int
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
 
+// col is the 1-based column of the current position.
+func (l *lexer) col() int { return l.pos - l.lineStart + 1 }
+
+// newlines accounts for line breaks inside a multi-line token body that
+// starts at src index bodyStart.
+func (l *lexer) newlines(body string, bodyStart int) {
+	n := strings.Count(body, "\n")
+	if n == 0 {
+		return
+	}
+	l.line += n
+	l.lineStart = bodyStart + strings.LastIndexByte(body, '\n') + 1
+}
+
 func (l *lexer) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("stil: line %d: %s", l.line, fmt.Sprintf(format, args...))
+	return syntaxErrf(l.line, l.col(), format, args...)
 }
 
 func (l *lexer) next() (token, error) {
@@ -76,6 +93,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
@@ -86,12 +104,13 @@ func (l *lexer) next() (token, error) {
 			return l.lexToken()
 		}
 	}
-	return token{kind: tokEOF, line: l.line}, nil
+	return token{kind: tokEOF, line: l.line, col: l.col()}, nil
 }
 
 func (l *lexer) lexToken() (token, error) {
 	c := l.src[l.pos]
 	start := l.line
+	startCol := l.col()
 	switch c {
 	case '{':
 		// Annotation {* ... *}
@@ -101,24 +120,24 @@ func (l *lexer) lexToken() (token, error) {
 				return token{}, l.errf("unterminated annotation")
 			}
 			text := l.src[l.pos+2 : l.pos+2+end]
-			l.line += strings.Count(text, "\n")
+			l.newlines(text, l.pos+2)
 			l.pos += 2 + end + 2
-			return token{kind: tokAnn, text: strings.TrimSpace(text), line: start}, nil
+			return token{kind: tokAnn, text: strings.TrimSpace(text), line: start, col: startCol}, nil
 		}
 		l.pos++
-		return token{kind: tokLBrace, line: start}, nil
+		return token{kind: tokLBrace, line: start, col: startCol}, nil
 	case '}':
 		l.pos++
-		return token{kind: tokRBrace, line: start}, nil
+		return token{kind: tokRBrace, line: start, col: startCol}, nil
 	case ';':
 		l.pos++
-		return token{kind: tokSemi, line: start}, nil
+		return token{kind: tokSemi, line: start, col: startCol}, nil
 	case '=':
 		l.pos++
-		return token{kind: tokEquals, line: start}, nil
+		return token{kind: tokEquals, line: start, col: startCol}, nil
 	case '+':
 		l.pos++
-		return token{kind: tokPlus, line: start}, nil
+		return token{kind: tokPlus, line: start, col: startCol}, nil
 	case '"', '\'':
 		quote := c
 		end := strings.IndexByte(l.src[l.pos+1:], quote)
@@ -126,13 +145,13 @@ func (l *lexer) lexToken() (token, error) {
 			return token{}, l.errf("unterminated %c-string", quote)
 		}
 		text := l.src[l.pos+1 : l.pos+1+end]
-		l.line += strings.Count(text, "\n")
+		l.newlines(text, l.pos+1)
 		l.pos += end + 2
 		kind := tokString
 		if quote == '\'' {
 			kind = tokQuote
 		}
-		return token{kind: kind, text: text, line: start}, nil
+		return token{kind: kind, text: text, line: start, col: startCol}, nil
 	}
 	if unicode.IsDigit(rune(c)) {
 		j := l.pos
@@ -141,7 +160,7 @@ func (l *lexer) lexToken() (token, error) {
 		}
 		text := l.src[l.pos:j]
 		l.pos = j
-		return token{kind: tokNumber, text: text, line: start}, nil
+		return token{kind: tokNumber, text: text, line: start, col: startCol}, nil
 	}
 	if isIdentStart(c) {
 		j := l.pos
@@ -150,7 +169,7 @@ func (l *lexer) lexToken() (token, error) {
 		}
 		text := l.src[l.pos:j]
 		l.pos = j
-		return token{kind: tokIdent, text: text, line: start}, nil
+		return token{kind: tokIdent, text: text, line: start, col: startCol}, nil
 	}
 	return token{}, l.errf("unexpected character %q", string(c))
 }

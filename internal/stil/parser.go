@@ -19,6 +19,9 @@ type Stmt struct {
 	Ann string
 	// Body is non-nil for block statements.
 	Body []*Stmt
+	// Line is the 1-based source line the statement starts on, so
+	// interpretation errors can point back into the file.
+	Line int
 }
 
 // parser builds the generic AST.
@@ -48,16 +51,16 @@ func (p *parser) parseStmts(topLevel bool) ([]*Stmt, error) {
 		switch p.tok.kind {
 		case tokEOF:
 			if !topLevel {
-				return nil, fmt.Errorf("stil: line %d: unexpected end of file inside block", p.tok.line)
+				return nil, syntaxErrf(p.tok.line, p.tok.col, "unexpected end of file inside block")
 			}
 			return stmts, nil
 		case tokRBrace:
 			if topLevel {
-				return nil, fmt.Errorf("stil: line %d: unmatched '}'", p.tok.line)
+				return nil, syntaxErrf(p.tok.line, p.tok.col, "unmatched '}'")
 			}
 			return stmts, nil
 		case tokAnn:
-			stmts = append(stmts, &Stmt{Ann: p.tok.text})
+			stmts = append(stmts, &Stmt{Ann: p.tok.text, Line: p.tok.line})
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
@@ -72,7 +75,7 @@ func (p *parser) parseStmts(topLevel bool) ([]*Stmt, error) {
 }
 
 func (p *parser) parseStmt() (*Stmt, error) {
-	s := &Stmt{}
+	s := &Stmt{Line: p.tok.line}
 	for {
 		switch p.tok.kind {
 		case tokIdent, tokNumber, tokString:
@@ -97,7 +100,7 @@ func (p *parser) parseStmt() (*Stmt, error) {
 				return nil, err
 			}
 			if p.tok.kind != tokRBrace {
-				return nil, fmt.Errorf("stil: line %d: expected '}', got %s", p.tok.line, p.tok)
+				return nil, syntaxErrf(p.tok.line, p.tok.col, "expected '}', got %s", p.tok)
 			}
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -105,11 +108,11 @@ func (p *parser) parseStmt() (*Stmt, error) {
 			s.Body = body
 			return s, nil
 		case tokEOF:
-			return nil, fmt.Errorf("stil: line %d: unexpected end of file in statement", p.tok.line)
+			return nil, syntaxErrf(p.tok.line, p.tok.col, "unexpected end of file in statement")
 		case tokRBrace:
-			return nil, fmt.Errorf("stil: line %d: unexpected '}' in statement", p.tok.line)
+			return nil, syntaxErrf(p.tok.line, p.tok.col, "unexpected '}' in statement")
 		case tokAnn:
-			return nil, fmt.Errorf("stil: line %d: annotation inside statement", p.tok.line)
+			return nil, syntaxErrf(p.tok.line, p.tok.col, "annotation inside statement")
 		}
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -161,11 +164,11 @@ func Parse(src string) (*testinfo.Core, error) {
 			// Parsed for well-formedness; carries no core test info we
 			// need beyond what Signals/ScanStructures provide.
 		default:
-			return nil, fmt.Errorf("stil: unknown top-level block %q", s.Words[0])
+			return nil, syntaxErrf(s.Line, 0, "unknown top-level block %q", s.Words[0])
 		}
 	}
 	if !sawHeader {
-		return nil, fmt.Errorf("stil: missing STIL version header")
+		return nil, syntaxErrf(1, 0, "missing STIL version header")
 	}
 	if err := core.Validate(); err != nil {
 		return nil, fmt.Errorf("stil: parsed core invalid: %w", err)
@@ -205,7 +208,7 @@ func parseSignals(core *testinfo.Core, s *Stmt) error {
 			continue
 		}
 		if len(st.Words) < 2 {
-			return fmt.Errorf("stil: malformed signal statement %v", st.Words)
+			return syntaxErrf(st.Line, 0, "malformed signal statement %v", st.Words)
 		}
 		name, dir := st.Words[0], st.Words[1]
 		width, err := signalWidth(name)
@@ -233,10 +236,10 @@ func parseSignals(core *testinfo.Core, s *Stmt) error {
 				core.PIs += width
 				core.POs += width
 			default:
-				return fmt.Errorf("stil: signal %s has unknown direction %q", name, dir)
+				return syntaxErrf(st.Line, 0, "signal %s has unknown direction %q", name, dir)
 			}
 		default:
-			return fmt.Errorf("stil: unknown signal role annotation %q", role)
+			return syntaxErrf(st.Line, 0, "unknown signal role annotation %q", role)
 		}
 		role = ""
 	}
@@ -266,7 +269,7 @@ func signalWidth(name string) (int, error) {
 func parseScanStructures(core *testinfo.Core, s *Stmt) error {
 	for _, st := range s.Body {
 		if len(st.Words) < 2 || st.Words[0] != "ScanChain" {
-			return fmt.Errorf("stil: unexpected statement in ScanStructures: %v", st.Words)
+			return syntaxErrf(st.Line, 0, "unexpected statement in ScanStructures: %v", st.Words)
 		}
 		ch := testinfo.ScanChain{Name: st.Words[1]}
 		for _, f := range st.Body {
@@ -277,13 +280,13 @@ func parseScanStructures(core *testinfo.Core, s *Stmt) error {
 				continue
 			}
 			if len(f.Words) < 2 {
-				return fmt.Errorf("stil: malformed ScanChain field %v", f.Words)
+				return syntaxErrf(f.Line, 0, "malformed ScanChain field %v", f.Words)
 			}
 			switch f.Words[0] {
 			case "ScanLength":
 				n, err := strconv.Atoi(f.Words[1])
 				if err != nil {
-					return fmt.Errorf("stil: bad ScanLength %q", f.Words[1])
+					return syntaxErrf(f.Line, 0, "bad ScanLength %q", f.Words[1])
 				}
 				ch.Length = n
 			case "ScanIn":
@@ -293,7 +296,7 @@ func parseScanStructures(core *testinfo.Core, s *Stmt) error {
 			case "ScanMasterClock":
 				ch.Clock = f.Words[1]
 			default:
-				return fmt.Errorf("stil: unknown ScanChain field %q", f.Words[0])
+				return syntaxErrf(f.Line, 0, "unknown ScanChain field %q", f.Words[0])
 			}
 		}
 		core.ScanChains = append(core.ScanChains, ch)
@@ -305,7 +308,7 @@ func parseScanStructures(core *testinfo.Core, s *Stmt) error {
 // "patterns type=Scan count=716 seed=1".
 func parsePattern(core *testinfo.Core, s *Stmt) error {
 	if len(s.Words) < 2 {
-		return fmt.Errorf("stil: Pattern block without a name")
+		return syntaxErrf(s.Line, 0, "Pattern block without a name")
 	}
 	ps := testinfo.PatternSet{Name: s.Words[1]}
 	for _, st := range s.Body {
@@ -319,7 +322,7 @@ func parsePattern(core *testinfo.Core, s *Stmt) error {
 		for _, kv := range fields[1:] {
 			k, v, ok := strings.Cut(kv, "=")
 			if !ok {
-				return fmt.Errorf("stil: malformed pattern annotation %q", st.Ann)
+				return syntaxErrf(st.Line, 0, "malformed pattern annotation %q", st.Ann)
 			}
 			switch k {
 			case "type":
@@ -329,18 +332,18 @@ func parsePattern(core *testinfo.Core, s *Stmt) error {
 				case "Functional":
 					ps.Type = testinfo.Functional
 				default:
-					return fmt.Errorf("stil: unknown pattern type %q", v)
+					return syntaxErrf(st.Line, 0, "unknown pattern type %q", v)
 				}
 			case "count":
 				n, err := strconv.Atoi(v)
 				if err != nil {
-					return fmt.Errorf("stil: bad pattern count %q", v)
+					return syntaxErrf(st.Line, 0, "bad pattern count %q", v)
 				}
 				ps.Count = n
 			case "seed":
 				n, err := strconv.ParseInt(v, 10, 64)
 				if err != nil {
-					return fmt.Errorf("stil: bad pattern seed %q", v)
+					return syntaxErrf(st.Line, 0, "bad pattern seed %q", v)
 				}
 				ps.Seed = n
 			}

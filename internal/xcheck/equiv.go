@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,11 @@ import (
 	"steac/internal/memory"
 	"steac/internal/netlist"
 )
+
+// equivPollCycles is the ctx poll interval inside gate-level equivalence
+// loops (a simulated cycle is microseconds on the big frame buffers, so
+// this bounds cancel latency to low milliseconds).
+const equivPollCycles = 4096
 
 // PadConfig rounds a memory geometry up to the generated TPG's natural
 // power-of-two address space (what the memory compiler fabricates); the
@@ -84,7 +90,16 @@ func getBusID(sim *netlist.CompiledSim, ids []int) int {
 // the port not under comparison is fed complemented data so a port-select
 // defect cannot hide.  Session lengths are additionally cross-checked
 // against the behavioural bist.Engine and the analytic formula.
+//
+// Deprecated: use VerifyBISTContext, which can be canceled.
 func VerifyBIST(name string, alg march.Algorithm, mems []memory.Config, opts Options) (EquivResult, error) {
+	return VerifyBISTContext(context.Background(), name, alg, mems, opts)
+}
+
+// VerifyBISTContext is VerifyBIST under a context: the session loop polls
+// ctx every equivPollCycles gate-level cycles and between sessions, and a
+// canceled check returns ctx.Err() wrapped with the stage name.
+func VerifyBISTContext(ctx context.Context, name string, alg march.Algorithm, mems []memory.Config, opts Options) (EquivResult, error) {
 	tm := obsSpanVerify.Start()
 	defer tm.Stop()
 	res := EquivResult{Name: name}
@@ -131,9 +146,15 @@ func VerifyBIST(name string, alg march.Algorithm, mems []memory.Config, opts Opt
 		res.Notes = append(res.Notes,
 			fmt.Sprintf("engine group formula %d cycles vs analytic %d", g, analytic))
 	}
-	if eng, err := bist.NewEngine([]bist.Group{group}, bist.Serial); err != nil {
+	eng, err := bist.NewEngine([]bist.Group{group}, bist.Serial)
+	if err != nil {
 		return res, err
-	} else if er := eng.Run(); !er.Pass || er.Cycles != analytic {
+	}
+	er, err := eng.RunContext(ctx)
+	if err != nil {
+		return res, fmt.Errorf("xcheck: verify %s: %w", name, err)
+	}
+	if !er.Pass || er.Cycles != analytic {
 		res.Notes = append(res.Notes,
 			fmt.Sprintf("engine run pass=%v cycles=%d vs analytic %d", er.Pass, er.Cycles, analytic))
 	}
@@ -144,9 +165,15 @@ func VerifyBIST(name string, alg march.Algorithm, mems []memory.Config, opts Opt
 	}
 	for _, bgsel := range []bool{false, true} {
 		for _, pbsel := range pbsels {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("xcheck: verify %s: %w", name, err)
+			}
 			res.Sessions++
 			label := fmt.Sprintf("bg=%v pb=%v", bgsel, pbsel)
-			cycles, ok := runBISTSession(sim, pins, alg, padded, bgsel, pbsel, analytic, &res, mmCap)
+			cycles, ok := runBISTSession(ctx, sim, pins, alg, padded, bgsel, pbsel, analytic, &res, mmCap)
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("xcheck: verify %s: %w", name, err)
+			}
 			if !ok {
 				res.Notes = append(res.Notes, fmt.Sprintf("session %s aborted", label))
 				res.finish()
@@ -165,8 +192,9 @@ func VerifyBIST(name string, alg march.Algorithm, mems []memory.Config, opts Opt
 
 // runBISTSession drives one full March session on both machines.  It
 // returns the gate-level cycle count and false if the session had to be
-// abandoned (mismatch budget exhausted or DONE never seen).
-func runBISTSession(sim *netlist.CompiledSim, pins benchPins, alg march.Algorithm,
+// abandoned (mismatch budget exhausted, DONE never seen, or ctx canceled —
+// the caller distinguishes cancellation by checking ctx.Err() itself).
+func runBISTSession(ctx context.Context, sim *netlist.CompiledSim, pins benchPins, alg march.Algorithm,
 	mems []memory.Config, bgsel, pbsel bool, analytic int, res *EquivResult, mmCap int) (int, bool) {
 	sim.Reset()
 	ref := newRefBench(alg, mems)
@@ -185,7 +213,14 @@ func runBISTSession(sim *netlist.CompiledSim, pins benchPins, alg march.Algorith
 	sim.Set("en", true)
 
 	maxCycles := analytic + 8
+	pollIn := equivPollCycles
 	for cycle := 0; cycle < maxCycles; cycle++ {
+		if pollIn--; pollIn <= 0 {
+			pollIn = equivPollCycles
+			if ctx.Err() != nil {
+				return cycle, false
+			}
+		}
 		sim.Settle()
 		p := ref.comb(true, bgsel)
 		// Feed the emulated RAMs from the netlist's own address pins; the
@@ -260,7 +295,16 @@ func runBISTSession(sim *netlist.CompiledSim, pins benchPins, alg march.Algorith
 // every input (GDONE/GFAIL patterns a real chip could never even produce),
 // then in a scripted session where behavioural groups respond to the
 // controller's own GO outputs and selected groups inject failures.
+//
+// Deprecated: use VerifyControllerContext, which can be canceled.
 func VerifyController(name string, nGroups int, opts Options) (EquivResult, error) {
+	return VerifyControllerContext(context.Background(), name, nGroups, opts)
+}
+
+// VerifyControllerContext is VerifyController under a context: the random
+// stimulus loop polls ctx every equivPollCycles cycles, and a canceled
+// check returns ctx.Err() wrapped with the stage name.
+func VerifyControllerContext(ctx context.Context, name string, nGroups int, opts Options) (EquivResult, error) {
 	tm := obsSpanVerify.Start()
 	defer tm.Stop()
 	res := EquivResult{Name: name}
@@ -297,7 +341,14 @@ func VerifyController(name string, nGroups int, opts Options) (EquivResult, erro
 	gdone := make([]bool, nGroups)
 	gfail := make([]bool, nGroups)
 	res.Sessions++
+	pollIn := equivPollCycles
 	for cycle := 0; cycle < cycles && len(res.Mismatches) < mmCap; cycle++ {
+		if pollIn--; pollIn <= 0 {
+			pollIn = equivPollCycles
+			if ctx.Err() != nil {
+				break
+			}
+		}
 		mbs := rng.Intn(20) == 0
 		mbr := rng.Intn(50) == 0
 		msi := rng.Intn(2) == 0
@@ -315,6 +366,10 @@ func VerifyController(name string, nGroups int, opts Options) (EquivResult, erro
 		sim.Tick(bist.PinMBC)
 		ref.tick(mbs, mbr, msi, gdone, gfail)
 		res.Cycles++
+	}
+
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("xcheck: verify %s: %w", name, err)
 	}
 
 	// Phase 2: scripted session — groups acknowledge GO after a compressed

@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -105,7 +106,7 @@ func TestBISTSessionDetectsInjectedFault(t *testing.T) {
 		}
 		res := EquivResult{Name: "faulty"}
 		pins := newBenchPins(fs, mems)
-		runBISTSession(fs, pins, alg, mems, false, false, alg.Complexity()*mems[0].Words, &res, 10)
+		runBISTSession(context.Background(), fs, pins, alg, mems, false, false, alg.Complexity()*mems[0].Words, &res, 10)
 		if len(res.Mismatches) > 0 || len(res.Notes) > 0 {
 			detected++
 		}

@@ -1,6 +1,8 @@
 package xcheck
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,14 +23,21 @@ import (
 type runFn func(sim *netlist.CompiledSim) int
 
 // sampleFaults applies the MaxFaults cap by uniform stride over the site
-// list (never silently: CampaignResult reports Sites vs Total).
-func sampleFaults(faults []netlist.SAFault, max int) []netlist.SAFault {
+// list (never silently: CampaignResult reports Sites vs Total).  A non-zero
+// seed rotates the stride's starting point through the universe, so repeated
+// sampled campaigns with different seeds cover different sites while each
+// remains fully deterministic.
+func sampleFaults(faults []netlist.SAFault, max int, seed int64) []netlist.SAFault {
 	if max <= 0 || len(faults) <= max {
 		return faults
 	}
+	offset := 0
+	if seed != 0 {
+		offset = int(uint64(seed) % uint64(len(faults)))
+	}
 	out := make([]netlist.SAFault, 0, max)
 	for i := 0; i < max; i++ {
-		out = append(out, faults[i*len(faults)/max])
+		out = append(out, faults[(i*len(faults)/max+offset)%len(faults)])
 	}
 	return out
 }
@@ -36,9 +45,12 @@ func sampleFaults(faults []netlist.SAFault, max int) []netlist.SAFault {
 // runCampaign simulates every fault on its own clone of base, fanned out
 // over opts.Workers goroutines.  Faults are claimed in fixed-size chunks
 // off an atomic counter and results merged in fault-list order, so the
-// outcome is identical for any worker count.
-func runCampaign(name string, base *netlist.CompiledSim, sites int,
-	faults []netlist.SAFault, golden int, opts Options, run runFn) CampaignResult {
+// outcome is identical for any worker count.  Workers poll ctx between
+// faults (each fault is one full golden-stimulus simulation, the natural
+// batch unit); a canceled campaign returns ctx.Err() wrapped with the
+// stage name and no partial result.
+func runCampaign(ctx context.Context, name string, base *netlist.CompiledSim, sites int,
+	faults []netlist.SAFault, golden int, opts Options, run runFn) (CampaignResult, error) {
 	tm := obsSpanCampaign.Start()
 	defer tm.Stop()
 	res := CampaignResult{Name: name, Sites: sites, Total: len(faults), GoldenCycles: golden}
@@ -52,7 +64,7 @@ func runCampaign(name string, base *netlist.CompiledSim, sites int,
 			defer wg.Done()
 			for {
 				lo := int(atomic.AddInt64(&next, chunk)) - chunk
-				if lo >= len(faults) {
+				if lo >= len(faults) || ctx.Err() != nil {
 					return
 				}
 				hi := lo + chunk
@@ -60,6 +72,9 @@ func runCampaign(name string, base *netlist.CompiledSim, sites int,
 					hi = len(faults)
 				}
 				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
 					fs := base.Clone()
 					if err := fs.Inject(faults[i].Gate, faults[i].Port, faults[i].Value); err != nil {
 						detectedAt[i] = -1
@@ -71,17 +86,21 @@ func runCampaign(name string, base *netlist.CompiledSim, sites int,
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return CampaignResult{}, fmt.Errorf("xcheck: campaign %s: %w", name, err)
+	}
+	keep := opts.undetectedCap()
 	for i, at := range detectedAt {
 		if at >= 0 {
 			res.Detected++
 			res.Detections = append(res.Detections, FaultDetection{Fault: faults[i], Cycle: at})
-		} else {
+		} else if keep < 0 || len(res.Undetected) < keep {
 			res.Undetected = append(res.Undetected, faults[i])
 		}
 	}
 	obsCampFaults.Add(int64(res.Total))
 	obsCampDetected.Add(int64(res.Detected))
-	return res
+	return res, nil
 }
 
 // bistTrace is one cycle of the BIST bench's tester-visible pins.
@@ -160,7 +179,15 @@ func countTrailingDone(trace []bistTrace) int {
 // TPGCampaign injects every stuck-at fault into the flattened sequencer +
 // TPG bench and asks whether the BIST's own tester-visible outcome pins
 // (DONE and the sticky FAIL) ever diverge from the fault-free session.
+//
+// Deprecated: use TPGCampaignContext, which can be canceled.
 func TPGCampaign(name string, alg march.Algorithm, mems []memory.Config, opts Options) (CampaignResult, error) {
+	return TPGCampaignContext(context.Background(), name, alg, mems, opts)
+}
+
+// TPGCampaignContext is TPGCampaign under a context (workers poll ctx
+// between per-fault simulations).
+func TPGCampaignContext(ctx context.Context, name string, alg march.Algorithm, mems []memory.Config, opts Options) (CampaignResult, error) {
 	padded := PadConfigs(mems)
 	d, err := bist.BuildVerifyBench(alg, padded)
 	if err != nil {
@@ -173,12 +200,11 @@ func TPGCampaign(name string, alg march.Algorithm, mems []memory.Config, opts Op
 	pins := newBenchPins(base, padded)
 	golden, _ := runBISTTraced(base, pins, padded, nil)
 	all := base.Faults()
-	faults := sampleFaults(all, opts.MaxFaults)
-	res := runCampaign(name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
+	faults := sampleFaults(all, opts.MaxFaults, opts.Seed)
+	return runCampaign(ctx, name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
 		_, at := runBISTTraced(sim, pins, padded, golden)
 		return at
 	})
-	return res, nil
 }
 
 // ctlTrace is one cycle of the controller's tester pins.
@@ -244,7 +270,15 @@ func runControllerTraced(sim *netlist.CompiledSim, nGroups int,
 // ControllerCampaign injects every stuck-at fault into the flattened shared
 // controller and checks whether the MBO/MRD/MSO tester pins ever diverge
 // from the fault-free scripted session.
+//
+// Deprecated: use ControllerCampaignContext, which can be canceled.
 func ControllerCampaign(name string, nGroups int, opts Options) (CampaignResult, error) {
+	return ControllerCampaignContext(context.Background(), name, nGroups, opts)
+}
+
+// ControllerCampaignContext is ControllerCampaign under a context (workers
+// poll ctx between per-fault simulations).
+func ControllerCampaignContext(ctx context.Context, name string, nGroups int, opts Options) (CampaignResult, error) {
 	d := netlist.NewDesign("xctl", nil)
 	if _, err := bist.GenerateController(d, "ctl", nGroups); err != nil {
 		return CampaignResult{}, err
@@ -259,12 +293,11 @@ func ControllerCampaign(name string, nGroups int, opts Options) (CampaignResult,
 	outIDs := []int{base.NetID(bist.PinMBO), base.NetID(bist.PinMRD), base.NetID(bist.PinMSO)}
 	golden, _ := runControllerTraced(base, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, nil)
 	all := base.Faults()
-	faults := sampleFaults(all, opts.MaxFaults)
-	res := runCampaign(name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
+	faults := sampleFaults(all, opts.MaxFaults, opts.Seed)
+	return runCampaign(ctx, name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
 		_, at := runControllerTraced(sim, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, golden)
 		return at
 	})
-	return res, nil
 }
 
 // WrapperCampaign injects stuck-at faults into the wrapper logic (boundary
@@ -272,7 +305,15 @@ func ControllerCampaign(name string, nGroups int, opts Options) (CampaignResult,
 // job and are excluded) and checks whether the translated scan program's
 // wso expectations catch them.  The detection criterion is exactly the
 // tester's: a miscompare against a non-X expected bit.
+//
+// Deprecated: use WrapperCampaignContext, which can be canceled.
 func WrapperCampaign(name string, core *testinfo.Core, width int, opts Options) (CampaignResult, error) {
+	return WrapperCampaignContext(context.Background(), name, core, width, opts)
+}
+
+// WrapperCampaignContext is WrapperCampaign under a context (workers poll
+// ctx between per-fault simulations).
+func WrapperCampaignContext(ctx context.Context, name string, core *testinfo.Core, width int, opts Options) (CampaignResult, error) {
 	d, plan, err := BuildWrapperDesign(core, width, wrapper.LPT)
 	if err != nil {
 		return CampaignResult{}, err
@@ -310,7 +351,7 @@ func WrapperCampaign(name string, core *testinfo.Core, width int, opts Options) 
 		if detected >= 0 {
 			return detected
 		}
-		_ = streamScan(sim, prog, layout, core, pins, func(cycle int, pin string, got, want bool) bool {
+		_ = streamScan(ctx, sim, prog, layout, core, pins, func(cycle int, pin string, got, want bool) bool {
 			if got != want && detected < 0 {
 				detected = wirCycles + cycle
 			}
@@ -327,9 +368,8 @@ func WrapperCampaign(name string, core *testinfo.Core, width int, opts Options) 
 		faults = append(faults, f)
 	}
 	sites := len(faults)
-	faults = sampleFaults(faults, opts.MaxFaults)
-	res := runCampaign(name, base, sites, faults, wirCyclesFor()+layout.Cycles, opts, run)
-	return res, nil
+	faults = sampleFaults(faults, opts.MaxFaults, opts.Seed)
+	return runCampaign(ctx, name, base, sites, faults, wirCyclesFor()+layout.Cycles, opts, run)
 }
 
 // wirCyclesFor is the fixed length of the WIR excursion script.

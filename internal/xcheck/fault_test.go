@@ -27,7 +27,7 @@ func campaignsEqual(a, b CampaignResult) bool {
 func TestTPGCampaignDetectsFaults(t *testing.T) {
 	alg := mustAlg(t, "March X")
 	mems := []memory.Config{{Name: "m0", Words: 8, Bits: 2, Kind: memory.SinglePort}}
-	res, err := TPGCampaign("tpg", alg, mems, Options{Workers: 2})
+	res, err := TPGCampaign("tpg", alg, mems, Options{Workers: 2, MaxUndetected: -1})
 	if err != nil {
 		t.Fatalf("TPGCampaign: %v", err)
 	}
@@ -36,6 +36,22 @@ func TestTPGCampaignDetectsFaults(t *testing.T) {
 	}
 	if res.Detected+len(res.Undetected) != res.Total {
 		t.Fatalf("detected %d + undetected %d != total %d", res.Detected, len(res.Undetected), res.Total)
+	}
+	if res.UndetectedCount() != len(res.Undetected) {
+		t.Fatalf("UndetectedCount %d != uncapped list length %d", res.UndetectedCount(), len(res.Undetected))
+	}
+
+	// The default report cap keeps counts exact while bounding the list.
+	capped, err := TPGCampaign("tpg", alg, mems, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("TPGCampaign (capped): %v", err)
+	}
+	if capped.Detected != res.Detected || capped.Total != res.Total ||
+		capped.UndetectedCount() != res.UndetectedCount() {
+		t.Fatalf("MaxUndetected cap changed the counts: %s vs %s", capped.String(), res.String())
+	}
+	if capped.UndetectedCount() > 32 && len(capped.Undetected) != 32 {
+		t.Fatalf("default cap kept %d of %d survivors, want 32", len(capped.Undetected), capped.UndetectedCount())
 	}
 	// The BIST must observe a solid majority of its own logic through
 	// DONE/FAIL alone.

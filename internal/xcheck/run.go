@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -21,7 +22,16 @@ type GroupCase struct {
 // VerifyGroups runs VerifyBIST over every case, fanned out over
 // opts.Workers goroutines, and returns the results in case order (the
 // outcome is identical for any worker count — each case is independent).
+//
+// Deprecated: use VerifyGroupsContext, which can be canceled.
 func VerifyGroups(cases []GroupCase, opts Options) ([]EquivResult, error) {
+	return VerifyGroupsContext(context.Background(), cases, opts)
+}
+
+// VerifyGroupsContext is VerifyGroups under a context: workers poll ctx at
+// case claims, each case polls mid-session inside the gate-level simulation
+// loop, and a canceled run returns ctx.Err() wrapped with the stage name.
+func VerifyGroupsContext(ctx context.Context, cases []GroupCase, opts Options) ([]EquivResult, error) {
 	results := make([]EquivResult, len(cases))
 	errs := make([]error, len(cases))
 	var next int64
@@ -32,14 +42,17 @@ func VerifyGroups(cases []GroupCase, opts Options) ([]EquivResult, error) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(cases) {
+				if i >= len(cases) || ctx.Err() != nil {
 					return
 				}
-				results[i], errs[i] = VerifyBIST(cases[i].Name, cases[i].Alg, cases[i].Mems, opts)
+				results[i], errs[i] = VerifyBISTContext(ctx, cases[i].Name, cases[i].Alg, cases[i].Mems, opts)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("xcheck: verify: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -82,7 +95,7 @@ func WriteReport(w io.Writer, rep *Report) {
 			fmt.Fprintf(w, "  %s\n", c.String())
 			for i, f := range c.Undetected {
 				if i == maxList {
-					fmt.Fprintf(w, "      ... and %d more undetected\n", len(c.Undetected)-maxList)
+					fmt.Fprintf(w, "      ... and %d more undetected\n", c.UndetectedCount()-maxList)
 					break
 				}
 				fmt.Fprintf(w, "      undetected: %s/%s stuck-at-%d\n", f.Gate, f.Port, b2i(f.Value))

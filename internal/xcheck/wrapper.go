@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"fmt"
 
 	"steac/internal/netlist"
@@ -107,8 +108,10 @@ type scanObserver func(cycle int, pin string, got, want bool) bool
 // comparing every non-X wso expectation through obs.  The drive protocol is
 // the tester's: shift cycles raise SHIFT/SE and present wsi before the tck
 // edge (wso is read pre-shift), capture cycles drop them, pulse UPDATE to
-// transfer loaded stimulus onto the core inputs, and clock once.
-func streamScan(sim *netlist.CompiledSim, prog *pattern.Program, layout pattern.SessionLayout,
+// transfer loaded stimulus onto the core inputs, and clock once.  ctx is
+// polled every equivPollCycles streamed cycles; a cancel aborts the stream
+// (the caller surfaces ctx.Err()).
+func streamScan(ctx context.Context, sim *netlist.CompiledSim, prog *pattern.Program, layout pattern.SessionLayout,
 	core *testinfo.Core, pins wrapPins, obs scanObserver) error {
 	setSE := func(v bool) {
 		sim.Set("shift", v)
@@ -116,7 +119,14 @@ func streamScan(sim *netlist.CompiledSim, prog *pattern.Program, layout pattern.
 			sim.Set(se, v)
 		}
 	}
+	pollIn := equivPollCycles
 	return prog.Stream(layout, func(c int, cyc *pattern.Cycle) bool {
+		if pollIn--; pollIn <= 0 {
+			pollIn = equivPollCycles
+			if ctx.Err() != nil {
+				return false
+			}
+		}
 		switch cyc.Actions[core.Name] {
 		case pattern.ActShift:
 			setSE(true)
@@ -187,7 +197,16 @@ func wirBypassScript(sim *netlist.CompiledSim, pins wrapPins, obs scanObserver) 
 // expectation the pattern translator emits must appear on the wso pins,
 // pattern after pattern, plus a WIR excursion showing BYPASS takes over the
 // serial path and INTESTSCAN restores it.
+//
+// Deprecated: use VerifyWrapperContext, which can be canceled.
 func VerifyWrapper(name string, core *testinfo.Core, width int, opts Options) (EquivResult, *pattern.ATPG, error) {
+	return VerifyWrapperContext(context.Background(), name, core, width, opts)
+}
+
+// VerifyWrapperContext is VerifyWrapper under a context: the scan stream
+// polls ctx every equivPollCycles cycles, and a canceled check returns
+// ctx.Err() wrapped with the stage name.
+func VerifyWrapperContext(ctx context.Context, name string, core *testinfo.Core, width int, opts Options) (EquivResult, *pattern.ATPG, error) {
 	tm := obsSpanVerify.Start()
 	defer tm.Stop()
 	res := EquivResult{Name: name}
@@ -228,8 +247,11 @@ func VerifyWrapper(name string, core *testinfo.Core, width int, opts Options) (E
 	}
 	layout := pattern.SessionLayout{Cycles: lane.Cycles, Scan: []pattern.ScanLane{lane}}
 	prog := &pattern.Program{TamWidth: plan.Width}
-	if err := streamScan(sim, prog, layout, core, pins, obs); err != nil {
+	if err := streamScan(ctx, sim, prog, layout, core, pins, obs); err != nil {
 		return res, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, nil, fmt.Errorf("xcheck: verify %s: %w", name, err)
 	}
 	res.Cycles += layout.Cycles
 	if res.Checks == 0 {

@@ -40,10 +40,21 @@ var (
 	obsCampDetected = obs.GetCounter("xcheck.faults_detected")
 )
 
-// Options configures the subsystem.
+// Options configures the subsystem.  The Workers/Seed/MaxUndetected
+// fields follow the repository-wide engine-options convention documented
+// in DESIGN.md: 0 means the canonical deterministic default everywhere.
 type Options struct {
 	// Workers bounds the fault-campaign parallelism; <=0 means GOMAXPROCS.
 	Workers int
+	// Seed rotates the MaxFaults stride sampling through the fault universe
+	// (deterministic for a fixed seed; 0 = the canonical stride starting at
+	// site 0).  Exhaustive campaigns ignore it.
+	Seed int64
+	// MaxUndetected caps CampaignResult.Undetected, the list of surviving
+	// faults kept for reports.  0 means the default cap of 32; a negative
+	// value keeps every survivor.  Detected/Total counts are exact either
+	// way.
+	MaxUndetected int
 	// MaxFaults caps a campaign's fault list by uniform stride sampling
 	// (0 = exhaustive).  Results report the sampled count explicitly, never
 	// silently.
@@ -64,6 +75,15 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// undetectedCap resolves Options.MaxUndetected (0 = 32, negative = no cap),
+// mirroring memfault.Options.
+func (o Options) undetectedCap() int {
+	if o.MaxUndetected == 0 {
+		return 32
+	}
+	return o.MaxUndetected
 }
 
 func (o Options) maxMismatches() int {
@@ -150,8 +170,9 @@ type CampaignResult struct {
 	Sites    int
 	Total    int
 	Detected int
-	// Undetected lists every simulated fault no tester-visible pin ever
-	// exposed.
+	// Undetected lists surviving faults for reports, capped at
+	// Options.MaxUndetected (default 32; negative keeps all).  The exact
+	// survivor count is UndetectedCount, which never depends on the cap.
 	Undetected []netlist.SAFault
 	// Detections holds the detection cycle per detected fault, in fault
 	// order.
@@ -173,6 +194,10 @@ func (c CampaignResult) Coverage() float64 {
 // fault universe.
 func (c CampaignResult) Sampled() bool { return c.Total < c.Sites }
 
+// UndetectedCount is the exact number of simulated faults that stayed
+// silent, independent of the Undetected report cap.
+func (c CampaignResult) UndetectedCount() int { return c.Total - c.Detected }
+
 // String summarizes the campaign on one line.
 func (c CampaignResult) String() string {
 	sampled := ""
@@ -180,7 +205,7 @@ func (c CampaignResult) String() string {
 		sampled = fmt.Sprintf(" (sampled from %d sites)", c.Sites)
 	}
 	return fmt.Sprintf("%-24s %5d faults%s %5d detected %5d undetected  %6.2f%% coverage",
-		c.Name, c.Total, sampled, c.Detected, len(c.Undetected), c.Coverage())
+		c.Name, c.Total, sampled, c.Detected, c.UndetectedCount(), c.Coverage())
 }
 
 // Report aggregates a full cross-check run.
