@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"steac/internal/campaign"
+	"steac/internal/memfault"
+	"steac/internal/xcheck"
+)
+
+// The checkpointable campaign mode:
+//
+//	dscflow -campaign spec.json -checkpoint DIR   start (or resume) a campaign
+//	dscflow -resume DIR                           resume from the manifest alone
+//
+// A spec file names a campaign kind plus its canonical spec payload:
+//
+//	{"kind": "memfault",
+//	 "spec": {"algorithm": "March C-",
+//	          "config": {"Name": "fb0", "Words": 65536, "Bits": 16, "Kind": 0},
+//	          "all_faults": true}}
+//
+// SIGINT/SIGTERM checkpoint gracefully: in-flight shards finish and are
+// journaled, then the process exits non-zero; rerunning either command
+// picks up exactly where it stopped and prints a report bit-identical to
+// an uninterrupted run.
+
+// specFile is the on-disk shape of a -campaign argument.
+type specFile struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// runCampaignCLI dispatches the -campaign / -resume modes.
+func runCampaignCLI(specPath, resumeDir, checkpointDir string, shardSize, workers int) error {
+	var (
+		spec campaign.Spec
+		dir  = checkpointDir
+		err  error
+	)
+	switch {
+	case specPath != "" && resumeDir != "":
+		return fmt.Errorf("-campaign and -resume are mutually exclusive")
+	case specPath != "":
+		raw, rerr := os.ReadFile(specPath)
+		if rerr != nil {
+			return rerr
+		}
+		var sf specFile
+		if err := json.Unmarshal(raw, &sf); err != nil {
+			return fmt.Errorf("parse %s: %w", specPath, err)
+		}
+		spec, err = campaign.Decode(sf.Kind, sf.Spec)
+	case resumeDir != "":
+		// The checkpoint directory is self-describing: kind and spec come
+		// from the manifest.
+		dir = resumeDir
+		spec, err = campaign.LoadSpec(resumeDir)
+	}
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	res, err := campaign.Run(ctx, spec, campaign.Options{
+		Workers:   workers,
+		ShardSize: shardSize,
+		Dir:       dir,
+		OnShard: func(ev campaign.ShardEvent) {
+			if ev.Resumed {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "campaign: shard %d/%d (%d/%d units)\n",
+				ev.Done, ev.Total, ev.UnitsDone, ev.UnitsTotal)
+		},
+	})
+	if err != nil {
+		if dir != "" && errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "campaign: interrupted; checkpoint saved under %s\n", dir)
+		}
+		return err
+	}
+
+	fmt.Printf("campaign %s: %d shards (%d resumed, %d repaired)\n",
+		res.Fingerprint[:12], res.Shards, res.Resumed, res.Repaired)
+	printCampaignReport(res.Report)
+	return nil
+}
+
+// printCampaignReport renders the engine-native report of a finished
+// campaign.
+func printCampaignReport(report interface{}) {
+	switch rep := report.(type) {
+	case memfault.Campaign:
+		fmt.Printf("%s: %d/%d faults detected (%.2f%%)\n",
+			rep.Algorithm, rep.Detected, rep.Total, rep.Percent())
+		for _, cc := range rep.ByClass {
+			fmt.Printf("  %-5s %4d/%-4d %6.2f%%\n", cc.Class, cc.Detected, cc.Total, cc.Percent())
+		}
+		if len(rep.Undetected) > 0 {
+			fmt.Printf("  undetected (first %d):", len(rep.Undetected))
+			for i, f := range rep.Undetected {
+				if i == 4 {
+					fmt.Print(" ...")
+					break
+				}
+				fmt.Printf(" %s", f)
+			}
+			fmt.Println()
+		}
+	case xcheck.CampaignResult:
+		fmt.Println(rep.String())
+	default:
+		blob, _ := json.Marshal(rep)
+		fmt.Println(string(blob))
+	}
+}

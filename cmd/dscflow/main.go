@@ -11,6 +11,8 @@
 //	dscflow -table1 ...      print individual sections only
 //	dscflow -obs             append the observability report (span tree + counters)
 //	dscflow -bench-json F    run the benchmark suite and write BENCH JSON to F
+//	dscflow -campaign F      run a checkpointable fault campaign from a JSON spec file
+//	dscflow -resume DIR      resume a checkpointed campaign from its directory
 package main
 
 import (
@@ -44,6 +46,11 @@ func main() {
 		xcheckOn = flag.Bool("xcheck", false, "gate-level differential verification: cross-check every generated DFT netlist against its behavioural model and run stuck-at fault campaigns")
 		workers  = flag.Int("workers", 0, "worker goroutines for fault simulation and schedule search (0 = all CPUs)")
 
+		campaignF = flag.String("campaign", "", "run a checkpointable fault campaign described by this JSON spec file (see cmd/dscflow/campaign.go)")
+		resumeDir = flag.String("resume", "", "resume a checkpointed campaign from this directory (kind and spec come from its manifest)")
+		checkDir  = flag.String("checkpoint", "", "checkpoint directory for -campaign (empty = in-memory, nothing survives the process)")
+		shardSize = flag.Int("shard-size", 0, "campaign checkpoint shard granularity in faults (0 = default)")
+
 		obsOn      = flag.Bool("obs", false, "enable observability and append the span/counter report")
 		benchJSON  = flag.String("bench-json", "", "run the benchmark suite (instead of the flow) and write BENCH JSON to this path")
 		benchShort = flag.Bool("bench-short", false, "single-iteration benchmark runs (CI smoke; workloads unchanged)")
@@ -53,6 +60,10 @@ func main() {
 
 	if *benchJSON != "" {
 		runBench(*benchJSON, *benchShort)
+		return
+	}
+	if *campaignF != "" || *resumeDir != "" {
+		fail(runCampaignCLI(*campaignF, *resumeDir, *checkDir, *shardSize, *workers))
 		return
 	}
 	if *obsOn {

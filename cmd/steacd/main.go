@@ -16,12 +16,20 @@
 //	POST /v1/sched     {"chip":"dsc","test_pins":[18,22,26,30]}
 //	POST /v1/memfault  {"words":64,"bits":4,"algorithms":["March C-"]}
 //	POST /v1/xcheck    {"kind":"controller","n_groups":3}
+//	POST   /v1/jobs       {"kind":"memfault","spec":{...}} — async campaign job, returns id
+//	GET    /v1/jobs/{id}  job progress (shards done/total, ETA, counters) or final report
+//	DELETE /v1/jobs/{id}  cancel a job at the next shard boundary (checkpoint kept)
 //	GET  /healthz      200 "ok" while serving, 503 "draining" during shutdown
 //	GET  /metrics      every obs counter/gauge as "name value" text
 //
-// SIGTERM/SIGINT drain gracefully: the listener stops accepting, queued
-// and in-flight requests finish (bounded by -drain-timeout), then the
-// process exits 0.
+// Jobs are content-addressed by their spec: with -job-dir set, each job
+// journals completed shards under <job-dir>/<id>, and re-POSTing the same
+// spec after a crash or restart resumes from that checkpoint.
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops accepting, running
+// campaign jobs checkpoint their in-flight shards and stop, queued and
+// in-flight requests finish (bounded by -drain-timeout), then the process
+// exits 0.
 package main
 
 import (
@@ -48,6 +56,8 @@ func main() {
 		timeoutS    = flag.Int("timeout", 120, "default per-request deadline, seconds")
 		maxTimeoutS = flag.Int("max-timeout", 600, "ceiling on client-requested deadlines, seconds")
 		drainS      = flag.Int("drain-timeout", 60, "graceful shutdown budget, seconds")
+		jobDir      = flag.String("job-dir", "", "checkpoint root for async campaign jobs (empty = in-memory only; no resume across restarts)")
+		maxJobs     = flag.Int("max-jobs", 0, "concurrently running campaign jobs (0 = 2)")
 		enableSpans = flag.Bool("obs", false, "enable span timing (counters are always live)")
 	)
 	flag.Parse()
@@ -61,6 +71,8 @@ func main() {
 		CacheEntries:   *cache,
 		DefaultTimeout: time.Duration(*timeoutS) * time.Second,
 		MaxTimeout:     time.Duration(*maxTimeoutS) * time.Second,
+		JobDir:         *jobDir,
+		MaxJobs:        *maxJobs,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

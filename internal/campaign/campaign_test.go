@@ -1,0 +1,321 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"steac/internal/memory"
+)
+
+// testSpec is the standard small campaign the battery runs: the full
+// generated fault universe of a 64x4 single-port RAM under March C-
+// (a few thousand microsecond faults — big enough for many shards, small
+// enough for -race).
+func testSpec() *CoverageSpec {
+	return &CoverageSpec{
+		Algorithm: "March C-",
+		Config:    memory.Config{Name: "t0", Words: 64, Bits: 4, Kind: memory.SinglePort},
+		AllFaults: true,
+	}
+}
+
+// reportJSON runs the campaign and returns the marshaled report — the
+// byte-identity currency of the whole battery.
+func reportJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res.Report)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return b
+}
+
+// goldenRun executes the spec uninterrupted and in memory.
+func goldenRun(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	res, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	return reportJSON(t, res)
+}
+
+func TestRunEmptyCampaign(t *testing.T) {
+	spec := &CoverageSpec{
+		Algorithm: "March C-",
+		Config:    memory.Config{Name: "t0", Words: 16, Bits: 2, Kind: memory.SinglePort},
+		// No faults at all.
+	}
+	res, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Shards != 0 || res.Resumed != 0 {
+		t.Fatalf("empty campaign: got %d shards, %d resumed", res.Shards, res.Resumed)
+	}
+}
+
+func TestFingerprintDistinguishesSpecs(t *testing.T) {
+	a, err := Fingerprint(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := testSpec()
+	changed.Config.Words = 32
+	b, err := Fingerprint(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different specs share a fingerprint")
+	}
+	again, _ := Fingerprint(testSpec())
+	if a != again {
+		t.Fatal("fingerprint is not stable")
+	}
+}
+
+// TestKillAndResumeEquivalence is the core crash-safety property: cancel a
+// checkpointed campaign at randomized shard boundaries, resume it from the
+// directory, and require the final report to be byte-identical to an
+// uninterrupted run.  The cut points are drawn from a fixed seed so the
+// table is reproducible yet not hand-picked.
+func TestKillAndResumeEquivalence(t *testing.T) {
+	spec := testSpec()
+	golden := goldenRun(t, spec)
+
+	probe, err := Run(context.Background(), spec, Options{ShardSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalShards := probe.Shards
+	if totalShards < 8 {
+		t.Fatalf("test spec too small: %d shards", totalShards)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	cuts := []int{1, totalShards - 1} // always include the boundary cases
+	for len(cuts) < 7 {
+		cuts = append(cuts, 1+rng.Intn(totalShards-1))
+	}
+
+	for _, cut := range cuts {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			ctx, cancel := context.WithCancelCause(context.Background())
+			defer cancel(nil)
+			_, err := Run(ctx, spec, Options{
+				ShardSize: 64,
+				Workers:   4,
+				Dir:       dir,
+				OnShard: func(ev ShardEvent) {
+					if ev.Done >= cut {
+						cancel(errors.New("cut point reached"))
+					}
+				},
+			})
+			if err == nil {
+				t.Fatalf("interrupted run at cut %d returned no error", cut)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run: got %v, want context.Canceled", err)
+			}
+
+			info, err := Inspect(dir)
+			if err != nil {
+				t.Fatalf("Inspect after cancel: %v", err)
+			}
+			if info.ShardsDone < cut {
+				t.Fatalf("journal holds %d shards, cut was at %d", info.ShardsDone, cut)
+			}
+
+			res, err := Run(context.Background(), spec, Options{
+				ShardSize: 64,
+				Workers:   4,
+				Dir:       dir,
+			})
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if res.Resumed < cut {
+				t.Fatalf("resume replayed %d shards, expected at least %d", res.Resumed, cut)
+			}
+			if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+				t.Fatalf("resumed report differs from golden:\n got  %s\n want %s", got, golden)
+			}
+		})
+	}
+}
+
+// TestResumeShardSizeMismatch checks that the manifest's shard geometry
+// wins on resume: a checkpoint written with one shard size must resume
+// correctly under a different requested size.
+func TestResumeShardSizeMismatch(t *testing.T) {
+	spec := testSpec()
+	golden := goldenRun(t, spec)
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	_, err := Run(ctx, spec, Options{ShardSize: 32, Dir: dir, OnShard: func(ev ShardEvent) {
+		if ev.Done >= 3 {
+			cancel(errors.New("cut"))
+		}
+	}})
+	if err == nil {
+		t.Fatal("interrupted run returned no error")
+	}
+
+	res, err := Run(context.Background(), spec, Options{ShardSize: 512, Dir: dir})
+	if err != nil {
+		t.Fatalf("resume with different shard size: %v", err)
+	}
+	if res.Resumed < 3 {
+		t.Fatalf("resume replayed %d shards, want >= 3", res.Resumed)
+	}
+	if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+		t.Fatal("resume with different requested shard size changed the report")
+	}
+}
+
+// TestRunCanceledBeforeStart checks the degenerate cut point: a context
+// canceled before any shard completes still leaves a resumable checkpoint.
+func TestRunCanceledBeforeStart(t *testing.T) {
+	spec := testSpec()
+	golden := goldenRun(t, spec)
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, spec, Options{ShardSize: 64, Dir: dir}); err == nil {
+		t.Fatal("pre-canceled run returned no error")
+	}
+
+	res, err := Run(context.Background(), spec, Options{ShardSize: 64, Dir: dir})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+		t.Fatal("resume after pre-canceled run changed the report")
+	}
+}
+
+// sigkillEnvDir is the handshake for the SIGKILL subprocess test below.
+const sigkillEnvDir = "STEAC_CAMPAIGN_SIGKILL_DIR"
+
+// TestSigkillHelper is not a test: it is the victim process body for
+// TestResumeAfterSIGKILL, entered only when the env handshake is set.  It
+// runs the standard campaign into the given checkpoint directory, paced so
+// the parent can observe journal growth and kill it mid-flight.
+func TestSigkillHelper(t *testing.T) {
+	dir := os.Getenv(sigkillEnvDir)
+	if dir == "" {
+		t.Skip("subprocess helper; driven by TestResumeAfterSIGKILL")
+	}
+	_, err := Run(context.Background(), testSpec(), Options{
+		ShardSize: 32,
+		Workers:   2,
+		Dir:       dir,
+		OnShard:   func(ShardEvent) { time.Sleep(10 * time.Millisecond) },
+	})
+	// The parent SIGKILLs us mid-run; reaching here just means it was
+	// slow.  Either way there is nothing to assert in this process.
+	_ = err
+}
+
+// TestResumeAfterSIGKILL is the real-crash variant of the resume
+// equivalence property: a child process running the campaign is killed
+// with SIGKILL (no deferred cleanup, no journal close), and a resume from
+// its checkpoint directory must still produce the golden report.
+func TestResumeAfterSIGKILL(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("SIGKILL subprocess test is linux-only")
+	}
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+	spec := testSpec()
+	golden := goldenRun(t, spec)
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestSigkillHelper$")
+	cmd.Env = append(os.Environ(), sigkillEnvDir+"="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start helper: %v", err)
+	}
+
+	// Wait for the journal to accumulate a few entries, then kill without
+	// ceremony.
+	journal := filepath.Join(dir, "journal.jsonl")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(journal); err == nil && bytes.Count(raw, []byte("\n")) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("helper produced no journal entries within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill helper: %v", err)
+	}
+	cmd.Wait() // reap; exit status is expected to be the kill
+
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect after SIGKILL: %v", err)
+	}
+	if info.ShardsDone == 0 {
+		t.Fatal("no shards survived the kill")
+	}
+	t.Logf("killed with %d/%d shards journaled (%d repaired)",
+		info.ShardsDone, info.Shards, info.Repaired)
+
+	res, err := Run(context.Background(), spec, Options{ShardSize: 32, Dir: dir})
+	if err != nil {
+		t.Fatalf("resume after SIGKILL: %v", err)
+	}
+	if res.Resumed == 0 {
+		t.Fatal("resume simulated everything from scratch")
+	}
+	if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+		t.Fatal("report after SIGKILL resume differs from uninterrupted run")
+	}
+}
+
+// TestLoadSpecRoundTrip checks that a checkpoint directory is
+// self-describing: LoadSpec must reconstruct a spec whose fingerprint (and
+// hence report) matches the original.
+func TestLoadSpecRoundTrip(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), spec, Options{ShardSize: 128, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(dir)
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	want, _ := Fingerprint(spec)
+	got, err := Fingerprint(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round-tripped fingerprint %s != original %s", got[:12], want[:12])
+	}
+}

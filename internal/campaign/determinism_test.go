@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"steac/internal/march"
+	"steac/internal/memfault"
+	"steac/internal/xcheck"
+)
+
+// TestDeterminismMatrixMemfault is the cross-configuration invariance
+// matrix for the March coverage engine: the campaign report must be
+// byte-identical across every worker count and shard size, and identical
+// to the in-process engine (memfault.CoverageContext) — the sharded runner
+// must be unobservable in the result.
+func TestDeterminismMatrixMemfault(t *testing.T) {
+	spec := testSpec()
+
+	alg, ok := march.ByName(spec.Algorithm)
+	if !ok {
+		t.Fatalf("unknown algorithm %q", spec.Algorithm)
+	}
+	faults := memfault.AllFaults(spec.Config)
+	engine, err := memfault.CoverageContext(context.Background(), alg, spec.Config, faults, memfault.Options{})
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	golden, err := json.Marshal(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ncpu := runtime.NumCPU()
+	workerCounts := []int{1, 2, ncpu, 2 * ncpu}
+	shardSizes := []int{16, 64, 256, 4096}
+	for _, workers := range workerCounts {
+		for _, size := range shardSizes {
+			workers, size := workers, size
+			t.Run(fmt.Sprintf("workers=%d/shard=%d", workers, size), func(t *testing.T) {
+				res, err := Run(context.Background(), spec, Options{Workers: workers, ShardSize: size})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+					t.Fatalf("campaign report diverges from engine:\n got  %s\n want %s", got, golden)
+				}
+			})
+		}
+	}
+}
+
+// TestDeterminismMatrixXCheck is the same invariance matrix for the
+// gate-level engine, on the small shared-controller design (compile once
+// per run, per-fault netlist clones).  The reference is the in-process
+// xcheck campaign with identical options.
+func TestDeterminismMatrixXCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate-level matrix skipped in -short")
+	}
+	spec := &XCheckSpec{
+		Campaign:  XCheckController,
+		Name:      "det-ctl",
+		NGroups:   3,
+		MaxFaults: 160,
+	}
+
+	engine, err := xcheck.ControllerCampaignContext(context.Background(),
+		spec.Name, spec.NGroups, spec.options())
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	golden, err := json.Marshal(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ncpu := runtime.NumCPU()
+	for _, workers := range []int{1, 2, ncpu, 2 * ncpu} {
+		for _, size := range []int{8, 64} {
+			workers, size := workers, size
+			t.Run(fmt.Sprintf("workers=%d/shard=%d", workers, size), func(t *testing.T) {
+				res, err := Run(context.Background(), spec, Options{Workers: workers, ShardSize: size})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+					t.Fatalf("campaign report diverges from engine:\n got  %s\n want %s", got, golden)
+				}
+			})
+		}
+	}
+}
+
+// TestDeterminismCheckpointedMatchesInMemory closes the loop between the
+// two execution modes: a checkpointed run (journal round-trip included)
+// must equal the in-memory run byte for byte.
+func TestDeterminismCheckpointedMatchesInMemory(t *testing.T) {
+	spec := testSpec()
+	golden := goldenRun(t, spec)
+	res, err := Run(context.Background(), spec, Options{ShardSize: 64, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+		t.Fatal("checkpointed report differs from in-memory report")
+	}
+}

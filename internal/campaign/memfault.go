@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"steac/internal/march"
+	"steac/internal/memfault"
+	"steac/internal/memory"
+)
+
+// KindMemfault tags March coverage campaign specs in manifests and job
+// requests.
+const KindMemfault = "memfault"
+
+func init() {
+	RegisterKind(KindMemfault, func(payload json.RawMessage) (Spec, error) {
+		var s CoverageSpec
+		if err := json.Unmarshal(payload, &s); err != nil {
+			return nil, err
+		}
+		return &s, nil
+	})
+}
+
+// CoverageSpec describes one memfault March coverage campaign.  Every
+// field is semantic — it changes the report — and is therefore part of the
+// canonical payload hashed into the campaign fingerprint; execution tuning
+// (workers, shard size, checkpoint dir) lives in Options instead.
+type CoverageSpec struct {
+	// Algorithm is the march.Catalog name ("March C-", ...).
+	Algorithm string `json:"algorithm"`
+	// Config is the memory under test.
+	Config memory.Config `json:"config"`
+	// AllFaults selects the full generated fault universe for Config.
+	AllFaults bool `json:"all_faults,omitempty"`
+	// Faults is an explicit fault list (ignored when AllFaults is set).
+	Faults []memfault.Fault `json:"faults,omitempty"`
+	// Backgrounds and PauseBefore mirror memfault.Options.
+	Backgrounds []uint64 `json:"backgrounds,omitempty"`
+	PauseBefore []int    `json:"pause_before,omitempty"`
+	// MaxUndetected caps the survivors kept in the report (0 = default 32,
+	// negative = keep all).  It shapes the report, so it is semantic.
+	MaxUndetected int `json:"max_undetected,omitempty"`
+}
+
+// Kind implements Spec.
+func (s *CoverageSpec) Kind() string { return KindMemfault }
+
+// Marshal implements Spec: the canonical payload is the JSON encoding of
+// the spec struct itself (fixed field order, omitted zero fields).
+func (s *CoverageSpec) Marshal() (json.RawMessage, error) {
+	return json.Marshal(s)
+}
+
+func (s *CoverageSpec) options() memfault.Options {
+	return memfault.Options{
+		Backgrounds:   s.Backgrounds,
+		PauseBefore:   s.PauseBefore,
+		MaxUndetected: s.MaxUndetected,
+	}
+}
+
+// Prepare implements Spec: resolve the algorithm, build the fault list,
+// and precompute the golden traces.
+func (s *CoverageSpec) Prepare(context.Context) (Executor, error) {
+	alg, ok := march.ByName(s.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown march algorithm %q", s.Algorithm)
+	}
+	sim, err := memfault.NewCoverageSim(alg, s.Config, s.options())
+	if err != nil {
+		return nil, err
+	}
+	faults := s.Faults
+	if s.AllFaults {
+		faults = memfault.AllFaults(s.Config)
+	}
+	return &coverageExecutor{spec: s, sim: sim, faults: faults}, nil
+}
+
+type coverageExecutor struct {
+	spec   *CoverageSpec
+	sim    *memfault.CoverageSim
+	faults []memfault.Fault
+}
+
+func (e *coverageExecutor) Units() int { return len(e.faults) }
+
+func (e *coverageExecutor) NewWorker() (Worker, error) {
+	w, err := e.sim.NewWorker()
+	if err != nil {
+		return nil, err
+	}
+	return &coverageWorker{exec: e, w: w}, nil
+}
+
+// Assemble maps the outcome vector (1 = detected) through the engine's own
+// aggregation path, so the report is bit-identical to CoverageContext.
+func (e *coverageExecutor) Assemble(out []int64) (interface{}, error) {
+	detected := make([]bool, len(out))
+	for i, v := range out {
+		detected[i] = v != 0
+	}
+	return memfault.Assemble(e.sim.Algorithm(), e.faults, detected, e.spec.options()), nil
+}
+
+type coverageWorker struct {
+	exec *coverageExecutor
+	w    *memfault.CoverageWorker
+}
+
+// ctxPollStride is how many single-fault simulations a campaign worker
+// runs between ctx polls — each is microseconds, matching the engines'
+// own chunked polling cadence.
+const ctxPollStride = 64
+
+func (cw *coverageWorker) Run(ctx context.Context, lo, hi int, out []int64) error {
+	for i := lo; i < hi; i++ {
+		if (i-lo)%ctxPollStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		det, err := cw.w.Detect(cw.exec.faults[i])
+		if err != nil {
+			return err
+		}
+		if det {
+			out[i-lo] = 1
+		}
+	}
+	return nil
+}

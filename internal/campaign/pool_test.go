@@ -1,0 +1,194 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"steac/internal/obs"
+)
+
+// fakeExec is a pool-only executor: unit i's outcome is the fixed function
+// 3i+1, with optional per-unit simulated cost and run accounting.
+type fakeExec struct {
+	units int
+	cost  func(unit int) time.Duration
+
+	mu   sync.Mutex
+	runs map[int]int
+}
+
+func newFakeExec(units int, cost func(int) time.Duration) *fakeExec {
+	return &fakeExec{units: units, cost: cost, runs: map[int]int{}}
+}
+
+func (e *fakeExec) Units() int { return e.units }
+
+func (e *fakeExec) NewWorker() (Worker, error) { return &fakeWorker{exec: e}, nil }
+
+func (e *fakeExec) Assemble(out []int64) (interface{}, error) {
+	var sum int64
+	for _, v := range out {
+		sum += v
+	}
+	return sum, nil
+}
+
+func (e *fakeExec) ran(unit int) {
+	e.mu.Lock()
+	e.runs[unit]++
+	e.mu.Unlock()
+}
+
+type fakeWorker struct{ exec *fakeExec }
+
+func (w *fakeWorker) Run(ctx context.Context, lo, hi int, out []int64) error {
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w.exec.cost != nil {
+			time.Sleep(w.exec.cost(i))
+		}
+		w.exec.ran(i)
+		out[i-lo] = int64(3*i + 1)
+	}
+	return nil
+}
+
+// TestPoolCompletesEveryShardOnce drives runPool directly with a skewed
+// cost profile: all the expensive units sit in the first workers' blocks,
+// so idle workers must steal to finish — and every shard must still
+// complete exactly once with the right outcomes.
+func TestPoolCompletesEveryShardOnce(t *testing.T) {
+	const units, size = 256, 8
+	shards := shardCount(units, size)
+	exec := newFakeExec(units, func(unit int) time.Duration {
+		if unit < units/4 {
+			return time.Millisecond
+		}
+		return 0
+	})
+	pending := make([]int, shards)
+	for i := range pending {
+		pending[i] = i
+	}
+
+	stealsBefore := obs.CounterValue("campaign.steals")
+	var mu sync.Mutex
+	seen := map[int]int{}
+	err := runPool(context.Background(), exec, 4, pending, size, units, func(sr shardResult) error {
+		mu.Lock()
+		seen[sr.index]++
+		mu.Unlock()
+		for j, v := range sr.out {
+			if want := int64(3*(sr.index*size+j) + 1); v != want {
+				t.Errorf("shard %d unit %d: outcome %d, want %d", sr.index, j, v, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("runPool: %v", err)
+	}
+	if len(seen) != shards {
+		t.Fatalf("completed %d shards, want %d", len(seen), shards)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("shard %d completed %d times", idx, n)
+		}
+	}
+	for unit, n := range exec.runs {
+		if n != 1 {
+			t.Fatalf("unit %d simulated %d times", unit, n)
+		}
+	}
+	if got := obs.CounterValue("campaign.steals"); got <= stealsBefore {
+		t.Error("skewed load produced no steals")
+	}
+}
+
+// TestPoolCancellationNeverCompletesAbortedShards checks the graceful-
+// drain contract at the pool level: after cancellation, no shard whose
+// Run was aborted reaches the completion callback.
+func TestPoolCancellationNeverCompletesAbortedShards(t *testing.T) {
+	const units, size = 640, 8
+	exec := newFakeExec(units, func(int) time.Duration { return 200 * time.Microsecond })
+	shards := shardCount(units, size)
+	pending := make([]int, shards)
+	for i := range pending {
+		pending[i] = i
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	completed := 0
+	err := runPool(ctx, exec, 4, pending, size, units, func(sr shardResult) error {
+		completed++
+		if completed == 3 {
+			cancel()
+		}
+		for j, v := range sr.out {
+			if want := int64(3*(sr.index*size+j) + 1); v != want {
+				t.Fatalf("completed shard %d carries aborted data at unit %d", sr.index, j)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("runPool returned %v; cancellation is reported by the caller's ctx check", err)
+	}
+	if completed >= shards {
+		t.Fatal("cancellation completed every shard")
+	}
+}
+
+// TestPoolCompletionErrorStopsRun checks that an error from the
+// completion callback (journal write failure) stops the pool and
+// surfaces as the run error.
+func TestPoolCompletionErrorStopsRun(t *testing.T) {
+	const units, size = 256, 8
+	exec := newFakeExec(units, nil)
+	shards := shardCount(units, size)
+	pending := make([]int, shards)
+	for i := range pending {
+		pending[i] = i
+	}
+	boom := errors.New("journal full")
+	err := runPool(context.Background(), exec, 4, pending, size, units, func(shardResult) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("runPool: got %v, want the completion error", err)
+	}
+}
+
+// TestDequeOrdering pins the deque discipline: owner LIFO from the tail,
+// thief FIFO from the head.
+func TestDequeOrdering(t *testing.T) {
+	d := &deque{}
+	for i := 1; i <= 4; i++ {
+		d.push(i)
+	}
+	if idx, ok := d.popTail(); !ok || idx != 4 {
+		t.Fatalf("popTail = %d,%v, want 4", idx, ok)
+	}
+	if idx, ok := d.popHead(); !ok || idx != 1 {
+		t.Fatalf("popHead = %d,%v, want 1", idx, ok)
+	}
+	if idx, ok := d.popTail(); !ok || idx != 3 {
+		t.Fatalf("popTail = %d,%v, want 3", idx, ok)
+	}
+	if idx, ok := d.popHead(); !ok || idx != 2 {
+		t.Fatalf("popHead = %d,%v, want 2", idx, ok)
+	}
+	if _, ok := d.popTail(); ok {
+		t.Fatal("empty deque popped")
+	}
+	if _, ok := d.popHead(); ok {
+		t.Fatal("empty deque popped")
+	}
+}

@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The kind registry maps the stable kind tags stored in checkpoint
+// manifests and job requests back to spec decoders, so a checkpoint
+// directory (or a serve job payload) is self-describing: LoadSpec can turn
+// a bare directory back into a runnable campaign.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func(json.RawMessage) (Spec, error){}
+)
+
+// RegisterKind installs a decoder for one spec kind.  Engine adapters call
+// it from init; registering a kind twice panics (it means two adapters
+// claim the same manifest tag).
+func RegisterKind(kind string, decode func(json.RawMessage) (Spec, error)) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("campaign: kind %q registered twice", kind))
+	}
+	registry[kind] = decode
+}
+
+// Kinds lists the registered spec kinds, sorted.
+func Kinds() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	kinds := make([]string, 0, len(registry))
+	for k := range registry {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Decode turns a (kind, payload) pair — from a job request or a checkpoint
+// manifest — back into a Spec.
+func Decode(kind string, payload json.RawMessage) (Spec, error) {
+	registryMu.RLock()
+	decode := registry[kind]
+	registryMu.RUnlock()
+	if decode == nil {
+		return nil, fmt.Errorf("campaign: unknown kind %q (have %v)", kind, Kinds())
+	}
+	spec, err := decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: decode %s spec: %w", kind, err)
+	}
+	return spec, nil
+}
+
+// LoadSpec reconstructs the campaign spec stored in a checkpoint
+// directory's manifest, so `dscflow -resume <dir>` needs nothing but the
+// directory.
+func LoadSpec(dir string) (Spec, error) {
+	info, err := Inspect(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(info.Kind, info.Spec)
+}

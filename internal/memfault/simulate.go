@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -178,37 +177,23 @@ func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Option
 func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {
 	tm := obsSpanCoverage.Start()
 	defer tm.Stop()
-	camp := Campaign{Algorithm: alg.Name}
 	if len(faults) == 0 {
-		return camp, nil
+		return Campaign{Algorithm: alg.Name}, nil
 	}
-	if err := alg.Validate(); err != nil {
-		return Campaign{}, err
-	}
-	traces, err := tracesFor(alg, cfg, opt)
+	sim, err := NewCoverageSim(alg, cfg, opt)
 	if err != nil {
 		return Campaign{}, err
 	}
 
 	detected := make([]bool, len(faults))
 	simErrs := make([]error, len(faults))
-	// simulate runs fault i on a reusable scratch machine.
-	simulate := func(scratch *FaultyRAM, i int) {
-		single := faults[i : i+1]
-		for _, tr := range traces {
-			if err := scratch.Reset(single); err != nil {
-				simErrs[i] = fmt.Errorf("memfault: simulating %s: %w", faults[i], err)
-				return
-			}
-			if det := tr.replay(scratch); det.Detected {
-				detected[i] = true
-				return
-			}
-		}
+	// simulate runs fault i on a worker's reusable scratch machine.
+	simulate := func(w *CoverageWorker, i int) {
+		detected[i], simErrs[i] = w.Detect(faults[i])
 	}
 
 	if workers := opt.workerCount(len(faults)); workers <= 1 {
-		scratch, err := NewFaulty(cfg, nil)
+		w, err := sim.NewWorker()
 		if err != nil {
 			return Campaign{}, err
 		}
@@ -216,7 +201,7 @@ func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config
 			if i%faultChunk == 0 && ctx.Err() != nil {
 				break
 			}
-			simulate(scratch, i)
+			simulate(w, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -225,9 +210,9 @@ func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				scratch, err := NewFaulty(cfg, nil)
+				wk, err := sim.NewWorker()
 				if err != nil {
-					return // cfg was validated by tracesFor; unreachable
+					return // cfg was validated by NewCoverageSim; unreachable
 				}
 				for {
 					end := int(next.Add(faultChunk))
@@ -239,7 +224,7 @@ func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config
 						end = len(faults)
 					}
 					for i := start; i < end; i++ {
-						simulate(scratch, i)
+						simulate(wk, i)
 					}
 				}
 			}()
@@ -249,39 +234,12 @@ func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config
 	if err := ctx.Err(); err != nil {
 		return Campaign{}, fmt.Errorf("memfault: coverage: %w", err)
 	}
-
-	maxUndetected := opt.undetectedCap()
-	byClass := make(map[string]*ClassCoverage)
-	for i, f := range faults {
-		if simErrs[i] != nil {
-			return Campaign{}, simErrs[i]
-		}
-		camp.Total++
-		cc := byClass[f.Kind.Class()]
-		if cc == nil {
-			cc = &ClassCoverage{Class: f.Kind.Class()}
-			byClass[f.Kind.Class()] = cc
-		}
-		cc.Total++
-		if detected[i] {
-			camp.Detected++
-			cc.Detected++
-		} else if maxUndetected < 0 || len(camp.Undetected) < maxUndetected {
-			camp.Undetected = append(camp.Undetected, f)
+	for _, err := range simErrs {
+		if err != nil {
+			return Campaign{}, err
 		}
 	}
-	classes := make([]string, 0, len(byClass))
-	for c := range byClass {
-		classes = append(classes, c)
-	}
-	sort.Strings(classes)
-	for _, c := range classes {
-		camp.ByClass = append(camp.ByClass, *byClass[c])
-	}
-	obsCampaigns.Add(1)
-	obsFaultsSim.Add(int64(camp.Total))
-	obsFaultsDet.Add(int64(camp.Detected))
-	return camp, nil
+	return Assemble(alg.Name, faults, detected, opt), nil
 }
 
 // ClassPercent returns the coverage of one class in a campaign, or -1 if the

@@ -31,6 +31,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -177,6 +178,22 @@ func Gauges() []MetricValue {
 	out := make([]MetricValue, 0, len(registry.gauges))
 	for _, g := range registry.gauges {
 		out = append(out, MetricValue{Name: g.name, Value: g.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CountersPrefix snapshots the counters whose name starts with prefix,
+// sorted by name — the slice a subsystem status report (e.g. the serve job
+// API) embeds without dragging in every other engine's totals.
+func CountersPrefix(prefix string) []MetricValue {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	var out []MetricValue
+	for name, c := range registry.counters {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, MetricValue{Name: name, Value: c.Value()})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"steac/internal/campaign"
+	"steac/internal/obs"
+)
+
+// The async job API: fault campaigns are minutes-to-hours of work, far
+// past any sane HTTP deadline, so they run as jobs instead of requests.
+//
+//	POST   /v1/jobs       submit a campaign spec  -> 202 + job status
+//	GET    /v1/jobs/{id}  poll progress/result    -> 200
+//	DELETE /v1/jobs/{id}  cancel (graceful drain) -> 202
+//
+// Jobs are content-addressed: the id is a prefix of the campaign
+// fingerprint, so submitting the same spec twice converges on the same
+// job (and, with a checkpoint directory configured, the same on-disk
+// checkpoint).  That makes crash recovery a client no-op — after a daemon
+// restart, re-POSTing the spec resumes from whatever the journal holds.
+
+var (
+	obsJobsSubmitted = obs.GetCounter("serve.jobs_submitted")
+	obsJobsDone      = obs.GetCounter("serve.jobs_completed")
+	obsJobsFailed    = obs.GetCounter("serve.jobs_failed")
+	obsJobsCanceled  = obs.GetCounter("serve.jobs_canceled")
+	obsJobsActive    = obs.GetGauge("serve.jobs_active")
+)
+
+// JobRequest is the POST /v1/jobs body.  Kind and Spec are the semantic
+// payload (they form the job id); Workers and ShardSize are execution
+// tuning and change nothing about the result.
+type JobRequest struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+	// Workers is the campaign pool size (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// ShardSize is the checkpoint shard granularity (0 = campaign
+	// default; an existing checkpoint's manifest wins regardless).
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// JobStatus is the wire form of one job, returned by every job endpoint.
+type JobStatus struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Fingerprint string `json:"fingerprint"`
+	// State is queued | running | done | failed | canceled, or
+	// checkpointed for a directory known only from disk (no live job in
+	// this process, e.g. after a daemon restart).
+	State       string `json:"state"`
+	ShardsDone  int    `json:"shards_done"`
+	ShardsTotal int    `json:"shards_total,omitempty"`
+	UnitsDone   int    `json:"units_done,omitempty"`
+	UnitsTotal  int    `json:"units_total,omitempty"`
+	// Resumed and Repaired are checkpoint accounting: shards replayed
+	// from the journal and damaged entries dropped on load.
+	Resumed  int `json:"resumed,omitempty"`
+	Repaired int `json:"repaired,omitempty"`
+	// ElapsedMS covers queued+running time so far (or to completion);
+	// EtaMS extrapolates the remaining units from the rate observed so
+	// far (absent until the first shard completes).
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	EtaMS     int64 `json:"eta_ms,omitempty"`
+	// Counters is the campaign.* obs counter snapshot at status time.
+	Counters []obs.MetricValue `json:"counters,omitempty"`
+	// Result is the engine report once State is done.
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Job states.
+const (
+	jobQueued       = "queued"
+	jobRunning      = "running"
+	jobDone         = "done"
+	jobFailed       = "failed"
+	jobCanceled     = "canceled"
+	jobCheckpointed = "checkpointed"
+)
+
+// campaignJob is one live job in this process.
+type campaignJob struct {
+	id          string
+	kind        string
+	fingerprint string
+	spec        campaign.Spec
+	dir         string
+	cancel      context.CancelCauseFunc
+
+	mu          sync.Mutex
+	state       string
+	shardsDone  int
+	shardsTotal int
+	unitsDone   int
+	unitsTotal  int
+	resumed     int
+	repaired    int
+	started     time.Time // submission
+	firstShard  time.Time // first shard completed in this process
+	finished    time.Time
+	result      json.RawMessage
+	errMsg      string
+}
+
+// status snapshots the job as a JobStatus.
+func (j *campaignJob) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Kind: j.kind, Fingerprint: j.fingerprint, State: j.state,
+		ShardsDone: j.shardsDone, ShardsTotal: j.shardsTotal,
+		UnitsDone: j.unitsDone, UnitsTotal: j.unitsTotal,
+		Resumed: j.resumed, Repaired: j.repaired,
+		Result: j.result, Error: j.errMsg,
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	st.ElapsedMS = end.Sub(j.started).Milliseconds()
+	if j.state == jobRunning && !j.firstShard.IsZero() && j.unitsDone > 0 && j.unitsDone < j.unitsTotal {
+		rate := float64(j.unitsDone) / float64(time.Since(j.firstShard))
+		if rate > 0 {
+			st.EtaMS = int64(float64(j.unitsTotal-j.unitsDone) / rate / float64(time.Millisecond))
+		}
+	}
+	st.Counters = obs.CountersPrefix("campaign.")
+	return st
+}
+
+// jobManager owns the live jobs of one Server.
+type jobManager struct {
+	dir     string
+	workers int
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*campaignJob
+}
+
+func newJobManager(dir string, maxJobs, workers int) *jobManager {
+	if maxJobs <= 0 {
+		maxJobs = 2
+	}
+	return &jobManager{
+		dir:     dir,
+		workers: workers,
+		sem:     make(chan struct{}, maxJobs),
+		jobs:    map[string]*campaignJob{},
+	}
+}
+
+// jobID derives the job identifier from a campaign fingerprint.
+func jobID(fingerprint string) string { return fingerprint[:16] }
+
+// validJobID reports whether id has the exact shape jobID produces — 16
+// lowercase-hex characters.  Anything else cannot name a job and must
+// never be joined into a checkpoint path (a client-supplied id reaches
+// the filesystem in handleJobGet's disk fallback).
+func validJobID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// submit starts (or joins) the job for a spec.  Resubmitting a spec while
+// its job is queued, running, or done returns the existing job untouched;
+// resubmitting after a failure or cancellation starts a fresh attempt,
+// which — with a checkpoint directory — resumes from the journal.
+func (jm *jobManager) submit(spec campaign.Spec, req JobRequest) (*campaignJob, error) {
+	fingerprint, err := campaign.Fingerprint(spec)
+	if err != nil {
+		return nil, err
+	}
+	id := jobID(fingerprint)
+
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if j, ok := jm.jobs[id]; ok {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		if state != jobFailed && state != jobCanceled {
+			return j, nil
+		}
+	}
+
+	j := &campaignJob{
+		id: id, kind: spec.Kind(), fingerprint: fingerprint, spec: spec,
+		state: jobQueued, started: time.Now(),
+	}
+	if jm.dir != "" {
+		j.dir = filepath.Join(jm.dir, id)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.cancel = cancel
+	jm.jobs[id] = j
+
+	obsJobsSubmitted.Add(1)
+	jm.wg.Add(1)
+	go jm.run(ctx, j, req.Workers, req.ShardSize)
+	return j, nil
+}
+
+// run executes one job: wait for a slot, run the checkpointed campaign,
+// record the outcome.  Cancellation while queued or running flows through
+// ctx; the campaign layer drains in-flight shards to the journal before
+// returning.
+func (jm *jobManager) run(ctx context.Context, j *campaignJob, workers, shardSize int) {
+	defer jm.wg.Done()
+	select {
+	case jm.sem <- struct{}{}:
+		defer func() { <-jm.sem }()
+	case <-ctx.Done():
+		jm.finish(j, nil, fmt.Errorf("job canceled while queued (%v): %w", context.Cause(ctx), ctx.Err()))
+		return
+	}
+
+	j.mu.Lock()
+	j.state = jobRunning
+	j.mu.Unlock()
+	obsJobsActive.Set(obsJobsActive.Value() + 1)
+	defer func() { obsJobsActive.Set(obsJobsActive.Value() - 1) }()
+
+	if workers <= 0 {
+		workers = jm.workers
+	}
+	res, err := campaign.Run(ctx, j.spec, campaign.Options{
+		Workers:   workers,
+		ShardSize: shardSize,
+		Dir:       j.dir,
+		OnShard: func(ev campaign.ShardEvent) {
+			j.mu.Lock()
+			j.shardsDone = ev.Done
+			j.shardsTotal = ev.Total
+			j.unitsTotal = ev.UnitsTotal
+			if ev.Resumed {
+				j.resumed++
+			} else {
+				j.unitsDone = ev.UnitsDone
+				if j.firstShard.IsZero() {
+					j.firstShard = time.Now()
+				}
+			}
+			j.mu.Unlock()
+		},
+	})
+	jm.finish(j, res, err)
+}
+
+// finish records a job's terminal state.
+func (jm *jobManager) finish(j *campaignJob, res *campaign.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		blob, merr := json.Marshal(res.Report)
+		if merr != nil {
+			j.state = jobFailed
+			j.errMsg = merr.Error()
+			obsJobsFailed.Add(1)
+			return
+		}
+		j.state = jobDone
+		j.result = blob
+		j.resumed = res.Resumed
+		j.repaired = res.Repaired
+		j.shardsDone = res.Shards
+		j.shardsTotal = res.Shards
+		j.unitsDone = j.unitsTotal
+		obsJobsDone.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.state = jobCanceled
+		j.errMsg = err.Error()
+		obsJobsCanceled.Add(1)
+	default:
+		j.state = jobFailed
+		j.errMsg = err.Error()
+		obsJobsFailed.Add(1)
+	}
+}
+
+// get returns the live job, or nil.
+func (jm *jobManager) get(id string) *campaignJob {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.jobs[id]
+}
+
+// drain cancels every live job (the campaign layer journals in-flight
+// shards before unwinding — graceful-drain checkpointing) and waits for
+// them to settle or ctx to expire.
+func (jm *jobManager) drain(ctx context.Context) error {
+	jm.mu.Lock()
+	for _, j := range jm.jobs {
+		j.cancel(errors.New("server draining"))
+	}
+	jm.mu.Unlock()
+	settled := make(chan struct{})
+	go func() {
+		jm.wg.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain jobs: %w", ctx.Err())
+	}
+}
+
+// handleJobSubmit is POST /v1/jobs.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	obsRequests.Add(1)
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job request: %w", err))
+		return
+	}
+	if req.Kind == "" || len(req.Spec) == 0 {
+		httpError(w, http.StatusBadRequest, badRequestf("serve: job needs kind and spec"))
+		return
+	}
+	spec, err := campaign.Decode(req.Kind, req.Spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.jobMgr.submit(spec, req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleJobGet is GET /v1/jobs/{id}.  A job unknown to this process but
+// present under the checkpoint root (a pre-restart submission) is reported
+// from disk as "checkpointed".
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	obsRequests.Add(1)
+	id := r.PathValue("id")
+	if j := s.jobMgr.get(id); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	if s.jobMgr.dir != "" && validJobID(id) {
+		dir := filepath.Join(s.jobMgr.dir, id)
+		if info, err := campaign.Inspect(dir); err == nil {
+			writeJSON(w, http.StatusOK, JobStatus{
+				ID: id, Kind: info.Kind, Fingerprint: info.Fingerprint,
+				State:      jobCheckpointed,
+				ShardsDone: info.ShardsDone, ShardsTotal: info.Shards,
+				UnitsTotal: info.Units, Repaired: info.Repaired,
+			})
+			return
+		} else if !errors.Is(err, os.ErrNotExist) {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: cancel the job's context and
+// return its (soon to be canceled) status.  The campaign layer finishes
+// and journals in-flight shards, so a canceled job's checkpoint is exactly
+// resumable.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	obsRequests.Add(1)
+	id := r.PathValue("id")
+	j := s.jobMgr.get(id)
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+		return
+	}
+	j.cancel(errors.New("canceled by client"))
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

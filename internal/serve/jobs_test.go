@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"steac/internal/campaign"
+	"steac/internal/obs"
+)
+
+// The job-API tests all drive the same small campaign — a full March C-
+// coverage grade of a 64x4 single-port macro — whose golden report is
+// computed once, in process, through the same campaign.Run path the job
+// manager uses.  Every completed job, interrupted or not, must reproduce
+// those exact bytes.
+
+const jobSpecJSON = `{"algorithm":"March C-","config":{"Name":"jobmem","Words":64,"Bits":4},"all_faults":true}`
+
+func jobBody(shardSize int) string {
+	return fmt.Sprintf(`{"kind":"memfault","spec":%s,"shard_size":%d}`, jobSpecJSON, shardSize)
+}
+
+var jobGolden struct {
+	once sync.Once
+	blob []byte
+	err  error
+}
+
+func goldenJobReport(t *testing.T) []byte {
+	t.Helper()
+	jobGolden.once.Do(func() {
+		spec, err := campaign.Decode(campaign.KindMemfault, json.RawMessage(jobSpecJSON))
+		if err != nil {
+			jobGolden.err = err
+			return
+		}
+		res, err := campaign.Run(context.Background(), spec, campaign.Options{})
+		if err != nil {
+			jobGolden.err = err
+			return
+		}
+		jobGolden.blob, jobGolden.err = json.Marshal(res.Report)
+	})
+	if jobGolden.err != nil {
+		t.Fatalf("golden campaign: %v", jobGolden.err)
+	}
+	return jobGolden.blob
+}
+
+func jobPost(t *testing.T, base, body string, want int) JobStatus {
+	t.Helper()
+	resp, blob := post(t, base+"/v1/jobs", body)
+	if resp.StatusCode != want {
+		t.Fatalf("POST /v1/jobs = %d, want %d: %s", resp.StatusCode, want, blob)
+	}
+	if want != http.StatusAccepted {
+		return JobStatus{}
+	}
+	var st JobStatus
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatalf("bad job status %s: %v", blob, err)
+	}
+	return st
+}
+
+func jobDo(t *testing.T, method, url string, want int) JobStatus {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, want, buf.Bytes())
+	}
+	var st JobStatus
+	if want == http.StatusOK || want == http.StatusAccepted {
+		if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+			t.Fatalf("bad job status %s: %v", buf.Bytes(), err)
+		}
+	}
+	return st
+}
+
+func jobGet(t *testing.T, base, id string, want int) JobStatus {
+	t.Helper()
+	return jobDo(t, http.MethodGet, base+"/v1/jobs/"+id, want)
+}
+
+func terminalJobState(state string) bool {
+	return state == jobDone || state == jobFailed || state == jobCanceled
+}
+
+// pollJob re-GETs a job until pred holds (typically "reached a terminal
+// state").
+func pollJob(t *testing.T, base, id string, pred func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		st := jobGet(t, base, id, http.StatusOK)
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck: state %s, %d/%d shards", id, st.State, st.ShardsDone, st.ShardsTotal)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJobLifecycle is the happy path: submit, poll to done, result equals
+// the in-process golden run, and resubmission of the same spec joins the
+// finished job instead of recomputing.
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, JobDir: t.TempDir()})
+	submitted := obs.CounterValue("serve.jobs_submitted")
+
+	st := jobPost(t, ts.URL, jobBody(32), http.StatusAccepted)
+	if len(st.ID) != 16 || len(st.Fingerprint) != 64 || !strings.HasPrefix(st.Fingerprint, st.ID) {
+		t.Fatalf("job id %q should be a 16-char prefix of fingerprint %q", st.ID, st.Fingerprint)
+	}
+	if st.Kind != campaign.KindMemfault {
+		t.Fatalf("kind = %q, want memfault", st.Kind)
+	}
+
+	fin := pollJob(t, ts.URL, st.ID, func(s JobStatus) bool { return terminalJobState(s.State) })
+	if fin.State != jobDone {
+		t.Fatalf("job finished %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.ShardsTotal == 0 || fin.ShardsDone != fin.ShardsTotal {
+		t.Fatalf("done job reports %d/%d shards", fin.ShardsDone, fin.ShardsTotal)
+	}
+	if fin.UnitsTotal == 0 || fin.UnitsDone != fin.UnitsTotal {
+		t.Fatalf("done job reports %d/%d units", fin.UnitsDone, fin.UnitsTotal)
+	}
+	if !bytes.Equal(fin.Result, goldenJobReport(t)) {
+		t.Fatalf("job result differs from the in-process golden run:\n%s\nvs\n%s", fin.Result, goldenJobReport(t))
+	}
+	var sawCampaignCounter bool
+	for _, c := range fin.Counters {
+		if c.Name == "campaign.shards_completed" {
+			sawCampaignCounter = true
+		}
+	}
+	if !sawCampaignCounter {
+		t.Fatalf("status counters %v miss campaign.shards_completed", fin.Counters)
+	}
+
+	again := jobPost(t, ts.URL, jobBody(32), http.StatusAccepted)
+	if again.ID != st.ID || again.State != jobDone || !bytes.Equal(again.Result, fin.Result) {
+		t.Fatalf("resubmission did not join the finished job: %+v", again)
+	}
+	if got := obs.CounterValue("serve.jobs_submitted") - submitted; got != 1 {
+		t.Fatalf("jobs_submitted grew by %d, want 1 (idempotent resubmit)", got)
+	}
+}
+
+// TestJobCancelResume: DELETE drains the job at a shard boundary, its
+// checkpoint keeps the completed shards, and resubmitting the same spec
+// resumes them (Resumed > 0) to the exact golden report.
+func TestJobCancelResume(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 2, JobDir: dir})
+	canceled := obs.CounterValue("serve.jobs_canceled")
+
+	st := jobPost(t, ts.URL, jobBody(4), http.StatusAccepted)
+	pollJob(t, ts.URL, st.ID, func(s JobStatus) bool { return s.ShardsDone >= 1 })
+	jobDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, http.StatusAccepted)
+
+	fin := pollJob(t, ts.URL, st.ID, func(s JobStatus) bool { return terminalJobState(s.State) })
+	if fin.State != jobCanceled {
+		t.Fatalf("job finished %s (%s), want canceled", fin.State, fin.Error)
+	}
+	if !strings.Contains(fin.Error, "cancel") {
+		t.Fatalf("canceled job error %q does not mention cancellation", fin.Error)
+	}
+	if obs.CounterValue("serve.jobs_canceled") == canceled {
+		t.Fatal("jobs_canceled did not grow")
+	}
+	info, err := campaign.Inspect(filepath.Join(dir, st.ID))
+	if err != nil {
+		t.Fatalf("inspect checkpoint after cancel: %v", err)
+	}
+	if info.ShardsDone == 0 {
+		t.Fatal("cancel left no journaled shards — nothing to resume")
+	}
+
+	re := jobPost(t, ts.URL, jobBody(4), http.StatusAccepted)
+	if re.ID != st.ID {
+		t.Fatalf("resubmission id %s, want %s", re.ID, st.ID)
+	}
+	fin2 := pollJob(t, ts.URL, st.ID, func(s JobStatus) bool { return terminalJobState(s.State) })
+	if fin2.State != jobDone {
+		t.Fatalf("resumed job finished %s (%s), want done", fin2.State, fin2.Error)
+	}
+	if fin2.Resumed == 0 {
+		t.Fatal("resumed job replayed 0 shards from the checkpoint")
+	}
+	if !bytes.Equal(fin2.Result, goldenJobReport(t)) {
+		t.Fatal("resumed job result differs from the uninterrupted golden run")
+	}
+}
+
+// TestJobDrainRestartResume is the daemon-restart contract: Drain
+// checkpoints a running job; a new Server over the same JobDir reports it
+// from disk as "checkpointed" and resumes it on resubmission, bit-identical
+// to the golden run.
+func TestJobDrainRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	srvA, tsA := newTestServer(t, Config{Workers: 2, JobDir: dir})
+
+	st := jobPost(t, tsA.URL, jobBody(4), http.StatusAccepted)
+	pollJob(t, tsA.URL, st.ID, func(s JobStatus) bool { return s.ShardsDone >= 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srvA.Drain(ctx); err != nil {
+		t.Fatalf("drain with a running job: %v", err)
+	}
+	if got := jobGet(t, tsA.URL, st.ID, http.StatusOK); got.State != jobCanceled {
+		t.Fatalf("after drain the job is %s, want canceled", got.State)
+	}
+	jobPost(t, tsA.URL, jobBody(4), http.StatusServiceUnavailable)
+
+	// "Restart": a fresh Server over the same checkpoint root.
+	_, tsB := newTestServer(t, Config{Workers: 2, JobDir: dir})
+	onDisk := jobGet(t, tsB.URL, st.ID, http.StatusOK)
+	if onDisk.State != jobCheckpointed {
+		t.Fatalf("restarted daemon reports %s, want checkpointed", onDisk.State)
+	}
+	if onDisk.Fingerprint != st.Fingerprint || onDisk.Kind != campaign.KindMemfault {
+		t.Fatalf("disk status %+v does not match the submitted job", onDisk)
+	}
+	if onDisk.ShardsDone == 0 || onDisk.ShardsTotal == 0 {
+		t.Fatalf("disk status lost shard progress: %d/%d", onDisk.ShardsDone, onDisk.ShardsTotal)
+	}
+
+	re := jobPost(t, tsB.URL, jobBody(4), http.StatusAccepted)
+	if re.ID != st.ID {
+		t.Fatalf("re-POST id %s, want %s", re.ID, st.ID)
+	}
+	fin := pollJob(t, tsB.URL, st.ID, func(s JobStatus) bool { return terminalJobState(s.State) })
+	if fin.State != jobDone {
+		t.Fatalf("resumed job finished %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.Resumed == 0 {
+		t.Fatal("restart resumed 0 shards from the checkpoint")
+	}
+	if !bytes.Equal(fin.Result, goldenJobReport(t)) {
+		t.Fatal("post-restart result differs from the uninterrupted golden run")
+	}
+}
+
+// TestJobFailureState: a spec that decodes but cannot prepare fails the
+// job asynchronously (the submit itself is still 202), with the engine
+// error surfaced in the status.
+func TestJobFailureState(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobDir: t.TempDir()})
+	failed := obs.CounterValue("serve.jobs_failed")
+	body := `{"kind":"memfault","spec":{"algorithm":"nope","config":{"Name":"x","Words":8,"Bits":2},"all_faults":true}}`
+	st := jobPost(t, ts.URL, body, http.StatusAccepted)
+	fin := pollJob(t, ts.URL, st.ID, func(s JobStatus) bool { return terminalJobState(s.State) })
+	if fin.State != jobFailed {
+		t.Fatalf("job finished %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "unknown march algorithm") {
+		t.Fatalf("failure error %q does not carry the engine error", fin.Error)
+	}
+	if obs.CounterValue("serve.jobs_failed") == failed {
+		t.Fatal("jobs_failed did not grow")
+	}
+}
+
+// TestJobBadRequests pins the synchronous validation layer: malformed
+// bodies are 400 at submit time, unknown ids are 404, and ids that are not
+// fingerprint prefixes never reach the checkpoint directory.
+func TestJobBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobDir: t.TempDir()})
+	for _, body := range []string{
+		`{}`,
+		`{"kind":"memfault"}`,
+		`{"spec":{"algorithm":"March C-"}}`,
+		`{"kind":"no-such-kind","spec":{}}`,
+		`{"kind":"memfault","spec":{"algorithm":42}}`,
+		`{"kind":"memfault","spec":{},"bogus":1}`,
+		`not json`,
+	} {
+		jobPost(t, ts.URL, body, http.StatusBadRequest)
+	}
+	jobGet(t, ts.URL, "feedfacefeedface", http.StatusNotFound)
+	jobDo(t, http.MethodDelete, ts.URL+"/v1/jobs/feedfacefeedface", http.StatusNotFound)
+	// Ids with the wrong shape (too short, non-hex, path-escaping) must be
+	// rejected before any filesystem access.
+	for _, id := range []string{"shorty", "..%2F..%2Fetc", "ZZZZZZZZZZZZZZZZ", "feedfacefeedfac"} {
+		jobGet(t, ts.URL, id, http.StatusNotFound)
+	}
+}

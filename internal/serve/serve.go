@@ -61,6 +61,15 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines (0 = 10m).
 	MaxTimeout time.Duration
+	// JobDir is the checkpoint root for async campaign jobs (POST
+	// /v1/jobs); each job journals under JobDir/<id>.  Empty keeps job
+	// state in memory only — jobs still run, but nothing survives a
+	// restart.
+	JobDir string
+	// MaxJobs bounds concurrently running campaign jobs (0 = 2).  Jobs
+	// run on their own pool — a long campaign never starves the
+	// synchronous request workers.
+	MaxJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +121,7 @@ type Server struct {
 	mux      *http.ServeMux
 	cache    *lruCache
 	jobs     chan *job
+	jobMgr   *jobManager
 	workers  sync.WaitGroup
 	pending  sync.WaitGroup // admitted jobs not yet answered
 	inflight atomic.Int64
@@ -128,6 +138,7 @@ func New(cfg Config) *Server {
 		cache: newLRU(cfg.withDefaults().CacheEntries),
 	}
 	s.jobs = make(chan *job, s.cfg.QueueDepth)
+	s.jobMgr = newJobManager(s.cfg.JobDir, s.cfg.MaxJobs, s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -136,6 +147,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sched", handle(s, "sched", func() *SchedRequest { return &SchedRequest{} }))
 	s.mux.HandleFunc("POST /v1/memfault", handle(s, "memfault", func() *MemfaultRequest { return &MemfaultRequest{} }))
 	s.mux.HandleFunc("POST /v1/xcheck", handle(s, "xcheck", func() *XCheckRequest { return &XCheckRequest{} }))
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
@@ -144,13 +158,18 @@ func New(cfg Config) *Server {
 // Handler exposes the daemon as an http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Drain stops admitting work, waits for every queued and in-flight job to
-// finish (or ctx to expire), then stops the worker pool.  It is the
-// SIGTERM path: call http.Server.Shutdown first so no new connections
-// race the drain, then Drain.  Safe to call once; later calls return
-// immediately.
+// Drain stops admitting work, checkpoints and cancels async campaign jobs
+// (their in-flight shards are journaled before the job unwinds, so a
+// restarted daemon resumes them), waits for every queued and in-flight
+// synchronous job to finish (or ctx to expire), then stops the worker
+// pool.  It is the SIGTERM path: call http.Server.Shutdown first so no new
+// connections race the drain, then Drain.  Safe to call once; later calls
+// return immediately.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if err := s.jobMgr.drain(ctx); err != nil {
+		return err
+	}
 	finished := make(chan struct{})
 	go func() {
 		s.pending.Wait()

@@ -1,0 +1,210 @@
+package xcheck
+
+import (
+	"context"
+	"strings"
+
+	"steac/internal/bist"
+	"steac/internal/march"
+	"steac/internal/memory"
+	"steac/internal/netlist"
+	"steac/internal/pattern"
+	"steac/internal/testinfo"
+	"steac/internal/wrapper"
+)
+
+// CampaignSim is the prepared, immutable state of one stuck-at fault
+// campaign: the compiled fault-free base netlist, its recorded golden
+// trace, and the (possibly sampled) fault list.  DetectAt clones the base
+// per fault, so a single CampaignSim is safe to share across any number of
+// concurrent workers — it is the unit the sharded campaign runner
+// (internal/campaign) executes, and runCampaign fans the same code path
+// across its own workers, with Assemble as the single aggregation path;
+// that shared path is what makes a sharded, checkpointed campaign
+// bit-identical to an in-process one.
+type CampaignSim struct {
+	name   string
+	base   *netlist.CompiledSim
+	sites  int
+	faults []netlist.SAFault
+	golden int
+	run    func(ctx context.Context, sim *netlist.CompiledSim) int
+}
+
+// Name returns the campaign label.
+func (s *CampaignSim) Name() string { return s.name }
+
+// Faults returns how many faults the campaign simulates (after MaxFaults
+// sampling).
+func (s *CampaignSim) Faults() int { return len(s.faults) }
+
+// Sites returns the full fault universe of the design.
+func (s *CampaignSim) Sites() int { return s.sites }
+
+// GoldenCycles returns the fault-free trace length faults are compared
+// against.
+func (s *CampaignSim) GoldenCycles() int { return s.golden }
+
+// DetectAt simulates fault i on its own clone of the base netlist and
+// returns the first tester-visible divergent cycle, or -1 if the fault
+// stayed silent.  The outcome depends only on the fault index and the
+// prepared golden trace.  A ctx cancellation can abort the underlying
+// simulation early; callers must discard the result when ctx has fired.
+func (s *CampaignSim) DetectAt(ctx context.Context, i int) int {
+	fs := s.base.Clone()
+	f := s.faults[i]
+	if err := fs.Inject(f.Gate, f.Port, f.Value); err != nil {
+		return -1
+	}
+	return s.run(ctx, fs)
+}
+
+// Assemble builds the CampaignResult from per-fault detection cycles in
+// fault-list order (detectedAt[i] < 0 means fault i stayed silent).  It is
+// shared by runCampaign and the sharded campaign runner.  Obs totals are
+// published here, once per campaign.
+func (s *CampaignSim) Assemble(detectedAt []int, opts Options) CampaignResult {
+	res := CampaignResult{Name: s.name, Sites: s.sites, Total: len(s.faults), GoldenCycles: s.golden}
+	keep := opts.undetectedCap()
+	for i, at := range detectedAt {
+		if at >= 0 {
+			res.Detected++
+			res.Detections = append(res.Detections, FaultDetection{Fault: s.faults[i], Cycle: at})
+		} else if keep < 0 || len(res.Undetected) < keep {
+			res.Undetected = append(res.Undetected, s.faults[i])
+		}
+	}
+	obsCampFaults.Add(int64(res.Total))
+	obsCampDetected.Add(int64(res.Detected))
+	return res
+}
+
+// NewTPGCampaignSim prepares the sequencer + TPG bench stuck-at campaign:
+// it builds and compiles the verify bench for alg over mems, records the
+// fault-free DONE/FAIL session trace, and samples the fault universe under
+// opts.MaxFaults/Seed.
+func NewTPGCampaignSim(name string, alg march.Algorithm, mems []memory.Config, opts Options) (*CampaignSim, error) {
+	padded := PadConfigs(mems)
+	d, err := bist.BuildVerifyBench(alg, padded)
+	if err != nil {
+		return nil, err
+	}
+	base, err := netlist.NewCompiledSim(d, "bench")
+	if err != nil {
+		return nil, err
+	}
+	pins := newBenchPins(base, padded)
+	golden, _ := runBISTTraced(base, pins, padded, nil)
+	all := base.Faults()
+	return &CampaignSim{
+		name:   name,
+		base:   base,
+		sites:  len(all),
+		faults: sampleFaults(all, opts.MaxFaults, opts.Seed),
+		golden: len(golden),
+		run: func(_ context.Context, sim *netlist.CompiledSim) int {
+			_, at := runBISTTraced(sim, pins, padded, golden)
+			return at
+		},
+	}, nil
+}
+
+// NewControllerCampaignSim prepares the shared-controller stuck-at
+// campaign: compile the generated controller, record the fault-free
+// scripted two-scenario session, sample the fault universe.
+func NewControllerCampaignSim(name string, nGroups int, opts Options) (*CampaignSim, error) {
+	d := netlist.NewDesign("xctl", nil)
+	if _, err := bist.GenerateController(d, "ctl", nGroups); err != nil {
+		return nil, err
+	}
+	base, err := netlist.NewCompiledSim(d, "ctl")
+	if err != nil {
+		return nil, err
+	}
+	goIDs := base.BusIDs("GO", nGroups)
+	gdoneIDs := base.BusIDs("GDONE", nGroups)
+	gfailIDs := base.BusIDs("GFAIL", nGroups)
+	outIDs := []int{base.NetID(bist.PinMBO), base.NetID(bist.PinMRD), base.NetID(bist.PinMSO)}
+	golden, _ := runControllerTraced(base, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, nil)
+	all := base.Faults()
+	return &CampaignSim{
+		name:   name,
+		base:   base,
+		sites:  len(all),
+		faults: sampleFaults(all, opts.MaxFaults, opts.Seed),
+		golden: len(golden),
+		run: func(_ context.Context, sim *netlist.CompiledSim) int {
+			_, at := runControllerTraced(sim, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, golden)
+			return at
+		},
+	}, nil
+}
+
+// NewWrapperCampaignSim prepares the wrapper-stack stuck-at campaign:
+// build the wrapped structural core, set up the translated scan program,
+// and restrict the fault universe to the wrapper logic (core-internal
+// faults are the scan patterns' own job).
+func NewWrapperCampaignSim(name string, core *testinfo.Core, width int, opts Options) (*CampaignSim, error) {
+	d, plan, err := BuildWrapperDesign(core, width, wrapper.LPT)
+	if err != nil {
+		return nil, err
+	}
+	base, err := netlist.NewCompiledSim(d, "xtop")
+	if err != nil {
+		return nil, err
+	}
+	atpg, err := pattern.NewATPG(core)
+	if err != nil {
+		return nil, err
+	}
+	var src pattern.Source = atpg
+	if opts.MaxPatterns > 0 && opts.MaxPatterns < atpg.ScanCount() {
+		src = &cappedSource{Source: atpg, n: opts.MaxPatterns}
+	}
+	pins := newWrapPins(base, plan.Width)
+	lane := pattern.ScanLane{
+		Core: core, Source: src, Plan: plan,
+		Cycles: plan.ScanTestCycles(src.ScanCount()),
+	}
+	layout := pattern.SessionLayout{Cycles: lane.Cycles, Scan: []pattern.ScanLane{lane}}
+	prog := &pattern.Program{TamWidth: plan.Width}
+
+	run := func(ctx context.Context, sim *netlist.CompiledSim) int {
+		sim.Reset()
+		wrapDefaults(sim, core)
+		detected := -1
+		wirCycles := wirBypassScript(sim, pins, func(cycle int, pin string, got, want bool) bool {
+			if got != want && detected < 0 {
+				detected = cycle
+			}
+			return detected < 0
+		})
+		if detected >= 0 {
+			return detected
+		}
+		_ = streamScan(ctx, sim, prog, layout, core, pins, func(cycle int, pin string, got, want bool) bool {
+			if got != want && detected < 0 {
+				detected = wirCycles + cycle
+			}
+			return detected < 0
+		})
+		return detected
+	}
+
+	var faults []netlist.SAFault
+	for _, f := range base.Faults() {
+		if strings.Contains(f.Gate, "/u_core/") {
+			continue
+		}
+		faults = append(faults, f)
+	}
+	sites := len(faults)
+	return &CampaignSim{
+		name:   name,
+		base:   base,
+		sites:  sites,
+		faults: sampleFaults(faults, opts.MaxFaults, opts.Seed),
+		golden: wirCyclesFor() + layout.Cycles,
+		run:    run,
+	}, nil
+}

@@ -3,7 +3,6 @@ package xcheck
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -13,14 +12,7 @@ import (
 	"steac/internal/netlist"
 	"steac/internal/pattern"
 	"steac/internal/testinfo"
-	"steac/internal/wrapper"
 )
-
-// runFn simulates one (possibly faulty) copy of a design against its golden
-// stimulus and returns the first cycle a tester-visible pin disagreed with
-// the fault-free trace, or -1 if the fault stayed silent.  Every runFn
-// starts by resetting the sim it is handed.
-type runFn func(sim *netlist.CompiledSim) int
 
 // sampleFaults applies the MaxFaults cap by uniform stride over the site
 // list (never silently: CampaignResult reports Sites vs Total).  A non-zero
@@ -42,19 +34,18 @@ func sampleFaults(faults []netlist.SAFault, max int, seed int64) []netlist.SAFau
 	return out
 }
 
-// runCampaign simulates every fault on its own clone of base, fanned out
-// over opts.Workers goroutines.  Faults are claimed in fixed-size chunks
-// off an atomic counter and results merged in fault-list order, so the
-// outcome is identical for any worker count.  Workers poll ctx between
-// faults (each fault is one full golden-stimulus simulation, the natural
-// batch unit); a canceled campaign returns ctx.Err() wrapped with the
-// stage name and no partial result.
-func runCampaign(ctx context.Context, name string, base *netlist.CompiledSim, sites int,
-	faults []netlist.SAFault, golden int, opts Options, run runFn) (CampaignResult, error) {
+// runCampaign simulates every fault of sim on its own clone of the base
+// netlist, fanned out over opts.Workers goroutines.  Faults are claimed in
+// fixed-size chunks off an atomic counter and results merged in fault-list
+// order, so the outcome is identical for any worker count.  Workers poll
+// ctx between faults (each fault is one full golden-stimulus simulation,
+// the natural batch unit); a canceled campaign returns ctx.Err() wrapped
+// with the stage name and no partial result.
+func runCampaign(ctx context.Context, sim *CampaignSim, opts Options) (CampaignResult, error) {
 	tm := obsSpanCampaign.Start()
 	defer tm.Stop()
-	res := CampaignResult{Name: name, Sites: sites, Total: len(faults), GoldenCycles: golden}
-	detectedAt := make([]int, len(faults))
+	n := sim.Faults()
+	detectedAt := make([]int, n)
 	var next int64
 	const chunk = 16
 	var wg sync.WaitGroup
@@ -64,43 +55,27 @@ func runCampaign(ctx context.Context, name string, base *netlist.CompiledSim, si
 			defer wg.Done()
 			for {
 				lo := int(atomic.AddInt64(&next, chunk)) - chunk
-				if lo >= len(faults) || ctx.Err() != nil {
+				if lo >= n || ctx.Err() != nil {
 					return
 				}
 				hi := lo + chunk
-				if hi > len(faults) {
-					hi = len(faults)
+				if hi > n {
+					hi = n
 				}
 				for i := lo; i < hi; i++ {
 					if ctx.Err() != nil {
 						return
 					}
-					fs := base.Clone()
-					if err := fs.Inject(faults[i].Gate, faults[i].Port, faults[i].Value); err != nil {
-						detectedAt[i] = -1
-						continue
-					}
-					detectedAt[i] = run(fs)
+					detectedAt[i] = sim.DetectAt(ctx, i)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return CampaignResult{}, fmt.Errorf("xcheck: campaign %s: %w", name, err)
+		return CampaignResult{}, fmt.Errorf("xcheck: campaign %s: %w", sim.Name(), err)
 	}
-	keep := opts.undetectedCap()
-	for i, at := range detectedAt {
-		if at >= 0 {
-			res.Detected++
-			res.Detections = append(res.Detections, FaultDetection{Fault: faults[i], Cycle: at})
-		} else if keep < 0 || len(res.Undetected) < keep {
-			res.Undetected = append(res.Undetected, faults[i])
-		}
-	}
-	obsCampFaults.Add(int64(res.Total))
-	obsCampDetected.Add(int64(res.Detected))
-	return res, nil
+	return sim.Assemble(detectedAt, opts), nil
 }
 
 // bistTrace is one cycle of the BIST bench's tester-visible pins.
@@ -188,23 +163,11 @@ func TPGCampaign(name string, alg march.Algorithm, mems []memory.Config, opts Op
 // TPGCampaignContext is TPGCampaign under a context (workers poll ctx
 // between per-fault simulations).
 func TPGCampaignContext(ctx context.Context, name string, alg march.Algorithm, mems []memory.Config, opts Options) (CampaignResult, error) {
-	padded := PadConfigs(mems)
-	d, err := bist.BuildVerifyBench(alg, padded)
+	sim, err := NewTPGCampaignSim(name, alg, mems, opts)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	base, err := netlist.NewCompiledSim(d, "bench")
-	if err != nil {
-		return CampaignResult{}, err
-	}
-	pins := newBenchPins(base, padded)
-	golden, _ := runBISTTraced(base, pins, padded, nil)
-	all := base.Faults()
-	faults := sampleFaults(all, opts.MaxFaults, opts.Seed)
-	return runCampaign(ctx, name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
-		_, at := runBISTTraced(sim, pins, padded, golden)
-		return at
-	})
+	return runCampaign(ctx, sim, opts)
 }
 
 // ctlTrace is one cycle of the controller's tester pins.
@@ -279,25 +242,11 @@ func ControllerCampaign(name string, nGroups int, opts Options) (CampaignResult,
 // ControllerCampaignContext is ControllerCampaign under a context (workers
 // poll ctx between per-fault simulations).
 func ControllerCampaignContext(ctx context.Context, name string, nGroups int, opts Options) (CampaignResult, error) {
-	d := netlist.NewDesign("xctl", nil)
-	if _, err := bist.GenerateController(d, "ctl", nGroups); err != nil {
-		return CampaignResult{}, err
-	}
-	base, err := netlist.NewCompiledSim(d, "ctl")
+	sim, err := NewControllerCampaignSim(name, nGroups, opts)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	goIDs := base.BusIDs("GO", nGroups)
-	gdoneIDs := base.BusIDs("GDONE", nGroups)
-	gfailIDs := base.BusIDs("GFAIL", nGroups)
-	outIDs := []int{base.NetID(bist.PinMBO), base.NetID(bist.PinMRD), base.NetID(bist.PinMSO)}
-	golden, _ := runControllerTraced(base, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, nil)
-	all := base.Faults()
-	faults := sampleFaults(all, opts.MaxFaults, opts.Seed)
-	return runCampaign(ctx, name, base, len(all), faults, len(golden), opts, func(sim *netlist.CompiledSim) int {
-		_, at := runControllerTraced(sim, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, golden)
-		return at
-	})
+	return runCampaign(ctx, sim, opts)
 }
 
 // WrapperCampaign injects stuck-at faults into the wrapper logic (boundary
@@ -314,62 +263,11 @@ func WrapperCampaign(name string, core *testinfo.Core, width int, opts Options) 
 // WrapperCampaignContext is WrapperCampaign under a context (workers poll
 // ctx between per-fault simulations).
 func WrapperCampaignContext(ctx context.Context, name string, core *testinfo.Core, width int, opts Options) (CampaignResult, error) {
-	d, plan, err := BuildWrapperDesign(core, width, wrapper.LPT)
+	sim, err := NewWrapperCampaignSim(name, core, width, opts)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	base, err := netlist.NewCompiledSim(d, "xtop")
-	if err != nil {
-		return CampaignResult{}, err
-	}
-	atpg, err := pattern.NewATPG(core)
-	if err != nil {
-		return CampaignResult{}, err
-	}
-	var src pattern.Source = atpg
-	if opts.MaxPatterns > 0 && opts.MaxPatterns < atpg.ScanCount() {
-		src = &cappedSource{Source: atpg, n: opts.MaxPatterns}
-	}
-	pins := newWrapPins(base, plan.Width)
-	lane := pattern.ScanLane{
-		Core: core, Source: src, Plan: plan,
-		Cycles: plan.ScanTestCycles(src.ScanCount()),
-	}
-	layout := pattern.SessionLayout{Cycles: lane.Cycles, Scan: []pattern.ScanLane{lane}}
-	prog := &pattern.Program{TamWidth: plan.Width}
-
-	run := func(sim *netlist.CompiledSim) int {
-		sim.Reset()
-		wrapDefaults(sim, core)
-		detected := -1
-		wirCycles := wirBypassScript(sim, pins, func(cycle int, pin string, got, want bool) bool {
-			if got != want && detected < 0 {
-				detected = cycle
-			}
-			return detected < 0
-		})
-		if detected >= 0 {
-			return detected
-		}
-		_ = streamScan(ctx, sim, prog, layout, core, pins, func(cycle int, pin string, got, want bool) bool {
-			if got != want && detected < 0 {
-				detected = wirCycles + cycle
-			}
-			return detected < 0
-		})
-		return detected
-	}
-
-	var faults []netlist.SAFault
-	for _, f := range base.Faults() {
-		if strings.Contains(f.Gate, "/u_core/") {
-			continue
-		}
-		faults = append(faults, f)
-	}
-	sites := len(faults)
-	faults = sampleFaults(faults, opts.MaxFaults, opts.Seed)
-	return runCampaign(ctx, name, base, sites, faults, wirCyclesFor()+layout.Cycles, opts, run)
+	return runCampaign(ctx, sim, opts)
 }
 
 // wirCyclesFor is the fixed length of the WIR excursion script.
