@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 15] [-json out.json] OLD.json NEW.json
+//	benchdiff [-threshold 15] [-op-threshold op=pct ...] [-json out.json] OLD.json NEW.json
 //
-// Exit status: 0 when no op regressed, 1 when any op slowed down past the
+// Exit status: 0 when no op regressed, 1 when any op slowed down past its
 // threshold, went missing, or changed its functional result fingerprint,
-// 2 on usage or file errors.  The threshold is a percentage of the old wall
-// time; improvements are reported but never fail.
+// 2 on usage or file errors.  Thresholds are percentages of the old wall
+// time; -op-threshold (repeatable) overrides the default for one op, e.g.
+// a sub-millisecond op whose scheduler jitter needs extra headroom or a
+// hardened kernel held to a tighter bound.  Improvements are reported with
+// their speedup factor and never fail.
 package main
 
 import (
@@ -16,18 +19,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"steac/internal/obs/bench"
 )
 
+// opThresholds collects repeated -op-threshold name=pct flags.
+type opThresholds map[string]float64
+
+func (o opThresholds) String() string {
+	parts := make([]string, 0, len(o))
+	for op, pct := range o {
+		parts = append(parts, fmt.Sprintf("%s=%g", op, pct))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (o opThresholds) Set(v string) error {
+	op, pctStr, ok := strings.Cut(v, "=")
+	if !ok || op == "" {
+		return fmt.Errorf("want op=pct, got %q", v)
+	}
+	pct, err := strconv.ParseFloat(pctStr, 64)
+	if err != nil {
+		return fmt.Errorf("threshold %q: %w", pctStr, err)
+	}
+	if pct < 0 {
+		return fmt.Errorf("threshold %g is negative", pct)
+	}
+	o[op] = pct
+	return nil
+}
+
 func main() {
+	perOp := opThresholds{}
 	var (
 		threshold = flag.Float64("threshold", 15, "regression threshold in percent of the old wall time")
 		jsonOut   = flag.String("json", "", "also write the comparison summary as JSON to this path")
 	)
+	flag.Var(perOp, "op-threshold", "per-op threshold override as op=pct (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-json out.json] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-op-threshold op=pct ...] [-json out.json] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	old, err := bench.Load(flag.Arg(0))
@@ -35,7 +69,11 @@ func main() {
 	new, err := bench.Load(flag.Arg(1))
 	fail(err)
 
-	sum := bench.Compare(old, new, *threshold)
+	opt := bench.CompareOptions{ThresholdPct: *threshold}
+	if len(perOp) > 0 {
+		opt.OpThresholds = perOp
+	}
+	sum := bench.CompareWith(old, new, opt)
 	sum.Write(os.Stdout)
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(sum, "", "  ")

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"steac/internal/obs/bench"
 	"steac/internal/pattern"
 	"steac/internal/report"
+	"steac/internal/testinfo"
 	"steac/internal/xcheck"
 )
 
@@ -230,6 +232,52 @@ func runXCheck(res *core.FlowResult, workers int) error {
 	if !rep.Pass() {
 		return fmt.Errorf("gate-level cross-check FAILED")
 	}
+	return runPackedDifferential(cases, res, tv)
+}
+
+// runPackedDifferential replays a sampled stuck-at campaign on every DSC
+// design — the 22 per-memory benches, the lockstep pair, the shared
+// controller and the TV wrapper stack, 25 in all — through both the
+// word-packed kernel and the scalar reference, and fails on the first
+// fault whose detection cycle differs.  MaxFaults scales inversely with
+// the padded memory size so the scalar replays stay affordable on the
+// frame buffers while small macros still cover a full 63-lane word plus
+// the remainder path.
+func runPackedDifferential(cases []xcheck.GroupCase, res *core.FlowResult, tv *testinfo.Core) error {
+	ctx := context.Background()
+	fmt.Println("packed-vs-scalar differential (sampled stuck-at campaigns)")
+	designs, faults := 0, 0
+	check := func(sim *xcheck.CampaignSim, err error) error {
+		if err != nil {
+			return err
+		}
+		n, err := sim.VerifyPackedScalar(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s %4d/%d faults bit-identical\n", sim.Name(), n, sim.Sites())
+		designs++
+		faults += n
+		return nil
+	}
+	for _, c := range cases {
+		mf := 64
+		for _, m := range xcheck.PadConfigs(c.Mems) {
+			if budget := 64 * 4096 / m.Words; budget < mf {
+				mf = max(budget, 8)
+			}
+		}
+		if err := check(xcheck.NewTPGCampaignSim(c.Name, c.Alg, c.Mems, xcheck.Options{MaxFaults: mf})); err != nil {
+			return err
+		}
+	}
+	if err := check(xcheck.NewControllerCampaignSim("controller", len(res.Brains.Groups), xcheck.Options{MaxFaults: 128})); err != nil {
+		return err
+	}
+	if err := check(xcheck.NewWrapperCampaignSim("wrap_TV w=2", tv, 2, xcheck.Options{MaxFaults: 48, MaxPatterns: 8})); err != nil {
+		return err
+	}
+	fmt.Printf("  %d designs, %d faults: packed kernels match the scalar reference\n", designs, faults)
 	return nil
 }
 

@@ -88,6 +88,20 @@ type Executor interface {
 	Assemble(out []int64) (interface{}, error)
 }
 
+// BatchSizer is optionally implemented by Executors whose workers simulate
+// units in word-parallel batches (the packed fault-simulation kernels).
+// Run rounds the requested shard size down to a multiple of BatchSize (but
+// never below one batch) before the manifest is written, so shard interiors
+// split into full words and only the final shard carries a sub-word
+// remainder.  Purely a performance alignment: batch geometry is not
+// semantic, and resume still honors whatever shard size an existing
+// manifest recorded.
+type BatchSizer interface {
+	// BatchSize returns the worker's natural unit-batch width (> 1), e.g.
+	// the packed-simulation lane count.
+	BatchSize() int
+}
+
 // Worker simulates unit ranges for one goroutine.
 type Worker interface {
 	// Run simulates units [lo, hi) into out[0 : hi-lo].  The outcomes
@@ -230,6 +244,14 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	}
 	units := exec.Units()
 	size := opt.shardSize()
+	if bs, ok := exec.(BatchSizer); ok {
+		if b := bs.BatchSize(); b > 1 {
+			size -= size % b
+			if size < b {
+				size = b
+			}
+		}
+	}
 
 	obsActive.Set(obsActive.Value() + 1)
 	defer func() { obsActive.Set(obsActive.Value() - 1) }()

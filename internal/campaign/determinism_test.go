@@ -96,6 +96,71 @@ func TestDeterminismMatrixXCheck(t *testing.T) {
 	}
 }
 
+// TestShardBatchAlignment checks the BatchSizer plumbing around the packed
+// kernels: Run rounds a requested shard size down to a whole number of
+// 64-lane batches (never below one batch), and — because batch geometry
+// must not be semantic — a worker simulating arbitrary odd unit ranges
+// (sub-word, word-straddling, tail remainders) reproduces the outcomes of
+// one aligned full-range pass exactly.
+func TestShardBatchAlignment(t *testing.T) {
+	spec := testSpec()
+	exec, err := spec.Prepare(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := exec.Units()
+	if _, ok := exec.(BatchSizer); !ok {
+		t.Fatal("coverage executor does not advertise a batch size")
+	}
+	for _, tc := range []struct{ req, effective int }{{1, 64}, {100, 64}, {300, 256}} {
+		res, err := Run(context.Background(), spec, Options{ShardSize: tc.req})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := shardCount(units, tc.effective); res.Shards != want {
+			t.Errorf("ShardSize %d: got %d shards, want %d (size rounded to %d)",
+				tc.req, res.Shards, want, tc.effective)
+		}
+	}
+
+	checkRanges := func(t *testing.T, exec Executor, units int) {
+		t.Helper()
+		w, err := exec.NewWorker()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := make([]int64, units)
+		if err := w.Run(context.Background(), 0, units, full); err != nil {
+			t.Fatal(err)
+		}
+		ranges := [][2]int{{0, 1}, {1, 64}, {63, 65}, {64, 128}, {65, units - 1}, {units - 3, units}}
+		for _, r := range ranges {
+			out := make([]int64, r[1]-r[0])
+			if err := w.Run(context.Background(), r[0], r[1], out); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != full[r[0]+i] {
+					t.Fatalf("range [%d,%d): unit %d = %d, full pass says %d",
+						r[0], r[1], r[0]+i, v, full[r[0]+i])
+				}
+			}
+		}
+	}
+	t.Run("memfault", func(t *testing.T) { checkRanges(t, exec, units) })
+	t.Run("xcheck", func(t *testing.T) {
+		xspec := &XCheckSpec{Campaign: XCheckController, NGroups: 3, MaxFaults: 160}
+		xexec, err := xspec.Prepare(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs, ok := xexec.(BatchSizer); !ok || bs.BatchSize() != xcheck.PackedBatch {
+			t.Fatalf("xcheck executor batch size: got %v, want %d", ok, xcheck.PackedBatch)
+		}
+		checkRanges(t, xexec, xexec.Units())
+	})
+}
+
 // TestDeterminismCheckpointedMatchesInMemory closes the loop between the
 // two execution modes: a checkpointed run (journal round-trip included)
 // must equal the in-memory run byte for byte.

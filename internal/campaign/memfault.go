@@ -88,8 +88,12 @@ type coverageExecutor struct {
 
 func (e *coverageExecutor) Units() int { return len(e.faults) }
 
+// BatchSize aligns shard sizes to the bit-plane engine's lane count, so
+// shard interiors split into full 64-fault words.
+func (e *coverageExecutor) BatchSize() int { return memfault.PackedLanes }
+
 func (e *coverageExecutor) NewWorker() (Worker, error) {
-	w, err := e.sim.NewWorker()
+	w, err := e.sim.NewPackedWorker()
 	if err != nil {
 		return nil, err
 	}
@@ -108,27 +112,33 @@ func (e *coverageExecutor) Assemble(out []int64) (interface{}, error) {
 
 type coverageWorker struct {
 	exec *coverageExecutor
-	w    *memfault.CoverageWorker
+	w    *memfault.PackedWorker
+	det  [memfault.PackedLanes]bool
+	errs [memfault.PackedLanes]error
 }
 
-// ctxPollStride is how many single-fault simulations a campaign worker
-// runs between ctx polls — each is microseconds, matching the engines'
-// own chunked polling cadence.
-const ctxPollStride = 64
-
+// Run simulates the shard's faults in word-parallel batches of PackedLanes
+// (the engine falls back to per-fault scalar machines for unpackable
+// kinds).  Each batch is microseconds to low milliseconds, the natural ctx
+// poll granularity — the same cadence the in-process engine uses.
 func (cw *coverageWorker) Run(ctx context.Context, lo, hi int, out []int64) error {
-	for i := lo; i < hi; i++ {
-		if (i-lo)%ctxPollStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		det, err := cw.w.Detect(cw.exec.faults[i])
-		if err != nil {
+	for start := lo; start < hi; start += memfault.PackedLanes {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if det {
-			out[i-lo] = 1
+		end := start + memfault.PackedLanes
+		if end > hi {
+			end = hi
+		}
+		n := end - start
+		cw.w.DetectBatch(cw.exec.faults[start:end], cw.det[:n], cw.errs[:n])
+		for i := 0; i < n; i++ {
+			if err := cw.errs[i]; err != nil {
+				return err
+			}
+			if cw.det[i] {
+				out[start-lo+i] = 1
+			}
 		}
 	}
 	return nil

@@ -144,8 +144,13 @@ type xcheckExecutor struct {
 
 func (e *xcheckExecutor) Units() int { return e.sim.Faults() }
 
-// NewWorker returns a stateless view: CampaignSim.DetectAt clones the base
-// netlist per fault, so workers share the sim directly.
+// BatchSize aligns shard sizes to the packed netlist simulator's fault
+// batch (63 injected lanes + the golden machine per word).
+func (e *xcheckExecutor) BatchSize() int { return xcheck.PackedBatch }
+
+// NewWorker returns a stateless view: CampaignSim.DetectBatch builds its
+// own packed (or cloned scalar) machines per call, so workers share the
+// sim directly.
 func (e *xcheckExecutor) NewWorker() (Worker, error) {
 	return &xcheckWorker{sim: e.sim}, nil
 }
@@ -165,15 +170,12 @@ type xcheckWorker struct {
 }
 
 func (w *xcheckWorker) Run(ctx context.Context, lo, hi int, out []int64) error {
-	for i := lo; i < hi; i++ {
-		// Each fault is a full golden-stimulus netlist simulation, the
-		// natural ctx poll granularity; DetectAt can additionally abort
-		// mid-simulation, in which case its result is garbage and the
-		// ctx check below discards the shard.
-		out[i-lo] = int64(w.sim.DetectAt(ctx, i))
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	// DetectBatch packs up to 63 faults per word-parallel netlist pass and
+	// polls ctx between batches (the packed runners additionally poll
+	// mid-session); on cancellation its results are garbage and the ctx
+	// check below discards the shard.
+	for i, at := range w.sim.DetectBatch(ctx, lo, hi-lo) {
+		out[i] = int64(at)
 	}
-	return nil
+	return ctx.Err()
 }

@@ -20,8 +20,11 @@ const cancelBudget = 250 * time.Millisecond
 // the cancellation contract: prompt return, ctx.Err() surfaced with the
 // stage name, no partial Campaign.
 func TestCoverageContextCancel(t *testing.T) {
-	cfg := memory.Config{Name: "big", Words: 256, Bits: 8}
-	faults := AllFaults(cfg) // ~50k faults: a full run takes tens of seconds
+	// Sized so that even the word-packed engine (64 faults per trace
+	// replay) needs seconds for a full run — the campaign must still be
+	// mid-flight when the cancel fires 50ms in.
+	cfg := memory.Config{Name: "big", Words: 2048, Bits: 8}
+	faults := AllFaults(cfg) // ~440k faults
 	alg := march.MarchLR()
 
 	for _, workers := range []int{1, 4} {

@@ -1,0 +1,387 @@
+package memfault
+
+import (
+	"steac/internal/obs"
+)
+
+// PackedLanes is the lane width of the bit-plane packed March simulator: one
+// uint64 per storage cell where bit l carries fault copy l's value, so a
+// single trace replay simulates up to 64 single-fault machines at once.
+const PackedLanes = 64
+
+var obsPackedBatches = obs.GetCounter("memfault.packed_batches")
+
+// pbcast broadcasts a bit value across all lanes.
+func pbcast(v int) uint64 {
+	if v != 0 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// planeSite aggregates the per-lane victim-site effects attached to one
+// storage cell.  Each mask names the lanes whose (single) fault is of that
+// kind with this cell as victim; masks are disjoint lane sets, so effect
+// ordering across kinds cannot matter — exactly the single-fault assumption
+// the scalar simulator encodes by building one FaultyRAM per fault.
+type planeSite struct {
+	sa0, sa1 uint64 // stuck-at forcing on every store
+	tfu, tfd uint64 // transition blocking on writes
+	sof      uint64 // stuck-open: writes lost, reads sense-substituted
+	rdf      uint64 // read-disturb: read inverts and stores back
+	cfst     []cfstEffect
+}
+
+// cfstEffect is one CFst lane at its victim cell: while the aggressor holds
+// aggrState the victim reads as forced.  The aggressor cell is clean in that
+// lane (aggr != victim, one fault per lane), so its state is the golden
+// mirror's.
+type cfstEffect struct {
+	lane      uint64 // single-bit lane mask
+	aggr      Cell
+	aggrState int
+	forced    uint64 // broadcast 0 or ^0
+}
+
+// cfEffect is one CFin/CFid lane keyed by its aggressor cell: a matching
+// golden transition of the aggressor (clean in that lane) updates the victim
+// on that lane.  Effects trigger during a write's bit loop but apply after
+// it, mirroring the scalar Write's transitions-then-coupling order — the
+// victim may live at the address being written.
+type cfEffect struct {
+	lane   uint64
+	rise   bool
+	victim int  // victim cell index (Addr*Bits + Bit)
+	invert bool // CFin flips the victim; CFid sets it to forced
+	forced uint64
+}
+
+// drfEffect is one DRF lane: on Pause the victim decays to forced.
+type drfEffect struct {
+	lane   uint64
+	victim int
+	forced uint64
+}
+
+// packableKind reports whether the bit-plane engine models kind exactly.
+// Address-decoder faults remap whole accesses (a per-lane address cannot be
+// packed into shared plane indices) and port-B stuck-ats need the ReadB
+// port; both fall back to the scalar worker.
+func packableKind(k Kind) bool {
+	switch k {
+	case SA0, SA1, TFUp, TFDown, SOF, RDF, CFin, CFid, CFst, DRF:
+		return true
+	}
+	return false
+}
+
+// PackedWorker is one goroutine's bit-plane packed view of a CoverageSim: a
+// 64-lane scratch machine replaying each golden trace once per batch of up
+// to 64 faults instead of once per fault.  Lanes are independent single-
+// fault machines; lane l of every plane word is bit-for-bit the scalar
+// FaultyRAM built for fault l.  Not safe for concurrent use; create one per
+// worker with NewPackedWorker.
+type PackedWorker struct {
+	sim *CoverageSim
+
+	// Replay state, rebuilt per trace.
+	plane  []uint64 // [addr*Bits+bit] lane-word of cell values
+	sense  []uint64 // per bit position: sense-amp lane word
+	gcells []uint64 // golden mirror (every clean cell equals it)
+
+	// Per-batch fault structures.  siteAt/cfAt are dense cell-indexed views
+	// (nil = clean cell) so the replay hot loop never touches a map;
+	// touched records which entries to clear for the next batch.
+	siteAt  []*planeSite
+	cfAt    [][]cfEffect
+	touched []int
+	drf     []drfEffect
+	hot     []bool // addresses holding any victim cell (masked replay path)
+	aggrHot []bool // addresses holding any CFin/CFid aggressor
+	pend    []cfEffect
+
+	scalar *CoverageWorker // AF / SAB0 / SAB1 / invalid-fault fallback
+}
+
+// NewPackedWorker allocates the per-goroutine packed scratch machine.
+func (s *CoverageSim) NewPackedWorker() (*PackedWorker, error) {
+	scalar, err := s.NewWorker()
+	if err != nil {
+		return nil, err
+	}
+	cells := s.cfg.Words * s.cfg.Bits
+	return &PackedWorker{
+		sim:     s,
+		plane:   make([]uint64, cells),
+		sense:   make([]uint64, s.cfg.Bits),
+		gcells:  make([]uint64, s.cfg.Words),
+		siteAt:  make([]*planeSite, cells),
+		cfAt:    make([][]cfEffect, cells),
+		hot:     make([]bool, s.cfg.Words),
+		aggrHot: make([]bool, s.cfg.Words),
+		scalar:  scalar,
+	}, nil
+}
+
+// DetectBatch simulates every fault of the batch and writes its verdict to
+// det[i], bit-identical to len(faults) scalar CoverageWorker.Detect calls.
+// Packable kinds share word-parallel trace replays in chunks of PackedLanes;
+// the rest (and ill-formed faults) go through the embedded scalar worker, so
+// errs[i] — filled when errs is non-nil — carries exactly the error Detect
+// would have returned.  det (and errs when non-nil) must be at least
+// len(faults) long.
+func (w *PackedWorker) DetectBatch(faults []Fault, det []bool, errs []error) {
+	for base := 0; base < len(faults); base += PackedLanes {
+		end := base + PackedLanes
+		if end > len(faults) {
+			end = len(faults)
+		}
+		var esub []error
+		if errs != nil {
+			esub = errs[base:end]
+		}
+		w.detectBatch(faults[base:end], det[base:end], esub)
+	}
+}
+
+func (w *PackedWorker) detectBatch(faults []Fault, det []bool, errs []error) {
+	var packable uint64
+	for i, f := range faults {
+		if packableKind(f.Kind) && f.Validate(w.sim.cfg) == nil {
+			packable |= 1 << uint(i)
+		}
+	}
+	if packable != 0 {
+		w.install(faults, packable)
+		var detW uint64
+		for _, tr := range w.sim.traces {
+			w.resetState()
+			detW |= w.replay(tr, packable)
+			if detW == packable {
+				break // every pending lane detected; verdicts are final
+			}
+		}
+		for i := range faults {
+			if packable>>uint(i)&1 == 1 {
+				det[i] = detW>>uint(i)&1 == 1
+				if errs != nil {
+					errs[i] = nil
+				}
+			}
+		}
+		obsPackedBatches.Add(1)
+	}
+	for i, f := range faults {
+		if packable>>uint(i)&1 == 1 {
+			continue
+		}
+		d, err := w.scalar.Detect(f)
+		det[i] = d
+		if errs != nil {
+			errs[i] = err
+		}
+	}
+}
+
+// site returns (creating if needed) the effect record of one victim cell.
+func (w *PackedWorker) site(idx int) *planeSite {
+	if w.siteAt[idx] == nil {
+		w.siteAt[idx] = &planeSite{}
+		w.touched = append(w.touched, idx)
+	}
+	return w.siteAt[idx]
+}
+
+// install builds the per-batch masks for the packable lanes of faults.
+func (w *PackedWorker) install(faults []Fault, packable uint64) {
+	for _, idx := range w.touched {
+		w.siteAt[idx] = nil
+		w.cfAt[idx] = nil
+	}
+	w.touched = w.touched[:0]
+	w.drf = w.drf[:0]
+	for i := range w.hot {
+		w.hot[i] = false
+		w.aggrHot[i] = false
+	}
+	bits := w.sim.cfg.Bits
+	for i, f := range faults {
+		lane := uint64(1) << uint(i)
+		if packable&lane == 0 {
+			continue
+		}
+		vIdx := f.Victim.Addr*bits + f.Victim.Bit
+		w.hot[f.Victim.Addr] = true
+		switch f.Kind {
+		case SA0:
+			w.site(vIdx).sa0 |= lane
+		case SA1:
+			w.site(vIdx).sa1 |= lane
+		case TFUp:
+			w.site(vIdx).tfu |= lane
+		case TFDown:
+			w.site(vIdx).tfd |= lane
+		case SOF:
+			w.site(vIdx).sof |= lane
+		case RDF:
+			w.site(vIdx).rdf |= lane
+		case CFst:
+			s := w.site(vIdx)
+			s.cfst = append(s.cfst, cfstEffect{
+				lane: lane, aggr: f.Aggr, aggrState: f.AggrState, forced: pbcast(f.Forced),
+			})
+		case CFin, CFid:
+			aIdx := f.Aggr.Addr*bits + f.Aggr.Bit
+			w.aggrHot[f.Aggr.Addr] = true
+			if w.cfAt[aIdx] == nil {
+				w.touched = append(w.touched, aIdx)
+			}
+			w.cfAt[aIdx] = append(w.cfAt[aIdx], cfEffect{
+				lane: lane, rise: f.AggrRise, victim: vIdx,
+				invert: f.Kind == CFin, forced: pbcast(f.Forced),
+			})
+		case DRF:
+			w.drf = append(w.drf, drfEffect{lane: lane, victim: vIdx, forced: pbcast(f.Forced)})
+		}
+	}
+}
+
+// resetState returns every lane to the power-on state of its single-fault
+// machine: all-zero cells and sense latches, with SA1 victims initialized to
+// 1 — the packed equivalent of FaultyRAM.Reset per lane.
+func (w *PackedWorker) resetState() {
+	for i := range w.plane {
+		w.plane[i] = 0
+	}
+	for i := range w.sense {
+		w.sense[i] = 0
+	}
+	for i := range w.gcells {
+		w.gcells[i] = 0
+	}
+	for _, idx := range w.touched {
+		if s := w.siteAt[idx]; s != nil && s.sa1 != 0 {
+			w.plane[idx] |= s.sa1
+		}
+	}
+}
+
+// replay runs one golden trace against the packed machine and returns the
+// lanes whose tester-visible reads diverged.  Inactive lanes hold golden
+// values on every cell, so masking with active only enables the early exit.
+func (w *PackedWorker) replay(tr *goldenTrace, active uint64) uint64 {
+	var det uint64
+	for i := range tr.accesses {
+		if tr.pause[i] {
+			w.pause()
+		}
+		acc := tr.accesses[i]
+		if acc.Op.Read {
+			det |= w.read(acc.Addr, tr.vals[i]) & active
+			if det == active {
+				return det // detection is sticky; the rest cannot undo it
+			}
+		} else {
+			w.write(acc.Addr, tr.vals[i])
+		}
+	}
+	return det
+}
+
+// write mirrors FaultyRAM.Write across all lanes.  Clean addresses (no
+// victim cell, no coupling aggressor) take the broadcast fast path: every
+// lane stores the golden word.
+func (w *PackedWorker) write(addr int, data uint64) {
+	bits := w.sim.cfg.Bits
+	base := addr * bits
+	if !w.hot[addr] && !w.aggrHot[addr] {
+		for b := 0; b < bits; b++ {
+			w.plane[base+b] = pbcast(int(data >> uint(b) & 1))
+		}
+		w.gcells[addr] = data
+		return
+	}
+	oldGolden := w.gcells[addr]
+	w.pend = w.pend[:0]
+	for b := 0; b < bits; b++ {
+		wantBit := int(data >> uint(b) & 1)
+		old := w.plane[base+b]
+		v := pbcast(wantBit)
+		if s := w.siteAt[base+b]; s != nil {
+			if wantBit == 1 {
+				v &^= s.tfu &^ old // 0→1 blocked: those lanes stay 0
+			} else {
+				v |= s.tfd & old // 1→0 blocked: those lanes stay 1
+			}
+			v = (v &^ s.sa0) | s.sa1
+			v = (v &^ s.sof) | (old & s.sof) // write lost on stuck-open lanes
+		}
+		w.plane[base+b] = v
+		if w.aggrHot[addr] {
+			// A CFin/CFid aggressor is clean in its own lane, so its
+			// transitions are exactly the golden transitions.
+			if gOld := int(oldGolden >> uint(b) & 1); gOld != wantBit {
+				rise := wantBit == 1
+				for _, eff := range w.cfAt[base+b] {
+					if eff.rise == rise {
+						w.pend = append(w.pend, eff)
+					}
+				}
+			}
+		}
+	}
+	w.gcells[addr] = data
+	for _, eff := range w.pend {
+		p := &w.plane[eff.victim]
+		if eff.invert {
+			*p ^= eff.lane
+		} else {
+			*p = (*p &^ eff.lane) | (eff.forced & eff.lane)
+		}
+	}
+}
+
+// read mirrors FaultyRAM.Read across all lanes and returns the lanes whose
+// word diverges from the golden want.  Clean addresses hold golden values in
+// every lane, so they only refresh the sense latches.
+func (w *PackedWorker) read(addr int, want uint64) uint64 {
+	bits := w.sim.cfg.Bits
+	base := addr * bits
+	if !w.hot[addr] {
+		for b := 0; b < bits; b++ {
+			w.sense[b] = pbcast(int(want >> uint(b) & 1))
+		}
+		return 0
+	}
+	var diff uint64
+	for b := 0; b < bits; b++ {
+		v := w.plane[base+b]
+		if s := w.siteAt[base+b]; s != nil {
+			for _, eff := range s.cfst {
+				if int(w.gcells[eff.aggr.Addr]>>uint(eff.aggr.Bit)&1) == eff.aggrState {
+					v = (v &^ eff.lane) | (eff.forced & eff.lane)
+				}
+			}
+			if s.rdf != 0 {
+				v ^= s.rdf
+				p := &w.plane[base+b]
+				*p = (*p &^ s.rdf) | (v & s.rdf) // disturb stores back
+			}
+			if s.sof != 0 {
+				v = (v &^ s.sof) | (w.sense[b] & s.sof)
+			}
+		}
+		w.sense[b] = v
+		diff |= v ^ pbcast(int(want>>uint(b)&1))
+	}
+	return diff
+}
+
+// pause mirrors FaultyRAM.Pause: every DRF victim decays to its leakage
+// value on its lane.
+func (w *PackedWorker) pause() {
+	for _, d := range w.drf {
+		p := &w.plane[d.victim]
+		*p = (*p &^ d.lane) | (d.forced & d.lane)
+	}
+}

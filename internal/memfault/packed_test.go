@@ -1,0 +1,215 @@
+package memfault
+
+import (
+	"fmt"
+	"testing"
+
+	"steac/internal/march"
+	"steac/internal/memory"
+)
+
+// packedFaultList is the differential-test fault universe for a geometry:
+// every generator (including the retention and intra-word coupling lists the
+// campaign generator omits), plus port-B stuck-ats on two-port macros so the
+// scalar fallback path is exercised too.
+func packedFaultList(cfg memory.Config) []Fault {
+	faults := AllFaults(cfg)
+	faults = append(faults, RetentionFaults(cfg)...)
+	faults = append(faults, IntraWordCouplingFaults(cfg)...)
+	if cfg.Kind == memory.TwoPort {
+		forEachCell(cfg, func(c Cell) {
+			faults = append(faults,
+				Fault{Kind: SAB0, Victim: c},
+				Fault{Kind: SAB1, Victim: c})
+		})
+	}
+	return faults
+}
+
+// scalarVerdicts is the ground truth: one scalar single-fault machine per
+// fault, exactly what the pre-packed campaign ran.
+func scalarVerdicts(t *testing.T, sim *CoverageSim, faults []Fault) []bool {
+	t.Helper()
+	w, err := sim.NewWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, len(faults))
+	for i, f := range faults {
+		d, err := w.Detect(f)
+		if err != nil {
+			t.Fatalf("scalar Detect(%s): %v", f, err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// TestPackedWorkerMatchesScalar is the packed engine's differential
+// contract: for every fault kind, geometry, algorithm and option set the
+// bit-plane verdicts must be byte-identical to per-fault scalar simulation.
+func TestPackedWorkerMatchesScalar(t *testing.T) {
+	type fixture struct {
+		cfg  memory.Config
+		algs []march.Algorithm
+		opts []Options
+	}
+	fixtures := []fixture{
+		{
+			cfg:  cfg16x4,
+			algs: []march.Algorithm{march.MSCAN(), march.MATSPlus(), march.MarchCMinus(), march.MarchLR()},
+			opts: []Options{
+				{},
+				{Backgrounds: []uint64{0x0, 0x5}},
+				{PauseBefore: RetentionPauses()},
+			},
+		},
+		{
+			cfg:  memory.Config{Name: "w32x8", Words: 32, Bits: 8},
+			algs: []march.Algorithm{march.MarchCMinus()},
+			opts: []Options{{}, {Backgrounds: []uint64{0x0, Checkerboard(8)}}},
+		},
+		{
+			cfg:  memory.Config{Name: "tp16x4", Words: 16, Bits: 4, Kind: memory.TwoPort},
+			algs: []march.Algorithm{march.MarchY()},
+			opts: []Options{{}},
+		},
+	}
+	for _, fx := range fixtures {
+		faults := packedFaultList(fx.cfg)
+		for _, alg := range fx.algs {
+			for oi, opt := range fx.opts {
+				t.Run(fmt.Sprintf("%s/%s/opts%d", fx.cfg.Name, alg.Name, oi), func(t *testing.T) {
+					sim, err := NewCoverageSim(alg, fx.cfg, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := scalarVerdicts(t, sim, faults)
+					pw, err := sim.NewPackedWorker()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := make([]bool, len(faults))
+					errs := make([]error, len(faults))
+					pw.DetectBatch(faults, got, errs)
+					for i := range faults {
+						if errs[i] != nil {
+							t.Fatalf("fault %d (%s): unexpected error %v", i, faults[i], errs[i])
+						}
+						if got[i] != want[i] {
+							t.Errorf("fault %d (%s): packed=%t scalar=%t", i, faults[i], got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPackedBatchSizes checks that batch geometry is not semantic: the same
+// worker, reused across batches of 1, 63, 64 and 65 faults (full word,
+// word±1 and the single-fault remainder path), must reproduce the one-shot
+// verdicts.
+func TestPackedBatchSizes(t *testing.T) {
+	cfg := cfg16x4
+	faults := packedFaultList(cfg)
+	sim, err := NewCoverageSim(march.MarchCMinus(), cfg, Options{PauseBefore: RetentionPauses()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := sim.NewPackedWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]bool, len(faults))
+	pw.DetectBatch(faults, want, nil)
+	for _, size := range []int{1, 63, 64, 65} {
+		got := make([]bool, len(faults))
+		for start := 0; start < len(faults); start += size {
+			end := start + size
+			if end > len(faults) {
+				end = len(faults)
+			}
+			pw.DetectBatch(faults[start:end], got[start:end], nil)
+		}
+		for i := range faults {
+			if got[i] != want[i] {
+				t.Fatalf("batch size %d: fault %d (%s): got %t want %t",
+					size, i, faults[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPackedWorkerErrorParity checks that ill-formed faults surface through
+// DetectBatch with exactly the error (and non-detection) the scalar worker
+// reports, without disturbing the valid lanes packed alongside them.
+func TestPackedWorkerErrorParity(t *testing.T) {
+	sim, err := NewCoverageSim(march.MarchCMinus(), cfg16x4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []Fault{
+		{Kind: SA0, Victim: Cell{Addr: 3, Bit: 1}},
+		{Kind: SA1, Victim: Cell{Addr: 99, Bit: 0}},   // out of range
+		{Kind: SAB0, Victim: Cell{Addr: 1, Bit: 1}},   // port-B fault on single-port
+		{Kind: DRF, Victim: Cell{Addr: 2}, Forced: 7}, // bad decay value
+		{Kind: RDF, Victim: Cell{Addr: 5, Bit: 2}},
+	}
+	sw, err := sim.NewWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := sim.NewPackedWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := make([]bool, len(faults))
+	errs := make([]error, len(faults))
+	pw.DetectBatch(faults, det, errs)
+	for i, f := range faults {
+		wantDet, wantErr := sw.Detect(f)
+		if det[i] != wantDet {
+			t.Errorf("fault %d (%s): packed=%t scalar=%t", i, f, det[i], wantDet)
+		}
+		switch {
+		case wantErr == nil && errs[i] != nil:
+			t.Errorf("fault %d (%s): unexpected error %v", i, f, errs[i])
+		case wantErr != nil && (errs[i] == nil || errs[i].Error() != wantErr.Error()):
+			t.Errorf("fault %d (%s): error %v, want %v", i, f, errs[i], wantErr)
+		}
+	}
+}
+
+// TestPackedCoverageCampaignEquality ties the end-to-end campaign to scalar
+// ground truth: Coverage (which now runs on the packed engine) must assemble
+// the same report a per-fault scalar sweep produces.
+func TestPackedCoverageCampaignEquality(t *testing.T) {
+	cfg := memory.Config{Name: "tp16x4", Words: 16, Bits: 4, Kind: memory.TwoPort}
+	faults := packedFaultList(cfg)
+	alg := march.MarchLR()
+	opt := Options{Backgrounds: []uint64{0x0, 0x5}, MaxUndetected: -1}
+	sim, err := NewCoverageSim(alg, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Assemble(alg.Name, faults, scalarVerdicts(t, sim, faults), opt)
+	for _, workers := range []int{1, 4} {
+		o := opt
+		o.Workers = workers
+		got, err := Coverage(alg, cfg, faults, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Total != want.Total || got.Detected != want.Detected ||
+			len(got.Undetected) != len(want.Undetected) {
+			t.Fatalf("workers=%d: campaign %+v, want %+v", workers, got, want)
+		}
+		for i := range want.Undetected {
+			if got.Undetected[i] != want.Undetected[i] {
+				t.Fatalf("workers=%d: undetected[%d] = %v, want %v",
+					workers, i, got.Undetected[i], want.Undetected[i])
+			}
+		}
+	}
+}

@@ -153,10 +153,12 @@ func (c Campaign) Percent() float64 {
 	return 100 * float64(c.Detected) / float64(c.Total)
 }
 
-// faultChunk is how many fault indices a worker claims per atomic fetch;
-// single-fault simulations are microseconds, so claiming one at a time
-// would serialize on the counter.
-const faultChunk = 64
+// faultChunk is how many fault indices a worker claims per atomic fetch.
+// It equals PackedLanes, so every claim is exactly one word-parallel batch
+// of the bit-plane engine, and chunk boundaries are fixed multiples of the
+// lane width regardless of worker count — the serial and parallel paths
+// simulate identical batches.
+const faultChunk = PackedLanes
 
 // Coverage simulates each fault in isolation (single-fault assumption) and
 // aggregates coverage per fault class.  The campaign fans the fault list
@@ -187,21 +189,24 @@ func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config
 
 	detected := make([]bool, len(faults))
 	simErrs := make([]error, len(faults))
-	// simulate runs fault i on a worker's reusable scratch machine.
-	simulate := func(w *CoverageWorker, i int) {
-		detected[i], simErrs[i] = w.Detect(faults[i])
-	}
-
+	// Both paths fan word-parallel batches of faultChunk faults through the
+	// bit-plane packed worker (scalar fallback per fault happens inside
+	// DetectBatch); batch boundaries are the same fixed multiples of the
+	// lane width either way, so the outcome is worker-count invariant.
 	if workers := opt.workerCount(len(faults)); workers <= 1 {
-		w, err := sim.NewWorker()
+		w, err := sim.NewPackedWorker()
 		if err != nil {
 			return Campaign{}, err
 		}
-		for i := range faults {
-			if i%faultChunk == 0 && ctx.Err() != nil {
+		for start := 0; start < len(faults); start += faultChunk {
+			if ctx.Err() != nil {
 				break
 			}
-			simulate(w, i)
+			end := start + faultChunk
+			if end > len(faults) {
+				end = len(faults)
+			}
+			w.DetectBatch(faults[start:end], detected[start:end], simErrs[start:end])
 		}
 	} else {
 		var next atomic.Int64
@@ -210,7 +215,7 @@ func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				wk, err := sim.NewWorker()
+				wk, err := sim.NewPackedWorker()
 				if err != nil {
 					return // cfg was validated by NewCoverageSim; unreachable
 				}
@@ -223,9 +228,7 @@ func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config
 					if end > len(faults) {
 						end = len(faults)
 					}
-					for i := start; i < end; i++ {
-						simulate(wk, i)
-					}
+					wk.DetectBatch(faults[start:end], detected[start:end], simErrs[start:end])
 				}
 			}()
 		}

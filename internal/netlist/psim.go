@@ -1,0 +1,558 @@
+package netlist
+
+import (
+	"fmt"
+
+	"steac/internal/obs"
+)
+
+// Observability for the packed engine mirrors the compiled one: ticks are
+// the finest grain counted, Settle stays uninstrumented.  Packed tick and
+// sim counts are deterministic functions of the campaign fault lists, so
+// they are worker-count-invariant like every other counter.
+var (
+	obsPackedSims  = obs.GetCounter("netlist.packed_sims")
+	obsPackedTicks = obs.GetCounter("netlist.packed_ticks")
+)
+
+// Lanes is the number of independent circuit copies a PackedSim carries:
+// one per bit of a machine word.
+const Lanes = 64
+
+// PackedSim is the word-packed parallel-fault variant of CompiledSim: the
+// same compiled program (net interning, opcode switch, topological comb
+// order), but every net holds a uint64 where bit i carries lane i's value,
+// so one pass through the gate array simulates 64 circuit copies.  The
+// boolean opcode switch becomes branch-free bitwise ops (NAND2 is
+// ^(a & b)), sequential state is word-wide, and stuck-at injection is a
+// per-pin AND/OR lane mask applied where the pin reads (input faults) or
+// where the driver writes (output faults) — the packed equivalent of
+// CompiledSim's rewiring to the reserved constant nets.
+//
+// Lane semantics are exactly CompiledSim's per lane: an unfaulted lane
+// computes the same trajectory as a fault-free CompiledSim, and a lane with
+// one injected fault computes the same trajectory as a CompiledSim clone
+// with that Inject applied.  TestPackedSimMatchesScalar locks that in
+// bit-for-bit.  By the xcheck campaign convention, lane Lanes-1 is reserved
+// for the fault-free machine so detection is (word ^ golden) != 0.
+type PackedSim struct {
+	p     *csProg
+	gates []cGate  // headers copied from the base; in/out arrays shared read-only
+	vals  []uint64 // net lane-words, indexed by net id
+	state []uint64 // per-gate stored lanes (sequential gates only)
+	next  []uint64
+	pre   []uint64 // scratch: pre-edge clock lanes in the generic Tick path
+
+	// Force lookup is per gate: a 63-lane batch injects dozens of sites, and
+	// every masked pin access during eval must find its (at most few) forces
+	// without scanning the whole batch's list.
+	gforces [][]laneForce // per gate: merged entries for its faulted pins
+	fgates  []int32       // gates with at least one force, for clear/reset
+	masked  []bool        // per gate: gforces[gi] non-empty
+
+	scratch map[string]bool // per-lane input map for custom (non-library) cells
+	clkIDs  map[string]int
+	coutW   []uint64 // scratch: custom comb output lane-words
+	coutM   []uint64 // scratch: lanes where Eval produced each output
+}
+
+// laneForce is the packed counterpart of cForce: instead of rewiring a pin,
+// the affected lanes are masked wherever the pin's word is read (inputs) or
+// driven (outputs).  mask holds every faulted lane on the pin, set the
+// subset stuck at 1; the applied value is (word &^ mask) | set.  Entries
+// live in the owning gate's gforces list.
+type laneForce struct {
+	slot int32
+	out  bool
+	mask uint64
+	set  uint64
+}
+
+// NewPackedSim builds a packed simulator over base's compiled program with
+// every lane at the all-zero reset state.  The base must be fault-free
+// (campaigns inject per lane via InjectLane); its gate headers are copied
+// so later Inject calls on the base cannot alias the packed machine.
+func NewPackedSim(base *CompiledSim) (*PackedSim, error) {
+	if len(base.forces) > 0 {
+		return nil, fmt.Errorf("netlist: packed sim requires a fault-free base (has %d forces)", len(base.forces))
+	}
+	s := &PackedSim{
+		p:       base.p,
+		gates:   append([]cGate(nil), base.gates...),
+		vals:    make([]uint64, len(base.vals)),
+		state:   make([]uint64, len(base.state)),
+		next:    make([]uint64, len(base.next)),
+		pre:     make([]uint64, len(base.pre)),
+		gforces: make([][]laneForce, len(base.gates)),
+		masked:  make([]bool, len(base.gates)),
+		scratch: make(map[string]bool, 8),
+		clkIDs:  make(map[string]int, 2),
+	}
+	s.vals[s.p.const1] = ^uint64(0)
+	s.Settle()
+	obsPackedSims.Add(1)
+	return s, nil
+}
+
+// GateCount reports the number of flattened primitive gates.
+func (s *PackedSim) GateCount() int { return len(s.gates) }
+
+// NetID resolves a net name to its dense id, or -1 when unknown.
+func (s *PackedSim) NetID(name string) int {
+	if id, ok := s.p.ids[name]; ok {
+		return int(id)
+	}
+	return -1
+}
+
+// BusIDs resolves port bits name[0..width-1] per the BitName convention.
+func (s *PackedSim) BusIDs(name string, width int) []int {
+	ids := make([]int, width)
+	for i := range ids {
+		ids[i] = s.NetID(BitName(name, i, width))
+	}
+	return ids
+}
+
+// SetID broadcasts one value to every lane of a net.
+func (s *PackedSim) SetID(id int, v bool) {
+	if v {
+		s.vals[id] = ^uint64(0)
+	} else {
+		s.vals[id] = 0
+	}
+}
+
+// SetWordID drives a net with per-lane values.
+func (s *PackedSim) SetWordID(id int, w uint64) { s.vals[id] = w }
+
+// GetWordID reads a net's lane-word.
+func (s *PackedSim) GetWordID(id int) uint64 { return s.vals[id] }
+
+// GetLaneID reads one lane of a net.
+func (s *PackedSim) GetLaneID(id, lane int) bool { return s.vals[id]>>uint(lane)&1 == 1 }
+
+// Set broadcasts to a top-level net by name; unknown names are ignored.
+func (s *PackedSim) Set(net string, v bool) {
+	if id := s.NetID(net); id >= 0 {
+		s.SetID(id, v)
+	}
+}
+
+// inWord reads one input pin's lane-word, applying any input-force mask.
+func (s *PackedSim) inWord(gi int32, slot int) uint64 {
+	g := &s.gates[gi]
+	n := g.in[slot]
+	var w uint64
+	if n >= 0 {
+		w = s.vals[n]
+	}
+	if s.masked[gi] {
+		for i := range s.gforces[gi] {
+			f := &s.gforces[gi][i]
+			if !f.out && int(f.slot) == slot {
+				w = (w &^ f.mask) | f.set
+				break
+			}
+		}
+	}
+	return w
+}
+
+// writeOut drives one output slot's net.  An output force is the packed
+// equivalent of CompiledSim disconnecting the driver and pinning the net:
+// forced lanes RETAIN the net's current value instead of taking the gate's
+// — the forced value is asserted once at inject/Reset and persists because
+// nothing else writes those lanes (and, exactly like the scalar
+// disconnection, an external Set on the net sticks until Reset).
+func (s *PackedSim) writeOut(gi int32, oi int, z uint64) {
+	g := &s.gates[gi]
+	n := g.out[oi]
+	if n < 0 {
+		return
+	}
+	if s.masked[gi] {
+		for i := range s.gforces[gi] {
+			f := &s.gforces[gi][i]
+			if f.out && int(f.slot) == oi {
+				z = (z &^ f.mask) | (s.vals[n] & f.mask)
+				break
+			}
+		}
+	}
+	s.vals[n] = z
+}
+
+// Settle exposes sequential state and evaluates every combinational gate
+// once in topological order, all 64 lanes per pass.
+func (s *PackedSim) Settle() {
+	for _, gi := range s.p.seqs {
+		g := &s.gates[gi]
+		st := s.state[gi]
+		if g.qSlot >= 0 && g.out[g.qSlot] >= 0 {
+			s.writeOut(gi, g.qSlot, st)
+		}
+		if g.qnSlot >= 0 && g.out[g.qnSlot] >= 0 {
+			s.writeOut(gi, g.qnSlot, ^st)
+		}
+	}
+	for _, gi := range s.p.comb {
+		s.evalComb(gi)
+	}
+}
+
+func (s *PackedSim) evalComb(gi int32) {
+	g := &s.gates[gi]
+	if g.op == opCustom || s.masked[gi] {
+		s.evalCombSlow(gi)
+		return
+	}
+	var a, b uint64
+	if len(g.in) > 0 && g.in[0] >= 0 {
+		a = s.vals[g.in[0]]
+	}
+	if len(g.in) > 1 && g.in[1] >= 0 {
+		b = s.vals[g.in[1]]
+	}
+	var z uint64
+	switch g.op {
+	case opInv:
+		z = ^a
+	case opBuf:
+		z = a
+	case opNand2:
+		z = ^(a & b)
+	case opNor2:
+		z = ^(a | b)
+	case opAnd2:
+		z = a & b
+	case opOr2:
+		z = a | b
+	case opXor2:
+		z = a ^ b
+	case opXnor2:
+		z = ^(a ^ b)
+	case opMux2:
+		var sel uint64
+		if g.in[2] >= 0 {
+			sel = s.vals[g.in[2]]
+		}
+		z = (b & sel) | (a &^ sel)
+	case opTie0:
+		z = 0
+	case opTie1:
+		z = ^uint64(0)
+	}
+	if len(g.out) > 0 && g.out[0] >= 0 {
+		s.vals[g.out[0]] = z
+	}
+}
+
+// evalCombSlow is the masked/custom path: library cells re-read inputs
+// through the force masks; custom cells evaluate per lane through the
+// scratch map (they are off the DSC hot path).
+func (s *PackedSim) evalCombSlow(gi int32) {
+	g := &s.gates[gi]
+	if g.op == opCustom {
+		s.evalCustomComb(gi)
+		return
+	}
+	var z uint64
+	switch g.op {
+	case opInv:
+		z = ^s.inWord(gi, 0)
+	case opBuf:
+		z = s.inWord(gi, 0)
+	case opNand2:
+		z = ^(s.inWord(gi, 0) & s.inWord(gi, 1))
+	case opNor2:
+		z = ^(s.inWord(gi, 0) | s.inWord(gi, 1))
+	case opAnd2:
+		z = s.inWord(gi, 0) & s.inWord(gi, 1)
+	case opOr2:
+		z = s.inWord(gi, 0) | s.inWord(gi, 1)
+	case opXor2:
+		z = s.inWord(gi, 0) ^ s.inWord(gi, 1)
+	case opXnor2:
+		z = ^(s.inWord(gi, 0) ^ s.inWord(gi, 1))
+	case opMux2:
+		sel := s.inWord(gi, 2)
+		z = (s.inWord(gi, 1) & sel) | (s.inWord(gi, 0) &^ sel)
+	case opTie0:
+		z = 0
+	case opTie1:
+		z = ^uint64(0)
+	}
+	if len(g.out) > 0 {
+		s.writeOut(gi, 0, z)
+	}
+}
+
+// evalCustomComb evaluates a non-library combinational cell lane by lane.
+// Like CompiledSim.evalCustom, an output key the Eval closure omits leaves
+// that lane's net bit unchanged.
+func (s *PackedSim) evalCustomComb(gi int32) {
+	g := &s.gates[gi]
+	nOut := len(g.cell.Outputs)
+	if cap(s.coutW) < nOut {
+		s.coutW = make([]uint64, nOut)
+		s.coutM = make([]uint64, nOut)
+	}
+	w := s.coutW[:nOut]
+	m := s.coutM[:nOut]
+	for i := range w {
+		w[i], m[i] = 0, 0
+	}
+	for lane := 0; lane < Lanes; lane++ {
+		bit := uint64(1) << uint(lane)
+		clear(s.scratch)
+		for si, f := range g.cell.Inputs {
+			s.scratch[f] = s.inWord(gi, si)&bit != 0
+		}
+		out := g.cell.Eval(s.scratch)
+		for oi, f := range g.cell.Outputs {
+			if v, ok := out[f]; ok {
+				m[oi] |= bit
+				if v {
+					w[oi] |= bit
+				}
+			}
+		}
+	}
+	for oi := range w {
+		n := g.out[oi]
+		if n < 0 || m[oi] == 0 {
+			continue
+		}
+		s.writeOut(gi, oi, (s.vals[n]&^m[oi])|(w[oi]&m[oi]))
+	}
+}
+
+// evalCustomSeqLane computes one lane of a custom sequential cell's next
+// state, mirroring CompiledSim.evalCustom's sequential branch.
+func (s *PackedSim) evalCustomSeqLane(gi int32, lane int, clockHigh bool) bool {
+	g := &s.gates[gi]
+	bit := uint64(1) << uint(lane)
+	clear(s.scratch)
+	for si, f := range g.cell.Inputs {
+		s.scratch[f] = s.inWord(gi, si)&bit != 0
+	}
+	s.scratch["Q"] = s.state[gi]&bit != 0
+	if clockHigh {
+		s.scratch[g.cell.Clock] = true
+	}
+	return g.cell.Eval(s.scratch)["Q"]
+}
+
+// evalSeqNext computes the next stored lane-word of a sequential gate from
+// the current settled net values — the word-wide twin of
+// CompiledSim.evalSeqNext.
+func (s *PackedSim) evalSeqNext(gi int32, clockHigh bool) uint64 {
+	g := &s.gates[gi]
+	switch g.op {
+	case opDFF: // D, CK
+		return s.inWord(gi, 0)
+	case opSDFF: // D, SI, SE, CK
+		se := s.inWord(gi, 2)
+		return (s.inWord(gi, 1) & se) | (s.inWord(gi, 0) &^ se)
+	case opDFFR: // D, CK, R — reset sampled on the edge
+		return s.inWord(gi, 0) &^ s.inWord(gi, 2)
+	case opLatch: // D, EN
+		en := s.inWord(gi, 1)
+		if clockHigh {
+			en = ^uint64(0)
+		}
+		return (s.inWord(gi, 0) & en) | (s.state[gi] &^ en)
+	}
+	var w uint64
+	for lane := 0; lane < Lanes; lane++ {
+		if s.evalCustomSeqLane(gi, lane, clockHigh) {
+			w |= 1 << uint(lane)
+		}
+	}
+	return w
+}
+
+// clockWord reads a sequential gate's clock pin through the force masks.
+func (s *PackedSim) clockWord(gi int32) uint64 {
+	return s.inWord(gi, s.gates[gi].clkSlot)
+}
+
+// clkKeep returns the lanes whose clock pin is NOT forced — the packed
+// equivalent of CompiledSim's clock-pure skip of flops whose clock pin was
+// rewired to a constant: a lane with a stuck clock pin never sees an edge.
+func (s *PackedSim) clkKeep(gi int32) uint64 {
+	if !s.masked[gi] {
+		return ^uint64(0)
+	}
+	g := &s.gates[gi]
+	keep := ^uint64(0)
+	for i := range s.gforces[gi] {
+		f := &s.gforces[gi][i]
+		if !f.out && int(f.slot) == g.clkSlot {
+			keep &^= f.mask
+			break
+		}
+	}
+	return keep
+}
+
+// Tick pulses the named top-level clock net across all lanes.
+func (s *PackedSim) Tick(clock string) {
+	id, ok := s.clkIDs[clock]
+	if !ok {
+		id = s.NetID(clock)
+		s.clkIDs[clock] = id
+	}
+	if id < 0 {
+		return
+	}
+	s.TickID(id)
+}
+
+// TickID pulses a clock net by id with CompiledSim.TickID's semantics,
+// per lane: settle low, capture every sequential cell on lanes whose clock
+// pin sees a rising edge, commit, settle.  Capture is masked per lane, so a
+// lane whose clock pin is stuck never captures — exactly like the scalar
+// engine skipping a flop whose clock pin was rewired to a constant.
+func (s *PackedSim) TickID(ck int) {
+	obsPackedTicks.Add(1)
+	s.vals[ck] = 0
+	s.Settle()
+	if s.p.clockPure[ck] {
+		for _, gi := range s.p.seqs {
+			g := &s.gates[gi]
+			if g.in[g.clkSlot] == int32(ck) {
+				capt := s.clkKeep(gi)
+				s.state[gi] = (s.evalSeqNext(gi, true) & capt) | (s.state[gi] &^ capt)
+			}
+		}
+		s.Settle()
+		return
+	}
+	for _, gi := range s.p.seqs {
+		s.pre[gi] = s.clockWord(gi)
+	}
+	s.vals[ck] = ^uint64(0)
+	s.Settle()
+	for _, gi := range s.p.seqs {
+		edge := ^s.pre[gi] & s.clockWord(gi)
+		if edge != 0 {
+			s.next[gi] = (s.evalSeqNext(gi, false) & edge) | (s.state[gi] &^ edge)
+		} else {
+			s.next[gi] = s.state[gi]
+		}
+	}
+	for _, gi := range s.p.seqs {
+		s.state[gi] = s.next[gi]
+	}
+	s.Settle()
+	s.vals[ck] = 0
+	s.Settle()
+}
+
+// Faults enumerates every injectable stuck-at site, shared with the base.
+func (s *PackedSim) Faults() []SAFault { return s.p.sites }
+
+// InjectLane forces a stuck-at fault on one port of one flattened gate in
+// one lane.  Resolution and error cases mirror CompiledSim.Inject exactly
+// (so a fault the scalar engine rejects is rejected here too); the effect
+// is a lane mask instead of a rewire.  Injecting both polarities on the
+// same pin/lane keeps the last value, like re-injecting after ClearFaults.
+func (s *PackedSim) InjectLane(lane int, gate, port string, value bool) error {
+	if lane < 0 || lane >= Lanes {
+		return fmt.Errorf("netlist: packed lane %d out of range", lane)
+	}
+	gi, ok := s.p.byName[gate]
+	if !ok {
+		return fmt.Errorf("netlist: no gate named %s", gate)
+	}
+	g := &s.gates[gi]
+	bit := uint64(1) << uint(lane)
+	for si, f := range g.cell.Inputs {
+		if f != port {
+			continue
+		}
+		if g.in[si] < 0 {
+			return fmt.Errorf("netlist: gate %s port %s is unconnected", gate, port)
+		}
+		s.addForce(gi, si, false, bit, value)
+		return nil
+	}
+	for oi, f := range g.cell.Outputs {
+		if f != port {
+			continue
+		}
+		n := g.out[oi]
+		if n < 0 {
+			return fmt.Errorf("netlist: gate %s port %s is unconnected", gate, port)
+		}
+		s.addForce(gi, oi, true, bit, value)
+		// Assert immediately, like the scalar Inject pinning the net.
+		if value {
+			s.vals[n] |= bit
+		} else {
+			s.vals[n] &^= bit
+		}
+		return nil
+	}
+	return fmt.Errorf("netlist: gate %s (%s) has no port %s", gate, g.cell.Name, port)
+}
+
+func (s *PackedSim) addForce(gi int32, slot int, out bool, bit uint64, value bool) {
+	for i := range s.gforces[gi] {
+		f := &s.gforces[gi][i]
+		if f.out == out && int(f.slot) == slot {
+			f.mask |= bit
+			if value {
+				f.set |= bit
+			} else {
+				f.set &^= bit
+			}
+			return
+		}
+	}
+	if !s.masked[gi] {
+		s.fgates = append(s.fgates, gi)
+		s.masked[gi] = true
+	}
+	var set uint64
+	if value {
+		set = bit
+	}
+	s.gforces[gi] = append(s.gforces[gi], laneForce{slot: int32(slot), out: out, mask: bit, set: set})
+}
+
+// ClearFaults removes every lane force.  Net values are stale until the
+// next Settle (campaigns call Reset).
+func (s *PackedSim) ClearFaults() {
+	for _, gi := range s.fgates {
+		s.gforces[gi] = s.gforces[gi][:0]
+		s.masked[gi] = false
+	}
+	s.fgates = s.fgates[:0]
+}
+
+// Reset returns every lane of every net and sequential bit to 0 and
+// settles.  Lane forces stay active; forced output nets are re-asserted on
+// their lanes, like the scalar Reset.
+func (s *PackedSim) Reset() {
+	for i := range s.vals {
+		s.vals[i] = 0
+	}
+	s.vals[s.p.const1] = ^uint64(0)
+	for i := range s.state {
+		s.state[i] = 0
+	}
+	for _, gi := range s.fgates {
+		for i := range s.gforces[gi] {
+			f := &s.gforces[gi][i]
+			if f.out {
+				if n := s.gates[gi].out[f.slot]; n >= 0 {
+					s.vals[n] = f.set
+				}
+			}
+		}
+	}
+	s.Settle()
+}

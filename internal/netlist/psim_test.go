@@ -1,0 +1,335 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// comparePackedLane checks one packed lane against a scalar CompiledSim on
+// every observable net.
+func comparePackedLane(t *testing.T, step string, lane int, nets []string, ids []int,
+	ps *PackedSim, ref *CompiledSim) {
+	t.Helper()
+	for i, n := range nets {
+		if got, want := ps.GetLaneID(ids[i], lane), ref.Get(n); got != want {
+			t.Fatalf("%s: lane %d net %s: packed=%v scalar=%v", step, lane, n, got, want)
+		}
+	}
+}
+
+// runPackedVsScalar drives a PackedSim carrying faults (lane i = faults[i],
+// lane 63 fault-free) in lockstep with one scalar CompiledSim per lane,
+// comparing every observable net after every Settle and Tick, and checks
+// the packed detection verdict (first cycle with (word ^ golden-broadcast)
+// != 0 on an observable) equals the scalar one per fault.
+func runPackedVsScalar(t *testing.T, d *Design, top string, ins, clocks, obsNets []string,
+	faults []SAFault, seed int64, cycles int) {
+	t.Helper()
+	if len(faults) > Lanes-1 {
+		t.Fatalf("at most %d faults per packed pass, got %d", Lanes-1, len(faults))
+	}
+	base, err := NewCompiledSim(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPackedSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One scalar machine per lane: faulty clones for lanes 0..n-1, the
+	// fault-free base standing in for every remaining lane (an uninjected
+	// packed lane must behave exactly like the golden machine).
+	scalars := make([]*CompiledSim, len(faults))
+	for i, f := range faults {
+		c := base.Clone()
+		if err := c.Inject(f.Gate, f.Port, f.Value); err != nil {
+			t.Fatalf("scalar inject %v: %v", f, err)
+		}
+		if perr := ps.InjectLane(i, f.Gate, f.Port, f.Value); perr != nil {
+			t.Fatalf("packed inject %v: %v", f, perr)
+		}
+		scalars[i] = c
+	}
+	ids := make([]int, len(obsNets))
+	for i, n := range obsNets {
+		ids[i] = ps.NetID(n)
+		if ids[i] < 0 {
+			t.Fatalf("unknown observable net %s", n)
+		}
+	}
+	firstDivPacked := make([]int, len(faults))
+	firstDivScalar := make([]int, len(faults))
+	for i := range firstDivPacked {
+		firstDivPacked[i], firstDivScalar[i] = -1, -1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	step := 0
+	observe := func(label string) {
+		t.Helper()
+		for lane, ref := range scalars {
+			comparePackedLane(t, label, lane, obsNets, ids, ps, ref)
+		}
+		comparePackedLane(t, label, Lanes-1, obsNets, ids, ps, base)
+		// Detection verdicts: packed word-vs-golden diff against per-lane
+		// scalar miscompare, at the same step index.
+		for i, id := range ids {
+			w := ps.GetWordID(id)
+			golden := uint64(0)
+			if w>>(Lanes-1)&1 == 1 {
+				golden = ^uint64(0)
+			}
+			diff := w ^ golden
+			for lane := range scalars {
+				if diff>>uint(lane)&1 == 1 && firstDivPacked[lane] < 0 {
+					firstDivPacked[lane] = step
+				}
+				if scalars[lane].Get(obsNets[i]) != base.Get(obsNets[i]) && firstDivScalar[lane] < 0 {
+					firstDivScalar[lane] = step
+				}
+			}
+		}
+		step++
+	}
+	for cyc := 0; cyc < cycles; cyc++ {
+		for _, in := range ins {
+			v := rng.Intn(2) == 1
+			ps.Set(in, v)
+			base.Set(in, v)
+			for _, c := range scalars {
+				c.Set(in, v)
+			}
+		}
+		ps.Settle()
+		base.Settle()
+		for _, c := range scalars {
+			c.Settle()
+		}
+		observe(fmt.Sprintf("cycle %d settle", cyc))
+		clk := clocks[rng.Intn(len(clocks))]
+		ps.Tick(clk)
+		base.Tick(clk)
+		for _, c := range scalars {
+			c.Tick(clk)
+		}
+		observe(fmt.Sprintf("cycle %d tick %s", cyc, clk))
+	}
+	for lane := range scalars {
+		if firstDivPacked[lane] != firstDivScalar[lane] {
+			t.Fatalf("fault %v: packed first divergence %d, scalar %d",
+				faults[lane], firstDivPacked[lane], firstDivScalar[lane])
+		}
+	}
+}
+
+// TestPackedSimMatchesScalar packs random fault subsets of the full
+// testbed (every library cell, gated clock, latch, hierarchy) and checks
+// every lane against its scalar CompiledSim twin, including the golden
+// lane and the detection-verdict convention.
+func TestPackedSimMatchesScalar(t *testing.T) {
+	d := buildSimTestbed(t)
+	probe, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := probe.Faults()
+	ins := []string{"rst", "en", "a", "b", "s"}
+	clocks := []string{"ck", "ck2", "en"}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		// Vary the lane count to cover the <63-fault remainder path and a
+		// full word.
+		n := []int{1, 5, 17, 40, 63, 63}[trial]
+		if n > len(sites) {
+			n = len(sites)
+		}
+		faults := make([]SAFault, 0, n)
+		for _, i := range rng.Perm(len(sites))[:n] {
+			faults = append(faults, sites[i])
+		}
+		runPackedVsScalar(t, d, "dut", ins, clocks, tbOutputs, faults, int64(trial), 50)
+	}
+}
+
+// randomPackedDesign generates a random acyclic netlist: a gated clock, a
+// mix of every library cell, inputs drawn only from earlier nets (no comb
+// loops).  Returns the design plus its input, clock and observable nets.
+func randomPackedDesign(rng *rand.Rand, nGates int) (*Design, []string, []string, []string) {
+	d := NewDesign("rnd", DefaultLibrary())
+	m := NewModule("dut")
+	ins := []string{"i0", "i1", "i2", "i3"}
+	for _, p := range append([]string{"ck", "ck2"}, ins...) {
+		m.MustPort(p, In, 1)
+	}
+	nets := append([]string{}, ins...)
+	pick := func() string { return nets[rng.Intn(len(nets))] }
+	// A gated clock keeps the generic Tick path exercised.
+	m.MustInstance("u_gck", CellAnd2, map[string]string{"A": "ck2", "B": "i0", "Z": "gck"})
+	clocks := []string{"ck", "gck"}
+	var obsNets []string
+	for gi := 0; gi < nGates; gi++ {
+		z := fmt.Sprintf("z%d", gi)
+		name := fmt.Sprintf("u_g%d", gi)
+		switch rng.Intn(12) {
+		case 0:
+			m.MustInstance(name, CellInv, map[string]string{"A": pick(), "Z": z})
+		case 1:
+			m.MustInstance(name, CellBuf, map[string]string{"A": pick(), "Z": z})
+		case 2:
+			m.MustInstance(name, CellNand2, map[string]string{"A": pick(), "B": pick(), "Z": z})
+		case 3:
+			m.MustInstance(name, CellNor2, map[string]string{"A": pick(), "B": pick(), "Z": z})
+		case 4:
+			m.MustInstance(name, CellAnd2, map[string]string{"A": pick(), "B": pick(), "Z": z})
+		case 5:
+			m.MustInstance(name, CellOr2, map[string]string{"A": pick(), "B": pick(), "Z": z})
+		case 6:
+			m.MustInstance(name, CellXor2, map[string]string{"A": pick(), "B": pick(), "Z": z})
+		case 7:
+			m.MustInstance(name, CellMux2, map[string]string{"A": pick(), "B": pick(), "S": pick(), "Z": z})
+		case 8:
+			m.MustInstance(name, CellDFF, map[string]string{"D": pick(), "CK": clocks[rng.Intn(2)], "Q": z})
+		case 9:
+			m.MustInstance(name, CellSDFF,
+				map[string]string{"D": pick(), "SI": pick(), "SE": pick(), "CK": clocks[rng.Intn(2)], "Q": z})
+		case 10:
+			m.MustInstance(name, CellDFFR, map[string]string{"D": pick(), "CK": clocks[rng.Intn(2)], "R": pick(), "Q": z})
+		case 11:
+			m.MustInstance(name, CellLatchL, map[string]string{"D": pick(), "EN": pick(), "Q": z})
+		}
+		nets = append(nets, z)
+		obsNets = append(obsNets, z)
+	}
+	d.MustAddModule(m)
+	d.Top = "dut"
+	return d, ins, clocks, obsNets
+}
+
+// packedVsScalarProperty is one property-check round for a seed: random
+// netlist, random fault subset, random stimulus, bit-identical lanes and
+// detection verdicts.
+func packedVsScalarProperty(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d, ins, clocks, obsNets := randomPackedDesign(rng, 6+rng.Intn(30))
+	probe, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	sites := probe.Faults()
+	n := 1 + rng.Intn(Lanes-1)
+	if n > len(sites) {
+		n = len(sites)
+	}
+	faults := make([]SAFault, 0, n)
+	for _, i := range rng.Perm(len(sites))[:n] {
+		faults = append(faults, sites[i])
+	}
+	runPackedVsScalar(t, d, "dut", ins, clocks, obsNets, faults, seed^0x5a5a, 30)
+}
+
+// TestPackedSimRandomNetlistsProperty sweeps many random netlists.
+func TestPackedSimRandomNetlistsProperty(t *testing.T) {
+	rounds := 24
+	if testing.Short() {
+		rounds = 6
+	}
+	for seed := int64(0); seed < int64(rounds); seed++ {
+		packedVsScalarProperty(t, seed)
+	}
+}
+
+// FuzzPackedVsScalar lets the fuzzer hunt for a seed where a packed lane
+// diverges from its scalar twin.
+func FuzzPackedVsScalar(f *testing.F) {
+	for _, s := range []int64{1, 42, 12345} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		packedVsScalarProperty(t, seed)
+	})
+}
+
+// TestPackedSimInjectErrors checks packed injection rejects exactly what
+// the scalar engine rejects.
+func TestPackedSimInjectErrors(t *testing.T) {
+	d := buildSimTestbed(t)
+	base, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPackedSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.InjectLane(0, "no_such_gate", "A", true); err == nil {
+		t.Fatal("expected unknown-gate error")
+	}
+	if err := ps.InjectLane(0, "u_inv", "XYZ", true); err == nil {
+		t.Fatal("expected unknown-port error")
+	}
+	if err := ps.InjectLane(Lanes, "u_inv", "A", true); err == nil {
+		t.Fatal("expected lane-range error")
+	}
+	if err := base.Inject("u_inv", "A", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPackedSim(base); err == nil {
+		t.Fatal("expected fault-free-base error")
+	}
+}
+
+// TestPackedSimClearFaultsAndReset proves ClearFaults + Reset restore
+// golden behaviour on every lane.
+func TestPackedSimClearFaultsAndReset(t *testing.T) {
+	d := buildSimTestbed(t)
+	base, err := NewCompiledSim(d, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPackedSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []uint64 {
+		ps.Reset()
+		ps.Set("a", true)
+		ps.Set("b", true)
+		ps.Tick("ck")
+		out := make([]uint64, len(tbOutputs))
+		for i, o := range tbOutputs {
+			out[i] = ps.GetWordID(ps.NetID(o))
+		}
+		return out
+	}
+	clean := run()
+	for _, w := range clean {
+		if w != 0 && w != ^uint64(0) {
+			t.Fatalf("fault-free lanes disagree: %#x", w)
+		}
+	}
+	if err := ps.InjectLane(3, "u_nand", "Z", true); err != nil {
+		t.Fatal(err)
+	}
+	faulty := run()
+	differs := false
+	for i := range clean {
+		if faulty[i] != clean[i] {
+			differs = true
+			if faulty[i]^clean[i] != 1<<3 {
+				t.Fatalf("fault leaked outside lane 3 on %s: clean=%#x faulty=%#x",
+					tbOutputs[i], clean[i], faulty[i])
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("u_nand/Z SA1 should be visible on some output")
+	}
+	ps.ClearFaults()
+	restored := run()
+	for i := range clean {
+		if restored[i] != clean[i] {
+			t.Fatalf("ClearFaults did not restore lane behaviour at %s", tbOutputs[i])
+		}
+	}
+}

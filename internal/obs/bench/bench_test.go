@@ -92,6 +92,52 @@ func TestCompareImprovementPasses(t *testing.T) {
 	if s.Failed() {
 		t.Fatalf("improvement failed the comparison: %+v", s)
 	}
+	if s.Improved != 1 {
+		t.Fatalf("improved count = %d, want 1", s.Improved)
+	}
+	for _, d := range s.Ops {
+		if d.Op == "b.second" {
+			if d.Status != StatusImproved {
+				t.Fatalf("b.second status %s, want improved", d.Status)
+			}
+			if d.Speedup < 3.9 || d.Speedup > 4.1 {
+				t.Fatalf("b.second speedup %.2f, want ~4", d.Speedup)
+			}
+		} else if d.Speedup != 0 {
+			t.Fatalf("%s: speedup %.2f on non-improved op", d.Op, d.Speedup)
+		}
+	}
+}
+
+// TestCompareWithPerOpThreshold checks the override plumbing: the same delta
+// regresses under the default threshold but passes for an op granted more
+// headroom, and a tightened override flags a drift the default would let
+// through.
+func TestCompareWithPerOpThreshold(t *testing.T) {
+	old, new := sample(), sample()
+	new.Ops[0].WallNs = new.Ops[0].WallNs * 13 / 10 // b.second: +30%
+	s := CompareWith(old, new, CompareOptions{
+		ThresholdPct: 15,
+		OpThresholds: map[string]float64{"b.second": 50},
+	})
+	if s.Failed() || s.Regressions != 0 {
+		t.Fatalf("+30%% regressed despite a 50%% per-op threshold: %+v", s)
+	}
+	for _, d := range s.Ops {
+		if d.Op == "b.second" && d.ThresholdPct != 50 {
+			t.Fatalf("b.second judged against %.0f%%, want the 50%% override", d.ThresholdPct)
+		}
+	}
+
+	old, new = sample(), sample()
+	new.Ops[1].WallNs = new.Ops[1].WallNs * 11 / 10 // a.first: +10%
+	s = CompareWith(old, new, CompareOptions{
+		ThresholdPct: 15,
+		OpThresholds: map[string]float64{"a.first": 5},
+	})
+	if !s.Failed() || s.Regressions != 1 {
+		t.Fatalf("+10%% passed despite a 5%% per-op threshold: %+v", s)
+	}
 }
 
 func TestCompareMissingOpFails(t *testing.T) {

@@ -23,6 +23,12 @@ type OpDiff struct {
 	OldNs    int64   `json:"old_ns,omitempty"`
 	NewNs    int64   `json:"new_ns,omitempty"`
 	DeltaPct float64 `json:"delta_pct"`
+	// Speedup is the old/new wall-time ratio for improved ops (2.0 = twice
+	// as fast); zero elsewhere.
+	Speedup float64 `json:"speedup,omitempty"`
+	// ThresholdPct is the regression threshold this op was judged against —
+	// the summary default, or its per-op override.
+	ThresholdPct float64 `json:"threshold_pct"`
 	// Checks carried along so a check-mismatch is explainable.
 	OldCheck string `json:"old_check,omitempty"`
 	NewCheck string `json:"new_check,omitempty"`
@@ -30,11 +36,33 @@ type OpDiff struct {
 
 // Summary is a full two-file comparison.
 type Summary struct {
-	ThresholdPct    float64  `json:"threshold_pct"`
-	Ops             []OpDiff `json:"ops"`
-	Regressions     int      `json:"regressions"`
-	Missing         int      `json:"missing"`
-	CheckMismatches int      `json:"check_mismatches"`
+	ThresholdPct float64 `json:"threshold_pct"`
+	// OpThresholds records the per-op threshold overrides the comparison
+	// ran under, so a stored summary is self-describing.
+	OpThresholds    map[string]float64 `json:"op_thresholds,omitempty"`
+	Ops             []OpDiff           `json:"ops"`
+	Regressions     int                `json:"regressions"`
+	Improved        int                `json:"improved"`
+	Missing         int                `json:"missing"`
+	CheckMismatches int                `json:"check_mismatches"`
+}
+
+// CompareOptions tunes a comparison.
+type CompareOptions struct {
+	// ThresholdPct is the default regression threshold in percent of the
+	// old wall time.
+	ThresholdPct float64
+	// OpThresholds overrides the threshold for individual ops by name —
+	// e.g. a sub-millisecond op whose scheduler jitter needs more headroom,
+	// or a hardened kernel held to a tighter bound than the suite default.
+	OpThresholds map[string]float64
+}
+
+func (o CompareOptions) thresholdFor(op string) float64 {
+	if t, ok := o.OpThresholds[op]; ok {
+		return t
+	}
+	return o.ThresholdPct
 }
 
 // Failed reports whether the comparison should fail the build: any
@@ -44,12 +72,18 @@ func (s *Summary) Failed() bool {
 	return s.Regressions > 0 || s.Missing > 0 || s.CheckMismatches > 0
 }
 
-// Compare diffs two runs op by op.  An op regresses when its new wall time
-// exceeds the old by more than thresholdPct percent; improvements are
-// labelled but never fail.  Old and new files must share a schema (Load
-// already enforces the version).
+// Compare diffs two runs op by op under a single threshold.  An op
+// regresses when its new wall time exceeds the old by more than
+// thresholdPct percent; improvements are labelled (with their speedup) but
+// never fail.  Old and new files must share a schema (Load already enforces
+// the version).
 func Compare(old, new *File, thresholdPct float64) *Summary {
-	s := &Summary{ThresholdPct: thresholdPct}
+	return CompareWith(old, new, CompareOptions{ThresholdPct: thresholdPct})
+}
+
+// CompareWith is Compare with per-op threshold overrides.
+func CompareWith(old, new *File, opt CompareOptions) *Summary {
+	s := &Summary{ThresholdPct: opt.ThresholdPct, OpThresholds: opt.OpThresholds}
 	newOps := make(map[string]Op, len(new.Ops))
 	for _, op := range new.Ops {
 		newOps[op.Op] = op
@@ -64,7 +98,8 @@ func Compare(old, new *File, thresholdPct float64) *Summary {
 			continue
 		}
 		d := OpDiff{Op: o.Op, OldNs: o.WallNs, NewNs: n.WallNs,
-			OldCheck: o.Check, NewCheck: n.Check}
+			ThresholdPct: opt.thresholdFor(o.Op),
+			OldCheck:     o.Check, NewCheck: n.Check}
 		if o.WallNs > 0 {
 			d.DeltaPct = 100 * (float64(n.WallNs) - float64(o.WallNs)) / float64(o.WallNs)
 		}
@@ -72,11 +107,15 @@ func Compare(old, new *File, thresholdPct float64) *Summary {
 		case o.Check != n.Check:
 			d.Status = StatusCheckMismatch
 			s.CheckMismatches++
-		case d.DeltaPct > thresholdPct:
+		case d.DeltaPct > d.ThresholdPct:
 			d.Status = StatusRegressed
 			s.Regressions++
-		case d.DeltaPct < -thresholdPct:
+		case d.DeltaPct < -d.ThresholdPct:
 			d.Status = StatusImproved
+			s.Improved++
+			if n.WallNs > 0 {
+				d.Speedup = float64(o.WallNs) / float64(n.WallNs)
+			}
 		default:
 			d.Status = StatusOK
 		}
@@ -90,11 +129,13 @@ func Compare(old, new *File, thresholdPct float64) *Summary {
 	return s
 }
 
-// Write renders the summary as the human table benchdiff prints.
+// Write renders the summary as the human table benchdiff prints.  Improved
+// ops carry their speedup factor; ops judged under a per-op threshold
+// override show it next to the status.
 func (s *Summary) Write(w io.Writer) {
-	fmt.Fprintf(w, "%-28s %14s %14s %9s  %s\n", "op", "old", "new", "delta", "status")
+	fmt.Fprintf(w, "%-28s %14s %14s %9s %8s  %s\n", "op", "old", "new", "delta", "speedup", "status")
 	for _, d := range s.Ops {
-		old, new, delta := "-", "-", "-"
+		old, new, delta, speedup := "-", "-", "-", "-"
 		if d.OldNs > 0 {
 			old = time.Duration(d.OldNs).Round(time.Microsecond).String()
 		}
@@ -104,8 +145,15 @@ func (s *Summary) Write(w io.Writer) {
 		if d.Status != StatusMissing && d.Status != StatusNew {
 			delta = fmt.Sprintf("%+.1f%%", d.DeltaPct)
 		}
-		fmt.Fprintf(w, "%-28s %14s %14s %9s  %s\n", d.Op, old, new, delta, d.Status)
+		if d.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", d.Speedup)
+		}
+		status := d.Status
+		if _, ok := s.OpThresholds[d.Op]; ok && d.ThresholdPct != 0 {
+			status = fmt.Sprintf("%s (±%.0f%%)", d.Status, d.ThresholdPct)
+		}
+		fmt.Fprintf(w, "%-28s %14s %14s %9s %8s  %s\n", d.Op, old, new, delta, speedup, status)
 	}
-	fmt.Fprintf(w, "threshold ±%.0f%%: %d regressed, %d missing, %d check mismatches\n",
-		s.ThresholdPct, s.Regressions, s.Missing, s.CheckMismatches)
+	fmt.Fprintf(w, "threshold ±%.0f%%: %d regressed, %d improved, %d missing, %d check mismatches\n",
+		s.ThresholdPct, s.Regressions, s.Improved, s.Missing, s.CheckMismatches)
 }

@@ -115,10 +115,15 @@ func specs() []spec {
 			}, nil
 		}},
 		{name: "march.coverage_parallel", workers: 2, setup: func() (func() (opResult, error), error) {
-			// Larger geometry so the worker pool outweighs its own
-			// overhead; the campaign is aggregated in fault-list order and
-			// is bit-identical for every worker count.
-			cfg := memory.Config{Name: "proxy", Words: 32, Bits: 8}
+			// Identical workload to march.coverage (same geometry, fault
+			// list and algorithm) so the two rows differ only in worker
+			// count and their faults/s are directly comparable — the row
+			// used to run a 32x8 geometry whose per-fault cost is ~4x the
+			// serial row's 16x4, which made its throughput look like a
+			// parallel slowdown (see EXPERIMENTS.md).  The campaign is
+			// aggregated in fault-list order and is bit-identical for
+			// every worker count.
+			cfg := memory.Config{Name: "proxy", Words: 16, Bits: 4}
 			faults := memfault.AllFaults(cfg)
 			alg := march.MarchCMinus()
 			return func() (opResult, error) {

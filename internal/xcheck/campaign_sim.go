@@ -2,6 +2,7 @@ package xcheck
 
 import (
 	"context"
+	"fmt"
 	"strings"
 
 	"steac/internal/bist"
@@ -29,6 +30,10 @@ type CampaignSim struct {
 	faults []netlist.SAFault
 	golden int
 	run    func(ctx context.Context, sim *netlist.CompiledSim) int
+	// packedRun simulates up to 63 injected lanes at once on a PackedSim
+	// (lane 63 golden) and returns the per-lane first divergent cycle;
+	// only lanes in pending are meaningful.  nil means scalar-only.
+	packedRun func(ctx context.Context, ps *netlist.PackedSim, pending uint64) []int
 }
 
 // Name returns the campaign label.
@@ -57,6 +62,88 @@ func (s *CampaignSim) DetectAt(ctx context.Context, i int) int {
 		return -1
 	}
 	return s.run(ctx, fs)
+}
+
+// DetectBatch simulates faults [base, base+n) and returns their detection
+// cycles (-1 = silent), bit-identical to n DetectAt calls.  When the
+// campaign has a packed runner it packs up to PackedBatch faults per
+// word-parallel pass — one trip through the gate array simulates 63 fault
+// copies plus the golden machine — falling back to per-fault scalar clones
+// for single-fault remainders or scalar-only campaigns.  Results must be
+// discarded when ctx has fired, like DetectAt.
+func (s *CampaignSim) DetectBatch(ctx context.Context, base, n int) []int {
+	out := make([]int, n)
+	for lo := 0; lo < n; lo += PackedBatch {
+		hi := lo + PackedBatch
+		if hi > n {
+			hi = n
+		}
+		s.detectBatch(ctx, base+lo, out[lo:hi])
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return out
+}
+
+func (s *CampaignSim) detectBatch(ctx context.Context, base int, out []int) {
+	if s.packedRun == nil || len(out) == 1 {
+		for i := range out {
+			if ctx.Err() != nil {
+				return
+			}
+			out[i] = s.DetectAt(ctx, base+i)
+		}
+		return
+	}
+	ps, err := netlist.NewPackedSim(s.base)
+	if err != nil {
+		for i := range out {
+			out[i] = s.DetectAt(ctx, base+i)
+		}
+		return
+	}
+	var pending uint64
+	for i := range out {
+		f := s.faults[base+i]
+		if e := ps.InjectLane(i, f.Gate, f.Port, f.Value); e != nil {
+			out[i] = -1 // same verdict DetectAt gives an uninjectable fault
+			continue
+		}
+		pending |= 1 << uint(i)
+	}
+	det := s.packedRun(ctx, ps, pending)
+	for i := range out {
+		if pending>>uint(i)&1 == 1 {
+			out[i] = det[i]
+		}
+	}
+}
+
+// VerifyPackedScalar replays every sampled fault through both kernels —
+// the word-packed batch path and one scalar clone per fault — and returns
+// how many faults were compared.  Any lane whose packed detection cycle
+// differs from its scalar reference is an error naming the fault; this is
+// the differential that keeps the scalar engine authoritative (`dscflow
+// -xcheck` runs it across all 25 DSC designs).
+func (s *CampaignSim) VerifyPackedScalar(ctx context.Context) (int, error) {
+	if s.packedRun == nil {
+		return 0, fmt.Errorf("xcheck: %s: campaign has no packed kernel", s.name)
+	}
+	packed := s.DetectBatch(ctx, 0, len(s.faults))
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for i := range s.faults {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		if at := s.DetectAt(ctx, i); at != packed[i] {
+			return i, fmt.Errorf("xcheck: %s: fault %d (%s): packed detects at cycle %d, scalar at %d",
+				s.name, i, s.faults[i], packed[i], at)
+		}
+	}
+	return len(s.faults), nil
 }
 
 // Assemble builds the CampaignResult from per-fault detection cycles in
@@ -106,6 +193,9 @@ func NewTPGCampaignSim(name string, alg march.Algorithm, mems []memory.Config, o
 			_, at := runBISTTraced(sim, pins, padded, golden)
 			return at
 		},
+		packedRun: func(ctx context.Context, ps *netlist.PackedSim, pending uint64) []int {
+			return runBISTPacked(ctx, ps, pins, padded, golden, pending)
+		},
 	}, nil
 }
 
@@ -136,6 +226,9 @@ func NewControllerCampaignSim(name string, nGroups int, opts Options) (*Campaign
 		run: func(_ context.Context, sim *netlist.CompiledSim) int {
 			_, at := runControllerTraced(sim, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, golden)
 			return at
+		},
+		packedRun: func(ctx context.Context, ps *netlist.PackedSim, pending uint64) []int {
+			return runControllerPacked(ctx, ps, nGroups, goIDs, gdoneIDs, gfailIDs, outIDs, golden, pending)
 		},
 	}, nil
 }
@@ -206,5 +299,8 @@ func NewWrapperCampaignSim(name string, core *testinfo.Core, width int, opts Opt
 		faults: sampleFaults(faults, opts.MaxFaults, opts.Seed),
 		golden: wirCyclesFor() + layout.Cycles,
 		run:    run,
+		packedRun: func(ctx context.Context, ps *netlist.PackedSim, pending uint64) []int {
+			return runWrapperPacked(ctx, ps, core, pins, prog, layout, pending)
+		},
 	}, nil
 }

@@ -34,20 +34,21 @@ func sampleFaults(faults []netlist.SAFault, max int, seed int64) []netlist.SAFau
 	return out
 }
 
-// runCampaign simulates every fault of sim on its own clone of the base
-// netlist, fanned out over opts.Workers goroutines.  Faults are claimed in
-// fixed-size chunks off an atomic counter and results merged in fault-list
-// order, so the outcome is identical for any worker count.  Workers poll
-// ctx between faults (each fault is one full golden-stimulus simulation,
-// the natural batch unit); a canceled campaign returns ctx.Err() wrapped
-// with the stage name and no partial result.
+// runCampaign simulates every fault of sim via word-packed batches, fanned
+// out over opts.Workers goroutines.  Faults are claimed in packed-word
+// chunks off an atomic counter and results merged in fault-list order, so
+// the outcome is identical for any worker count — batch boundaries are
+// fixed multiples of PackedBatch regardless of which worker claims them.
+// Workers poll ctx between batches (and the packed BIST runner polls
+// mid-session); a canceled campaign returns ctx.Err() wrapped with the
+// stage name and no partial result.
 func runCampaign(ctx context.Context, sim *CampaignSim, opts Options) (CampaignResult, error) {
 	tm := obsSpanCampaign.Start()
 	defer tm.Stop()
 	n := sim.Faults()
 	detectedAt := make([]int, n)
 	var next int64
-	const chunk = 16
+	const chunk = PackedBatch
 	var wg sync.WaitGroup
 	for w := 0; w < opts.workers(); w++ {
 		wg.Add(1)
@@ -62,12 +63,7 @@ func runCampaign(ctx context.Context, sim *CampaignSim, opts Options) (CampaignR
 				if hi > n {
 					hi = n
 				}
-				for i := lo; i < hi; i++ {
-					if ctx.Err() != nil {
-						return
-					}
-					detectedAt[i] = sim.DetectAt(ctx, i)
-				}
+				copy(detectedAt[lo:hi], sim.DetectBatch(ctx, lo, hi-lo))
 			}
 		}()
 	}
@@ -101,11 +97,14 @@ func runBISTTraced(sim *netlist.CompiledSim, pins benchPins, mems []memory.Confi
 	sim.Tick("ck")
 	sim.Set("rst", false)
 	sim.Set("en", true)
+	// One settle propagates the enable; after that the state is settled at
+	// the top of every iteration (Tick ends with a Settle), so each cycle
+	// needs only the post-RAM-read settle.
+	sim.Settle()
 
 	var trace []bistTrace
 	cycle := 0
 	for {
-		sim.Settle()
 		for i := range mems {
 			word := gmem[i][getBusID(sim, pins.addr[i])]
 			for b, id := range pins.q[i] {

@@ -1,0 +1,79 @@
+package xcheck
+
+import (
+	"context"
+	"testing"
+
+	"steac/internal/memory"
+)
+
+// assertBatchMatchesScalar runs every fault of sim both ways — word-packed
+// DetectBatch and per-fault scalar DetectAt — and requires bit-identical
+// detection cycles, not just verdicts.
+func assertBatchMatchesScalar(t *testing.T, sim *CampaignSim) {
+	t.Helper()
+	ctx := context.Background()
+	n := sim.Faults()
+	if n == 0 {
+		t.Fatal("empty fault list")
+	}
+	batch := sim.DetectBatch(ctx, 0, n)
+	for i := 0; i < n; i++ {
+		if sc := sim.DetectAt(ctx, i); sc != batch[i] {
+			t.Fatalf("%s fault %d: packed=%d scalar=%d", sim.Name(), i, batch[i], sc)
+		}
+	}
+	// Arbitrary base offsets and sub-word remainders must agree with the
+	// full run (batch boundaries are not semantic).
+	if n > 10 {
+		off := sim.DetectBatch(ctx, 5, 9)
+		for i, at := range off {
+			if at != batch[5+i] {
+				t.Fatalf("%s offset batch fault %d: %d vs %d", sim.Name(), 5+i, at, batch[5+i])
+			}
+		}
+	}
+}
+
+func TestPackedTPGBatchMatchesScalar(t *testing.T) {
+	alg := mustAlg(t, "March X")
+	mems := []memory.Config{{Name: "m0", Words: 8, Bits: 2, Kind: memory.SinglePort}}
+	sim, err := NewTPGCampaignSim("tpg", alg, mems, Options{MaxFaults: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Faults() != 70 { // 63-lane word + 7-fault remainder
+		t.Fatalf("want 70 sampled faults, got %d", sim.Faults())
+	}
+	assertBatchMatchesScalar(t, sim)
+}
+
+func TestPackedTPGBatchMatchesScalarTwoPort(t *testing.T) {
+	alg := mustAlg(t, "March Y")
+	mems := []memory.Config{
+		{Name: "a", Words: 8, Bits: 2, Kind: memory.TwoPort},
+		{Name: "b", Words: 8, Bits: 3, Kind: memory.SinglePort},
+	}
+	sim, err := NewTPGCampaignSim("tpg2p", alg, mems, Options{MaxFaults: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatchMatchesScalar(t, sim)
+}
+
+func TestPackedControllerBatchMatchesScalar(t *testing.T) {
+	sim, err := NewControllerCampaignSim("ctl", 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatchMatchesScalar(t, sim)
+}
+
+func TestPackedWrapperBatchMatchesScalar(t *testing.T) {
+	core := xcheckCore("wpk", 4, 5, []int{7, 5}, 3, 99)
+	sim, err := NewWrapperCampaignSim("wrap", core, 2, Options{MaxFaults: 70, MaxPatterns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatchMatchesScalar(t, sim)
+}
