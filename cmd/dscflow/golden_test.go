@@ -82,3 +82,9 @@ func TestMarchEfficiencyGolden(t *testing.T) {
 	}
 	checkGolden(t, "marcheff", brains.EvaluationTable(rows))
 }
+
+// TestScenariosGolden pins the -scenarios registry listing: adding or
+// reshaping a builtin scenario must show up as a reviewed golden diff.
+func TestScenariosGolden(t *testing.T) {
+	checkGolden(t, "scenarios", scenarioList())
+}

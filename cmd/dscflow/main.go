@@ -9,6 +9,8 @@
 //	dscflow                  run everything except ATE verification
 //	dscflow -verify          also apply all ~4.4M tester cycles (≈5 s)
 //	dscflow -table1 ...      print individual sections only
+//	dscflow -scenario NAME   run the flow on a registry scenario (or a JSON spec file)
+//	dscflow -scenarios       list the registered chip scenarios and exit
 //	dscflow -obs             append the observability report (span tree + counters)
 //	dscflow -bench-json F    run the benchmark suite and write BENCH JSON to F
 //	dscflow -campaign F      run a checkpointable fault campaign from a JSON spec file
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"steac/internal/brains"
 	"steac/internal/core"
@@ -29,6 +32,7 @@ import (
 	"steac/internal/obs/bench"
 	"steac/internal/pattern"
 	"steac/internal/report"
+	"steac/internal/scenario"
 	"steac/internal/testinfo"
 	"steac/internal/xcheck"
 )
@@ -48,6 +52,10 @@ func main() {
 		xcheckOn = flag.Bool("xcheck", false, "gate-level differential verification: cross-check every generated DFT netlist against its behavioural model and run stuck-at fault campaigns")
 		workers  = flag.Int("workers", 0, "worker goroutines for fault simulation and schedule search (0 = all CPUs)")
 
+		scenarioF = flag.String("scenario", "dsc", "chip scenario: a registered name (see -scenarios) or the path of a JSON spec file")
+		chipSeed  = flag.Int64("seed", 0, "generator seed for randomized scenarios (the dsc scenario is fully pinned and seed-invariant)")
+		listScen  = flag.Bool("scenarios", false, "list the registered chip scenarios and exit")
+
 		campaignF = flag.String("campaign", "", "run a checkpointable fault campaign described by this JSON spec file (see cmd/dscflow/campaign.go)")
 		resumeDir = flag.String("resume", "", "resume a checkpointed campaign from this directory (kind and spec come from its manifest)")
 		checkDir  = flag.String("checkpoint", "", "checkpoint directory for -campaign (empty = in-memory, nothing survives the process)")
@@ -60,6 +68,10 @@ func main() {
 	flag.Parse()
 	all := !(*table1 || *schedOn || *ioOn || *areaOn || *bistOn || *marchOn || *verilog || *xcheckOn)
 
+	if *listScen {
+		fmt.Print(scenarioList())
+		return
+	}
 	if *benchJSON != "" {
 		runBench(*benchJSON, *benchShort)
 		return
@@ -72,20 +84,16 @@ func main() {
 		obs.Enable()
 	}
 
-	soc, err := dsc.BuildSOC()
+	chip, err := loadChip(*scenarioF, *chipSeed)
 	fail(err)
-	stils, err := core.EmitSTIL(dsc.Cores())
+	in, err := chip.FlowInput(*verify)
 	fail(err)
-	in := core.FlowInput{
-		STIL:        stils,
-		SOC:         soc,
-		Resources:   dsc.Resources(),
-		Memories:    dsc.Memories(),
-		BISTOptions: brains.Options{Grouping: brains.GroupPerMemory, Workers: *workers},
-		Verify:      *verify,
-	}
+	in.BISTOptions.Workers = *workers
 	in.Resources.Workers = *workers
 	if *extest {
+		if chip.Scenario != "dsc" {
+			fail(fmt.Errorf("-extest models the DSC glue interconnects and is only available for -scenario dsc"))
+		}
 		in.Interconnects = dsc.Interconnects()
 	}
 	res, err := core.RunFlow(in)
@@ -126,7 +134,7 @@ func main() {
 		fmt.Println()
 	}
 	if *xcheckOn {
-		fail(runXCheck(res, *workers))
+		fail(runXCheck(res, chip, *workers))
 	}
 	if *verify && res.Verify != nil {
 		fmt.Printf("ATE verification: PASS, %s cycles applied, 0 mismatches\n",
@@ -165,29 +173,77 @@ func runBench(path string, short bool) {
 		path, len(f.Ops), f.GitRev)
 }
 
+// loadChip resolves the -scenario argument: the path of a JSON spec file
+// when one exists there, otherwise a registered scenario name.
+func loadChip(arg string, seed int64) (*scenario.Chip, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		spec, err := scenario.LoadSpec(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arg, err)
+		}
+		return scenario.Generate(spec, seed)
+	}
+	return scenario.GenerateByName(arg, seed)
+}
+
+// scenarioList renders the -scenarios listing: every registered scenario
+// with its resolved description and the knobs that shape its chips.
+func scenarioList() string {
+	var b strings.Builder
+	b.WriteString("registered chip scenarios (run one with -scenario NAME [-seed N]):\n\n")
+	for _, name := range scenario.Names() {
+		spec, err := scenario.Resolve(name)
+		if err != nil {
+			fmt.Fprintf(&b, "  %-14s unresolvable: %v\n", name, err)
+			continue
+		}
+		raw, _ := scenario.Lookup(name)
+		fmt.Fprintf(&b, "  %-14s %s\n", name, spec.Description)
+		var traits []string
+		if raw != nil && raw.Base != "" {
+			traits = append(traits, "base "+raw.Base)
+		}
+		traits = append(traits,
+			fmt.Sprintf("%d core template(s)", len(spec.Cores)),
+			fmt.Sprintf("%d memory template(s)", len(spec.Memories)))
+		if spec.Resources != nil {
+			traits = append(traits, fmt.Sprintf("%d test pins", spec.Resources.TestPins))
+			if spec.Resources.PowerBudget > 0 {
+				traits = append(traits, fmt.Sprintf("power budget %g", spec.Resources.PowerBudget))
+			}
+		}
+		if spec.LogicBIST != nil && spec.LogicBIST.Fraction > 0 {
+			traits = append(traits, "hybrid logic BIST")
+		}
+		fmt.Fprintf(&b, "  %-14s %s\n\n", "", strings.Join(traits, ", "))
+	}
+	return b.String()
+}
+
 // runXCheck is the -xcheck section: differential equivalence of every
-// generated sequencer+TPG bench (all 22 DSC memories with their planned
-// algorithms, plus one multi-memory group proving sequencer lockstep), the
-// shared controller, and the TV core's full wrapper stack — then stuck-at
-// campaigns on the small real macros, the controller, and the TV wrapper.
-func runXCheck(res *core.FlowResult, workers int) error {
+// generated sequencer+TPG bench (each planned BIST group, plus one
+// multi-memory lockstep pair when the chip has two same-geometry macros),
+// the shared controller, and the cheapest scanned core's full wrapper
+// stack — then stuck-at campaigns on the small real macros, the
+// controller, and that wrapper.  On the dsc scenario this reproduces the
+// paper driver exactly: pair-scr1+scr2, wrap_TV w=2, and exhaustive
+// campaigns on extfifo and scr2.
+func runXCheck(res *core.FlowResult, chip *scenario.Chip, workers int) error {
 	opts := xcheck.Options{Workers: workers}
 	rep := &xcheck.Report{}
 
 	cases := make([]xcheck.GroupCase, len(res.Brains.Groups))
-	byName := map[string]memory.Config{}
 	alg := res.Brains.Opts.Algorithm
 	for i, g := range res.Brains.Groups {
 		cases[i] = xcheck.GroupCase{Name: g.Name, Alg: g.Alg, Mems: g.Mems}
-		for _, m := range g.Mems {
-			byName[m.Name] = m
-		}
 	}
 	// One multi-memory group: two small macros in lockstep on one sequencer.
-	cases = append(cases, xcheck.GroupCase{
-		Name: "pair-scr1+scr2", Alg: alg,
-		Mems: []memory.Config{byName["scr1"], byName["scr2"]},
-	})
+	if pair, ok := chip.PairMemories(); ok {
+		cases = append(cases, xcheck.GroupCase{
+			Name: fmt.Sprintf("pair-%s+%s", pair[0].Name, pair[1].Name), Alg: alg,
+			Mems: pair[:],
+		})
+	}
 	eq, err := xcheck.VerifyGroups(cases, opts)
 	if err != nil {
 		return err
@@ -198,17 +254,21 @@ func runXCheck(res *core.FlowResult, workers int) error {
 		return err
 	}
 	rep.Equiv = append(rep.Equiv, ctl)
-	tv := dsc.TV()
-	wres, _, err := xcheck.VerifyWrapper("wrap_TV w=2", tv, 2, opts)
-	if err != nil {
-		return err
+	wcore := chip.WrapperCore()
+	wname := ""
+	if wcore != nil {
+		wname = fmt.Sprintf("wrap_%s w=2", wcore.Name)
+		wres, _, err := xcheck.VerifyWrapper(wname, wcore, 2, opts)
+		if err != nil {
+			return err
+		}
+		rep.Equiv = append(rep.Equiv, wres)
 	}
-	rep.Equiv = append(rep.Equiv, wres)
 
 	// Campaigns: exhaustive on the two smallest real macros, the shared
-	// controller, and (sampled, 8-pattern program) the TV wrapper.
-	for _, name := range []string{"extfifo", "scr2"} {
-		camp, err := xcheck.TPGCampaign(name, alg, []memory.Config{byName[name]}, opts)
+	// controller, and (sampled, 8-pattern program) the wrapper stack.
+	for _, m := range chip.SmallestMemories(2) {
+		camp, err := xcheck.TPGCampaign(m.Name, alg, []memory.Config{m}, opts)
 		if err != nil {
 			return err
 		}
@@ -219,31 +279,33 @@ func runXCheck(res *core.FlowResult, workers int) error {
 		return err
 	}
 	rep.Campaigns = append(rep.Campaigns, ctlCamp)
-	wopts := opts
-	wopts.MaxFaults = 128
-	wopts.MaxPatterns = 8
-	wcamp, err := xcheck.WrapperCampaign("wrap_TV w=2", tv, 2, wopts)
-	if err != nil {
-		return err
+	if wcore != nil {
+		wopts := opts
+		wopts.MaxFaults = 128
+		wopts.MaxPatterns = 8
+		wcamp, err := xcheck.WrapperCampaign(wname, wcore, 2, wopts)
+		if err != nil {
+			return err
+		}
+		rep.Campaigns = append(rep.Campaigns, wcamp)
 	}
-	rep.Campaigns = append(rep.Campaigns, wcamp)
 
 	xcheck.WriteReport(os.Stdout, rep)
 	if !rep.Pass() {
 		return fmt.Errorf("gate-level cross-check FAILED")
 	}
-	return runPackedDifferential(cases, res, tv)
+	return runPackedDifferential(cases, res, wcore, wname)
 }
 
-// runPackedDifferential replays a sampled stuck-at campaign on every DSC
-// design — the 22 per-memory benches, the lockstep pair, the shared
-// controller and the TV wrapper stack, 25 in all — through both the
-// word-packed kernel and the scalar reference, and fails on the first
-// fault whose detection cycle differs.  MaxFaults scales inversely with
-// the padded memory size so the scalar replays stay affordable on the
-// frame buffers while small macros still cover a full 63-lane word plus
-// the remainder path.
-func runPackedDifferential(cases []xcheck.GroupCase, res *core.FlowResult, tv *testinfo.Core) error {
+// runPackedDifferential replays a sampled stuck-at campaign on every
+// generated design — each BIST-group bench (for the DSC chip: the 22
+// per-memory benches), the lockstep pair, the shared controller and the
+// wrapper stack — through both the word-packed kernel and the scalar
+// reference, and fails on the first fault whose detection cycle differs.
+// MaxFaults scales inversely with the padded memory size so the scalar
+// replays stay affordable on the frame buffers while small macros still
+// cover a full 63-lane word plus the remainder path.
+func runPackedDifferential(cases []xcheck.GroupCase, res *core.FlowResult, wcore *testinfo.Core, wname string) error {
 	ctx := context.Background()
 	fmt.Println("packed-vs-scalar differential (sampled stuck-at campaigns)")
 	designs, faults := 0, 0
@@ -274,8 +336,10 @@ func runPackedDifferential(cases []xcheck.GroupCase, res *core.FlowResult, tv *t
 	if err := check(xcheck.NewControllerCampaignSim("controller", len(res.Brains.Groups), xcheck.Options{MaxFaults: 128})); err != nil {
 		return err
 	}
-	if err := check(xcheck.NewWrapperCampaignSim("wrap_TV w=2", tv, 2, xcheck.Options{MaxFaults: 48, MaxPatterns: 8})); err != nil {
-		return err
+	if wcore != nil {
+		if err := check(xcheck.NewWrapperCampaignSim(wname, wcore, 2, xcheck.Options{MaxFaults: 48, MaxPatterns: 8})); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("  %d designs, %d faults: packed kernels match the scalar reference\n", designs, faults)
 	return nil

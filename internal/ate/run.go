@@ -37,14 +37,13 @@ func Run(prog *pattern.Program, chip *Chip) (Result, error) {
 		if err := chip.StartSession(si); err != nil {
 			return res, err
 		}
-		wireOwner, slotOwner := layoutOwners(layout)
 		count := 0
 		err := prog.Stream(layout, func(c int, cyc *pattern.Cycle) bool {
 			tamOut, funcOut := chip.Step(cyc)
 			for w, exp := range cyc.TamExpect {
 				if !exp.Matches(tamOut[w]) {
 					res.record(si, c, fmt.Sprintf("tam_out[%d]", w))
-					if id, ok := wireOwner[w]; ok {
+					if id, ok := wireOwner(layout, w, c); ok {
 						failing[id] = true
 					}
 				}
@@ -52,7 +51,7 @@ func Run(prog *pattern.Program, chip *Chip) (Result, error) {
 			for s, exp := range cyc.FuncExpect {
 				if !exp.Matches(funcOut[s]) {
 					res.record(si, c, fmt.Sprintf("func[%d]", s))
-					if id, ok := slotOwner[s]; ok {
+					if id, ok := slotOwner(layout, s, c); ok {
 						failing[id] = true
 					}
 				}
@@ -82,29 +81,35 @@ func Run(prog *pattern.Program, chip *Chip) (Result, error) {
 	return res, nil
 }
 
-// layoutOwners maps TAM wires and functional slots to the test IDs that
-// own them in one session.
-func layoutOwners(layout pattern.SessionLayout) (map[int]string, map[int]string) {
-	wires := make(map[int]string)
-	slots := make(map[int]string)
+// wireOwner resolves which test owned TAM wire w at session cycle c.  Pins
+// are reused over time (time-disjoint lanes legally share wires and slots),
+// so ownership is a (pin, cycle) question, not a pin question.
+func wireOwner(layout pattern.SessionLayout, w, c int) (string, bool) {
 	for _, lane := range layout.Scan {
-		for ci := range lane.Plan.Chains {
-			wires[lane.WireLo+ci] = lane.Core.Name + ".scan"
-		}
-	}
-	for _, lane := range layout.Func {
-		for s := 0; s < lane.Slots; s++ {
-			slots[lane.SlotLo+s] = lane.Core.Name + ".func"
+		if w >= lane.WireLo && w < lane.WireLo+len(lane.Plan.Chains) &&
+			c >= lane.Start && c < lane.Start+lane.Cycles {
+			return lane.Core.Name + ".scan", true
 		}
 	}
 	if ex := layout.Extest; ex != nil {
 		for _, cl := range ex.Cores {
-			for ci := range cl.Plan.Chains {
-				wires[cl.WireLo+ci] = "chip.extest"
+			if w >= cl.WireLo && w < cl.WireLo+len(cl.Plan.Chains) {
+				return "chip.extest", true
 			}
 		}
 	}
-	return wires, slots
+	return "", false
+}
+
+// slotOwner resolves which test owned functional slot s at session cycle c.
+func slotOwner(layout pattern.SessionLayout, s, c int) (string, bool) {
+	for _, lane := range layout.Func {
+		if s >= lane.SlotLo && s < lane.SlotLo+lane.Slots &&
+			c >= lane.Start && c < lane.Start+lane.Cycles {
+			return lane.Core.Name + ".func", true
+		}
+	}
+	return "", false
 }
 
 func (r *Result) record(session, cycle int, pin string) {

@@ -8,6 +8,7 @@ import (
 	"steac/internal/march"
 	"steac/internal/memfault"
 	"steac/internal/memory"
+	"steac/internal/scenario"
 )
 
 // KindMemfault tags March coverage campaign specs in manifests and job
@@ -29,10 +30,19 @@ func init() {
 // canonical payload hashed into the campaign fingerprint; execution tuning
 // (workers, shard size, checkpoint dir) lives in Options instead.
 type CoverageSpec struct {
-	// Algorithm is the march.Catalog name ("March C-", ...).
-	Algorithm string `json:"algorithm"`
-	// Config is the memory under test.
-	Config memory.Config `json:"config"`
+	// Algorithm is the march.Catalog name ("March C-", ...).  With a
+	// Scenario it may be left empty, defaulting to the chip's BIST plan.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Config is the memory under test.  Alternatively Scenario + ChipSeed +
+	// Memory name a macro on a generated scenario chip; the two forms are
+	// mutually exclusive.
+	Config memory.Config `json:"config,omitempty"`
+	// Scenario/ChipSeed regenerate a scenario chip; Memory names one of its
+	// macros.  All three are semantic (fingerprinted): the same checkpoint
+	// always regrades the same macro.
+	Scenario string `json:"scenario,omitempty"`
+	ChipSeed int64  `json:"chip_seed,omitempty"`
+	Memory   string `json:"memory,omitempty"`
 	// AllFaults selects the full generated fault universe for Config.
 	AllFaults bool `json:"all_faults,omitempty"`
 	// Faults is an explicit fault list (ignored when AllFaults is set).
@@ -62,20 +72,37 @@ func (s *CoverageSpec) options() memfault.Options {
 	}
 }
 
-// Prepare implements Spec: resolve the algorithm, build the fault list,
-// and precompute the golden traces.
+// Prepare implements Spec: resolve the memory under test (inline config or
+// scenario macro) and the algorithm, build the fault list, and precompute
+// the golden traces.
 func (s *CoverageSpec) Prepare(context.Context) (Executor, error) {
-	alg, ok := march.ByName(s.Algorithm)
-	if !ok {
-		return nil, fmt.Errorf("campaign: unknown march algorithm %q", s.Algorithm)
+	cfg, algName := s.Config, s.Algorithm
+	if s.Scenario != "" {
+		if cfg.Name != "" {
+			return nil, fmt.Errorf("campaign: both config %q and scenario %q set", cfg.Name, s.Scenario)
+		}
+		chip, err := scenario.GenerateByName(s.Scenario, s.ChipSeed)
+		if err != nil {
+			return nil, err
+		}
+		if cfg, err = chipMemory(chip, s.Memory); err != nil {
+			return nil, err
+		}
+		if algName == "" {
+			algName = chipAlgorithm(chip)
+		}
 	}
-	sim, err := memfault.NewCoverageSim(alg, s.Config, s.options())
+	alg, ok := march.ByName(algName)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown march algorithm %q", algName)
+	}
+	sim, err := memfault.NewCoverageSim(alg, cfg, s.options())
 	if err != nil {
 		return nil, err
 	}
 	faults := s.Faults
 	if s.AllFaults {
-		faults = memfault.AllFaults(s.Config)
+		faults = memfault.AllFaults(cfg)
 	}
 	return &coverageExecutor{spec: s, sim: sim, faults: faults}, nil
 }

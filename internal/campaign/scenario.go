@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"fmt"
+
+	"steac/internal/memory"
+	"steac/internal/scenario"
+	"steac/internal/testinfo"
+)
+
+// Scenario-parameterized campaigns: a spec may name a registered scenario
+// plus a chip seed instead of embedding concrete memory configs or core
+// test information.  The pair regenerates the exact chip (scenario
+// generation is deterministic), so a checkpoint directory stays resumable
+// from nothing but its manifest — the fingerprint covers (scenario, seed,
+// macro names), never multi-kilobyte inlined structures.
+
+// chipMemory resolves one named macro on a generated scenario chip.
+func chipMemory(chip *scenario.Chip, name string) (memory.Config, error) {
+	for _, m := range chip.Memories {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return memory.Config{}, fmt.Errorf("campaign: scenario %q chip has no memory %q", chip.Scenario, name)
+}
+
+// chipCore resolves one named core on a generated scenario chip.
+func chipCore(chip *scenario.Chip, name string) (*testinfo.Core, error) {
+	for _, c := range chip.Cores {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("campaign: scenario %q chip has no core %q", chip.Scenario, name)
+}
+
+// chipAlgorithm is the March algorithm a scenario chip's BIST plan uses
+// (the BRAINS default when the spec leaves it open).
+func chipAlgorithm(chip *scenario.Chip) string {
+	if chip.BIST.Algorithm.Name != "" {
+		return chip.BIST.Algorithm.Name
+	}
+	return "March C-"
+}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"steac/internal/memory"
+	"steac/internal/scenario"
+)
+
+// TestScenarioSpecErrors pins the failure modes of scenario-threaded specs:
+// every misuse fails Prepare with a descriptive error instead of silently
+// falling back to an inline config or the DSC inventory.
+func TestScenarioSpecErrors(t *testing.T) {
+	ctx := context.Background()
+	cfg := memory.Config{Name: "inline", Words: 16, Bits: 2}
+	for name, tc := range map[string]struct {
+		spec Spec
+		want string
+	}{
+		"coverage unknown scenario": {
+			&CoverageSpec{Scenario: "no-such", Memory: "m"},
+			"unknown scenario",
+		},
+		"coverage config and scenario": {
+			&CoverageSpec{Config: cfg, Scenario: "dsc", Memory: "extfifo"},
+			"both config",
+		},
+		"coverage unknown macro": {
+			&CoverageSpec{Scenario: "dsc", Memory: "no-such-macro"},
+			"has no memory",
+		},
+		"xcheck memories and memory_names": {
+			&XCheckSpec{Campaign: XCheckTPG, Scenario: "dsc",
+				Memories: []memory.Config{cfg}, MemoryNames: []string{"extfifo"}},
+			"both memories",
+		},
+		"xcheck unknown macro": {
+			&XCheckSpec{Campaign: XCheckTPG, Scenario: "dsc",
+				MemoryNames: []string{"no-such-macro"}},
+			"has no memory",
+		},
+		"xcheck unknown core": {
+			&XCheckSpec{Campaign: XCheckWrapper, Scenario: "dsc",
+				Core: "no-such-core", TamWidth: 2},
+			"has no core",
+		},
+	} {
+		if _, err := tc.spec.Prepare(ctx); err == nil {
+			t.Errorf("%s: Prepare succeeded, want error containing %q", name, tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Prepare error %q, want substring %q", name, err, tc.want)
+		}
+	}
+
+	// The unknown-scenario case must keep the registry's typed sentinel so
+	// callers (the daemon) can map it to a client error.
+	_, err := (&CoverageSpec{Scenario: "no-such", Memory: "m"}).Prepare(ctx)
+	if !errors.Is(err, scenario.ErrUnknownScenario) {
+		t.Errorf("unknown scenario error %v does not wrap scenario.ErrUnknownScenario", err)
+	}
+}
+
+// TestScenarioSpecDefaultAlgorithm checks that a coverage spec with an empty
+// algorithm inherits the chip's BIST plan: the report is byte-identical to
+// one that names the algorithm explicitly, while the fingerprints stay
+// distinct (the spec payloads differ, so their checkpoints must not mix).
+func TestScenarioSpecDefaultAlgorithm(t *testing.T) {
+	ctx := context.Background()
+	chip, err := scenario.GenerateByName("dsc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := chip.SmallestMemories(1)[0].Name
+
+	inherit := &CoverageSpec{Scenario: "dsc", Memory: mem, AllFaults: true}
+	explicit := &CoverageSpec{Scenario: "dsc", Memory: mem, AllFaults: true,
+		Algorithm: chipAlgorithm(chip)}
+
+	a, err := Run(ctx, inherit, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("inherited-algorithm campaign: %v", err)
+	}
+	b, err := Run(ctx, explicit, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("explicit-algorithm campaign: %v", err)
+	}
+	aj, _ := json.Marshal(a.Report)
+	bj, _ := json.Marshal(b.Report)
+	if string(aj) != string(bj) {
+		t.Errorf("inherited algorithm report differs from explicit %q:\n got  %s\n want %s",
+			chipAlgorithm(chip), aj, bj)
+	}
+	if a.Fingerprint == b.Fingerprint {
+		t.Error("specs with different payloads share a fingerprint")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"steac/internal/dsc"
 	"steac/internal/march"
 	"steac/internal/memory"
+	"steac/internal/scenario"
 	"steac/internal/testinfo"
 	"steac/internal/xcheck"
 )
@@ -46,10 +47,16 @@ type XCheckSpec struct {
 	// Algorithm and Memories configure the "tpg" bench.
 	Algorithm string          `json:"algorithm,omitempty"`
 	Memories  []memory.Config `json:"memories,omitempty"`
+	// Scenario/ChipSeed regenerate a scenario chip as the design source:
+	// MemoryNames then selects "tpg" macros from it and Core resolves
+	// against its cores instead of the DSC inventory.
+	Scenario    string   `json:"scenario,omitempty"`
+	ChipSeed    int64    `json:"chip_seed,omitempty"`
+	MemoryNames []string `json:"memory_names,omitempty"`
 	// NGroups configures the "controller" campaign.
 	NGroups int `json:"n_groups,omitempty"`
-	// Core ("USB", "TV", "JPEG") and TamWidth configure the "wrapper"
-	// campaign.
+	// Core ("USB", "TV", "JPEG", or a scenario core name) and TamWidth
+	// configure the "wrapper" campaign.
 	Core     string `json:"core,omitempty"`
 	TamWidth int    `json:"tam_width,omitempty"`
 	// MaxFaults/Seed sample the fault universe; MaxUndetected caps the
@@ -99,27 +106,56 @@ func coreByName(name string) (*testinfo.Core, error) {
 // fault-free golden trace, sample the fault universe.
 func (s *XCheckSpec) Prepare(context.Context) (Executor, error) {
 	opts := s.options()
+	var chip *scenario.Chip
+	if s.Scenario != "" {
+		var err error
+		if chip, err = scenario.GenerateByName(s.Scenario, s.ChipSeed); err != nil {
+			return nil, err
+		}
+	}
 	var (
 		sim *xcheck.CampaignSim
 		err error
 	)
 	switch s.Campaign {
 	case XCheckTPG:
-		alg, ok := march.ByName(s.Algorithm)
-		if !ok {
-			return nil, fmt.Errorf("campaign: unknown march algorithm %q", s.Algorithm)
+		mems, algName := s.Memories, s.Algorithm
+		if chip != nil && len(s.MemoryNames) > 0 {
+			if len(mems) > 0 {
+				return nil, fmt.Errorf("campaign: both memories and memory_names set")
+			}
+			for _, name := range s.MemoryNames {
+				m, merr := chipMemory(chip, name)
+				if merr != nil {
+					return nil, merr
+				}
+				mems = append(mems, m)
+			}
 		}
-		if len(s.Memories) == 0 {
+		if algName == "" && chip != nil {
+			algName = chipAlgorithm(chip)
+		}
+		alg, ok := march.ByName(algName)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown march algorithm %q", algName)
+		}
+		if len(mems) == 0 {
 			return nil, fmt.Errorf("campaign: tpg campaign needs at least one memory")
 		}
-		sim, err = xcheck.NewTPGCampaignSim(s.name(), alg, s.Memories, opts)
+		sim, err = xcheck.NewTPGCampaignSim(s.name(), alg, mems, opts)
 	case XCheckController:
 		if s.NGroups <= 0 {
 			return nil, fmt.Errorf("campaign: controller campaign needs n_groups > 0")
 		}
 		sim, err = xcheck.NewControllerCampaignSim(s.name(), s.NGroups, opts)
 	case XCheckWrapper:
-		core, cerr := coreByName(s.Core)
+		var core *testinfo.Core
+		var cerr error
+		if chip != nil {
+			core, cerr = chipCore(chip, s.Core)
+		} else {
+			core, cerr = coreByName(s.Core)
+		}
 		if cerr != nil {
 			return nil, cerr
 		}

@@ -44,6 +44,12 @@ type FlowInput struct {
 	Interconnects []pattern.Interconnect
 	// BISTOptions tunes the BRAINS compilation.
 	BISTOptions brains.Options
+	// ExtraBIST appends pre-planned fixed-length self-test groups — e.g. a
+	// scenario's P1500 logic-core BIST sessions — to the schedulable BIST
+	// set.  They co-schedule exactly like BRAINS sequencer groups (serial
+	// behind the shared controller, filled into session slack) but carry no
+	// generated netlist and need no pattern source.
+	ExtraBIST []sched.BISTGroup
 	// Verify applies the translated patterns on the tester model.
 	Verify bool
 }
@@ -206,7 +212,7 @@ func RunFlowContext(ctx context.Context, in FlowInput) (*FlowResult, error) {
 
 	// 3. Core Test Scheduler (+ the two baselines for comparison).
 	if err := stage(ctx, obsSpanSchedule, func() error {
-		tests, err := sched.BuildTests(res.Cores, bistGroups)
+		tests, err := sched.BuildTests(res.Cores, append(bistGroups, in.ExtraBIST...))
 		if err != nil {
 			return err
 		}

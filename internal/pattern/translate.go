@@ -186,35 +186,34 @@ func Translate(s *sched.Schedule, sources map[string]Source, res sched.Resources
 // allocator hands out contiguous pin/slot ranges with time-based reuse.
 type allocator struct {
 	size int
-	busy []struct{ lo, n, end int }
+	busy []struct{ lo, n, start, end int }
 }
 
 func newAllocator(size int) *allocator { return &allocator{size: size} }
 
-// alloc reserves n contiguous units for [start, start+dur), reusing ranges
-// whose reservations ended at or before start.
+// alloc reserves n contiguous units for [start, start+dur): two
+// reservations may share units only when their time windows are disjoint.
+// Requests arrive in placement order, which is NOT start order (a schedule
+// lists a core's late functional test before another core's early one), so
+// expired-looking reservations must stay on the books — dropping them when
+// a later-starting request arrives would hand their units to an
+// earlier-starting request that does overlap them.
 func (a *allocator) alloc(n, start, dur int) (int, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("pattern: allocation of %d units", n)
 	}
-	keep := a.busy[:0]
-	for _, b := range a.busy {
-		if b.end > start {
-			keep = append(keep, b)
-		}
-	}
-	a.busy = keep
+	end := start + dur
 	for lo := 0; lo+n <= a.size; lo++ {
 		free := true
 		for _, b := range a.busy {
-			if lo < b.lo+b.n && b.lo < lo+n {
+			if lo < b.lo+b.n && b.lo < lo+n && start < b.end && b.start < end {
 				free = false
 				lo = b.lo + b.n - 1 // skip past this reservation
 				break
 			}
 		}
 		if free {
-			a.busy = append(a.busy, struct{ lo, n, end int }{lo, n, start + dur})
+			a.busy = append(a.busy, struct{ lo, n, start, end int }{lo, n, start, end})
 			return lo, nil
 		}
 	}

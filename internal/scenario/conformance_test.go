@@ -1,0 +1,243 @@
+// Cross-engine conformance suite: every chip a scenario can generate must
+// survive the same gauntlet the paper's DSC chip does.  For each (scenario,
+// seed) cell of a matrix spanning every builtin, the suite runs the full
+// STEAC flow (STIL → BRAINS → schedule → insertion → translation → ATE
+// apply), cross-checks generated DFT netlists against their behavioural
+// models, replays sampled stuck-at campaigns through the word-packed kernel
+// and the scalar reference demanding bit-identical detection cycles, and
+// proves that a checkpointed campaign killed mid-run resumes to a report
+// byte-identical to an uninterrupted one.  The suite is the executable form
+// of the scenario contract: "generatable" means "testable by every engine
+// in the repo", not merely "valid JSON".
+package scenario_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"steac/internal/campaign"
+	"steac/internal/core"
+	"steac/internal/memory"
+	"steac/internal/scenario"
+	"steac/internal/xcheck"
+)
+
+// chipCase is one cell of the conformance matrix.
+type chipCase struct {
+	scenario string
+	seed     int64
+}
+
+// conformanceMatrix enumerates the chips under test: the pinned dsc chip
+// plus seed sweeps over every randomized builtin — 21 chips across all 5
+// scenarios.  Short mode keeps one seed per scenario.
+func conformanceMatrix(short bool) []chipCase {
+	counts := []struct {
+		name  string
+		seeds int
+	}{
+		{"dsc", 1},
+		{"hybrid-power", 6},
+		{"p1500-lbist", 6},
+		{"memory-heavy", 4},
+		{"manycore", 4},
+	}
+	var matrix []chipCase
+	for _, c := range counts {
+		n := c.seeds
+		if short && n > 1 {
+			n = 1
+		}
+		for s := 0; s < n; s++ {
+			matrix = append(matrix, chipCase{c.name, int64(s)})
+		}
+	}
+	return matrix
+}
+
+// TestConformanceMatrix drives every matrix cell through the full gauntlet
+// in parallel and then checks two matrix-wide properties: the full matrix
+// meets the coverage floor (≥ 20 chips, ≥ 3 scenarios), and at least one
+// p1500-lbist chip actually carried hybrid logic-BIST sessions through the
+// flow (the LBIST core draw is probabilistic per seed).
+func TestConformanceMatrix(t *testing.T) {
+	matrix := conformanceMatrix(testing.Short())
+	if !testing.Short() {
+		scenarios := map[string]bool{}
+		for _, c := range matrix {
+			scenarios[c.scenario] = true
+		}
+		if len(matrix) < 20 || len(scenarios) < 3 {
+			t.Fatalf("matrix too small: %d chips over %d scenarios (want ≥ 20 over ≥ 3)",
+				len(matrix), len(scenarios))
+		}
+	}
+
+	var lbistChips atomic.Int32
+	t.Run("chips", func(t *testing.T) {
+		for _, c := range matrix {
+			c := c
+			t.Run(fmt.Sprintf("%s/seed=%d", c.scenario, c.seed), func(t *testing.T) {
+				t.Parallel()
+				chip, err := scenario.GenerateByName(c.scenario, c.seed)
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				if c.scenario == "p1500-lbist" && len(chip.ExtraBIST) > 0 {
+					lbistChips.Add(1)
+				}
+				conformChip(t, chip)
+			})
+		}
+	})
+	if !testing.Short() && lbistChips.Load() == 0 {
+		t.Error("no p1500-lbist chip in the matrix drew any logic-BIST core")
+	}
+}
+
+// conformChip runs one generated chip through every engine.
+func conformChip(t *testing.T, chip *scenario.Chip) {
+	t.Helper()
+
+	// 1. Full flow, ATE apply included: the translated program must pass
+	//    on the tester model with zero mismatches.  dsc skips the apply
+	//    (4.4M cycles; its verified flow is pinned by cmd/dscflow goldens).
+	verify := chip.Scenario != "dsc"
+	in, err := chip.FlowInput(verify)
+	if err != nil {
+		t.Fatalf("flow input: %v", err)
+	}
+	in.BISTOptions.Workers = 1
+	in.Resources.Workers = 1
+	res, err := core.RunFlow(in)
+	if err != nil {
+		t.Fatalf("flow: %v", err)
+	}
+	if res.Schedule == nil || res.Schedule.TotalCycles <= 0 {
+		t.Fatal("flow produced no schedule")
+	}
+	if verify {
+		if res.Verify == nil || !res.Verify.Pass || res.Verify.Mismatches != 0 {
+			t.Fatalf("ATE verification failed: %+v", res.Verify)
+		}
+	}
+	// Power-budgeted scenarios: no session may exceed the envelope.
+	if budget := chip.Resources.PowerBudget; budget > 0 {
+		for _, s := range res.Schedule.Sessions {
+			if s.PeakPower > budget+1e-9 {
+				t.Fatalf("session %d peak power %.3f exceeds budget %.3f",
+					s.Index, s.PeakPower, budget)
+			}
+		}
+	}
+
+	// 2. Behavioural-vs-compiled differential: the smallest macros, the
+	//    lockstep pair, the shared controller, and the cheapest wrapper.
+	opts := xcheck.Options{Workers: 1}
+	alg := res.Brains.Opts.Algorithm
+	var cases []xcheck.GroupCase
+	for _, m := range chip.SmallestMemories(2) {
+		cases = append(cases, xcheck.GroupCase{Name: m.Name, Alg: alg, Mems: []memory.Config{m}})
+	}
+	if pair, ok := chip.PairMemories(); ok {
+		cases = append(cases, xcheck.GroupCase{
+			Name: fmt.Sprintf("pair-%s+%s", pair[0].Name, pair[1].Name),
+			Alg:  alg, Mems: pair[:],
+		})
+	}
+	eqs, err := xcheck.VerifyGroups(cases, opts)
+	if err != nil {
+		t.Fatalf("verify groups: %v", err)
+	}
+	ctl, err := xcheck.VerifyController("controller", len(res.Brains.Groups), opts)
+	if err != nil {
+		t.Fatalf("verify controller: %v", err)
+	}
+	eqs = append(eqs, ctl)
+	wcore := chip.WrapperCore()
+	if wcore != nil {
+		w, _, err := xcheck.VerifyWrapper(fmt.Sprintf("wrap_%s w=2", wcore.Name), wcore, 2, opts)
+		if err != nil {
+			t.Fatalf("verify wrapper: %v", err)
+		}
+		eqs = append(eqs, w)
+	}
+	for _, eq := range eqs {
+		if !eq.Pass {
+			t.Errorf("equivalence check failed: %s", eq.String())
+		}
+	}
+
+	// 3. Packed-vs-scalar bit identity on sampled stuck-at campaigns: the
+	//    smallest macro's TPG bench and the wrapper stack.
+	ctx := context.Background()
+	small := chip.SmallestMemories(1)
+	tpgSim, err := xcheck.NewTPGCampaignSim(small[0].Name, alg, small, xcheck.Options{MaxFaults: 48})
+	if err != nil {
+		t.Fatalf("tpg sim: %v", err)
+	}
+	if _, err := tpgSim.VerifyPackedScalar(ctx); err != nil {
+		t.Errorf("packed vs scalar (tpg %s): %v", small[0].Name, err)
+	}
+	if wcore != nil {
+		wSim, err := xcheck.NewWrapperCampaignSim(
+			fmt.Sprintf("wrap_%s w=2", wcore.Name), wcore, 2,
+			xcheck.Options{MaxFaults: 24, MaxPatterns: 4})
+		if err != nil {
+			t.Fatalf("wrapper sim: %v", err)
+		}
+		if _, err := wSim.VerifyPackedScalar(ctx); err != nil {
+			t.Errorf("packed vs scalar (wrapper %s): %v", wcore.Name, err)
+		}
+	}
+
+	// 4. Checkpoint/resume determinism on a scenario-threaded campaign:
+	//    kill a checkpointed run at its first shard boundary, resume it,
+	//    and demand a report byte-identical to an uninterrupted in-memory
+	//    run of the same spec.
+	spec := &campaign.CoverageSpec{
+		Scenario:  chip.Scenario,
+		ChipSeed:  chip.Seed,
+		Memory:    small[0].Name,
+		AllFaults: true,
+	}
+	golden, err := campaign.Run(ctx, spec, campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("uninterrupted campaign: %v", err)
+	}
+	goldenJSON, err := json.Marshal(golden.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	runCtx, cancel := context.WithCancel(ctx)
+	opt := campaign.Options{Workers: 2, ShardSize: 64, Dir: dir,
+		OnShard: func(ev campaign.ShardEvent) {
+			if !ev.Resumed {
+				cancel() // stop at the first freshly simulated shard
+			}
+		}}
+	if _, err := campaign.Run(runCtx, spec, opt); err == nil {
+		// The campaign was small enough to finish before the cancellation
+		// landed — the checkpoint is complete and resume is a pure replay.
+		t.Logf("campaign finished before cancellation; resume replays fully")
+	}
+	cancel()
+	resumed, err := campaign.Run(ctx, spec, campaign.Options{Workers: 2, Dir: dir})
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	resumedJSON, err := json.Marshal(resumed.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(goldenJSON, resumedJSON) {
+		t.Fatalf("resumed report diverges from uninterrupted run:\n got  %s\n want %s",
+			resumedJSON, goldenJSON)
+	}
+}

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// typedSpecError reports whether err maps onto one of the package's typed
+// sentinels — the contract ParseSpec/LoadSpec/Generate promise for every
+// malformed input.
+func typedSpecError(err error) bool {
+	for _, sentinel := range []error{
+		ErrBadSpec, ErrBadDistribution, ErrDuplicateName,
+		ErrUnknownScenario, ErrBaseCycle,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSpec throws arbitrary bytes at the user-spec entry point: parse,
+// resolve against the registry (merge semantics included), and generate a
+// chip.  The invariants are (a) no input panics, (b) every rejection is one
+// of the typed sentinels, and (c) an accepted spec generates
+// deterministically.
+func FuzzSpec(f *testing.F) {
+	seeds := []string{
+		`{"name":"fz","cores":[{"name":"cpu"}]}`,
+		`{"name":"fz","base":"hybrid-power","logic_bist":{"fraction":0.5,"patterns":{"min":64,"max":128}}}`,
+		`{"name":"fz","base":"dsc","cores":[{"name":"USB","remove":true}],"blocks":{"glue":0}}`,
+		`{"name":"fz","cores":[{"name":"cpu","count":{"min":1,"max":3},"chains":{"min":1,"max":4},"chain_length":{"choices":[8,16]},"scan_patterns":{"min":4,"max":9}}],"memories":[{"name":"ram","count":{"min":2,"max":4},"words":{"min":64,"max":128},"bits":{"choices":[4,8]},"two_port_frac":0.5}],"blocks":{"glue":1000},"resources":{"test_pins":30,"power_budget":12,"partitioner":"firstfit"},"bist":{"grouping":"by-kind","algorithm":"March C-"}}`,
+		`{"name":"fz","cores":[{"name":"cpu","count":{"min":2,"max":2}},{"name":"cpu0"}]}`,
+		`{"name":"fz"}`,
+		`{"name":"fz","base":"no-such-scenario"}`,
+		`{"name":"fz","cores":[{"name":"cpu","chains":{"min":9,"max":3}}]}`,
+		`{"name":"bad name!","cores":[{"name":"cpu"}]}`,
+		`{"unknown_field":1}`,
+		`{"name":"fz","cores":[{"name":"cpu"}]} trailing`,
+		`not json at all`,
+		`[]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := LoadSpec(data)
+		if err != nil {
+			if !typedSpecError(err) {
+				t.Fatalf("untyped spec error: %v", err)
+			}
+			return
+		}
+		a, err := Generate(spec, 7)
+		if err != nil {
+			if !typedSpecError(err) {
+				t.Fatalf("untyped generate error: %v", err)
+			}
+			return
+		}
+		b, err := Generate(spec, 7)
+		if err != nil {
+			t.Fatalf("second generation failed after first succeeded: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("accepted spec generates nondeterministically")
+		}
+	})
+}

@@ -1,0 +1,320 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"steac/internal/dsc"
+)
+
+// TestDSCReproducesTable1 is the anchor of the whole registry: the fully
+// pinned dsc builtin must regenerate the hand-written dsc package's chip
+// exactly — cores, memories, blocks and resource budget — for any seed,
+// because a point-mass spec draws nothing from the sample stream.
+func TestDSCReproducesTable1(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		chip, err := GenerateByName("dsc", seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(chip.Cores, dsc.Cores()) {
+			t.Fatalf("seed %d: cores diverge from dsc.Cores()", seed)
+		}
+		if !reflect.DeepEqual(chip.Memories, dsc.Memories()) {
+			t.Fatalf("seed %d: memories diverge from dsc.Memories()", seed)
+		}
+		if !reflect.DeepEqual(chip.Resources, dsc.Resources()) {
+			t.Fatalf("seed %d: resources diverge from dsc.Resources(): %+v", seed, chip.Resources)
+		}
+		if !reflect.DeepEqual(chip.Blocks, dsc.ChipAreas()) {
+			t.Fatalf("seed %d: blocks diverge from dsc.ChipAreas()", seed)
+		}
+		if len(chip.ExtraBIST) != 0 {
+			t.Fatalf("seed %d: dsc chip has unexpected logic BIST", seed)
+		}
+	}
+}
+
+// TestDSCNetlistMatchesHandWritten: the generated dsc chip's SOC netlist
+// must be byte-identical to dsc.BuildSOC()'s, so `-scenario dsc` runs the
+// exact flow the golden files and the steacd smoke test pin down.
+func TestDSCNetlistMatchesHandWritten(t *testing.T) {
+	chip, err := GenerateByName("dsc", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := chip.BuildSOC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dsc.BuildSOC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV, err := got.EmitVerilogString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, err := want.EmitVerilogString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotV != wantV {
+		t.Fatalf("generated dsc netlist differs from dsc.BuildSOC()")
+	}
+}
+
+// TestDSCSelectorsMatchFlowChoices: the generic chip selectors must pick
+// exactly what cmd/dscflow hard-codes for the DSC, so generalizing the
+// xcheck driver does not change its dsc output.
+func TestDSCSelectorsMatchFlowChoices(t *testing.T) {
+	chip, err := GenerateByName("dsc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, ok := chip.PairMemories()
+	if !ok || pair[0].Name != "scr1" || pair[1].Name != "scr2" {
+		t.Fatalf("PairMemories = %v, %v (want scr1, scr2)", pair, ok)
+	}
+	if wc := chip.WrapperCore(); wc == nil || wc.Name != "TV" {
+		t.Fatalf("WrapperCore = %v (want TV)", wc)
+	}
+	small := chip.SmallestMemories(2)
+	if len(small) != 2 || small[0].Name != "extfifo" || small[1].Name != "scr2" {
+		t.Fatalf("SmallestMemories(2) = %v (want extfifo, scr2)", small)
+	}
+}
+
+// TestGenerateDeterministic: same (spec, seed) must yield a DeepEqual chip
+// on repeated runs and regardless of GOMAXPROCS; different seeds on a
+// randomized scenario must differ somewhere.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		chips := make([]*Chip, 3)
+		for i := range chips {
+			old := runtime.GOMAXPROCS([]int{1, runtime.NumCPU(), 2}[i%3])
+			c, err := GenerateByName(name, 1234)
+			runtime.GOMAXPROCS(old)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			chips[i] = c
+		}
+		if !reflect.DeepEqual(chips[0], chips[1]) || !reflect.DeepEqual(chips[1], chips[2]) {
+			t.Fatalf("%s: repeated generation diverges", name)
+		}
+		// The emitted SOC netlist must be byte-identical too — the chip
+		// inventory could DeepEqual while emission ordering drifted.
+		ref := ""
+		for i, c := range chips {
+			d, err := c.BuildSOC()
+			if err != nil {
+				t.Fatalf("%s: BuildSOC: %v", name, err)
+			}
+			v, err := d.EmitVerilogString()
+			if err != nil {
+				t.Fatalf("%s: emit: %v", name, err)
+			}
+			if i == 0 {
+				ref = v
+			} else if v != ref {
+				t.Fatalf("%s: netlist bytes differ between identical generations", name)
+			}
+		}
+	}
+	// A randomized scenario must actually vary with the seed.
+	a, err := GenerateByName("hybrid-power", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateByName("hybrid-power", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Cores, b.Cores) && reflect.DeepEqual(a.Memories, b.Memories) {
+		t.Fatal("hybrid-power: seeds 1 and 2 sample identical chips")
+	}
+}
+
+// TestP1500LBISTMerge: the p1500-lbist builtin inherits hybrid-power's
+// structure through the merge path and gains LBIST sessions on most seeds.
+func TestP1500LBISTMerge(t *testing.T) {
+	spec, err := Resolve("p1500-lbist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Resolve("hybrid-power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec.Cores, base.Cores) || !reflect.DeepEqual(spec.Memories, base.Memories) {
+		t.Fatal("derived spec does not inherit base cores/memories")
+	}
+	if spec.Resources.PowerBudget != base.Resources.PowerBudget {
+		t.Fatal("derived spec does not inherit the power budget")
+	}
+	if spec.LogicBIST == nil || spec.LogicBIST.Fraction != 0.75 {
+		t.Fatalf("LogicBIST not overlaid: %+v", spec.LogicBIST)
+	}
+	withLBIST := 0
+	for seed := int64(0); seed < 8; seed++ {
+		chip, err := GenerateByName("p1500-lbist", seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(chip.ExtraBIST) > 0 {
+			withLBIST++
+			for _, g := range chip.ExtraBIST {
+				if g.Cycles <= 0 || g.Power <= 0 {
+					t.Fatalf("seed %d: degenerate LBIST group %+v", seed, g)
+				}
+			}
+		}
+	}
+	if withLBIST == 0 {
+		t.Fatal("no seed in 0..7 produced an LBIST session at fraction 0.75")
+	}
+}
+
+// TestMergeSemantics exercises replace / remove / append / block deletion /
+// field-wise resource overlay on a synthetic pair.
+func TestMergeSemantics(t *testing.T) {
+	base := &Spec{
+		Name: "m-base",
+		Cores: []CoreSpec{
+			{Name: "a", PIs: fixed(10)},
+			{Name: "b", PIs: fixed(20)},
+		},
+		Memories: []MemorySpec{
+			{Name: "m1", Words: fixed(64)},
+			{Name: "m2", Words: fixed(128)},
+		},
+		Blocks:    map[string]float64{"glue": 100, "io": 200},
+		Resources: &ResourceSpec{TestPins: 30, FuncPins: 111, MaxPower: 9},
+		BIST:      &BISTSpec{Grouping: "per-memory", Backgrounds: 2},
+	}
+	child := &Spec{
+		Name: "m-child",
+		Cores: []CoreSpec{
+			{Name: "b", PIs: fixed(21)}, // replace
+			{Name: "c", PIs: fixed(30)}, // append
+			{Name: "zz", Remove: true},  // removing an absent template: no-op
+		},
+		Memories: []MemorySpec{
+			{Name: "m1", Remove: true}, // delete
+		},
+		Blocks:    map[string]float64{"io": 0, "pads": 50}, // delete io, add pads
+		Resources: &ResourceSpec{TestPins: 44},             // only pins override
+		BIST:      &BISTSpec{Algorithm: "March C-"},
+	}
+	got := merge(base, child)
+	if got.Name != "m-child" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	wantCores := []CoreSpec{
+		{Name: "a", PIs: fixed(10)},
+		{Name: "b", PIs: fixed(21)},
+		{Name: "c", PIs: fixed(30)},
+	}
+	if !reflect.DeepEqual(got.Cores, wantCores) {
+		t.Fatalf("cores = %+v", got.Cores)
+	}
+	if len(got.Memories) != 1 || got.Memories[0].Name != "m2" {
+		t.Fatalf("memories = %+v", got.Memories)
+	}
+	if !reflect.DeepEqual(got.Blocks, map[string]float64{"glue": 100, "pads": 50}) {
+		t.Fatalf("blocks = %+v", got.Blocks)
+	}
+	r := got.Resources
+	if r.TestPins != 44 || r.FuncPins != 111 || r.MaxPower != 9 {
+		t.Fatalf("resources = %+v", r)
+	}
+	if got.BIST.Algorithm != "March C-" || got.BIST.Grouping != "per-memory" || got.BIST.Backgrounds != 2 {
+		t.Fatalf("bist = %+v", got.BIST)
+	}
+	// Neither input mutated.
+	if len(base.Cores) != 2 || len(base.Memories) != 2 || len(base.Blocks) != 2 {
+		t.Fatal("merge mutated the base spec")
+	}
+}
+
+// TestTypedErrors pins every failure class onto its sentinel.
+func TestTypedErrors(t *testing.T) {
+	// Base-chain cycle (registered once; the registry is process-global).
+	Register(&Spec{Name: "t-cyc-a", Base: "t-cyc-b", Cores: []CoreSpec{{Name: "x"}}})
+	Register(&Spec{Name: "t-cyc-b", Base: "t-cyc-a", Cores: []CoreSpec{{Name: "x"}}})
+
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"unknown scenario", errOf(GenerateByName("no-such-chip", 1)), ErrUnknownScenario},
+		{"base cycle", errOf(GenerateByName("t-cyc-a", 1)), ErrBaseCycle},
+		{"unknown base of user spec", errOfSpec(LoadSpec([]byte(`{"name":"u","base":"nope","cores":[{"name":"x"}]}`))), ErrUnknownScenario},
+		{"unknown JSON field", errOfSpec(LoadSpec([]byte(`{"name":"u","coresz":[]}`))), ErrBadSpec},
+		{"trailing JSON", errOfSpec(LoadSpec([]byte(`{"name":"u","cores":[{"name":"x"}]} {}`))), ErrBadSpec},
+		{"min > max", errOfSpec(LoadSpec([]byte(`{"name":"u","cores":[{"name":"x","pis":{"min":9,"max":3}}]}`))), ErrBadDistribution},
+		{"choice out of range", errOfSpec(LoadSpec([]byte(`{"name":"u","cores":[{"name":"x","chains":{"choices":[99]}}]}`))), ErrBadDistribution},
+		{"duplicate core template", errOfSpec(LoadSpec([]byte(`{"name":"u","cores":[{"name":"x"},{"name":"X"}]}`))), ErrDuplicateName},
+		{"reserved block name", errOfSpec(LoadSpec([]byte(`{"name":"u","cores":[{"name":"x"}],"blocks":{"pll":10}}`))), ErrBadSpec},
+		{"bad partitioner", errOfSpec(LoadSpec([]byte(`{"name":"u","cores":[{"name":"x"}],"resources":{"partitioner":"magic"}}`))), ErrBadSpec},
+		{"bad march", errOfSpec(LoadSpec([]byte(`{"name":"u","cores":[{"name":"x"}],"bist":{"algorithm":"March ZZZ"}}`))), ErrBadSpec},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !errors.Is(tc.err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.err, tc.want)
+		}
+	}
+
+	// Instance-level duplicate: a count-2 template whose stamped names
+	// collide with a sibling template.
+	spec := &Spec{Name: "t-dup-inst", Cores: []CoreSpec{
+		{Name: "pe0"},
+		{Name: "pe", Count: fixed(2)}, // stamps pe0, pe1
+	}}
+	if _, err := Generate(spec, 1); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("instance collision: got %v, want ErrDuplicateName", err)
+	}
+	// Block-name collision with a core instance.
+	spec = &Spec{Name: "t-dup-blk", Cores: []CoreSpec{{Name: "glue"}},
+		Blocks: map[string]float64{"glue": 10}}
+	if _, err := Generate(spec, 1); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("block collision: got %v, want ErrDuplicateName", err)
+	}
+}
+
+func errOf(_ *Chip, err error) error     { return err }
+func errOfSpec(_ *Spec, err error) error { return err }
+
+// TestBuiltinsAllGenerate: every registered builtin must generate cleanly
+// across a seed span, and the registry listing is stable and sorted.
+func TestBuiltinsAllGenerate(t *testing.T) {
+	names := Names()
+	wantBuiltins := []string{"dsc", "hybrid-power", "manycore", "memory-heavy", "p1500-lbist"}
+	for _, w := range wantBuiltins {
+		if _, ok := Lookup(w); !ok {
+			t.Fatalf("builtin %q not registered (have %v)", w, names)
+		}
+	}
+	for _, name := range wantBuiltins {
+		for seed := int64(0); seed < 10; seed++ {
+			chip, err := GenerateByName(name, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if len(chip.Cores) == 0 {
+				t.Fatalf("%s seed %d: no cores", name, seed)
+			}
+			if _, err := chip.BuildSOC(); err != nil {
+				t.Fatalf("%s seed %d: socgen: %v", name, seed, err)
+			}
+		}
+	}
+}

@@ -87,6 +87,15 @@ type Resources struct {
 	FuncPins int
 	// MaxPower caps the summed power of concurrent tests (0 = unbounded).
 	MaxPower float64
+	// PowerBudget caps the *summed* power of every test placed in one
+	// session — scan, functional and BIST groups alike (0 = unbounded).
+	// Where MaxPower bounds instantaneous concurrent switching, the budget
+	// bounds a session's total committed test energy proxy, the
+	// per-session envelope that power-constrained hybrid-BIST scheduling
+	// (Sadredini et al. 2017) plans against.  It applies to session-based
+	// scheduling only: sessions are the budget's accounting unit, so the
+	// non-session and serial baselines ignore it.
+	PowerBudget float64
 	// Partitioner picks the wrapper-chain heuristic for hard cores.
 	Partitioner wrapper.Partitioner
 	// Workers is the goroutine count of the session-partition search
@@ -137,6 +146,12 @@ func BuildTests(cores []*testinfo.Core, bist []BISTGroup) ([]Test, error) {
 func scanPower(c *testinfo.Core) float64 {
 	return 1 + float64(c.TotalScanBits())/1024
 }
+
+// ScanPower is the scheduler's scan-test power estimate for a core, in the
+// same arbitrary units brains.Power uses.  Exported for workload generators
+// that model logic-BIST variants of a core's scan test and need the two
+// power figures on a common scale.
+func ScanPower(c *testinfo.Core) float64 { return scanPower(c) }
 
 func funcPower(c *testinfo.Core) float64 {
 	return 1 + float64(c.PIs+c.POs)/256

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sessionPowerSums computes, for every session of a schedule, the summed
+// power of all its placements — the quantity Resources.PowerBudget bounds.
+func sessionPowerSums(s *Schedule) []float64 {
+	sums := make([]float64, len(s.Sessions))
+	for i, sess := range s.Sessions {
+		for _, p := range sess.Placements {
+			sums[i] += p.Test.Power
+		}
+	}
+	return sums
+}
+
+// maxTestPower is the largest single test power — no budget below it can be
+// feasible, and any budget at or above the full sum is never binding.
+func maxTestPower(tests []Test) float64 {
+	m := 0.0
+	for _, t := range tests {
+		if t.Power > m {
+			m = t.Power
+		}
+	}
+	return m
+}
+
+func totalTestPower(tests []Test) float64 {
+	s := 0.0
+	for _, t := range tests {
+		s += t.Power
+	}
+	return s
+}
+
+// A budget of zero (unbounded) and a budget far above the total demand must
+// both reproduce the unconstrained schedule bit-identically: the budget
+// check sits on the infeasibility path only and must not perturb search
+// order, tie-breaks or BIST fill decisions.
+func TestPowerBudgetUnboundedBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cores := SyntheticSOC(seed, 6)
+		bist := SyntheticBIST(seed, 4)
+		tests, err := BuildTests(cores, bist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := SyntheticResources(cores)
+		res.MaxPower = 0
+		res.Workers = 1
+
+		base, err := SessionBased(tests, res)
+		if err != nil {
+			t.Fatalf("seed %d: unconstrained schedule: %v", seed, err)
+		}
+		for _, budget := range []float64{math.MaxFloat64 / 4, 1e12, totalTestPower(tests) + 1} {
+			res2 := res
+			res2.PowerBudget = budget
+			got, err := SessionBased(tests, res2)
+			if err != nil {
+				t.Fatalf("seed %d budget %g: %v", seed, budget, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("seed %d: budget %g changed the schedule: %d sessions / %d cycles vs %d / %d",
+					seed, budget, len(got.Sessions), got.TotalCycles, len(base.Sessions), base.TotalCycles)
+			}
+		}
+	}
+}
+
+// Any schedule returned under a finite budget must respect it in every
+// session, and a budget the scheduler cannot meet must surface as the typed
+// ErrInfeasible — never as a silently over-budget schedule.
+func TestPowerBudgetNeverExceeded(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		cores := SyntheticSOC(seed, 5)
+		bist := SyntheticBIST(seed, 3)
+		tests, err := BuildTests(cores, bist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := SyntheticResources(cores)
+		res.MaxPower = 0
+		lo := maxTestPower(tests)
+		hi := totalTestPower(tests)
+		for i := 0; i <= 8; i++ {
+			budget := lo + (hi-lo)*float64(i)/8
+			res2 := res
+			res2.PowerBudget = budget
+			sched, err := SessionBased(tests, res2)
+			if err != nil {
+				if !errors.Is(err, ErrInfeasible) {
+					t.Fatalf("seed %d budget %.2f: non-infeasibility error: %v", seed, budget, err)
+				}
+				continue
+			}
+			for si, sum := range sessionPowerSums(sched) {
+				if sum > budget+1e-9 {
+					t.Errorf("seed %d budget %.2f: session %d sums to %.2f power",
+						seed, budget, si, sum)
+				}
+			}
+		}
+	}
+}
+
+// A budget below the single largest test power is structurally infeasible:
+// that test can never be placed anywhere.
+func TestPowerBudgetBelowSingleTestInfeasible(t *testing.T) {
+	cores := SyntheticSOC(7, 4)
+	bist := SyntheticBIST(7, 2)
+	tests, err := BuildTests(cores, bist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SyntheticResources(cores)
+	res.MaxPower = 0
+	res.PowerBudget = maxTestPower(tests) * 0.99
+	if _, err := SessionBased(tests, res); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// A binding budget must actually bind: a budget just under the unconstrained
+// schedule's fattest session forces a repartition into more (or equal)
+// sessions, all of which respect the tighter envelope.
+func TestPowerBudgetForcesRepartition(t *testing.T) {
+	cores := SyntheticSOC(3, 6)
+	bist := SyntheticBIST(3, 4)
+	tests, err := BuildTests(cores, bist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SyntheticResources(cores)
+	res.MaxPower = 0
+	base, err := SessionBased(tests, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fattest := 0.0
+	for _, sum := range sessionPowerSums(base) {
+		if sum > fattest {
+			fattest = sum
+		}
+	}
+	res.PowerBudget = fattest - 1e-6
+	sched, err := SessionBased(tests, res)
+	if errors.Is(err, ErrInfeasible) {
+		return // legitimately unsplittable under the tighter envelope
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Sessions) < len(base.Sessions) {
+		t.Errorf("tighter budget produced fewer sessions: %d vs %d",
+			len(sched.Sessions), len(base.Sessions))
+	}
+	for si, sum := range sessionPowerSums(sched) {
+		if sum > res.PowerBudget+1e-9 {
+			t.Errorf("session %d sums to %.2f > budget %.2f", si, sum, res.PowerBudget)
+		}
+	}
+	if sched.TotalCycles < base.TotalCycles {
+		t.Errorf("constrained schedule is shorter than unconstrained: %d < %d",
+			sched.TotalCycles, base.TotalCycles)
+	}
+}

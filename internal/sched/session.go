@@ -85,10 +85,16 @@ type sessionDesign struct {
 	controlPins int
 	dataPins    int
 	corePower   float64
+	// powerSum is Σ placement powers (scan + functional), the session's
+	// committed power against Resources.PowerBudget.
+	powerSum float64
 	// bist occupancy added by the fill phase.
 	bistCycles int
 	bistPower  float64
-	bistPl     []Placement
+	// bistPowerSum is Σ BIST group powers filled into this session, the
+	// groups' contribution to the PowerBudget accounting.
+	bistPowerSum float64
+	bistPl       []Placement
 }
 
 func (s *sessionDesign) length() int {
@@ -225,6 +231,15 @@ func designSessionCached(jobs []coreJob, res Resources, tc *timeCache) (*session
 	if res.MaxPower > 0 && !almostLE(des.corePower, res.MaxPower) {
 		return nil, errInfeasible
 	}
+	for _, p := range des.placements {
+		des.powerSum += p.Test.Power
+	}
+	// The per-session budget is monotone in membership (adding a job only
+	// adds power), so the branch-and-bound's infeasibility pruning stays
+	// valid with it enforced here.
+	if res.PowerBudget > 0 && !almostLE(des.powerSum, res.PowerBudget) {
+		return nil, errInfeasible
+	}
 	return des, nil
 }
 
@@ -359,6 +374,7 @@ func fillBIST(sessions []*sessionDesign, bist []Test, res Resources) ([]*session
 		cp.bistPl = nil
 		cp.bistCycles = 0
 		cp.bistPower = 0
+		cp.bistPowerSum = 0
 		out[i] = &cp
 	}
 	groups := make([]Test, len(bist))
@@ -366,14 +382,20 @@ func fillBIST(sessions []*sessionDesign, bist []Test, res Resources) ([]*session
 	sort.SliceStable(groups, func(a, b int) bool { return groups[a].FixedCycles > groups[b].FixedCycles })
 
 	powerOK := func(s *sessionDesign, g Test) bool {
-		if res.MaxPower <= 0 {
-			return true
+		if res.MaxPower > 0 {
+			p := g.Power
+			if s.bistPower > p {
+				p = s.bistPower
+			}
+			if !almostLE(s.corePower+p, res.MaxPower) {
+				return false
+			}
 		}
-		p := g.Power
-		if s.bistPower > p {
-			p = s.bistPower
+		if res.PowerBudget > 0 &&
+			!almostLE(s.powerSum+s.bistPowerSum+g.Power, res.PowerBudget) {
+			return false
 		}
-		return almostLE(s.corePower+p, res.MaxPower)
+		return true
 	}
 	for _, g := range groups {
 		bestIdx, bestGrowth, bestSlack := -1, -1, -1
@@ -401,15 +423,20 @@ func fillBIST(sessions []*sessionDesign, bist []Test, res Resources) ([]*session
 			if res.MaxPower > 0 && !almostLE(g.Power, res.MaxPower) {
 				return nil, false
 			}
+			if res.PowerBudget > 0 && !almostLE(g.Power, res.PowerBudget) {
+				return nil, false
+			}
 			ns.bistPl = append(ns.bistPl, Placement{Test: g, Cycles: g.FixedCycles})
 			ns.bistCycles = g.FixedCycles
 			ns.bistPower = g.Power
+			ns.bistPowerSum = g.Power
 			out = append(out, ns)
 			continue
 		}
 		s := out[bestIdx]
 		s.bistPl = append(s.bistPl, Placement{Test: g, Cycles: g.FixedCycles, Start: s.bistCycles})
 		s.bistCycles += g.FixedCycles
+		s.bistPowerSum += g.Power
 		if g.Power > s.bistPower {
 			s.bistPower = g.Power
 		}

@@ -16,44 +16,56 @@ import (
 	"steac/internal/obs"
 )
 
-// The job-API tests all drive the same small campaign — a full March C-
-// coverage grade of a 64x4 single-port macro — whose golden report is
-// computed once, in process, through the same campaign.Run path the job
-// manager uses.  Every completed job, interrupted or not, must reproduce
-// those exact bytes.
+// The job-API tests drive full March C- coverage grades whose golden
+// reports are computed in process, through the same campaign.Run path the
+// job manager uses.  Every completed job, interrupted or not, must
+// reproduce those exact bytes.  The lifecycle tests use a tiny 64x4 macro;
+// the cancel/drain tests use a 512x8 macro (a few hundred ms of shards) so
+// the job is still reliably running when the interruption lands.
 
-const jobSpecJSON = `{"algorithm":"March C-","config":{"Name":"jobmem","Words":64,"Bits":4},"all_faults":true}`
+const (
+	jobSpecJSON     = `{"algorithm":"March C-","config":{"Name":"jobmem","Words":64,"Bits":4},"all_faults":true}`
+	slowJobSpecJSON = `{"algorithm":"March C-","config":{"Name":"jobmem","Words":512,"Bits":8},"all_faults":true}`
+)
 
-func jobBody(shardSize int) string {
-	return fmt.Sprintf(`{"kind":"memfault","spec":%s,"shard_size":%d}`, jobSpecJSON, shardSize)
+func jobBodyFor(specJSON string, shardSize int) string {
+	return fmt.Sprintf(`{"kind":"memfault","spec":%s,"shard_size":%d}`, specJSON, shardSize)
 }
+
+func jobBody(shardSize int) string { return jobBodyFor(jobSpecJSON, shardSize) }
 
 var jobGolden struct {
-	once sync.Once
-	blob []byte
-	err  error
+	mu    sync.Mutex
+	blobs map[string][]byte
 }
 
-func goldenJobReport(t *testing.T) []byte {
+func goldenJobReportFor(t *testing.T, specJSON string) []byte {
 	t.Helper()
-	jobGolden.once.Do(func() {
-		spec, err := campaign.Decode(campaign.KindMemfault, json.RawMessage(jobSpecJSON))
-		if err != nil {
-			jobGolden.err = err
-			return
-		}
-		res, err := campaign.Run(context.Background(), spec, campaign.Options{})
-		if err != nil {
-			jobGolden.err = err
-			return
-		}
-		jobGolden.blob, jobGolden.err = json.Marshal(res.Report)
-	})
-	if jobGolden.err != nil {
-		t.Fatalf("golden campaign: %v", jobGolden.err)
+	jobGolden.mu.Lock()
+	defer jobGolden.mu.Unlock()
+	if blob, ok := jobGolden.blobs[specJSON]; ok {
+		return blob
 	}
-	return jobGolden.blob
+	spec, err := campaign.Decode(campaign.KindMemfault, json.RawMessage(specJSON))
+	if err != nil {
+		t.Fatalf("golden campaign: %v", err)
+	}
+	res, err := campaign.Run(context.Background(), spec, campaign.Options{})
+	if err != nil {
+		t.Fatalf("golden campaign: %v", err)
+	}
+	blob, err := json.Marshal(res.Report)
+	if err != nil {
+		t.Fatalf("golden campaign: %v", err)
+	}
+	if jobGolden.blobs == nil {
+		jobGolden.blobs = map[string][]byte{}
+	}
+	jobGolden.blobs[specJSON] = blob
+	return blob
 }
+
+func goldenJobReport(t *testing.T) []byte { return goldenJobReportFor(t, jobSpecJSON) }
 
 func jobPost(t *testing.T, base, body string, want int) JobStatus {
 	t.Helper()
@@ -177,7 +189,7 @@ func TestJobCancelResume(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, JobDir: dir})
 	canceled := obs.CounterValue("serve.jobs_canceled")
 
-	st := jobPost(t, ts.URL, jobBody(4), http.StatusAccepted)
+	st := jobPost(t, ts.URL, jobBodyFor(slowJobSpecJSON, 4), http.StatusAccepted)
 	pollJob(t, ts.URL, st.ID, func(s JobStatus) bool { return s.ShardsDone >= 1 })
 	jobDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, http.StatusAccepted)
 
@@ -199,7 +211,7 @@ func TestJobCancelResume(t *testing.T) {
 		t.Fatal("cancel left no journaled shards — nothing to resume")
 	}
 
-	re := jobPost(t, ts.URL, jobBody(4), http.StatusAccepted)
+	re := jobPost(t, ts.URL, jobBodyFor(slowJobSpecJSON, 4), http.StatusAccepted)
 	if re.ID != st.ID {
 		t.Fatalf("resubmission id %s, want %s", re.ID, st.ID)
 	}
@@ -210,7 +222,7 @@ func TestJobCancelResume(t *testing.T) {
 	if fin2.Resumed == 0 {
 		t.Fatal("resumed job replayed 0 shards from the checkpoint")
 	}
-	if !bytes.Equal(fin2.Result, goldenJobReport(t)) {
+	if !bytes.Equal(fin2.Result, goldenJobReportFor(t, slowJobSpecJSON)) {
 		t.Fatal("resumed job result differs from the uninterrupted golden run")
 	}
 }
@@ -223,7 +235,7 @@ func TestJobDrainRestartResume(t *testing.T) {
 	dir := t.TempDir()
 	srvA, tsA := newTestServer(t, Config{Workers: 2, JobDir: dir})
 
-	st := jobPost(t, tsA.URL, jobBody(4), http.StatusAccepted)
+	st := jobPost(t, tsA.URL, jobBodyFor(slowJobSpecJSON, 4), http.StatusAccepted)
 	pollJob(t, tsA.URL, st.ID, func(s JobStatus) bool { return s.ShardsDone >= 1 })
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -234,7 +246,7 @@ func TestJobDrainRestartResume(t *testing.T) {
 	if got := jobGet(t, tsA.URL, st.ID, http.StatusOK); got.State != jobCanceled {
 		t.Fatalf("after drain the job is %s, want canceled", got.State)
 	}
-	jobPost(t, tsA.URL, jobBody(4), http.StatusServiceUnavailable)
+	jobPost(t, tsA.URL, jobBodyFor(slowJobSpecJSON, 4), http.StatusServiceUnavailable)
 
 	// "Restart": a fresh Server over the same checkpoint root.
 	_, tsB := newTestServer(t, Config{Workers: 2, JobDir: dir})
@@ -249,7 +261,7 @@ func TestJobDrainRestartResume(t *testing.T) {
 		t.Fatalf("disk status lost shard progress: %d/%d", onDisk.ShardsDone, onDisk.ShardsTotal)
 	}
 
-	re := jobPost(t, tsB.URL, jobBody(4), http.StatusAccepted)
+	re := jobPost(t, tsB.URL, jobBodyFor(slowJobSpecJSON, 4), http.StatusAccepted)
 	if re.ID != st.ID {
 		t.Fatalf("re-POST id %s, want %s", re.ID, st.ID)
 	}
@@ -260,7 +272,7 @@ func TestJobDrainRestartResume(t *testing.T) {
 	if fin.Resumed == 0 {
 		t.Fatal("restart resumed 0 shards from the checkpoint")
 	}
-	if !bytes.Equal(fin.Result, goldenJobReport(t)) {
+	if !bytes.Equal(fin.Result, goldenJobReportFor(t, slowJobSpecJSON)) {
 		t.Fatal("post-restart result differs from the uninterrupted golden run")
 	}
 }

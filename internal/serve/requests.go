@@ -2,14 +2,18 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 
 	"steac/internal/brains"
 	"steac/internal/core"
 	"steac/internal/dsc"
 	"steac/internal/march"
 	"steac/internal/memory"
+	"steac/internal/scenario"
 	"steac/internal/sched"
+	"steac/internal/testinfo"
 	"steac/internal/wrapper"
 	"steac/internal/xcheck"
 )
@@ -54,6 +58,21 @@ func algorithmByName(name string) (march.Algorithm, error) {
 	return alg, nil
 }
 
+// chipByName regenerates a scenario chip for a request.  Spec-level
+// failures (unknown scenario, bad distribution, ...) are the client's
+// fault and map to 400.
+func chipByName(name string, seed int64) (*scenario.Chip, error) {
+	chip, err := scenario.GenerateByName(name, seed)
+	if err != nil {
+		if errors.Is(err, scenario.ErrUnknownScenario) {
+			return nil, badRequestf("unknown chip %q (builtin scenarios: %s)",
+				name, strings.Join(scenario.Names(), ", "))
+		}
+		return nil, errBadRequest{err}
+	}
+	return chip, nil
+}
+
 func memoryConfig(words, bits int, twoPort bool) memory.Config {
 	kind := memory.SinglePort
 	if twoPort {
@@ -64,17 +83,22 @@ func memoryConfig(words, bits int, twoPort bool) memory.Config {
 
 // FlowRequest runs the complete STEAC integration flow.  Chip "dsc" loads
 // the paper's chip model (Table 1 cores, the 22 embedded memories, the pin
-// and power budgets); alternatively supply explicit STIL sources and
-// memory configs.
+// and power budgets); any other registered scenario name generates the
+// chip from the scenario registry with Seed; alternatively supply explicit
+// STIL sources and memory configs.
 type FlowRequest struct {
-	Chip     string          `json:"chip,omitempty"`
+	Chip string `json:"chip,omitempty"`
+	// Seed samples the scenario chip (ignored for "dsc", which is pinned).
+	Seed     int64           `json:"seed,omitempty"`
 	STIL     []string        `json:"stil,omitempty"`
 	Memories []memory.Config `json:"memories,omitempty"`
-	// TestPins/FuncPins/MaxPower override the chip budget when non-zero.
-	TestPins  int     `json:"test_pins,omitempty"`
-	FuncPins  int     `json:"func_pins,omitempty"`
-	MaxPower  float64 `json:"max_power,omitempty"`
-	Partition string  `json:"partition,omitempty"`
+	// TestPins/FuncPins/MaxPower/PowerBudget override the chip budget when
+	// non-zero.
+	TestPins    int     `json:"test_pins,omitempty"`
+	FuncPins    int     `json:"func_pins,omitempty"`
+	MaxPower    float64 `json:"max_power,omitempty"`
+	PowerBudget float64 `json:"power_budget,omitempty"`
+	Partition   string  `json:"partition,omitempty"`
 	// Algorithm selects the BIST March test by catalog name (default
 	// March C-).
 	Algorithm string `json:"algorithm,omitempty"`
@@ -132,13 +156,24 @@ func (r FlowRequest) run(ctx context.Context) (interface{}, error) {
 		}
 	case "":
 		if len(r.STIL) == 0 {
-			return nil, badRequestf("request needs chip:\"dsc\" or explicit stil sources")
+			return nil, badRequestf("request needs a chip scenario name or explicit stil sources")
 		}
 		in.STIL = r.STIL
 		in.Memories = r.Memories
 		in.Resources = sched.Resources{TestPins: 26, FuncPins: 300}
 	default:
-		return nil, badRequestf("unknown chip %q (only \"dsc\" is built in)", r.Chip)
+		chip, err := chipByName(r.Chip, r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if r.Extest {
+			return nil, badRequestf("extest is only available for chip \"dsc\"")
+		}
+		ci, err := chip.FlowInput(r.Verify)
+		if err != nil {
+			return nil, err
+		}
+		in = ci
 	}
 	if r.TestPins > 0 {
 		in.Resources.TestPins = r.TestPins
@@ -149,6 +184,9 @@ func (r FlowRequest) run(ctx context.Context) (interface{}, error) {
 	if r.MaxPower > 0 {
 		in.Resources.MaxPower = r.MaxPower
 	}
+	if r.PowerBudget > 0 {
+		in.Resources.PowerBudget = r.PowerBudget
+	}
 	if r.Partition != "" {
 		part, err := partitionerByName(r.Partition)
 		if err != nil {
@@ -156,11 +194,15 @@ func (r FlowRequest) run(ctx context.Context) (interface{}, error) {
 		}
 		in.Resources.Partitioner = part
 	}
-	alg, err := algorithmByName(r.Algorithm)
-	if err != nil {
-		return nil, err
+	// An explicit algorithm always wins; otherwise a scenario chip keeps
+	// its own BIST plan and the legacy paths default to March C-.
+	if r.Algorithm != "" || in.BISTOptions.Algorithm.Name == "" {
+		alg, err := algorithmByName(r.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		in.BISTOptions.Algorithm = alg
 	}
-	in.BISTOptions.Algorithm = alg
 	in.BISTOptions.Workers = r.Workers
 	in.Resources.Workers = r.Workers
 
@@ -197,12 +239,15 @@ func (r FlowRequest) run(ctx context.Context) (interface{}, error) {
 
 // SchedRequest sweeps the session-based scheduler over a list of test-pin
 // budgets (the paper's Fig. 6 trade-off curve) on the chip's test set.
+// Chip may be any registered scenario name (default "dsc").
 type SchedRequest struct {
-	Chip      string  `json:"chip,omitempty"`
-	TestPins  []int   `json:"test_pins"`
-	FuncPins  int     `json:"func_pins,omitempty"`
-	MaxPower  float64 `json:"max_power,omitempty"`
-	Partition string  `json:"partition,omitempty"`
+	Chip        string  `json:"chip,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	TestPins    []int   `json:"test_pins"`
+	FuncPins    int     `json:"func_pins,omitempty"`
+	MaxPower    float64 `json:"max_power,omitempty"`
+	PowerBudget float64 `json:"power_budget,omitempty"`
+	Partition   string  `json:"partition,omitempty"`
 
 	Workers   int `json:"workers,omitempty"`    // non-semantic
 	TimeoutMS int `json:"timeout_ms,omitempty"` // non-semantic
@@ -228,28 +273,37 @@ type SchedResponse struct {
 }
 
 func (r SchedRequest) run(ctx context.Context) (interface{}, error) {
-	if r.Chip != "" && r.Chip != "dsc" {
-		return nil, badRequestf("unknown chip %q (only \"dsc\" is built in)", r.Chip)
-	}
 	if len(r.TestPins) == 0 {
 		return nil, badRequestf("test_pins sweep list is empty")
 	}
-	part, err := partitionerByName(r.Partition)
+	cores, extraBIST, base := dsc.Cores(), []sched.BISTGroup(nil), dsc.Resources()
+	if r.Chip != "" && r.Chip != "dsc" {
+		chip, err := chipByName(r.Chip, r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cores, extraBIST, base = chip.Cores, chip.ExtraBIST, chip.Resources
+	}
+	tests, err := sched.BuildTests(cores, extraBIST)
 	if err != nil {
 		return nil, err
 	}
-	tests, err := sched.BuildTests(dsc.Cores(), nil)
-	if err != nil {
-		return nil, err
-	}
-	base := dsc.Resources()
 	if r.FuncPins > 0 {
 		base.FuncPins = r.FuncPins
 	}
 	if r.MaxPower > 0 {
 		base.MaxPower = r.MaxPower
 	}
-	base.Partitioner = part
+	if r.PowerBudget > 0 {
+		base.PowerBudget = r.PowerBudget
+	}
+	if r.Partition != "" {
+		part, err := partitionerByName(r.Partition)
+		if err != nil {
+			return nil, err
+		}
+		base.Partitioner = part
+	}
 	base.Workers = r.Workers
 
 	out := &SchedResponse{}
@@ -348,7 +402,14 @@ type XCheckRequest struct {
 	Bits      int    `json:"bits,omitempty"`
 	TwoPort   bool   `json:"two_port,omitempty"`
 	NGroups   int    `json:"n_groups,omitempty"`
-	// Core names a Table-1 core (USB, TV, JPEG) for wrapper campaigns.
+	// Scenario/ChipSeed regenerate a scenario chip as the design source:
+	// Memory then names a "tpg" macro on it and Core resolves against its
+	// cores instead of the Table-1 inventory.
+	Scenario string `json:"scenario,omitempty"`
+	ChipSeed int64  `json:"chip_seed,omitempty"`
+	Memory   string `json:"memory,omitempty"`
+	// Core names a Table-1 core (USB, TV, JPEG) — or, with Scenario, one of
+	// the generated chip's cores — for wrapper campaigns.
 	Core      string `json:"core,omitempty"`
 	TamWidth  int    `json:"tam_width,omitempty"`
 	MaxFaults int    `json:"max_faults,omitempty"`
@@ -380,6 +441,13 @@ type XCheckResponse struct {
 func (r XCheckRequest) run(ctx context.Context) (interface{}, error) {
 	opts := xcheck.Options{Workers: r.Workers, Seed: r.Seed,
 		MaxUndetected: r.MaxUndetected, MaxFaults: r.MaxFaults, MaxPatterns: r.MaxPatterns}
+	var chip *scenario.Chip
+	if r.Scenario != "" {
+		var err error
+		if chip, err = chipByName(r.Scenario, r.ChipSeed); err != nil {
+			return nil, err
+		}
+	}
 	var (
 		res xcheck.CampaignResult
 		err error
@@ -390,7 +458,21 @@ func (r XCheckRequest) run(ctx context.Context) (interface{}, error) {
 		if aerr != nil {
 			return nil, aerr
 		}
-		cfg := memoryConfig(r.Words, r.Bits, r.TwoPort)
+		var cfg memory.Config
+		if chip != nil && r.Memory != "" {
+			found := false
+			for _, m := range chip.Memories {
+				if m.Name == r.Memory {
+					cfg, found = m, true
+					break
+				}
+			}
+			if !found {
+				return nil, badRequestf("scenario %q chip has no memory %q", r.Scenario, r.Memory)
+			}
+		} else {
+			cfg = memoryConfig(r.Words, r.Bits, r.TwoPort)
+		}
 		if verr := cfg.Validate(); verr != nil {
 			return nil, errBadRequest{verr}
 		}
@@ -402,6 +484,24 @@ func (r XCheckRequest) run(ctx context.Context) (interface{}, error) {
 		}
 		res, err = xcheck.ControllerCampaignContext(ctx, "controller", n, opts)
 	case "wrapper":
+		width := r.TamWidth
+		if width <= 0 {
+			width = 2
+		}
+		if chip != nil {
+			var wc *testinfo.Core
+			for _, c := range chip.Cores {
+				if c.Name == r.Core {
+					wc = c
+					break
+				}
+			}
+			if wc == nil {
+				return nil, badRequestf("scenario %q chip has no core %q", r.Scenario, r.Core)
+			}
+			res, err = xcheck.WrapperCampaignContext(ctx, "wrapper", wc, width, opts)
+			break
+		}
 		var c int
 		switch r.Core {
 		case "USB", "":
@@ -412,10 +512,6 @@ func (r XCheckRequest) run(ctx context.Context) (interface{}, error) {
 			c = 2
 		default:
 			return nil, badRequestf("unknown core %q (USB, TV or JPEG)", r.Core)
-		}
-		width := r.TamWidth
-		if width <= 0 {
-			width = 2
 		}
 		res, err = xcheck.WrapperCampaignContext(ctx, "wrapper", dsc.Cores()[c], width, opts)
 	default:
