@@ -8,8 +8,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"steac/internal/campaign"
+	"steac/internal/fabric"
 	"steac/internal/memfault"
 	"steac/internal/xcheck"
 )
@@ -38,7 +40,7 @@ type specFile struct {
 }
 
 // runCampaignCLI dispatches the -campaign / -resume modes.
-func runCampaignCLI(specPath, resumeDir, checkpointDir string, shardSize, workers int) error {
+func runCampaignCLI(specPath, resumeDir, checkpointDir string, shardSize, workers int, reportOut string) error {
 	var (
 		spec campaign.Spec
 		dir  = checkpointDir
@@ -91,8 +93,107 @@ func runCampaignCLI(specPath, resumeDir, checkpointDir string, shardSize, worker
 
 	fmt.Printf("campaign %s: %d shards (%d resumed, %d repaired)\n",
 		res.Fingerprint[:12], res.Shards, res.Resumed, res.Repaired)
+	if reportOut != "" {
+		raw, err := json.Marshal(res.Report)
+		if err != nil {
+			return fmt.Errorf("marshal report: %w", err)
+		}
+		if err := os.WriteFile(reportOut, raw, 0o644); err != nil {
+			return err
+		}
+	}
 	printCampaignReport(res.Report)
 	return nil
+}
+
+// runFabricCLI submits a campaign spec file to a fabric coordinator and
+// polls it to completion: the shards run on whatever nodes have joined the
+// fabric, this process only watches.  The fetched report is byte-identical
+// to a local run of the same spec.
+func runFabricCLI(specPath, coordinatorURL string, shardSize int, reportOut string) error {
+	if specPath == "" {
+		return fmt.Errorf("-fabric requires -campaign (the spec file to submit)")
+	}
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	var sf specFile
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		return fmt.Errorf("parse %s: %w", specPath, err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	client := &fabric.Client{Base: coordinatorURL}
+	info, err := client.Submit(ctx, fabric.SubmitRequest{
+		Kind: sf.Kind, Spec: sf.Spec, ShardSize: shardSize,
+	})
+	if err != nil {
+		return fmt.Errorf("submit to fabric: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "fabric: campaign %s submitted: %d units in %d shards\n",
+		info.Fingerprint[:12], info.Units, info.Shards)
+
+	lastComplete := -1
+	for info.State != "done" {
+		prog, err := client.Progress(ctx, info.Fingerprint)
+		if err != nil {
+			return fmt.Errorf("fabric progress: %w", err)
+		}
+		if prog.ShardsComplete != lastComplete {
+			lastComplete = prog.ShardsComplete
+			fmt.Fprintf(os.Stderr, "fabric: %d/%d shards (%d leased, %d pending)\n",
+				prog.ShardsComplete, prog.ShardsTotal, prog.ShardsLeased, prog.ShardsPending)
+			for _, node := range prog.Nodes {
+				fmt.Fprintf(os.Stderr, "fabric:   node %-20s leased %2d  completed %3d  stolen %d\n",
+					node.Node, node.Leased, node.Completed, node.Stolen)
+			}
+		}
+		if prog.State == "done" {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "fabric: interrupted; the campaign keeps running on its nodes")
+			return ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+
+	report, err := client.Report(ctx, info.Fingerprint)
+	if err != nil {
+		return fmt.Errorf("fabric report: %w", err)
+	}
+	if reportOut != "" {
+		if err := os.WriteFile(reportOut, report, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("campaign %s: %d shards (fabric)\n", info.Fingerprint[:12], info.Shards)
+	printFabricReport(sf.Kind, report)
+	return nil
+}
+
+// printFabricReport decodes the raw report JSON by campaign kind into the
+// engine-native type so the human rendering matches local runs.
+func printFabricReport(kind string, raw []byte) {
+	switch kind {
+	case campaign.KindMemfault:
+		var rep memfault.Campaign
+		if json.Unmarshal(raw, &rep) == nil {
+			printCampaignReport(rep)
+			return
+		}
+	case campaign.KindXCheck:
+		var rep xcheck.CampaignResult
+		if json.Unmarshal(raw, &rep) == nil {
+			printCampaignReport(rep)
+			return
+		}
+	}
+	fmt.Println(string(raw))
 }
 
 // printCampaignReport renders the engine-native report of a finished

@@ -15,6 +15,8 @@
 //	dscflow -bench-json F    run the benchmark suite and write BENCH JSON to F
 //	dscflow -campaign F      run a checkpointable fault campaign from a JSON spec file
 //	dscflow -resume DIR      resume a checkpointed campaign from its directory
+//	dscflow -campaign F -fabric URL   submit the campaign to a fabric coordinator instead
+//	dscflow -report-json F   also write the raw campaign report JSON to F
 package main
 
 import (
@@ -60,6 +62,8 @@ func main() {
 		resumeDir = flag.String("resume", "", "resume a checkpointed campaign from this directory (kind and spec come from its manifest)")
 		checkDir  = flag.String("checkpoint", "", "checkpoint directory for -campaign (empty = in-memory, nothing survives the process)")
 		shardSize = flag.Int("shard-size", 0, "campaign checkpoint shard granularity in faults (0 = default)")
+		fabricURL = flag.String("fabric", "", "submit -campaign to this fabric coordinator URL and poll it to completion instead of running locally")
+		reportOut = flag.String("report-json", "", "write the raw campaign report JSON to this path (local and fabric modes)")
 
 		obsOn      = flag.Bool("obs", false, "enable observability and append the span/counter report")
 		benchJSON  = flag.String("bench-json", "", "run the benchmark suite (instead of the flow) and write BENCH JSON to this path")
@@ -76,8 +80,12 @@ func main() {
 		runBench(*benchJSON, *benchShort)
 		return
 	}
+	if *fabricURL != "" {
+		fail(runFabricCLI(*campaignF, *fabricURL, *shardSize, *reportOut))
+		return
+	}
 	if *campaignF != "" || *resumeDir != "" {
-		fail(runCampaignCLI(*campaignF, *resumeDir, *checkDir, *shardSize, *workers))
+		fail(runCampaignCLI(*campaignF, *resumeDir, *checkDir, *shardSize, *workers, *reportOut))
 		return
 	}
 	if *obsOn {

@@ -26,6 +26,17 @@
 // journals completed shards under <job-dir>/<id>, and re-POSTing the same
 // spec after a crash or restart resumes from that checkpoint.
 //
+// Fabric mode scales campaigns across processes.  With -coordinator, the
+// daemon additionally serves the /v1/fabric/* lease protocol over
+// -fabric-dir (shared checkpoint root, lease TTL -fabric-ttl), and job
+// submissions with "fabric": true are dealt out to joined nodes.  With
+// -join URL, the daemon runs a node agent that leases shards from that
+// coordinator and journals them under -fabric-dir as writer -node-id; a
+// daemon may both coordinate and join itself:
+//
+//	steacd -addr :8080 -coordinator -fabric-dir /ckpt -join http://127.0.0.1:8080
+//	steacd -addr :8081 -fabric-dir /ckpt -join http://127.0.0.1:8080
+//
 // SIGTERM/SIGINT drain gracefully: the listener stops accepting, running
 // campaign jobs checkpoint their in-flight shards and stop, queued and
 // in-flight requests finish (bounded by -drain-timeout), then the process
@@ -43,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"steac/internal/fabric"
 	"steac/internal/obs"
 	"steac/internal/serve"
 )
@@ -59,10 +71,33 @@ func main() {
 		jobDir      = flag.String("job-dir", "", "checkpoint root for async campaign jobs (empty = in-memory only; no resume across restarts)")
 		maxJobs     = flag.Int("max-jobs", 0, "concurrently running campaign jobs (0 = 2)")
 		enableSpans = flag.Bool("obs", false, "enable span timing (counters are always live)")
+
+		coordinator = flag.Bool("coordinator", false, "serve the /v1/fabric/* lease protocol (requires -fabric-dir)")
+		fabricDir   = flag.String("fabric-dir", "", "shared checkpoint root for fabric campaigns")
+		fabricTTLs  = flag.Int("fabric-ttl", 15, "fabric lease TTL, seconds; a lease not heartbeated within the TTL is re-leased")
+		joinURL     = flag.String("join", "", "coordinator base URL to lease shards from (node agent mode)")
+		nodeID      = flag.String("node-id", "", "fabric node/journal-writer name (default host-pid)")
 	)
 	flag.Parse()
 	if *enableSpans {
 		obs.Enable()
+	}
+
+	var coord *fabric.Coordinator
+	if *coordinator {
+		if *fabricDir == "" {
+			fmt.Fprintln(os.Stderr, "steacd: -coordinator requires -fabric-dir")
+			os.Exit(2)
+		}
+		var err error
+		coord, err = fabric.New(fabric.Config{
+			Dir: *fabricDir,
+			TTL: time.Duration(*fabricTTLs) * time.Second,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "steacd: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	srv := serve.New(serve.Config{
@@ -73,11 +108,42 @@ func main() {
 		MaxTimeout:     time.Duration(*maxTimeoutS) * time.Second,
 		JobDir:         *jobDir,
 		MaxJobs:        *maxJobs,
+		Fabric:         coord,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	var agentDone chan struct{}
+	if *joinURL != "" {
+		if *fabricDir == "" {
+			fmt.Fprintln(os.Stderr, "steacd: -join requires -fabric-dir")
+			os.Exit(2)
+		}
+		id := *nodeID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "node"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		node := &fabric.Node{
+			ID:      id,
+			Client:  &fabric.Client{Base: *joinURL},
+			Dir:     *fabricDir,
+			Workers: *workers,
+		}
+		agentDone = make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			fmt.Fprintf(os.Stderr, "steacd: node %s joined fabric at %s\n", id, *joinURL)
+			if err := node.Run(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "steacd: fabric node: %v\n", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -104,6 +170,14 @@ func main() {
 	if err := srv.Drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "steacd: %v\n", err)
 		os.Exit(1)
+	}
+	if agentDone != nil {
+		// The node agent stops at the signal context; every shard it
+		// acknowledged is already fsync'd in its journal.
+		select {
+		case <-agentDone:
+		case <-drainCtx.Done():
+		}
 	}
 	fmt.Fprintln(os.Stderr, "steacd: drained clean")
 }

@@ -201,6 +201,22 @@ func shardKey(fingerprint string, index, lo, hi int) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// alignShardSize rounds a shard size down to the executor's batch width
+// (but never below one batch) when the executor advertises one — shard
+// interiors then split into full packed words and only the final shard
+// carries a sub-word remainder.
+func alignShardSize(exec Executor, size int) int {
+	if bs, ok := exec.(BatchSizer); ok {
+		if b := bs.BatchSize(); b > 1 {
+			size -= size % b
+			if size < b {
+				size = b
+			}
+		}
+	}
+	return size
+}
+
 // shardCount returns how many shards units split into at the given size.
 func shardCount(units, size int) int {
 	if units == 0 {
@@ -230,28 +246,12 @@ func shardBounds(units, size, index int) (lo, hi int) {
 // the same spec and directory finishes the remainder and returns a report
 // byte-identical to an uninterrupted run.
 func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
-	fingerprint, err := Fingerprint(spec)
+	plan, exec, err := PlanCampaign(ctx, spec, opt.ShardSize)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := spec.Marshal()
-	if err != nil {
-		return nil, fmt.Errorf("campaign: marshal %s spec: %w", spec.Kind(), err)
-	}
-	exec, err := spec.Prepare(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("campaign: prepare %s: %w", spec.Kind(), err)
-	}
-	units := exec.Units()
-	size := opt.shardSize()
-	if bs, ok := exec.(BatchSizer); ok {
-		if b := bs.BatchSize(); b > 1 {
-			size -= size % b
-			if size < b {
-				size = b
-			}
-		}
-	}
+	units := plan.Units
+	size := plan.ShardSize
 
 	obsActive.Set(obsActive.Value() + 1)
 	defer func() { obsActive.Set(obsActive.Value() - 1) }()
@@ -261,12 +261,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	// checkpoint identity.
 	var ck *checkpoint
 	if opt.Dir != "" {
-		man := manifest{
-			Schema: SchemaVersion, Kind: spec.Kind(), Spec: payload,
-			Fingerprint: fingerprint, Units: units, ShardSize: size,
-		}
-		man.Shards = shardCount(units, size)
-		ck, err = openCheckpoint(opt.Dir, man)
+		ck, err = openCheckpoint(opt.Dir, plan.manifest())
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +270,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	}
 	shards := shardCount(units, size)
 
-	res := &Result{Fingerprint: fingerprint, Shards: shards}
+	res := &Result{Fingerprint: plan.Fingerprint, Shards: shards}
 	outcomes := make([]int64, units)
 	done := make([]bool, shards)
 	unitsDone := 0

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // Typed checkpoint errors.  Repairable damage (a torn or bit-flipped
@@ -151,6 +152,49 @@ func scanJournal(path string, man manifest) (loaded map[int][]int64, repaired in
 	return loaded, repaired, nil
 }
 
+// sideJournals lists the per-writer journal files of a multi-writer
+// checkpoint directory (journal-<writer>.jsonl), sorted by name so scans
+// are deterministic.
+func sideJournals(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "journal-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: list journals: %w", err)
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// scanJournals merges every journal of a checkpoint directory — the
+// primary journal.jsonl plus any per-writer side journals left by
+// distributed fabric nodes — under the per-entry validation of
+// scanJournal.  Within one file a duplicate shard is damage (a writer
+// never journals a shard twice) and counts as repaired; across files a
+// duplicate is the expected trace of a stolen-and-still-completed shard,
+// so the first valid entry wins and the rest are ignored silently.  The
+// campaign outcome is deterministic, so any two valid entries for the same
+// shard carry identical vectors.
+func scanJournals(dir string, man manifest) (loaded map[int][]int64, repaired int, err error) {
+	files, err := sideJournals(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	files = append([]string{filepath.Join(dir, journalName)}, files...)
+	loaded = map[int][]int64{}
+	for _, path := range files {
+		one, rep, err := scanJournal(path, man)
+		if err != nil {
+			return nil, 0, err
+		}
+		repaired += rep
+		for shard, out := range one {
+			if _, dup := loaded[shard]; !dup {
+				loaded[shard] = out
+			}
+		}
+	}
+	return loaded, repaired, nil
+}
+
 // validateManifest checks a decoded manifest's own integrity (not its
 // match against any particular campaign).
 func validateManifest(man manifest) error {
@@ -221,13 +265,30 @@ func openCheckpoint(dir string, want manifest) (*checkpoint, error) {
 	}
 
 	journalPath := filepath.Join(dir, journalName)
-	ck.loaded, ck.repaired, err = scanJournal(journalPath, ck.man)
+	ck.loaded, ck.repaired, err = scanJournals(dir, ck.man)
 	if err != nil {
 		return nil, err
 	}
-	if ck.repaired > 0 {
+	// Compact when damage was dropped, and also when side journals from a
+	// multi-writer (fabric) run exist: a single-process resume owns the
+	// directory exclusively, so it may fold everything into the primary
+	// journal and delete the side files.  (Live fabric directories are only
+	// read via LoadOutcomes, which never compacts.)
+	sides, err := sideJournals(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ck.repaired > 0 || len(sides) > 0 {
 		if err := ck.compactJournal(journalPath); err != nil {
 			return nil, err
+		}
+		// The primary journal now holds every surviving entry; the side
+		// journals are redundant.  A crash part-way through the removals
+		// just leaves benign cross-file duplicates for the next scan.
+		for _, side := range sides {
+			if err := os.Remove(side); err != nil {
+				return nil, fmt.Errorf("campaign: compact journal: %w", err)
+			}
 		}
 	}
 
@@ -352,7 +413,7 @@ func Inspect(dir string) (*CheckpointInfo, error) {
 	if err := validateManifest(man); err != nil {
 		return nil, err
 	}
-	loaded, repaired, err := scanJournal(filepath.Join(dir, journalName), man)
+	loaded, repaired, err := scanJournals(dir, man)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,240 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Multi-writer journal battery: two fabric nodes interleave completions
+// into their own side journals (journal-<writer>.jsonl) of one shared
+// checkpoint directory.  The merge rules under test: side journals are
+// scanned alongside the primary, the same deterministic outcome recorded
+// by two writers is benign (first valid entry wins), and a single-process
+// resume folds everything into the primary journal and removes the side
+// files.  The corruption property from the single-journal battery must
+// hold file-by-file: damage to either (or both) writers' journals repairs
+// to a byte-identical report or fails with a typed error — never a
+// silently different report.
+
+// multiWriterCheckpoint completes the standard campaign through two Store
+// writers: even shards to node-a, odd to node-b, and every seventh shard
+// journaled by BOTH (the stolen-and-still-completed duplicate a fabric
+// steal produces).
+func multiWriterCheckpoint(t *testing.T) (string, Plan) {
+	t.Helper()
+	ctx := context.Background()
+	dir := t.TempDir()
+	plan, exec, err := PlanCampaign(ctx, testSpec(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = CreateStore(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenStore(dir, plan, "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenStore(dir, plan, "node-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	worker, err := exec.NewWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < plan.Shards; idx++ {
+		lo, hi := plan.Bounds(idx)
+		out := make([]int64, hi-lo)
+		if err := worker.Run(ctx, lo, hi, out); err != nil {
+			t.Fatalf("shard %d: %v", idx, err)
+		}
+		mine, other := a, b
+		if idx%2 == 1 {
+			mine, other = b, a
+		}
+		if err := mine.Append(idx, out); err != nil {
+			t.Fatalf("append shard %d: %v", idx, err)
+		}
+		if idx%7 == 0 {
+			if err := other.Append(idx, out); err != nil {
+				t.Fatalf("duplicate append shard %d: %v", idx, err)
+			}
+		}
+	}
+	return dir, plan
+}
+
+// TestMultiWriterMergeMatchesGolden checks the read-only merge: outcomes
+// interleaved across two writers (with cross-file duplicates) assemble to
+// the golden report, with zero entries counted as damaged.
+func TestMultiWriterMergeMatchesGolden(t *testing.T) {
+	golden := goldenRun(t, testSpec())
+	dir, plan := multiWriterCheckpoint(t)
+
+	loadedPlan, loaded, repaired, err := LoadOutcomes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 0 {
+		t.Fatalf("benign cross-writer duplicates counted as damage: repaired=%d", repaired)
+	}
+	if loadedPlan.Fingerprint != plan.Fingerprint {
+		t.Fatal("LoadOutcomes returned a different campaign")
+	}
+	if missing := MissingShards(loadedPlan, loaded); len(missing) != 0 {
+		t.Fatalf("complete two-writer checkpoint missing shards %v", missing)
+	}
+	spec := testSpec()
+	_, exec, err := PlanCampaign(context.Background(), spec, plan.ShardSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := AssembleReport(exec, loadedPlan, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, golden) {
+		t.Fatalf("two-writer merged report differs from golden:\n got  %s\n want %s", raw, golden)
+	}
+}
+
+// TestMultiWriterResumeCompacts checks the exclusive-resume path: a plain
+// single-process Run over a two-writer directory resumes every shard from
+// the side journals, produces the golden report, and compacts — the side
+// journals fold into the primary and are removed.
+func TestMultiWriterResumeCompacts(t *testing.T) {
+	golden := goldenRun(t, testSpec())
+	dir, plan := multiWriterCheckpoint(t)
+
+	res, err := Run(context.Background(), testSpec(), Options{ShardSize: 64, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != plan.Shards {
+		t.Fatalf("resumed %d of %d shards from the side journals", res.Resumed, plan.Shards)
+	}
+	if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+		t.Fatal("two-writer resume report differs from golden")
+	}
+	for _, name := range []string{"journal-node-a.jsonl", "journal-node-b.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("side journal %s survived compaction (err=%v)", name, err)
+		}
+	}
+	// The compacted directory must resume again purely from the primary.
+	res2, err := Run(context.Background(), testSpec(), Options{ShardSize: 64, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != plan.Shards {
+		t.Fatalf("post-compaction resume re-ran shards: resumed %d/%d", res2.Resumed, plan.Shards)
+	}
+	if got := reportJSON(t, res2); !bytes.Equal(got, golden) {
+		t.Fatal("post-compaction report differs from golden")
+	}
+}
+
+// TestMultiWriterJournalCorruptionProperty extends the corruption property
+// to interleaved journals: each trial mutates node-a's journal, node-b's,
+// or both, and a resume must repair to the byte-identical golden report or
+// refuse with a typed error.  Silence — a different report — fails.
+func TestMultiWriterJournalCorruptionProperty(t *testing.T) {
+	golden := goldenRun(t, testSpec())
+	dir, _ := multiWriterCheckpoint(t)
+	manifestRaw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides := []string{"journal-node-a.jsonl", "journal-node-b.jsonl"}
+	pristine := map[string][]byte{}
+	for _, name := range sides {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pristine[name] = raw
+	}
+
+	corruptions := []struct {
+		name string
+		mut  func(rng *rand.Rand, raw []byte) []byte
+	}{
+		{"bitflip", func(rng *rand.Rand, raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[rng.Intn(len(out))] ^= 1 << uint(rng.Intn(8))
+			return out
+		}},
+		{"truncate", func(rng *rand.Rand, raw []byte) []byte {
+			return append([]byte(nil), raw[:rng.Intn(len(raw))]...)
+		}},
+		{"torn-append", func(rng *rand.Rand, raw []byte) []byte {
+			torn := `{"schema":"` + SchemaVersion + `","shard":1,"key":"bee`
+			return append(append([]byte(nil), raw...), torn[:1+rng.Intn(len(torn)-1)]...)
+		}},
+		{"shuffle-lines", func(rng *rand.Rand, raw []byte) []byte {
+			lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+			rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+			return append(bytes.Join(lines, []byte("\n")), '\n')
+		}},
+		{"cross-writer-swap", func(rng *rand.Rand, raw []byte) []byte {
+			// Simulated misdirected write: a random line duplicated at a
+			// random position — across writers this is exactly the
+			// stolen-shard case and must stay benign.
+			lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+			dup := lines[rng.Intn(len(lines))]
+			at := rng.Intn(len(lines) + 1)
+			lines = append(lines[:at], append([][]byte{dup}, lines[at:]...)...)
+			return append(bytes.Join(lines, []byte("\n")), '\n')
+		}},
+	}
+
+	for _, c := range corruptions {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(29))
+			for trial := 0; trial < 20; trial++ {
+				fresh := t.TempDir()
+				if err := os.WriteFile(filepath.Join(fresh, manifestName), manifestRaw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				// Mutate a, b, or both this trial.
+				target := rng.Intn(3)
+				for i, name := range sides {
+					raw := pristine[name]
+					if target == 2 || target == i {
+						raw = c.mut(rng, raw)
+					}
+					if err := os.WriteFile(filepath.Join(fresh, name), raw, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				res, err := Run(context.Background(), testSpec(), Options{ShardSize: 64, Dir: fresh})
+				if err != nil {
+					if errors.Is(err, ErrSchemaVersion) || errors.Is(err, ErrCheckpointCorrupt) {
+						continue // loud and typed is an allowed outcome
+					}
+					t.Fatalf("trial %d (target %d): resume failed with untyped error: %v", trial, target, err)
+				}
+				if got := reportJSON(t, res); !bytes.Equal(got, golden) {
+					t.Fatalf("trial %d (target %d): corrupted two-writer checkpoint produced a DIFFERENT report",
+						trial, target)
+				}
+			}
+		})
+	}
+}

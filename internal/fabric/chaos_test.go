@@ -1,0 +1,342 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"steac/internal/campaign"
+	"steac/internal/scenario"
+)
+
+// TestFabricChaosMatrix is the headline harness: scenario-generated
+// campaigns run on a multi-node fabric under seeded fault injection —
+// node SIGKILL mid-lease (a real subprocess, killed without ceremony),
+// heartbeat stalls past the TTL, duplicate/adversarial lease claims with
+// a forged completion, and a coordinator restart that rebuilds the lease
+// table from disk.  Every trial must converge and produce a merged report
+// byte-identical to the single-process golden run, and every failure
+// observed along the way must be a typed sentinel (awaitReport fails the
+// trial on any non-ErrNotDone error).
+//
+// The matrix is 2 builtin scenarios x 10 seeds = 20 trials; the chaos
+// kind cycles with the seed, so each kind appears four times.
+
+// Env handshake for the subprocess victim node (see TestFabricNodeHelper).
+const (
+	fabricEnvURL   = "STEAC_FABRIC_NODE_URL"
+	fabricEnvDir   = "STEAC_FABRIC_NODE_DIR"
+	fabricEnvID    = "STEAC_FABRIC_NODE_ID"
+	fabricEnvFP    = "STEAC_FABRIC_NODE_FP"
+	fabricEnvDelay = "STEAC_FABRIC_NODE_DELAY_MS"
+)
+
+// TestFabricNodeHelper is not a test: it is the victim process body for
+// the SIGKILL chaos trials, entered only when the env handshake is set.
+// It joins the cluster as a slow node and works until the parent kills it.
+func TestFabricNodeHelper(t *testing.T) {
+	base := os.Getenv(fabricEnvURL)
+	if base == "" {
+		t.Skip("subprocess helper; driven by TestFabricChaosMatrix")
+	}
+	delayMS, _ := strconv.Atoi(os.Getenv(fabricEnvDelay))
+	node := &Node{
+		ID:         os.Getenv(fabricEnvID),
+		Client:     &Client{Base: base},
+		Dir:        os.Getenv(fabricEnvDir),
+		Workers:    2,
+		Poll:       5 * time.Millisecond,
+		ShardDelay: time.Duration(delayMS) * time.Millisecond,
+	}
+	// The parent SIGKILLs us mid-lease; completing is not an error
+	// either, just a slow parent.
+	_ = node.RunCampaign(context.Background(), os.Getenv(fabricEnvFP))
+}
+
+var chaosKinds = []string{"none", "sigkill", "heartbeat-stall", "dup-claim", "coordinator-restart"}
+
+// chaosScenario fixes one scenario's campaign: the smallest memory of the
+// seed-1 chip, full generated fault universe, and a shard size that yields
+// a few dozen shards for the lease table to deal out.
+type chaosScenario struct {
+	name      string
+	shardSize int
+}
+
+func (cs chaosScenario) spec(t *testing.T) *campaign.CoverageSpec {
+	t.Helper()
+	chip, err := scenario.GenerateByName(cs.name, 1)
+	if err != nil {
+		t.Fatalf("generate %s: %v", cs.name, err)
+	}
+	return &campaign.CoverageSpec{
+		Scenario: cs.name, ChipSeed: 1,
+		Memory:    chip.SmallestMemories(1)[0].Name,
+		AllFaults: true,
+	}
+}
+
+func TestFabricChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix skipped in -short")
+	}
+	for _, cs := range []chaosScenario{
+		{name: "manycore", shardSize: 1024},
+		{name: "memory-heavy", shardSize: 512},
+	} {
+		cs := cs
+		t.Run(cs.name, func(t *testing.T) {
+			t.Parallel()
+			spec := cs.spec(t)
+			golden := goldenReport(t, spec)
+			for seed := int64(0); seed < 10; seed++ {
+				seed := seed
+				kind := chaosKinds[int(seed)%len(chaosKinds)]
+				t.Run(fmt.Sprintf("seed%d_%s", seed, kind), func(t *testing.T) {
+					t.Parallel()
+					runChaosTrial(t, cs, spec, golden, seed, kind)
+				})
+			}
+		})
+	}
+}
+
+func runChaosTrial(t *testing.T, cs chaosScenario, spec campaign.Spec, golden []byte, seed int64, kind string) {
+	if kind == "sigkill" && runtime.GOOS != "linux" {
+		t.Skip("SIGKILL subprocess trial is linux-only")
+	}
+	rng := rand.New(rand.NewSource(seed*7919 + int64(len(cs.name))))
+	ttl := 300 * time.Millisecond
+	c := newCluster(t, Config{TTL: ttl, LeaseMax: 2})
+	info := c.submit(t, spec, cs.shardSize)
+	fp := info.Fingerprint
+
+	switch kind {
+	case "none":
+		runNodes(t, c, fp, 3, 5*time.Millisecond, nil)
+
+	case "sigkill":
+		victimDies(t, c, fp, rng, seed)
+		runNodes(t, c, fp, 2, 5*time.Millisecond, nil)
+
+	case "heartbeat-stall":
+		// Node A stalls its heartbeat loop well past the TTL while each
+		// of its shards takes longer than the TTL to simulate: its
+		// leases expire mid-shard and node B steals them; A still
+		// finishes and completes idempotently.
+		var stallOnce sync.Once
+		hb := 0
+		stall := func() {
+			hb++
+			if hb >= 2 {
+				stallOnce.Do(func() { time.Sleep(ttl*2 + time.Duration(rng.Intn(200))*time.Millisecond) })
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		errs := make(chan error, 2)
+		go func() {
+			defer wg.Done()
+			a := c.node("stall-a", 2)
+			a.ShardDelay = ttl + 100*time.Millisecond
+			a.StallHeartbeat = stall
+			errs <- a.RunCampaign(context.Background(), fp)
+		}()
+		go func() {
+			defer wg.Done()
+			b := c.node("swift-b", 2)
+			b.ShardDelay = 10 * time.Millisecond
+			errs <- b.RunCampaign(context.Background(), fp)
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatalf("node error: %v", err)
+			}
+		}
+		requireSteals(t, c, fp)
+
+	case "dup-claim":
+		// An impostor claims aggressively, never heartbeats or journals,
+		// and forges one completion for a shard it never ran.  The
+		// forged shard is absent from the journals, so the merge must
+		// catch it, re-lease it, and still end byte-identical.
+		impCtx, stopImp := context.WithCancel(context.Background())
+		defer stopImp()
+		forged := info.Shards - 1 - rng.Intn(info.Shards/4+1)
+		cl := c.client()
+		_, err := cl.Complete(impCtx, CompleteRequest{Node: "imp", Campaign: fp, Shard: forged})
+		if err != nil {
+			t.Fatalf("forged complete: %v", err)
+		}
+		go func() {
+			for impCtx.Err() == nil {
+				_, _ = cl.Lease(impCtx, LeaseRequest{Node: "imp", Campaign: fp, Max: 4})
+				select {
+				case <-impCtx.Done():
+				case <-time.After(20 * time.Millisecond):
+				}
+			}
+		}()
+		runNodes(t, c, fp, 2, 15*time.Millisecond, nil)
+		stopImp()
+
+	case "coordinator-restart":
+		// Restart the coordinator mid-campaign: the replacement rebuilds
+		// its lease table from the manifests and journals on disk, the
+		// nodes' in-flight leases silently vanish, and everything still
+		// converges to the golden report.
+		threshold := 2 + rng.Intn(4)
+		restartAt := make(chan struct{})
+		var once sync.Once
+		onShard := func(string, int) {
+			p, err := c.client().Progress(context.Background(), fp)
+			if err == nil && p.ShardsComplete >= threshold {
+				once.Do(func() { close(restartAt) })
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			runNodes(t, c, fp, 2, 20*time.Millisecond, onShard)
+		}()
+		select {
+		case <-restartAt:
+			c.restart(t)
+			<-done
+		case <-done:
+			select {
+			case <-restartAt:
+				// The nodes raced to the finish; restarting now still
+				// proves recovery of a complete campaign from disk.
+				c.restart(t)
+			default:
+				t.Fatal("campaign finished before the restart threshold")
+			}
+		}
+	}
+
+	got := c.awaitReport(t, fp)
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("chaos %s/seed%d: merged report differs from single-process golden\n got  %s\n want %s",
+			kind, seed, clip(got), clip(golden))
+	}
+	p, err := c.client().Progress(context.Background(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State != "done" || p.ShardsComplete != p.ShardsTotal || p.UnitsDone != p.UnitsTotal {
+		t.Fatalf("done campaign progress inconsistent: %+v", p)
+	}
+}
+
+// runNodes drives n in-process nodes to campaign completion and fails on
+// any node error.
+func runNodes(t *testing.T, c *cluster, fp string, n int, delay time.Duration, onShard func(string, int)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		node := c.node(fmt.Sprintf("n%d", i), 2)
+		node.ShardDelay = delay
+		node.OnShard = onShard
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- node.RunCampaign(context.Background(), fp)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("node error: %v", err)
+		}
+	}
+}
+
+// victimDies launches a subprocess node against the cluster, waits until
+// the coordinator shows it holding live leases (and, for the second
+// sigkill seed, at least one journaled completion), then SIGKILLs it
+// mid-lease.
+func victimDies(t *testing.T, c *cluster, fp string, rng *rand.Rand, seed int64) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestFabricNodeHelper$")
+	cmd.Env = append(os.Environ(),
+		fabricEnvURL+"="+c.srv.URL,
+		fabricEnvDir+"="+c.cfg.Dir,
+		fabricEnvID+"=victim",
+		fabricEnvFP+"="+fp,
+		fabricEnvDelay+"=2000",
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start victim: %v", err)
+	}
+	needComplete := seed >= 5 // the later sigkill seed also proves journaled shards survive
+	// A jittered beat before watching, so the kill lands at a
+	// seed-dependent point of the victim's 2s-per-shard window.
+	time.Sleep(time.Duration(rng.Intn(100)) * time.Millisecond)
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("victim never reached a killable state")
+		}
+		p, err := c.client().Progress(context.Background(), fp)
+		if err == nil {
+			var v *NodeProgress
+			for i := range p.Nodes {
+				if p.Nodes[i].Node == "victim" {
+					v = &p.Nodes[i]
+				}
+			}
+			// Kill only while the victim demonstrably holds live
+			// leases; each shard occupies it for ~2s, so the kill below
+			// lands mid-lease.
+			if v != nil && v.Leased > 0 && (!needComplete || v.Completed >= 1) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill victim: %v", err)
+	}
+	cmd.Wait() // reap; the exit status is the kill
+	t.Cleanup(func() { requireSteals(t, c, fp) })
+}
+
+// requireSteals asserts that at least one shard was stolen from an expired
+// lease — the property the chaos kind was injected to provoke.
+func requireSteals(t *testing.T, c *cluster, fp string) {
+	t.Helper()
+	p, err := c.client().Progress(context.Background(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := 0
+	for _, np := range p.Nodes {
+		stolen += np.Stolen
+	}
+	if stolen == 0 {
+		t.Fatalf("no shard was stolen; chaos did not bite (%+v)", p.Nodes)
+	}
+}
+
+// clip keeps failure output readable for large reports.
+func clip(b []byte) string {
+	if len(b) > 400 {
+		return string(b[:400]) + "…"
+	}
+	return string(b)
+}

@@ -1,0 +1,78 @@
+// Package fabric scales the checkpointable campaign runner
+// (internal/campaign) from one process to many: steacd nodes lease
+// content-addressed shards over HTTP from a coordinator, simulate them on
+// their local worker pools, journal completions to the shared checkpoint
+// store, and the coordinator merges the journals through the engine's own
+// Assemble path — so a fabric run is byte-identical to a single-process
+// run of the same spec.
+//
+// The protocol is deliberately small, and every piece of crash safety
+// falls out of the PR-5 checkpoint contract rather than new machinery:
+//
+//   - Leases, not assignments.  A node claims a batch of shards and must
+//     heartbeat them before the TTL runs out; a SIGKILLed or partitioned
+//     node simply stops heartbeating, its leases expire, and the next
+//     claim steals them (steal-on-expiry — the distributed mirror of the
+//     in-process pool's thief-FIFO: expired work is re-claimed oldest
+//     first, while a live node keeps working the contiguous block it
+//     claimed, the owner-LIFO side).
+//   - Journal before ack.  A node fsyncs the shard outcome into its own
+//     side journal (journal-<node>.jsonl) before reporting completion, so
+//     every acknowledged shard is durable, and a crash between journal and
+//     ack merely re-runs one shard.  Two nodes completing the same stolen
+//     shard write byte-identical entries; the merge takes the first valid
+//     one.
+//   - Trust the store, not the table.  The lease table is an in-memory
+//     scheduling hint.  Before assembling, the coordinator re-scans every
+//     journal; shards claimed complete but absent from disk go back to
+//     pending and are re-leased.  A coordinator restart rebuilds the whole
+//     table from the manifests and journals on disk.
+//
+// Every observable failure is one of the typed sentinels below, carried
+// over the wire as a machine-readable code and mapped back by the client.
+package fabric
+
+import (
+	"errors"
+
+	"steac/internal/obs"
+)
+
+// Typed protocol errors.  The HTTP layer maps each to a status plus a wire
+// code; Client maps the code back so errors.Is works across the wire.
+var (
+	// ErrUnknownCampaign marks a fingerprint the coordinator is not
+	// tracking — wrong coordinator, or a campaign that was never
+	// submitted.
+	ErrUnknownCampaign = errors.New("fabric: unknown campaign")
+	// ErrUnknownShard marks a shard index outside the campaign's plan.
+	ErrUnknownShard = errors.New("fabric: shard index out of range")
+	// ErrNotDone marks a report request for a campaign that still has
+	// incomplete shards (including shards claimed complete but missing
+	// from the journals at merge time — those are re-leased).
+	ErrNotDone = errors.New("fabric: campaign not complete")
+	// ErrSpecMismatch marks a node whose locally-computed campaign
+	// fingerprint disagrees with the coordinator's — a version or spec
+	// skew that must stop the node before it simulates anything.
+	ErrSpecMismatch = errors.New("fabric: spec does not match campaign fingerprint")
+	// ErrBadRequest marks a structurally invalid protocol request (missing
+	// node name, malformed body, invalid writer id).
+	ErrBadRequest = errors.New("fabric: bad request")
+)
+
+// Observability.  Counters accumulate on the coordinator; the node agent
+// has its own small set.
+var (
+	obsCampaigns   = obs.GetCounter("fabric.campaigns_submitted")
+	obsCampaignsOK = obs.GetCounter("fabric.campaigns_done")
+	obsLeases      = obs.GetCounter("fabric.leases_granted")
+	obsExpired     = obs.GetCounter("fabric.leases_expired")
+	obsStolen      = obs.GetCounter("fabric.leases_stolen")
+	obsCompleted   = obs.GetCounter("fabric.shards_completed")
+	obsHeartbeats  = obs.GetCounter("fabric.heartbeats")
+	obsMergeMiss   = obs.GetCounter("fabric.merge_missing_shards")
+	obsActive      = obs.GetGauge("fabric.campaigns_active")
+
+	obsNodeShards = obs.GetCounter("fabric.node_shards_run")
+	obsNodeLost   = obs.GetCounter("fabric.node_leases_lost")
+)

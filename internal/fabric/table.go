@@ -1,0 +1,308 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// shardState is the lease state machine: every shard is pending, leased,
+// or complete.  pending → leased on Claim; leased → pending on TTL expiry
+// (steal-on-expiry); leased → complete on Complete; complete is terminal.
+type shardState uint8
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardComplete
+)
+
+type tableShard struct {
+	state   shardState
+	node    string    // current lessee (leased) or completing node (complete)
+	expires time.Time // lease deadline (leased only)
+	prev    string    // previous lessee, set when a lease is reclaimed
+}
+
+// nodeStats is the per-node ledger behind fabric-wide progress reporting.
+type nodeStats struct {
+	leased    int // shards currently on lease to the node
+	completed int // shards the node completed (first to report)
+	stolen    int // shards the node claimed after another node's lease expired
+	lastSeen  time.Time
+}
+
+// Table is the coordinator's lease table for one campaign.  It is an
+// in-memory scheduling structure only — durability lives in the journal
+// files — so the coordinator can rebuild it from disk at any time
+// (MarkComplete) and downgrade optimistic completions that turn out not to
+// be journaled (ResetPending).
+//
+// Scheduling mirrors the in-process pool: a claim hands out the oldest
+// pending shards first (FIFO), and expired leases are re-queued at the
+// front ordered by expiry, so the longest-dead work is stolen first —
+// thief-FIFO — while a live node keeps extending its own contiguous block
+// of claims, the owner-LIFO side.
+type Table struct {
+	mu       sync.Mutex
+	ttl      time.Duration
+	now      func() time.Time
+	shards   []tableShard
+	pending  []int // claim order, oldest first
+	complete int
+	nodes    map[string]*nodeStats
+}
+
+// NewTable builds a lease table over shards shards with the given lease
+// TTL.  now supplies the clock; nil means time.Now.  All shards start
+// pending in index order.
+func NewTable(shards int, ttl time.Duration, now func() time.Time) *Table {
+	if now == nil {
+		now = time.Now
+	}
+	t := &Table{
+		ttl:     ttl,
+		now:     now,
+		shards:  make([]tableShard, shards),
+		pending: make([]int, shards),
+		nodes:   map[string]*nodeStats{},
+	}
+	for i := range t.pending {
+		t.pending[i] = i
+	}
+	return t
+}
+
+func (t *Table) node(name string) *nodeStats {
+	ns := t.nodes[name]
+	if ns == nil {
+		ns = &nodeStats{}
+		t.nodes[name] = ns
+	}
+	return ns
+}
+
+// reclaimExpired moves every expired lease back to the front of the
+// pending queue, ordered by expiry time (oldest-dead first) then index.
+// Callers hold t.mu.
+func (t *Table) reclaimExpired(now time.Time) {
+	var dead []int
+	for i := range t.shards {
+		s := &t.shards[i]
+		if s.state == shardLeased && now.After(s.expires) {
+			dead = append(dead, i)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	sort.Slice(dead, func(a, b int) bool {
+		sa, sb := t.shards[dead[a]], t.shards[dead[b]]
+		if !sa.expires.Equal(sb.expires) {
+			return sa.expires.Before(sb.expires)
+		}
+		return dead[a] < dead[b]
+	})
+	for _, i := range dead {
+		s := &t.shards[i]
+		s.state = shardPending
+		s.prev = s.node
+		if ns := t.nodes[s.node]; ns != nil && ns.leased > 0 {
+			ns.leased--
+		}
+		s.node = ""
+		obsExpired.Add(1)
+	}
+	t.pending = append(dead, t.pending...)
+}
+
+// Claim leases up to max pending shards to node, reclaiming expired leases
+// first.  Returns the claimed shard indices in lease order; empty means no
+// work is currently pending (the campaign may still have leased shards in
+// flight — poll again).
+func (t *Table) Claim(node string, max int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.reclaimExpired(now)
+	ns := t.node(node)
+	ns.lastSeen = now
+	if max <= 0 {
+		max = 1
+	}
+	var out []int
+	for len(out) < max && len(t.pending) > 0 {
+		i := t.pending[0]
+		t.pending = t.pending[1:]
+		s := &t.shards[i]
+		if s.state != shardPending {
+			continue // stale queue entry (completed while pending)
+		}
+		s.state = shardLeased
+		s.node = node
+		s.expires = now.Add(t.ttl)
+		ns.leased++
+		if s.prev != "" && s.prev != node {
+			ns.stolen++
+			obsStolen.Add(1)
+		}
+		out = append(out, i)
+	}
+	obsLeases.Add(int64(len(out)))
+	return out
+}
+
+// Heartbeat renews node's leases on the given shards.  A lease is renewed
+// if the node still owns it — including one that has expired but not yet
+// been reclaimed by a Claim (the node was merely slow, and nobody else has
+// the shard).  Shards the node no longer owns are returned in lost; the
+// node must abandon them.
+func (t *Table) Heartbeat(node string, shards []int) (renewed, lost []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.node(node).lastSeen = now
+	obsHeartbeats.Add(1)
+	for _, i := range shards {
+		if i < 0 || i >= len(t.shards) {
+			lost = append(lost, i)
+			continue
+		}
+		s := &t.shards[i]
+		if s.state == shardLeased && s.node == node {
+			s.expires = now.Add(t.ttl)
+			renewed = append(renewed, i)
+		} else {
+			lost = append(lost, i)
+		}
+	}
+	return renewed, lost
+}
+
+// Complete records shard idx as done, reported by node.  Completion is
+// idempotent and accepted from any node — a thief and the original owner
+// may both finish a shard; outcomes are deterministic, so both are right
+// and the first report wins (already=true for the rest).
+func (t *Table) Complete(node string, idx int) (already bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.shards) {
+		return false, fmt.Errorf("%w: %d of %d", ErrUnknownShard, idx, len(t.shards))
+	}
+	now := t.now()
+	ns := t.node(node)
+	ns.lastSeen = now
+	s := &t.shards[idx]
+	if s.state == shardComplete {
+		return true, nil
+	}
+	if s.state == shardLeased {
+		if owner := t.nodes[s.node]; owner != nil && owner.leased > 0 {
+			owner.leased--
+		}
+	} else {
+		// Completed straight from pending (a node finished after its
+		// lease was reclaimed): drop the stale queue entry.
+		for i, p := range t.pending {
+			if p == idx {
+				t.pending = append(t.pending[:i], t.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	s.state = shardComplete
+	s.node = node
+	ns.completed++
+	t.complete++
+	obsCompleted.Add(1)
+	return false, nil
+}
+
+// MarkComplete records shard idx as already complete during journal
+// recovery, crediting no node.  Unknown indices are ignored.
+func (t *Table) MarkComplete(idx int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.shards) {
+		return
+	}
+	s := &t.shards[idx]
+	if s.state == shardComplete {
+		return
+	}
+	if s.state == shardPending {
+		for i, p := range t.pending {
+			if p == idx {
+				t.pending = append(t.pending[:i], t.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	s.state = shardComplete
+	t.complete++
+}
+
+// ResetPending returns the given completed shards to the pending queue —
+// the merge found them claimed complete but absent from the journals, so
+// they must run again.
+func (t *Table) ResetPending(idxs []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, idx := range idxs {
+		if idx < 0 || idx >= len(t.shards) {
+			continue
+		}
+		s := &t.shards[idx]
+		if s.state != shardComplete {
+			continue
+		}
+		s.state = shardPending
+		s.node = ""
+		t.complete--
+		t.pending = append(t.pending, idx)
+	}
+}
+
+// Done reports whether every shard is complete.
+func (t *Table) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.complete == len(t.shards)
+}
+
+// TableSnapshot is a point-in-time view of the lease table for progress
+// reporting.
+type TableSnapshot struct {
+	Shards   int
+	Pending  int
+	Leased   int
+	Complete int
+	Nodes    map[string]NodeProgress
+}
+
+// Snapshot returns the current table state.  Expired-but-unreclaimed
+// leases count as leased; they only move on the next Claim.
+func (t *Table) Snapshot() TableSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TableSnapshot{Shards: len(t.shards), Nodes: map[string]NodeProgress{}}
+	for i := range t.shards {
+		switch t.shards[i].state {
+		case shardPending:
+			snap.Pending++
+		case shardLeased:
+			snap.Leased++
+		case shardComplete:
+			snap.Complete++
+		}
+	}
+	now := t.now()
+	for name, ns := range t.nodes {
+		snap.Nodes[name] = NodeProgress{
+			Node: name, Leased: ns.leased, Completed: ns.completed,
+			Stolen: ns.stolen, IdleMS: now.Sub(ns.lastSeen).Milliseconds(),
+		}
+	}
+	return snap
+}

@@ -1,0 +1,179 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Wire types for the /v1/fabric/* protocol.  Everything is plain JSON over
+// HTTP; errors travel as {"error": "...", "code": "..."} where code is the
+// machine-readable name of one of the package sentinels, so a client can
+// reconstruct the typed error across the wire.
+
+// SubmitRequest submits a campaign to the coordinator — the same
+// kind+spec envelope the local job API uses.
+type SubmitRequest struct {
+	Kind      string          `json:"kind"`
+	Spec      json.RawMessage `json:"spec"`
+	ShardSize int             `json:"shard_size,omitempty"`
+}
+
+// CampaignInfo describes a campaign the coordinator tracks: the full plan
+// geometry plus its lifecycle state ("running" or "done").
+type CampaignInfo struct {
+	Fingerprint string          `json:"fingerprint"`
+	Kind        string          `json:"kind"`
+	Spec        json.RawMessage `json:"spec"`
+	Units       int             `json:"units"`
+	ShardSize   int             `json:"shard_size"`
+	Shards      int             `json:"shards"`
+	State       string          `json:"state"`
+}
+
+// LeaseRequest asks for up to Max shards of Campaign on behalf of Node.
+type LeaseRequest struct {
+	Node     string `json:"node"`
+	Campaign string `json:"campaign"`
+	Max      int    `json:"max,omitempty"`
+}
+
+// WireLease is one leased shard: the index plus the unit range and content
+// key, so a node can validate its local plan against the coordinator's.
+type WireLease struct {
+	Shard int    `json:"shard"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Key   string `json:"key"`
+}
+
+// LeaseResponse carries the granted leases and the TTL the node must
+// heartbeat within.  Done means the campaign has no work left at all;
+// empty Leases with Done=false means everything pending is currently
+// leased elsewhere — poll again.
+type LeaseResponse struct {
+	Leases []WireLease `json:"leases"`
+	TTLMS  int64       `json:"ttl_ms"`
+	Done   bool        `json:"done"`
+}
+
+// HeartbeatRequest renews Node's leases on Shards of Campaign.
+type HeartbeatRequest struct {
+	Node     string `json:"node"`
+	Campaign string `json:"campaign"`
+	Shards   []int  `json:"shards"`
+}
+
+// HeartbeatResponse splits the heartbeat into renewed and lost leases; the
+// node must abandon lost shards (another node owns them now).
+type HeartbeatResponse struct {
+	Renewed []int `json:"renewed"`
+	Lost    []int `json:"lost"`
+}
+
+// CompleteRequest reports one journaled shard.  The node must have fsync'd
+// the outcome into its side journal before sending this.
+type CompleteRequest struct {
+	Node     string `json:"node"`
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+}
+
+// CompleteResponse acknowledges a completion.  Already means some node
+// reported the shard first; Done means this completion finished the
+// campaign.
+type CompleteResponse struct {
+	Already bool `json:"already"`
+	Done    bool `json:"done"`
+}
+
+// Progress is the fabric-wide progress view of one campaign: shard and
+// unit totals, per-node lease/steal ledgers, and the coordinator's ETA.
+type Progress struct {
+	Fingerprint    string         `json:"fingerprint"`
+	Kind           string         `json:"kind"`
+	State          string         `json:"state"`
+	ShardsTotal    int            `json:"shards_total"`
+	ShardsComplete int            `json:"shards_complete"`
+	ShardsLeased   int            `json:"shards_leased"`
+	ShardsPending  int            `json:"shards_pending"`
+	UnitsTotal     int            `json:"units_total"`
+	UnitsDone      int            `json:"units_done"`
+	ElapsedMS      int64          `json:"elapsed_ms"`
+	EtaMS          int64          `json:"eta_ms,omitempty"`
+	Nodes          []NodeProgress `json:"nodes"`
+}
+
+// NodeProgress is one node's ledger within a campaign.
+type NodeProgress struct {
+	Node      string `json:"node"`
+	Leased    int    `json:"leased"`
+	Completed int    `json:"completed"`
+	Stolen    int    `json:"stolen"`
+	IdleMS    int64  `json:"idle_ms"`
+}
+
+// wireError is the JSON error envelope.
+type wireError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// errorCode maps a sentinel to its wire code; codeError maps it back.
+var wireCodes = []struct {
+	err    error
+	code   string
+	status int
+}{
+	{ErrUnknownCampaign, "unknown_campaign", http.StatusNotFound},
+	{ErrUnknownShard, "unknown_shard", http.StatusBadRequest},
+	{ErrNotDone, "not_done", http.StatusConflict},
+	{ErrSpecMismatch, "spec_mismatch", http.StatusConflict},
+	{ErrBadRequest, "bad_request", http.StatusBadRequest},
+}
+
+func statusFor(err error) (status int, code string) {
+	for _, w := range wireCodes {
+		if errors.Is(err, w.err) {
+			return w.status, w.code
+		}
+	}
+	return http.StatusInternalServerError, ""
+}
+
+func codeError(code string) error {
+	for _, w := range wireCodes {
+		if w.code == code {
+			return w.err
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := statusFor(err)
+	writeJSON(w, status, wireError{Error: err.Error(), Code: code})
+}
+
+// decodeWireError reconstructs a typed error from a non-2xx response body.
+func decodeWireError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var we wireError
+	if json.Unmarshal(body, &we) == nil && we.Error != "" {
+		if base := codeError(we.Code); base != nil {
+			return fmt.Errorf("%w: %s", base, we.Error)
+		}
+		return fmt.Errorf("fabric: %s: %s", resp.Status, we.Error)
+	}
+	return fmt.Errorf("fabric: %s: %s", resp.Status, string(body))
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"steac/internal/campaign"
+	"steac/internal/fabric"
 	"steac/internal/obs"
 )
 
@@ -47,6 +48,10 @@ type JobRequest struct {
 	// ShardSize is the checkpoint shard granularity (0 = campaign
 	// default; an existing checkpoint's manifest wins regardless).
 	ShardSize int `json:"shard_size,omitempty"`
+	// Fabric routes the campaign to the fabric coordinator (leased out to
+	// joined nodes) instead of the local pool.  Requires the daemon to
+	// run as a coordinator; otherwise the submission is a 400.
+	Fabric bool `json:"fabric,omitempty"`
 }
 
 // JobStatus is the wire form of one job, returned by every job endpoint.
@@ -71,8 +76,13 @@ type JobStatus struct {
 	// far (absent until the first shard completes).
 	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 	EtaMS     int64 `json:"eta_ms,omitempty"`
-	// Counters is the campaign.* obs counter snapshot at status time.
+	// Counters is the campaign.* obs counter snapshot at status time
+	// (fabric.* for fabric jobs).
 	Counters []obs.MetricValue `json:"counters,omitempty"`
+	// Fabric is the fabric-wide progress view for distributed jobs:
+	// leased/complete/stolen shard ledgers per node.  Local-pool jobs
+	// omit it.
+	Fabric *fabric.Progress `json:"fabric,omitempty"`
 	// Result is the engine report once State is done.
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
@@ -110,6 +120,7 @@ type campaignJob struct {
 	finished    time.Time
 	result      json.RawMessage
 	errMsg      string
+	fabricProg  *fabric.Progress // latest coordinator snapshot; nil for local jobs
 }
 
 // status snapshots the job as a JobStatus.
@@ -128,6 +139,17 @@ func (j *campaignJob) status() JobStatus {
 		end = time.Now()
 	}
 	st.ElapsedMS = end.Sub(j.started).Milliseconds()
+	if j.fabricProg != nil {
+		// Fabric jobs report the coordinator's fabric-wide view: shard
+		// and unit totals across every node, per-node lease/steal
+		// ledgers, and the coordinator's own rate-based ETA — the local
+		// single-pool extrapolation below would undercount a cluster.
+		prog := *j.fabricProg
+		st.Fabric = &prog
+		st.EtaMS = prog.EtaMS
+		st.Counters = obs.CountersPrefix("fabric.")
+		return st
+	}
 	if j.state == jobRunning && !j.firstShard.IsZero() && j.unitsDone > 0 && j.unitsDone < j.unitsTotal {
 		rate := float64(j.unitsDone) / float64(time.Since(j.firstShard))
 		if rate > 0 {
@@ -144,6 +166,7 @@ type jobManager struct {
 	workers int
 	sem     chan struct{}
 	wg      sync.WaitGroup
+	fabric  *fabric.Coordinator // non-nil when this daemon coordinates a fabric
 
 	mu   sync.Mutex
 	jobs map[string]*campaignJob
@@ -218,6 +241,95 @@ func (jm *jobManager) submit(spec campaign.Spec, req JobRequest) (*campaignJob, 
 	jm.wg.Add(1)
 	go jm.run(ctx, j, req.Workers, req.ShardSize)
 	return j, nil
+}
+
+// submitFabric starts (or joins) a distributed job: the campaign is
+// registered with the fabric coordinator and executed by whatever nodes
+// lease its shards; the local job merely tracks coordinator progress, so
+// it does not consume a MaxJobs slot.  Job identity is the same campaign
+// fingerprint as local jobs — the same spec submitted locally or to the
+// fabric converges on the same id and checkpoint.
+func (jm *jobManager) submitFabric(ctx context.Context, spec campaign.Spec, req JobRequest) (*campaignJob, error) {
+	payload, err := spec.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	info, err := jm.fabric.Submit(ctx, fabric.SubmitRequest{
+		Kind: spec.Kind(), Spec: payload, ShardSize: req.ShardSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	id := jobID(info.Fingerprint)
+
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if j, ok := jm.jobs[id]; ok {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		if state != jobFailed && state != jobCanceled {
+			return j, nil
+		}
+	}
+	j := &campaignJob{
+		id: id, kind: spec.Kind(), fingerprint: info.Fingerprint, spec: spec,
+		state: jobRunning, started: time.Now(),
+		fabricProg: &fabric.Progress{Fingerprint: info.Fingerprint, Kind: info.Kind, State: "running"},
+	}
+	watchCtx, cancel := context.WithCancelCause(context.Background())
+	j.cancel = cancel
+	jm.jobs[id] = j
+	obsJobsSubmitted.Add(1)
+	jm.wg.Add(1)
+	go jm.watchFabric(watchCtx, j)
+	return j, nil
+}
+
+// watchFabric tracks one distributed job: poll the coordinator until the
+// campaign merges, then record its report.  Canceling the job stops the
+// watch only — the fabric campaign itself belongs to the coordinator and
+// keeps running on its nodes.
+func (jm *jobManager) watchFabric(ctx context.Context, j *campaignJob) {
+	defer jm.wg.Done()
+	obsJobsActive.Set(obsJobsActive.Value() + 1)
+	defer func() { obsJobsActive.Set(obsJobsActive.Value() - 1) }()
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		prog, err := jm.fabric.Progress(j.fingerprint)
+		if err != nil {
+			jm.finish(j, nil, err)
+			return
+		}
+		j.mu.Lock()
+		j.fabricProg = &prog
+		j.shardsDone = prog.ShardsComplete
+		j.shardsTotal = prog.ShardsTotal
+		j.unitsDone = prog.UnitsDone
+		j.unitsTotal = prog.UnitsTotal
+		j.mu.Unlock()
+		if prog.State == "done" {
+			raw, err := jm.fabric.Report(j.fingerprint)
+			if err != nil {
+				jm.finish(j, nil, err)
+				return
+			}
+			j.mu.Lock()
+			j.finished = time.Now()
+			j.state = jobDone
+			j.result = raw
+			j.mu.Unlock()
+			obsJobsDone.Add(1)
+			return
+		}
+		select {
+		case <-ctx.Done():
+			jm.finish(j, nil, fmt.Errorf("fabric watch stopped (%v): %w", context.Cause(ctx), ctx.Err()))
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 // run executes one job: wait for a slot, run the checkpointed campaign,
@@ -351,7 +463,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.jobMgr.submit(spec, req)
+	var j *campaignJob
+	if req.Fabric {
+		if s.jobMgr.fabric == nil {
+			httpError(w, http.StatusBadRequest, badRequestf("serve: fabric job submitted but this daemon is not a coordinator"))
+			return
+		}
+		j, err = s.jobMgr.submitFabric(r.Context(), spec, req)
+	} else {
+		j, err = s.jobMgr.submit(spec, req)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"steac/internal/fabric"
+)
+
+// The fabric-job tests exercise the distributed submission path: a job
+// POSTed with "fabric": true is registered with the daemon's coordinator,
+// executed by fabric nodes leasing over the same HTTP mux, and reported
+// through the job API with the coordinator's fabric-wide progress view
+// instead of the local single-pool extrapolation.
+
+// newFabricServer builds a coordinating daemon plus n in-process fabric
+// nodes leasing from its own mux, all sharing one checkpoint root.
+func newFabricServer(t *testing.T, n int) (string, *fabric.Coordinator) {
+	t.Helper()
+	dir := t.TempDir()
+	coord, err := fabric.New(fabric.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Fabric: coord})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < n; i++ {
+		node := &fabric.Node{
+			ID:      "serve-node-" + string(rune('a'+i)),
+			Client:  &fabric.Client{Base: ts.URL},
+			Dir:     dir,
+			Workers: 2,
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = node.Run(ctx)
+		}()
+		t.Cleanup(func() { cancel(); <-done }) // stop the agent before the server closes
+	}
+	return ts.URL, coord
+}
+
+// TestFabricJobLifecycle is the distributed happy path: submit with
+// "fabric": true, nodes lease and complete the shards, the job reaches
+// done with the golden report and a fabric-wide progress block naming
+// the nodes that did the work.
+func TestFabricJobLifecycle(t *testing.T) {
+	base, _ := newFabricServer(t, 2)
+	golden := goldenJobReport(t)
+
+	body := `{"kind":"memfault","spec":` + jobSpecJSON + `,"shard_size":64,"fabric":true}`
+	st := jobPost(t, base, body, http.StatusAccepted)
+	if st.State != jobRunning {
+		t.Fatalf("fabric job admitted in state %q, want %q", st.State, jobRunning)
+	}
+
+	final := pollJob(t, base, st.ID, func(s JobStatus) bool { return terminalJobState(s.State) })
+	if final.State != jobDone {
+		t.Fatalf("fabric job finished %q (%s), want done", final.State, final.Error)
+	}
+	if !bytes.Equal(final.Result, golden) {
+		t.Fatalf("fabric job result differs from golden:\n got  %s\n want %s", final.Result, golden)
+	}
+	if final.Fabric == nil {
+		t.Fatal("finished fabric job status carries no fabric progress block")
+	}
+	if final.Fabric.State != "done" || final.Fabric.ShardsComplete != final.Fabric.ShardsTotal {
+		t.Fatalf("fabric progress not converged: %+v", final.Fabric)
+	}
+	completed := 0
+	for _, node := range final.Fabric.Nodes {
+		if !strings.HasPrefix(node.Node, "serve-node-") {
+			t.Fatalf("unexpected node %q in fabric progress", node.Node)
+		}
+		completed += node.Completed
+	}
+	if completed != final.Fabric.ShardsTotal {
+		t.Fatalf("per-node completions sum to %d, want %d shards", completed, final.Fabric.ShardsTotal)
+	}
+
+	// Resubmission joins the finished job — same id, no recompute.
+	again := jobPost(t, base, body, http.StatusAccepted)
+	if again.ID != st.ID {
+		t.Fatalf("fabric resubmission minted new job %s, had %s", again.ID, st.ID)
+	}
+}
+
+// TestFabricJobConvergesWithLocalID checks the identity contract: the same
+// spec submitted as a fabric job and described locally shares the campaign
+// fingerprint-derived job id, so clients can switch modes without losing
+// the handle.
+func TestFabricJobConvergesWithLocalID(t *testing.T) {
+	base, coord := newFabricServer(t, 1)
+	st := jobPost(t, base, `{"kind":"memfault","spec":`+jobSpecJSON+`,"shard_size":64,"fabric":true}`,
+		http.StatusAccepted)
+	infos := coord.Campaigns()
+	if len(infos) != 1 {
+		t.Fatalf("coordinator tracks %d campaigns, want 1", len(infos))
+	}
+	if want := infos[0].Fingerprint[:16]; st.ID != want {
+		t.Fatalf("fabric job id %s, want fingerprint-derived %s", st.ID, want)
+	}
+	pollJob(t, base, st.ID, func(s JobStatus) bool { return terminalJobState(s.State) })
+}
+
+// TestFabricJobWithoutCoordinator pins the refusal: "fabric": true against
+// a daemon that is not a coordinator is a 400, not a silent local run.
+func TestFabricJobWithoutCoordinator(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, blob := post(t, ts.URL+"/v1/jobs", `{"kind":"memfault","spec":`+jobSpecJSON+`,"fabric":true}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fabric job without coordinator = %d, want 400: %s", resp.StatusCode, blob)
+	}
+	if !strings.Contains(string(blob), "coordinator") {
+		t.Fatalf("refusal does not name the missing coordinator: %s", blob)
+	}
+}
+
+// TestFabricJobStatusJSONShape pins the exact wire shape of a fabric job
+// status.  Dashboards key on these field names; renaming or reordering any
+// of them is a breaking API change and must show up here.
+func TestFabricJobStatusJSONShape(t *testing.T) {
+	st := JobStatus{
+		ID:          "deadbeefdeadbeef",
+		Kind:        "memfault",
+		Fingerprint: "deadbeefdeadbeefdeadbeefdeadbeef",
+		State:       "running",
+		ShardsDone:  12,
+		ShardsTotal: 27,
+		UnitsDone:   12288,
+		UnitsTotal:  26752,
+		ElapsedMS:   4200,
+		EtaMS:       5250,
+		Fabric: &fabric.Progress{
+			Fingerprint:    "deadbeefdeadbeefdeadbeefdeadbeef",
+			Kind:           "memfault",
+			State:          "running",
+			ShardsTotal:    27,
+			ShardsComplete: 12,
+			ShardsLeased:   4,
+			ShardsPending:  11,
+			UnitsTotal:     26752,
+			UnitsDone:      12288,
+			ElapsedMS:      4200,
+			EtaMS:          5250,
+			Nodes: []fabric.NodeProgress{
+				{Node: "a", Leased: 2, Completed: 7, Stolen: 0, IdleMS: 0},
+				{Node: "b", Leased: 2, Completed: 5, Stolen: 1, IdleMS: 150},
+			},
+		},
+	}
+	got, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":"deadbeefdeadbeef","kind":"memfault","fingerprint":"deadbeefdeadbeefdeadbeefdeadbeef",` +
+		`"state":"running","shards_done":12,"shards_total":27,"units_done":12288,"units_total":26752,` +
+		`"elapsed_ms":4200,"eta_ms":5250,` +
+		`"fabric":{"fingerprint":"deadbeefdeadbeefdeadbeefdeadbeef","kind":"memfault","state":"running",` +
+		`"shards_total":27,"shards_complete":12,"shards_leased":4,"shards_pending":11,` +
+		`"units_total":26752,"units_done":12288,"elapsed_ms":4200,"eta_ms":5250,` +
+		`"nodes":[{"node":"a","leased":2,"completed":7,"stolen":0,"idle_ms":0},` +
+		`{"node":"b","leased":2,"completed":5,"stolen":1,"idle_ms":150}]}}`
+	if string(got) != want {
+		t.Fatalf("fabric job status JSON shape changed:\n got  %s\n want %s", got, want)
+	}
+}

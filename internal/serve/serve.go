@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"steac/internal/core"
+	"steac/internal/fabric"
 	"steac/internal/obs"
 	"steac/internal/sched"
 	"steac/internal/stil"
@@ -70,6 +71,13 @@ type Config struct {
 	// run on their own pool — a long campaign never starves the
 	// synchronous request workers.
 	MaxJobs int
+	// Fabric, when non-nil, makes this daemon a fabric coordinator: the
+	// /v1/fabric/* protocol is mounted on the same mux, and jobs
+	// submitted with "fabric": true are distributed to leased nodes
+	// instead of the local pool.  The caller constructs the coordinator
+	// (cmd/steacd's -coordinator flag) so its checkpoint dir and TTL are
+	// configured in one place.
+	Fabric *fabric.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +147,10 @@ func New(cfg Config) *Server {
 	}
 	s.jobs = make(chan *job, s.cfg.QueueDepth)
 	s.jobMgr = newJobManager(s.cfg.JobDir, s.cfg.MaxJobs, s.cfg.Workers)
+	s.jobMgr.fabric = s.cfg.Fabric
+	if s.cfg.Fabric != nil {
+		s.cfg.Fabric.Register(s.mux)
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
