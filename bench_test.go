@@ -6,6 +6,7 @@
 package steac
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -36,7 +37,7 @@ func parseSTIL(src string) (*testinfo.Core, error) { return stil.Parse(src) }
 
 func dscTests(b *testing.B) ([]sched.Test, sched.Resources) {
 	b.Helper()
-	br, err := brains.Compile(dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
+	br, err := brains.CompileContext(context.Background(), dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func BenchmarkScheduleSessionBased(b *testing.B) {
 	tests, res := dscTests(b)
 	var cycles int
 	for i := 0; i < b.N; i++ {
-		s, err := sched.SessionBased(tests, res)
+		s, err := sched.SessionBasedContext(context.Background(), tests, res)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func BenchmarkAreaOverhead(b *testing.B) {
 	}
 	var ins = (*core.FlowResult)(nil)
 	for i := 0; i < b.N; i++ {
-		r, err := core.RunFlow(in)
+		r, err := core.RunFlowContext(context.Background(), in)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func BenchmarkTestInsertionFlow(b *testing.B) {
 		BISTOptions: brains.Options{Grouping: brains.GroupPerMemory},
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunFlow(in); err != nil {
+		if _, err := core.RunFlowContext(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -196,7 +197,7 @@ func BenchmarkFig1FlowEndToEnd(b *testing.B) {
 	}
 	var cycles int
 	for i := 0; i < b.N; i++ {
-		r, err := core.RunFlow(in)
+		r, err := core.RunFlowContext(context.Background(), in)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +246,7 @@ func BenchmarkFig2MultiMemoryBIST(b *testing.B) {
 func BenchmarkFig4BrainsIntegration(b *testing.B) {
 	var cycles int
 	for i := 0; i < b.N; i++ {
-		br, err := brains.Compile(dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
+		br, err := brains.CompileContext(context.Background(), dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,7 +254,7 @@ func BenchmarkFig4BrainsIntegration(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		s, err := sched.SessionBased(tests, dsc.Resources())
+		s, err := sched.SessionBasedContext(context.Background(), tests, dsc.Resources())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -269,7 +270,7 @@ func BenchmarkMarchCoverage(b *testing.B) {
 	faults := memfault.AllFaults(cfg)
 	var pct float64
 	for i := 0; i < b.N; i++ {
-		camp, err := memfault.Coverage(march.MarchCMinus(), cfg, faults, memfault.Options{})
+		camp, err := memfault.CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults, memfault.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -289,7 +290,7 @@ func BenchmarkMarchCoverageObs(b *testing.B) {
 	faults := memfault.AllFaults(cfg)
 	var pct float64
 	for i := 0; i < b.N; i++ {
-		camp, err := memfault.Coverage(march.MarchCMinus(), cfg, faults, memfault.Options{})
+		camp, err := memfault.CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults, memfault.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -307,7 +308,7 @@ func BenchmarkCoverageParallel(b *testing.B) {
 	faults := memfault.AllFaults(cfg)
 	alg := march.MarchCMinus()
 
-	serial, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: 1})
+	serial, err := memfault.CoverageContext(context.Background(), alg, cfg, faults, memfault.Options{Workers: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func BenchmarkCoverageParallel(b *testing.B) {
 	serialNs := math.MaxFloat64
 	for r := 0; r < 3; r++ {
 		start := time.Now()
-		if _, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: 1}); err != nil {
+		if _, err := memfault.CoverageContext(context.Background(), alg, cfg, faults, memfault.Options{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 		if ns := float64(time.Since(start).Nanoseconds()); ns < serialNs {
@@ -332,7 +333,7 @@ func BenchmarkCoverageParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			var camp memfault.Campaign
 			for i := 0; i < b.N; i++ {
-				c, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: w})
+				c, err := memfault.CoverageContext(context.Background(), alg, cfg, faults, memfault.Options{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -426,7 +427,7 @@ func BenchmarkPatternTranslation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := sched.SessionBased(tests, res)
+	s, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -462,7 +463,7 @@ func BenchmarkATEApplication(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := sched.SessionBased(tests, res)
+	s, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -499,7 +500,7 @@ func BenchmarkSyntheticSchedulers(b *testing.B) {
 			res.Partitioner = wrapper.LPT
 			var sb, nsb int
 			for i := 0; i < b.N; i++ {
-				s, err := sched.SessionBased(tests, res)
+				s, err := sched.SessionBasedContext(context.Background(), tests, res)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -529,7 +530,7 @@ func BenchmarkSessionSearchParallel(b *testing.B) {
 	res := sched.SyntheticResources(cores)
 	res.Partitioner = wrapper.LPT
 	res.Workers = 1
-	ref, err := sched.SessionBased(tests, res)
+	ref, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -539,7 +540,7 @@ func BenchmarkSessionSearchParallel(b *testing.B) {
 			res.Workers = w
 			var total int
 			for i := 0; i < b.N; i++ {
-				s, err := sched.SessionBased(tests, res)
+				s, err := sched.SessionBasedContext(context.Background(), tests, res)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -566,7 +567,7 @@ func BenchmarkProgramFileWrite(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := sched.SessionBased(tests, res)
+	s, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -617,7 +618,7 @@ func BenchmarkPortBVerification(b *testing.B) {
 	}
 	var cycles int
 	for i := 0; i < b.N; i++ {
-		res, err := brains.Compile(twoPort, brains.Options{PortBTest: true})
+		res, err := brains.CompileContext(context.Background(), twoPort, brains.Options{PortBTest: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -665,7 +666,7 @@ func BenchmarkScheduleAblationPartitioner(b *testing.B) {
 			res.Partitioner = part
 			var cycles int
 			for i := 0; i < b.N; i++ {
-				s, err := sched.SessionBased(tests, res)
+				s, err := sched.SessionBasedContext(context.Background(), tests, res)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,8 +11,8 @@ import (
 	"time"
 
 	"steac/internal/campaign"
-	"steac/internal/fabric"
 	"steac/internal/memfault"
+	"steac/internal/serve"
 	"steac/internal/xcheck"
 )
 
@@ -106,13 +106,17 @@ func runCampaignCLI(specPath, resumeDir, checkpointDir string, shardSize, worker
 	return nil
 }
 
-// runFabricCLI submits a campaign spec file to a fabric coordinator and
-// polls it to completion: the shards run on whatever nodes have joined the
-// fabric, this process only watches.  The fetched report is byte-identical
-// to a local run of the same spec.
-func runFabricCLI(specPath, coordinatorURL string, shardSize int, reportOut string) error {
+// runRemoteCLI submits a campaign spec file to a steacd daemon through the
+// typed v1 job API and polls it to completion.  With useFabric the daemon
+// must be a fabric coordinator and the shards run on whatever nodes have
+// joined the fabric; otherwise the job runs on the daemon's local pool.
+// Either way the fetched report is byte-identical to a local run of the
+// same spec.  Daemon-side rejections arrive as typed sentinels — an
+// unknown API key surfaces as serve.ErrUnauthorized, an exhausted tenant
+// quota as serve.ErrQuotaExceeded — with the server's message attached.
+func runRemoteCLI(specPath, baseURL, apiKey string, shardSize, workers int, useFabric bool, reportOut string) error {
 	if specPath == "" {
-		return fmt.Errorf("-fabric requires -campaign (the spec file to submit)")
+		return fmt.Errorf("-fabric/-submit require -campaign (the spec file to submit)")
 	}
 	raw, err := os.ReadFile(specPath)
 	if err != nil {
@@ -126,53 +130,54 @@ func runFabricCLI(specPath, coordinatorURL string, shardSize int, reportOut stri
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	client := &fabric.Client{Base: coordinatorURL}
-	info, err := client.Submit(ctx, fabric.SubmitRequest{
-		Kind: sf.Kind, Spec: sf.Spec, ShardSize: shardSize,
+	client := &serve.Client{Base: baseURL, APIKey: apiKey}
+	st, err := client.SubmitJob(ctx, serve.JobRequest{
+		Kind: sf.Kind, Spec: sf.Spec, ShardSize: shardSize, Workers: workers, Fabric: useFabric,
 	})
 	if err != nil {
-		return fmt.Errorf("submit to fabric: %w", err)
+		return fmt.Errorf("submit campaign job: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "fabric: campaign %s submitted: %d units in %d shards\n",
-		info.Fingerprint[:12], info.Units, info.Shards)
+	fmt.Fprintf(os.Stderr, "job %s submitted (%s, campaign %s)\n", st.ID, st.State, st.Fingerprint[:12])
 
-	lastComplete := -1
-	for info.State != "done" {
-		prog, err := client.Progress(ctx, info.Fingerprint)
-		if err != nil {
-			return fmt.Errorf("fabric progress: %w", err)
+	lastDone := -1
+	fin, err := client.WaitJob(ctx, st.ID, 500*time.Millisecond, func(s serve.JobStatus) {
+		if s.ShardsDone == lastDone {
+			return
 		}
-		if prog.ShardsComplete != lastComplete {
-			lastComplete = prog.ShardsComplete
+		lastDone = s.ShardsDone
+		if s.Fabric != nil {
 			fmt.Fprintf(os.Stderr, "fabric: %d/%d shards (%d leased, %d pending)\n",
-				prog.ShardsComplete, prog.ShardsTotal, prog.ShardsLeased, prog.ShardsPending)
-			for _, node := range prog.Nodes {
+				s.Fabric.ShardsComplete, s.Fabric.ShardsTotal, s.Fabric.ShardsLeased, s.Fabric.ShardsPending)
+			for _, node := range s.Fabric.Nodes {
 				fmt.Fprintf(os.Stderr, "fabric:   node %-20s leased %2d  completed %3d  stolen %d\n",
 					node.Node, node.Leased, node.Completed, node.Stolen)
 			}
+			return
 		}
-		if prog.State == "done" {
-			break
+		fmt.Fprintf(os.Stderr, "job %s: %d/%d shards (%d/%d units)\n",
+			s.ID, s.ShardsDone, s.ShardsTotal, s.UnitsDone, s.UnitsTotal)
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted; the job keeps running on the daemon")
 		}
-		select {
-		case <-ctx.Done():
-			fmt.Fprintln(os.Stderr, "fabric: interrupted; the campaign keeps running on its nodes")
-			return ctx.Err()
-		case <-time.After(500 * time.Millisecond):
-		}
+		return err
+	}
+	if fin.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", fin.ID, fin.State, fin.Error)
 	}
 
-	report, err := client.Report(ctx, info.Fingerprint)
-	if err != nil {
-		return fmt.Errorf("fabric report: %w", err)
-	}
 	if reportOut != "" {
-		if err := os.WriteFile(reportOut, report, 0o644); err != nil {
+		if err := os.WriteFile(reportOut, fin.Result, 0o644); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("campaign %s: %d shards (fabric)\n", info.Fingerprint[:12], info.Shards)
-	printFabricReport(sf.Kind, report)
+	mode := "remote"
+	if useFabric {
+		mode = "fabric"
+	}
+	fmt.Printf("campaign %s: %d shards (%s)\n", fin.Fingerprint[:12], fin.ShardsTotal, mode)
+	printFabricReport(sf.Kind, fin.Result)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -24,7 +25,7 @@ var flowOnce = sync.OnceValues(func() (*core.FlowResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.RunFlow(core.FlowInput{
+	return core.RunFlowContext(context.Background(), core.FlowInput{
 		STIL:        stils,
 		SOC:         soc,
 		Resources:   dsc.Resources(),
@@ -76,7 +77,7 @@ func TestBISTPlanGolden(t *testing.T) {
 }
 
 func TestMarchEfficiencyGolden(t *testing.T) {
-	rows, err := brains.EvaluateWorkers(memory.Config{Name: "eval", Words: 16, Bits: 4}, nil, 1)
+	rows, err := brains.EvaluateContext(context.Background(), memory.Config{Name: "eval", Words: 16, Bits: 4}, nil, brains.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,9 @@
 //	dscflow -bench-json F    run the benchmark suite and write BENCH JSON to F
 //	dscflow -campaign F      run a checkpointable fault campaign from a JSON spec file
 //	dscflow -resume DIR      resume a checkpointed campaign from its directory
-//	dscflow -campaign F -fabric URL   submit the campaign to a fabric coordinator instead
+//	dscflow -campaign F -fabric URL   submit the campaign to a fabric coordinator daemon instead
+//	dscflow -campaign F -submit URL   submit the campaign as an async job on a steacd daemon
+//	dscflow -api-key KEY     authenticate -fabric/-submit calls against a multi-tenant daemon
 //	dscflow -report-json F   also write the raw campaign report JSON to F
 package main
 
@@ -62,8 +64,10 @@ func main() {
 		resumeDir = flag.String("resume", "", "resume a checkpointed campaign from this directory (kind and spec come from its manifest)")
 		checkDir  = flag.String("checkpoint", "", "checkpoint directory for -campaign (empty = in-memory, nothing survives the process)")
 		shardSize = flag.Int("shard-size", 0, "campaign checkpoint shard granularity in faults (0 = default)")
-		fabricURL = flag.String("fabric", "", "submit -campaign to this fabric coordinator URL and poll it to completion instead of running locally")
-		reportOut = flag.String("report-json", "", "write the raw campaign report JSON to this path (local and fabric modes)")
+		fabricURL = flag.String("fabric", "", "submit -campaign to the steacd coordinator daemon at this URL (shards run on fabric nodes) and poll it to completion")
+		submitURL = flag.String("submit", "", "submit -campaign as an async job on the steacd daemon at this URL (runs on its local pool) and poll it to completion")
+		apiKey    = flag.String("api-key", "", "API key for -fabric/-submit against a multi-tenant daemon (also honors STEAC_API_KEY)")
+		reportOut = flag.String("report-json", "", "write the raw campaign report JSON to this path (local and remote modes)")
 
 		obsOn      = flag.Bool("obs", false, "enable observability and append the span/counter report")
 		benchJSON  = flag.String("bench-json", "", "run the benchmark suite (instead of the flow) and write BENCH JSON to this path")
@@ -80,8 +84,19 @@ func main() {
 		runBench(*benchJSON, *benchShort)
 		return
 	}
-	if *fabricURL != "" {
-		fail(runFabricCLI(*campaignF, *fabricURL, *shardSize, *reportOut))
+	if *fabricURL != "" || *submitURL != "" {
+		if *fabricURL != "" && *submitURL != "" {
+			fail(fmt.Errorf("-fabric and -submit are mutually exclusive"))
+		}
+		base, useFabric := *submitURL, false
+		if *fabricURL != "" {
+			base, useFabric = *fabricURL, true
+		}
+		key := *apiKey
+		if key == "" {
+			key = os.Getenv("STEAC_API_KEY")
+		}
+		fail(runRemoteCLI(*campaignF, base, key, *shardSize, *workers, useFabric, *reportOut))
 		return
 	}
 	if *campaignF != "" || *resumeDir != "" {
@@ -104,7 +119,7 @@ func main() {
 		}
 		in.Interconnects = dsc.Interconnects()
 	}
-	res, err := core.RunFlow(in)
+	res, err := core.RunFlowContext(context.Background(), in)
 	fail(err)
 	if *extest && (all || *schedOn) {
 		fmt.Printf("EXTEST interconnect session: %d glue wires, %d vectors, %s cycles\n\n",
@@ -136,7 +151,8 @@ func main() {
 		fmt.Println()
 	}
 	if all || *marchOn {
-		rows, err := brains.EvaluateWorkers(memory.Config{Name: "eval", Words: 16, Bits: 4}, nil, *workers)
+		rows, err := brains.EvaluateContext(context.Background(),
+			memory.Config{Name: "eval", Words: 16, Bits: 4}, nil, brains.Options{Workers: *workers})
 		fail(err)
 		fmt.Print(brains.EvaluationTable(rows))
 		fmt.Println()
@@ -237,6 +253,7 @@ func scenarioList() string {
 // paper driver exactly: pair-scr1+scr2, wrap_TV w=2, and exhaustive
 // campaigns on extfifo and scr2.
 func runXCheck(res *core.FlowResult, chip *scenario.Chip, workers int) error {
+	ctx := context.Background()
 	opts := xcheck.Options{Workers: workers}
 	rep := &xcheck.Report{}
 
@@ -252,12 +269,12 @@ func runXCheck(res *core.FlowResult, chip *scenario.Chip, workers int) error {
 			Mems: pair[:],
 		})
 	}
-	eq, err := xcheck.VerifyGroups(cases, opts)
+	eq, err := xcheck.VerifyGroupsContext(ctx, cases, opts)
 	if err != nil {
 		return err
 	}
 	rep.Equiv = eq
-	ctl, err := xcheck.VerifyController("controller", len(res.Brains.Groups), opts)
+	ctl, err := xcheck.VerifyControllerContext(ctx, "controller", len(res.Brains.Groups), opts)
 	if err != nil {
 		return err
 	}
@@ -266,7 +283,7 @@ func runXCheck(res *core.FlowResult, chip *scenario.Chip, workers int) error {
 	wname := ""
 	if wcore != nil {
 		wname = fmt.Sprintf("wrap_%s w=2", wcore.Name)
-		wres, _, err := xcheck.VerifyWrapper(wname, wcore, 2, opts)
+		wres, _, err := xcheck.VerifyWrapperContext(ctx, wname, wcore, 2, opts)
 		if err != nil {
 			return err
 		}
@@ -276,13 +293,13 @@ func runXCheck(res *core.FlowResult, chip *scenario.Chip, workers int) error {
 	// Campaigns: exhaustive on the two smallest real macros, the shared
 	// controller, and (sampled, 8-pattern program) the wrapper stack.
 	for _, m := range chip.SmallestMemories(2) {
-		camp, err := xcheck.TPGCampaign(m.Name, alg, []memory.Config{m}, opts)
+		camp, err := xcheck.TPGCampaignContext(ctx, m.Name, alg, []memory.Config{m}, opts)
 		if err != nil {
 			return err
 		}
 		rep.Campaigns = append(rep.Campaigns, camp)
 	}
-	ctlCamp, err := xcheck.ControllerCampaign("controller", len(res.Brains.Groups), opts)
+	ctlCamp, err := xcheck.ControllerCampaignContext(ctx, "controller", len(res.Brains.Groups), opts)
 	if err != nil {
 		return err
 	}
@@ -291,7 +308,7 @@ func runXCheck(res *core.FlowResult, chip *scenario.Chip, workers int) error {
 		wopts := opts
 		wopts.MaxFaults = 128
 		wopts.MaxPatterns = 8
-		wcamp, err := xcheck.WrapperCampaign(wname, wcore, 2, wopts)
+		wcamp, err := xcheck.WrapperCampaignContext(ctx, wname, wcore, 2, wopts)
 		if err != nil {
 			return err
 		}

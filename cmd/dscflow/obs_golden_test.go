@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"regexp"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestObsReportGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.RunFlow(core.FlowInput{
+	if _, err := core.RunFlowContext(context.Background(), core.FlowInput{
 		STIL:        stils,
 		SOC:         soc,
 		Resources:   dsc.Resources(),

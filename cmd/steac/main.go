@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -81,7 +82,7 @@ func main() {
 		fail(err)
 		in.SOC = soc
 	}
-	res, err := core.RunFlow(in)
+	res, err := core.RunFlowContext(context.Background(), in)
 	fail(err)
 	if *outPath != "" {
 		if res.Insertion == nil {

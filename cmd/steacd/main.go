@@ -26,6 +26,17 @@
 // journals completed shards under <job-dir>/<id>, and re-POSTing the same
 // spec after a crash or restart resumes from that checkpoint.
 //
+// Multi-tenant mode (-tenants file.json, a JSON array of
+// {id,key,rate_per_sec,burst,max_jobs,weight} rows) attributes every
+// request to a tenant by API key (Authorization: Bearer or X-API-Key).
+// Unknown keys answer a typed 401; each tenant gets a token-bucket rate
+// limit, a concurrent-job quota, and its own deficit-round-robin
+// fair-queue lane, so one tenant's flood never starves another.  Job
+// ownership is tenant-scoped and survives restarts via the durable job
+// database under -job-dir.  Per-tenant counters appear on /metrics as
+// serve.tenant.<id>.*.  Every non-2xx response carries the v1 error
+// envelope {"error","code"}.
+//
 // Fabric mode scales campaigns across processes.  With -coordinator, the
 // daemon additionally serves the /v1/fabric/* lease protocol over
 // -fabric-dir (shared checkpoint root, lease TTL -fabric-ttl), and job
@@ -70,6 +81,7 @@ func main() {
 		drainS      = flag.Int("drain-timeout", 60, "graceful shutdown budget, seconds")
 		jobDir      = flag.String("job-dir", "", "checkpoint root for async campaign jobs (empty = in-memory only; no resume across restarts)")
 		maxJobs     = flag.Int("max-jobs", 0, "concurrently running campaign jobs (0 = 2)")
+		tenantsFile = flag.String("tenants", "", "tenants file (JSON array of {id,key,rate_per_sec,burst,max_jobs,weight}); empty serves anonymously")
 		enableSpans = flag.Bool("obs", false, "enable span timing (counters are always live)")
 
 		coordinator = flag.Bool("coordinator", false, "serve the /v1/fabric/* lease protocol (requires -fabric-dir)")
@@ -81,6 +93,15 @@ func main() {
 	flag.Parse()
 	if *enableSpans {
 		obs.Enable()
+	}
+
+	var tenants *serve.TenantSet
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = serve.LoadTenants(*tenantsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "steacd: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var coord *fabric.Coordinator
@@ -106,6 +127,7 @@ func main() {
 		CacheEntries:   *cache,
 		DefaultTimeout: time.Duration(*timeoutS) * time.Second,
 		MaxTimeout:     time.Duration(*maxTimeoutS) * time.Second,
+		Tenants:        tenants,
 		JobDir:         *jobDir,
 		MaxJobs:        *maxJobs,
 		Fabric:         coord,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.RunFlow(core.FlowInput{
+	res, err := core.RunFlowContext(context.Background(), core.FlowInput{
 		STIL:        stils,
 		SOC:         soc,
 		Resources:   dsc.Resources(),

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	}
 
 	// 1. Compile: group by port kind, bound the test power.
-	res, err := brains.Compile(mems, brains.Options{
+	res, err := brains.CompileContext(context.Background(), mems, brains.Options{
 		Algorithm: march.MarchCMinus(),
 		Grouping:  brains.GroupByKind,
 		MaxPower:  20,
@@ -37,7 +38,7 @@ func main() {
 
 	// 2. Evaluate March efficiency by exhaustive fault simulation on a
 	// small proxy geometry (the trade-off BRAINS shows its users).
-	rows, err := brains.Evaluate(memory.Config{Name: "proxy", Words: 16, Bits: 4}, nil)
+	rows, err := brains.EvaluateContext(context.Background(), memory.Config{Name: "proxy", Words: 16, Bits: 4}, nil, brains.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -43,7 +44,7 @@ func main() {
 	fmt.Printf("--- STIL hand-off (%d bytes) ---\n", len(src))
 
 	// 2. Run the STEAC flow: parse, schedule, translate, verify.
-	res, err := core.RunFlow(core.FlowInput{
+	res, err := core.RunFlowContext(context.Background(), core.FlowInput{
 		STIL: []string{src},
 		Resources: sched.Resources{
 			TestPins: 14, FuncPins: 8, Partitioner: wrapper.LPT,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ import (
 
 func main() {
 	cores := dsc.Cores()
-	b, err := brains.Compile(dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
+	b, err := brains.CompileContext(context.Background(), dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func main() {
 	for _, pins := range []int{24, 25, 26, 28, 30, 34, 40, 50} {
 		res := base
 		res.TestPins = pins
-		sb, err := sched.SessionBased(tests, res)
+		sb, err := sched.SessionBasedContext(context.Background(), tests, res)
 		if err != nil {
 			t.Row(pins, "infeasible", "-", "-", "-")
 			continue

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 
 	res := sched.SyntheticResources(cores)
 	res.Partitioner = wrapper.LPT
-	out, err := core.RunFlow(core.FlowInput{
+	out, err := core.RunFlowContext(context.Background(), core.FlowInput{
 		STIL:        stils,
 		SOC:         soc,
 		Resources:   res,

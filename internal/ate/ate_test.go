@@ -2,6 +2,7 @@ package ate
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -90,7 +91,7 @@ func miniRes() sched.Resources {
 // design -> pattern translation -> ATE application against the chip model,
 // with zero mismatches and a cycle count equal to the scheduler's estimate.
 func TestEndToEndFlowPasses(t *testing.T) {
-	prog, s, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, s, _ := buildProgram(t, miniRes(), sessionBased)
 	chip := NewChip(prog, miniCores())
 	res, err := Run(prog, chip)
 	if err != nil {
@@ -108,7 +109,7 @@ func TestEndToEndFlowPasses(t *testing.T) {
 }
 
 func TestEndToEndDetectsCoreDefect(t *testing.T) {
-	prog, _, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, _, _ := buildProgram(t, miniRes(), sessionBased)
 	for _, core := range []string{"USB", "TV", "JPEG"} {
 		chip := NewChip(prog, miniCores(), WithCoreDefect(core))
 		res, err := Run(prog, chip)
@@ -125,7 +126,7 @@ func TestEndToEndDetectsCoreDefect(t *testing.T) {
 }
 
 func TestEndToEndDetectsStuckTamWire(t *testing.T) {
-	prog, _, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, _, _ := buildProgram(t, miniRes(), sessionBased)
 	chip := NewChip(prog, miniCores(), WithStuckTamWire(0))
 	res, err := Run(prog, chip)
 	if err != nil {
@@ -163,7 +164,7 @@ func TestEndToEndNonSessionSchedule(t *testing.T) {
 }
 
 func TestChipSessionBounds(t *testing.T) {
-	prog, _, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, _, _ := buildProgram(t, miniRes(), sessionBased)
 	chip := NewChip(prog, miniCores())
 	if err := chip.StartSession(len(prog.Sessions)); err == nil {
 		t.Fatal("out-of-range session accepted")
@@ -182,7 +183,7 @@ func TestEndToEndExplicitSTILVectors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := sched.SessionBased(tests, res)
+	s, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestEndToEndExplicitSTILVectors(t *testing.T) {
 // must be equivalent to streaming it directly: same cycle count, zero
 // mismatches on a healthy chip, and detection on a defective one.
 func TestProgramFileRoundTrip(t *testing.T) {
-	prog, s, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, s, _ := buildProgram(t, miniRes(), sessionBased)
 	var buf bytes.Buffer
 	if err := pattern.WriteProgramFile(&buf, prog); err != nil {
 		t.Fatal(err)
@@ -281,7 +282,7 @@ func TestProgramFileErrors(t *testing.T) {
 }
 
 func TestFailingTestAttribution(t *testing.T) {
-	prog, _, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, _, _ := buildProgram(t, miniRes(), sessionBased)
 	chip := NewChip(prog, miniCores(), WithCoreDefect("TV"))
 	r, err := Run(prog, chip)
 	if err != nil {
@@ -310,4 +311,10 @@ func TestFailingTestAttribution(t *testing.T) {
 	if len(ok.FailingTests) != 0 {
 		t.Fatalf("healthy chip blamed %v", ok.FailingTests)
 	}
+}
+
+// sessionBased adapts SessionBasedContext to buildProgram's scheduler shape
+// for tests that never cancel.
+func sessionBased(tests []sched.Test, res sched.Resources) (*sched.Schedule, error) {
+	return sched.SessionBasedContext(context.Background(), tests, res)
 }

@@ -21,7 +21,7 @@ func miniInterconnects() []pattern.Interconnect {
 
 func extestProgram(t *testing.T) (*pattern.Program, *pattern.ExtestLane, *sched.Schedule) {
 	t.Helper()
-	prog, s, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, s, _ := buildProgram(t, miniRes(), sessionBased)
 	lane, err := pattern.BuildExtest(miniCores(), miniInterconnects(), nil, wrapper.LPT)
 	if err != nil {
 		t.Fatal(err)

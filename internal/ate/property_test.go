@@ -1,6 +1,7 @@
 package ate
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -74,7 +75,7 @@ func TestEndToEndProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s, err := sched.SessionBased(tests, res)
+		s, err := sched.SessionBasedContext(context.Background(), tests, res)
 		if err != nil {
 			// Infeasible budgets are allowed; the property is vacuous.
 			return true
@@ -106,7 +107,7 @@ func TestEndToEndProperty(t *testing.T) {
 // Property: any single scan-cell defect (one wrapper chain bit stuck) is
 // caught by the translated scan test.
 func TestEndToEndDefectProperty(t *testing.T) {
-	prog, _, _ := buildProgram(t, miniRes(), sched.SessionBased)
+	prog, _, _ := buildProgram(t, miniRes(), sessionBased)
 	for wire := 0; wire < prog.TamWidth; wire++ {
 		chip := NewChip(prog, miniCores(), WithStuckTamWire(wire))
 		r, err := Run(prog, chip)

@@ -409,9 +409,10 @@ func portBPass(tpgs []*tpgState, startCycle int) int {
 	return cycles
 }
 
-// Run executes the whole session and returns the result.
-//
-// Deprecated: use RunContext, which can be canceled.
+// Run executes the whole session and returns the result.  It is the
+// convenience form of RunContext for callers that never cancel — sessions
+// here are short, and the Result-only signature keeps table-driven tests
+// and examples readable.
 func (e *Engine) Run() Result {
 	res, _ := e.RunContext(context.Background())
 	return res

@@ -189,14 +189,9 @@ func GroupPower(g bist.GroupSpec) float64 {
 	return p
 }
 
-// Compile plans and generates the BIST subsystem for the given memories.
+// CompileContext plans and generates the BIST subsystem for the given memories.
 //
-// Deprecated: use CompileContext, which can be canceled.
-func Compile(mems []memory.Config, opts Options) (*Result, error) {
-	return CompileContext(context.Background(), mems, opts)
-}
-
-// CompileContext is Compile under a context.  Compilation itself is pure
+// Compilation itself is pure
 // planning plus netlist generation — fast compared to the simulation
 // engines — so ctx is checked between its phases rather than inside them;
 // a canceled compile returns ctx.Err() wrapped with the stage name.
@@ -378,26 +373,11 @@ type EvalRow struct {
 	Coverage   memfault.Campaign
 }
 
-// Evaluate fault-simulates every catalog algorithm over the full generated
+// EvaluateContext fault-simulates every catalog algorithm over the full generated
 // fault list of the given (small) geometry and reports test length vs
 // coverage, the efficiency trade-off BRAINS shows its users.
 //
-// Deprecated: use EvaluateContext, which can be canceled and honours the
-// full shared Options convention.
-func Evaluate(cfg memory.Config, algs []march.Algorithm) ([]EvalRow, error) {
-	return EvaluateContext(context.Background(), cfg, algs, Options{})
-}
-
-// EvaluateWorkers is Evaluate with an explicit simulation worker count.
-//
-// Deprecated: use EvaluateContext, which can be canceled and honours the
-// full shared Options convention.
-func EvaluateWorkers(cfg memory.Config, algs []march.Algorithm, workers int) ([]EvalRow, error) {
-	return EvaluateContext(context.Background(), cfg, algs, Options{Workers: workers})
-}
-
-// EvaluateContext fault-simulates the algorithms under a context.  Each
-// algorithm's coverage campaign fans its fault list across opts.Workers
+// Each algorithm's coverage campaign fans its fault list across opts.Workers
 // goroutines (see memfault.Options; Seed and MaxUndetected are forwarded
 // under the shared convention); the rows come back in algorithm order
 // regardless of the worker count.  A canceled evaluation returns the

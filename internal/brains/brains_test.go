@@ -1,6 +1,7 @@
 package brains
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func testMems() []memory.Config {
 }
 
 func TestCompileByKind(t *testing.T) {
-	res, err := Compile(testMems(), Options{})
+	res, err := CompileContext(context.Background(), testMems(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestCompileByKind(t *testing.T) {
 func TestCompilePowerBoundSplitsSessions(t *testing.T) {
 	// A budget below the total power must split the groups into several
 	// sessions, each within the bound (every individual group fits in 8).
-	res, err := Compile(testMems(), Options{Grouping: GroupPerMemory, MaxPower: 8.0})
+	res, err := CompileContext(context.Background(), testMems(), Options{Grouping: GroupPerMemory, MaxPower: 8.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCompilePowerBoundSplitsSessions(t *testing.T) {
 		}
 	}
 	// Serial sessions cost the sum; must exceed the fully parallel time.
-	par, err := Compile(testMems(), Options{Grouping: GroupPerMemory})
+	par, err := CompileContext(context.Background(), testMems(), Options{Grouping: GroupPerMemory})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,14 +74,14 @@ func TestCompilePowerBoundSplitsSessions(t *testing.T) {
 }
 
 func TestCompileGroupings(t *testing.T) {
-	single, err := Compile(testMems(), Options{Grouping: GroupSingle})
+	single, err := CompileContext(context.Background(), testMems(), Options{Grouping: GroupSingle})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(single.Groups) != 1 {
 		t.Fatalf("single grouping: %d groups", len(single.Groups))
 	}
-	per, err := Compile(testMems(), Options{Grouping: GroupPerMemory})
+	per, err := CompileContext(context.Background(), testMems(), Options{Grouping: GroupPerMemory})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,27 +96,27 @@ func TestCompileGroupings(t *testing.T) {
 }
 
 func TestCompileValidation(t *testing.T) {
-	if _, err := Compile(nil, Options{}); err == nil {
+	if _, err := CompileContext(context.Background(), nil, Options{}); err == nil {
 		t.Fatal("empty memory list accepted")
 	}
 	dup := []memory.Config{
 		{Name: "m", Words: 16, Bits: 4},
 		{Name: "m", Words: 32, Bits: 4},
 	}
-	if _, err := Compile(dup, Options{}); err == nil {
+	if _, err := CompileContext(context.Background(), dup, Options{}); err == nil {
 		t.Fatal("duplicate names accepted")
 	}
 	bad := []memory.Config{{Name: "m", Words: 0, Bits: 4}}
-	if _, err := Compile(bad, Options{}); err == nil {
+	if _, err := CompileContext(context.Background(), bad, Options{}); err == nil {
 		t.Fatal("invalid geometry accepted")
 	}
-	if _, err := Compile(testMems(), Options{Grouping: Grouping(7)}); err == nil {
+	if _, err := CompileContext(context.Background(), testMems(), Options{Grouping: Grouping(7)}); err == nil {
 		t.Fatal("bad grouping accepted")
 	}
 }
 
 func TestNewEngineSelfTest(t *testing.T) {
-	res, err := Compile(testMems(), Options{})
+	res, err := CompileContext(context.Background(), testMems(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestPowerModel(t *testing.T) {
 }
 
 func TestEvaluate(t *testing.T) {
-	rows, err := Evaluate(memory.Config{Name: "e", Words: 8, Bits: 2}, nil)
+	rows, err := EvaluateContext(context.Background(), memory.Config{Name: "e", Words: 8, Bits: 2}, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestEvaluate(t *testing.T) {
 }
 
 func TestReportRendering(t *testing.T) {
-	res, err := Compile(testMems(), Options{MaxPower: 4})
+	res, err := CompileContext(context.Background(), testMems(), Options{MaxPower: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +212,11 @@ func TestReportRendering(t *testing.T) {
 }
 
 func TestBackgroundsDoubleTestTime(t *testing.T) {
-	one, err := Compile(testMems(), Options{})
+	one, err := CompileContext(context.Background(), testMems(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := Compile(testMems(), Options{Backgrounds: 2})
+	two, err := CompileContext(context.Background(), testMems(), Options{Backgrounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestBackgroundsCatchIntraWordFault(t *testing.T) {
 		return f
 	}
 	run := func(backgrounds int) bool {
-		res, err := Compile([]memory.Config{cfg}, Options{Backgrounds: backgrounds})
+		res, err := CompileContext(context.Background(), []memory.Config{cfg}, Options{Backgrounds: backgrounds})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -269,11 +270,11 @@ func TestPortBTestOption(t *testing.T) {
 		{Name: "sp", Words: 1024, Bits: 8},
 		{Name: "tp", Words: 256, Bits: 16, Kind: memory.TwoPort},
 	}
-	plain, err := Compile(mems, Options{})
+	plain, err := CompileContext(context.Background(), mems, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withB, err := Compile(mems, Options{PortBTest: true})
+	withB, err := CompileContext(context.Background(), mems, Options{PortBTest: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,14 +1,15 @@
 package brains_test
 
 import (
+	"context"
 	"fmt"
 
 	"steac/internal/brains"
 	"steac/internal/memory"
 )
 
-func ExampleCompile() {
-	res, err := brains.Compile([]memory.Config{
+func ExampleCompileContext() {
+	res, err := brains.CompileContext(context.Background(), []memory.Config{
 		{Name: "buf", Words: 4096, Bits: 16},
 		{Name: "fifo", Words: 512, Bits: 32, Kind: memory.TwoPort},
 	}, brains.Options{})

@@ -1,6 +1,7 @@
 package brains
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -159,7 +160,7 @@ func (s *Shell) Exec(line string) error {
 		fmt.Fprintf(s.out, "retention test: %t\n", s.opts.Retention)
 		return nil
 	case "compile":
-		res, err := Compile(s.mems, s.opts)
+		res, err := CompileContext(context.Background(), s.mems, s.opts)
 		if err != nil {
 			return err
 		}
@@ -182,7 +183,7 @@ func (s *Shell) Exec(line string) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("brains: bad geometry %q %q", args[0], args[1])
 		}
-		rows, err := EvaluateWorkers(memory.Config{Name: "eval", Words: words, Bits: bits}, nil, s.opts.Workers)
+		rows, err := EvaluateContext(context.Background(), memory.Config{Name: "eval", Words: words, Bits: bits}, nil, Options{Workers: s.opts.Workers})
 		if err != nil {
 			return err
 		}
@@ -266,12 +267,12 @@ func (s *Shell) cmdXCheck(args []string) error {
 		cases[i] = xcheck.GroupCase{Name: g.Name, Alg: g.Alg, Mems: g.Mems}
 	}
 	rep := &xcheck.Report{}
-	eq, err := xcheck.VerifyGroups(cases, opts)
+	eq, err := xcheck.VerifyGroupsContext(context.Background(), cases, opts)
 	if err != nil {
 		return err
 	}
 	rep.Equiv = eq
-	ctl, err := xcheck.VerifyController("controller", len(s.res.Groups), opts)
+	ctl, err := xcheck.VerifyControllerContext(context.Background(), "controller", len(s.res.Groups), opts)
 	if err != nil {
 		return err
 	}
@@ -280,13 +281,13 @@ func (s *Shell) cmdXCheck(args []string) error {
 		copts := opts
 		copts.MaxFaults = maxFaults
 		for _, c := range cases {
-			camp, err := xcheck.TPGCampaign(c.Name, c.Alg, c.Mems, copts)
+			camp, err := xcheck.TPGCampaignContext(context.Background(), c.Name, c.Alg, c.Mems, copts)
 			if err != nil {
 				return err
 			}
 			rep.Campaigns = append(rep.Campaigns, camp)
 		}
-		camp, err := xcheck.ControllerCampaign("controller", len(cases), copts)
+		camp, err := xcheck.ControllerCampaignContext(context.Background(), "controller", len(cases), copts)
 		if err != nil {
 			return err
 		}

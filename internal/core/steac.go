@@ -124,15 +124,7 @@ func stage(ctx context.Context, s *obs.Span, f func() error) error {
 	return f()
 }
 
-// RunFlow executes the STEAC flow of Fig. 1.
-//
-// Deprecated: use RunFlowContext, which can be canceled and enforces
-// per-request deadlines.
-func RunFlow(in FlowInput) (*FlowResult, error) {
-	return RunFlowContext(context.Background(), in)
-}
-
-// RunFlowContext executes the STEAC flow of Fig. 1 under a context.  Each
+// RunFlowContext executes the STEAC flow of Fig. 1.  Each
 // stage checks ctx before starting, and the long-running engines (the
 // session-partition search, BRAINS memory-fault grading) poll it at their
 // batch boundaries, so a canceled flow returns promptly with ctx.Err()

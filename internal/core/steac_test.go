@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -41,7 +42,7 @@ func dscFlowInput(t *testing.T, verify bool) FlowInput {
 // totals and gap in the published regime (paper: 4,371,194 vs 4,713,935
 // cycles, a 7.3% saving).
 func TestDSCHeadlineNumbers(t *testing.T) {
-	res, err := RunFlow(dscFlowInput(t, false))
+	res, err := RunFlowContext(context.Background(), dscFlowInput(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestDSCHeadlineNumbers(t *testing.T) {
 }
 
 func TestDSCInsertionAreas(t *testing.T) {
-	res, err := RunFlow(dscFlowInput(t, false))
+	res, err := RunFlowContext(context.Background(), dscFlowInput(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestDSCFullVerification(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-chip ATE verification (~5s) skipped in -short")
 	}
-	res, err := RunFlow(dscFlowInput(t, true))
+	res, err := RunFlowContext(context.Background(), dscFlowInput(t, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestDSCFullVerification(t *testing.T) {
 }
 
 func TestFlowInputValidation(t *testing.T) {
-	if _, err := RunFlow(FlowInput{}); err == nil {
+	if _, err := RunFlowContext(context.Background(), FlowInput{}); err == nil {
 		t.Fatal("empty input accepted")
 	}
 	stils, err := EmitSTIL(dsc.Cores())
@@ -137,22 +138,22 @@ func TestFlowInputValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	dup := FlowInput{STIL: append(stils, stils[0]), Resources: dsc.Resources()}
-	if _, err := RunFlow(dup); err == nil {
+	if _, err := RunFlowContext(context.Background(), dup); err == nil {
 		t.Fatal("duplicate core accepted")
 	}
 	bad := FlowInput{STIL: []string{"not stil"}, Resources: dsc.Resources()}
-	if _, err := RunFlow(bad); err == nil {
+	if _, err := RunFlowContext(context.Background(), bad); err == nil {
 		t.Fatal("malformed STIL accepted")
 	}
 	infeasible := FlowInput{STIL: stils, Resources: sched.Resources{
 		TestPins: 4, FuncPins: 8, Partitioner: wrapper.LPT}}
-	if _, err := RunFlow(infeasible); err == nil {
+	if _, err := RunFlowContext(context.Background(), infeasible); err == nil {
 		t.Fatal("infeasible pin budget accepted")
 	}
 }
 
 func TestBISTGroupsMapping(t *testing.T) {
-	b, err := brains.Compile([]memory.Config{
+	b, err := brains.CompileContext(context.Background(), []memory.Config{
 		{Name: "a", Words: 1024, Bits: 8},
 		{Name: "b", Words: 512, Bits: 8, Kind: memory.TwoPort},
 	}, brains.Options{Grouping: brains.GroupPerMemory})
@@ -173,7 +174,7 @@ func TestBISTGroupsMapping(t *testing.T) {
 }
 
 func TestReports(t *testing.T) {
-	res, err := RunFlow(dscFlowInput(t, false))
+	res, err := RunFlowContext(context.Background(), dscFlowInput(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestReports(t *testing.T) {
 func TestDSCWithInterconnects(t *testing.T) {
 	in := dscFlowInput(t, !testing.Short())
 	in.Interconnects = dsc.Interconnects()
-	res, err := RunFlow(in)
+	res, err := RunFlowContext(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestDSCWithInterconnects(t *testing.T) {
 }
 
 func TestTimelineReport(t *testing.T) {
-	res, err := RunFlow(dscFlowInput(t, false))
+	res, err := RunFlowContext(context.Background(), dscFlowInput(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestFlowWithExplicitVectors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunFlow(FlowInput{
+	res, err := RunFlowContext(context.Background(), FlowInput{
 		STIL:      []string{src},
 		Resources: sched.Resources{TestPins: 10, FuncPins: 4, Partitioner: wrapper.LPT},
 		Verify:    true,
@@ -308,7 +309,7 @@ func TestFlowWithExplicitVectors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunFlow(FlowInput{STIL: []string{bad},
+	if _, err := RunFlowContext(context.Background(), FlowInput{STIL: []string{bad},
 		Resources: sched.Resources{TestPins: 10, FuncPins: 4, Partitioner: wrapper.LPT}}); err == nil {
 		t.Fatal("vector/count mismatch accepted")
 	}
@@ -317,11 +318,11 @@ func TestFlowWithExplicitVectors(t *testing.T) {
 // The whole flow is deterministic: two runs produce identical schedules,
 // programs and netlists.
 func TestFlowDeterminism(t *testing.T) {
-	r1, err := RunFlow(dscFlowInput(t, false))
+	r1, err := RunFlowContext(context.Background(), dscFlowInput(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunFlow(dscFlowInput(t, false))
+	r2, err := RunFlowContext(context.Background(), dscFlowInput(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,7 @@ const (
 type fabricCampaign struct {
 	plan    campaign.Plan
 	dir     string
+	tenant  string // first submitter's tenant id ("" pre-tenancy)
 	table   *Table
 	started time.Time
 
@@ -174,6 +175,11 @@ func (c *Coordinator) Submit(ctx context.Context, req SubmitRequest) (CampaignIn
 		return CampaignInfo{}, err
 	}
 	fc := c.register(plan, dir)
+	fc.mu.Lock()
+	if fc.tenant == "" {
+		fc.tenant = req.Tenant
+	}
+	fc.mu.Unlock()
 	if _, loaded, _, err := campaign.LoadOutcomes(dir); err == nil {
 		for idx := range loaded {
 			fc.table.MarkComplete(idx)
@@ -189,11 +195,12 @@ func (c *Coordinator) info(fc *fabricCampaign) CampaignInfo {
 	if fc.done {
 		state = "done"
 	}
+	tenant := fc.tenant
 	fc.mu.Unlock()
 	return CampaignInfo{
 		Fingerprint: fc.plan.Fingerprint, Kind: fc.plan.Kind, Spec: fc.plan.Spec,
 		Units: fc.plan.Units, ShardSize: fc.plan.ShardSize, Shards: fc.plan.Shards,
-		State: state,
+		State: state, Tenant: tenant,
 	}
 }
 

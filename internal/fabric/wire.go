@@ -19,6 +19,10 @@ type SubmitRequest struct {
 	Kind      string          `json:"kind"`
 	Spec      json.RawMessage `json:"spec"`
 	ShardSize int             `json:"shard_size,omitempty"`
+	// Tenant is the submitting tenant's id, recorded on the campaign for
+	// attribution (the serve layer enforces visibility; the fabric
+	// protocol itself is intra-cluster and unauthenticated).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // CampaignInfo describes a campaign the coordinator tracks: the full plan
@@ -31,6 +35,9 @@ type CampaignInfo struct {
 	ShardSize   int             `json:"shard_size"`
 	Shards      int             `json:"shards"`
 	State       string          `json:"state"`
+	// Tenant is the first submitter's tenant id (empty for campaigns
+	// submitted before tenancy or recovered from bare checkpoints).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // LeaseRequest asks for up to Max shards of Campaign on behalf of Node.

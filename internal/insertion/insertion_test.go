@@ -1,6 +1,7 @@
 package insertion
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -69,7 +70,7 @@ func schedule(t *testing.T, core *testinfo.Core, bist []sched.BISTGroup) (*sched
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := sched.SessionBased(tests, res)
+	s, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestInsertWithoutBIST(t *testing.T) {
 func TestInsertWithBIST(t *testing.T) {
 	core := smallCore()
 	soc := smallSOC(t, core)
-	b, err := brains.Compile([]memory.Config{
+	b, err := brains.CompileContext(context.Background(), []memory.Config{
 		{Name: "m0", Words: 256, Bits: 8},
 		{Name: "m1", Words: 128, Bits: 16, Kind: memory.TwoPort},
 	}, brains.Options{})

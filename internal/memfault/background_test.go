@@ -1,6 +1,7 @@
 package memfault
 
 import (
+	"context"
 	"testing"
 
 	"steac/internal/march"
@@ -72,11 +73,11 @@ func TestIntraWordCFidNeedsCheckerboard(t *testing.T) {
 func TestIntraWordCoverageImproves(t *testing.T) {
 	cfg := memory.Config{Name: "iw", Words: 8, Bits: 4}
 	faults := IntraWordCouplingFaults(cfg)
-	solid, err := Coverage(march.MarchCMinus(), cfg, faults, Options{})
+	solid, err := CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	both, err := Coverage(march.MarchCMinus(), cfg, faults,
+	both, err := CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults,
 		Options{Backgrounds: []uint64{0, Checkerboard(cfg.Bits)}})
 	if err != nil {
 		t.Fatal(err)

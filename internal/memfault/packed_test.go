@@ -1,6 +1,7 @@
 package memfault
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -197,7 +198,7 @@ func TestPackedCoverageCampaignEquality(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		o := opt
 		o.Workers = workers
-		got, err := Coverage(alg, cfg, faults, o)
+		got, err := CoverageContext(context.Background(), alg, cfg, faults, o)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package memfault
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -32,11 +33,11 @@ func TestCoverageParallelDeterminism(t *testing.T) {
 				serial, parallel := base, base
 				serial.Workers = 1
 				parallel.Workers = 8
-				want, err := Coverage(alg, cfg, faults, serial)
+				want, err := CoverageContext(context.Background(), alg, cfg, faults, serial)
 				if err != nil {
 					t.Fatalf("%s/%s opts[%d] serial: %v", cfg.Name, alg.Name, oi, err)
 				}
-				got, err := Coverage(alg, cfg, faults, parallel)
+				got, err := CoverageContext(context.Background(), alg, cfg, faults, parallel)
 				if err != nil {
 					t.Fatalf("%s/%s opts[%d] parallel: %v", cfg.Name, alg.Name, oi, err)
 				}
@@ -75,7 +76,7 @@ func TestMaxUndetected(t *testing.T) {
 	cfg := memory.Config{Name: "u", Words: 64, Bits: 8}
 	faults := AllFaults(cfg)
 	// MSCAN misses far more than 40 faults on this geometry.
-	camp, err := Coverage(march.MSCAN(), cfg, faults, Options{})
+	camp, err := CoverageContext(context.Background(), march.MSCAN(), cfg, faults, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestMaxUndetected(t *testing.T) {
 		t.Errorf("default cap: got %d undetected, want 32", len(camp.Undetected))
 	}
 
-	camp, err = Coverage(march.MSCAN(), cfg, faults, Options{MaxUndetected: 5})
+	camp, err = CoverageContext(context.Background(), march.MSCAN(), cfg, faults, Options{MaxUndetected: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestMaxUndetected(t *testing.T) {
 		t.Errorf("cap 5: got %d undetected", len(camp.Undetected))
 	}
 
-	camp, err = Coverage(march.MSCAN(), cfg, faults, Options{MaxUndetected: -1})
+	camp, err = CoverageContext(context.Background(), march.MSCAN(), cfg, faults, Options{MaxUndetected: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

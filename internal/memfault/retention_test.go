@@ -1,6 +1,7 @@
 package memfault
 
 import (
+	"context"
 	"testing"
 
 	"steac/internal/march"
@@ -32,14 +33,14 @@ func TestRetentionNeedsPauses(t *testing.T) {
 	if len(faults) != 2*cfg.BitCount() {
 		t.Fatalf("fault count = %d", len(faults))
 	}
-	noPause, err := Coverage(march.MarchCMinus(), cfg, faults, Options{})
+	noPause, err := CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if noPause.Percent() != 0 {
 		t.Fatalf("DRF coverage without pauses = %.1f%%, want 0", noPause.Percent())
 	}
-	withPause, err := Coverage(march.MarchCMinus(), cfg, faults,
+	withPause, err := CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults,
 		Options{PauseBefore: RetentionPauses()})
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +50,7 @@ func TestRetentionNeedsPauses(t *testing.T) {
 			withPause.Percent(), withPause.Undetected)
 	}
 	// A single pause catches only one decay direction.
-	onePause, err := Coverage(march.MarchCMinus(), cfg, faults,
+	onePause, err := CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults,
 		Options{PauseBefore: []int{2}})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +64,7 @@ func TestRetentionNeedsPauses(t *testing.T) {
 func TestPausesAreNeutralForOtherFaults(t *testing.T) {
 	cfg := memory.Config{Name: "r", Words: 16, Bits: 4}
 	faults := StuckAtFaults(cfg)
-	camp, err := Coverage(march.MarchCMinus(), cfg, faults,
+	camp, err := CoverageContext(context.Background(), march.MarchCMinus(), cfg, faults,
 		Options{PauseBefore: RetentionPauses()})
 	if err != nil {
 		t.Fatal(err)

@@ -160,20 +160,14 @@ func (c Campaign) Percent() float64 {
 // simulate identical batches.
 const faultChunk = PackedLanes
 
-// Coverage simulates each fault in isolation (single-fault assumption) and
+// CoverageContext simulates each fault in isolation (single-fault assumption) and
 // aggregates coverage per fault class.  The campaign fans the fault list
 // across Options.Workers goroutines: the golden trace is computed once and
 // shared read-only, each worker reuses one fault-machine scratch buffer
 // (FaultyRAM.Reset) across its faults, and results are aggregated in
 // fault-list order — the Campaign is bit-identical to a serial run.
 //
-// Deprecated: use CoverageContext, which can be canceled.
-func Coverage(alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {
-	return CoverageContext(context.Background(), alg, cfg, faults, opt)
-}
-
-// CoverageContext is Coverage under a context: workers poll ctx at chunk
-// boundaries (every faultChunk faults, microseconds to low milliseconds of
+// Workers poll ctx at chunk boundaries (every faultChunk faults, microseconds to low milliseconds of
 // simulation), drain promptly once it fires, and the campaign returns
 // ctx.Err() wrapped with the stage name instead of a partial result.
 func CoverageContext(ctx context.Context, alg march.Algorithm, cfg memory.Config, faults []Fault, opt Options) (Campaign, error) {

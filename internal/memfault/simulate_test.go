@@ -1,6 +1,7 @@
 package memfault
 
 import (
+	"context"
 	"testing"
 
 	"steac/internal/march"
@@ -11,7 +12,7 @@ import (
 // simulator errors.
 func coverage(t *testing.T, alg march.Algorithm, faults []Fault) Campaign {
 	t.Helper()
-	camp, err := Coverage(alg, cfg16x4, faults, Options{})
+	camp, err := CoverageContext(context.Background(), alg, cfg16x4, faults, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestSimulateRejectsBadInput(t *testing.T) {
 	if _, err := Simulate(march.MSCAN(), cfg16x4, bad, Options{}); err == nil {
 		t.Fatal("bad fault accepted")
 	}
-	if _, err := Coverage(march.MSCAN(), cfg16x4, bad, Options{}); err == nil {
+	if _, err := CoverageContext(context.Background(), march.MSCAN(), cfg16x4, bad, Options{}); err == nil {
 		t.Fatal("Coverage accepted bad fault")
 	}
 }

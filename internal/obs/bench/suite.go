@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,7 +44,7 @@ type spec struct {
 }
 
 func dscTests() ([]sched.Test, sched.Resources, error) {
-	br, err := brains.Compile(dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
+	br, err := brains.CompileContext(context.Background(), dsc.Memories(), brains.Options{Grouping: brains.GroupPerMemory})
 	if err != nil {
 		return nil, sched.Resources{}, err
 	}
@@ -72,7 +73,7 @@ func specs() []spec {
 			}
 			res.Workers = 1
 			return func() (opResult, error) {
-				s, err := sched.SessionBased(tests, res)
+				s, err := sched.SessionBasedContext(context.Background(), tests, res)
 				if err != nil {
 					return opResult{}, err
 				}
@@ -93,7 +94,7 @@ func specs() []spec {
 			res.Partitioner = wrapper.LPT
 			res.Workers = 2
 			return func() (opResult, error) {
-				s, err := sched.SessionBased(tests, res)
+				s, err := sched.SessionBasedContext(context.Background(), tests, res)
 				if err != nil {
 					return opResult{}, err
 				}
@@ -106,7 +107,7 @@ func specs() []spec {
 			faults := memfault.AllFaults(cfg)
 			alg := march.MarchCMinus()
 			return func() (opResult, error) {
-				camp, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: 1})
+				camp, err := memfault.CoverageContext(context.Background(), alg, cfg, faults, memfault.Options{Workers: 1})
 				if err != nil {
 					return opResult{}, err
 				}
@@ -127,7 +128,7 @@ func specs() []spec {
 			faults := memfault.AllFaults(cfg)
 			alg := march.MarchCMinus()
 			return func() (opResult, error) {
-				camp, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: 2})
+				camp, err := memfault.CoverageContext(context.Background(), alg, cfg, faults, memfault.Options{Workers: 2})
 				if err != nil {
 					return opResult{}, err
 				}
@@ -174,7 +175,7 @@ func specs() []spec {
 			if err != nil {
 				return nil, err
 			}
-			s, err := sched.SessionBased(tests, res)
+			s, err := sched.SessionBasedContext(context.Background(), tests, res)
 			if err != nil {
 				return nil, err
 			}
@@ -202,7 +203,7 @@ func specs() []spec {
 			}
 			alg := march.MarchCMinus()
 			return func() (opResult, error) {
-				r, err := xcheck.VerifyBIST("extfifo", alg, []memory.Config{cfg}, xcheck.Options{Workers: 1})
+				r, err := xcheck.VerifyBISTContext(context.Background(), "extfifo", alg, []memory.Config{cfg}, xcheck.Options{Workers: 1})
 				if err != nil {
 					return opResult{}, err
 				}
@@ -218,7 +219,7 @@ func specs() []spec {
 			alg := march.MarchCMinus()
 			opts := xcheck.Options{Workers: 2, MaxFaults: 64}
 			return func() (opResult, error) {
-				camp, err := xcheck.TPGCampaign("extfifo", alg, []memory.Config{cfg}, opts)
+				camp, err := xcheck.TPGCampaignContext(context.Background(), "extfifo", alg, []memory.Config{cfg}, opts)
 				if err != nil {
 					return opResult{}, err
 				}
@@ -242,7 +243,7 @@ func specs() []spec {
 			}
 			in.Resources.Workers = 1
 			return func() (opResult, error) {
-				r, err := core.RunFlow(in)
+				r, err := core.RunFlowContext(context.Background(), in)
 				if err != nil {
 					return opResult{}, err
 				}

@@ -13,6 +13,7 @@ package obs_test
 // the result — legitimately varies with worker count.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestMemfaultTotalsWorkerInvariant(t *testing.T) {
 	for _, w := range workerCounts() {
 		var camp memfault.Campaign
 		d := deltas(names, func() {
-			c, err := memfault.Coverage(alg, cfg, faults, memfault.Options{Workers: w})
+			c, err := memfault.CoverageContext(context.Background(), alg, cfg, faults, memfault.Options{Workers: w})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,7 +109,7 @@ func TestSchedTotalsWorkerInvariant(t *testing.T) {
 		res.Workers = w
 		var s *sched.Schedule
 		d := deltas(names, func() {
-			sc, err := sched.SessionBased(tests, res)
+			sc, err := sched.SessionBasedContext(context.Background(), tests, res)
 			if err != nil {
 				t.Fatal(err)
 			}

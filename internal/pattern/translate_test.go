@@ -1,6 +1,7 @@
 package pattern
 
 import (
+	"context"
 	"testing"
 
 	"steac/internal/sched"
@@ -27,7 +28,7 @@ func tinyScheduled(t *testing.T) (*testinfo.Core, *sched.Schedule, sched.Resourc
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := sched.SessionBased(tests, res)
+	s, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTranslateFuncErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := sched.SessionBased(tests, res)
+	s, err := sched.SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		t.Fatal(err)
 	}

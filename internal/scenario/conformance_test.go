@@ -113,7 +113,7 @@ func conformChip(t *testing.T, chip *scenario.Chip) {
 	}
 	in.BISTOptions.Workers = 1
 	in.Resources.Workers = 1
-	res, err := core.RunFlow(in)
+	res, err := core.RunFlowContext(context.Background(), in)
 	if err != nil {
 		t.Fatalf("flow: %v", err)
 	}
@@ -149,18 +149,18 @@ func conformChip(t *testing.T, chip *scenario.Chip) {
 			Alg:  alg, Mems: pair[:],
 		})
 	}
-	eqs, err := xcheck.VerifyGroups(cases, opts)
+	eqs, err := xcheck.VerifyGroupsContext(context.Background(), cases, opts)
 	if err != nil {
 		t.Fatalf("verify groups: %v", err)
 	}
-	ctl, err := xcheck.VerifyController("controller", len(res.Brains.Groups), opts)
+	ctl, err := xcheck.VerifyControllerContext(context.Background(), "controller", len(res.Brains.Groups), opts)
 	if err != nil {
 		t.Fatalf("verify controller: %v", err)
 	}
 	eqs = append(eqs, ctl)
 	wcore := chip.WrapperCore()
 	if wcore != nil {
-		w, _, err := xcheck.VerifyWrapper(fmt.Sprintf("wrap_%s w=2", wcore.Name), wcore, 2, opts)
+		w, _, err := xcheck.VerifyWrapperContext(context.Background(), fmt.Sprintf("wrap_%s w=2", wcore.Name), wcore, 2, opts)
 		if err != nil {
 			t.Fatalf("verify wrapper: %v", err)
 		}

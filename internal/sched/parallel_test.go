@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -73,11 +74,11 @@ func TestSessionBasedParallelDeterminism(t *testing.T) {
 			serialRes, parallelRes := fx.res, fx.res
 			serialRes.Workers = 1
 			parallelRes.Workers = 8
-			serial, err := SessionBased(tests, serialRes)
+			serial, err := SessionBasedContext(context.Background(), tests, serialRes)
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallel, err := SessionBased(tests, parallelRes)
+			parallel, err := SessionBasedContext(context.Background(), tests, parallelRes)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,7 +112,7 @@ func TestGreedyDurationsPropagatesErrors(t *testing.T) {
 	// An unknown partitioner makes wrapper.DesignChains fail for every
 	// scanned hard core, so duration estimation cannot succeed.
 	res.Partitioner = wrapper.Partitioner(99)
-	if _, err := SessionBased(tests, res); err == nil {
+	if _, err := SessionBasedContext(context.Background(), tests, res); err == nil {
 		t.Fatal("expected scan-time estimation error to propagate")
 	}
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -55,14 +56,14 @@ func TestPowerBudgetUnboundedBitIdentical(t *testing.T) {
 		res.MaxPower = 0
 		res.Workers = 1
 
-		base, err := SessionBased(tests, res)
+		base, err := SessionBasedContext(context.Background(), tests, res)
 		if err != nil {
 			t.Fatalf("seed %d: unconstrained schedule: %v", seed, err)
 		}
 		for _, budget := range []float64{math.MaxFloat64 / 4, 1e12, totalTestPower(tests) + 1} {
 			res2 := res
 			res2.PowerBudget = budget
-			got, err := SessionBased(tests, res2)
+			got, err := SessionBasedContext(context.Background(), tests, res2)
 			if err != nil {
 				t.Fatalf("seed %d budget %g: %v", seed, budget, err)
 			}
@@ -93,7 +94,7 @@ func TestPowerBudgetNeverExceeded(t *testing.T) {
 			budget := lo + (hi-lo)*float64(i)/8
 			res2 := res
 			res2.PowerBudget = budget
-			sched, err := SessionBased(tests, res2)
+			sched, err := SessionBasedContext(context.Background(), tests, res2)
 			if err != nil {
 				if !errors.Is(err, ErrInfeasible) {
 					t.Fatalf("seed %d budget %.2f: non-infeasibility error: %v", seed, budget, err)
@@ -122,7 +123,7 @@ func TestPowerBudgetBelowSingleTestInfeasible(t *testing.T) {
 	res := SyntheticResources(cores)
 	res.MaxPower = 0
 	res.PowerBudget = maxTestPower(tests) * 0.99
-	if _, err := SessionBased(tests, res); !errors.Is(err, ErrInfeasible) {
+	if _, err := SessionBasedContext(context.Background(), tests, res); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("want ErrInfeasible, got %v", err)
 	}
 }
@@ -139,7 +140,7 @@ func TestPowerBudgetForcesRepartition(t *testing.T) {
 	}
 	res := SyntheticResources(cores)
 	res.MaxPower = 0
-	base, err := SessionBased(tests, res)
+	base, err := SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestPowerBudgetForcesRepartition(t *testing.T) {
 		}
 	}
 	res.PowerBudget = fattest - 1e-6
-	sched, err := SessionBased(tests, res)
+	sched, err := SessionBasedContext(context.Background(), tests, res)
 	if errors.Is(err, ErrInfeasible) {
 		return // legitimately unsplittable under the tighter envelope
 	}

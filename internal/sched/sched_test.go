@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -166,7 +167,7 @@ func TestSessionBasedDSC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := SessionBased(tests, dscResources())
+	s, err := SessionBasedContext(context.Background(), tests, dscResources())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestSessionBeatsNonSessionUnderTightPins(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := Resources{TestPins: 25, FuncPins: 96, Partitioner: wrapper.LPT}
-	sb, err := SessionBased(tests, res)
+	sb, err := SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestNonSessionWinsWithGenerousPins(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := Resources{TestPins: 60, FuncPins: 512, Partitioner: wrapper.LPT}
-	sb, err := SessionBased(tests, res)
+	sb, err := SessionBasedContext(context.Background(), tests, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestSessionNeverWorseThanSerial(t *testing.T) {
 	}
 	for _, pins := range []int{26, 28, 40, 60} {
 		res := Resources{TestPins: pins, FuncPins: 128, Partitioner: wrapper.LPT}
-		sb, err := SessionBased(tests, res)
+		sb, err := SessionBasedContext(context.Background(), tests, res)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,11 +293,11 @@ func TestPowerConstraintSerializes(t *testing.T) {
 	free := Resources{TestPins: 40, FuncPins: 64, Partitioner: wrapper.LPT}
 	bound := free
 	bound.MaxPower = 12 // USB scan (~3) + one hot group, never both groups with a core
-	sFree, err := SessionBased(tests, free)
+	sFree, err := SessionBasedContext(context.Background(), tests, free)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sBound, err := SessionBased(tests, bound)
+	sBound, err := SessionBasedContext(context.Background(), tests, bound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestInfeasiblePins(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := Resources{TestPins: 5, FuncPins: 64, Partitioner: wrapper.LPT}
-	if _, err := SessionBased(tests, res); err == nil {
+	if _, err := SessionBasedContext(context.Background(), tests, res); err == nil {
 		t.Fatal("5-pin budget accepted by session scheduler")
 	}
 	if _, err := NonSessionBased(tests, res); err == nil {
@@ -398,7 +399,7 @@ func TestGreedyPartitionFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := SessionBased(tests, Resources{TestPins: 30, FuncPins: 32, Partitioner: wrapper.LPT})
+	s, err := SessionBasedContext(context.Background(), tests, Resources{TestPins: 30, FuncPins: 32, Partitioner: wrapper.LPT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,7 +450,7 @@ func TestUtilization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := SessionBased(tests, dscResources())
+	sb, err := SessionBasedContext(context.Background(), tests, dscResources())
 	if err != nil {
 		t.Fatal(err)
 	}

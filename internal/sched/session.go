@@ -277,7 +277,7 @@ func waterfill(needs []int, budget int) ([]int, error) {
 	return grants, nil
 }
 
-// SessionBased builds the session-based schedule: it enumerates partitions
+// SessionBasedContext builds the session-based schedule: it enumerates partitions
 // of the core jobs into sessions (exhaustively up to 10 cores, greedily
 // beyond), designs each session, fills BIST groups into session slack
 // (serial within a session: one shared BIST controller), and returns the
@@ -290,13 +290,7 @@ func waterfill(needs []int, budget int) ([]int, error) {
 // exhaustive enumeration for every worker count: the same optimum, with
 // ties broken by enumeration order.
 //
-// Deprecated: use SessionBasedContext, which can be canceled.
-func SessionBased(tests []Test, res Resources) (*Schedule, error) {
-	return SessionBasedContext(context.Background(), tests, res)
-}
-
-// SessionBasedContext is SessionBased under a context: the partition search
-// polls ctx at batch boundaries (task claims and every cancelPollInterval
+// The partition search polls ctx at batch boundaries (task claims and every cancelPollInterval
 // search nodes) and returns ctx.Err() wrapped with the stage name as soon
 // as the workers drain.  A canceled search never returns a partial
 // schedule.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 
 	"steac/internal/wrapper"
@@ -27,7 +28,7 @@ func TestSyntheticSOCProperty(t *testing.T) {
 		res := SyntheticResources(cores)
 		res.Partitioner = wrapper.LPT
 
-		sb, err := SessionBased(tests, res)
+		sb, err := SessionBasedContext(context.Background(), tests, res)
 		if err != nil {
 			t.Fatalf("seed %d: session: %v", seed, err)
 		}

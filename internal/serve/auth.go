@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"steac/internal/obs"
+)
+
+// Tenant identity.  The daemon is a shared integration service — many
+// design teams hand it their cores — so every request is attributed to a
+// tenant before any resource decision is made.  Identity is an API key
+// presented as `Authorization: Bearer <key>` or `X-API-Key: <key>`;
+// lookup compares SHA-256 digests with subtle.ConstantTimeCompare against
+// every registered tenant, so neither the match position nor the key
+// length leaks through timing.
+//
+// Two modes:
+//
+//   - Anonymous (no tenant set configured): every caller maps to the
+//     single "anon" tenant with unbounded rate and quota — the dev-mode
+//     behaviour the daemon always had.
+//   - Tenant set (steacd -tenants file.json): a request without a valid
+//     key is 401 ErrUnauthorized; a valid key selects that tenant's rate
+//     limit, job quota, and fair-queue lane.
+
+// AnonTenant is the implicit tenant of a daemon running without a tenant
+// set.
+const AnonTenant = "anon"
+
+// Tenant is one row of the tenants file.
+type Tenant struct {
+	// ID names the tenant in job ownership records, metrics
+	// (serve.tenant.<id>.*) and fabric campaign metadata.
+	ID string `json:"id"`
+	// Key is the API key.  Constant-time compared; never logged.
+	Key string `json:"key"`
+	// RatePerSec refills the tenant's admission token bucket (0 =
+	// unlimited).  Every compute-submitting POST spends one token.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (0 = max(1, ceil(RatePerSec))).
+	Burst int `json:"burst,omitempty"`
+	// MaxJobs bounds the tenant's concurrently queued+running campaign
+	// jobs (0 = unlimited).
+	MaxJobs int `json:"max_jobs,omitempty"`
+	// Weight is the tenant's deficit-round-robin quantum: per queue
+	// round, a tenant with weight w dequeues up to w requests (0 = 1).
+	Weight int `json:"weight,omitempty"`
+}
+
+// tenantState is one tenant's live admission state: its static config,
+// the token bucket, and its pre-registered obs handles.
+type tenantState struct {
+	Tenant
+	keyHash [sha256.Size]byte
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	reqs       *obs.Counter
+	rejects    *obs.Counter
+	queueDepth *obs.Gauge
+}
+
+func newTenantState(t Tenant) *tenantState {
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.Burst <= 0 {
+		t.Burst = int(t.RatePerSec)
+		if float64(t.Burst) < t.RatePerSec {
+			t.Burst++
+		}
+		if t.Burst < 1 {
+			t.Burst = 1
+		}
+	}
+	return &tenantState{
+		Tenant:     t,
+		keyHash:    sha256.Sum256([]byte(t.Key)),
+		tokens:     float64(t.Burst),
+		last:       time.Now(),
+		reqs:       obs.GetCounter("serve.tenant." + t.ID + ".requests"),
+		rejects:    obs.GetCounter("serve.tenant." + t.ID + ".rejects"),
+		queueDepth: obs.GetGauge("serve.tenant." + t.ID + ".queue_depth"),
+	}
+}
+
+// allow spends one admission token if the bucket holds one, refilling at
+// RatePerSec up to Burst.  A zero rate never limits.
+func (t *tenantState) allow() bool {
+	if t.RatePerSec <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	t.tokens += now.Sub(t.last).Seconds() * t.RatePerSec
+	t.last = now
+	if max := float64(t.Burst); t.tokens > max {
+		t.tokens = max
+	}
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// TenantSet is the daemon's identity registry.  Immutable after
+// construction; safe for concurrent use.
+type TenantSet struct {
+	tenants []*tenantState
+	anon    *tenantState // non-nil only in anonymous mode
+}
+
+// NewTenantSet builds a registry from explicit tenant rows.  IDs must be
+// unique, non-empty, and metric-safe; keys must be non-empty and unique.
+func NewTenantSet(tenants []Tenant) (*TenantSet, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("serve: tenant set is empty")
+	}
+	ts := &TenantSet{}
+	seenID := map[string]bool{}
+	seenKey := map[[sha256.Size]byte]bool{}
+	for _, t := range tenants {
+		if t.ID == "" || strings.ContainsAny(t.ID, " \t\n/") {
+			return nil, fmt.Errorf("serve: bad tenant id %q", t.ID)
+		}
+		if t.ID == AnonTenant {
+			return nil, fmt.Errorf("serve: tenant id %q is reserved", AnonTenant)
+		}
+		if t.Key == "" {
+			return nil, fmt.Errorf("serve: tenant %q has no key", t.ID)
+		}
+		if seenID[t.ID] {
+			return nil, fmt.Errorf("serve: duplicate tenant id %q", t.ID)
+		}
+		seenID[t.ID] = true
+		st := newTenantState(t)
+		if seenKey[st.keyHash] {
+			return nil, fmt.Errorf("serve: tenant %q reuses another tenant's key", t.ID)
+		}
+		seenKey[st.keyHash] = true
+		ts.tenants = append(ts.tenants, st)
+	}
+	return ts, nil
+}
+
+// LoadTenants reads a tenants file: a JSON array of Tenant rows.
+func LoadTenants(path string) (*TenantSet, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tenants []Tenant
+	if err := json.Unmarshal(raw, &tenants); err != nil {
+		return nil, fmt.Errorf("serve: parse tenants file %s: %w", path, err)
+	}
+	ts, err := NewTenantSet(tenants)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// anonymousTenants is the registry of a daemon with no -tenants file: one
+// unlimited tenant that every request maps to.
+func anonymousTenants() *TenantSet {
+	return &TenantSet{anon: newTenantState(Tenant{ID: AnonTenant, Key: ""})}
+}
+
+// apiKey extracts the presented key: Authorization: Bearer wins, then
+// X-API-Key.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return key
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authenticate resolves a request to its tenant.  Anonymous mode accepts
+// everything; otherwise the key is digest-compared against every tenant in
+// constant time per candidate, and a miss is ErrUnauthorized.
+func (ts *TenantSet) authenticate(r *http.Request) (*tenantState, error) {
+	if ts.anon != nil {
+		return ts.anon, nil
+	}
+	key := apiKey(r)
+	if key == "" {
+		return nil, fmt.Errorf("%w: missing API key (Authorization: Bearer or X-API-Key)", ErrUnauthorized)
+	}
+	digest := sha256.Sum256([]byte(key))
+	var found *tenantState
+	for _, t := range ts.tenants {
+		// Scan the whole set unconditionally so the match position does
+		// not shape the response time.
+		if subtle.ConstantTimeCompare(digest[:], t.keyHash[:]) == 1 && found == nil {
+			found = t
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w: unknown API key", ErrUnauthorized)
+	}
+	return found, nil
+}
+
+// lookup returns the tenant state registered under id, or nil.
+func (ts *TenantSet) lookup(id string) *tenantState {
+	if ts.anon != nil && id == ts.anon.ID {
+		return ts.anon
+	}
+	for _, t := range ts.tenants {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}

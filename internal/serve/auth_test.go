@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNewTenantSetValidation(t *testing.T) {
+	ok := Tenant{ID: "team-a", Key: "ka"}
+	cases := []struct {
+		name    string
+		tenants []Tenant
+	}{
+		{"empty set", nil},
+		{"empty id", []Tenant{{ID: "", Key: "k"}}},
+		{"id with space", []Tenant{{ID: "team a", Key: "k"}}},
+		{"id with slash", []Tenant{{ID: "team/a", Key: "k"}}},
+		{"reserved anon id", []Tenant{{ID: AnonTenant, Key: "k"}}},
+		{"missing key", []Tenant{{ID: "team-b"}}},
+		{"duplicate id", []Tenant{ok, {ID: "team-a", Key: "kb"}}},
+		{"duplicate key", []Tenant{ok, {ID: "team-b", Key: "ka"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewTenantSet(tc.tenants); err == nil {
+			t.Errorf("NewTenantSet(%s): no error", tc.name)
+		}
+	}
+	if _, err := NewTenantSet([]Tenant{ok, {ID: "team-b", Key: "kb"}}); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+}
+
+func TestLoadTenants(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	body := `[
+		{"id": "alpha", "key": "ka", "rate_per_sec": 10, "burst": 20, "max_jobs": 2, "weight": 3},
+		{"id": "beta", "key": "kb"}
+	]`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := LoadTenants(path)
+	if err != nil {
+		t.Fatalf("LoadTenants: %v", err)
+	}
+	a := ts.lookup("alpha")
+	if a == nil || a.RatePerSec != 10 || a.Burst != 20 || a.Tenant.MaxJobs != 2 || a.Weight != 3 {
+		t.Fatalf("alpha row mangled: %+v", a)
+	}
+	b := ts.lookup("beta")
+	if b == nil || b.Weight != 1 || b.Burst != 1 {
+		t.Fatalf("beta defaults not applied: %+v", b)
+	}
+
+	if _, err := LoadTenants(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: no error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTenants(bad); err == nil {
+		t.Error("unparsable file: no error")
+	}
+	dup := filepath.Join(dir, "dup.json")
+	if err := os.WriteFile(dup, []byte(`[{"id":"x","key":"k"},{"id":"x","key":"k2"}]`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTenants(dup); err == nil {
+		t.Error("duplicate ids: no error")
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	ts, err := NewTenantSet([]Tenant{{ID: "alpha", Key: "ka"}, {ID: "beta", Key: "kb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := func(header, value string) *tenantState {
+		r := httptest.NewRequest("POST", "/v1/sched", nil)
+		if header != "" {
+			r.Header.Set(header, value)
+		}
+		tn, err := ts.authenticate(r)
+		if err != nil {
+			t.Fatalf("authenticate %s=%q: %v", header, value, err)
+		}
+		return tn
+	}
+	if tn := req("Authorization", "Bearer ka"); tn.ID != "alpha" {
+		t.Fatalf("bearer ka resolved to %q", tn.ID)
+	}
+	if tn := req("X-API-Key", "kb"); tn.ID != "beta" {
+		t.Fatalf("X-API-Key kb resolved to %q", tn.ID)
+	}
+
+	for _, tc := range []struct{ header, value string }{
+		{"", ""},                         // no key at all
+		{"Authorization", "Bearer nope"}, // unknown key
+		{"X-API-Key", "nope"},
+		{"Authorization", "ka"}, // not a Bearer header, no fallback
+	} {
+		r := httptest.NewRequest("POST", "/v1/sched", nil)
+		if tc.header != "" {
+			r.Header.Set(tc.header, tc.value)
+		}
+		if _, err := ts.authenticate(r); !errors.Is(err, ErrUnauthorized) {
+			t.Errorf("authenticate %s=%q = %v, want ErrUnauthorized", tc.header, tc.value, err)
+		}
+	}
+
+	// Anonymous mode accepts everything, key or not.
+	anon := anonymousTenants()
+	r := httptest.NewRequest("POST", "/v1/sched", nil)
+	tn, err := anon.authenticate(r)
+	if err != nil || tn.ID != AnonTenant {
+		t.Fatalf("anonymous authenticate = %v, %v", tn, err)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	// A near-zero rate cannot refill within the test, so the burst is all
+	// the tenant gets: deterministic regardless of scheduling.
+	tn := newTenantState(Tenant{ID: "bucket", Key: "k", RatePerSec: 1e-9, Burst: 3})
+	for i := 0; i < 3; i++ {
+		if !tn.allow() {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if tn.allow() {
+		t.Fatal("4th token granted past burst")
+	}
+
+	// Zero rate means unlimited.
+	free := newTenantState(Tenant{ID: "free", Key: "k"})
+	for i := 0; i < 100; i++ {
+		if !free.allow() {
+			t.Fatal("unlimited tenant denied")
+		}
+	}
+
+	// A fast rate refills after a short wait.
+	quick := newTenantState(Tenant{ID: "quick", Key: "k", RatePerSec: 1000, Burst: 1})
+	if !quick.allow() {
+		t.Fatal("first token denied")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !quick.allow() {
+		t.Fatal("bucket did not refill at 1000/s after 20ms")
+	}
+
+	// Default burst derives from the rate: ceil(rate), min 1.
+	if d := newTenantState(Tenant{ID: "d", Key: "k", RatePerSec: 2.5}); d.Burst != 3 {
+		t.Fatalf("derived burst = %d, want 3", d.Burst)
+	}
+	if d := newTenantState(Tenant{ID: "d2", Key: "k", RatePerSec: 0.5}); d.Burst != 1 {
+		t.Fatalf("derived burst = %d, want 1", d.Burst)
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the typed Go client for the daemon's v1 API — the reference
+// consumer of the error-envelope contract.  Every non-2xx response is
+// decoded from the {"error","code"} envelope and surfaced as the matching
+// package sentinel wrapped around the server's message, so callers branch
+// with errors.Is(err, serve.ErrQuotaExceeded) instead of string-matching
+// status text:
+//
+//	c := &serve.Client{Base: "http://127.0.0.1:8741", APIKey: key}
+//	res, cached, err := c.Flow(ctx, serve.FlowRequest{Chip: "dsc"})
+//	if errors.Is(err, serve.ErrUnauthorized) { ... }
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8741".
+	Base string
+	// APIKey authenticates every request (Authorization: Bearer).  Empty
+	// is fine against an anonymous-mode daemon.
+	APIKey string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes the response into out (ignored when
+// nil), reconstructing typed errors from the wire envelope.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return resp, decodeClientError(resp.StatusCode, blob)
+	}
+	if out != nil {
+		if err := json.Unmarshal(blob, out); err != nil {
+			return resp, fmt.Errorf("serve: client: bad response body: %w", err)
+		}
+	}
+	return resp, nil
+}
+
+// decodeClientError rebuilds the typed error for one non-2xx response.
+// Responses without a parsable envelope (a proxy error page, an old
+// daemon) degrade to a plain error carrying the status.
+func decodeClientError(status int, blob []byte) error {
+	var we wireError
+	if err := json.Unmarshal(blob, &we); err == nil && we.Code != "" {
+		if sentinel := codeSentinel(we.Code); sentinel != nil {
+			return fmt.Errorf("%w: %s", sentinel, we.Error)
+		}
+		return fmt.Errorf("serve: %s (%s)", we.Error, we.Code)
+	}
+	return fmt.Errorf("serve: http %d: %s", status, bytes.TrimSpace(blob))
+}
+
+// endpoint runs one synchronous compute request, returning the decoded
+// result and whether it was served from the daemon's memo cache.
+func endpoint[Req any, Resp any](ctx context.Context, c *Client, path string, req Req) (*Resp, bool, error) {
+	var env response
+	if _, err := c.do(ctx, http.MethodPost, path, req, &env); err != nil {
+		return nil, false, err
+	}
+	out := new(Resp)
+	if err := json.Unmarshal(env.Result, out); err != nil {
+		return nil, false, fmt.Errorf("serve: client: bad %s result: %w", path, err)
+	}
+	return out, env.Cached, nil
+}
+
+// Flow runs POST /v1/flow.
+func (c *Client) Flow(ctx context.Context, req FlowRequest) (*FlowResponse, bool, error) {
+	return endpoint[FlowRequest, FlowResponse](ctx, c, "/v1/flow", req)
+}
+
+// Sched runs POST /v1/sched.
+func (c *Client) Sched(ctx context.Context, req SchedRequest) (*SchedResponse, bool, error) {
+	return endpoint[SchedRequest, SchedResponse](ctx, c, "/v1/sched", req)
+}
+
+// Memfault runs POST /v1/memfault.
+func (c *Client) Memfault(ctx context.Context, req MemfaultRequest) (*MemfaultResponse, bool, error) {
+	return endpoint[MemfaultRequest, MemfaultResponse](ctx, c, "/v1/memfault", req)
+}
+
+// XCheck runs POST /v1/xcheck.
+func (c *Client) XCheck(ctx context.Context, req XCheckRequest) (*XCheckResponse, bool, error) {
+	return endpoint[XCheckRequest, XCheckResponse](ctx, c, "/v1/xcheck", req)
+}
+
+// SubmitJob runs POST /v1/jobs: submit (or rejoin) an async campaign job.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	_, err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job runs GET /v1/jobs/{id}.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// CancelJob runs DELETE /v1/jobs/{id}.
+func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// WaitJob polls GET /v1/jobs/{id} every interval (0 = 250ms) until the job
+// reaches a terminal state or ctx expires.  onStatus, when non-nil, sees
+// every polled status — progress displays hook in here.  A job that ends
+// failed or canceled is returned with a nil error; deciding whether that
+// is a failure belongs to the caller.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration, onStatus func(JobStatus)) (JobStatus, error) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if onStatus != nil {
+			onStatus(st)
+		}
+		switch st.State {
+		case jobDone, jobFailed, jobCanceled, jobCheckpointed:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

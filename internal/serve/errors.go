@@ -1,14 +1,139 @@
 package serve
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"steac/internal/core"
+	"steac/internal/sched"
+	"steac/internal/stil"
+)
+
+// The daemon's v1 error contract: every non-2xx response carries the wire
+// envelope {"error": <human message>, "code": <machine name>}.  The code
+// names one of the package sentinels below, so a programmatic caller — the
+// serve.Client in client.go is the reference implementation — can
+// reconstruct the typed error across the wire and branch on errors.Is
+// instead of string-matching HTTP bodies.
 
 // ErrQueueFull is the admission-control sentinel: the request was
-// well-formed but the bounded FIFO queue has no room.  The HTTP layer maps
-// it to 429 Too Many Requests with a Retry-After hint; programmatic
-// callers match it with errors.Is.
+// well-formed but the caller's fair-queue lane has no room.  The HTTP
+// layer maps it to 429 Too Many Requests with a Retry-After hint.
 var ErrQueueFull = errors.New("serve: queue full")
 
 // ErrDraining is returned for new work submitted after Drain began; the
 // HTTP layer maps it to 503 Service Unavailable so load balancers move on
 // while in-flight requests finish.
 var ErrDraining = errors.New("serve: draining")
+
+// ErrUnauthorized is the identity sentinel: the daemon runs with a tenant
+// set and the request carried no API key, or one that matches no tenant.
+// The HTTP layer maps it to 401 Unauthorized.
+var ErrUnauthorized = errors.New("serve: unauthorized")
+
+// ErrQuotaExceeded is the per-tenant admission sentinel: the caller was
+// authenticated but its token-bucket rate limit is empty or its
+// concurrent-job quota is already in use.  The HTTP layer maps it to 429
+// Too Many Requests with a Retry-After hint.  Distinct from ErrQueueFull,
+// which reports pressure on the queue itself rather than on the tenant's
+// allowance.
+var ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
+
+// ErrNotFound is the lookup sentinel (no such job, or a job owned by a
+// different tenant — ownership is not disclosed).  Maps to 404.
+var ErrNotFound = errors.New("serve: not found")
+
+// ErrBadRequest is the client-fault sentinel: malformed bodies, unknown
+// names, infeasible budgets.  The concrete message travels alongside it.
+// Maps to 400.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// errBadRequest marks client-side failures (malformed requests, unknown
+// names) so the HTTP layer can answer 400 instead of 500.  It matches
+// ErrBadRequest under errors.Is so clients need only the sentinel.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+func (e errBadRequest) Is(target error) bool {
+	return target == ErrBadRequest
+}
+
+func badRequestf(format string, args ...interface{}) error {
+	return errBadRequest{fmt.Errorf(format, args...)}
+}
+
+// wireError is the v1 JSON error envelope.
+type wireError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Wire codes.  Stable API surface: clients dispatch on these strings.
+const (
+	codeUnauthorized = "unauthorized"
+	codeQuota        = "quota_exceeded"
+	codeQueueFull    = "queue_full"
+	codeDraining     = "draining"
+	codeNotFound     = "not_found"
+	codeBadRequest   = "bad_request"
+	codeTimeout      = "timeout"
+	codeCanceled     = "canceled"
+	codeInternal     = "internal"
+)
+
+// wireFor maps an error onto its HTTP status and wire code: client-side
+// failures (bad requests, infeasible budgets, STIL syntax) are 4xx,
+// deadlines 504, everything unrecognized 500/internal.
+func wireFor(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, ErrUnauthorized):
+		return http.StatusUnauthorized, codeUnauthorized
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests, codeQuota
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, codeDraining
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, codeNotFound
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, stil.ErrSyntax),
+		errors.Is(err, core.ErrBudgetExceeded),
+		errors.Is(err, sched.ErrInfeasible):
+		return http.StatusBadRequest, codeBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, codeTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is academic but 499-style
+		// codes are non-standard, so report the nearest real one.
+		return http.StatusServiceUnavailable, codeCanceled
+	}
+	return http.StatusInternalServerError, codeInternal
+}
+
+// codeSentinel reconstructs the typed sentinel for a wire code (nil for
+// codes without one).  The client wraps it around the transported message.
+func codeSentinel(code string) error {
+	switch code {
+	case codeUnauthorized:
+		return ErrUnauthorized
+	case codeQuota:
+		return ErrQuotaExceeded
+	case codeQueueFull:
+		return ErrQueueFull
+	case codeDraining:
+		return ErrDraining
+	case codeNotFound:
+		return ErrNotFound
+	case codeBadRequest:
+		return ErrBadRequest
+	case codeTimeout:
+		return context.DeadlineExceeded
+	case codeCanceled:
+		return context.Canceled
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync"
+
+	"steac/internal/obs"
+)
+
+// fairQueue replaces the single FIFO admission channel with deficit-
+// round-robin fair queueing across tenants: each tenant gets its own
+// bounded FIFO lane, and workers dequeue by cycling over the lanes that
+// hold work, draining up to `weight` requests from a lane per visit
+// before the pointer moves on.  One tenant's campaign burst therefore
+// costs other tenants at most its weight share of the pool, never the
+// whole queue — the property the starvation test in tenant_test.go pins.
+//
+// Bounds are per-lane: a push finding the tenant's own lane full is
+// ErrQueueFull, so a greedy tenant exhausts only its own depth and a
+// quiet tenant can always enqueue.  With a single tenant (anonymous
+// mode) the behaviour degenerates to exactly the old global FIFO.
+type fairQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	depth int // per-lane capacity
+
+	lanes  map[string]*queueLane
+	active []*queueLane // lanes holding work, DRR ring order
+	cur    int          // ring position of the lane being served
+	total  int
+	closed bool
+}
+
+// queueLane is one tenant's FIFO plus its DRR accounting.
+type queueLane struct {
+	id      string
+	weight  int
+	deficit int
+	jobs    []*job
+	gauge   *obs.Gauge // serve.tenant.<id>.queue_depth
+}
+
+func newFairQueue(perLaneDepth int) *fairQueue {
+	q := &fairQueue{depth: perLaneDepth, lanes: map[string]*queueLane{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j on tenant t's lane.  ErrQueueFull when the lane is at
+// capacity, ErrDraining after close.
+func (q *fairQueue) push(t *tenantState, j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	lane := q.lanes[t.ID]
+	if lane == nil {
+		lane = &queueLane{id: t.ID, weight: t.Weight, gauge: t.queueDepth}
+		q.lanes[t.ID] = lane
+	}
+	if len(lane.jobs) >= q.depth {
+		return ErrQueueFull
+	}
+	if len(lane.jobs) == 0 {
+		q.active = append(q.active, lane)
+	}
+	lane.jobs = append(lane.jobs, j)
+	q.total++
+	lane.gauge.Set(int64(len(lane.jobs)))
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (returning it in DRR order) or the
+// queue is closed and empty (returning ok=false).
+func (q *fairQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.total > 0 {
+			return q.popLocked(), true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// popLocked runs one DRR step.  Each arrival of the ring pointer at a
+// lane tops its deficit up by its weight; the lane is then served while
+// its deficit lasts, after which the pointer advances.  Every visit adds
+// at least one credit, so the loop always progresses.
+func (q *fairQueue) popLocked() *job {
+	if q.cur >= len(q.active) {
+		q.cur = 0
+	}
+	lane := q.active[q.cur]
+	if lane.deficit < 1 {
+		lane.deficit += lane.weight
+	}
+	lane.deficit--
+	j := lane.jobs[0]
+	lane.jobs[0] = nil
+	lane.jobs = lane.jobs[1:]
+	q.total--
+	lane.gauge.Set(int64(len(lane.jobs)))
+	if len(lane.jobs) == 0 {
+		// An idle lane leaves the ring and forfeits leftover credit (DRR
+		// resets the deficit of empty queues, or an idle tenant would
+		// bank an unbounded burst allowance).
+		lane.deficit = 0
+		q.active = append(q.active[:q.cur], q.active[q.cur+1:]...)
+	} else if lane.deficit < 1 {
+		q.cur++
+	}
+	return j
+}
+
+// len reports the total queued jobs across lanes.
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// close stops the queue: pending jobs still drain via pop, then pops
+// return ok=false.  Pushes after close are ErrDraining.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The fair-queue unit tests pin the deficit-round-robin contract the
+// admission pipeline is built on: weighted interleaving across lanes,
+// per-lane depth bounds (one tenant's burst can never reject another's
+// push), FIFO degeneration for a single tenant, and drain-then-stop close
+// semantics.
+
+func qtenant(id string, weight int) *tenantState {
+	return newTenantState(Tenant{ID: id, Key: id + "-key", Weight: weight})
+}
+
+// pushTagged pushes a fresh job tagged with name into t's lane.
+func pushTagged(t *testing.T, q *fairQueue, tn *tenantState, tags map[*job]string, name string) {
+	t.Helper()
+	j := &job{done: make(chan jobResult, 1)}
+	if err := q.push(tn, j); err != nil {
+		t.Fatalf("push %s: %v", name, err)
+	}
+	tags[j] = name
+}
+
+func popTag(t *testing.T, q *fairQueue, tags map[*job]string) string {
+	t.Helper()
+	j, ok := q.pop()
+	if !ok {
+		t.Fatal("pop: queue closed early")
+	}
+	return tags[j]
+}
+
+func TestFairQueueDRROrder(t *testing.T) {
+	q := newFairQueue(8)
+	a, b := qtenant("drr-a", 2), qtenant("drr-b", 1)
+	tags := map[*job]string{}
+	for _, n := range []string{"a1", "a2", "a3", "a4"} {
+		pushTagged(t, q, a, tags, n)
+	}
+	for _, n := range []string{"b1", "b2", "b3", "b4"} {
+		pushTagged(t, q, b, tags, n)
+	}
+	// Weight 2 lane a is served two per visit, weight 1 lane b one; when a
+	// empties it leaves the ring and b drains alone.
+	want := []string{"a1", "a2", "b1", "a3", "a4", "b2", "b3", "b4"}
+	for i, w := range want {
+		if got := popTag(t, q, tags); got != w {
+			t.Fatalf("pop %d = %s, want %s (DRR order)", i, got, w)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.len())
+	}
+}
+
+func TestFairQueuePerLaneBounds(t *testing.T) {
+	q := newFairQueue(2)
+	a, b := qtenant("bound-a", 1), qtenant("bound-b", 1)
+	tags := map[*job]string{}
+	pushTagged(t, q, a, tags, "a1")
+	pushTagged(t, q, a, tags, "a2")
+	if err := q.push(a, &job{done: make(chan jobResult, 1)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push to full lane = %v, want ErrQueueFull", err)
+	}
+	// The greedy tenant exhausted only its own lane: b still has room.
+	pushTagged(t, q, b, tags, "b1")
+	if q.len() != 3 {
+		t.Fatalf("queued = %d, want 3", q.len())
+	}
+}
+
+func TestFairQueueSingleLaneFIFO(t *testing.T) {
+	q := newFairQueue(8)
+	a := qtenant("fifo-a", 3)
+	tags := map[*job]string{}
+	want := []string{"a1", "a2", "a3", "a4", "a5"}
+	for _, n := range want {
+		pushTagged(t, q, a, tags, n)
+	}
+	for i, w := range want {
+		if got := popTag(t, q, tags); got != w {
+			t.Fatalf("pop %d = %s, want %s (FIFO)", i, got, w)
+		}
+	}
+}
+
+func TestFairQueueClose(t *testing.T) {
+	q := newFairQueue(8)
+	a := qtenant("close-a", 1)
+	tags := map[*job]string{}
+	pushTagged(t, q, a, tags, "a1")
+	pushTagged(t, q, a, tags, "a2")
+	q.close()
+	if err := q.push(a, &job{done: make(chan jobResult, 1)}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("push after close = %v, want ErrDraining", err)
+	}
+	// Queued work still drains, then pops report closed.
+	for _, w := range []string{"a1", "a2"} {
+		if got := popTag(t, q, tags); got != w {
+			t.Fatalf("drain pop = %s, want %s", got, w)
+		}
+	}
+	if j, ok := q.pop(); ok {
+		t.Fatalf("pop on closed empty queue returned job %v", j)
+	}
+}
+
+func TestFairQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newFairQueue(8)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond) // let the pop block
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked pop returned a job after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not wake the blocked pop")
+	}
+}

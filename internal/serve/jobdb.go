@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// jobDB is the durable job database: one fsync'd JSONL file under the
+// checkpoint root (JobDir/jobs.jsonl) holding the latest state of every
+// job the daemon ever accepted, keyed by the content-addressed job id.
+// It replaces the old "scan the checkpoint directory and hope" recovery
+// path: a daemon restart knows every job's kind, spec, tenant owner, and
+// terminal result without touching per-job checkpoint internals, so jobs
+// reattach to their tenants and finished results survive the process.
+//
+// Write model: every state transition appends one full record and fsyncs
+// before the transition is acknowledged — the same "trust the store"
+// discipline as the campaign journal.  Load replays the file (last record
+// per id wins, torn tails are dropped) and compacts it back to one line
+// per job via an atomic tmp+rename, so the file stays proportional to
+// the number of jobs rather than the number of transitions.
+type jobDB struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	recs map[string]jobRecord
+}
+
+// jobRecord is one durable job row.  Spec is the verbatim submission
+// payload, kept so a restarted operator (or a future auto-resume) can
+// re-run the job without the client re-POSTing it.
+type jobRecord struct {
+	ID          string          `json:"id"`
+	Tenant      string          `json:"tenant"`
+	Kind        string          `json:"kind"`
+	Fingerprint string          `json:"fingerprint"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	State       string          `json:"state"`
+	ShardsDone  int             `json:"shards_done,omitempty"`
+	ShardsTotal int             `json:"shards_total,omitempty"`
+	UnitsDone   int             `json:"units_done,omitempty"`
+	UnitsTotal  int             `json:"units_total,omitempty"`
+	Submitted   int64           `json:"submitted_unix_ms"`
+	Finished    int64           `json:"finished_unix_ms,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+const jobDBFile = "jobs.jsonl"
+
+// openJobDB loads (and compacts) the database under dir, creating it on
+// first use.  A nil receiver is valid everywhere — an in-memory-only
+// daemon (no JobDir) simply has no durable jobs.
+func openJobDB(dir string) (*jobDB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: job db: %w", err)
+	}
+	db := &jobDB{path: filepath.Join(dir, jobDBFile), recs: map[string]jobRecord{}}
+	raw, err := os.ReadFile(db.path)
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return nil, fmt.Errorf("serve: job db: %w", err)
+	default:
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			var rec jobRecord
+			// A torn tail (crash mid-append) fails to parse; every
+			// record before it is intact, so drop the tail and move on.
+			if json.Unmarshal(sc.Bytes(), &rec) != nil || rec.ID == "" {
+				continue
+			}
+			db.recs[rec.ID] = rec
+		}
+	}
+	if err := db.compact(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: job db: %w", err)
+	}
+	db.f = f
+	return db, nil
+}
+
+// compact rewrites the file to one line per job, submission order, via
+// tmp + fsync + atomic rename.
+func (db *jobDB) compact() error {
+	recs := make([]jobRecord, 0, len(db.recs))
+	for _, rec := range db.recs {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Submitted != recs[j].Submitted {
+			return recs[i].Submitted < recs[j].Submitted
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	tmp := db.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serve: job db compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		blob, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("serve: job db compact: %w", err)
+		}
+		w.Write(blob)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: job db compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: job db compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: job db compact: %w", err)
+	}
+	if err := os.Rename(tmp, db.path); err != nil {
+		return fmt.Errorf("serve: job db compact: %w", err)
+	}
+	return nil
+}
+
+// put records a state transition: append one line, fsync, remember.
+func (db *jobDB) put(rec jobRecord) error {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: job db: %w", err)
+	}
+	if _, err := db.f.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("serve: job db: %w", err)
+	}
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("serve: job db: %w", err)
+	}
+	db.recs[rec.ID] = rec
+	return nil
+}
+
+// get returns the latest record for id.
+func (db *jobDB) get(id string) (jobRecord, bool) {
+	if db == nil {
+		return jobRecord{}, false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.recs[id]
+	return rec, ok
+}
+
+// all snapshots every record, submission order.
+func (db *jobDB) all() []jobRecord {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	out := make([]jobRecord, 0, len(db.recs))
+	for _, rec := range db.recs {
+		out = append(out, rec)
+	}
+	db.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Submitted != out[j].Submitted {
+			return out[i].Submitted < out[j].Submitted
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,11 +25,16 @@ import (
 //	GET    /v1/jobs/{id}  poll progress/result    -> 200
 //	DELETE /v1/jobs/{id}  cancel (graceful drain) -> 202
 //
-// Jobs are content-addressed: the id is a prefix of the campaign
-// fingerprint, so submitting the same spec twice converges on the same
-// job (and, with a checkpoint directory configured, the same on-disk
-// checkpoint).  That makes crash recovery a client no-op — after a daemon
-// restart, re-POSTing the spec resumes from whatever the journal holds.
+// Jobs are content-addressed and tenant-scoped: the id derives from the
+// campaign fingerprint (for anonymous daemons it is a fingerprint prefix;
+// with a tenant set it is additionally keyed by the owning tenant, so two
+// tenants submitting the same spec get distinct jobs and checkpoints).
+// Submitting the same spec twice under the same identity converges on the
+// same job.  Every state transition is appended to the fsync'd job
+// database under the checkpoint root, so a restarted daemon still knows
+// every job's owner, spec, progress, and terminal result — recovery is a
+// client no-op: poll the same id, or re-POST the spec to resume from the
+// journal.
 
 var (
 	obsJobsSubmitted = obs.GetCounter("serve.jobs_submitted")
@@ -56,12 +63,17 @@ type JobRequest struct {
 
 // JobStatus is the wire form of one job, returned by every job endpoint.
 type JobStatus struct {
-	ID          string `json:"id"`
+	ID string `json:"id"`
+	// Tenant is the owning tenant's id.  Jobs are only visible to their
+	// owner, so this is informational ("anon" on daemons without a tenant
+	// set).
+	Tenant      string `json:"tenant,omitempty"`
 	Kind        string `json:"kind"`
 	Fingerprint string `json:"fingerprint"`
 	// State is queued | running | done | failed | canceled, or
-	// checkpointed for a directory known only from disk (no live job in
-	// this process, e.g. after a daemon restart).
+	// checkpointed for a job known only from the durable database or the
+	// checkpoint directory (no live job in this process, e.g. after a
+	// daemon restart).
 	State       string `json:"state"`
 	ShardsDone  int    `json:"shards_done"`
 	ShardsTotal int    `json:"shards_total,omitempty"`
@@ -101,9 +113,11 @@ const (
 // campaignJob is one live job in this process.
 type campaignJob struct {
 	id          string
+	tenant      string
 	kind        string
 	fingerprint string
 	spec        campaign.Spec
+	rawSpec     json.RawMessage
 	dir         string
 	cancel      context.CancelCauseFunc
 
@@ -128,7 +142,7 @@ func (j *campaignJob) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID: j.id, Kind: j.kind, Fingerprint: j.fingerprint, State: j.state,
+		ID: j.id, Tenant: j.tenant, Kind: j.kind, Fingerprint: j.fingerprint, State: j.state,
 		ShardsDone: j.shardsDone, ShardsTotal: j.shardsTotal,
 		UnitsDone: j.unitsDone, UnitsTotal: j.unitsTotal,
 		Resumed: j.resumed, Repaired: j.repaired,
@@ -160,13 +174,38 @@ func (j *campaignJob) status() JobStatus {
 	return st
 }
 
-// jobManager owns the live jobs of one Server.
+// record snapshots the job as a durable database row.  Callers must not
+// hold j.mu.
+func (j *campaignJob) record() jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recordLocked()
+}
+
+func (j *campaignJob) recordLocked() jobRecord {
+	rec := jobRecord{
+		ID: j.id, Tenant: j.tenant, Kind: j.kind, Fingerprint: j.fingerprint,
+		Spec: j.rawSpec, State: j.state,
+		ShardsDone: j.shardsDone, ShardsTotal: j.shardsTotal,
+		UnitsDone: j.unitsDone, UnitsTotal: j.unitsTotal,
+		Submitted: j.started.UnixMilli(),
+		Result:    j.result, Error: j.errMsg,
+	}
+	if !j.finished.IsZero() {
+		rec.Finished = j.finished.UnixMilli()
+	}
+	return rec
+}
+
+// jobManager owns the live jobs of one Server plus the durable database.
 type jobManager struct {
 	dir     string
 	workers int
 	sem     chan struct{}
 	wg      sync.WaitGroup
 	fabric  *fabric.Coordinator // non-nil when this daemon coordinates a fabric
+	db      *jobDB              // nil when no JobDir is configured
+	dbErr   error               // deferred openJobDB failure, surfaced on submit
 
 	mu   sync.Mutex
 	jobs map[string]*campaignJob
@@ -176,16 +215,31 @@ func newJobManager(dir string, maxJobs, workers int) *jobManager {
 	if maxJobs <= 0 {
 		maxJobs = 2
 	}
-	return &jobManager{
+	jm := &jobManager{
 		dir:     dir,
 		workers: workers,
 		sem:     make(chan struct{}, maxJobs),
 		jobs:    map[string]*campaignJob{},
 	}
+	if dir != "" {
+		jm.db, jm.dbErr = openJobDB(dir)
+	}
+	return jm
 }
 
-// jobID derives the job identifier from a campaign fingerprint.
-func jobID(fingerprint string) string { return fingerprint[:16] }
+// jobID derives the job identifier from the owning tenant and the campaign
+// fingerprint.  Anonymous daemons keep the historical fingerprint-prefix
+// ids (so pre-tenancy checkpoints and clients keep working); named tenants
+// get ids additionally keyed by identity, which also namespaces their
+// checkpoint directories — two tenants running the same spec never share
+// state or visibility.
+func jobID(tenant, fingerprint string) string {
+	if tenant == "" || tenant == AnonTenant {
+		return fingerprint[:16]
+	}
+	sum := sha256.Sum256([]byte(tenant + "\x00" + fingerprint))
+	return hex.EncodeToString(sum[:])[:16]
+}
 
 // validJobID reports whether id has the exact shape jobID produces — 16
 // lowercase-hex characters.  Anything else cannot name a job and must
@@ -204,16 +258,45 @@ func validJobID(id string) bool {
 	return true
 }
 
+// quotaLocked enforces the tenant's concurrent-job allowance: the count of
+// its live queued/running jobs must stay under MaxJobs.  Caller holds
+// jm.mu.
+func (jm *jobManager) quotaLocked(tn *tenantState) error {
+	if tn.Tenant.MaxJobs <= 0 {
+		return nil
+	}
+	live := 0
+	for _, j := range jm.jobs {
+		if j.tenant != tn.ID {
+			continue
+		}
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		if state == jobQueued || state == jobRunning {
+			live++
+		}
+	}
+	if live >= tn.Tenant.MaxJobs {
+		return fmt.Errorf("%w: tenant %q already has %d of %d jobs live",
+			ErrQuotaExceeded, tn.ID, live, tn.Tenant.MaxJobs)
+	}
+	return nil
+}
+
 // submit starts (or joins) the job for a spec.  Resubmitting a spec while
 // its job is queued, running, or done returns the existing job untouched;
 // resubmitting after a failure or cancellation starts a fresh attempt,
 // which — with a checkpoint directory — resumes from the journal.
-func (jm *jobManager) submit(spec campaign.Spec, req JobRequest) (*campaignJob, error) {
+func (jm *jobManager) submit(tn *tenantState, spec campaign.Spec, req JobRequest) (*campaignJob, error) {
+	if jm.dbErr != nil {
+		return nil, fmt.Errorf("serve: job database unavailable: %w", jm.dbErr)
+	}
 	fingerprint, err := campaign.Fingerprint(spec)
 	if err != nil {
 		return nil, err
 	}
-	id := jobID(fingerprint)
+	id := jobID(tn.ID, fingerprint)
 
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
@@ -225,9 +308,13 @@ func (jm *jobManager) submit(spec campaign.Spec, req JobRequest) (*campaignJob, 
 			return j, nil
 		}
 	}
+	if err := jm.quotaLocked(tn); err != nil {
+		return nil, err
+	}
 
 	j := &campaignJob{
-		id: id, kind: spec.Kind(), fingerprint: fingerprint, spec: spec,
+		id: id, tenant: tn.ID, kind: spec.Kind(), fingerprint: fingerprint,
+		spec: spec, rawSpec: req.Spec,
 		state: jobQueued, started: time.Now(),
 	}
 	if jm.dir != "" {
@@ -236,6 +323,11 @@ func (jm *jobManager) submit(spec campaign.Spec, req JobRequest) (*campaignJob, 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	j.cancel = cancel
 	jm.jobs[id] = j
+	if err := jm.db.put(j.record()); err != nil {
+		delete(jm.jobs, id)
+		cancel(err)
+		return nil, err
+	}
 
 	obsJobsSubmitted.Add(1)
 	jm.wg.Add(1)
@@ -246,21 +338,24 @@ func (jm *jobManager) submit(spec campaign.Spec, req JobRequest) (*campaignJob, 
 // submitFabric starts (or joins) a distributed job: the campaign is
 // registered with the fabric coordinator and executed by whatever nodes
 // lease its shards; the local job merely tracks coordinator progress, so
-// it does not consume a MaxJobs slot.  Job identity is the same campaign
-// fingerprint as local jobs — the same spec submitted locally or to the
-// fabric converges on the same id and checkpoint.
-func (jm *jobManager) submitFabric(ctx context.Context, spec campaign.Spec, req JobRequest) (*campaignJob, error) {
+// it does not consume a MaxJobs slot (though it still counts against the
+// tenant's own quota).  Campaign identity on the fabric is the spec
+// fingerprint; the HTTP-visible job id is tenant-scoped like local jobs.
+func (jm *jobManager) submitFabric(ctx context.Context, tn *tenantState, spec campaign.Spec, req JobRequest) (*campaignJob, error) {
+	if jm.dbErr != nil {
+		return nil, fmt.Errorf("serve: job database unavailable: %w", jm.dbErr)
+	}
 	payload, err := spec.Marshal()
 	if err != nil {
 		return nil, err
 	}
 	info, err := jm.fabric.Submit(ctx, fabric.SubmitRequest{
-		Kind: spec.Kind(), Spec: payload, ShardSize: req.ShardSize,
+		Kind: spec.Kind(), Spec: payload, ShardSize: req.ShardSize, Tenant: tn.ID,
 	})
 	if err != nil {
 		return nil, err
 	}
-	id := jobID(info.Fingerprint)
+	id := jobID(tn.ID, info.Fingerprint)
 
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
@@ -272,14 +367,23 @@ func (jm *jobManager) submitFabric(ctx context.Context, spec campaign.Spec, req 
 			return j, nil
 		}
 	}
+	if err := jm.quotaLocked(tn); err != nil {
+		return nil, err
+	}
 	j := &campaignJob{
-		id: id, kind: spec.Kind(), fingerprint: info.Fingerprint, spec: spec,
+		id: id, tenant: tn.ID, kind: spec.Kind(), fingerprint: info.Fingerprint,
+		spec: spec, rawSpec: req.Spec,
 		state: jobRunning, started: time.Now(),
 		fabricProg: &fabric.Progress{Fingerprint: info.Fingerprint, Kind: info.Kind, State: "running"},
 	}
 	watchCtx, cancel := context.WithCancelCause(context.Background())
 	j.cancel = cancel
 	jm.jobs[id] = j
+	if err := jm.db.put(j.record()); err != nil {
+		delete(jm.jobs, id)
+		cancel(err)
+		return nil, err
+	}
 	obsJobsSubmitted.Add(1)
 	jm.wg.Add(1)
 	go jm.watchFabric(watchCtx, j)
@@ -319,7 +423,9 @@ func (jm *jobManager) watchFabric(ctx context.Context, j *campaignJob) {
 			j.finished = time.Now()
 			j.state = jobDone
 			j.result = raw
+			rec := j.recordLocked()
 			j.mu.Unlock()
+			_ = jm.db.put(rec)
 			obsJobsDone.Add(1)
 			return
 		}
@@ -348,7 +454,9 @@ func (jm *jobManager) run(ctx context.Context, j *campaignJob, workers, shardSiz
 
 	j.mu.Lock()
 	j.state = jobRunning
+	rec := j.recordLocked()
 	j.mu.Unlock()
+	_ = jm.db.put(rec)
 	obsJobsActive.Set(obsJobsActive.Value() + 1)
 	defer func() { obsJobsActive.Set(obsJobsActive.Value() - 1) }()
 
@@ -378,10 +486,9 @@ func (jm *jobManager) run(ctx context.Context, j *campaignJob, workers, shardSiz
 	jm.finish(j, res, err)
 }
 
-// finish records a job's terminal state.
+// finish records a job's terminal state, in memory and in the database.
 func (jm *jobManager) finish(j *campaignJob, res *campaign.Result, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case err == nil:
@@ -390,7 +497,7 @@ func (jm *jobManager) finish(j *campaignJob, res *campaign.Result, err error) {
 			j.state = jobFailed
 			j.errMsg = merr.Error()
 			obsJobsFailed.Add(1)
-			return
+			break
 		}
 		j.state = jobDone
 		j.result = blob
@@ -409,6 +516,9 @@ func (jm *jobManager) finish(j *campaignJob, res *campaign.Result, err error) {
 		j.errMsg = err.Error()
 		obsJobsFailed.Add(1)
 	}
+	rec := j.recordLocked()
+	j.mu.Unlock()
+	_ = jm.db.put(rec)
 }
 
 // get returns the live job, or nil.
@@ -440,84 +550,173 @@ func (jm *jobManager) drain(ctx context.Context) error {
 	}
 }
 
-// handleJobSubmit is POST /v1/jobs.
+// handleJobSubmit is POST /v1/jobs.  Job submissions run the same
+// admission pipeline as synchronous requests: authenticate, spend a
+// rate-limit token, then check the tenant's concurrent-job quota.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	obsRequests.Add(1)
+	tn, err := s.cfg.Tenants.authenticate(r)
+	if err != nil {
+		obsAuthFails.Add(1)
+		writeError(w, err)
+		return
+	}
+	tn.reqs.Add(1)
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, ErrDraining)
+		writeError(w, ErrDraining)
+		return
+	}
+	if !tn.allow() {
+		obsQuotaRejs.Add(1)
+		tn.rejects.Add(1)
+		writeError(w, fmt.Errorf("%w: tenant %q rate limit (%g/s, burst %d)",
+			ErrQuotaExceeded, tn.ID, tn.RatePerSec, tn.Burst))
 		return
 	}
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job request: %w", err))
+		writeError(w, badRequestf("serve: bad job request: %v", err))
 		return
 	}
 	if req.Kind == "" || len(req.Spec) == 0 {
-		httpError(w, http.StatusBadRequest, badRequestf("serve: job needs kind and spec"))
+		writeError(w, badRequestf("serve: job needs kind and spec"))
 		return
 	}
 	spec, err := campaign.Decode(req.Kind, req.Spec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, errBadRequest{err})
 		return
 	}
 	var j *campaignJob
 	if req.Fabric {
 		if s.jobMgr.fabric == nil {
-			httpError(w, http.StatusBadRequest, badRequestf("serve: fabric job submitted but this daemon is not a coordinator"))
+			writeError(w, badRequestf("serve: fabric job submitted but this daemon is not a coordinator"))
 			return
 		}
-		j, err = s.jobMgr.submitFabric(r.Context(), spec, req)
+		j, err = s.jobMgr.submitFabric(r.Context(), tn, spec, req)
 	} else {
-		j, err = s.jobMgr.submit(spec, req)
+		j, err = s.jobMgr.submit(tn, spec, req)
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		if errors.Is(err, ErrQuotaExceeded) {
+			obsQuotaRejs.Add(1)
+			tn.rejects.Add(1)
+			writeError(w, err)
+			return
+		}
+		writeError(w, errBadRequest{err})
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-// handleJobGet is GET /v1/jobs/{id}.  A job unknown to this process but
-// present under the checkpoint root (a pre-restart submission) is reported
-// from disk as "checkpointed".
+// statusFromRecord renders a durable database row for a job with no live
+// instance in this process: terminal rows keep their recorded state and
+// result; interrupted rows report "checkpointed", overlaid with whatever
+// progress the on-disk campaign journal holds.
+func (s *Server) statusFromRecord(rec jobRecord) JobStatus {
+	st := JobStatus{
+		ID: rec.ID, Tenant: rec.Tenant, Kind: rec.Kind, Fingerprint: rec.Fingerprint,
+		State:      rec.State,
+		ShardsDone: rec.ShardsDone, ShardsTotal: rec.ShardsTotal,
+		UnitsDone: rec.UnitsDone, UnitsTotal: rec.UnitsTotal,
+		Result: rec.Result, Error: rec.Error,
+	}
+	if rec.Finished > 0 {
+		st.ElapsedMS = rec.Finished - rec.Submitted
+	}
+	switch rec.State {
+	case jobDone, jobFailed:
+		return st
+	}
+	// Canceled or interrupted mid-flight: if the checkpoint survives, the
+	// job is resumable — report "checkpointed" with the journal's progress
+	// rather than a stale queued/running/canceled claim.  A canceled job
+	// whose checkpoint is gone stays canceled.
+	if s.jobMgr.dir != "" {
+		if info, err := campaign.Inspect(filepath.Join(s.jobMgr.dir, rec.ID)); err == nil {
+			st.State = jobCheckpointed
+			st.ShardsDone, st.ShardsTotal = info.ShardsDone, info.Shards
+			st.UnitsTotal, st.Repaired = info.Units, info.Repaired
+			return st
+		}
+	}
+	if rec.State != jobCanceled {
+		st.State = jobCheckpointed
+	}
+	return st
+}
+
+// handleJobGet is GET /v1/jobs/{id}.  Visibility is scoped to the owning
+// tenant: another tenant's job id — even a guessed one — answers the same
+// 404 as a job that never existed.  A job with no live instance is served
+// from the durable database (pre-restart submissions keep their terminal
+// results; interrupted ones report "checkpointed"), falling back to a bare
+// checkpoint-directory inspection for databases predating the job DB.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	obsRequests.Add(1)
+	tn, err := s.cfg.Tenants.authenticate(r)
+	if err != nil {
+		obsAuthFails.Add(1)
+		writeError(w, err)
+		return
+	}
+	tn.reqs.Add(1)
 	id := r.PathValue("id")
+	notFound := func() { writeError(w, fmt.Errorf("%w: no job %q", ErrNotFound, id)) }
 	if j := s.jobMgr.get(id); j != nil {
+		if j.tenant != tn.ID {
+			notFound()
+			return
+		}
 		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	if rec, ok := s.jobMgr.db.get(id); ok {
+		if rec.Tenant != tn.ID {
+			notFound()
+			return
+		}
+		writeJSON(w, http.StatusOK, s.statusFromRecord(rec))
 		return
 	}
 	if s.jobMgr.dir != "" && validJobID(id) {
 		dir := filepath.Join(s.jobMgr.dir, id)
 		if info, err := campaign.Inspect(dir); err == nil {
 			writeJSON(w, http.StatusOK, JobStatus{
-				ID: id, Kind: info.Kind, Fingerprint: info.Fingerprint,
+				ID: id, Tenant: tn.ID, Kind: info.Kind, Fingerprint: info.Fingerprint,
 				State:      jobCheckpointed,
 				ShardsDone: info.ShardsDone, ShardsTotal: info.Shards,
 				UnitsTotal: info.Units, Repaired: info.Repaired,
 			})
 			return
 		} else if !errors.Is(err, os.ErrNotExist) {
-			httpError(w, http.StatusInternalServerError, err)
+			writeError(w, err)
 			return
 		}
 	}
-	httpError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+	notFound()
 }
 
 // handleJobCancel is DELETE /v1/jobs/{id}: cancel the job's context and
 // return its (soon to be canceled) status.  The campaign layer finishes
 // and journals in-flight shards, so a canceled job's checkpoint is exactly
-// resumable.
+// resumable.  Ownership-scoped like GET.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	obsRequests.Add(1)
+	tn, err := s.cfg.Tenants.authenticate(r)
+	if err != nil {
+		obsAuthFails.Add(1)
+		writeError(w, err)
+		return
+	}
+	tn.reqs.Add(1)
 	id := r.PathValue("id")
 	j := s.jobMgr.get(id)
-	if j == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+	if j == nil || j.tenant != tn.ID {
+		writeError(w, fmt.Errorf("%w: no job %q", ErrNotFound, id))
 		return
 	}
 	j.cancel(errors.New("canceled by client"))

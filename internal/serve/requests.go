@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"errors"
-	"fmt"
 	"strings"
 
 	"steac/internal/brains"
@@ -23,17 +22,6 @@ import (
 // never change the result (all engines are worker-count-invariant and a
 // deadline either completes or fails the request), so the canonical cache
 // key is computed with both zeroed; see requestKey.
-
-// errBadRequest marks client-side failures (malformed requests, unknown
-// names) so the HTTP layer can answer 400 instead of 500.
-type errBadRequest struct{ err error }
-
-func (e errBadRequest) Error() string { return e.err.Error() }
-func (e errBadRequest) Unwrap() error { return e.err }
-
-func badRequestf(format string, args ...interface{}) error {
-	return errBadRequest{fmt.Errorf(format, args...)}
-}
 
 func partitionerByName(name string) (wrapper.Partitioner, error) {
 	switch name {

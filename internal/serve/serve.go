@@ -1,14 +1,22 @@
 // Package serve is the STEAC flow daemon: an HTTP/JSON front end that
 // accepts flow requests (the full DSC integration flow, scheduling sweeps,
 // memory-fault coverage evaluation, gate-level xcheck campaigns) and runs
-// them on a bounded worker pool behind a FIFO admission queue.
+// them on a bounded worker pool behind a multi-tenant admission pipeline.
 //
 // The daemon's contract, in priority order:
 //
-//   - Bounded resources.  At most Config.Workers requests compute at once;
-//     at most Config.QueueDepth more wait.  A request that finds the queue
-//     full is rejected immediately with 429 + Retry-After (ErrQueueFull)
-//     rather than degrading everyone behind it.
+//   - Identity first.  Every request is attributed to a tenant before any
+//     resource decision (API keys from a tenants file, constant-time
+//     compared; an anonymous single-tenant mode for dev).  With a tenant
+//     set configured, an unknown key is 401 and never touches the queue.
+//   - Bounded resources, fairly shared.  At most Config.Workers requests
+//     compute at once.  Admission is deficit-round-robin fair queueing
+//     across tenants: each tenant has its own bounded lane
+//     (Config.QueueDepth deep) and a token-bucket rate limit plus a
+//     concurrent-job quota from its tenant row.  A tenant that floods the
+//     daemon fills only its own lane (429 ErrQueueFull) or its own bucket
+//     (429 ErrQuotaExceeded); other tenants keep their round-robin share
+//     of the pool.
 //   - Deterministic memoization.  Every engine in the repository is
 //     worker-count-invariant, so responses are content-addressed by the
 //     canonical request hash (tuning fields zeroed; see requestKey) and
@@ -19,14 +27,18 @@
 //     context, both threaded into the engines, which poll at batch
 //     boundaries — a disconnected client or expired deadline stops paying
 //     for simulation within milliseconds.
+//   - Typed errors.  Every non-2xx response carries the v1 wire envelope
+//     {"error","code"}; serve.Client reconstructs the package sentinels
+//     (ErrUnauthorized, ErrQuotaExceeded, ErrQueueFull, ErrDraining, ...)
+//     so programmatic callers branch with errors.Is, not string matching.
 //   - Graceful drain.  Drain stops admissions (503), lets queued and
 //     in-flight work finish, then releases the workers; cmd/steacd wires
 //     it to SIGTERM behind http.Server.Shutdown.
 //
-// Observability rides the existing obs registry: serve.requests,
-// serve.cache_hits/misses, serve.queue_rejects counters and
-// serve.queue_depth / serve.inflight gauges, exported as text via GET
-// /metrics alongside every engine counter.
+// Observability rides the existing obs registry: the global serve.*
+// counters and gauges plus per-tenant serve.tenant.<id>.requests /
+// .rejects / .queue_depth, exported as text via GET /metrics alongside
+// every engine counter.
 package serve
 
 import (
@@ -42,18 +54,17 @@ import (
 	"sync/atomic"
 	"time"
 
-	"steac/internal/core"
 	"steac/internal/fabric"
 	"steac/internal/obs"
 	"steac/internal/sched"
-	"steac/internal/stil"
 )
 
 // Config tunes the daemon.  The zero value serves with sensible bounds.
 type Config struct {
 	// Workers is the compute pool size (0 = GOMAXPROCS).
 	Workers int
-	// QueueDepth bounds the FIFO admission queue (0 = 16).
+	// QueueDepth bounds each tenant's admission lane (0 = 16).  The
+	// global queue bound is QueueDepth × active tenants.
 	QueueDepth int
 	// CacheEntries bounds the response memo (0 = 128).
 	CacheEntries int
@@ -62,14 +73,18 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines (0 = 10m).
 	MaxTimeout time.Duration
+	// Tenants is the identity registry (steacd -tenants).  Nil serves in
+	// anonymous mode: every caller is the unlimited "anon" tenant.
+	Tenants *TenantSet
 	// JobDir is the checkpoint root for async campaign jobs (POST
-	// /v1/jobs); each job journals under JobDir/<id>.  Empty keeps job
-	// state in memory only — jobs still run, but nothing survives a
-	// restart.
+	// /v1/jobs); each job journals under JobDir/<id> and the durable job
+	// database lives at JobDir/jobs.jsonl.  Empty keeps job state in
+	// memory only — jobs still run, but nothing survives a restart.
 	JobDir string
-	// MaxJobs bounds concurrently running campaign jobs (0 = 2).  Jobs
-	// run on their own pool — a long campaign never starves the
-	// synchronous request workers.
+	// MaxJobs bounds concurrently running campaign jobs across all
+	// tenants (0 = 2).  Jobs run on their own pool — a long campaign
+	// never starves the synchronous request workers.  Per-tenant job
+	// quotas come from the tenant rows.
 	MaxJobs int
 	// Fabric, when non-nil, makes this daemon a fabric coordinator: the
 	// /v1/fabric/* protocol is mounted on the same mux, and jobs
@@ -96,12 +111,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
 	}
+	if c.Tenants == nil {
+		c.Tenants = anonymousTenants()
+	}
 	return c
 }
 
 // Observability handles (always-live counters; see package obs).
 var (
 	obsRequests   = obs.GetCounter("serve.requests")
+	obsAuthFails  = obs.GetCounter("serve.auth_failures")
+	obsQuotaRejs  = obs.GetCounter("serve.quota_rejects")
 	obsCacheHits  = obs.GetCounter("serve.cache_hits")
 	obsCacheMiss  = obs.GetCounter("serve.cache_misses")
 	obsRejects    = obs.GetCounter("serve.queue_rejects")
@@ -128,24 +148,24 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	cache    *lruCache
-	jobs     chan *job
+	queue    *fairQueue
 	jobMgr   *jobManager
 	workers  sync.WaitGroup
 	pending  sync.WaitGroup // admitted jobs not yet answered
 	inflight atomic.Int64
-	queued   atomic.Int64
 	draining atomic.Bool
 	drained  sync.Once
 }
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		mux:   http.NewServeMux(),
-		cache: newLRU(cfg.withDefaults().CacheEntries),
+		cache: newLRU(cfg.CacheEntries),
+		queue: newFairQueue(cfg.QueueDepth),
 	}
-	s.jobs = make(chan *job, s.cfg.QueueDepth)
 	s.jobMgr = newJobManager(s.cfg.JobDir, s.cfg.MaxJobs, s.cfg.Workers)
 	s.jobMgr.fabric = s.cfg.Fabric
 	if s.cfg.Fabric != nil {
@@ -192,7 +212,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
-	s.drained.Do(func() { close(s.jobs) })
+	s.drained.Do(func() { s.queue.close() })
 	s.workers.Wait()
 	return nil
 }
@@ -202,9 +222,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.jobs {
-		s.queued.Add(-1)
-		obsQueueDepth.Set(s.queued.Load())
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		obsQueueDepth.Set(int64(s.queue.len()))
 		obsInflight.Set(s.inflight.Add(1))
 		val, err := j.run(j.ctx)
 		obsInflight.Set(s.inflight.Add(-1))
@@ -213,23 +236,31 @@ func (s *Server) worker() {
 	}
 }
 
-// submit enqueues work without blocking: a full queue is an immediate
-// ErrQueueFull (admission control), a draining server an ErrDraining.
-func (s *Server) submit(ctx context.Context, run func(context.Context) (interface{}, error)) (*job, error) {
+// submit enqueues work on the tenant's fair-queue lane without blocking: a
+// full lane is an immediate ErrQueueFull (admission control), a draining
+// server an ErrDraining.
+func (s *Server) submit(ctx context.Context, tn *tenantState, run func(context.Context) (interface{}, error)) (*job, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
+	if tn == nil {
+		tn = s.cfg.Tenants.anon
+		if tn == nil {
+			tn = s.cfg.Tenants.tenants[0]
+		}
+	}
 	j := &job{ctx: ctx, run: run, done: make(chan jobResult, 1)}
 	s.pending.Add(1)
-	select {
-	case s.jobs <- j:
-		obsQueueDepth.Set(s.queued.Add(1))
-		return j, nil
-	default:
+	if err := s.queue.push(tn, j); err != nil {
 		s.pending.Done()
-		obsRejects.Add(1)
-		return nil, ErrQueueFull
+		if errors.Is(err, ErrQueueFull) {
+			obsRejects.Add(1)
+			tn.rejects.Add(1)
+		}
+		return nil, err
 	}
+	obsQueueDepth.Set(int64(s.queue.len()))
+	return j, nil
 }
 
 // runner is the common shape of every request type in requests.go.
@@ -256,28 +287,43 @@ type response struct {
 	Result json.RawMessage `json:"result"`
 }
 
-// handle builds the POST handler for one endpoint: decode, cache lookup,
-// admission, deadline, compute, memoize.
+// handle builds the POST handler for one endpoint — the admission
+// pipeline, in order: authenticate, rate-limit, decode, cache lookup,
+// fair-queue admission, deadline, compute, memoize.
 func handle[R runner](s *Server, endpoint string, fresh func() R) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		obsRequests.Add(1)
+		tn, err := s.cfg.Tenants.authenticate(r)
+		if err != nil {
+			obsAuthFails.Add(1)
+			writeError(w, err)
+			return
+		}
+		tn.reqs.Add(1)
+		if !tn.allow() {
+			obsQuotaRejs.Add(1)
+			tn.rejects.Add(1)
+			writeError(w, fmt.Errorf("%w: tenant %q rate limit (%g/s, burst %d)",
+				ErrQuotaExceeded, tn.ID, tn.RatePerSec, tn.Burst))
+			return
+		}
 		req := fresh()
 		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, badRequestf("serve: read request body: %v", err))
 			return
 		}
 		if len(body) > 0 {
 			dec := json.NewDecoder(bytes.NewReader(body))
 			dec.DisallowUnknownFields()
 			if err := dec.Decode(req); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+				writeError(w, badRequestf("serve: bad request body: %v", err))
 				return
 			}
 		}
 		key, err := requestKey(endpoint, req.canonical())
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, badRequestf("serve: canonicalize request: %v", err))
 			return
 		}
 		if blob, ok := s.cache.get(key); ok {
@@ -297,53 +343,24 @@ func handle[R runner](s *Server, endpoint string, fresh func() R) http.HandlerFu
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
-		j, err := s.submit(ctx, req.run)
+		j, err := s.submit(ctx, tn, req.run)
 		if err != nil {
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				w.Header().Set("Retry-After", "1")
-				httpError(w, http.StatusTooManyRequests, err)
-			case errors.Is(err, ErrDraining):
-				httpError(w, http.StatusServiceUnavailable, err)
-			default:
-				httpError(w, http.StatusInternalServerError, err)
-			}
+			writeError(w, err)
 			return
 		}
 		res := <-j.done
 		if res.err != nil {
-			httpError(w, statusFor(res.err), res.err)
+			writeError(w, res.err)
 			return
 		}
 		blob, err := json.Marshal(res.val)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			writeError(w, err)
 			return
 		}
 		s.cache.put(key, blob)
 		writeResult(w, blob, false)
 	}
-}
-
-// statusFor maps engine errors onto HTTP status codes: client-side
-// failures (bad requests, infeasible budgets, STIL syntax) are 4xx,
-// deadlines 504, everything else 500.
-func statusFor(err error) int {
-	var bad errBadRequest
-	switch {
-	case errors.As(err, &bad),
-		errors.Is(err, stil.ErrSyntax),
-		errors.Is(err, core.ErrBudgetExceeded),
-		errors.Is(err, sched.ErrInfeasible):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		// The client went away; the status is academic but 499-style
-		// codes are non-standard, so report the nearest real one.
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusInternalServerError
 }
 
 func isInfeasible(err error) bool { return errors.Is(err, sched.ErrInfeasible) }
@@ -358,10 +375,15 @@ func writeResult(w http.ResponseWriter, blob []byte, cached bool) {
 	_ = json.NewEncoder(w).Encode(response{Cached: cached, Result: blob})
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
+// writeError answers one request with the v1 typed error envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := wireFor(err)
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(wireError{Error: err.Error(), Code: code})
 }
 
 // healthz answers 200 while serving and 503 once draining, so load
@@ -376,7 +398,8 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // metrics exports every obs counter and gauge as "name value" text lines —
-// the daemon's own serve.* metrics next to all engine counters — plus the
+// the daemon's own serve.* metrics (including the per-tenant
+// serve.tenant.<id>.* series) next to all engine counters — plus the
 // cache size.
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

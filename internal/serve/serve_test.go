@@ -53,7 +53,7 @@ func blockWorker(t *testing.T, s *Server) (release func(), done chan jobResult) 
 	t.Helper()
 	started := make(chan struct{})
 	gate := make(chan struct{})
-	j, err := s.submit(context.Background(), func(context.Context) (interface{}, error) {
+	j, err := s.submit(context.Background(), nil, func(context.Context) (interface{}, error) {
 		close(started)
 		<-gate
 		return nil, nil
@@ -181,7 +181,7 @@ func TestQueueFullRejects(t *testing.T) {
 
 	release, done1 := blockWorker(t, s) // worker busy, queue empty
 	defer release()
-	filler, err := s.submit(context.Background(), func(context.Context) (interface{}, error) {
+	filler, err := s.submit(context.Background(), nil, func(context.Context) (interface{}, error) {
 		return nil, nil
 	})
 	if err != nil {

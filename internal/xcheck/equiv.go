@@ -81,7 +81,7 @@ func getBusID(sim *netlist.CompiledSim, ids []int) int {
 	return v
 }
 
-// VerifyBIST proves one sequencer group's generated netlist (sequencer +
+// VerifyBISTContext proves one sequencer group's generated netlist (sequencer +
 // TPGs + enable gating, via bist.BuildVerifyBench) bit-identical to the
 // March-semantics reference over complete sessions: every output pin, every
 // cycle, for the solid and checkerboard backgrounds and (for two-port
@@ -91,13 +91,7 @@ func getBusID(sim *netlist.CompiledSim, ids []int) int {
 // defect cannot hide.  Session lengths are additionally cross-checked
 // against the behavioural bist.Engine and the analytic formula.
 //
-// Deprecated: use VerifyBISTContext, which can be canceled.
-func VerifyBIST(name string, alg march.Algorithm, mems []memory.Config, opts Options) (EquivResult, error) {
-	return VerifyBISTContext(context.Background(), name, alg, mems, opts)
-}
-
-// VerifyBISTContext is VerifyBIST under a context: the session loop polls
-// ctx every equivPollCycles gate-level cycles and between sessions, and a
+// The session loop polls ctx every equivPollCycles gate-level cycles and between sessions, and a
 // canceled check returns ctx.Err() wrapped with the stage name.
 func VerifyBISTContext(ctx context.Context, name string, alg march.Algorithm, mems []memory.Config, opts Options) (EquivResult, error) {
 	tm := obsSpanVerify.Start()
@@ -290,19 +284,13 @@ func runBISTSession(ctx context.Context, sim *netlist.CompiledSim, pins benchPin
 	return maxCycles, false
 }
 
-// VerifyController proves the generated shared controller bit-identical to
+// VerifyControllerContext proves the generated shared controller bit-identical to
 // the Fig. 2 handshake reference, first under seeded random stimulus on
 // every input (GDONE/GFAIL patterns a real chip could never even produce),
 // then in a scripted session where behavioural groups respond to the
 // controller's own GO outputs and selected groups inject failures.
 //
-// Deprecated: use VerifyControllerContext, which can be canceled.
-func VerifyController(name string, nGroups int, opts Options) (EquivResult, error) {
-	return VerifyControllerContext(context.Background(), name, nGroups, opts)
-}
-
-// VerifyControllerContext is VerifyController under a context: the random
-// stimulus loop polls ctx every equivPollCycles cycles, and a canceled
+// The random stimulus loop polls ctx every equivPollCycles cycles, and a canceled
 // check returns ctx.Err() wrapped with the stage name.
 func VerifyControllerContext(ctx context.Context, name string, nGroups int, opts Options) (EquivResult, error) {
 	tm := obsSpanVerify.Start()

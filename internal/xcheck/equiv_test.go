@@ -39,7 +39,7 @@ func TestVerifyBISTCatalogEquivalence(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := VerifyBIST(tc.name, mustAlg(t, tc.alg), tc.mems, Options{})
+			res, err := VerifyBISTContext(context.Background(), tc.name, mustAlg(t, tc.alg), tc.mems, Options{})
 			if err != nil {
 				t.Fatalf("VerifyBIST: %v", err)
 			}
@@ -118,9 +118,9 @@ func TestBISTSessionDetectsInjectedFault(t *testing.T) {
 
 func TestVerifyControllerEquivalence(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 5, 8} {
-		res, err := VerifyController("ctl", n, Options{})
+		res, err := VerifyControllerContext(context.Background(), "ctl", n, Options{})
 		if err != nil {
-			t.Fatalf("VerifyController(%d): %v", n, err)
+			t.Fatalf("VerifyControllerContext(context.Background(), %d): %v", n, err)
 		}
 		for _, m := range res.Mismatches {
 			t.Errorf("n=%d mismatch: %s", n, m)

@@ -150,17 +150,11 @@ func countTrailingDone(trace []bistTrace) int {
 	return n
 }
 
-// TPGCampaign injects every stuck-at fault into the flattened sequencer +
+// TPGCampaignContext injects every stuck-at fault into the flattened sequencer +
 // TPG bench and asks whether the BIST's own tester-visible outcome pins
 // (DONE and the sticky FAIL) ever diverge from the fault-free session.
 //
-// Deprecated: use TPGCampaignContext, which can be canceled.
-func TPGCampaign(name string, alg march.Algorithm, mems []memory.Config, opts Options) (CampaignResult, error) {
-	return TPGCampaignContext(context.Background(), name, alg, mems, opts)
-}
-
-// TPGCampaignContext is TPGCampaign under a context (workers poll ctx
-// between per-fault simulations).
+// Workers poll ctx between per-fault simulations.
 func TPGCampaignContext(ctx context.Context, name string, alg march.Algorithm, mems []memory.Config, opts Options) (CampaignResult, error) {
 	sim, err := NewTPGCampaignSim(name, alg, mems, opts)
 	if err != nil {
@@ -229,17 +223,11 @@ func runControllerTraced(sim *netlist.CompiledSim, nGroups int,
 	return trace, -1
 }
 
-// ControllerCampaign injects every stuck-at fault into the flattened shared
+// ControllerCampaignContext injects every stuck-at fault into the flattened shared
 // controller and checks whether the MBO/MRD/MSO tester pins ever diverge
 // from the fault-free scripted session.
 //
-// Deprecated: use ControllerCampaignContext, which can be canceled.
-func ControllerCampaign(name string, nGroups int, opts Options) (CampaignResult, error) {
-	return ControllerCampaignContext(context.Background(), name, nGroups, opts)
-}
-
-// ControllerCampaignContext is ControllerCampaign under a context (workers
-// poll ctx between per-fault simulations).
+// Workers poll ctx between per-fault simulations.
 func ControllerCampaignContext(ctx context.Context, name string, nGroups int, opts Options) (CampaignResult, error) {
 	sim, err := NewControllerCampaignSim(name, nGroups, opts)
 	if err != nil {
@@ -248,19 +236,13 @@ func ControllerCampaignContext(ctx context.Context, name string, nGroups int, op
 	return runCampaign(ctx, sim, opts)
 }
 
-// WrapperCampaign injects stuck-at faults into the wrapper logic (boundary
+// WrapperCampaignContext injects stuck-at faults into the wrapper logic (boundary
 // cells, WIR, WBY, glue — core-internal faults are the scan patterns' own
 // job and are excluded) and checks whether the translated scan program's
 // wso expectations catch them.  The detection criterion is exactly the
 // tester's: a miscompare against a non-X expected bit.
 //
-// Deprecated: use WrapperCampaignContext, which can be canceled.
-func WrapperCampaign(name string, core *testinfo.Core, width int, opts Options) (CampaignResult, error) {
-	return WrapperCampaignContext(context.Background(), name, core, width, opts)
-}
-
-// WrapperCampaignContext is WrapperCampaign under a context (workers poll
-// ctx between per-fault simulations).
+// Workers poll ctx between per-fault simulations.
 func WrapperCampaignContext(ctx context.Context, name string, core *testinfo.Core, width int, opts Options) (CampaignResult, error) {
 	sim, err := NewWrapperCampaignSim(name, core, width, opts)
 	if err != nil {

@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"testing"
 
 	"steac/internal/memory"
@@ -27,7 +28,7 @@ func campaignsEqual(a, b CampaignResult) bool {
 func TestTPGCampaignDetectsFaults(t *testing.T) {
 	alg := mustAlg(t, "March X")
 	mems := []memory.Config{{Name: "m0", Words: 8, Bits: 2, Kind: memory.SinglePort}}
-	res, err := TPGCampaign("tpg", alg, mems, Options{Workers: 2, MaxUndetected: -1})
+	res, err := TPGCampaignContext(context.Background(), "tpg", alg, mems, Options{Workers: 2, MaxUndetected: -1})
 	if err != nil {
 		t.Fatalf("TPGCampaign: %v", err)
 	}
@@ -42,7 +43,7 @@ func TestTPGCampaignDetectsFaults(t *testing.T) {
 	}
 
 	// The default report cap keeps counts exact while bounding the list.
-	capped, err := TPGCampaign("tpg", alg, mems, Options{Workers: 2})
+	capped, err := TPGCampaignContext(context.Background(), "tpg", alg, mems, Options{Workers: 2})
 	if err != nil {
 		t.Fatalf("TPGCampaign (capped): %v", err)
 	}
@@ -73,7 +74,7 @@ func TestTPGCampaignDeterministicAcrossWorkers(t *testing.T) {
 	mems := []memory.Config{{Name: "m0", Words: 8, Bits: 2, Kind: memory.SinglePort}}
 	var prev CampaignResult
 	for i, w := range []int{1, 3, 7} {
-		res, err := TPGCampaign("tpg", alg, mems, Options{Workers: w})
+		res, err := TPGCampaignContext(context.Background(), "tpg", alg, mems, Options{Workers: w})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -85,7 +86,7 @@ func TestTPGCampaignDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestControllerCampaign(t *testing.T) {
-	res, err := ControllerCampaign("ctl", 3, Options{Workers: 2})
+	res, err := ControllerCampaignContext(context.Background(), "ctl", 3, Options{Workers: 2})
 	if err != nil {
 		t.Fatalf("ControllerCampaign: %v", err)
 	}
@@ -99,7 +100,7 @@ func TestControllerCampaign(t *testing.T) {
 
 func TestWrapperCampaign(t *testing.T) {
 	core := xcheckCore("wflt", 4, 5, []int{7, 5}, 4, 77)
-	res, err := WrapperCampaign("wrap", core, 2, Options{Workers: 2})
+	res, err := WrapperCampaignContext(context.Background(), "wrap", core, 2, Options{Workers: 2})
 	if err != nil {
 		t.Fatalf("WrapperCampaign: %v", err)
 	}
@@ -119,7 +120,7 @@ func TestWrapperCampaign(t *testing.T) {
 
 func TestWrapperCampaignSampling(t *testing.T) {
 	core := xcheckCore("wsmp", 4, 5, []int{7, 5}, 3, 88)
-	res, err := WrapperCampaign("wrap", core, 2, Options{Workers: 2, MaxFaults: 20})
+	res, err := WrapperCampaignContext(context.Background(), "wrap", core, 2, Options{Workers: 2, MaxFaults: 20})
 	if err != nil {
 		t.Fatalf("WrapperCampaign: %v", err)
 	}

@@ -19,17 +19,11 @@ type GroupCase struct {
 	Mems []memory.Config
 }
 
-// VerifyGroups runs VerifyBIST over every case, fanned out over
+// VerifyGroupsContext runs VerifyBISTContext over every case, fanned out over
 // opts.Workers goroutines, and returns the results in case order (the
 // outcome is identical for any worker count — each case is independent).
 //
-// Deprecated: use VerifyGroupsContext, which can be canceled.
-func VerifyGroups(cases []GroupCase, opts Options) ([]EquivResult, error) {
-	return VerifyGroupsContext(context.Background(), cases, opts)
-}
-
-// VerifyGroupsContext is VerifyGroups under a context: workers poll ctx at
-// case claims, each case polls mid-session inside the gate-level simulation
+// Workers poll ctx at case claims, each case polls mid-session inside the gate-level simulation
 // loop, and a canceled run returns ctx.Err() wrapped with the stage name.
 func VerifyGroupsContext(ctx context.Context, cases []GroupCase, opts Options) ([]EquivResult, error) {
 	results := make([]EquivResult, len(cases))

@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestVerifyGroupsParallelAndOrdered(t *testing.T) {
 		{"g1", mustAlg(t, "March X"), []memory.Config{{Name: "b", Words: 16, Bits: 3, Kind: memory.SinglePort}}},
 		{"g2", mustAlg(t, "March Y"), []memory.Config{{Name: "c", Words: 8, Bits: 4, Kind: memory.TwoPort}}},
 	}
-	res, err := VerifyGroups(cases, Options{Workers: 3})
+	res, err := VerifyGroupsContext(context.Background(), cases, Options{Workers: 3})
 	if err != nil {
 		t.Fatalf("VerifyGroups: %v", err)
 	}

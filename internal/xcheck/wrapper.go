@@ -192,19 +192,13 @@ func wirBypassScript(sim *netlist.CompiledSim, pins wrapPins, obs scanObserver) 
 	return cycle
 }
 
-// VerifyWrapper proves a generated wrapper + structural core stack executes
+// VerifyWrapperContext proves a generated wrapper + structural core stack executes
 // a complete translated scan program bit-exactly: every non-X TAM
 // expectation the pattern translator emits must appear on the wso pins,
 // pattern after pattern, plus a WIR excursion showing BYPASS takes over the
 // serial path and INTESTSCAN restores it.
 //
-// Deprecated: use VerifyWrapperContext, which can be canceled.
-func VerifyWrapper(name string, core *testinfo.Core, width int, opts Options) (EquivResult, *pattern.ATPG, error) {
-	return VerifyWrapperContext(context.Background(), name, core, width, opts)
-}
-
-// VerifyWrapperContext is VerifyWrapper under a context: the scan stream
-// polls ctx every equivPollCycles cycles, and a canceled check returns
+// The scan stream polls ctx every equivPollCycles cycles, and a canceled check returns
 // ctx.Err() wrapped with the stage name.
 func VerifyWrapperContext(ctx context.Context, name string, core *testinfo.Core, width int, opts Options) (EquivResult, *pattern.ATPG, error) {
 	tm := obsSpanVerify.Start()

@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestVerifyWrapperEquivalence(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.core.Name, func(t *testing.T) {
-			res, atpg, err := VerifyWrapper(tc.core.Name, tc.core, tc.width, Options{})
+			res, atpg, err := VerifyWrapperContext(context.Background(), tc.core.Name, tc.core, tc.width, Options{})
 			if err != nil {
 				t.Fatalf("VerifyWrapper: %v", err)
 			}
