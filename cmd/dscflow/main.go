@@ -19,6 +19,8 @@
 //	dscflow -campaign F -submit URL   submit the campaign as an async job on a steacd daemon
 //	dscflow -api-key KEY     authenticate -fabric/-submit calls against a multi-tenant daemon
 //	dscflow -report-json F   also write the raw campaign report JSON to F
+//	dscflow -catalog DIR -compare csv          render a steacd results catalog as a tradeoff table
+//	dscflow -catalog DIR -recommend -scenario NAME   suggest a DFT config from prior results
 package main
 
 import (
@@ -69,6 +71,11 @@ func main() {
 		apiKey    = flag.String("api-key", "", "API key for -fabric/-submit against a multi-tenant daemon (also honors STEAC_API_KEY)")
 		reportOut = flag.String("report-json", "", "write the raw campaign report JSON to this path (local and remote modes)")
 
+		catalogDir  = flag.String("catalog", "", "local results-catalog directory (a steacd -catalog-dir) for -recommend and -compare")
+		recommendOn = flag.Bool("recommend", false, "suggest a DFT config for the -scenario chip from the -catalog prior results")
+		compareFmt  = flag.String("compare", "", "render the -catalog tradeoff table to stdout in this format (json, csv, html or table)")
+		maxTam      = flag.Int("max-tam", 0, "cap on recommended TAM width (-recommend; 0 = no cap)")
+
 		obsOn      = flag.Bool("obs", false, "enable observability and append the span/counter report")
 		benchJSON  = flag.String("bench-json", "", "run the benchmark suite (instead of the flow) and write BENCH JSON to this path")
 		benchShort = flag.Bool("bench-short", false, "single-iteration benchmark runs (CI smoke; workloads unchanged)")
@@ -82,6 +89,17 @@ func main() {
 	}
 	if *benchJSON != "" {
 		runBench(*benchJSON, *benchShort)
+		return
+	}
+	if *recommendOn || *compareFmt != "" {
+		if *catalogDir == "" {
+			fail(fmt.Errorf("-recommend and -compare need -catalog DIR"))
+		}
+		if *compareFmt != "" {
+			fail(runCompareCLI(*catalogDir, *compareFmt))
+			return
+		}
+		fail(runRecommendCLI(*catalogDir, *scenarioF, *chipSeed, *maxTam))
 		return
 	}
 	if *fabricURL != "" || *submitURL != "" {

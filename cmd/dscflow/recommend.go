@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"steac/internal/catalog"
+	"steac/internal/recommend"
+)
+
+// The local catalog modes: dscflow can read a steacd results catalog
+// directly off disk — no daemon required — to render compare tables and
+// answer recommendation queries against it.
+//
+//	dscflow -catalog DIR -compare csv            tradeoff table to stdout (json, csv or html)
+//	dscflow -catalog DIR -recommend -scenario S  suggest a DFT config for the scenario chip
+//
+// Unlike the daemon endpoints, the local modes see every tenant's records:
+// whoever can read the directory owns the data, exactly like -resume and a
+// campaign checkpoint directory.
+
+// runCompareCLI renders the whole catalog as one tradeoff table.
+func runCompareCLI(dir, format string) error {
+	st, err := catalog.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	cmp := catalog.CompareRecords(st.List(catalog.Query{}))
+	switch format {
+	case "json":
+		blob, err := cmp.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(blob)
+		return err
+	case "csv":
+		_, err = fmt.Print(cmp.CSV())
+	case "html":
+		_, err = fmt.Print(cmp.HTML())
+	case "table":
+		fmt.Print(cmp.Table().String())
+	default:
+		return fmt.Errorf("unknown -compare format %q (json, csv, html or table)", format)
+	}
+	return err
+}
+
+// runRecommendCLI profiles the scenario chip (-scenario/-seed, same flags
+// as the flow) and prints the catalog's suggestion with its evidence.
+func runRecommendCLI(dir, scenarioF string, seed int64, maxTamWidth int) error {
+	chip, err := loadChip(scenarioF, seed)
+	if err != nil {
+		return err
+	}
+	st, err := catalog.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	sug, err := recommend.Recommend(st.List(catalog.Query{}), recommend.Request{
+		Cores: chip.Cores, Memories: chip.Memories, MaxTamWidth: maxTamWidth,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recommended DFT config for %s (seed %d), from %d cataloged records:\n",
+		chip.Scenario, seed, st.Len())
+	blob, err := json.MarshalIndent(sug, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	return nil
+}

@@ -19,6 +19,10 @@
 //	POST   /v1/jobs       {"kind":"memfault","spec":{...}} — async campaign job, returns id
 //	GET    /v1/jobs/{id}  job progress (shards done/total, ETA, counters) or final report
 //	DELETE /v1/jobs/{id}  cancel a job at the next shard boundary (checkpoint kept)
+//	GET  /v1/catalog               results-catalog listing (-catalog-dir; filters: scenario, kind, min/max_coverage, limit)
+//	GET  /v1/catalog/{fingerprint} one catalog record
+//	GET  /v1/catalog/compare       tradeoff table (?format=json|csv|html)
+//	POST /v1/recommend  {"scenario":"memory-heavy","seed":1} — DFT suggestion from prior results
 //	GET  /healthz      200 "ok" while serving, 503 "draining" during shutdown
 //	GET  /metrics      every obs counter/gauge as "name value" text
 //
@@ -80,6 +84,7 @@ func main() {
 		maxTimeoutS = flag.Int("max-timeout", 600, "ceiling on client-requested deadlines, seconds")
 		drainS      = flag.Int("drain-timeout", 60, "graceful shutdown budget, seconds")
 		jobDir      = flag.String("job-dir", "", "checkpoint root for async campaign jobs (empty = in-memory only; no resume across restarts)")
+		catalogDir  = flag.String("catalog-dir", "", "durable results-catalog root (empty = no catalog; /v1/catalog and /v1/recommend answer 400)")
 		maxJobs     = flag.Int("max-jobs", 0, "concurrently running campaign jobs (0 = 2)")
 		tenantsFile = flag.String("tenants", "", "tenants file (JSON array of {id,key,rate_per_sec,burst,max_jobs,weight}); empty serves anonymously")
 		enableSpans = flag.Bool("obs", false, "enable span timing (counters are always live)")
@@ -129,6 +134,7 @@ func main() {
 		MaxTimeout:     time.Duration(*maxTimeoutS) * time.Second,
 		Tenants:        tenants,
 		JobDir:         *jobDir,
+		CatalogDir:     *catalogDir,
 		MaxJobs:        *maxJobs,
 		Fabric:         coord,
 	})

@@ -1,0 +1,139 @@
+// Package catalog is the durable results catalog behind steacd: every
+// completed flow, scheduling sweep, and fault campaign becomes one
+// content-addressed Record keyed by the same SHA-256 fingerprints the
+// daemon already uses for its memo cache and job ids.  Records accumulate
+// in an fsync'd JSONL store under -catalog-dir (Store, store.go) and feed
+// two product surfaces: the compare endpoints (CompareRecords →
+// report.Compare, rendered as JSON/CSV/HTML) and the recommender
+// (internal/recommend), which answers "what DFT config worked for chips
+// like this one" from prior records instead of re-running campaigns.
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"steac/internal/memory"
+	"steac/internal/testinfo"
+)
+
+// SchemaVersion stamps every stored record.  The store refuses files
+// written by a schema it does not speak — a loud, typed refusal beats
+// silently misreading a future layout.
+const SchemaVersion = "steac-catalog/v1"
+
+// Record kinds: which engine produced the result.
+const (
+	KindFlow     = "flow"     // POST /v1/flow — full integration flow
+	KindSched    = "sched"    // POST /v1/sched — one sweep point
+	KindMemfault = "memfault" // memfault campaign job
+	KindXCheck   = "xcheck"   // xcheck campaign job
+)
+
+// Record is one cataloged result: the configuration that was tried, the
+// chip it was tried on (scenario provenance plus size features), and what
+// came out.  Fingerprint is the content address — the serve request key
+// for synchronous results, the campaign fingerprint for jobs — so the
+// catalog primary key is exactly the key the rest of the system already
+// uses.  Records are tenant-scoped like jobs: queries only ever surface a
+// tenant's own records.
+type Record struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	Tenant      string `json:"tenant"`
+	Kind        string `json:"kind"`
+	// Scenario/Seed are the chip's provenance when it came from the
+	// scenario registry (empty for explicit STIL/memory submissions).
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+
+	Config   Config   `json:"config"`
+	Features Features `json:"features"`
+	Metrics  Metrics  `json:"metrics"`
+
+	// CreatedUnixMS is the ingest time.  It never appears in compare
+	// output (content-addressed artifacts must not embed wall clocks) but
+	// lets operators age out stale populations.
+	CreatedUnixMS int64 `json:"created_unix_ms,omitempty"`
+	// Result is the verbatim engine response the record summarizes.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Config is the DFT configuration under evaluation — the knobs the
+// recommender suggests.
+type Config struct {
+	// TamWidth is the test-pin budget the schedule ran under.
+	TamWidth int `json:"tam_width,omitempty"`
+	// Partitioner is the wrapper chain-partitioning strategy (lpt,
+	// firstfit, optimal).
+	Partitioner string `json:"partitioner,omitempty"`
+	// Algorithm is the March test programmed into the BIST sequencers.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Grouping is the sequencer-sharing strategy (by-kind, per-memory,
+	// single).
+	Grouping string `json:"grouping,omitempty"`
+	// LogicBIST marks chips with Bernardi-style hybrid logic BIST
+	// sessions.
+	LogicBIST bool `json:"logic_bist,omitempty"`
+	// PowerBudget is the per-session power envelope (0 = unbounded).
+	PowerBudget float64 `json:"power_budget,omitempty"`
+}
+
+// Features is the chip-size profile distances are computed over: raw
+// counts only, derivable from a testinfo core list plus memory configs, so
+// a recommender query can be answered for a chip that has never run.
+type Features struct {
+	Cores        int `json:"cores"`
+	ScanChains   int `json:"scan_chains"`
+	ScanBits     int `json:"scan_bits"`
+	ScanPatterns int `json:"scan_patterns"`
+	FuncPatterns int `json:"func_patterns"`
+	IOs          int `json:"ios"`
+	Memories     int `json:"memories"`
+	MemoryBits   int `json:"memory_bits"`
+}
+
+// Metrics is the outcome: what the tradeoff tables plot.
+type Metrics struct {
+	// TestCycles is total schedule length (flow/sched records).
+	TestCycles int `json:"test_cycles,omitempty"`
+	// Sessions is the session count of the winning schedule.
+	Sessions int `json:"sessions,omitempty"`
+	// PeakPower is the highest per-session summed power of the schedule.
+	PeakPower float64 `json:"peak_power,omitempty"`
+	// Coverage is fault coverage percent (campaign records).
+	Coverage float64 `json:"coverage,omitempty"`
+	// Faults/Detected are the campaign universe and kill count.
+	Faults   int `json:"faults,omitempty"`
+	Detected int `json:"detected,omitempty"`
+	// Infeasible marks sweep points the scheduler proved unschedulable
+	// under their pin budget — negative results are results too.
+	Infeasible bool `json:"infeasible,omitempty"`
+}
+
+// CoreFeatures profiles a chip description for distance queries and
+// record ingest.  It only reads counts, so it works for cores that have
+// never been built, wrapped, or scheduled.
+func CoreFeatures(cores []*testinfo.Core, mems []memory.Config) Features {
+	f := Features{Cores: len(cores), Memories: len(mems)}
+	for _, c := range cores {
+		f.ScanChains += len(c.ScanChains)
+		f.ScanBits += c.TotalScanBits()
+		f.ScanPatterns += c.ScanPatternCount()
+		f.FuncPatterns += c.FunctionalPatternCount()
+		f.IOs += c.PIs + c.POs
+	}
+	for _, m := range mems {
+		f.MemoryBits += m.Words * m.Bits
+	}
+	return f
+}
+
+// SubFingerprint derives a content address for a sub-result of a parent
+// fingerprint (one point of a sweep): hex SHA-256 over parent‖":"‖label.
+// Deterministic, so re-running the sweep converges on the same records.
+func SubFingerprint(parent, label string) string {
+	sum := sha256.Sum256([]byte(parent + ":" + label))
+	return hex.EncodeToString(sum[:])
+}

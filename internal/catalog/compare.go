@@ -1,0 +1,83 @@
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+
+	"steac/internal/report"
+)
+
+// CompareRecords builds the tradeoff table over a record set: test time
+// vs TAM width vs coverage vs power, one row per record in canonical
+// order.  Cells are pre-rendered strings (report.Compare's contract) and
+// contain no timestamps, durations, or absolute paths, so the same record
+// population always renders byte-identical tables — they are golden-file
+// material.
+func CompareRecords(recs []Record) *report.Compare {
+	recs = append([]Record(nil), recs...)
+	SortRecords(recs)
+	c := report.NewCompare(
+		fmt.Sprintf("steac catalog compare (%d records)", len(recs)),
+		"fingerprint", "kind", "scenario", "seed", "tam_width", "partitioner",
+		"algorithm", "grouping", "lbist", "power_budget",
+		"test_cycles", "sessions", "peak_power", "coverage%", "faults", "detected", "status",
+	)
+	for _, rec := range recs {
+		status := "ok"
+		if rec.Metrics.Infeasible {
+			status = "infeasible"
+		}
+		c.AddRow(
+			shortFingerprint(rec.Fingerprint),
+			rec.Kind,
+			rec.Scenario,
+			cellInt(int(rec.Seed)),
+			cellInt(rec.Config.TamWidth),
+			rec.Config.Partitioner,
+			rec.Config.Algorithm,
+			rec.Config.Grouping,
+			cellBool(rec.Config.LogicBIST),
+			cellFloat(rec.Config.PowerBudget),
+			cellInt(rec.Metrics.TestCycles),
+			cellInt(rec.Metrics.Sessions),
+			cellFloat(rec.Metrics.PeakPower),
+			cellFloat(rec.Metrics.Coverage),
+			cellInt(rec.Metrics.Faults),
+			cellInt(rec.Metrics.Detected),
+			status,
+		)
+	}
+	return c
+}
+
+// shortFingerprint abbreviates content addresses the way job logs do.
+func shortFingerprint(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+// cellInt renders zero as empty: a compare table distinguishes "not
+// measured" from a measured zero, and none of these metrics are
+// legitimately zero when present.
+func cellInt(v int) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.Itoa(v)
+}
+
+func cellFloat(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	return report.Float(v)
+}
+
+func cellBool(v bool) string {
+	if v {
+		return "yes"
+	}
+	return ""
+}

@@ -1,0 +1,117 @@
+package catalog
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden compare report files")
+
+// checkGolden follows the dscflow golden-test pattern: byte-for-byte
+// comparison against testdata/<name>.golden, rewritten with -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/catalog -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s differs from golden file (run `go test ./internal/catalog -update` if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// goldenRecords is a fixed population covering every column: feasible and
+// infeasible sweep points, a flow run, and coverage campaigns.  Timestamps
+// are deliberately set and must never surface in compare output.
+func goldenRecords() []Record {
+	return []Record{
+		{
+			Fingerprint: "1111aaaa2222bbbb3333cccc", Tenant: "anon", Kind: KindSched,
+			Scenario: "manycore", Seed: 1,
+			Config:        Config{TamWidth: 24, Partitioner: "lpt", Algorithm: "March C-", Grouping: "per-memory"},
+			Features:      Features{Cores: 6, ScanChains: 12, ScanBits: 3200, ScanPatterns: 240, IOs: 180, Memories: 2, MemoryBits: 4096},
+			Metrics:       Metrics{TestCycles: 41872, Sessions: 3, PeakPower: 11.5},
+			CreatedUnixMS: 1754000000001,
+		},
+		{
+			Fingerprint: "4444dddd5555eeee6666ffff", Tenant: "anon", Kind: KindSched,
+			Scenario: "manycore", Seed: 1,
+			Config:        Config{TamWidth: 12, Partitioner: "lpt", Algorithm: "March C-", Grouping: "per-memory"},
+			Features:      Features{Cores: 6, ScanChains: 12, ScanBits: 3200, ScanPatterns: 240, IOs: 180, Memories: 2, MemoryBits: 4096},
+			Metrics:       Metrics{Infeasible: true},
+			CreatedUnixMS: 1754000000002,
+		},
+		{
+			Fingerprint: "7777000088889999aaaabbbb", Tenant: "anon", Kind: KindFlow,
+			Scenario: "hybrid-power", Seed: 2,
+			Config:        Config{TamWidth: 40, Partitioner: "lpt", Algorithm: "March C-", Grouping: "per-memory", PowerBudget: 18},
+			Features:      Features{Cores: 4, ScanChains: 9, ScanBits: 2100, ScanPatterns: 190, FuncPatterns: 1200, IOs: 260, Memories: 5, MemoryBits: 24576},
+			Metrics:       Metrics{TestCycles: 96210, Sessions: 5, PeakPower: 17.25},
+			CreatedUnixMS: 1754000000003,
+		},
+		{
+			Fingerprint: "ccccdddd1111eeee2222ffff", Tenant: "anon", Kind: KindMemfault,
+			Scenario: "memory-heavy", Seed: 3,
+			Config:        Config{Algorithm: "March C-"},
+			Features:      Features{Cores: 1, Memories: 8, MemoryBits: 16384},
+			Metrics:       Metrics{Coverage: 98.4375, Faults: 640, Detected: 630},
+			CreatedUnixMS: 1754000000004,
+			Result:        json.RawMessage(`{"Algorithm":"March C-"}`),
+		},
+		{
+			Fingerprint: "deadbeefdeadbeefdeadbeef", Tenant: "anon", Kind: KindXCheck,
+			Scenario: "p1500-lbist", Seed: 1,
+			Config:        Config{TamWidth: 2, Algorithm: "March C-", LogicBIST: true},
+			Features:      Features{Cores: 5, ScanChains: 10, ScanBits: 2600, Memories: 6, MemoryBits: 12288},
+			Metrics:       Metrics{Coverage: 100, Faults: 214, Detected: 214},
+			CreatedUnixMS: 1754000000005,
+		},
+	}
+}
+
+func TestCompareCSVGolden(t *testing.T) {
+	checkGolden(t, "compare_csv", CompareRecords(goldenRecords()).CSV())
+}
+
+func TestCompareHTMLGolden(t *testing.T) {
+	checkGolden(t, "compare_html", CompareRecords(goldenRecords()).HTML())
+}
+
+// TestCompareOutputIsClockFree guards the golden determinism contract:
+// no rendering of a compare table may contain ingest timestamps.
+func TestCompareOutputIsClockFree(t *testing.T) {
+	recs := goldenRecords()
+	c := CompareRecords(recs)
+	blob, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{string(blob), c.CSV(), c.HTML()} {
+		if strings.Contains(out, "1754000000") {
+			t.Fatal("compare output leaked an ingest timestamp")
+		}
+	}
+	// Input order must not matter.
+	rev := make([]Record, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	if CompareRecords(rev).CSV() != c.CSV() {
+		t.Fatal("compare table depends on record order")
+	}
+}

@@ -1,0 +1,384 @@
+package catalog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The store follows the same durability discipline as the campaign
+// journal and the job database, with one deliberate difference in repair
+// policy.  Every Put appends one CRC-framed line and fsyncs before
+// returning, so an acknowledged record is on disk.  On open the file is
+// replayed; a damaged *final* line is the torn tail of a crash mid-append
+// — the record was never acknowledged — so it is dropped, counted
+// (Dropped), and compacted away.  A damaged line anywhere *before* the
+// tail cannot be a torn append: it means the medium corrupted history,
+// and unlike a campaign journal the catalog cannot recompute what it
+// lost.  That case is a typed ErrCatalogCorrupt refusing the whole open —
+// never a silent hole in the population the recommender ranks over.
+
+// ErrCatalogCorrupt reports interior damage: a record before the final
+// line fails its CRC or does not parse.  The file needs operator
+// attention (restore, or truncate past the damage); the store refuses to
+// open rather than serve a silently incomplete catalog.
+var ErrCatalogCorrupt = errors.New("catalog: store corrupt")
+
+// ErrCatalogSchema reports a well-formed record written by a schema this
+// binary does not speak.
+var ErrCatalogSchema = errors.New("catalog: unsupported schema version")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crcOf(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// envelope frames one stored line: the record bytes plus their CRC-32C,
+// so any single-bit flip inside the record is detected even when the
+// result is still valid JSON.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+const storeFile = "catalog.jsonl"
+
+// Store is the durable record set: an append-only fsync'd JSONL file plus
+// an in-memory index keyed by (tenant, fingerprint), last write wins.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	path    string
+	f       *os.File
+	recs    map[string]Record
+	dropped int
+}
+
+func storeKey(tenant, fingerprint string) string { return tenant + "\x00" + fingerprint }
+
+// Open loads (or creates) the catalog under dir, replaying and compacting
+// the store file.  Torn tails are dropped and counted; interior damage is
+// ErrCatalogCorrupt; foreign schemas are ErrCatalogSchema.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: open: %w", err)
+	}
+	s := &Store{dir: dir, path: filepath.Join(dir, storeFile), recs: map[string]Record{}}
+	raw, err := os.ReadFile(s.path)
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return nil, fmt.Errorf("catalog: open: %w", err)
+	default:
+		if err := s.replay(raw); err != nil {
+			return nil, err
+		}
+	}
+	if s.dropped > 0 {
+		if err := s.compactLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: open: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// replay parses the store file into the index.  lines are 1-based in
+// error messages because operators will look at the file with sed.
+func (s *Store) replay(raw []byte) error {
+	lines := bytes.Split(raw, []byte("\n"))
+	// A file ending in '\n' splits into a trailing empty element; only
+	// that final empty slot is benign.
+	last := len(lines) - 1
+	for last >= 0 && len(lines[last]) == 0 {
+		last--
+	}
+	for i := 0; i <= last; i++ {
+		line := lines[i]
+		rec, err := decodeLine(line)
+		if err != nil {
+			if errors.Is(err, ErrCatalogSchema) {
+				return fmt.Errorf("%w (line %d)", err, i+1)
+			}
+			if i == last {
+				// Torn tail: the crash happened mid-append, before the
+				// writer acknowledged.  Drop and repair.
+				s.dropped++
+				continue
+			}
+			return fmt.Errorf("%w: line %d of %s: %v", ErrCatalogCorrupt, i+1, s.path, err)
+		}
+		s.recs[storeKey(rec.Tenant, rec.Fingerprint)] = rec
+	}
+	return nil
+}
+
+// decodeLine validates one stored line end to end: envelope JSON, CRC,
+// record JSON, schema, key fields.
+func decodeLine(line []byte) (Record, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Record{}, fmt.Errorf("bad envelope: %v", err)
+	}
+	if len(env.Rec) == 0 {
+		return Record{}, errors.New("empty record")
+	}
+	if got := crcOf(env.Rec); got != env.CRC {
+		return Record{}, fmt.Errorf("crc mismatch (stored %08x, computed %08x)", env.CRC, got)
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, fmt.Errorf("bad record: %v", err)
+	}
+	if rec.Schema != SchemaVersion {
+		return Record{}, fmt.Errorf("%w: record declares %q, this binary speaks %q",
+			ErrCatalogSchema, rec.Schema, SchemaVersion)
+	}
+	if rec.Fingerprint == "" {
+		return Record{}, errors.New("record without fingerprint")
+	}
+	return rec, nil
+}
+
+// Put ingests one record: stamp the schema, append one CRC-framed line,
+// fsync, remember.  The write is acknowledged only after the fsync — the
+// same contract as the job database.
+func (s *Store) Put(rec Record) error {
+	if s == nil {
+		return nil
+	}
+	if rec.Fingerprint == "" {
+		return errors.New("catalog: record without fingerprint")
+	}
+	rec.Schema = SchemaVersion
+	recBlob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("catalog: put: %w", err)
+	}
+	line, err := json.Marshal(envelope{CRC: crcOf(recBlob), Rec: recBlob})
+	if err != nil {
+		return fmt.Errorf("catalog: put: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("catalog: store closed")
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("catalog: put: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("catalog: put: %w", err)
+	}
+	s.recs[storeKey(rec.Tenant, rec.Fingerprint)] = rec
+	return nil
+}
+
+// Get returns one record by its (tenant, fingerprint) key.
+func (s *Store) Get(tenant, fingerprint string) (Record, bool) {
+	if s == nil {
+		return Record{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[storeKey(tenant, fingerprint)]
+	return rec, ok
+}
+
+// Query filters List.  Zero values mean "no filter" (MaxCoverage 0 sets
+// no ceiling; use MinCoverage for floors).
+type Query struct {
+	// Tenant restricts to one tenant's records ("" = all — local CLI use;
+	// the daemon always sets it).
+	Tenant string
+	// Scenario/Kind match the record fields exactly.
+	Scenario string
+	Kind     string
+	// MinCoverage/MaxCoverage bound Metrics.Coverage in percent.
+	MinCoverage float64
+	MaxCoverage float64
+	// Limit caps the result count after sorting (0 = all).
+	Limit int
+}
+
+func (q Query) match(rec Record) bool {
+	if q.Tenant != "" && rec.Tenant != q.Tenant {
+		return false
+	}
+	if q.Scenario != "" && rec.Scenario != q.Scenario {
+		return false
+	}
+	if q.Kind != "" && rec.Kind != q.Kind {
+		return false
+	}
+	if q.MinCoverage > 0 && rec.Metrics.Coverage < q.MinCoverage {
+		return false
+	}
+	if q.MaxCoverage > 0 && rec.Metrics.Coverage > q.MaxCoverage {
+		return false
+	}
+	return true
+}
+
+// List returns matching records in presentation order: scenario, seed,
+// kind, TAM width, fingerprint — a total order independent of insertion
+// and wall clock, so listings are byte-stable across restarts.
+func (s *Store) List(q Query) []Record {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		if q.match(rec) {
+			out = append(out, rec)
+		}
+	}
+	s.mu.Unlock()
+	SortRecords(out)
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// SortRecords orders records in the catalog's canonical presentation
+// order (scenario, seed, kind, TAM width, fingerprint).
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Config.TamWidth != b.Config.TamWidth {
+			return a.Config.TamWidth < b.Config.TamWidth
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
+}
+
+// Len returns the record count.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Dropped reports how many torn-tail lines were repaired away on open —
+// zero on every clean shutdown, and the audit trail when it is not.
+func (s *Store) Dropped() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Compact rewrites the store to one line per record in canonical order
+// via tmp + fsync + atomic rename, then reopens the append handle.
+func (s *Store) Compact() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("catalog: compact: %w", err)
+		}
+		s.f = nil
+	}
+	if err := s.compactLocked(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("catalog: compact: %w", err)
+	}
+	s.f = f
+	return nil
+}
+
+func (s *Store) compactLocked() error {
+	recs := make([]Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		recs = append(recs, rec)
+	}
+	SortRecords(recs)
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("catalog: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		recBlob, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("catalog: compact: %w", err)
+		}
+		line, err := json.Marshal(envelope{CRC: crcOf(recBlob), Rec: recBlob})
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("catalog: compact: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("catalog: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("catalog: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("catalog: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("catalog: compact: %w", err)
+	}
+	// Make the rename durable before claiming the compaction happened.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Close releases the append handle.  The index stays readable; further
+// Puts fail.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

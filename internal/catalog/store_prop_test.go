@@ -1,0 +1,192 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStoreDurabilityProperty is the catalog mirror of the campaign
+// journal-corruption battery: random interleavings of ingest, compact,
+// clean reopen, torn-tail truncation, and bitflip corruption.  The
+// invariant under test is "never silent loss": after any corrupt-reopen,
+// either
+//
+//   - the open fails with a typed error (ErrCatalogCorrupt or
+//     ErrCatalogSchema — interior damage is loud), or
+//   - the open succeeds and every surviving record is byte-identical to
+//     the bytes acknowledged at Put time, with at most the final
+//     (torn-tail) record missing — and any loss shows up in Dropped().
+//
+// Fingerprints are unique per trial, so "byte-identical survivor" is
+// well-defined without overwrite history.
+func TestStoreDurabilityProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			path := filepath.Join(dir, storeFile)
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { st.Close() }()
+
+			// acked maps fingerprint -> the exact record bytes whose Put
+			// (append+fsync) was acknowledged.
+			acked := map[string][]byte{}
+			next := 0
+
+			checkSurvivors := func(s *Store, allowTail bool) {
+				t.Helper()
+				survivors := s.List(Query{})
+				for _, rec := range survivors {
+					want, ok := acked[rec.Fingerprint]
+					if !ok {
+						t.Fatalf("store invented record %s", rec.Fingerprint)
+					}
+					got, err := json.Marshal(rec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(want) {
+						t.Fatalf("record %s mutated:\n got %s\nwant %s", rec.Fingerprint, got, want)
+					}
+				}
+				lost := len(acked) - len(survivors)
+				switch {
+				case lost < 0:
+					t.Fatalf("more survivors (%d) than acked (%d)", len(survivors), len(acked))
+				case lost == 0:
+				case lost == 1 && allowTail:
+					if s.Dropped() == 0 {
+						t.Fatalf("lost a record with Dropped()=0 — silent loss")
+					}
+					// Reconcile: the torn record is gone for good.
+					still := map[string]bool{}
+					for _, rec := range survivors {
+						still[rec.Fingerprint] = true
+					}
+					for fp := range acked {
+						if !still[fp] {
+							delete(acked, fp)
+						}
+					}
+				default:
+					t.Fatalf("lost %d records (allowTail=%v) — silent loss", lost, allowTail)
+				}
+			}
+
+			for op := 0; op < 60; op++ {
+				switch k := rng.Intn(10); {
+				case k < 5: // ingest
+					fp := fmt.Sprintf("%04d%s", next, "fedcba9876543210")
+					next++
+					rec := Record{
+						Fingerprint: fp,
+						Tenant:      []string{"anon", "acme", "bolt"}[rng.Intn(3)],
+						Kind:        []string{KindSched, KindFlow, KindMemfault}[rng.Intn(3)],
+						Scenario:    []string{"manycore", "memory-heavy", ""}[rng.Intn(3)],
+						Seed:        int64(rng.Intn(4)),
+						Config:      Config{TamWidth: 8 + rng.Intn(40), Algorithm: "March C-"},
+						Features:    Features{Cores: 1 + rng.Intn(8), ScanBits: rng.Intn(5000)},
+						Metrics: Metrics{TestCycles: rng.Intn(100000),
+							Coverage: float64(rng.Intn(10000)) / 100},
+						CreatedUnixMS: 1700000000000 + int64(op),
+						Result:        json.RawMessage(fmt.Sprintf(`{"n":%d}`, rng.Intn(1000))),
+					}
+					if err := st.Put(rec); err != nil {
+						t.Fatal(err)
+					}
+					stamped := rec
+					stamped.Schema = SchemaVersion
+					blob, err := json.Marshal(stamped)
+					if err != nil {
+						t.Fatal(err)
+					}
+					acked[fp] = blob
+
+				case k < 6: // compact
+					if err := st.Compact(); err != nil {
+						t.Fatal(err)
+					}
+
+				case k < 8: // clean reopen
+					if err := st.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if st, err = Open(dir); err != nil {
+						t.Fatal(err)
+					}
+					checkSurvivors(st, false)
+
+				default: // corrupt, then reopen
+					if err := st.Close(); err != nil {
+						t.Fatal(err)
+					}
+					raw, err := os.ReadFile(path)
+					if err != nil || len(raw) == 0 {
+						if st, err = Open(dir); err != nil {
+							t.Fatal(err)
+						}
+						continue
+					}
+					backup := append([]byte(nil), raw...)
+					damaged := append([]byte(nil), raw...)
+					tornTail := false
+					if rng.Intn(2) == 0 {
+						// Torn tail: truncate inside the final line, the
+						// way a crash mid-append tears it.  Never cut a
+						// whole line — that would be history rewriting,
+						// which fsync-before-ack rules out.
+						lineStart := len(damaged) - 1
+						for lineStart > 0 && damaged[lineStart-1] != '\n' {
+							lineStart--
+						}
+						// Keep at least one byte of the line: removing it
+						// entirely (content and newline) is indistinguishable
+						// from the append never happening, which
+						// fsync-before-ack makes impossible.
+						lineLen := len(damaged) - lineStart
+						cut := 1 + rng.Intn(lineLen-1)
+						damaged = damaged[:len(damaged)-cut]
+						tornTail = true
+					} else {
+						// Bitflip anywhere in the file.
+						pos := rng.Intn(len(damaged))
+						damaged[pos] ^= byte(1 << rng.Intn(8))
+					}
+					if err := os.WriteFile(path, damaged, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					st, err = Open(dir)
+					if err != nil {
+						if !errors.Is(err, ErrCatalogCorrupt) && !errors.Is(err, ErrCatalogSchema) {
+							t.Fatalf("corrupt open failed untyped: %v", err)
+						}
+						if tornTail {
+							t.Fatalf("pure tail damage must repair, got %v", err)
+						}
+						// Loud refusal: restore the pre-damage file and
+						// carry on (the operator's restore-from-backup).
+						if err := os.WriteFile(path, backup, 0o644); err != nil {
+							t.Fatal(err)
+						}
+						if st, err = Open(dir); err != nil {
+							t.Fatal(err)
+						}
+						checkSurvivors(st, false)
+						continue
+					}
+					checkSurvivors(st, true)
+				}
+			}
+		})
+	}
+}

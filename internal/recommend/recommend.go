@@ -1,0 +1,247 @@
+// Package recommend answers the paper's "DFT-ready SOC in minutes" pitch
+// from the results catalog: given a testinfo-shaped description of a chip
+// that has never run, find the most similar chips that have, and suggest
+// the TAM width, wrapper partitioner, grouping, and BIST architecture
+// that worked best for them — with the evidence attached.
+//
+// The method is deliberately simple and fully stated (a recommendation
+// without a stated basis is a guess with extra steps):
+//
+//  1. Candidate records are the catalog's feasible schedule results
+//     (flow/sched kinds with a cycle count and a TAM width).
+//  2. Records are grouped into chips by their (scenario, seed)
+//     provenance; each chip's feature vector is the record's Features —
+//     core/chain/pattern/IO/memory counts.
+//  3. Chip distance is normalized Euclidean: every feature dimension is
+//     scaled by the maximum over the candidate population plus the query,
+//     so kilobit memory counts do not drown out core counts.  This is the
+//     distance named in every Evidence row.
+//  4. The K nearest chips vote on TAM width, weighted by 1/(distance+ε);
+//     each chip votes with its own best config — fewest test cycles,
+//     ties to the narrower TAM.  Remaining knobs (partitioner, grouping,
+//     algorithm, logic BIST) come from the nearest chip that voted for
+//     the winning width.
+//
+// Everything is deterministic: ties break lexically, never by map order.
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"steac/internal/catalog"
+	"steac/internal/memory"
+	"steac/internal/testinfo"
+)
+
+// ErrNoData is returned when the catalog holds no usable prior results
+// for the query (empty catalog, or every record filtered out).
+var ErrNoData = errors.New("recommend: no prior results in catalog")
+
+// DefaultK is how many neighbor chips vote when the request does not say.
+const DefaultK = 3
+
+// Request describes the chip seeking a DFT plan.
+type Request struct {
+	// Cores/Memories describe the chip (catalog.CoreFeatures profiles
+	// them).  Required.
+	Cores    []*testinfo.Core `json:"cores,omitempty"`
+	Memories []memory.Config  `json:"memories,omitempty"`
+	// K is the neighbor count (0 = DefaultK).
+	K int `json:"k,omitempty"`
+	// MaxTamWidth drops prior results wider than the package can afford
+	// (0 = no cap).
+	MaxTamWidth int `json:"max_tam_width,omitempty"`
+}
+
+// Suggestion is the recommended DFT configuration plus its evidence.
+type Suggestion struct {
+	TamWidth    int     `json:"tam_width"`
+	Partitioner string  `json:"partitioner,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
+	Grouping    string  `json:"grouping,omitempty"`
+	LogicBIST   bool    `json:"logic_bist,omitempty"`
+	PowerBudget float64 `json:"power_budget,omitempty"`
+	// ExpectedCycles is the test time the winning neighbor achieved with
+	// this config — an analogy, not a simulation.
+	ExpectedCycles int `json:"expected_cycles,omitempty"`
+	// Distance names the metric every Evidence.Distance was computed
+	// with, so the basis is auditable.
+	Distance string `json:"distance"`
+	// Basis lists the neighbor chips that voted, nearest first.
+	Basis []Evidence `json:"basis"`
+}
+
+// Evidence is one neighbor chip's contribution: which record, how far,
+// and what it voted for.
+type Evidence struct {
+	Fingerprint string  `json:"fingerprint"`
+	Scenario    string  `json:"scenario,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Distance    float64 `json:"distance"`
+	TamWidth    int     `json:"tam_width"`
+	TestCycles  int     `json:"test_cycles"`
+}
+
+// DistanceMetric is the value of Suggestion.Distance.
+const DistanceMetric = "normalized-euclidean/v1"
+
+// chip is one prior chip: its feature vector and its best record.
+type chip struct {
+	key  string
+	best catalog.Record
+	feat [8]float64
+	dist float64
+}
+
+func featureVector(f catalog.Features) [8]float64 {
+	return [8]float64{
+		float64(f.Cores), float64(f.ScanChains), float64(f.ScanBits),
+		float64(f.ScanPatterns), float64(f.FuncPatterns), float64(f.IOs),
+		float64(f.Memories), float64(f.MemoryBits),
+	}
+}
+
+// betterRecord reports whether a is a strictly better config result than
+// b: fewer test cycles, ties to the narrower TAM, then lexical
+// fingerprint so the choice never depends on iteration order.
+func betterRecord(a, b catalog.Record) bool {
+	if a.Metrics.TestCycles != b.Metrics.TestCycles {
+		return a.Metrics.TestCycles < b.Metrics.TestCycles
+	}
+	if a.Config.TamWidth != b.Config.TamWidth {
+		return a.Config.TamWidth < b.Config.TamWidth
+	}
+	return a.Fingerprint < b.Fingerprint
+}
+
+// usable reports whether a record can anchor a recommendation.
+func usable(rec catalog.Record, maxTam int) bool {
+	if rec.Kind != catalog.KindFlow && rec.Kind != catalog.KindSched {
+		return false
+	}
+	if rec.Metrics.Infeasible || rec.Metrics.TestCycles <= 0 || rec.Config.TamWidth <= 0 {
+		return false
+	}
+	if maxTam > 0 && rec.Config.TamWidth > maxTam {
+		return false
+	}
+	return true
+}
+
+// Recommend ranks records against the request and synthesizes the
+// suggestion.  records is typically Store.List(Query{Tenant: ...}) — the
+// caller owns tenant scoping.
+func Recommend(records []catalog.Record, req Request) (*Suggestion, error) {
+	if len(req.Cores) == 0 {
+		return nil, errors.New("recommend: request needs at least one core description")
+	}
+	queryFeat := featureVector(catalog.CoreFeatures(req.Cores, req.Memories))
+
+	// Group usable records into chips, keeping each chip's best config.
+	chips := map[string]*chip{}
+	for _, rec := range records {
+		if !usable(rec, req.MaxTamWidth) {
+			continue
+		}
+		key := fmt.Sprintf("%s\x00%d", rec.Scenario, rec.Seed)
+		if rec.Scenario == "" {
+			// Explicit submissions have no generator provenance: each
+			// record is its own chip.
+			key = "\x00" + rec.Fingerprint
+		}
+		c, ok := chips[key]
+		if !ok {
+			chips[key] = &chip{key: key, best: rec, feat: featureVector(rec.Features)}
+			continue
+		}
+		if betterRecord(rec, c.best) {
+			c.best = rec
+		}
+	}
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("%w: %d records, none a feasible schedule result", ErrNoData, len(records))
+	}
+
+	// Per-dimension normalization over the population plus the query.
+	var scale [8]float64
+	for d := 0; d < 8; d++ {
+		scale[d] = queryFeat[d]
+	}
+	for _, c := range chips {
+		for d := 0; d < 8; d++ {
+			scale[d] = math.Max(scale[d], c.feat[d])
+		}
+	}
+
+	pop := make([]*chip, 0, len(chips))
+	for _, c := range chips {
+		sum := 0.0
+		for d := 0; d < 8; d++ {
+			if scale[d] == 0 {
+				continue
+			}
+			diff := (c.feat[d] - queryFeat[d]) / scale[d]
+			sum += diff * diff
+		}
+		c.dist = math.Sqrt(sum)
+		pop = append(pop, c)
+	}
+	sort.Slice(pop, func(i, j int) bool {
+		if pop[i].dist != pop[j].dist {
+			return pop[i].dist < pop[j].dist
+		}
+		return pop[i].key < pop[j].key
+	})
+
+	k := req.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	if k > len(pop) {
+		k = len(pop)
+	}
+	neighbors := pop[:k]
+
+	// Distance-weighted vote on TAM width; ties to the narrower width.
+	votes := map[int]float64{}
+	for _, c := range neighbors {
+		votes[c.best.Config.TamWidth] += 1 / (c.dist + 1e-6)
+	}
+	widths := make([]int, 0, len(votes))
+	for w := range votes {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+	bestWidth, bestVote := 0, -1.0
+	for _, w := range widths {
+		if votes[w] > bestVote {
+			bestWidth, bestVote = w, votes[w]
+		}
+	}
+
+	sug := &Suggestion{TamWidth: bestWidth, Distance: DistanceMetric}
+	for _, c := range neighbors {
+		sug.Basis = append(sug.Basis, Evidence{
+			Fingerprint: c.best.Fingerprint,
+			Scenario:    c.best.Scenario,
+			Seed:        c.best.Seed,
+			Distance:    c.dist,
+			TamWidth:    c.best.Config.TamWidth,
+			TestCycles:  c.best.Metrics.TestCycles,
+		})
+		// Remaining knobs from the nearest chip that voted for the
+		// winning width (neighbors are sorted nearest first).
+		if sug.ExpectedCycles == 0 && c.best.Config.TamWidth == bestWidth {
+			sug.Partitioner = c.best.Config.Partitioner
+			sug.Algorithm = c.best.Config.Algorithm
+			sug.Grouping = c.best.Config.Grouping
+			sug.LogicBIST = c.best.Config.LogicBIST
+			sug.PowerBudget = c.best.Config.PowerBudget
+			sug.ExpectedCycles = c.best.Metrics.TestCycles
+		}
+	}
+	return sug, nil
+}

@@ -1,0 +1,158 @@
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"steac/internal/catalog"
+	"steac/internal/memory"
+	"steac/internal/testinfo"
+)
+
+// synthCores builds a chip description whose feature vector scales with
+// size: size cores, each with one chain of 100*size bits.
+func synthCores(size int) []*testinfo.Core {
+	cores := make([]*testinfo.Core, size)
+	for i := range cores {
+		cores[i] = &testinfo.Core{
+			Name:   fmt.Sprintf("c%d", i),
+			Clocks: []string{"ck"},
+			PIs:    8 * size, POs: 8 * size,
+			ScanChains: []testinfo.ScanChain{{Name: "c0", Length: 100 * size}},
+			Patterns:   []testinfo.PatternSet{{Name: "scan", Type: testinfo.Scan, Count: 10 * size}},
+		}
+	}
+	return cores
+}
+
+// synthRecord is one prior result for a chip of the given size class.
+func synthRecord(scenario string, seed int64, size, tam, cycles int) catalog.Record {
+	return catalog.Record{
+		Fingerprint: fmt.Sprintf("%s-%d-tam%d", scenario, seed, tam),
+		Tenant:      "anon", Kind: catalog.KindSched,
+		Scenario: scenario, Seed: seed,
+		Config:   catalog.Config{TamWidth: tam, Partitioner: "lpt", Algorithm: "March C-", Grouping: "per-memory"},
+		Features: catalog.CoreFeatures(synthCores(size), nil),
+		Metrics:  catalog.Metrics{TestCycles: cycles, Sessions: 2},
+	}
+}
+
+// population: small chips (size 2) do best at TAM 16, big chips (size 8)
+// at TAM 40.  Each chip also has worse configs on file, so the
+// recommender must pick per-chip bests before voting.
+func population() []catalog.Record {
+	var recs []catalog.Record
+	for seed := int64(1); seed <= 3; seed++ {
+		recs = append(recs,
+			synthRecord("small", seed, 2, 16, 1000),
+			synthRecord("small", seed, 2, 24, 1400),
+			synthRecord("big", seed, 8, 40, 9000),
+			synthRecord("big", seed, 8, 16, 15000),
+		)
+	}
+	return recs
+}
+
+func TestRecommendPicksNearestCluster(t *testing.T) {
+	sug, err := Recommend(population(), Request{Cores: synthCores(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug.TamWidth != 16 {
+		t.Fatalf("small query: TamWidth = %d, want 16 (basis %+v)", sug.TamWidth, sug.Basis)
+	}
+	if sug.Partitioner != "lpt" || sug.Algorithm != "March C-" || sug.Grouping != "per-memory" {
+		t.Fatalf("config not copied from winning neighbor: %+v", sug)
+	}
+	if sug.ExpectedCycles != 1000 {
+		t.Fatalf("ExpectedCycles = %d, want the neighbor best 1000", sug.ExpectedCycles)
+	}
+	if sug.Distance != DistanceMetric {
+		t.Fatalf("Distance = %q", sug.Distance)
+	}
+	if len(sug.Basis) != DefaultK {
+		t.Fatalf("basis size = %d, want %d", len(sug.Basis), DefaultK)
+	}
+	for _, ev := range sug.Basis {
+		if ev.Scenario != "small" {
+			t.Fatalf("small query drew a big-chip neighbor: %+v", ev)
+		}
+	}
+
+	sug, err = Recommend(population(), Request{Cores: synthCores(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug.TamWidth != 40 {
+		t.Fatalf("big query: TamWidth = %d, want 40 (basis %+v)", sug.TamWidth, sug.Basis)
+	}
+}
+
+func TestRecommendMaxTamWidth(t *testing.T) {
+	sug, err := Recommend(population(), Request{Cores: synthCores(8), MaxTamWidth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug.TamWidth != 16 {
+		t.Fatalf("capped query: TamWidth = %d, want 16", sug.TamWidth)
+	}
+	for _, ev := range sug.Basis {
+		if ev.TamWidth > 20 {
+			t.Fatalf("basis cites a record wider than the cap: %+v", ev)
+		}
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	recs := population()
+	a, err := Recommend(recs, Request{Cores: synthCores(5), Memories: []memory.Config{{Name: "m", Words: 64, Bits: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed input order must not change anything, including basis order.
+	rev := make([]catalog.Record, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	b, err := Recommend(rev, Request{Cores: synthCores(5), Memories: []memory.Config{{Name: "m", Words: 64, Bits: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("recommendation depends on record order:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRecommendNoData(t *testing.T) {
+	if _, err := Recommend(nil, Request{Cores: synthCores(2)}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty catalog = %v, want ErrNoData", err)
+	}
+	// Campaign-only records cannot anchor a schedule recommendation.
+	camp := catalog.Record{
+		Fingerprint: "c1", Tenant: "anon", Kind: catalog.KindMemfault,
+		Scenario: "x", Metrics: catalog.Metrics{Coverage: 99},
+	}
+	if _, err := Recommend([]catalog.Record{camp}, Request{Cores: synthCores(2)}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("campaign-only catalog = %v, want ErrNoData", err)
+	}
+	if _, err := Recommend(population(), Request{}); err == nil {
+		t.Fatal("request without cores must fail")
+	}
+}
+
+func TestRecommendIgnoresInfeasible(t *testing.T) {
+	recs := population()
+	bad := synthRecord("small", 9, 2, 8, 0)
+	bad.Metrics = catalog.Metrics{Infeasible: true}
+	recs = append(recs, bad)
+	sug, err := Recommend(recs, Request{Cores: synthCores(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sug.Basis {
+		if ev.TamWidth == 8 {
+			t.Fatalf("infeasible record voted: %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// SchemaVersion stamps every serialized report document.  Decoders reject
+// versions they do not speak (ErrSchemaVersion) instead of misreading a
+// future layout, so catalog records and archived compare tables stay
+// readable — or at least loudly unreadable — across PRs.
+const SchemaVersion = "steac-report/v1"
+
+// ErrSchemaVersion is returned when a serialized report names a schema
+// this binary does not understand.
+var ErrSchemaVersion = errors.New("report: unsupported schema version")
+
+// Compare is the serializable tradeoff table behind the catalog compare
+// endpoints: a title, column names, and string-rendered rows.  Cells are
+// pre-formatted strings so that every rendering (JSON, CSV, HTML, text)
+// shows exactly the same values — a compare table is a published artifact,
+// not a float that each format rounds differently.
+type Compare struct {
+	Schema  string     `json:"schema"`
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// NewCompare builds an empty compare table with the current schema.
+func NewCompare(title string, columns ...string) *Compare {
+	return &Compare{Schema: SchemaVersion, Title: title, Columns: columns, Rows: [][]string{}}
+}
+
+// AddRow appends one row.  Short rows are padded to the column count so
+// renderers never index past a ragged row.
+func (c *Compare) AddRow(cells ...string) {
+	for len(cells) < len(c.Columns) {
+		cells = append(cells, "")
+	}
+	c.Rows = append(c.Rows, cells)
+}
+
+// JSON renders the schema-versioned document, newline-terminated.
+func (c *Compare) JSON() ([]byte, error) {
+	blob, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("report: marshal compare: %w", err)
+	}
+	return append(blob, '\n'), nil
+}
+
+// DecodeCompare parses a serialized compare document, rejecting unknown
+// schema versions with ErrSchemaVersion (errors.Is-matchable).
+func DecodeCompare(data []byte) (*Compare, error) {
+	var c Compare
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("report: decode compare: %w", err)
+	}
+	if c.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%w: document declares %q, this binary speaks %q",
+			ErrSchemaVersion, c.Schema, SchemaVersion)
+	}
+	return &c, nil
+}
+
+// Table converts the compare document to the fixed-width text renderer for
+// terminal output.
+func (c *Compare) Table() *Table {
+	t := NewTable(c.Title, c.Columns...)
+	for _, row := range c.Rows {
+		cells := make([]interface{}, len(row))
+		for i, cell := range row {
+			cells[i] = cell
+		}
+		t.Row(cells...)
+	}
+	return t
+}
+
+// Float renders a float the way Table does (two decimals, trailing zeros
+// trimmed) so compare cells match the existing text reports.
+func Float(v float64) string { return trimFloat(v) }

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleCompare() *Compare {
+	c := NewCompare("tradeoffs", "scenario", "tam", "cycles", "coverage%")
+	c.AddRow("dsc", "26", "688061", "100")
+	c.AddRow("manycore", "32", "12345", "98.44")
+	return c
+}
+
+func TestCompareJSONRoundTrip(t *testing.T) {
+	c := sampleCompare()
+	blob, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCompare(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", got.Schema, SchemaVersion)
+	}
+	if got.Title != c.Title || len(got.Rows) != len(c.Rows) || len(got.Columns) != len(c.Columns) {
+		t.Fatalf("round trip mangled the table: %+v", got)
+	}
+	if got.Rows[1][3] != "98.44" {
+		t.Fatalf("cell = %q, want 98.44", got.Rows[1][3])
+	}
+}
+
+// TestDecodeCompareRejectsUnknownSchema pins the forward-compatibility
+// contract: a document from a future (or corrupted) writer is a typed
+// refusal, never a silently misread table.
+func TestDecodeCompareRejectsUnknownSchema(t *testing.T) {
+	cases := []string{
+		`{"schema":"steac-report/v2","columns":["a"],"rows":[]}`,
+		`{"schema":"","columns":["a"],"rows":[]}`,
+		`{"columns":["a"],"rows":[]}`,
+	}
+	for _, raw := range cases {
+		if _, err := DecodeCompare([]byte(raw)); !errors.Is(err, ErrSchemaVersion) {
+			t.Errorf("DecodeCompare(%s) = %v, want ErrSchemaVersion", raw, err)
+		}
+	}
+	if _, err := DecodeCompare([]byte("not json")); err == nil || errors.Is(err, ErrSchemaVersion) {
+		t.Errorf("malformed JSON should fail decode, not schema check: %v", err)
+	}
+}
+
+func TestCompareCSV(t *testing.T) {
+	got := sampleCompare().CSV()
+	want := "# schema: " + SchemaVersion + "\n" +
+		"scenario,tam,cycles,coverage%\n" +
+		"dsc,26,688061,100\n" +
+		"manycore,32,12345,98.44\n"
+	if got != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCompareHTML(t *testing.T) {
+	c := sampleCompare()
+	c.AddRow(`<script>alert("x")</script>`, "1", "2", "3")
+	got := c.HTML()
+	if strings.Contains(got, "<script>") {
+		t.Fatal("HTML rendering must escape cell content")
+	}
+	for _, want := range []string{
+		"steac-report-schema", SchemaVersion,
+		"<th>scenario</th>", `<td class="num">688061</td>`, "&lt;script&gt;",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestCompareAddRowPads(t *testing.T) {
+	c := NewCompare("", "a", "b", "c")
+	c.AddRow("only")
+	if len(c.Rows[0]) != 3 {
+		t.Fatalf("short row not padded: %v", c.Rows[0])
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	txt := sampleCompare().Table().String()
+	if !strings.Contains(txt, "manycore") || !strings.Contains(txt, "coverage%") {
+		t.Fatalf("text table rendering lost content:\n%s", txt)
+	}
+}

@@ -1,0 +1,23 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+)
+
+// CSV renders the compare table as RFC-4180 CSV prefixed with a comment
+// line naming the schema version.  Spreadsheet importers skip the comment;
+// tools that care can assert it before trusting the column layout.
+func (c *Compare) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("# schema: ")
+	sb.WriteString(c.Schema)
+	sb.WriteByte('\n')
+	w := csv.NewWriter(&sb)
+	_ = w.Write(c.Columns)
+	for _, row := range c.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return sb.String()
+}

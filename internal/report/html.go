@@ -1,0 +1,66 @@
+package report
+
+import (
+	"html"
+	"strings"
+)
+
+// HTML renders the compare table as one self-contained static page — no
+// scripts, no external assets — suitable for writing next to CI artifacts
+// or serving straight from the daemon.  The schema version rides in a meta
+// tag mirroring the JSON document's "schema" field.
+func (c *Compare) HTML() string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n")
+	sb.WriteString("<meta charset=\"utf-8\">\n")
+	sb.WriteString("<meta name=\"steac-report-schema\" content=\"" + html.EscapeString(c.Schema) + "\">\n")
+	sb.WriteString("<title>" + html.EscapeString(c.Title) + "</title>\n")
+	sb.WriteString(`<style>
+body { font: 14px/1.4 system-ui, sans-serif; margin: 2em; color: #1a1a1a; }
+h1 { font-size: 1.2em; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #c8c8c8; padding: 4px 10px; text-align: left; white-space: nowrap; }
+th { background: #f0f0f0; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr:nth-child(even) td { background: #fafafa; }
+</style>
+`)
+	sb.WriteString("</head>\n<body>\n")
+	if c.Title != "" {
+		sb.WriteString("<h1>" + html.EscapeString(c.Title) + "</h1>\n")
+	}
+	sb.WriteString("<table>\n<thead><tr>")
+	for _, col := range c.Columns {
+		sb.WriteString("<th>" + html.EscapeString(col) + "</th>")
+	}
+	sb.WriteString("</tr></thead>\n<tbody>\n")
+	for _, row := range c.Rows {
+		sb.WriteString("<tr>")
+		for _, cell := range row {
+			class := ""
+			if isNumericCell(cell) {
+				class = ` class="num"`
+			}
+			sb.WriteString("<td" + class + ">" + html.EscapeString(cell) + "</td>")
+		}
+		sb.WriteString("</tr>\n")
+	}
+	sb.WriteString("</tbody>\n</table>\n</body>\n</html>\n")
+	return sb.String()
+}
+
+// isNumericCell decides right-alignment: digits, sign, decimal point and
+// percent only (empty cells stay left-aligned).
+func isNumericCell(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9', c == '.', c == '-', c == '+', c == '%':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"steac/internal/catalog"
+	"steac/internal/recommend"
+	"steac/internal/scenario"
+)
+
+// The seeded end-to-end battery for the results catalog and the DFT
+// recommender.  One test walks the whole lifecycle:
+//
+//  1. Seed: an in-process daemon sweeps four builtin scenarios across
+//     seeds and pin budgets and completes one memory-fault campaign job,
+//     auto-ingesting every result.
+//  2. Pin: the compare tables are deterministic goldens (CSV and HTML,
+//     -update to regenerate), and the raw catalog listing is byte-stable
+//     across a real subprocess daemon being SIGKILLed and restarted on
+//     the same directories.
+//  3. Cross-validate: leave-one-chip-out over every (scenario, seed)
+//     fold, the recommender — trained only on the other chips — must
+//     recover the fold's known-best TAM width on a strict majority.
+//
+// Everything is seeded, so the goldens, the fingerprints and the
+// recovery count are exact, not statistical.
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The seeding grid.  Pins [16,24,32] stay clear of the narrow-pin
+// feasibility boundary, so the per-scenario best config is consistent
+// across seeds — which is what makes known-best recovery meaningful.
+var (
+	e2eScenarios = []string{"hybrid-power", "p1500-lbist", "memory-heavy", "manycore"}
+	e2eSeeds     = []int64{1, 2, 3, 4}
+	e2ePins      = []int{16, 24, 32}
+)
+
+const e2eJobSpec = `{"algorithm":"March C-","config":{"Name":"e2e","Words":64,"Bits":4},"all_faults":true}`
+
+func TestCatalogRecommendEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	catDir, jobDir := t.TempDir(), t.TempDir()
+
+	// --- Phase 1: seed the catalog through the serving pipeline. ---
+	s, ts := newTestServer(t, Config{Workers: 4, CatalogDir: catDir, JobDir: jobDir})
+	c := &Client{Base: ts.URL}
+	for _, sc := range e2eScenarios {
+		for _, seed := range e2eSeeds {
+			if _, _, err := c.Sched(ctx, schedReq(sc, seed, e2ePins...)); err != nil {
+				t.Fatalf("sched %s seed %d: %v", sc, seed, err)
+			}
+		}
+	}
+	st, err := c.SubmitJob(ctx, JobRequest{Kind: "memfault", Spec: json.RawMessage(e2eJobSpec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.WaitJob(ctx, st.ID, 0, nil); err != nil || st.State != jobDone {
+		t.Fatalf("campaign job = %+v, %v, want done", st, err)
+	}
+
+	wantTotal := len(e2eScenarios)*len(e2eSeeds)*len(e2ePins) + 1
+	cl, err := c.Catalog(ctx, catalog.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Total != wantTotal {
+		t.Fatalf("catalog total = %d, want %d", cl.Total, wantTotal)
+	}
+	for _, sc := range e2eScenarios {
+		sl, err := c.Catalog(ctx, catalog.Query{Scenario: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl.Total != len(e2eSeeds)*len(e2ePins) {
+			t.Fatalf("scenario %s: %d records, want %d", sc, sl.Total, len(e2eSeeds)*len(e2ePins))
+		}
+	}
+
+	// Compare tables are goldens: every visible column derives from
+	// seeded computation and content-addressed fingerprints.
+	for _, format := range []string{"csv", "html"} {
+		blob, err := c.CatalogCompare(ctx, format, catalog.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "catalog_compare_"+format+".golden", blob)
+	}
+
+	// A recommendation over HTTP must come back with auditable evidence:
+	// every basis fingerprint resolves to a fetchable catalog record.
+	sug, err := c.Recommend(ctx, RecommendRequest{Scenario: "memory-heavy", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug.TamWidth <= 0 || len(sug.Basis) == 0 || sug.Distance == "" {
+		t.Fatalf("suggestion = %+v, want tam, basis and distance metric", sug)
+	}
+	for _, ev := range sug.Basis {
+		rec, err := c.CatalogRecord(ctx, ev.Fingerprint)
+		if err != nil {
+			t.Fatalf("basis fingerprint %s not fetchable: %v", ev.Fingerprint, err)
+		}
+		if rec.Fingerprint != ev.Fingerprint {
+			t.Fatalf("basis fetch returned %s, want %s", rec.Fingerprint, ev.Fingerprint)
+		}
+	}
+
+	snap1 := rawGet(t, ts.URL+"/v1/catalog")
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Phase 2: a real daemon process on the same directories. ---
+	// The listing must be byte-identical to what the seeding server
+	// answered, then survive SIGKILL + restart with a record added.
+	cmd, base := spawnCatalogDaemon(t, catDir, jobDir)
+	if got := rawGet(t, base+"/v1/catalog"); !bytes.Equal(got, snap1) {
+		t.Fatalf("subprocess catalog differs from seeding snapshot:\n got %d bytes: %.200s\nwant %d bytes: %.200s",
+			len(got), got, len(snap1), snap1)
+	}
+	resp, blob := post(t, base+"/v1/sched", `{"chip":"dsc","test_pins":[26]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subprocess sched = %d: %s", resp.StatusCode, blob)
+	}
+	snap2 := rawGet(t, base+"/v1/catalog")
+	compare2 := rawGet(t, base+"/v1/catalog/compare?format=csv")
+	if bytes.Equal(snap2, snap1) {
+		t.Fatal("catalog unchanged after subprocess sched — ingest not wired?")
+	}
+
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	cmd2, base2 := spawnCatalogDaemon(t, catDir, jobDir)
+	if got := rawGet(t, base2+"/v1/catalog"); !bytes.Equal(got, snap2) {
+		t.Fatalf("catalog after SIGKILL+restart differs:\n got %d bytes\nwant %d bytes", len(got), len(snap2))
+	}
+	if got := rawGet(t, base2+"/v1/catalog/compare?format=csv"); !bytes.Equal(got, compare2) {
+		t.Fatalf("compare CSV after SIGKILL+restart differs:\n got %s\nwant %s", got, compare2)
+	}
+	if err := cmd2.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd2.Wait()
+
+	// --- Phase 3: leave-one-out cross-validation off the same disk. ---
+	store, err := catalog.Open(catDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := store.List(catalog.Query{})
+	store.Close()
+
+	recovered, folds := 0, 0
+	for _, sc := range e2eScenarios {
+		for _, seed := range e2eSeeds {
+			best, rest := splitFold(recs, sc, seed)
+			if best.Fingerprint == "" {
+				t.Fatalf("fold %s seed %d: no feasible sched record", sc, seed)
+			}
+			folds++
+			chip, err := scenario.GenerateByName(sc, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sug, err := recommend.Recommend(rest, recommend.Request{
+				Cores: chip.Cores, Memories: chip.Memories,
+			})
+			if err != nil {
+				t.Fatalf("fold %s seed %d: %v", sc, seed, err)
+			}
+			if sug.TamWidth == best.Config.TamWidth {
+				recovered++
+			} else {
+				t.Logf("fold %s seed %d: best tam %d, recommended %d (nearest %s seed %d, d=%.3f)",
+					sc, seed, best.Config.TamWidth, sug.TamWidth,
+					sug.Basis[0].Scenario, sug.Basis[0].Seed, sug.Basis[0].Distance)
+			}
+		}
+	}
+	t.Logf("leave-one-out: recovered known-best config on %d/%d folds", recovered, folds)
+	if recovered*2 <= folds {
+		t.Fatalf("recommender recovered %d/%d folds, want strict majority", recovered, folds)
+	}
+}
+
+// splitFold returns the held-out chip's known-best feasible sched record
+// (fewest cycles, ties to the narrower TAM — the recommender's own
+// preference order) and the training population with that chip removed.
+func splitFold(recs []catalog.Record, sc string, seed int64) (best catalog.Record, rest []catalog.Record) {
+	for _, r := range recs {
+		if r.Scenario != sc || r.Seed != seed {
+			rest = append(rest, r)
+			continue
+		}
+		if r.Kind != catalog.KindSched || r.Metrics.Infeasible || r.Metrics.TestCycles <= 0 {
+			continue
+		}
+		if best.Fingerprint == "" ||
+			r.Metrics.TestCycles < best.Metrics.TestCycles ||
+			(r.Metrics.TestCycles == best.Metrics.TestCycles && r.Config.TamWidth < best.Config.TamWidth) {
+			best = r
+		}
+	}
+	return best, rest
+}
+
+// rawGet fetches one URL and returns the body verbatim — byte-stability
+// assertions must not run through a JSON round-trip.
+func rawGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, blob)
+	}
+	return blob
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch (run with -update to rebless):\n got: %.400s\nwant: %.400s", name, got, want)
+	}
+}
+
+// spawnCatalogDaemon re-executes the test binary as a real daemon process
+// (TestCatalogDaemonHelper) serving the v1 API on a loopback port, so the
+// parent can SIGKILL it mid-flight like a crashed deployment.
+func spawnCatalogDaemon(t *testing.T, catDir, jobDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCatalogDaemonHelper$")
+	cmd.Env = append(os.Environ(),
+		"STEAC_CATALOG_HELPER=1",
+		"STEAC_CATALOG_DIR="+catDir,
+		"STEAC_JOB_DIR="+jobDir,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "ADDR="); ok {
+			go func() { _, _ = io.Copy(io.Discard, stdout) }()
+			return cmd, "http://" + addr
+		}
+	}
+	t.Fatalf("daemon helper exited without an address (scan err %v)", sc.Err())
+	return nil, ""
+}
+
+// TestCatalogDaemonHelper is the subprocess body for the SIGKILL phases:
+// a plain daemon on the directories named by the environment.  It never
+// runs as part of the normal test suite.
+func TestCatalogDaemonHelper(t *testing.T) {
+	if os.Getenv("STEAC_CATALOG_HELPER") != "1" {
+		t.Skip("subprocess helper")
+	}
+	s := New(Config{
+		Workers:    2,
+		CatalogDir: os.Getenv("STEAC_CATALOG_DIR"),
+		JobDir:     os.Getenv("STEAC_JOB_DIR"),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("ADDR=%s\n", ln.Addr())
+	// Serve until the parent kills the process; there is no graceful exit
+	// on purpose — the whole point is dying mid-flight.
+	_ = http.Serve(ln, s.Handler())
+}

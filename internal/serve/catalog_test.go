@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"steac/internal/catalog"
+)
+
+// The results-catalog contract tests: records are scoped to the tenant
+// that computed them, daemons without -catalog-dir answer a typed 400,
+// and a catalog-enabled daemon backfills finished jobs from the durable
+// job database it finds on startup.  The full seeded battery (goldens,
+// SIGKILL durability, cross-validated recommendations) lives in
+// catalog_e2e_test.go.
+
+// schedReq is a cheap catalogable request: one scheduling sweep yields
+// one record per pin budget.
+func schedReq(chip string, seed int64, pins ...int) SchedRequest {
+	return SchedRequest{Chip: chip, Seed: seed, TestPins: pins}
+}
+
+func TestCatalogTenantScoping(t *testing.T) {
+	_, _, base := newTenantServer(t, Config{Workers: 2, CatalogDir: t.TempDir()}, []Tenant{
+		{ID: "alpha", Key: "ka"}, {ID: "beta", Key: "kb"},
+	})
+	ctx := context.Background()
+	alpha := &Client{Base: base, APIKey: "ka"}
+	beta := &Client{Base: base, APIKey: "kb"}
+
+	if _, _, err := alpha.Sched(ctx, schedReq("memory-heavy", 1, 16, 22)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The owner lists both sweep points, all attributed to alpha.
+	al, err := alpha.Catalog(ctx, catalog.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Total != 2 || len(al.Records) != 2 {
+		t.Fatalf("alpha catalog = %d/%d records, want 2/2", len(al.Records), al.Total)
+	}
+	for _, rec := range al.Records {
+		if rec.Tenant != "alpha" {
+			t.Fatalf("record %s owned by %q, want alpha", rec.Fingerprint, rec.Tenant)
+		}
+	}
+
+	// The other tenant sees an empty catalog, and fetching alpha's record
+	// by fingerprint is the same typed 404 as a nonexistent one — the
+	// fingerprint's existence is not disclosed across tenants.
+	bl, err := beta.Catalog(ctx, catalog.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Total != 0 || len(bl.Records) != 0 {
+		t.Fatalf("beta catalog = %d/%d records, want empty", len(bl.Records), bl.Total)
+	}
+	fp := al.Records[0].Fingerprint
+	if _, err := beta.CatalogRecord(ctx, fp); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cross-tenant fetch err = %v, want ErrNotFound", err)
+	}
+	if got, err := alpha.CatalogRecord(ctx, fp); err != nil || got.Fingerprint != fp {
+		t.Fatalf("owner fetch = %+v, %v", got, err)
+	}
+
+	// Recommendations draw only on the caller's records: beta has none.
+	if _, err := beta.Recommend(ctx, RecommendRequest{Scenario: "memory-heavy", Seed: 2}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("beta recommend err = %v, want ErrNotFound", err)
+	}
+	if _, err := alpha.Recommend(ctx, RecommendRequest{Scenario: "memory-heavy", Seed: 2}); err != nil {
+		t.Fatalf("alpha recommend: %v", err)
+	}
+}
+
+func TestCatalogDisabled(t *testing.T) {
+	// No CatalogDir: every catalog surface is a typed 400, not a 404 —
+	// the route exists, the deployment just runs without the feature.
+	_, ts := newTestServer(t, Config{Workers: 1})
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+	if _, err := c.Catalog(ctx, catalog.Query{}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("catalog err = %v, want ErrBadRequest", err)
+	}
+	if _, err := c.Recommend(ctx, RecommendRequest{Scenario: "dsc"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("recommend err = %v, want ErrBadRequest", err)
+	}
+	if _, err := c.CatalogCompare(ctx, "csv", catalog.Query{}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("compare err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestCatalogBackfill(t *testing.T) {
+	// A daemon that ran jobs without a catalog leaves them in the job
+	// database; enabling -catalog-dir later must ingest those finished
+	// jobs on startup.
+	jobDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	s1, ts1 := newTestServer(t, Config{Workers: 2, JobDir: jobDir})
+	c1 := &Client{Base: ts1.URL}
+	spec := json.RawMessage(`{"algorithm":"March C-","config":{"Name":"bf","Words":64,"Bits":4},"all_faults":true}`)
+	st, err := c1.SubmitJob(ctx, JobRequest{Kind: "memfault", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c1.WaitJob(ctx, st.ID, 0, nil); err != nil || st.State != jobDone {
+		t.Fatalf("job = %+v, %v, want done", st, err)
+	}
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same job dir, catalog now enabled: the finished campaign appears
+	// without re-running anything.
+	_, ts2 := newTestServer(t, Config{Workers: 2, JobDir: jobDir, CatalogDir: t.TempDir()})
+	c2 := &Client{Base: ts2.URL}
+	cl, err := c2.Catalog(ctx, catalog.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Total != 1 || len(cl.Records) != 1 {
+		t.Fatalf("backfilled catalog = %d/%d records, want 1/1", len(cl.Records), cl.Total)
+	}
+	rec := cl.Records[0]
+	if rec.Kind != catalog.KindMemfault || rec.Fingerprint != st.Fingerprint {
+		t.Fatalf("backfilled record = kind %q fp %q, want %q %q",
+			rec.Kind, rec.Fingerprint, catalog.KindMemfault, st.Fingerprint)
+	}
+	if rec.Metrics.Coverage <= 0 || rec.Metrics.Faults == 0 {
+		t.Fatalf("backfilled metrics = %+v, want decoded coverage", rec.Metrics)
+	}
+}

@@ -7,7 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
+
+	"steac/internal/catalog"
+	"steac/internal/recommend"
 )
 
 // Client is the typed Go client for the daemon's v1 API — the reference
@@ -145,6 +150,86 @@ func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
 	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
 	return st, err
+}
+
+// catalogQueryString encodes the shared catalog listing filters.  Tenant
+// is deliberately ignored: the daemon scopes every catalog request to the
+// authenticated identity.
+func catalogQueryString(q catalog.Query) string {
+	v := url.Values{}
+	if q.Scenario != "" {
+		v.Set("scenario", q.Scenario)
+	}
+	if q.Kind != "" {
+		v.Set("kind", q.Kind)
+	}
+	if q.MinCoverage > 0 {
+		v.Set("min_coverage", strconv.FormatFloat(q.MinCoverage, 'g', -1, 64))
+	}
+	if q.MaxCoverage > 0 {
+		v.Set("max_coverage", strconv.FormatFloat(q.MaxCoverage, 'g', -1, 64))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if len(v) == 0 {
+		return ""
+	}
+	return "?" + v.Encode()
+}
+
+// Catalog runs GET /v1/catalog: list the caller's catalog records.
+func (c *Client) Catalog(ctx context.Context, q catalog.Query) (*CatalogResponse, error) {
+	var out CatalogResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/catalog"+catalogQueryString(q), nil, &out)
+	return &out, err
+}
+
+// CatalogRecord runs GET /v1/catalog/{fingerprint}.
+func (c *Client) CatalogRecord(ctx context.Context, fingerprint string) (*catalog.Record, error) {
+	var rec catalog.Record
+	_, err := c.do(ctx, http.MethodGet, "/v1/catalog/"+url.PathEscape(fingerprint), nil, &rec)
+	return &rec, err
+}
+
+// CatalogCompare runs GET /v1/catalog/compare and returns the rendered
+// table verbatim.  format is "json", "csv" or "html" ("" = json).
+func (c *Client) CatalogCompare(ctx context.Context, format string, q catalog.Query) ([]byte, error) {
+	path := "/v1/catalog/compare" + catalogQueryString(q)
+	if format != "" {
+		sep := "?"
+		if len(path) > len("/v1/catalog/compare") {
+			sep = "&"
+		}
+		path += sep + "format=" + url.QueryEscape(format)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeClientError(resp.StatusCode, blob)
+	}
+	return blob, nil
+}
+
+// Recommend runs POST /v1/recommend.
+func (c *Client) Recommend(ctx context.Context, req RecommendRequest) (*recommend.Suggestion, error) {
+	var sug recommend.Suggestion
+	_, err := c.do(ctx, http.MethodPost, "/v1/recommend", req, &sug)
+	return &sug, err
 }
 
 // WaitJob polls GET /v1/jobs/{id} every interval (0 = 250ms) until the job

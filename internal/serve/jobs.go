@@ -206,6 +206,9 @@ type jobManager struct {
 	fabric  *fabric.Coordinator // non-nil when this daemon coordinates a fabric
 	db      *jobDB              // nil when no JobDir is configured
 	dbErr   error               // deferred openJobDB failure, surfaced on submit
+	// ingest, when non-nil, receives every job row that reaches the done
+	// state — the results-catalog hook (Server.ingestJobRecord).
+	ingest func(jobRecord)
 
 	mu   sync.Mutex
 	jobs map[string]*campaignJob
@@ -426,6 +429,9 @@ func (jm *jobManager) watchFabric(ctx context.Context, j *campaignJob) {
 			rec := j.recordLocked()
 			j.mu.Unlock()
 			_ = jm.db.put(rec)
+			if jm.ingest != nil {
+				jm.ingest(rec)
+			}
 			obsJobsDone.Add(1)
 			return
 		}
@@ -519,6 +525,9 @@ func (jm *jobManager) finish(j *campaignJob, res *campaign.Result, err error) {
 	rec := j.recordLocked()
 	j.mu.Unlock()
 	_ = jm.db.put(rec)
+	if rec.State == jobDone && jm.ingest != nil {
+		jm.ingest(rec)
+	}
 }
 
 // get returns the live job, or nil.

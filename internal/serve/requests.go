@@ -2,10 +2,13 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 
 	"steac/internal/brains"
+	"steac/internal/catalog"
 	"steac/internal/core"
 	"steac/internal/dsc"
 	"steac/internal/march"
@@ -118,6 +121,9 @@ type FlowResponse struct {
 	VerifyCycles      int      `json:"verify_cycles,omitempty"`
 	TranslatedCycles  int      `json:"translated_cycles,omitempty"`
 	InterconnectWires int      `json:"interconnect_wires,omitempty"`
+	// PeakPower is the highest per-session summed power of the winning
+	// schedule — one axis of the catalog's tradeoff tables.
+	PeakPower float64 `json:"peak_power,omitempty"`
 }
 
 func (r FlowRequest) run(ctx context.Context) (interface{}, error) {
@@ -204,6 +210,11 @@ func (r FlowRequest) run(ctx context.Context) (interface{}, error) {
 		NonSessionCycles: res.NonSession.TotalCycles,
 		SerialCycles:     res.Serial.TotalCycles,
 	}
+	for _, sess := range res.Schedule.Sessions {
+		if sess.PeakPower > out.PeakPower {
+			out.PeakPower = sess.PeakPower
+		}
+	}
 	for _, c := range res.Cores {
 		out.Cores = append(out.Cores, c.Name)
 	}
@@ -248,11 +259,12 @@ func (r SchedRequest) canonical() interface{} {
 
 // SchedPoint is one sweep sample.
 type SchedPoint struct {
-	TestPins   int    `json:"test_pins"`
-	Cycles     int    `json:"cycles,omitempty"`
-	Sessions   int    `json:"sessions,omitempty"`
-	Infeasible bool   `json:"infeasible,omitempty"`
-	Error      string `json:"error,omitempty"`
+	TestPins   int     `json:"test_pins"`
+	Cycles     int     `json:"cycles,omitempty"`
+	Sessions   int     `json:"sessions,omitempty"`
+	PeakPower  float64 `json:"peak_power,omitempty"`
+	Infeasible bool    `json:"infeasible,omitempty"`
+	Error      string  `json:"error,omitempty"`
 }
 
 // SchedResponse is the full sweep.
@@ -301,8 +313,14 @@ func (r SchedRequest) run(ctx context.Context) (interface{}, error) {
 		s, err := sched.SessionBasedContext(ctx, tests, res)
 		switch {
 		case err == nil:
+			peak := 0.0
+			for _, sess := range s.Sessions {
+				if sess.PeakPower > peak {
+					peak = sess.PeakPower
+				}
+			}
 			out.Points = append(out.Points, SchedPoint{TestPins: pins,
-				Cycles: s.TotalCycles, Sessions: len(s.Sessions)})
+				Cycles: s.TotalCycles, Sessions: len(s.Sessions), PeakPower: peak})
 		case isInfeasible(err):
 			out.Points = append(out.Points, SchedPoint{TestPins: pins,
 				Infeasible: true, Error: err.Error()})
@@ -512,4 +530,93 @@ func (r XCheckRequest) run(ctx context.Context) (interface{}, error) {
 		Name: res.Name, Sites: res.Sites, Total: res.Total, Detected: res.Detected,
 		Undetected: res.UndetectedCount(), Coverage: res.Coverage(), Sampled: res.Sampled(),
 	}, nil
+}
+
+// catalogRecords implements catalogSource for flow runs: one record per
+// run, keyed by the memo-cache content address.  Explicit-STIL submissions
+// are skipped — without scenario provenance the chip cannot be regenerated
+// for the feature profile, and an unprofiled record cannot anchor a
+// recommendation.
+func (r FlowRequest) catalogRecords(fingerprint, tenant string, result interface{}) []catalog.Record {
+	res, ok := result.(*FlowResponse)
+	if !ok {
+		return nil
+	}
+	feat, cfg, ok := chipProfile(r.Chip, r.Seed)
+	if !ok {
+		return nil
+	}
+	// Request overrides win over the chip's own defaults — the record must
+	// describe the configuration that actually ran.
+	if r.TestPins > 0 {
+		cfg.TamWidth = r.TestPins
+	}
+	if r.Partition != "" {
+		cfg.Partitioner = r.Partition
+	}
+	if r.Algorithm != "" {
+		cfg.Algorithm = r.Algorithm
+	}
+	if r.PowerBudget > 0 {
+		cfg.PowerBudget = r.PowerBudget
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return nil
+	}
+	return []catalog.Record{{
+		Fingerprint: fingerprint, Tenant: tenant, Kind: catalog.KindFlow,
+		Scenario: r.Chip, Seed: r.Seed,
+		Config: cfg, Features: feat,
+		Metrics: catalog.Metrics{
+			TestCycles: res.ScheduleCycles, Sessions: res.Sessions, PeakPower: res.PeakPower,
+		},
+		Result: blob,
+	}}
+}
+
+// catalogRecords implements catalogSource for scheduling sweeps: one
+// record per sweep point (including infeasible ones — negative results are
+// results), each addressed by a deterministic sub-fingerprint of the sweep
+// key so re-running the sweep converges on the same records.
+func (r SchedRequest) catalogRecords(fingerprint, tenant string, result interface{}) []catalog.Record {
+	res, ok := result.(*SchedResponse)
+	if !ok {
+		return nil
+	}
+	chipName := r.Chip
+	if chipName == "" {
+		chipName = "dsc"
+	}
+	feat, cfg, ok := chipProfile(chipName, r.Seed)
+	if !ok {
+		return nil
+	}
+	if r.Partition != "" {
+		cfg.Partitioner = r.Partition
+	}
+	if r.PowerBudget > 0 {
+		cfg.PowerBudget = r.PowerBudget
+	}
+	recs := make([]catalog.Record, 0, len(res.Points))
+	for _, p := range res.Points {
+		pcfg := cfg
+		pcfg.TamWidth = p.TestPins
+		blob, err := json.Marshal(p)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, catalog.Record{
+			Fingerprint: catalog.SubFingerprint(fingerprint, fmt.Sprintf("pins=%d", p.TestPins)),
+			Tenant:      tenant, Kind: catalog.KindSched,
+			Scenario: chipName, Seed: r.Seed,
+			Config: pcfg, Features: feat,
+			Metrics: catalog.Metrics{
+				TestCycles: p.Cycles, Sessions: p.Sessions,
+				PeakPower: p.PeakPower, Infeasible: p.Infeasible,
+			},
+			Result: blob,
+		})
+	}
+	return recs
 }

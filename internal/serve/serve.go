@@ -54,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"steac/internal/catalog"
 	"steac/internal/fabric"
 	"steac/internal/obs"
 	"steac/internal/sched"
@@ -86,6 +87,13 @@ type Config struct {
 	// never starves the synchronous request workers.  Per-tenant job
 	// quotas come from the tenant rows.
 	MaxJobs int
+	// CatalogDir is the durable results-catalog root (steacd -catalog-dir).
+	// When set, every completed flow run, scheduling sweep point, and
+	// campaign job is ingested as a content-addressed catalog.Record, the
+	// /v1/catalog and /v1/recommend endpoints come live, and completed jobs
+	// already in the job database are backfilled on startup.  Empty
+	// disables the catalog (the endpoints answer 400).
+	CatalogDir string
 	// Fabric, when non-nil, makes this daemon a fabric coordinator: the
 	// /v1/fabric/* protocol is mounted on the same mux, and jobs
 	// submitted with "fabric": true are distributed to leased nodes
@@ -150,6 +158,8 @@ type Server struct {
 	cache    *lruCache
 	queue    *fairQueue
 	jobMgr   *jobManager
+	catalog  *catalog.Store // nil without CatalogDir
+	catErr   error          // deferred catalog.Open failure, surfaced per request
 	workers  sync.WaitGroup
 	pending  sync.WaitGroup // admitted jobs not yet answered
 	inflight atomic.Int64
@@ -168,6 +178,13 @@ func New(cfg Config) *Server {
 	}
 	s.jobMgr = newJobManager(s.cfg.JobDir, s.cfg.MaxJobs, s.cfg.Workers)
 	s.jobMgr.fabric = s.cfg.Fabric
+	if s.cfg.CatalogDir != "" {
+		s.catalog, s.catErr = catalog.Open(s.cfg.CatalogDir)
+		if s.catErr == nil {
+			s.jobMgr.ingest = s.ingestJobRecord
+			s.backfillCatalog()
+		}
+	}
 	if s.cfg.Fabric != nil {
 		s.cfg.Fabric.Register(s.mux)
 	}
@@ -179,6 +196,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sched", handle(s, "sched", func() *SchedRequest { return &SchedRequest{} }))
 	s.mux.HandleFunc("POST /v1/memfault", handle(s, "memfault", func() *MemfaultRequest { return &MemfaultRequest{} }))
 	s.mux.HandleFunc("POST /v1/xcheck", handle(s, "xcheck", func() *XCheckRequest { return &XCheckRequest{} }))
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalogList)
+	s.mux.HandleFunc("GET /v1/catalog/compare", s.handleCatalogCompare)
+	s.mux.HandleFunc("GET /v1/catalog/{fingerprint}", s.handleCatalogGet)
+	s.mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -214,6 +235,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.drained.Do(func() { s.queue.close() })
 	s.workers.Wait()
+	// Every producer is gone; release the catalog's append handle so the
+	// last ingest is on disk before the process exits.
+	if err := s.catalog.Close(); err != nil {
+		return fmt.Errorf("serve: drain: close catalog: %w", err)
+	}
 	return nil
 }
 
@@ -359,6 +385,11 @@ func handle[R runner](s *Server, endpoint string, fresh func() R) http.HandlerFu
 			return
 		}
 		s.cache.put(key, blob)
+		// First computation of this content address: catalog it.  Cache
+		// hits above never re-ingest — the record already exists.
+		if src, ok := any(req).(catalogSource); ok {
+			s.catalogIngest(src.catalogRecords(key, tn.ID, res.val))
+		}
 		writeResult(w, blob, false)
 	}
 }
@@ -410,6 +441,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
 	}
 	fmt.Fprintf(w, "serve.cache_entries %d\n", s.cache.len())
+	fmt.Fprintf(w, "serve.catalog_records %d\n", s.catalog.Len())
 	fmt.Fprintf(w, "serve.draining %d\n", b2i(s.draining.Load()))
 }
 
